@@ -1,0 +1,139 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * **multibuffering depth** (1 / 2 / 3) on a DMA-bound stream — the
+//!   §4.1 "optimize the data transfer" knob; virtual stall cycles are
+//!   printed, host cost is benched;
+//! * **polling vs interrupt** completion (§3.5 step 6);
+//! * **EIB contention** as concurrent SPE streams grow (why Fig. 4(c)
+//!   scaling is sublinear);
+//! * **kernel granularity**: band height vs DMA transfer count (§3.2's
+//!   "big enough to be worth a DMA round-trip").
+
+use cell_core::{Cycles, EibConfig, Frequency, MachineConfig, VirtualClock};
+use cell_eib::{Eib, Element};
+use cell_mem::{LocalStore, MainMemory};
+use cell_mfc::{Mfc, StreamReader};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+fn stream_run(depth: usize, compute_per_chunk: u64) -> (u64, u64) {
+    let cfg = MachineConfig::default();
+    let mem = Arc::new(MainMemory::new(8 << 20));
+    let eib = Arc::new(Eib::new(EibConfig::default()));
+    let mut mfc = Mfc::new(0, Arc::clone(&mem), eib, cfg.dma);
+    let mut ls = LocalStore::new(cfg.local_store_size, cfg.code_reserved);
+    let mut clock = VirtualClock::new(Frequency::ghz(3.2));
+    let total = 512 * 1024;
+    let ea = mem.alloc(total, 128).unwrap();
+    let mut rdr =
+        StreamReader::new(&mut mfc, &mut ls, &mut clock, ea, total, 16 * 1024, depth, 0).unwrap();
+    while let Some((_la, _len)) = rdr.acquire(&mut mfc, &mut clock).unwrap() {
+        clock.advance(Cycles(compute_per_chunk));
+        rdr.release(&mut mfc, &mut ls, &mut clock).unwrap();
+    }
+    (clock.now(), mfc.stats().stall_cycles)
+}
+
+fn print_multibuffer_ablation() {
+    println!("\nMultibuffering ablation (512 KiB stream, 16 KiB chunks, 10k compute cyc/chunk):");
+    for depth in [1usize, 2, 3] {
+        let (cycles, stalls) = stream_run(depth, 10_000);
+        println!("  depth {depth}: total {cycles} cyc, DMA stalls {stalls} cyc");
+    }
+    println!();
+}
+
+fn print_contention_ablation() {
+    println!("EIB contention (16 KiB x 64 gets per SPE, issued at t=0):");
+    for spes in [1usize, 2, 4, 8] {
+        let eib = Eib::new(EibConfig::default());
+        for s in 0..spes {
+            for _ in 0..64 {
+                eib.transfer(Element::Memory, Element::Spe(s), 16 * 1024, 0);
+            }
+        }
+        let st = eib.stats();
+        println!(
+            "  {spes} SPE(s): horizon {} bus cyc, queued {} cyc, achieved {:.1} GB/s",
+            st.horizon,
+            st.queued_cycles,
+            eib.achieved_bandwidth() / 1e9
+        );
+    }
+    println!();
+}
+
+fn print_reply_mode_ablation() {
+    use cell_sys::machine::CellMachine;
+    use portkit::dispatcher::KernelDispatcher;
+    use portkit::interface::{ReplyMode, SpeInterface};
+
+    println!("Polling vs interrupt completion (200 round-trips, virtual PPE time):");
+    for mode in [ReplyMode::Polling, ReplyMode::Interrupt] {
+        let mut m = CellMachine::new(MachineConfig::small()).unwrap();
+        let mut ppe = m.ppe();
+        let mut d = KernelDispatcher::new("echo", mode);
+        let op = d.register("echo", |_, v| Ok(v));
+        let h = m.spawn(0, Box::new(d)).unwrap();
+        let mut iface = SpeInterface::new("echo", 0, mode);
+        for i in 0..200 {
+            iface.send_and_wait(&mut ppe, op, i).unwrap();
+        }
+        iface.close(&mut ppe).unwrap();
+        h.join().unwrap();
+        println!("  {mode:?}: {}", ppe.elapsed());
+    }
+    println!();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    print_multibuffer_ablation();
+    print_contention_ablation();
+    print_reply_mode_ablation();
+
+    let mut g = c.benchmark_group("multibuffer_depth");
+    for depth in [1usize, 2, 3] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter(|| stream_run(d, 10_000))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("eib_contention");
+    for spes in [1usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(spes), &spes, |b, &n| {
+            b.iter(|| {
+                let eib = Eib::new(EibConfig::default());
+                for s in 0..n {
+                    for _ in 0..16 {
+                        eib.transfer(Element::Memory, Element::Spe(s), 16 * 1024, 0);
+                    }
+                }
+                eib.stats().horizon
+            })
+        });
+    }
+    g.finish();
+
+    // Kernel granularity: virtual time of the CH kernel as a function of
+    // band height (smaller bands → more DMA startups).
+    let mut g = c.benchmark_group("band_granularity");
+    g.sample_size(10);
+    let img = marvel::image::ColorImage::synthetic(96, 64, cell_bench::SEED).unwrap();
+    for band in [2usize, 8, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(band), &band, |b, &_rows| {
+            b.iter(|| {
+                // Host-cost proxy: sliced scalar histogram at this band size.
+                let mut sl = marvel::features::histogram::SlicedHistogram::new();
+                for chunk in img.data().chunks(band * img.row_bytes()) {
+                    sl.update(chunk);
+                }
+                sl.finish()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! §4.2 / §5.5 — the analytic estimates.
+//!
+//! Prints the Eq. 1–3 reproductions (worked example + scenario
+//! estimates built from the paper's own Table 1 numbers), then benches
+//! the estimator itself across kernel-set sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use portkit::amdahl::{estimate_grouped, estimate_sequential, estimate_single, KernelSpec};
+
+fn paper_kernels() -> Vec<KernelSpec> {
+    // Table 1 speed-ups (vs PPE) converted to vs-Desktop via the 3.2
+    // factor, with the paper's coverage fractions.
+    let f = 3.2;
+    vec![
+        KernelSpec::new("CHExtract", 0.08, 53.67 / f),
+        KernelSpec::new("CCExtract", 0.54, 52.23 / f),
+        KernelSpec::new("TXExtract", 0.06, 15.99 / f),
+        KernelSpec::new("EHExtract", 0.28, 65.94 / f),
+        KernelSpec::new("ConceptDet", 0.02, 10.80 / f),
+    ]
+}
+
+fn print_estimates() {
+    let s10 = estimate_single(0.10, 10.0).unwrap();
+    let s100 = estimate_single(0.10, 100.0).unwrap();
+    println!("\nEq. 1 worked example: S(10%,10x) = {s10:.4} (paper 1.0989), S(10%,100x) = {s100:.4} (paper 1.1098)");
+    let ks = paper_kernels();
+    let seq = estimate_sequential(&ks).unwrap();
+    let par = estimate_grouped(&ks, &[vec![0, 1, 2, 3], vec![4]]).unwrap();
+    let rep = estimate_grouped(&ks, &[vec![0, 1, 2, 3, 4]]).unwrap();
+    println!("Scenario estimates from the paper's own Table 1 numbers (vs Desktop):");
+    println!("  single-SPE {seq:.2} (paper 10.90), multi-SPE {par:.2} (paper 15.28), multi-SPE2 {rep:.2} (paper 15.64)\n");
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    print_estimates();
+    let mut g = c.benchmark_group("amdahl");
+    g.bench_function("eq1_single", |b| b.iter(|| estimate_single(0.1, 10.0).unwrap()));
+    for n in [5usize, 50, 500] {
+        let kernels: Vec<KernelSpec> = (0..n)
+            .map(|i| KernelSpec::new("k", 0.9 / n as f64, 2.0 + i as f64))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("eq2_sequential", n), &kernels, |b, ks| {
+            b.iter(|| estimate_sequential(ks).unwrap())
+        });
+        let groups: Vec<Vec<usize>> = kernels.chunks(4).enumerate()
+            .map(|(gi, ch)| (0..ch.len()).map(|k| gi * 4 + k).collect())
+            .collect();
+        g.bench_with_input(BenchmarkId::new("eq3_grouped", n), &(kernels, groups), |b, (ks, gs)| {
+            b.iter(|| estimate_grouped(ks, gs).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Figure 6 — kernel execution times across machines.
+//!
+//! Prints the quick virtual-time version of the figure's series, then
+//! benches the cost-model evaluation path itself (profiling + costing is
+//! what every experiment run spends its host time on).
+
+use cell_bench::{measure_kernels, ms, SEED};
+use cell_core::{CostModel, MachineProfile, OpClass, OpProfile};
+use criterion::{criterion_group, criterion_main, Criterion};
+use marvel::features::histogram;
+use marvel::image::ColorImage;
+
+fn print_fig6() {
+    let img = ColorImage::synthetic(176, 120, SEED).unwrap();
+    let m = measure_kernels(&img, false).expect("measurement");
+    println!("\nFigure 6 (quick 176x120 reproduction) — times in ms:");
+    println!("  {:<11} {:>9} {:>9} {:>9} {:>9}", "kernel", "Laptop", "Desktop", "PPE", "SPE");
+    for r in &m.rows {
+        println!(
+            "  {:<11} {:>9} {:>9} {:>9} {:>9}",
+            r.kind.name(),
+            ms(r.laptop),
+            ms(r.desktop),
+            ms(r.ppe),
+            ms(r.spe)
+        );
+    }
+    println!();
+}
+
+fn bench_costing(c: &mut Criterion) {
+    print_fig6();
+    let img = ColorImage::synthetic(96, 64, SEED).unwrap();
+    let mut g = c.benchmark_group("fig6_cost_model");
+
+    g.bench_function("counted_extract_ch", |b| {
+        b.iter(|| {
+            let mut prof = OpProfile::new();
+            histogram::extract_counted(&img, &mut prof)
+        })
+    });
+
+    let mut prof = OpProfile::new();
+    let _ = histogram::extract_counted(&img, &mut prof);
+    let machines = [
+        MachineProfile::laptop(),
+        MachineProfile::desktop(),
+        MachineProfile::ppe(),
+        MachineProfile::spe_optimized(),
+    ];
+    g.bench_function("cost_model_eval_4_machines", |b| {
+        b.iter(|| {
+            machines
+                .iter()
+                .map(|m| m.time(&prof).seconds())
+                .sum::<f64>()
+        })
+    });
+
+    g.bench_function("profile_merge", |b| {
+        b.iter(|| {
+            let mut total = OpProfile::new();
+            for _ in 0..100 {
+                total.merge(&prof);
+            }
+            total.count(OpClass::IntAlu)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_costing);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Figure 7 — whole-application speed-ups under the scheduling scenarios.
+//!
+//! Prints the quick virtual-time reproduction of the figure's bars, then
+//! benches a full simulated application round (machine bring-up + one
+//! image + teardown) per scenario — the end-to-end cost of the simulator.
+
+use cell_bench::{measure_app, small_workload, SEED};
+use criterion::{criterion_group, criterion_main, Criterion};
+use marvel::app::{CellMarvel, Scenario};
+use marvel::codec;
+use marvel::image::ColorImage;
+
+fn print_fig7() {
+    println!("\nFigure 7 (quick 176x120, 1 and 3 images):");
+    for n in [1usize, 3] {
+        let inputs = small_workload(n, 176, 120);
+        for scenario in [Scenario::Sequential, Scenario::ParallelExtract] {
+            let run = measure_app(&inputs, scenario).expect("run");
+            println!(
+                "  {n} image(s) {:?}: vs PPE {:.2}  vs Desktop {:.2}  vs Laptop {:.2}",
+                scenario,
+                run.speedup_vs(run.ppe),
+                run.speedup_vs(run.desktop),
+                run.speedup_vs(run.laptop)
+            );
+        }
+    }
+    println!();
+}
+
+fn bench_app(c: &mut Criterion) {
+    print_fig7();
+    let input = codec::encode(&ColorImage::synthetic(96, 64, SEED).unwrap(), 90);
+
+    let mut g = c.benchmark_group("fig7_app_round");
+    g.sample_size(10);
+    for scenario in [Scenario::Sequential, Scenario::ParallelExtract, Scenario::ParallelReplicated]
+    {
+        g.bench_function(format!("{scenario:?}"), |b| {
+            b.iter(|| {
+                let mut cell = CellMarvel::new(scenario, true, SEED).unwrap();
+                let analysis = cell.analyze(&input).unwrap();
+                cell.finish().unwrap();
+                analysis.scores.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_app);
+criterion_main!(benches);

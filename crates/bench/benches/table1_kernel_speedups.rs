@@ -1,0 +1,96 @@
+//! Table 1 — per-kernel SPE-vs-PPE speed-ups.
+//!
+//! The virtual-time reproduction of the table is printed once at startup
+//! (the `experiments` binary prints the full-size version); the Criterion
+//! groups then measure the host cost of each kernel's SIMD implementation
+//! against its scalar reference, which is the work the simulation pays
+//! per iteration.
+
+use cell_bench::{measure_kernels, SEED};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use marvel::features::{correlogram, edge, histogram, texture};
+use marvel::image::ColorImage;
+
+fn print_table1() {
+    let img = ColorImage::synthetic(176, 120, SEED).unwrap();
+    let m = measure_kernels(&img, false).expect("measurement");
+    println!("\nTable 1 (quick 176x120 reproduction; paper values in parens):");
+    for r in &m.rows {
+        println!(
+            "  {:<11} speedup {:6.2} (paper {:6.2})  coverage {:4.1}% (paper {:2.0}%)",
+            r.kind.name(),
+            r.speedup_spe_vs_ppe(),
+            r.kind.paper_speedup(),
+            r.coverage_ppe * 100.0,
+            r.kind.paper_coverage() * 100.0
+        );
+    }
+    println!();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    print_table1();
+    let img = ColorImage::synthetic(96, 64, SEED).unwrap();
+    let bins = correlogram::quantize_image(&img);
+    let gray = img.to_gray();
+
+    let mut g = c.benchmark_group("table1_host_cost");
+    g.sample_size(20);
+
+    g.bench_function("ch_reference", |b| b.iter(|| histogram::extract(&img)));
+    g.bench_function("ch_simd", |b| {
+        b.iter_batched(
+            || (cell_spu::Spu::new(), vec![0u8; img.width() * img.height()]),
+            |(mut spu, mut scratch)| {
+                let mut sl = histogram::SlicedHistogram::new();
+                sl.update_simd(&mut spu, img.data(), &mut scratch);
+                sl.finish()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("cc_reference", |b| b.iter(|| correlogram::extract(&img)));
+    g.bench_function("cc_simd", |b| {
+        b.iter_batched(
+            cell_spu::Spu::new,
+            |mut spu| {
+                let mut acc = correlogram::CorrelogramAcc::new(img.width(), img.height());
+                acc.update_rows_simd(&mut spu, &bins, 0, img.height());
+                acc.finish()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("tx_reference", |b| b.iter(|| texture::extract(&img)));
+    g.bench_function("tx_simd", |b| {
+        b.iter_batched(
+            cell_spu::Spu::new,
+            |mut spu| {
+                let mut acc = texture::TextureAcc::new(gray.width());
+                acc.update_band_simd(&mut spu, gray.data());
+                acc.finish()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("eh_reference", |b| b.iter(|| edge::extract(&img)));
+    g.bench_function("eh_simd", |b| {
+        b.iter_batched(
+            cell_spu::Spu::new,
+            |mut spu| {
+                let mut acc = edge::EdgeAcc::new(gray.width(), gray.height());
+                acc.update_rows_simd(&mut spu, gray.data(), 0, gray.height());
+                acc.finish()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,338 @@
+//! Shared experiment machinery for the paper-reproduction harness.
+//!
+//! Every table and figure of the paper's evaluation maps to a function
+//! here (see DESIGN.md's experiment index); the `experiments` binary and
+//! the Criterion benches are thin layers over these functions.
+
+use cell_core::{CellResult, MachineProfile, VirtualDuration};
+use cell_sys::machine::CellMachine;
+use marvel::app::{CellMarvel, ReferenceMarvel, Scenario, EXTRACT_KINDS};
+use marvel::classify::svm::SvmModel;
+use marvel::codec::{self, Compressed};
+use marvel::features::KernelKind;
+use marvel::image::ColorImage;
+use marvel::kernels::{
+    collect_detect, detect_dispatcher, extract_dispatcher, prepare_detect,
+    prepare_extract,
+};
+use marvel::wire::{upload_image, upload_model};
+use portkit::amdahl::{estimate_grouped, estimate_sequential, KernelSpec};
+use portkit::interface::{ReplyMode, SpeInterface};
+
+/// Default seed for every synthetic artifact in the harness.
+pub const SEED: u64 = 2007;
+
+/// Paper-sized workload: `n` encoded 352×240 images.
+pub fn paper_workload(n: usize) -> Vec<Compressed> {
+    ColorImage::paper_set(n).iter().map(|img| codec::encode(img, 90)).collect()
+}
+
+/// Smaller workload for fast benches.
+pub fn small_workload(n: usize, w: usize, h: usize) -> Vec<Compressed> {
+    (0..n)
+        .map(|i| codec::encode(&ColorImage::synthetic(w, h, SEED + i as u64).unwrap(), 90))
+        .collect()
+}
+
+/// The reference machines of the paper's comparison.
+pub fn reference_machines() -> [MachineProfile; 3] {
+    [MachineProfile::laptop(), MachineProfile::desktop(), MachineProfile::ppe()]
+}
+
+// =========================================================================
+// Per-kernel measurements (Table 1, Fig. 6, §5.3)
+// =========================================================================
+
+/// Virtual time of one extraction kernel on a dedicated SPE.
+pub fn measure_spe_extract(
+    kind: KernelKind,
+    optimized: bool,
+    img: &ColorImage,
+) -> CellResult<VirtualDuration> {
+    let mut m = CellMachine::cell_be();
+    let mut ppe = m.ppe();
+    let (d, ops) = extract_dispatcher(kind, optimized, false, ReplyMode::Polling);
+    let h = m.spawn(0, Box::new(d))?;
+    let mut iface = SpeInterface::new(kind.name(), 0, ReplyMode::Polling);
+    let mem = std::sync::Arc::clone(ppe.mem());
+    let image_ea = upload_image(&mem, img)?;
+    let (wrapper, _wire) = prepare_extract(&mem, kind, image_ea, img.width(), img.height())?;
+    let t0 = ppe.elapsed();
+    iface.send_and_wait(&mut ppe, ops.extract, wrapper.addr_word()?)?;
+    let t1 = ppe.elapsed();
+    wrapper.free()?;
+    mem.free(image_ea)?;
+    iface.close(&mut ppe)?;
+    h.join()?;
+    Ok(t1 - t0)
+}
+
+/// Virtual time of the full concept-detection step (all four features) on
+/// a dedicated SPE.
+pub fn measure_spe_detect(
+    features: &[(KernelKind, Vec<f32>)],
+    models: &marvel::app::MarvelModels,
+) -> CellResult<VirtualDuration> {
+    let mut m = CellMachine::cell_be();
+    let mut ppe = m.ppe();
+    let (d, op) = detect_dispatcher(ReplyMode::Polling);
+    let h = m.spawn(0, Box::new(d))?;
+    let mut iface = SpeInterface::new("cd", 0, ReplyMode::Polling);
+    let mem = std::sync::Arc::clone(ppe.mem());
+    let mut total = VirtualDuration::ZERO;
+    for (kind, feature) in features {
+        let (model_ea, model_bytes) = upload_model(&mem, models.get(*kind))?;
+        let (dw, dwire) = prepare_detect(&mem, feature, model_ea, model_bytes)?;
+        let t0 = ppe.elapsed();
+        iface.send_and_wait(&mut ppe, op, dw.addr_word()?)?;
+        total += ppe.elapsed() - t0;
+        let _ = collect_detect(&dw, &dwire)?;
+        dw.free()?;
+        mem.free(model_ea)?;
+    }
+    iface.close(&mut ppe)?;
+    h.join()?;
+    Ok(total)
+}
+
+/// One kernel's cross-machine measurement.
+#[derive(Debug, Clone)]
+pub struct KernelRow {
+    pub kind: KernelKind,
+    pub laptop: VirtualDuration,
+    pub desktop: VirtualDuration,
+    pub ppe: VirtualDuration,
+    pub spe: VirtualDuration,
+    pub spe_unoptimized: Option<VirtualDuration>,
+    /// Measured coverage of per-image compute time on the PPE.
+    pub coverage_ppe: f64,
+}
+
+impl KernelRow {
+    pub fn speedup_spe_vs_ppe(&self) -> f64 {
+        self.ppe.seconds() / self.spe.seconds()
+    }
+
+    pub fn speedup_unopt_vs_ppe(&self) -> Option<f64> {
+        self.spe_unoptimized.map(|t| self.ppe.seconds() / t.seconds())
+    }
+
+    pub fn speedup_spe_vs_desktop(&self) -> f64 {
+        self.desktop.seconds() / self.spe.seconds()
+    }
+}
+
+/// Everything measured for one image: the five kernel rows plus the
+/// PPE-resident preprocessing times per reference machine.
+#[derive(Debug, Clone)]
+pub struct KernelMeasurements {
+    pub rows: Vec<KernelRow>,
+    /// Preprocess (decode) time on laptop / desktop / ppe.
+    pub preprocess: [VirtualDuration; 3],
+}
+
+/// Measure all five kernels across all machines for one image — the data
+/// behind Table 1, Figure 6 and the §5.3 unoptimized comparison.
+pub fn measure_kernels(img: &ColorImage, with_unoptimized: bool) -> CellResult<KernelMeasurements> {
+    // Reference profiles for the Laptop/Desktop/PPE columns.
+    let input = codec::encode(img, 90);
+    let mut reference = ReferenceMarvel::new(SEED);
+    let analysis = reference.analyze(&input)?;
+    let coverage = reference.coverage(&MachineProfile::ppe())?;
+    let cov = |name: &str| {
+        coverage.iter().find(|r| r.name == name).map(|r| r.fraction).unwrap_or(0.0)
+    };
+
+    let mut rows = Vec::new();
+    for kind in EXTRACT_KINDS {
+        let spe = measure_spe_extract(kind, true, img)?;
+        let spe_unoptimized = if with_unoptimized && kind != KernelKind::Tx {
+            Some(measure_spe_extract(kind, false, img)?)
+        } else {
+            None
+        };
+        rows.push(KernelRow {
+            kind,
+            laptop: reference.phase_time(&MachineProfile::laptop(), kind.name())?,
+            desktop: reference.phase_time(&MachineProfile::desktop(), kind.name())?,
+            ppe: reference.phase_time(&MachineProfile::ppe(), kind.name())?,
+            spe,
+            spe_unoptimized,
+            coverage_ppe: cov(kind.name()),
+        });
+    }
+    // Concept detection.
+    let spe_cd = measure_spe_detect(&analysis.features, reference.models())?;
+    rows.push(KernelRow {
+        kind: KernelKind::Cd,
+        laptop: reference.phase_time(&MachineProfile::laptop(), KernelKind::Cd.name())?,
+        desktop: reference.phase_time(&MachineProfile::desktop(), KernelKind::Cd.name())?,
+        ppe: reference.phase_time(&MachineProfile::ppe(), KernelKind::Cd.name())?,
+        spe: spe_cd,
+        spe_unoptimized: None,
+        coverage_ppe: cov(KernelKind::Cd.name()),
+    });
+    let preprocess = [
+        reference.phase_time(&MachineProfile::laptop(), "Preprocess")?,
+        reference.phase_time(&MachineProfile::desktop(), "Preprocess")?,
+        reference.phase_time(&MachineProfile::ppe(), "Preprocess")?,
+    ];
+    Ok(KernelMeasurements { rows, preprocess })
+}
+
+// =========================================================================
+// Application-level measurements (Fig. 7, §5.5)
+// =========================================================================
+
+/// One full-application measurement.
+#[derive(Debug, Clone)]
+pub struct AppRun {
+    pub scenario: Scenario,
+    pub images: usize,
+    /// Cell wall time (one-time overhead + per-image work).
+    pub cell: VirtualDuration,
+    /// Reference wall times: laptop, desktop, ppe.
+    pub laptop: VirtualDuration,
+    pub desktop: VirtualDuration,
+    pub ppe: VirtualDuration,
+}
+
+impl AppRun {
+    pub fn speedup_vs(&self, reference: VirtualDuration) -> f64 {
+        reference.seconds() / self.cell.seconds()
+    }
+}
+
+/// Run the ported application on `inputs` under `scenario` and the
+/// reference application over the same inputs; returns both *processing*
+/// times (the one-time overhead is excluded on both sides, like the
+/// paper's Fig. 7 comparison).
+pub fn measure_app(inputs: &[Compressed], scenario: Scenario) -> CellResult<AppRun> {
+    measure_app_inner(inputs, scenario, false)
+}
+
+/// Like [`measure_app`] but with the pipelined batch mode (PPE decodes
+/// image *i+1* while the SPEs process image *i*) — the Fig. 4(c)
+/// PPE+SPE-concurrency extension.
+pub fn measure_app_pipelined(inputs: &[Compressed]) -> CellResult<AppRun> {
+    measure_app_inner(inputs, Scenario::ParallelExtract, true)
+}
+
+fn measure_app_inner(inputs: &[Compressed], scenario: Scenario, pipelined: bool) -> CellResult<AppRun> {
+    let mut cell = CellMarvel::new(scenario, true, SEED)?;
+    if pipelined {
+        cell.analyze_batch_pipelined(inputs)?;
+    } else {
+        for input in inputs {
+            cell.analyze(input)?;
+        }
+    }
+    let (cell_time, _reports) = cell.finish()?;
+
+    let mut reference = ReferenceMarvel::new(SEED);
+    for input in inputs {
+        reference.analyze(input)?;
+    }
+    Ok(AppRun {
+        scenario,
+        images: inputs.len(),
+        cell: cell_time,
+        laptop: reference.processing_time(&MachineProfile::laptop())?,
+        desktop: reference.processing_time(&MachineProfile::desktop())?,
+        ppe: reference.processing_time(&MachineProfile::ppe())?,
+    })
+}
+
+// =========================================================================
+// Analytic estimates (§4.2, §5.5)
+// =========================================================================
+
+/// Kernel specs (coverage + speed-up vs the Desktop) derived from the
+/// measured kernel rows, for the Eq. 2/3 estimates. Coverage fractions
+/// are shares of per-image Desktop compute time (kernels + preprocess).
+pub fn kernel_specs_vs_desktop(m: &KernelMeasurements) -> Vec<KernelSpec> {
+    let total: f64 =
+        m.rows.iter().map(|r| r.desktop.seconds()).sum::<f64>() + m.preprocess[1].seconds();
+    m.rows
+        .iter()
+        .map(|r| {
+            KernelSpec::new(
+                r.kind.name(),
+                (r.desktop.seconds() / total).min(0.999),
+                r.speedup_spe_vs_desktop(),
+            )
+        })
+        .collect()
+}
+
+/// The three §5.5 scenario estimates from kernel specs.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioEstimates {
+    pub single_spe: f64,
+    pub multi_spe: f64,
+    pub multi_spe2: f64,
+}
+
+pub fn scenario_estimates(specs: &[KernelSpec]) -> CellResult<ScenarioEstimates> {
+    // Kernel order: CH, CC, TX, EH, CD.
+    Ok(ScenarioEstimates {
+        single_spe: estimate_sequential(specs)?,
+        multi_spe: estimate_grouped(specs, &[vec![0, 1, 2, 3], vec![4]])?,
+        multi_spe2: estimate_grouped(specs, &[vec![0, 1, 2, 3, 4]])?,
+    })
+}
+
+// =========================================================================
+// Small helpers for the binary
+// =========================================================================
+
+/// `paper vs measured` formatting with a ratio.
+pub fn fmt_vs(paper: f64, measured: f64) -> String {
+    format!("{paper:>8.2} | {measured:>8.2} | {:>5.2}x", measured / paper)
+}
+
+/// Format a duration in ms.
+pub fn ms(d: VirtualDuration) -> String {
+    format!("{:.3}", d.millis())
+}
+
+/// Quick single-kernel SIMD-vs-reference host check used by benches.
+pub fn verify_feature_equality(img: &ColorImage) -> bool {
+    let a = marvel::features::histogram::extract(img);
+    let mut sl = marvel::features::histogram::SlicedHistogram::new();
+    sl.update(img.data());
+    a == sl.finish()
+}
+
+/// Build a detect-ready model quickly (benches).
+pub fn bench_model(dim: usize, n: usize) -> SvmModel {
+    SvmModel::synthetic("bench", dim, n, SEED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = small_workload(2, 32, 32);
+        let b = small_workload(2, 32, 32);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0], b[0]);
+    }
+
+    #[test]
+    fn measure_small_kernel_roundtrip() {
+        let img = ColorImage::synthetic(48, 32, 1).unwrap();
+        let t = measure_spe_extract(KernelKind::Ch, true, &img).unwrap();
+        assert!(t.seconds() > 0.0);
+    }
+
+    #[test]
+    fn app_measurement_produces_speedups() {
+        let inputs = small_workload(1, 48, 32);
+        let run = measure_app(&inputs, Scenario::Sequential).unwrap();
+        assert!(run.cell.seconds() > 0.0);
+        assert!(run.ppe.seconds() > run.desktop.seconds());
+    }
+}

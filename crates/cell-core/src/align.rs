@@ -1,0 +1,127 @@
+//! Alignment arithmetic for Cell DMA and local-store addressing.
+//!
+//! The MFC requires source and destination addresses of a DMA transfer to
+//! share the same 16-byte (quadword) offset, transfers of 1, 2, 4 or 8
+//! bytes to be naturally aligned, and larger transfers to be multiples of
+//! 16 bytes. Peak EIB efficiency needs 128-byte (cache-line) alignment.
+//! These rules are enforced by `cell-mfc`; the raw arithmetic lives here.
+
+/// Quadword size — the minimum useful DMA alignment on Cell.
+pub const QUADWORD: usize = 16;
+
+/// PPE cache-line size — the alignment at which DMA bandwidth peaks.
+pub const CACHE_LINE: usize = 128;
+
+/// Round `value` up to the next multiple of `align`.
+///
+/// `align` must be a power of two; this is asserted because every caller in
+/// the simulator passes a hardware constant and a non-power-of-two would be
+/// a programming error, not a runtime condition.
+#[inline]
+pub fn align_up(value: usize, align: usize) -> usize {
+    assert!(align.is_power_of_two(), "alignment {align} is not a power of two");
+    (value + align - 1) & !(align - 1)
+}
+
+/// Round `value` down to the previous multiple of `align` (power of two).
+#[inline]
+pub fn align_down(value: usize, align: usize) -> usize {
+    assert!(align.is_power_of_two(), "alignment {align} is not a power of two");
+    value & !(align - 1)
+}
+
+/// Whether `value` is a multiple of `align` (power of two).
+#[inline]
+pub fn is_aligned(value: usize, align: usize) -> bool {
+    assert!(align.is_power_of_two(), "alignment {align} is not a power of two");
+    value & (align - 1) == 0
+}
+
+/// Whether a DMA transfer of `size` bytes starting at `addr` is legal under
+/// the MFC rules (ignoring the 16 KB size cap, which is a queue-level
+/// check):
+///
+/// * sizes 1, 2, 4, 8: the address must be naturally aligned to the size;
+/// * any other size: it must be a multiple of 16 and the address
+///   quadword-aligned.
+#[inline]
+pub fn dma_transfer_legal(addr: u64, size: usize) -> bool {
+    match size {
+        0 => false,
+        1 => true,
+        2 | 4 | 8 => addr.is_multiple_of(size as u64),
+        _ => size.is_multiple_of(QUADWORD) && addr.is_multiple_of(QUADWORD as u64),
+    }
+}
+
+/// Number of 128-bit quadwords needed to hold `bytes` bytes.
+#[inline]
+pub fn quadwords_for(bytes: usize) -> usize {
+    align_up(bytes, QUADWORD) / QUADWORD
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_up_basics() {
+        assert_eq!(align_up(0, 16), 0);
+        assert_eq!(align_up(1, 16), 16);
+        assert_eq!(align_up(16, 16), 16);
+        assert_eq!(align_up(17, 16), 32);
+        assert_eq!(align_up(100, 128), 128);
+    }
+
+    #[test]
+    fn align_down_basics() {
+        assert_eq!(align_down(0, 16), 0);
+        assert_eq!(align_down(15, 16), 0);
+        assert_eq!(align_down(16, 16), 16);
+        assert_eq!(align_down(130, 128), 128);
+    }
+
+    #[test]
+    fn is_aligned_basics() {
+        assert!(is_aligned(0, 16));
+        assert!(is_aligned(128, 16));
+        assert!(!is_aligned(8, 16));
+        assert!(is_aligned(8, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn align_up_rejects_npot() {
+        let _ = align_up(5, 12);
+    }
+
+    #[test]
+    fn dma_legality_small_sizes() {
+        assert!(dma_transfer_legal(0x1000, 1));
+        assert!(dma_transfer_legal(0x1001, 1));
+        assert!(dma_transfer_legal(0x1002, 2));
+        assert!(!dma_transfer_legal(0x1001, 2));
+        assert!(dma_transfer_legal(0x1004, 4));
+        assert!(!dma_transfer_legal(0x1002, 4));
+        assert!(dma_transfer_legal(0x1008, 8));
+        assert!(!dma_transfer_legal(0x1004, 8));
+    }
+
+    #[test]
+    fn dma_legality_bulk_sizes() {
+        assert!(dma_transfer_legal(0x1000, 16));
+        assert!(dma_transfer_legal(0x1000, 16 * 1024));
+        assert!(!dma_transfer_legal(0x1008, 16)); // address not quadword aligned
+        assert!(!dma_transfer_legal(0x1000, 24)); // size not multiple of 16
+        assert!(!dma_transfer_legal(0x1000, 0));
+    }
+
+    #[test]
+    fn quadword_counts() {
+        assert_eq!(quadwords_for(0), 0);
+        assert_eq!(quadwords_for(1), 1);
+        assert_eq!(quadwords_for(16), 1);
+        assert_eq!(quadwords_for(17), 2);
+        assert_eq!(quadwords_for(4096), 256);
+    }
+}

@@ -1,0 +1,125 @@
+//! Per-component virtual clocks.
+//!
+//! Each simulated core (the PPE, every SPE) owns a [`VirtualClock`] that
+//! only moves forward when the component does costed work: executing
+//! instructions (via a cost model), waiting for a DMA tag group, or
+//! blocking on a mailbox. Comparing two components' clocks is meaningful
+//! because both are derived from the same virtual time origin.
+
+use crate::cycles::{Cycles, Frequency, VirtualDuration};
+
+/// A forward-only clock counting cycles at a fixed frequency.
+#[derive(Debug, Clone)]
+pub struct VirtualClock {
+    now: u64,
+    freq: Frequency,
+}
+
+impl VirtualClock {
+    pub fn new(freq: Frequency) -> Self {
+        VirtualClock { now: 0, freq }
+    }
+
+    /// Current time in this clock's cycles.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    #[inline]
+    pub fn frequency(&self) -> Frequency {
+        self.freq
+    }
+
+    /// Current time as a duration since the origin.
+    pub fn elapsed(&self) -> VirtualDuration {
+        Cycles(self.now).at(self.freq)
+    }
+
+    /// Advance by `cycles` of work.
+    #[inline]
+    pub fn advance(&mut self, cycles: Cycles) {
+        self.now = self.now.saturating_add(cycles.get());
+    }
+
+    /// Move forward *to* an absolute cycle count (no-op if already past —
+    /// waiting on something that already completed costs nothing).
+    #[inline]
+    pub fn advance_to(&mut self, at: u64) {
+        self.now = self.now.max(at);
+    }
+
+    /// Convert a time on this clock into the equivalent cycle count on a
+    /// clock of `other` frequency (rounding up: the event is not visible
+    /// until the tick after it happened).
+    pub fn translate_to(&self, other: Frequency) -> u64 {
+        convert_cycles(self.now, self.freq, other)
+    }
+
+    /// Convert an absolute cycle stamp on a clock of `from` frequency into
+    /// this clock's cycles (rounding up).
+    pub fn stamp_from(&self, stamp: u64, from: Frequency) -> u64 {
+        convert_cycles(stamp, from, self.freq)
+    }
+
+    /// Reset to the origin (used between benchmark iterations).
+    pub fn reset(&mut self) {
+        self.now = 0;
+    }
+}
+
+/// Convert a cycle count between clock domains, rounding up but immune to
+/// the one-ulp float noise of an exact ratio (e.g. 3.2 GHz ↔ 1.6 GHz).
+fn convert_cycles(cycles: u64, from: Frequency, to: Frequency) -> u64 {
+    let exact = cycles as f64 * (to.hertz() / from.hertz());
+    (exact - 1e-6).ceil().max(0.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_and_reports_elapsed() {
+        let mut c = VirtualClock::new(Frequency::ghz(3.2));
+        c.advance(Cycles(3_200_000));
+        assert_eq!(c.now(), 3_200_000);
+        assert!((c.elapsed().millis() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let mut c = VirtualClock::new(Frequency::ghz(1.0));
+        c.advance(Cycles(100));
+        c.advance_to(50);
+        assert_eq!(c.now(), 100);
+        c.advance_to(150);
+        assert_eq!(c.now(), 150);
+    }
+
+    #[test]
+    fn translate_between_core_and_bus_clocks() {
+        // SPU at 3.2 GHz, bus at 1.6 GHz: bus cycles are half the count.
+        let mut spu = VirtualClock::new(Frequency::ghz(3.2));
+        spu.advance(Cycles(1000));
+        assert_eq!(spu.translate_to(Frequency::ghz(1.6)), 500);
+        // And back: a bus stamp of 500 is SPU cycle 1000.
+        assert_eq!(spu.stamp_from(500, Frequency::ghz(1.6)), 1000);
+    }
+
+    #[test]
+    fn translation_rounds_up() {
+        let mut c = VirtualClock::new(Frequency::ghz(3.2));
+        c.advance(Cycles(1));
+        // 1 SPU cycle = 0.5 bus cycles → visible at bus cycle 1.
+        assert_eq!(c.translate_to(Frequency::ghz(1.6)), 1);
+    }
+
+    #[test]
+    fn reset_returns_to_origin() {
+        let mut c = VirtualClock::new(Frequency::ghz(2.0));
+        c.advance(Cycles(42));
+        c.reset();
+        assert_eq!(c.now(), 0);
+    }
+}

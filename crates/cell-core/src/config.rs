@@ -1,0 +1,241 @@
+//! Machine geometry: how big the simulated Cell is.
+//!
+//! Defaults follow the Cell B.E. as described in §2 of the paper: one PPE,
+//! eight SPEs, 256 KB of local store per SPE, a 204.8 GB/s-peak EIB, and an
+//! MFC with a 16-entry command queue and a 16 KB single-transfer cap.
+
+use crate::cycles::Frequency;
+use crate::error::{CellError, CellResult};
+
+/// Default local-store capacity: 256 KB for both code and data (paper §2).
+pub const LOCAL_STORE_SIZE: usize = 256 * 1024;
+
+/// Default number of SPEs on a Cell B.E.
+pub const NUM_SPES: usize = 8;
+
+/// Maximum size of a single DMA transfer.
+pub const DMA_MAX_TRANSFER: usize = 16 * 1024;
+
+/// Depth of the per-SPE MFC command queue.
+pub const MFC_QUEUE_DEPTH: usize = 16;
+
+/// Maximum number of elements in one DMA list.
+pub const DMA_LIST_MAX_ELEMENTS: usize = 2048;
+
+/// DMA engine parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DmaConfig {
+    /// Single-transfer size cap in bytes.
+    pub max_transfer: usize,
+    /// MFC command-queue depth.
+    pub queue_depth: usize,
+    /// Maximum DMA-list length.
+    pub list_max_elements: usize,
+    /// Fixed per-command latency in bus cycles (command phase, snooping).
+    pub startup_bus_cycles: u64,
+}
+
+impl Default for DmaConfig {
+    fn default() -> Self {
+        DmaConfig {
+            max_transfer: DMA_MAX_TRANSFER,
+            queue_depth: MFC_QUEUE_DEPTH,
+            list_max_elements: DMA_LIST_MAX_ELEMENTS,
+            startup_bus_cycles: 100,
+        }
+    }
+}
+
+/// Element Interconnect Bus parameters.
+///
+/// The EIB runs at half the core clock and moves 16 bytes per ring per
+/// cycle; four data rings with up to three concurrent transfers each give
+/// the theoretical 204.8 GB/s aggregate peak quoted in the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EibConfig {
+    /// Bus clock (1.6 GHz on a 3.2 GHz Cell).
+    pub bus_frequency: Frequency,
+    /// Number of data rings (4 on Cell: two per direction).
+    pub rings: usize,
+    /// Concurrent transfers each ring can carry (3 on Cell, if their
+    /// paths do not overlap; we model the cap, not the topology).
+    pub transfers_per_ring: usize,
+    /// Payload bytes a transfer moves per bus cycle (16 on Cell).
+    pub bytes_per_cycle: usize,
+    /// Command-bus (snoop) limit: the address network can start at most one
+    /// 128-byte transaction per bus cycle, which is what caps the EIB at
+    /// the paper's 204.8 GB/s figure even though the rings could carry more.
+    pub snoop_bytes_per_cycle: usize,
+}
+
+impl Default for EibConfig {
+    fn default() -> Self {
+        EibConfig {
+            bus_frequency: Frequency::ghz(1.6),
+            rings: 4,
+            transfers_per_ring: 3,
+            bytes_per_cycle: 16,
+            snoop_bytes_per_cycle: 128,
+        }
+    }
+}
+
+impl EibConfig {
+    /// Raw ring capacity in bytes/second, ignoring the command bus.
+    pub fn ring_capacity(&self) -> f64 {
+        self.bus_frequency.hertz()
+            * (self.rings * self.transfers_per_ring * self.bytes_per_cycle) as f64
+    }
+
+    /// Theoretical aggregate peak bandwidth in bytes/second: the smaller of
+    /// ring capacity and the snoop limit (204.8 GB/s with Cell defaults).
+    pub fn peak_bandwidth(&self) -> f64 {
+        let snoop = self.bus_frequency.hertz() * self.snoop_bytes_per_cycle as f64;
+        self.ring_capacity().min(snoop)
+    }
+}
+
+/// Full machine geometry.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Number of SPEs (8 on a Cell B.E.; 6 usable on a PS3).
+    pub num_spes: usize,
+    /// Local-store bytes per SPE.
+    pub local_store_size: usize,
+    /// Bytes reserved at the bottom of each local store for kernel code;
+    /// the porting strategy requires kernels to fit code + data in 256 KB.
+    pub code_reserved: usize,
+    /// Simulated main-memory capacity.
+    pub main_memory_size: usize,
+    /// Core clock for the PPE and SPEs.
+    pub core_frequency: Frequency,
+    pub dma: DmaConfig,
+    pub eib: EibConfig,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            num_spes: NUM_SPES,
+            local_store_size: LOCAL_STORE_SIZE,
+            code_reserved: 32 * 1024,
+            main_memory_size: 256 * 1024 * 1024,
+            core_frequency: Frequency::ghz(3.2),
+            dma: DmaConfig::default(),
+            eib: EibConfig::default(),
+        }
+    }
+}
+
+impl MachineConfig {
+    /// Validate the configuration, returning it for chaining.
+    pub fn validate(self) -> CellResult<Self> {
+        if self.num_spes == 0 || self.num_spes > 64 {
+            return Err(CellError::BadConfig {
+                message: format!("num_spes must be 1..=64, got {}", self.num_spes),
+            });
+        }
+        if self.local_store_size < 4096 || !self.local_store_size.is_power_of_two() {
+            return Err(CellError::BadConfig {
+                message: format!(
+                    "local_store_size must be a power of two >= 4096, got {}",
+                    self.local_store_size
+                ),
+            });
+        }
+        if self.code_reserved >= self.local_store_size {
+            return Err(CellError::BadConfig {
+                message: format!(
+                    "code_reserved ({}) must leave data room in the {} B local store",
+                    self.code_reserved, self.local_store_size
+                ),
+            });
+        }
+        if self.main_memory_size < self.local_store_size {
+            return Err(CellError::BadConfig {
+                message: "main memory smaller than one local store".to_string(),
+            });
+        }
+        if self.dma.max_transfer == 0 || !self.dma.max_transfer.is_multiple_of(16) {
+            return Err(CellError::BadConfig {
+                message: format!("dma.max_transfer must be a positive multiple of 16, got {}", self.dma.max_transfer),
+            });
+        }
+        Ok(self)
+    }
+
+    /// Local-store bytes available to kernel *data* after the code reserve.
+    pub fn ls_data_capacity(&self) -> usize {
+        self.local_store_size - self.code_reserved
+    }
+
+    /// A small configuration for fast unit tests: 2 SPEs, 64 KB LS, 4 MB
+    /// main memory.
+    pub fn small() -> Self {
+        MachineConfig {
+            num_spes: 2,
+            local_store_size: 64 * 1024,
+            code_reserved: 8 * 1024,
+            main_memory_size: 4 * 1024 * 1024,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_a_cell_be() {
+        let c = MachineConfig::default().validate().unwrap();
+        assert_eq!(c.num_spes, 8);
+        assert_eq!(c.local_store_size, 256 * 1024);
+        assert_eq!(c.dma.max_transfer, 16 * 1024);
+    }
+
+    #[test]
+    fn eib_peak_is_204_8_gbs() {
+        let peak = EibConfig::default().peak_bandwidth();
+        assert!((peak - 204.8e9).abs() < 1e6, "peak {peak} != 204.8 GB/s");
+    }
+
+    #[test]
+    fn validate_rejects_zero_spes() {
+        let c = MachineConfig { num_spes: 0, ..Default::default() };
+        assert!(matches!(c.validate(), Err(CellError::BadConfig { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_npot_local_store() {
+        let c = MachineConfig { local_store_size: 100_000, ..Default::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_code_reserve_eating_all_ls() {
+        let c = MachineConfig {
+            code_reserved: LOCAL_STORE_SIZE,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unaligned_max_transfer() {
+        let mut c = MachineConfig::default();
+        c.dma.max_transfer = 1000;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn data_capacity_subtracts_code() {
+        let c = MachineConfig::default();
+        assert_eq!(c.ls_data_capacity(), 256 * 1024 - 32 * 1024);
+    }
+
+    #[test]
+    fn small_config_is_valid() {
+        assert!(MachineConfig::small().validate().is_ok());
+    }
+}

@@ -1,0 +1,137 @@
+//! The error vocabulary of the simulator.
+//!
+//! Everything that can fail in the machine model fails loudly and with the
+//! operands that caused it, because in the porting workflow the common
+//! mistakes are exactly these: a wrapper struct that lost its alignment, a
+//! slice that no longer fits the local store, a DMA size that is not a
+//! quadword multiple (paper §3.3–3.4 call these out explicitly).
+
+use std::fmt;
+
+/// Shorthand result type used across the workspace.
+pub type CellResult<T> = Result<T, CellError>;
+
+/// Every failure mode of the simulated machine and the porting kit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellError {
+    /// An address or size violated a DMA alignment rule.
+    Misaligned {
+        what: &'static str,
+        addr: u64,
+        required: usize,
+    },
+    /// A DMA transfer size was illegal (zero, not a legal small size, not a
+    /// multiple of 16, or above the 16 KB single-transfer cap).
+    BadDmaSize { size: usize },
+    /// An access fell outside the 256 KB local store.
+    LocalStoreOverflow { offset: u32, len: usize, capacity: usize },
+    /// An access fell outside simulated main memory.
+    MainMemoryOutOfBounds { addr: u64, len: usize, capacity: usize },
+    /// The main-memory allocator could not satisfy a request.
+    OutOfMemory { requested: usize, align: usize },
+    /// Freeing an address that was never allocated (or double free).
+    BadFree { addr: u64 },
+    /// The 16-entry MFC command queue was full and the issue mode forbade
+    /// blocking.
+    MfcQueueFull,
+    /// A DMA list exceeded the 2048-element architectural limit.
+    DmaListTooLong { elements: usize },
+    /// A tag group id outside 0..=31.
+    BadTagGroup { tag: u32 },
+    /// A mailbox operation failed (e.g. reading from a detached SPE).
+    MailboxClosed,
+    /// A mailbox write would block and the caller requested non-blocking.
+    MailboxFull,
+    /// A mailbox read would block and the caller requested non-blocking.
+    MailboxEmpty,
+    /// No SPE was available for static kernel scheduling.
+    NoSpeAvailable { requested: usize, available: usize },
+    /// An SPE kernel dispatcher received an opcode it has no handler for.
+    UnknownOpcode { opcode: u32 },
+    /// An SPE program terminated with a failure status.
+    SpeFault { spe: usize, message: String },
+    /// The `Wait` on an SPE result timed out (virtual-time timeout).
+    Timeout { what: &'static str },
+    /// A kernel specification was inconsistent (e.g. coverage fractions
+    /// summing above 1.0 in the Amdahl estimator).
+    BadKernelSpec { message: String },
+    /// A configuration value was out of its legal range.
+    BadConfig { message: String },
+    /// Image or model data failed validation.
+    BadData { message: String },
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellError::Misaligned { what, addr, required } => {
+                write!(f, "{what} address {addr:#x} is not {required}-byte aligned")
+            }
+            CellError::BadDmaSize { size } => {
+                write!(f, "illegal DMA transfer size {size} (must be 1,2,4,8 or a multiple of 16, at most 16384)")
+            }
+            CellError::LocalStoreOverflow { offset, len, capacity } => {
+                write!(f, "local store access [{offset:#x}; {len}) exceeds capacity {capacity:#x}")
+            }
+            CellError::MainMemoryOutOfBounds { addr, len, capacity } => {
+                write!(f, "main memory access [{addr:#x}; {len}) exceeds capacity {capacity:#x}")
+            }
+            CellError::OutOfMemory { requested, align } => {
+                write!(f, "main memory allocator exhausted: {requested} bytes @ align {align}")
+            }
+            CellError::BadFree { addr } => write!(f, "free of unallocated address {addr:#x}"),
+            CellError::MfcQueueFull => write!(f, "MFC command queue full (16 entries)"),
+            CellError::DmaListTooLong { elements } => {
+                write!(f, "DMA list has {elements} elements; the MFC limit is 2048")
+            }
+            CellError::BadTagGroup { tag } => write!(f, "tag group {tag} out of range 0..=31"),
+            CellError::MailboxClosed => write!(f, "mailbox peer has shut down"),
+            CellError::MailboxFull => write!(f, "mailbox full"),
+            CellError::MailboxEmpty => write!(f, "mailbox empty"),
+            CellError::NoSpeAvailable { requested, available } => {
+                write!(f, "static schedule needs {requested} SPEs but only {available} exist")
+            }
+            CellError::UnknownOpcode { opcode } => {
+                write!(f, "SPE dispatcher received unknown opcode {opcode:#x}")
+            }
+            CellError::SpeFault { spe, message } => write!(f, "SPE {spe} faulted: {message}"),
+            CellError::Timeout { what } => write!(f, "timed out waiting for {what}"),
+            CellError::BadKernelSpec { message } => write!(f, "bad kernel specification: {message}"),
+            CellError::BadConfig { message } => write!(f, "bad configuration: {message}"),
+            CellError::BadData { message } => write!(f, "bad data: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CellError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = CellError::Misaligned { what: "DMA source", addr: 0x1001, required: 16 };
+        assert_eq!(e.to_string(), "DMA source address 0x1001 is not 16-byte aligned");
+
+        let e = CellError::LocalStoreOverflow { offset: 0x3_fff0, len: 64, capacity: 0x4_0000 };
+        assert!(e.to_string().contains("0x3fff0"));
+        assert!(e.to_string().contains("0x40000"));
+
+        let e = CellError::NoSpeAvailable { requested: 9, available: 8 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('8'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&CellError::MfcQueueFull);
+    }
+
+    #[test]
+    fn errors_compare_equal_by_payload() {
+        assert_eq!(CellError::BadDmaSize { size: 3 }, CellError::BadDmaSize { size: 3 });
+        assert_ne!(CellError::BadDmaSize { size: 3 }, CellError::BadDmaSize { size: 5 });
+    }
+}

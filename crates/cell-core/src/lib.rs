@@ -1,0 +1,41 @@
+//! Foundation types shared by every crate in the Cell B.E. simulation stack.
+//!
+//! The Cell Broadband Engine simulator in this workspace reproduces the
+//! environment assumed by *"An Effective Strategy for Porting C++
+//! Applications on Cell"* (ICPP 2007). This crate holds the pieces that
+//! everything else builds on:
+//!
+//! * [`cycles`] — virtual-time arithmetic ([`Cycles`], [`Frequency`],
+//!   [`VirtualDuration`]): the simulator never consults the wall clock for
+//!   results, every reported time is derived from cycle accounting.
+//! * [`align`] — Cell alignment math. DMA on Cell requires 16-byte
+//!   (quadword) alignment and peaks at 128-byte alignment; the local store
+//!   is addressed with wrap-around semantics.
+//! * [`ops`] — [`OpProfile`]: the operation-count vocabulary kernels use to
+//!   describe their work to the cost models.
+//! * [`machine`] — the calibrated per-machine cost tables (Laptop, Desktop,
+//!   PPE, SPE) that convert an [`OpProfile`] plus DMA traffic into cycles.
+//! * [`config`] — machine geometry (number of SPEs, LS size, EIB and DMA
+//!   parameters).
+//! * [`error`] — the shared error type.
+//! * [`rng`] — a small deterministic SplitMix64 generator used where
+//!   substrates need reproducible pseudo-randomness without pulling in a
+//!   full RNG crate.
+
+pub mod align;
+pub mod clock;
+pub mod config;
+pub mod cycles;
+pub mod error;
+pub mod machine;
+pub mod ops;
+pub mod rng;
+
+pub use align::{align_down, align_up, dma_transfer_legal, is_aligned, quadwords_for, CACHE_LINE, QUADWORD};
+pub use clock::VirtualClock;
+pub use config::{DmaConfig, EibConfig, MachineConfig};
+pub use cycles::{Cycles, Frequency, VirtualDuration};
+pub use error::{CellError, CellResult};
+pub use machine::{CostModel, MachineKind, MachineProfile};
+pub use ops::{OpClass, OpProfile};
+pub use rng::SplitMix64;

@@ -1,0 +1,26 @@
+//! Memory models for the simulated Cell B.E.
+//!
+//! Two address spaces exist on Cell, and keeping them apart is the crux of
+//! the porting strategy this workspace reproduces:
+//!
+//! * **Main memory** ([`MainMemory`]) — the XDR system memory. The PPE
+//!   reads and writes it directly; SPEs can reach it *only* through DMA.
+//!   The simulator exposes an aligned allocator (the `malloc_align` of the
+//!   paper's listings) because DMA requires 16-byte alignment and rewards
+//!   128-byte alignment.
+//! * **Local store** ([`LocalStore`]) — 256 KB per SPE, holding both code
+//!   and data, managed entirely by the application (paper §2). The model
+//!   enforces capacity and alignment, and provides the bump allocator
+//!   kernels use to lay out their buffers.
+//!
+//! [`layout`] holds [`layout::StructLayout`], the tool for
+//! building the "data wrapper" structures of paper §3.3: all member data a
+//! kernel needs, packed contiguously and aligned for DMA.
+
+pub mod layout;
+pub mod localstore;
+pub mod mainmem;
+
+pub use layout::{FieldId, StructLayout};
+pub use localstore::{LocalStore, LsAddr};
+pub use mainmem::MainMemory;

@@ -1,0 +1,785 @@
+//! DMA commands, tag groups, and the MFC command queue.
+//!
+//! Semantics reproduced from the Cell architecture documents the paper
+//! relies on:
+//!
+//! * single transfers move 1, 2, 4, 8 or a multiple of 16 bytes, capped at
+//!   16 KB, with naturally aligned addresses (quadword alignment for bulk
+//!   transfers; 128-byte alignment is rewarded by the EIB model);
+//! * each command carries a *tag group* 0..=31; completion is awaited per
+//!   tag mask, never per command;
+//! * the command queue holds 16 entries — issuing into a full queue stalls
+//!   the SPU (that stall is visible in the virtual clock, which is exactly
+//!   the effect multibuffering is meant to hide);
+//! * DMA lists gather up to 2048 `(effective address, size)` elements
+//!   under a single command / queue slot.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use cell_core::{
+    dma_transfer_legal, CellError, CellResult, DmaConfig, VirtualClock, QUADWORD,
+};
+use cell_eib::{Eib, Element};
+use cell_mem::{LocalStore, LsAddr, MainMemory};
+
+/// Number of DMA tag groups.
+pub const MAX_TAGS: usize = 32;
+
+/// A set of tag groups expressed as a 32-bit mask (bit *i* = tag *i*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagMask(pub u32);
+
+impl TagMask {
+    pub fn single(tag: u32) -> CellResult<TagMask> {
+        if tag as usize >= MAX_TAGS {
+            return Err(CellError::BadTagGroup { tag });
+        }
+        Ok(TagMask(1 << tag))
+    }
+
+    pub fn all() -> TagMask {
+        TagMask(u32::MAX)
+    }
+
+    pub fn contains(self, tag: u32) -> bool {
+        tag < 32 && self.0 & (1 << tag) != 0
+    }
+}
+
+/// Counters the SPE runtime folds into its operation profile.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MfcStats {
+    /// Bytes moved main memory → local store.
+    pub bytes_in: u64,
+    /// Bytes moved local store → main memory.
+    pub bytes_out: u64,
+    /// Discrete transfers issued (list elements count individually).
+    pub transfers: u64,
+    /// DMA-list commands issued.
+    pub list_commands: u64,
+    /// SPU cycles spent stalled waiting on tags or a full queue.
+    pub stall_cycles: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    complete_at: u64, // SPU cycles
+}
+
+/// One SPE's DMA engine.
+///
+/// Owned by the SPE thread; `get`/`put` move real bytes between the shared
+/// [`MainMemory`] and the caller's [`LocalStore`], and account virtual time
+/// against the caller's [`VirtualClock`] using the shared EIB calendar.
+#[derive(Debug)]
+pub struct Mfc {
+    spe_id: usize,
+    mem: Arc<MainMemory>,
+    eib: Arc<Eib>,
+    cfg: DmaConfig,
+    queue: VecDeque<Pending>,
+    tag_complete: [u64; MAX_TAGS],
+    stats: MfcStats,
+    /// SPU cycles charged per channel command (issue overhead).
+    issue_cost: u64,
+    /// Completion floor set by `mfc_barrier`: no later command may
+    /// complete before it.
+    barrier_floor: u64,
+}
+
+/// Direction of a transfer, used internally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    Get,
+    Put,
+}
+
+impl Mfc {
+    pub fn new(spe_id: usize, mem: Arc<MainMemory>, eib: Arc<Eib>, cfg: DmaConfig) -> Self {
+        Mfc {
+            spe_id,
+            mem,
+            eib,
+            cfg,
+            queue: VecDeque::with_capacity(cfg.queue_depth),
+            tag_complete: [0; MAX_TAGS],
+            stats: MfcStats::default(),
+            issue_cost: 6,
+            barrier_floor: 0,
+        }
+    }
+
+    pub fn spe_id(&self) -> usize {
+        self.spe_id
+    }
+
+    pub fn stats(&self) -> MfcStats {
+        self.stats
+    }
+
+    /// Shared main memory handle (for the SPE runtime).
+    pub fn memory(&self) -> &Arc<MainMemory> {
+        &self.mem
+    }
+
+    fn validate(&self, ea: u64, la: LsAddr, size: usize) -> CellResult<()> {
+        if size == 0 || size > self.cfg.max_transfer || !matches!(size, 1 | 2 | 4 | 8) && !size.is_multiple_of(QUADWORD)
+        {
+            return Err(CellError::BadDmaSize { size });
+        }
+        if !dma_transfer_legal(ea, size) {
+            return Err(CellError::Misaligned { what: "DMA effective address", addr: ea, required: QUADWORD });
+        }
+        if !dma_transfer_legal(la as u64, size) {
+            return Err(CellError::Misaligned {
+                what: "DMA local-store address",
+                addr: la as u64,
+                required: QUADWORD,
+            });
+        }
+        Ok(())
+    }
+
+    /// Drop queue entries that have completed by `now`.
+    fn drain_completed(&mut self, now: u64) {
+        self.queue.retain(|p| p.complete_at > now);
+    }
+
+    /// Admit one command into the 16-entry queue, stalling the SPU if full.
+    fn admit(&mut self, clock: &mut VirtualClock) {
+        self.drain_completed(clock.now());
+        if self.queue.len() >= self.cfg.queue_depth {
+            // Stall until the earliest entry retires.
+            let earliest = self.queue.iter().map(|p| p.complete_at).min().unwrap_or(clock.now());
+            let stall = earliest.saturating_sub(clock.now());
+            self.stats.stall_cycles += stall;
+            clock.advance_to(earliest);
+            self.drain_completed(clock.now());
+        }
+    }
+
+    /// Schedule the bus work for one transfer; returns SPU-cycle completion.
+    fn schedule(&mut self, dir: Dir, size: usize, clock: &VirtualClock) -> u64 {
+        let bus_freq = self.eib.bus_frequency();
+        let bus_now = clock.translate_to(bus_freq) + self.cfg.startup_bus_cycles;
+        let (src, dst) = match dir {
+            Dir::Get => (Element::Memory, Element::Spe(self.spe_id)),
+            Dir::Put => (Element::Spe(self.spe_id), Element::Memory),
+        };
+        let grant = self.eib.transfer(src, dst, size, bus_now);
+        clock.stamp_from(grant.complete, bus_freq)
+    }
+
+    fn record(&mut self, dir: Dir, size: usize) {
+        self.stats.transfers += 1;
+        match dir {
+            Dir::Get => self.stats.bytes_in += size as u64,
+            Dir::Put => self.stats.bytes_out += size as u64,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the MFC channel-command signature
+    fn issue_one(
+        &mut self,
+        dir: Dir,
+        ls: &mut LocalStore,
+        la: LsAddr,
+        ea: u64,
+        size: usize,
+        tag: u32,
+        clock: &mut VirtualClock,
+    ) -> CellResult<()> {
+        if tag as usize >= MAX_TAGS {
+            return Err(CellError::BadTagGroup { tag });
+        }
+        self.validate(ea, la, size)?;
+        self.admit(clock);
+        clock.advance(cell_core::Cycles(self.issue_cost));
+
+        // Functional effect: move the bytes now (the virtual completion
+        // time gates when the SPU may *observe* them via wait_tag).
+        match dir {
+            Dir::Get => {
+                let buf = ls.slice_mut(la, size)?;
+                self.mem.read(ea, buf)?;
+            }
+            Dir::Put => {
+                let buf = ls.slice(la, size)?;
+                self.mem.write(ea, buf)?;
+            }
+        }
+
+        let complete_at = self.schedule(dir, size, clock).max(self.barrier_floor);
+        self.queue.push_back(Pending { complete_at });
+        self.tag_complete[tag as usize] = self.tag_complete[tag as usize].max(complete_at);
+        self.record(dir, size);
+        Ok(())
+    }
+
+    /// `mfc_get`: main memory → local store.
+    pub fn get(
+        &mut self,
+        ls: &mut LocalStore,
+        la: LsAddr,
+        ea: u64,
+        size: usize,
+        tag: u32,
+        clock: &mut VirtualClock,
+    ) -> CellResult<()> {
+        self.issue_one(Dir::Get, ls, la, ea, size, tag, clock)
+    }
+
+    /// `mfc_put`: local store → main memory.
+    pub fn put(
+        &mut self,
+        ls: &mut LocalStore,
+        la: LsAddr,
+        ea: u64,
+        size: usize,
+        tag: u32,
+        clock: &mut VirtualClock,
+    ) -> CellResult<()> {
+        self.issue_one(Dir::Put, ls, la, ea, size, tag, clock)
+    }
+
+    /// Fenced variant of a command: the transfer is ordered *after* every
+    /// previously issued command **of the same tag group** (`mfc_getf` /
+    /// `mfc_putf`). In the model: the new command's completion cannot
+    /// precede the tag's current completion horizon.
+    #[allow(clippy::too_many_arguments)] // mirrors the MFC channel-command signature
+    fn issue_fenced(
+        &mut self,
+        dir: Dir,
+        ls: &mut LocalStore,
+        la: LsAddr,
+        ea: u64,
+        size: usize,
+        tag: u32,
+        clock: &mut VirtualClock,
+    ) -> CellResult<()> {
+        if tag as usize >= MAX_TAGS {
+            return Err(CellError::BadTagGroup { tag });
+        }
+        let horizon = self.tag_complete[tag as usize];
+        self.issue_one(dir, ls, la, ea, size, tag, clock)?;
+        // The fenced command may not complete before its predecessors in
+        // the same group: push the tag horizon if the EIB happened to
+        // schedule it earlier.
+        let t = &mut self.tag_complete[tag as usize];
+        if *t < horizon {
+            *t = horizon;
+        }
+        if let Some(last) = self.queue.back_mut() {
+            last.complete_at = last.complete_at.max(horizon);
+        }
+        Ok(())
+    }
+
+    /// `mfc_getf`: get, fenced against earlier same-tag commands.
+    #[allow(clippy::too_many_arguments)]
+    pub fn get_fenced(
+        &mut self,
+        ls: &mut LocalStore,
+        la: LsAddr,
+        ea: u64,
+        size: usize,
+        tag: u32,
+        clock: &mut VirtualClock,
+    ) -> CellResult<()> {
+        self.issue_fenced(Dir::Get, ls, la, ea, size, tag, clock)
+    }
+
+    /// `mfc_putf`: put, fenced against earlier same-tag commands — the
+    /// classic use is "write the results, *then* write the completion
+    /// flag" without an intervening tag wait.
+    #[allow(clippy::too_many_arguments)]
+    pub fn put_fenced(
+        &mut self,
+        ls: &mut LocalStore,
+        la: LsAddr,
+        ea: u64,
+        size: usize,
+        tag: u32,
+        clock: &mut VirtualClock,
+    ) -> CellResult<()> {
+        self.issue_fenced(Dir::Put, ls, la, ea, size, tag, clock)
+    }
+
+    /// `mfc_barrier`: order every subsequent command (any tag) after every
+    /// previously issued command. Modeled by lifting all tag horizons to
+    /// the current global completion horizon.
+    pub fn barrier(&mut self, clock: &mut VirtualClock) {
+        clock.advance(cell_core::Cycles(self.issue_cost));
+        let horizon = self.tag_complete.iter().copied().max().unwrap_or(0);
+        for t in self.tag_complete.iter_mut() {
+            *t = (*t).max(horizon);
+        }
+        self.barrier_floor = horizon;
+    }
+
+    /// A `get` larger than the 16 KB cap, split into maximal legal chunks
+    /// under one tag (the "iterative DMA transfers" of paper §3.4).
+    pub fn get_large(
+        &mut self,
+        ls: &mut LocalStore,
+        mut la: LsAddr,
+        mut ea: u64,
+        mut size: usize,
+        tag: u32,
+        clock: &mut VirtualClock,
+    ) -> CellResult<()> {
+        if !size.is_multiple_of(QUADWORD) {
+            return Err(CellError::BadDmaSize { size });
+        }
+        while size > 0 {
+            let chunk = size.min(self.cfg.max_transfer);
+            self.get(ls, la, ea, chunk, tag, clock)?;
+            la += chunk as u32;
+            ea += chunk as u64;
+            size -= chunk;
+        }
+        Ok(())
+    }
+
+    /// A `put` larger than the 16 KB cap, split like [`Mfc::get_large`].
+    pub fn put_large(
+        &mut self,
+        ls: &mut LocalStore,
+        mut la: LsAddr,
+        mut ea: u64,
+        mut size: usize,
+        tag: u32,
+        clock: &mut VirtualClock,
+    ) -> CellResult<()> {
+        if !size.is_multiple_of(QUADWORD) {
+            return Err(CellError::BadDmaSize { size });
+        }
+        while size > 0 {
+            let chunk = size.min(self.cfg.max_transfer);
+            self.put(ls, la, ea, chunk, tag, clock)?;
+            la += chunk as u32;
+            ea += chunk as u64;
+            size -= chunk;
+        }
+        Ok(())
+    }
+
+    /// `mfc_getl`: a DMA list — scattered main-memory regions gathered into
+    /// consecutive local-store locations, one command-queue slot.
+    pub fn get_list(
+        &mut self,
+        ls: &mut LocalStore,
+        la: LsAddr,
+        list: &[(u64, usize)],
+        tag: u32,
+        clock: &mut VirtualClock,
+    ) -> CellResult<()> {
+        self.list_command(Dir::Get, ls, la, list, tag, clock)
+    }
+
+    /// `mfc_putl`: consecutive local-store data scattered to main memory.
+    pub fn put_list(
+        &mut self,
+        ls: &mut LocalStore,
+        la: LsAddr,
+        list: &[(u64, usize)],
+        tag: u32,
+        clock: &mut VirtualClock,
+    ) -> CellResult<()> {
+        self.list_command(Dir::Put, ls, la, list, tag, clock)
+    }
+
+    fn list_command(
+        &mut self,
+        dir: Dir,
+        ls: &mut LocalStore,
+        la: LsAddr,
+        list: &[(u64, usize)],
+        tag: u32,
+        clock: &mut VirtualClock,
+    ) -> CellResult<()> {
+        if tag as usize >= MAX_TAGS {
+            return Err(CellError::BadTagGroup { tag });
+        }
+        if list.is_empty() || list.len() > self.cfg.list_max_elements {
+            return Err(CellError::DmaListTooLong { elements: list.len() });
+        }
+        // Validate every element before moving any byte: a half-applied
+        // list would be a simulator artifact real hardware cannot produce
+        // (the MFC validates the element when it dequeues it, but our
+        // functional copy is atomic per command).
+        let mut cursor = la;
+        for &(ea, size) in list {
+            self.validate(ea, cursor, size)?;
+            if size > self.cfg.max_transfer {
+                return Err(CellError::BadDmaSize { size });
+            }
+            cursor = cursor
+                .checked_add(cell_core::align_up(size, QUADWORD) as u32)
+                .ok_or(CellError::LocalStoreOverflow { offset: cursor, len: size, capacity: ls.capacity() })?;
+        }
+
+        self.admit(clock);
+        clock.advance(cell_core::Cycles(self.issue_cost * 2)); // list setup
+
+        let mut cursor = la;
+        let mut latest = clock.now();
+        for &(ea, size) in list {
+            match dir {
+                Dir::Get => {
+                    let buf = ls.slice_mut(cursor, size)?;
+                    self.mem.read(ea, buf)?;
+                }
+                Dir::Put => {
+                    let buf = ls.slice(cursor, size)?;
+                    self.mem.write(ea, buf)?;
+                }
+            }
+            let done = self.schedule(dir, size, clock);
+            latest = latest.max(done);
+            self.record(dir, size);
+            cursor += cell_core::align_up(size, QUADWORD) as u32;
+        }
+        self.queue.push_back(Pending { complete_at: latest });
+        self.tag_complete[tag as usize] = self.tag_complete[tag as usize].max(latest);
+        self.stats.list_commands += 1;
+        Ok(())
+    }
+
+    /// Block (in virtual time) until every command in the tag mask has
+    /// completed — `mfc_write_tag_mask` + `mfc_read_tag_status_all`.
+    pub fn wait_tags(&mut self, mask: TagMask, clock: &mut VirtualClock) {
+        let target = self
+            .tag_complete
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask.contains(*i as u32))
+            .map(|(_, &t)| t)
+            .max()
+            .unwrap_or(0);
+        let stall = target.saturating_sub(clock.now());
+        self.stats.stall_cycles += stall;
+        clock.advance_to(target);
+        self.drain_completed(clock.now());
+    }
+
+    /// Wait for a single tag group.
+    pub fn wait_tag(&mut self, tag: u32, clock: &mut VirtualClock) -> CellResult<()> {
+        self.wait_tags(TagMask::single(tag)?, clock);
+        Ok(())
+    }
+
+    /// Wait for everything in flight.
+    pub fn wait_all(&mut self, clock: &mut VirtualClock) {
+        self.wait_tags(TagMask::all(), clock);
+    }
+
+    /// Non-blocking check: has the tag group completed by the clock's now?
+    pub fn tag_done(&self, tag: u32, clock: &VirtualClock) -> CellResult<bool> {
+        if tag as usize >= MAX_TAGS {
+            return Err(CellError::BadTagGroup { tag });
+        }
+        Ok(self.tag_complete[tag as usize] <= clock.now())
+    }
+
+    /// Commands currently occupying queue slots (diagnostics).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cell_core::{EibConfig, Frequency, MachineConfig};
+
+    fn rig() -> (Mfc, LocalStore, VirtualClock, Arc<MainMemory>) {
+        let cfg = MachineConfig::small();
+        let mem = Arc::new(MainMemory::new(cfg.main_memory_size));
+        let eib = Arc::new(Eib::new(EibConfig::default()));
+        let mfc = Mfc::new(0, Arc::clone(&mem), eib, cfg.dma);
+        let ls = LocalStore::new(cfg.local_store_size, cfg.code_reserved);
+        let clock = VirtualClock::new(Frequency::ghz(3.2));
+        (mfc, ls, clock, mem)
+    }
+
+    #[test]
+    fn get_moves_bytes_and_time() {
+        let (mut mfc, mut ls, mut clock, mem) = rig();
+        let ea = mem.alloc(4096, 128).unwrap();
+        let data: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
+        mem.write(ea, &data).unwrap();
+
+        let la = ls.alloc(4096, 16).unwrap();
+        mfc.get(&mut ls, la, ea, 4096, 5, &mut clock).unwrap();
+        let t_issue = clock.now();
+        mfc.wait_tag(5, &mut clock).unwrap();
+        assert!(clock.now() > t_issue, "waiting must consume virtual time");
+        assert_eq!(ls.slice(la, 4096).unwrap(), &data[..]);
+        let st = mfc.stats();
+        assert_eq!(st.bytes_in, 4096);
+        assert_eq!(st.transfers, 1);
+        assert!(st.stall_cycles > 0);
+    }
+
+    #[test]
+    fn put_roundtrip() {
+        let (mut mfc, mut ls, mut clock, mem) = rig();
+        let ea = mem.alloc(256, 16).unwrap();
+        let la = ls.alloc(256, 16).unwrap();
+        ls.write(la, &[0x5Au8; 256]).unwrap();
+        mfc.put(&mut ls, la, ea, 256, 0, &mut clock).unwrap();
+        mfc.wait_all(&mut clock);
+        let mut out = [0u8; 256];
+        mem.read(ea, &mut out).unwrap();
+        assert_eq!(out, [0x5Au8; 256]);
+        assert_eq!(mfc.stats().bytes_out, 256);
+    }
+
+    #[test]
+    fn size_and_alignment_validation() {
+        let (mut mfc, mut ls, mut clock, mem) = rig();
+        let ea = mem.alloc(64 * 1024, 128).unwrap();
+        let la = ls.alloc(32 * 1024, 16).unwrap();
+        // Over the 16 KB cap.
+        assert_eq!(
+            mfc.get(&mut ls, la, ea, 32 * 1024, 0, &mut clock),
+            Err(CellError::BadDmaSize { size: 32 * 1024 })
+        );
+        // Not a multiple of 16.
+        assert_eq!(
+            mfc.get(&mut ls, la, ea, 24, 0, &mut clock),
+            Err(CellError::BadDmaSize { size: 24 })
+        );
+        // Misaligned EA.
+        assert!(matches!(
+            mfc.get(&mut ls, la, ea + 8, 64, 0, &mut clock),
+            Err(CellError::Misaligned { .. })
+        ));
+        // Misaligned LS address.
+        assert!(matches!(
+            mfc.get(&mut ls, la + 8, ea, 64, 0, &mut clock),
+            Err(CellError::Misaligned { .. })
+        ));
+        // Bad tag.
+        assert_eq!(
+            mfc.get(&mut ls, la, ea, 64, 32, &mut clock),
+            Err(CellError::BadTagGroup { tag: 32 })
+        );
+    }
+
+    #[test]
+    fn small_naturally_aligned_transfers_are_legal() {
+        let (mut mfc, mut ls, mut clock, mem) = rig();
+        let ea = mem.alloc(64, 16).unwrap();
+        let la = ls.alloc(64, 16).unwrap();
+        for size in [1usize, 2, 4, 8] {
+            mfc.get(&mut ls, la, ea, size, 1, &mut clock).unwrap();
+        }
+        mfc.wait_all(&mut clock);
+        assert_eq!(mfc.stats().transfers, 4);
+    }
+
+    #[test]
+    fn get_large_splits_at_16k() {
+        let (mut mfc, mut ls, mut clock, mem) = rig();
+        let total = 48 * 1024;
+        let ea = mem.alloc(total, 128).unwrap();
+        let data: Vec<u8> = (0..total).map(|i| (i / 64) as u8).collect();
+        mem.write(ea, &data).unwrap();
+        let la = ls.alloc(total, 16).unwrap();
+        mfc.get_large(&mut ls, la, ea, total, 2, &mut clock).unwrap();
+        mfc.wait_tag(2, &mut clock).unwrap();
+        assert_eq!(mfc.stats().transfers, 3);
+        assert_eq!(ls.slice(la, total).unwrap(), &data[..]);
+    }
+
+    #[test]
+    fn queue_fills_and_stalls() {
+        let (mut mfc, mut ls, mut clock, mem) = rig();
+        let ea = mem.alloc(16 * 1024 * 20, 128).unwrap();
+        let la = ls.alloc(16 * 1024, 16).unwrap();
+        for i in 0..20u64 {
+            mfc.get(&mut ls, la, ea + i * 16 * 1024, 16 * 1024, 0, &mut clock).unwrap();
+        }
+        // The queue never exceeds its depth, and admitting past 16 stalls.
+        assert!(mfc.queue_len() <= 16);
+        assert!(mfc.stats().stall_cycles > 0, "full queue should have stalled the SPU");
+    }
+
+    #[test]
+    fn dma_list_gathers_scattered_regions() {
+        let (mut mfc, mut ls, mut clock, mem) = rig();
+        let a = mem.alloc(64, 16).unwrap();
+        let b = mem.alloc(128, 16).unwrap();
+        let c = mem.alloc(32, 16).unwrap();
+        mem.fill(a, 1, 64).unwrap();
+        mem.fill(b, 2, 128).unwrap();
+        mem.fill(c, 3, 32).unwrap();
+        let la = ls.alloc(64 + 128 + 32, 16).unwrap();
+        mfc.get_list(&mut ls, la, &[(a, 64), (b, 128), (c, 32)], 7, &mut clock).unwrap();
+        mfc.wait_tag(7, &mut clock).unwrap();
+        assert!(ls.slice(la, 64).unwrap().iter().all(|&x| x == 1));
+        assert!(ls.slice(la + 64, 128).unwrap().iter().all(|&x| x == 2));
+        assert!(ls.slice(la + 192, 32).unwrap().iter().all(|&x| x == 3));
+        let st = mfc.stats();
+        assert_eq!(st.list_commands, 1);
+        assert_eq!(st.transfers, 3);
+    }
+
+    #[test]
+    fn put_list_scatters() {
+        let (mut mfc, mut ls, mut clock, mem) = rig();
+        let a = mem.alloc(64, 16).unwrap();
+        let b = mem.alloc(64, 16).unwrap();
+        let la = ls.alloc(128, 16).unwrap();
+        ls.write(la, &[9u8; 128]).unwrap();
+        mfc.put_list(&mut ls, la, &[(a, 64), (b, 64)], 3, &mut clock).unwrap();
+        mfc.wait_tag(3, &mut clock).unwrap();
+        let mut out = [0u8; 64];
+        mem.read(a, &mut out).unwrap();
+        assert_eq!(out, [9u8; 64]);
+        mem.read(b, &mut out).unwrap();
+        assert_eq!(out, [9u8; 64]);
+    }
+
+    #[test]
+    fn list_length_limits() {
+        let (mut mfc, mut ls, mut clock, mem) = rig();
+        let ea = mem.alloc(16, 16).unwrap();
+        let la = ls.alloc(16, 16).unwrap();
+        assert!(matches!(
+            mfc.get_list(&mut ls, la, &[], 0, &mut clock),
+            Err(CellError::DmaListTooLong { elements: 0 })
+        ));
+        let long: Vec<(u64, usize)> = vec![(ea, 16); 2049];
+        assert!(matches!(
+            mfc.get_list(&mut ls, la, &long, 0, &mut clock),
+            Err(CellError::DmaListTooLong { elements: 2049 })
+        ));
+    }
+
+    #[test]
+    fn bad_list_element_moves_nothing() {
+        let (mut mfc, mut ls, mut clock, mem) = rig();
+        let good = mem.alloc(64, 16).unwrap();
+        mem.fill(good, 7, 64).unwrap();
+        let la = ls.alloc(128, 16).unwrap();
+        // Second element misaligned — the whole command must be rejected
+        // before any byte moved.
+        let err = mfc.get_list(&mut ls, la, &[(good, 64), (good + 8, 16)], 0, &mut clock);
+        assert!(err.is_err());
+        assert!(ls.slice(la, 64).unwrap().iter().all(|&x| x == 0));
+        assert_eq!(mfc.stats().transfers, 0);
+    }
+
+    #[test]
+    fn tag_done_tracks_clock() {
+        let (mut mfc, mut ls, mut clock, mem) = rig();
+        let ea = mem.alloc(16 * 1024, 128).unwrap();
+        let la = ls.alloc(16 * 1024, 16).unwrap();
+        mfc.get(&mut ls, la, ea, 16 * 1024, 4, &mut clock).unwrap();
+        assert!(!mfc.tag_done(4, &clock).unwrap());
+        mfc.wait_tag(4, &mut clock).unwrap();
+        assert!(mfc.tag_done(4, &clock).unwrap());
+        assert!(mfc.tag_done(31, &clock).unwrap(), "idle tags are complete");
+        assert!(mfc.tag_done(32, &clock).is_err());
+    }
+
+    #[test]
+    fn waiting_on_idle_tag_is_free() {
+        let (mut mfc, _ls, mut clock, _mem) = rig();
+        let before = clock.now();
+        mfc.wait_tag(9, &mut clock).unwrap();
+        assert_eq!(clock.now(), before);
+    }
+
+    #[test]
+    fn fenced_put_orders_after_same_tag_predecessors() {
+        let (mut mfc, mut ls, mut clock, mem) = rig();
+        let data_ea = mem.alloc(16 * 1024, 128).unwrap();
+        let flag_ea = mem.alloc(16, 16).unwrap();
+        let la = ls.alloc(16 * 1024, 16).unwrap();
+        let flag_la = ls.alloc(16, 16).unwrap();
+        ls.write_u32(flag_la, 1).unwrap();
+        // Big result write, then the fenced completion flag: the flag's
+        // completion must not precede the data's, even though it is tiny.
+        mfc.put(&mut ls, la, data_ea, 16 * 1024, 3, &mut clock).unwrap();
+        let data_done = mfc.tag_complete[3];
+        mfc.put_fenced(&mut ls, flag_la, flag_ea, 16, 3, &mut clock).unwrap();
+        assert!(mfc.tag_complete[3] >= data_done);
+        let flag_entry = mfc.queue.back().unwrap().complete_at;
+        assert!(
+            flag_entry >= data_done,
+            "fenced flag completes at {flag_entry}, data at {data_done}"
+        );
+    }
+
+    #[test]
+    fn unfenced_opposite_direction_transfer_can_overtake() {
+        // The control case for the fence test: the element ports are
+        // per-direction, so without a fence a tiny GET (inbound) finishes
+        // before a big PUT (outbound) issued earlier — exactly the kind
+        // of ordering hazard the fenced commands exist to close. (Two
+        // same-direction transfers cannot overtake: they serialize at the
+        // SPE's outbound port.)
+        let (mut mfc, mut ls, mut clock, mem) = rig();
+        let data_ea = mem.alloc(16 * 1024, 128).unwrap();
+        let flag_ea = mem.alloc(16, 16).unwrap();
+        let la = ls.alloc(16 * 1024, 16).unwrap();
+        let flag_la = ls.alloc(16, 16).unwrap();
+        mfc.put(&mut ls, la, data_ea, 16 * 1024, 3, &mut clock).unwrap();
+        let data_done = mfc.queue.back().unwrap().complete_at;
+        mfc.get(&mut ls, flag_la, flag_ea, 16, 4, &mut clock).unwrap();
+        let flag_done = mfc.queue.back().unwrap().complete_at;
+        assert!(flag_done < data_done, "{flag_done} vs {data_done}");
+    }
+
+    #[test]
+    fn fenced_get_works_and_moves_data() {
+        let (mut mfc, mut ls, mut clock, mem) = rig();
+        let ea = mem.alloc(64, 16).unwrap();
+        mem.fill(ea, 9, 64).unwrap();
+        let la = ls.alloc(64, 16).unwrap();
+        mfc.get_fenced(&mut ls, la, ea, 64, 0, &mut clock).unwrap();
+        mfc.wait_tag(0, &mut clock).unwrap();
+        assert!(ls.slice(la, 64).unwrap().iter().all(|&b| b == 9));
+        assert!(mfc.get_fenced(&mut ls, la, ea, 64, 99, &mut clock).is_err());
+    }
+
+    #[test]
+    fn barrier_orders_across_tags() {
+        let (mut mfc, mut ls, mut clock, mem) = rig();
+        let big_ea = mem.alloc(16 * 1024, 128).unwrap();
+        let small_ea = mem.alloc(16, 16).unwrap();
+        let la = ls.alloc(16 * 1024, 16).unwrap();
+        // Big transfer on tag 0, then a barrier, then a tiny transfer on a
+        // *different* tag: the tiny one must complete after the big one.
+        mfc.get(&mut ls, la, big_ea, 16 * 1024, 0, &mut clock).unwrap();
+        let big_done = mfc.tag_complete[0];
+        mfc.barrier(&mut clock);
+        mfc.get(&mut ls, la, small_ea, 16, 7, &mut clock).unwrap();
+        assert!(
+            mfc.tag_complete[7] >= big_done,
+            "post-barrier command finished at {} before the barrier's {big_done}",
+            mfc.tag_complete[7]
+        );
+    }
+
+    #[test]
+    fn two_tags_complete_independently() {
+        let (mut mfc, mut ls, mut clock, mem) = rig();
+        let ea = mem.alloc(32 * 1024, 128).unwrap();
+        let la1 = ls.alloc(16, 16).unwrap();
+        let la2 = ls.alloc(16 * 1024, 16).unwrap();
+        mfc.get(&mut ls, la1, ea, 16, 1, &mut clock).unwrap();
+        mfc.get(&mut ls, la2, ea + 16 * 1024, 16 * 1024, 2, &mut clock).unwrap();
+        // The small transfer on tag 1 finishes long before tag 2.
+        let mut c1 = clock.clone();
+        mfc.wait_tags(TagMask::single(1).unwrap(), &mut c1);
+        let mut c2 = clock.clone();
+        mfc.wait_tags(TagMask::single(2).unwrap(), &mut c2);
+        assert!(c1.now() < c2.now());
+    }
+}

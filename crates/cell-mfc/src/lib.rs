@@ -1,0 +1,26 @@
+//! Memory Flow Controller (MFC) model: the SPE's DMA engine.
+//!
+//! Paper §2: each SPE owns an MFC with "separate modules for DMA, memory
+//! management, bus interfacing, and synchronization". The porting strategy
+//! leans on the MFC everywhere: step 3 of the strategy replaces all former
+//! shared data with DMA transfers, and §3.4 requires slicing for data
+//! structures larger than the local store.
+//!
+//! This crate provides:
+//!
+//! * [`Mfc`] — DMA `get`/`put` (main memory ↔ local store), DMA lists,
+//!   tag-group completion semantics, the 16-entry command queue, and full
+//!   validation of Cell's size/alignment rules. Transfers move real bytes
+//!   *and* consume virtual time through the shared [`cell_eib::Eib`]
+//!   calendar.
+//! * [`stream`] — [`stream::StreamReader`] /
+//!   [`stream::StreamWriter`]: the double/triple-buffering
+//!   pattern of paper §4.1 ("optimize the data transfer — either by DMA
+//!   multibuffering, or by using DMA lists") packaged the way ported
+//!   kernels actually consume it.
+
+pub mod dma;
+pub mod stream;
+
+pub use dma::{Mfc, MfcStats, TagMask, MAX_TAGS};
+pub use stream::{StreamReader, StreamWriter};

@@ -1,0 +1,114 @@
+//! Issue counters: what the kernel made each pipeline do.
+
+use cell_core::{OpClass, OpProfile};
+
+/// Tally of dynamically issued SPU operations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpuCounters {
+    /// Even-pipeline (arithmetic) 128-bit issues.
+    pub even: u64,
+    /// Odd-pipeline (load/store/shuffle/branch-unit) 128-bit issues.
+    pub odd: u64,
+    /// Scalar operations executed without SIMDization (rotate + extract +
+    /// op + insert on real hardware).
+    pub scalar: u64,
+    /// Hinted / well-predicted branches.
+    pub branches: u64,
+    /// Unhinted, data-dependent branches.
+    pub branches_hard: u64,
+    /// Double-precision SIMD issues (2 ops / 7 cycles on real silicon).
+    pub double: u64,
+}
+
+impl SpuCounters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total issues of every kind.
+    pub fn total(&self) -> u64 {
+        self.even + self.odd + self.scalar + self.branches + self.branches_hard + self.double
+    }
+
+    /// Merge another tally into this one.
+    pub fn merge(&mut self, other: &SpuCounters) {
+        self.even += other.even;
+        self.odd += other.odd;
+        self.scalar += other.scalar;
+        self.branches += other.branches;
+        self.branches_hard += other.branches_hard;
+        self.double += other.double;
+    }
+
+    /// Difference since an earlier snapshot (for per-slice accounting).
+    pub fn since(&self, earlier: &SpuCounters) -> SpuCounters {
+        SpuCounters {
+            even: self.even - earlier.even,
+            odd: self.odd - earlier.odd,
+            scalar: self.scalar - earlier.scalar,
+            branches: self.branches - earlier.branches,
+            branches_hard: self.branches_hard - earlier.branches_hard,
+            double: self.double - earlier.double,
+        }
+    }
+
+    /// Convert to the cross-machine operation-profile vocabulary.
+    pub fn to_profile(&self) -> OpProfile {
+        let mut p = OpProfile::new();
+        p.record(OpClass::SimdEven, self.even);
+        p.record(OpClass::SimdOdd, self.odd);
+        p.record(OpClass::ScalarInVector, self.scalar);
+        p.record(OpClass::Branch, self.branches);
+        p.record(OpClass::BranchHard, self.branches_hard);
+        p.record(OpClass::SimdDouble, self.double);
+        p
+    }
+
+    pub fn reset(&mut self) {
+        *self = SpuCounters::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_and_total() {
+        let mut a = SpuCounters { even: 10, odd: 5, ..Default::default() };
+        let b = SpuCounters { even: 1, scalar: 2, branches_hard: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.even, 11);
+        assert_eq!(a.scalar, 2);
+        assert_eq!(a.total(), 11 + 5 + 2 + 3);
+    }
+
+    #[test]
+    fn since_gives_delta() {
+        let early = SpuCounters { even: 10, odd: 4, ..Default::default() };
+        let late = SpuCounters { even: 25, odd: 9, branches: 2, ..Default::default() };
+        let d = late.since(&early);
+        assert_eq!(d.even, 15);
+        assert_eq!(d.odd, 5);
+        assert_eq!(d.branches, 2);
+    }
+
+    #[test]
+    fn profile_mapping() {
+        let c = SpuCounters { even: 7, odd: 3, scalar: 2, branches: 1, branches_hard: 4, double: 6 };
+        let p = c.to_profile();
+        assert_eq!(p.count(OpClass::SimdEven), 7);
+        assert_eq!(p.count(OpClass::SimdOdd), 3);
+        assert_eq!(p.count(OpClass::ScalarInVector), 2);
+        assert_eq!(p.count(OpClass::Branch), 1);
+        assert_eq!(p.count(OpClass::BranchHard), 4);
+        assert_eq!(p.count(OpClass::SimdDouble), 6);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut c = SpuCounters { even: 1, ..Default::default() };
+        c.reset();
+        assert_eq!(c, SpuCounters::default());
+    }
+}

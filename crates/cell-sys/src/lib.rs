@@ -1,0 +1,37 @@
+//! The simulated Cell machine: PPE, SPE threads, mailboxes, signals.
+//!
+//! This crate assembles the substrates into the programming model the
+//! paper describes in §2: *"the PPE spawns threads that execute
+//! asynchronously on SPEs, until interaction and/or synchronization is
+//! required. The SPEs can communicate with the PPE with simple mechanisms
+//! like signals and mailboxes for small amounts of data, or DMA transfers
+//! via the main memory for larger data."*
+//!
+//! * [`mailbox`] — the three per-SPE mailboxes (4-deep inbound, 1-deep
+//!   outbound, 1-deep outbound-interrupt), built from a mutex + condvar
+//!   exactly the way one builds a bounded blocking channel, with virtual
+//!   timestamps riding along so cross-core causality is preserved in
+//!   simulated time.
+//! * [`signal`] — the two signal-notification registers (OR mode and
+//!   overwrite mode).
+//! * [`spe`] — [`spe::SpeEnv`]: everything an SPE kernel sees
+//!   (local store, MFC, SPU SIMD context, mailboxes, virtual clock) and
+//!   the [`spe::SpeProgram`] trait kernels implement.
+//! * [`ppe`] — [`ppe::Ppe`]: the main-application side: main-memory
+//!   access and mailbox endpoints, with its own virtual clock.
+//! * [`machine`] — [`machine::CellMachine`]: builds the
+//!   memory, EIB and SPE contexts from a
+//!   [`MachineConfig`](cell_core::MachineConfig), runs SPE programs on
+//!   real host threads, and collects per-SPE reports.
+
+pub mod machine;
+pub mod mailbox;
+pub mod ppe;
+pub mod signal;
+pub mod spe;
+
+pub use machine::{CellMachine, SpeHandle, SpeReport};
+pub use mailbox::{Mailbox, MailboxPair};
+pub use ppe::Ppe;
+pub use signal::SignalRegister;
+pub use spe::{SpeEnv, SpeProgram};

@@ -1,0 +1,440 @@
+//! The assembled Cell machine.
+//!
+//! [`CellMachine`] owns the shared substrates (main memory, EIB) and one
+//! slot per SPE (mailboxes + signal registers). SPE programs run on real
+//! host threads — the machine is genuinely concurrent, which is what makes
+//! the mailbox protocol and the grouped-parallel scheduling of the paper
+//! observable rather than merely modelled.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use cell_core::{CellError, CellResult, Cycles, MachineConfig, VirtualClock, VirtualDuration};
+use cell_eib::Eib;
+use cell_mem::{LocalStore, MainMemory};
+use cell_mfc::{Mfc, MfcStats};
+use cell_spu::SpuCounters;
+
+use crate::mailbox::MailboxPair;
+use crate::ppe::Ppe;
+use crate::signal::{SignalMode, SignalRegister};
+use crate::spe::{SpeEnv, SpeProgram};
+
+/// What an SPE reports when its program finishes.
+#[derive(Debug, Clone)]
+pub struct SpeReport {
+    pub spe_id: usize,
+    /// SIMD issue tally.
+    pub counters: SpuCounters,
+    /// DMA traffic tally.
+    pub mfc: MfcStats,
+    /// Combined operation profile (SIMD + DMA + mailbox).
+    pub profile: cell_core::OpProfile,
+    /// Final virtual clock in core cycles.
+    pub cycles: u64,
+    /// Final virtual elapsed time.
+    pub elapsed: VirtualDuration,
+    /// Peak local-store data footprint.
+    pub ls_high_water: usize,
+    /// Fault message if the program returned an error.
+    pub fault: Option<String>,
+}
+
+/// Handle to a running SPE program.
+pub struct SpeHandle {
+    spe_id: usize,
+    join: JoinHandle<SpeReport>,
+}
+
+impl SpeHandle {
+    pub fn spe_id(&self) -> usize {
+        self.spe_id
+    }
+
+    /// Wait for the SPE program to return and collect its report.
+    /// A faulted program yields `Err(CellError::SpeFault)`.
+    pub fn join(self) -> CellResult<SpeReport> {
+        let report = self
+            .join
+            .join()
+            .map_err(|_| CellError::SpeFault { spe: self.spe_id, message: "SPE thread panicked".into() })?;
+        if let Some(msg) = &report.fault {
+            return Err(CellError::SpeFault { spe: report.spe_id, message: msg.clone() });
+        }
+        Ok(report)
+    }
+}
+
+struct SpeSlot {
+    mailboxes: MailboxPair,
+    signal1: Arc<SignalRegister>,
+    signal2: Arc<SignalRegister>,
+    occupied: bool,
+}
+
+/// The machine: shared memory + EIB + per-SPE communication fabric.
+pub struct CellMachine {
+    config: MachineConfig,
+    mem: Arc<MainMemory>,
+    eib: Arc<Eib>,
+    slots: Vec<SpeSlot>,
+}
+
+impl CellMachine {
+    /// Build a machine from a validated configuration.
+    pub fn new(config: MachineConfig) -> CellResult<Self> {
+        let config = config.validate()?;
+        let mem = Arc::new(MainMemory::new(config.main_memory_size));
+        let eib = Arc::new(Eib::new(config.eib));
+        let slots = (0..config.num_spes)
+            .map(|_| SpeSlot {
+                mailboxes: MailboxPair::new(),
+                signal1: SignalRegister::new(SignalMode::Or),
+                signal2: SignalRegister::new(SignalMode::Overwrite),
+                occupied: false,
+            })
+            .collect();
+        Ok(CellMachine { config, mem, eib, slots })
+    }
+
+    /// A default Cell B.E. (8 SPEs, 256 KB local stores).
+    pub fn cell_be() -> Self {
+        Self::new(MachineConfig::default()).expect("default config is valid")
+    }
+
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    pub fn mem(&self) -> &Arc<MainMemory> {
+        &self.mem
+    }
+
+    pub fn eib(&self) -> &Arc<Eib> {
+        &self.eib
+    }
+
+    /// The PPE handle (create once; it owns the PPE virtual clock).
+    pub fn ppe(&self) -> Ppe {
+        Ppe::new(
+            Arc::clone(&self.mem),
+            VirtualClock::new(self.config.core_frequency),
+            self.slots.iter().map(|s| s.mailboxes.clone()).collect(),
+            self.slots.iter().map(|s| Arc::clone(&s.signal1)).collect(),
+            self.slots.iter().map(|s| Arc::clone(&s.signal2)).collect(),
+        )
+    }
+
+    /// Spawn `program` on SPE `spe_id`. The program runs on a host thread
+    /// until it returns (normally after receiving its exit opcode).
+    pub fn spawn(&mut self, spe_id: usize, mut program: Box<dyn SpeProgram>) -> CellResult<SpeHandle> {
+        let slot = self.slots.get_mut(spe_id).ok_or(CellError::NoSpeAvailable {
+            requested: spe_id + 1,
+            available: self.config.num_spes,
+        })?;
+        if slot.occupied {
+            return Err(CellError::BadConfig { message: format!("SPE {spe_id} already runs a program") });
+        }
+        slot.occupied = true;
+
+        let ls = LocalStore::new(self.config.local_store_size, self.config.code_reserved);
+        let mfc = Mfc::new(spe_id, Arc::clone(&self.mem), Arc::clone(&self.eib), self.config.dma);
+        let clock = VirtualClock::new(self.config.core_frequency);
+        let peer_signals = self.slots.iter().map(|s| Arc::clone(&s.signal1)).collect();
+        let slot = &mut self.slots[spe_id];
+        let mut env = SpeEnv::new(
+            spe_id,
+            ls,
+            mfc,
+            clock,
+            slot.mailboxes.clone(),
+            Arc::clone(&slot.signal1),
+            Arc::clone(&slot.signal2),
+            peer_signals,
+        );
+
+        // Thread-creation cost on the PPE side is what the paper's static
+        // scheduling avoids paying per call; model it once at spawn.
+        env.charge_cycles(Cycles(20_000).get());
+
+        let name = program.name();
+        let join = std::thread::Builder::new()
+            .name(format!("spe{spe_id}-{name}"))
+            .spawn(move || {
+                let result = program.run(&mut env);
+                env.into_report(result.err().map(|e| e.to_string()))
+            })
+            .map_err(|e| CellError::SpeFault { spe: spe_id, message: format!("spawn failed: {e}") })?;
+
+        Ok(SpeHandle { spe_id, join })
+    }
+
+    /// Spawn on the lowest-numbered free SPE.
+    pub fn spawn_any(&mut self, program: Box<dyn SpeProgram>) -> CellResult<SpeHandle> {
+        let free = self
+            .slots
+            .iter()
+            .position(|s| !s.occupied)
+            .ok_or(CellError::NoSpeAvailable { requested: 1, available: 0 })?;
+        self.spawn(free, program)
+    }
+
+    /// Close every SPE's mailboxes and signals, waking any blocked kernel
+    /// so it can observe the shutdown and return.
+    pub fn shutdown(&self) {
+        for slot in &self.slots {
+            slot.mailboxes.close_all();
+            slot.signal1.close();
+            slot.signal2.close();
+        }
+    }
+}
+
+impl std::fmt::Debug for CellMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CellMachine")
+            .field("num_spes", &self.config.num_spes)
+            .field("occupied", &self.slots.iter().filter(|s| s.occupied).count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cell_core::CellResult;
+
+    const OP_EXIT: u32 = 0;
+    const OP_ECHO: u32 = 1;
+    const OP_SUM: u32 = 2;
+
+    /// A miniature Listing-1-style dispatcher used by the machine tests.
+    fn echo_kernel(env: &mut SpeEnv) -> CellResult<()> {
+        loop {
+            let op = env.read_in_mbox()?;
+            match op {
+                OP_EXIT => return Ok(()),
+                OP_ECHO => {
+                    let v = env.read_in_mbox()?;
+                    env.write_out_mbox(v.wrapping_mul(2))?;
+                }
+                OP_SUM => {
+                    // Read a wrapper address, DMA the block, sum it, put the
+                    // result into the first 4 bytes, signal completion.
+                    let addr = env.read_in_mbox()? as u64;
+                    let la = env.ls.alloc(4096, 16)?;
+                    env.dma_get_sync(la, addr, 4096, 0)?;
+                    let mut sum = 0u32;
+                    {
+                        let buf = env.ls.slice(la, 4096)?;
+                        for &b in buf {
+                            sum = sum.wrapping_add(b as u32);
+                        }
+                    }
+                    env.spu.scalar_op(4096);
+                    env.ls.write_u32(la, sum)?;
+                    env.dma_put_sync(la, addr, 16, 0)?;
+                    env.ls.reset();
+                    env.write_out_mbox(1)?;
+                }
+                other => return Err(CellError::UnknownOpcode { opcode: other }),
+            }
+        }
+    }
+
+    fn small_machine() -> CellMachine {
+        CellMachine::new(cell_core::MachineConfig::small()).unwrap()
+    }
+
+    #[test]
+    fn spawn_echo_roundtrip() {
+        let mut m = small_machine();
+        let mut ppe = m.ppe();
+        let h = m.spawn(0, Box::new(echo_kernel)).unwrap();
+        ppe.write_in_mbox(0, OP_ECHO).unwrap();
+        ppe.write_in_mbox(0, 21).unwrap();
+        assert_eq!(ppe.read_out_mbox(0).unwrap(), 42);
+        ppe.write_in_mbox(0, OP_EXIT).unwrap();
+        let report = h.join().unwrap();
+        assert!(report.fault.is_none());
+        assert!(report.cycles > 0);
+    }
+
+    #[test]
+    fn dma_kernel_computes_over_wrapper() {
+        let mut m = small_machine();
+        let mut ppe = m.ppe();
+        let h = m.spawn(0, Box::new(echo_kernel)).unwrap();
+
+        let addr = ppe.mem().alloc(4096, 128).unwrap();
+        let data = vec![3u8; 4096];
+        ppe.mem().write(addr, &data).unwrap();
+
+        ppe.write_in_mbox(0, OP_SUM).unwrap();
+        ppe.write_in_mbox(0, addr as u32).unwrap();
+        assert_eq!(ppe.read_out_mbox(0).unwrap(), 1);
+        assert_eq!(ppe.mem().read_u32(addr).unwrap(), 3 * 4096);
+
+        ppe.write_in_mbox(0, OP_EXIT).unwrap();
+        let report = h.join().unwrap();
+        assert_eq!(report.mfc.bytes_in, 4096);
+        assert_eq!(report.mfc.bytes_out, 16);
+        assert!(report.counters.scalar >= 4096);
+        assert!(report.ls_high_water > 0);
+    }
+
+    #[test]
+    fn virtual_time_flows_ppe_to_spe_and_back() {
+        let mut m = small_machine();
+        let mut ppe = m.ppe();
+        let h = m.spawn(0, Box::new(echo_kernel)).unwrap();
+
+        // Pretend the PPE did a lot of preprocessing first.
+        ppe.charge_cycles(10_000_000);
+        ppe.write_in_mbox(0, OP_ECHO).unwrap();
+        ppe.write_in_mbox(0, 1).unwrap();
+        let _ = ppe.read_out_mbox(0).unwrap();
+        // The reply was produced after our send, so the PPE clock is past
+        // the preprocessing time plus the round trip.
+        assert!(ppe.clock.now() > 10_000_000);
+
+        ppe.write_in_mbox(0, OP_EXIT).unwrap();
+        let report = h.join().unwrap();
+        // The SPE observed the send stamp, so its clock is comparable.
+        assert!(report.cycles > 10_000_000);
+    }
+
+    #[test]
+    fn two_spes_run_concurrently() {
+        let mut m = small_machine();
+        let mut ppe = m.ppe();
+        let h0 = m.spawn(0, Box::new(echo_kernel)).unwrap();
+        let h1 = m.spawn(1, Box::new(echo_kernel)).unwrap();
+        for spe in [0, 1] {
+            ppe.write_in_mbox(spe, OP_ECHO).unwrap();
+            ppe.write_in_mbox(spe, spe as u32 + 10).unwrap();
+        }
+        assert_eq!(ppe.read_out_mbox(0).unwrap(), 20);
+        assert_eq!(ppe.read_out_mbox(1).unwrap(), 22);
+        ppe.write_in_mbox(0, OP_EXIT).unwrap();
+        ppe.write_in_mbox(1, OP_EXIT).unwrap();
+        h0.join().unwrap();
+        h1.join().unwrap();
+    }
+
+    #[test]
+    fn spawn_rejects_bad_ids_and_double_occupancy() {
+        let mut m = small_machine();
+        assert!(m.spawn(99, Box::new(echo_kernel)).is_err());
+        let _h = m.spawn(0, Box::new(echo_kernel)).unwrap();
+        assert!(m.spawn(0, Box::new(echo_kernel)).is_err());
+        m.shutdown();
+    }
+
+    #[test]
+    fn spawn_any_finds_free_slot() {
+        let mut m = small_machine();
+        let h0 = m.spawn_any(Box::new(echo_kernel)).unwrap();
+        let h1 = m.spawn_any(Box::new(echo_kernel)).unwrap();
+        assert_eq!(h0.spe_id(), 0);
+        assert_eq!(h1.spe_id(), 1);
+        assert!(m.spawn_any(Box::new(echo_kernel)).is_err(), "small config has 2 SPEs");
+        m.shutdown();
+        h0.join().unwrap_err(); // woken by shutdown → MailboxClosed fault
+        h1.join().unwrap_err();
+    }
+
+    #[test]
+    fn faulting_kernel_reports_on_join() {
+        let mut m = small_machine();
+        let mut ppe = m.ppe();
+        let h = m.spawn(0, Box::new(echo_kernel)).unwrap();
+        ppe.write_in_mbox(0, 0xDEAD).unwrap(); // unknown opcode
+        let err = h.join().unwrap_err();
+        assert!(matches!(err, CellError::SpeFault { spe: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn shutdown_unblocks_idle_kernels() {
+        let mut m = small_machine();
+        let h = m.spawn(0, Box::new(echo_kernel)).unwrap();
+        // Kernel is blocked in read_in_mbox; shutdown must wake it.
+        m.shutdown();
+        let err = h.join().unwrap_err();
+        assert!(matches!(err, CellError::SpeFault { .. }));
+    }
+
+    #[test]
+    fn interrupt_mailbox_path() {
+        fn intr_kernel(env: &mut SpeEnv) -> CellResult<()> {
+            let v = env.read_in_mbox()?;
+            env.write_out_intr_mbox(v + 1)?;
+            Ok(())
+        }
+        let mut m = small_machine();
+        let mut ppe = m.ppe();
+        let h = m.spawn(0, Box::new(intr_kernel)).unwrap();
+        ppe.write_in_mbox(0, 7).unwrap();
+        assert_eq!(ppe.read_out_intr_mbox(0).unwrap(), 8);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn spe_to_spe_signal_chains_kernels() {
+        // SPE 0 doubles its input and signals SPE 1 with the result; SPE 1
+        // waits on its signal register and reports to the PPE — a two-stage
+        // pipeline with no PPE involvement in the hand-off.
+        fn stage1(env: &mut SpeEnv) -> CellResult<()> {
+            let v = env.read_in_mbox()?;
+            env.spu.scalar_op(1);
+            env.signal_peer(1, v * 2)?;
+            Ok(())
+        }
+        fn stage2(env: &mut SpeEnv) -> CellResult<()> {
+            let v = env.wait_signal1()?;
+            env.write_out_mbox(v + 1)?;
+            Ok(())
+        }
+        let mut m = small_machine();
+        let mut ppe = m.ppe();
+        let h0 = m.spawn(0, Box::new(stage1)).unwrap();
+        let h1 = m.spawn(1, Box::new(stage2)).unwrap();
+        ppe.write_in_mbox(0, 21).unwrap();
+        assert_eq!(ppe.read_out_mbox(1).unwrap(), 43);
+        let r0 = h0.join().unwrap();
+        let r1 = h1.join().unwrap();
+        // Causality in virtual time: stage 2 finished after stage 1 signalled.
+        assert!(r1.cycles > r0.cycles - 200, "{} vs {}", r1.cycles, r0.cycles);
+    }
+
+    #[test]
+    fn self_signal_is_refused() {
+        fn selfish(env: &mut SpeEnv) -> CellResult<()> {
+            match env.signal_peer(0, 1) {
+                Err(CellError::BadConfig { .. }) => Ok(()),
+                other => Err(CellError::SpeFault {
+                    spe: env.spe_id(),
+                    message: format!("expected BadConfig, got {other:?}"),
+                }),
+            }
+        }
+        let mut m = small_machine();
+        let h = m.spawn(0, Box::new(selfish)).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn signals_reach_kernels() {
+        fn signal_kernel(env: &mut SpeEnv) -> CellResult<()> {
+            let bits = env.wait_signal1()?;
+            env.write_out_mbox(bits)?;
+            Ok(())
+        }
+        let mut m = small_machine();
+        let mut ppe = m.ppe();
+        let h = m.spawn(0, Box::new(signal_kernel)).unwrap();
+        ppe.signal1(0, 0b1010).unwrap();
+        assert_eq!(ppe.read_out_mbox(0).unwrap(), 0b1010);
+        h.join().unwrap();
+    }
+}

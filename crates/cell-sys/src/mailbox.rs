@@ -1,0 +1,299 @@
+//! Mailboxes: the small-message channel between the PPE and each SPE.
+//!
+//! Real Cell gives every SPE a 4-entry inbound mailbox (PPE → SPE), a
+//! 1-entry outbound mailbox and a 1-entry outbound *interrupt* mailbox
+//! (SPE → PPE). Paper Listings 1 and 3 drive the whole offload protocol
+//! through them: opcode in, wrapper address in, result/completion out.
+//!
+//! The implementation is a classic bounded blocking queue built from a
+//! mutex and two condvars (not-empty / not-full) — the shape Chapter 5 of
+//! *Rust Atomics and Locks* builds up to. Two Cell-specific twists:
+//!
+//! * every word carries the **virtual timestamp** of its sender (in common
+//!   3.2 GHz core cycles), so the receiver's virtual clock can be advanced
+//!   past it — cross-core causality in simulated time;
+//! * a mailbox can be **closed** (its SPE terminated); blocked peers wake
+//!   with [`CellError::MailboxClosed`] instead of deadlocking.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use cell_core::{CellError, CellResult};
+use parking_lot::{Condvar, Mutex};
+
+/// A word in flight: the payload and the sender's virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stamped {
+    pub value: u32,
+    /// Sender's virtual clock (3.2 GHz core cycles) at the write.
+    pub stamp: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    queue: VecDeque<Stamped>,
+    capacity: usize,
+    closed: bool,
+}
+
+/// One direction of mailbox traffic with a fixed capacity.
+#[derive(Debug)]
+pub struct Mailbox {
+    inner: Mutex<Inner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl Mailbox {
+    pub fn new(capacity: usize) -> Arc<Self> {
+        assert!(capacity > 0, "mailbox capacity must be positive");
+        Arc::new(Mailbox {
+            inner: Mutex::new(Inner { queue: VecDeque::with_capacity(capacity), capacity, closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        })
+    }
+
+    /// Blocking write; returns when the word is enqueued.
+    pub fn write(&self, value: u32, stamp: u64) -> CellResult<()> {
+        let mut g = self.inner.lock();
+        loop {
+            if g.closed {
+                return Err(CellError::MailboxClosed);
+            }
+            if g.queue.len() < g.capacity {
+                g.queue.push_back(Stamped { value, stamp });
+                drop(g);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            self.not_full.wait(&mut g);
+        }
+    }
+
+    /// Non-blocking write.
+    pub fn try_write(&self, value: u32, stamp: u64) -> CellResult<()> {
+        let mut g = self.inner.lock();
+        if g.closed {
+            return Err(CellError::MailboxClosed);
+        }
+        if g.queue.len() >= g.capacity {
+            return Err(CellError::MailboxFull);
+        }
+        g.queue.push_back(Stamped { value, stamp });
+        drop(g);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking read; returns the oldest word.
+    pub fn read(&self) -> CellResult<Stamped> {
+        let mut g = self.inner.lock();
+        loop {
+            if let Some(s) = g.queue.pop_front() {
+                drop(g);
+                self.not_full.notify_one();
+                return Ok(s);
+            }
+            if g.closed {
+                return Err(CellError::MailboxClosed);
+            }
+            self.not_empty.wait(&mut g);
+        }
+    }
+
+    /// Non-blocking read.
+    pub fn try_read(&self) -> CellResult<Stamped> {
+        let mut g = self.inner.lock();
+        if let Some(s) = g.queue.pop_front() {
+            drop(g);
+            self.not_full.notify_one();
+            return Ok(s);
+        }
+        if g.closed {
+            return Err(CellError::MailboxClosed);
+        }
+        Err(CellError::MailboxEmpty)
+    }
+
+    /// Words currently queued (`spe_stat_out_mbox` in paper Listing 3
+    /// polls exactly this).
+    pub fn count(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// Close the mailbox: queued words stay readable, blocked writers and
+    /// readers-on-empty wake with [`CellError::MailboxClosed`].
+    pub fn close(&self) {
+        let mut g = self.inner.lock();
+        g.closed = true;
+        drop(g);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().closed
+    }
+}
+
+/// The full mailbox set of one SPE, as both sides see it.
+#[derive(Debug, Clone)]
+pub struct MailboxPair {
+    /// PPE → SPE, 4 entries deep on real hardware.
+    pub inbound: Arc<Mailbox>,
+    /// SPE → PPE, 1 entry (the PPE polls it).
+    pub outbound: Arc<Mailbox>,
+    /// SPE → PPE interrupting mailbox, 1 entry.
+    pub outbound_intr: Arc<Mailbox>,
+}
+
+impl MailboxPair {
+    pub fn new() -> Self {
+        MailboxPair {
+            inbound: Mailbox::new(4),
+            outbound: Mailbox::new(1),
+            outbound_intr: Mailbox::new(1),
+        }
+    }
+
+    /// Close every direction (SPE teardown).
+    pub fn close_all(&self) {
+        self.inbound.close();
+        self.outbound.close();
+        self.outbound_intr.close();
+    }
+}
+
+impl Default for MailboxPair {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn write_then_read_preserves_order_and_stamp() {
+        let mb = Mailbox::new(4);
+        mb.write(10, 100).unwrap();
+        mb.write(20, 200).unwrap();
+        assert_eq!(mb.count(), 2);
+        assert_eq!(mb.read().unwrap(), Stamped { value: 10, stamp: 100 });
+        assert_eq!(mb.read().unwrap(), Stamped { value: 20, stamp: 200 });
+        assert_eq!(mb.count(), 0);
+    }
+
+    #[test]
+    fn try_read_empty_and_try_write_full() {
+        let mb = Mailbox::new(1);
+        assert_eq!(mb.try_read().unwrap_err(), CellError::MailboxEmpty);
+        mb.try_write(1, 0).unwrap();
+        assert_eq!(mb.try_write(2, 0).unwrap_err(), CellError::MailboxFull);
+    }
+
+    #[test]
+    fn blocking_read_wakes_on_write() {
+        let mb = Mailbox::new(1);
+        let mb2 = Arc::clone(&mb);
+        let h = thread::spawn(move || mb2.read().unwrap());
+        thread::sleep(Duration::from_millis(20));
+        mb.write(99, 7).unwrap();
+        assert_eq!(h.join().unwrap(), Stamped { value: 99, stamp: 7 });
+    }
+
+    #[test]
+    fn blocking_write_wakes_on_read() {
+        let mb = Mailbox::new(1);
+        mb.write(1, 0).unwrap();
+        let mb2 = Arc::clone(&mb);
+        let h = thread::spawn(move || mb2.write(2, 0).unwrap());
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(mb.read().unwrap().value, 1);
+        h.join().unwrap();
+        assert_eq!(mb.read().unwrap().value, 2);
+    }
+
+    #[test]
+    fn close_wakes_blocked_reader() {
+        let mb = Mailbox::new(1);
+        let mb2 = Arc::clone(&mb);
+        let h = thread::spawn(move || mb2.read());
+        thread::sleep(Duration::from_millis(20));
+        mb.close();
+        assert_eq!(h.join().unwrap().unwrap_err(), CellError::MailboxClosed);
+    }
+
+    #[test]
+    fn close_wakes_blocked_writer() {
+        let mb = Mailbox::new(1);
+        mb.write(1, 0).unwrap();
+        let mb2 = Arc::clone(&mb);
+        let h = thread::spawn(move || mb2.write(2, 0));
+        thread::sleep(Duration::from_millis(20));
+        mb.close();
+        assert_eq!(h.join().unwrap().unwrap_err(), CellError::MailboxClosed);
+    }
+
+    #[test]
+    fn closed_mailbox_drains_then_errors() {
+        let mb = Mailbox::new(4);
+        mb.write(5, 0).unwrap();
+        mb.close();
+        assert_eq!(mb.read().unwrap().value, 5, "queued words stay readable");
+        assert_eq!(mb.read().unwrap_err(), CellError::MailboxClosed);
+        assert!(mb.is_closed());
+    }
+
+    #[test]
+    fn capacity_respected_under_contention() {
+        let mb = Mailbox::new(4);
+        let writer = {
+            let mb = Arc::clone(&mb);
+            thread::spawn(move || {
+                for i in 0..1000u32 {
+                    mb.write(i, i as u64).unwrap();
+                }
+            })
+        };
+        let reader = {
+            let mb = Arc::clone(&mb);
+            thread::spawn(move || {
+                let mut got = Vec::with_capacity(1000);
+                for _ in 0..1000 {
+                    got.push(mb.read().unwrap().value);
+                }
+                got
+            })
+        };
+        writer.join().unwrap();
+        let got = reader.join().unwrap();
+        let expect: Vec<u32> = (0..1000).collect();
+        assert_eq!(got, expect, "FIFO order must hold");
+    }
+
+    #[test]
+    fn pair_has_cell_capacities() {
+        let p = MailboxPair::new();
+        for _ in 0..4 {
+            p.inbound.try_write(0, 0).unwrap();
+        }
+        assert!(p.inbound.try_write(0, 0).is_err());
+        p.outbound.try_write(0, 0).unwrap();
+        assert!(p.outbound.try_write(0, 0).is_err());
+        p.outbound_intr.try_write(0, 0).unwrap();
+        assert!(p.outbound_intr.try_write(0, 0).is_err());
+        p.close_all();
+        assert!(p.inbound.is_closed() && p.outbound.is_closed() && p.outbound_intr.is_closed());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Mailbox::new(0);
+    }
+}

@@ -1,0 +1,187 @@
+//! The PPE-side handle: what the "main application" of the porting
+//! strategy runs against.
+//!
+//! Paper §2: the PPE's "main role is to run the operating system and
+//! coordinate the SPEs". Here [`Ppe`] owns a virtual clock, direct access
+//! to main memory, and the PPE ends of every SPE's mailboxes and signal
+//! registers (`spe_write_in_mbox`, `spe_stat_out_mbox`,
+//! `spe_read_out_mbox` from paper Listing 3).
+//!
+//! PPE *compute* — the un-offloaded part of the application — is costed
+//! through [`Ppe::charge`] with the PPE machine profile, so Amdahl effects
+//! (the serial fraction staying on the slow core) appear in the virtual
+//! timeline exactly as the paper analyses them.
+
+use std::sync::Arc;
+
+use cell_core::{
+    CellError, CellResult, CostModel, Cycles, MachineProfile, OpProfile, VirtualClock,
+    VirtualDuration,
+};
+use cell_mem::MainMemory;
+
+use crate::mailbox::MailboxPair;
+use crate::signal::SignalRegister;
+use crate::spe::MAILBOX_LATENCY;
+
+/// The PPE context: one per machine, owned by the application thread.
+pub struct Ppe {
+    mem: Arc<MainMemory>,
+    /// Virtual clock at the core frequency.
+    pub clock: VirtualClock,
+    model: MachineProfile,
+    mailboxes: Vec<MailboxPair>,
+    signals1: Vec<Arc<SignalRegister>>,
+    signals2: Vec<Arc<SignalRegister>>,
+    profile: OpProfile,
+}
+
+impl Ppe {
+    pub(crate) fn new(
+        mem: Arc<MainMemory>,
+        clock: VirtualClock,
+        mailboxes: Vec<MailboxPair>,
+        signals1: Vec<Arc<SignalRegister>>,
+        signals2: Vec<Arc<SignalRegister>>,
+    ) -> Self {
+        Ppe {
+            mem,
+            clock,
+            model: MachineProfile::ppe(),
+            mailboxes,
+            signals1,
+            signals2,
+            profile: OpProfile::new(),
+        }
+    }
+
+    /// Shared main memory.
+    pub fn mem(&self) -> &Arc<MainMemory> {
+        &self.mem
+    }
+
+    /// The PPE cost model in use.
+    pub fn model(&self) -> &MachineProfile {
+        &self.model
+    }
+
+    /// Number of SPEs this PPE can talk to.
+    pub fn num_spes(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    fn check_spe(&self, spe: usize) -> CellResult<()> {
+        if spe >= self.mailboxes.len() {
+            return Err(CellError::NoSpeAvailable { requested: spe + 1, available: self.mailboxes.len() });
+        }
+        Ok(())
+    }
+
+    /// Account PPE-side computation: advances the PPE clock by the profile
+    /// costed with the PPE model, and accumulates into the PPE's total.
+    pub fn charge(&mut self, work: &OpProfile) {
+        let cycles = self.model.cycles(work);
+        self.clock.advance(cycles);
+        self.profile.merge(work);
+    }
+
+    /// Advance the PPE clock by raw cycles (I/O waits, OS overhead).
+    pub fn charge_cycles(&mut self, n: u64) {
+        self.clock.advance(Cycles(n));
+    }
+
+    /// Total work charged to the PPE so far.
+    pub fn total_profile(&self) -> &OpProfile {
+        &self.profile
+    }
+
+    /// Elapsed virtual time.
+    pub fn elapsed(&self) -> VirtualDuration {
+        self.clock.elapsed()
+    }
+
+    // ---- mailbox endpoints (paper Listing 3) -----------------------------
+
+    /// `spe_write_in_mbox`: blocking write into an SPE's inbound mailbox.
+    pub fn write_in_mbox(&mut self, spe: usize, value: u32) -> CellResult<()> {
+        self.check_spe(spe)?;
+        self.clock.advance(Cycles(50));
+        self.profile.mailbox_ops += 1;
+        self.mailboxes[spe].inbound.write(value, self.clock.now())
+    }
+
+    /// `spe_stat_out_mbox`: words waiting in the SPE's outbound mailbox.
+    pub fn stat_out_mbox(&self, spe: usize) -> CellResult<usize> {
+        self.check_spe(spe)?;
+        Ok(self.mailboxes[spe].outbound.count())
+    }
+
+    /// `spe_read_out_mbox` after a successful poll: blocking read from the
+    /// SPE's outbound mailbox. The PPE clock advances to the message's
+    /// send time plus crossing latency — this is the virtual-time "stall"
+    /// of Fig. 4(b).
+    pub fn read_out_mbox(&mut self, spe: usize) -> CellResult<u32> {
+        self.check_spe(spe)?;
+        let s = self.mailboxes[spe].outbound.read()?;
+        self.clock.advance_to(s.stamp + MAILBOX_LATENCY);
+        self.clock.advance(Cycles(50));
+        self.profile.mailbox_ops += 1;
+        Ok(s.value)
+    }
+
+    /// Non-blocking read from the outbound mailbox.
+    pub fn try_read_out_mbox(&mut self, spe: usize) -> CellResult<u32> {
+        self.check_spe(spe)?;
+        let s = self.mailboxes[spe].outbound.try_read()?;
+        self.clock.advance_to(s.stamp + MAILBOX_LATENCY);
+        self.clock.advance(Cycles(50));
+        self.profile.mailbox_ops += 1;
+        Ok(s.value)
+    }
+
+    /// Blocking read from the interrupting outbound mailbox. Interrupt
+    /// delivery costs more PPE cycles than a poll hit but requires no
+    /// spinning — the trade paper §3.5 step 6 describes.
+    pub fn read_out_intr_mbox(&mut self, spe: usize) -> CellResult<u32> {
+        self.check_spe(spe)?;
+        let s = self.mailboxes[spe].outbound_intr.read()?;
+        self.clock.advance_to(s.stamp + MAILBOX_LATENCY);
+        self.clock.advance(Cycles(600)); // interrupt entry/exit
+        self.profile.mailbox_ops += 1;
+        Ok(s.value)
+    }
+
+    // ---- signals ---------------------------------------------------------
+
+    /// Raise bits in an SPE's signal register 1.
+    pub fn signal1(&mut self, spe: usize, bits: u32) -> CellResult<()> {
+        self.check_spe(spe)?;
+        self.clock.advance(Cycles(50));
+        self.signals1[spe].send(bits)
+    }
+
+    /// Raise bits in an SPE's signal register 2.
+    pub fn signal2(&mut self, spe: usize, bits: u32) -> CellResult<()> {
+        self.check_spe(spe)?;
+        self.clock.advance(Cycles(50));
+        self.signals2[spe].send(bits)
+    }
+
+    /// Synchronize the PPE clock with a set of worker completion stamps
+    /// (used by group scheduling: the PPE resumes when the *latest* group
+    /// member finishes).
+    pub fn join_at(&mut self, stamps: impl IntoIterator<Item = u64>) {
+        if let Some(max) = stamps.into_iter().max() {
+            self.clock.advance_to(max + MAILBOX_LATENCY);
+        }
+    }
+}
+
+impl std::fmt::Debug for Ppe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ppe")
+            .field("clock_cycles", &self.clock.now())
+            .field("num_spes", &self.num_spes())
+            .finish()
+    }
+}

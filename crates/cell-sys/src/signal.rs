@@ -1,0 +1,183 @@
+//! Signal-notification registers.
+//!
+//! Each SPE has two 32-bit signal-notification registers. A register runs
+//! in one of two modes:
+//!
+//! * **OR mode** — writes OR into the register, so several producers can
+//!   each raise their own bit (a light-weight barrier / event set);
+//! * **Overwrite mode** — a write replaces the value (a single-producer
+//!   doorbell).
+//!
+//! The SPE reads *and clears* the register atomically. The paper lists
+//! signals next to mailboxes as the short-message channel option in §3.4
+//! ("typically, this channel is based on the use of mailboxes or
+//! signals").
+
+use std::sync::Arc;
+
+use cell_core::{CellError, CellResult};
+use parking_lot::{Condvar, Mutex};
+
+/// Accumulation behaviour of a signal register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignalMode {
+    Or,
+    Overwrite,
+}
+
+#[derive(Debug)]
+struct Inner {
+    value: u32,
+    pending: bool,
+    closed: bool,
+}
+
+/// One signal-notification register.
+#[derive(Debug)]
+pub struct SignalRegister {
+    mode: SignalMode,
+    inner: Mutex<Inner>,
+    raised: Condvar,
+}
+
+impl SignalRegister {
+    pub fn new(mode: SignalMode) -> Arc<Self> {
+        Arc::new(SignalRegister {
+            mode,
+            inner: Mutex::new(Inner { value: 0, pending: false, closed: false }),
+            raised: Condvar::new(),
+        })
+    }
+
+    pub fn mode(&self) -> SignalMode {
+        self.mode
+    }
+
+    /// Raise a signal from the PPE (or another SPE's signalling DMA).
+    pub fn send(&self, bits: u32) -> CellResult<()> {
+        let mut g = self.inner.lock();
+        if g.closed {
+            return Err(CellError::MailboxClosed);
+        }
+        match self.mode {
+            SignalMode::Or => g.value |= bits,
+            SignalMode::Overwrite => g.value = bits,
+        }
+        g.pending = true;
+        drop(g);
+        self.raised.notify_all();
+        Ok(())
+    }
+
+    /// Blocking read-and-clear from the SPE side.
+    pub fn wait(&self) -> CellResult<u32> {
+        let mut g = self.inner.lock();
+        loop {
+            if g.pending {
+                g.pending = false;
+                return Ok(std::mem::take(&mut g.value));
+            }
+            if g.closed {
+                return Err(CellError::MailboxClosed);
+            }
+            self.raised.wait(&mut g);
+        }
+    }
+
+    /// Non-blocking read-and-clear; `Ok(None)` when nothing is pending.
+    pub fn poll(&self) -> CellResult<Option<u32>> {
+        let mut g = self.inner.lock();
+        if g.pending {
+            g.pending = false;
+            return Ok(Some(std::mem::take(&mut g.value)));
+        }
+        if g.closed {
+            return Err(CellError::MailboxClosed);
+        }
+        Ok(None)
+    }
+
+    /// Tear down: blocked waiters wake with an error.
+    pub fn close(&self) {
+        let mut g = self.inner.lock();
+        g.closed = true;
+        drop(g);
+        self.raised.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn or_mode_accumulates() {
+        let s = SignalRegister::new(SignalMode::Or);
+        s.send(0b0001).unwrap();
+        s.send(0b0100).unwrap();
+        assert_eq!(s.wait().unwrap(), 0b0101);
+        assert_eq!(s.poll().unwrap(), None, "read clears");
+    }
+
+    #[test]
+    fn overwrite_mode_replaces() {
+        let s = SignalRegister::new(SignalMode::Overwrite);
+        s.send(7).unwrap();
+        s.send(9).unwrap();
+        assert_eq!(s.wait().unwrap(), 9);
+    }
+
+    #[test]
+    fn wait_blocks_until_signal() {
+        let s = SignalRegister::new(SignalMode::Or);
+        let s2 = Arc::clone(&s);
+        let h = thread::spawn(move || s2.wait().unwrap());
+        thread::sleep(Duration::from_millis(20));
+        s.send(42).unwrap();
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn poll_on_empty_is_none() {
+        let s = SignalRegister::new(SignalMode::Or);
+        assert_eq!(s.poll().unwrap(), None);
+        s.send(1).unwrap();
+        assert_eq!(s.poll().unwrap(), Some(1));
+    }
+
+    #[test]
+    fn close_wakes_waiter() {
+        let s = SignalRegister::new(SignalMode::Or);
+        let s2 = Arc::clone(&s);
+        let h = thread::spawn(move || s2.wait());
+        thread::sleep(Duration::from_millis(20));
+        s.close();
+        assert!(h.join().unwrap().is_err());
+        assert!(s.send(1).is_err());
+    }
+
+    #[test]
+    fn zero_send_still_raises_pending() {
+        // A zero-valued signal is still an event: an OR-mode producer may
+        // legitimately raise bits that another consumer already cleared.
+        let s = SignalRegister::new(SignalMode::Overwrite);
+        s.send(0).unwrap();
+        assert_eq!(s.poll().unwrap(), Some(0));
+    }
+
+    #[test]
+    fn many_producers_or_their_bits() {
+        let s = SignalRegister::new(SignalMode::Or);
+        let mut hs = Vec::new();
+        for i in 0..8 {
+            let s = Arc::clone(&s);
+            hs.push(thread::spawn(move || s.send(1 << i).unwrap()));
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(s.wait().unwrap(), 0xFF);
+    }
+}

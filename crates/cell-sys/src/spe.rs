@@ -1,0 +1,321 @@
+//! The SPE-side execution environment.
+//!
+//! An SPE kernel in this workspace is a type implementing [`SpeProgram`];
+//! its `run` method is the `main(speid, argp)` of paper Listing 1. The
+//! [`SpeEnv`] handed to it holds exactly what real SPE code can touch:
+//!
+//! * its own 256 KB [`LocalStore`];
+//! * its [`Mfc`] (the only road to main memory);
+//! * an [`Spu`] SIMD context whose issue counts, together with DMA and
+//!   mailbox traffic, drive the SPE's [`VirtualClock`];
+//! * the inbound/outbound/interrupt mailboxes and two signal registers.
+//!
+//! Virtual-time bookkeeping: SIMD work accumulates in the [`Spu`] counters
+//! and is folded into the clock by [`SpeEnv::charge_compute`] — called
+//! automatically at every synchronization point (mailbox access, DMA
+//! wait), so kernels only call it explicitly when they want slice-level
+//! timing.
+
+use std::sync::Arc;
+
+use cell_core::{CellError, CellResult, Cycles, MachineProfile, OpProfile, VirtualClock};
+use cell_mem::LocalStore;
+use cell_mfc::Mfc;
+use cell_spu::{Spu, SpuCounters};
+
+use crate::mailbox::MailboxPair;
+use crate::signal::SignalRegister;
+
+/// Extra virtual latency (core cycles) for a mailbox word to cross between
+/// the PPE and an SPE.
+pub const MAILBOX_LATENCY: u64 = 100;
+
+/// A kernel that runs on an SPE.
+///
+/// Programs are long-running dispatchers: they loop on the inbound mailbox
+/// until they receive their exit opcode (paper Listing 1's `SPU_EXIT`),
+/// then return. Returning `Err` marks the SPE as faulted; the machine
+/// surfaces it on join.
+pub trait SpeProgram: Send + 'static {
+    /// Name used in reports and panics.
+    fn name(&self) -> &'static str {
+        "spe-kernel"
+    }
+
+    /// The kernel body.
+    fn run(&mut self, env: &mut SpeEnv) -> CellResult<()>;
+}
+
+impl<F> SpeProgram for F
+where
+    F: FnMut(&mut SpeEnv) -> CellResult<()> + Send + 'static,
+{
+    fn run(&mut self, env: &mut SpeEnv) -> CellResult<()> {
+        self(env)
+    }
+}
+
+/// Everything an SPE kernel can see.
+pub struct SpeEnv {
+    spe_id: usize,
+    /// The 256 KB local store.
+    pub ls: LocalStore,
+    /// The DMA engine.
+    pub mfc: Mfc,
+    /// The SIMD execution context.
+    pub spu: Spu,
+    /// This SPE's virtual clock (core frequency).
+    pub clock: VirtualClock,
+    mailboxes: MailboxPair,
+    signal1: Arc<SignalRegister>,
+    signal2: Arc<SignalRegister>,
+    /// Signal-1 registers of every SPE on the machine, for SPE→SPE
+    /// notification (real Cell SPEs signal each other with `sndsig`).
+    peer_signals: Vec<Arc<SignalRegister>>,
+    /// Cost model converting SIMD issue counts into cycles. Defaults to
+    /// the optimized-SPE profile; unoptimized kernels switch it.
+    compute_model: MachineProfile,
+    /// Counters already folded into the clock.
+    charged: SpuCounters,
+    /// Mailbox words read or written (for the op profile).
+    mailbox_ops: u64,
+}
+
+impl SpeEnv {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        spe_id: usize,
+        ls: LocalStore,
+        mfc: Mfc,
+        clock: VirtualClock,
+        mailboxes: MailboxPair,
+        signal1: Arc<SignalRegister>,
+        signal2: Arc<SignalRegister>,
+        peer_signals: Vec<Arc<SignalRegister>>,
+    ) -> Self {
+        SpeEnv {
+            spe_id,
+            ls,
+            mfc,
+            spu: Spu::new(),
+            clock,
+            mailboxes,
+            signal1,
+            signal2,
+            peer_signals,
+            compute_model: MachineProfile::spe_optimized(),
+            charged: SpuCounters::default(),
+            mailbox_ops: 0,
+        }
+    }
+
+    pub fn spe_id(&self) -> usize {
+        self.spe_id
+    }
+
+    /// Swap the compute cost model (e.g. to the unoptimized-SPE profile
+    /// when simulating a freshly ported kernel).
+    pub fn set_compute_model(&mut self, model: MachineProfile) {
+        // Fold outstanding work under the old model first.
+        self.charge_compute();
+        self.compute_model = model;
+    }
+
+    pub fn compute_model(&self) -> &MachineProfile {
+        &self.compute_model
+    }
+
+    /// Fold un-charged SIMD work into the virtual clock.
+    pub fn charge_compute(&mut self) {
+        let now = self.spu.counters();
+        let delta = now.since(&self.charged);
+        if delta.total() > 0 {
+            let cycles = self.compute_model.compute_cycles(&delta.to_profile());
+            self.clock.advance(cycles);
+            self.charged = now;
+        }
+    }
+
+    /// Charge `n` generic scalar control-flow cycles (loop bookkeeping the
+    /// SIMD counters do not see).
+    pub fn charge_cycles(&mut self, n: u64) {
+        self.clock.advance(Cycles(n));
+    }
+
+    // ---- mailboxes ------------------------------------------------------
+
+    /// Blocking read from the inbound mailbox (`spu_read_in_mbox`).
+    pub fn read_in_mbox(&mut self) -> CellResult<u32> {
+        self.charge_compute();
+        let s = self.mailboxes.inbound.read()?;
+        self.clock.advance_to(s.stamp + MAILBOX_LATENCY);
+        self.clock.advance(Cycles(10));
+        self.mailbox_ops += 1;
+        Ok(s.value)
+    }
+
+    /// Non-blocking read from the inbound mailbox.
+    pub fn try_read_in_mbox(&mut self) -> CellResult<u32> {
+        self.charge_compute();
+        let s = self.mailboxes.inbound.try_read()?;
+        self.clock.advance_to(s.stamp + MAILBOX_LATENCY);
+        self.clock.advance(Cycles(10));
+        self.mailbox_ops += 1;
+        Ok(s.value)
+    }
+
+    /// Blocking write to the outbound mailbox (`spu_write_out_mbox`).
+    pub fn write_out_mbox(&mut self, value: u32) -> CellResult<()> {
+        self.charge_compute();
+        self.clock.advance(Cycles(10));
+        self.mailbox_ops += 1;
+        self.mailboxes.outbound.write(value, self.clock.now())
+    }
+
+    /// Blocking write to the interrupting outbound mailbox
+    /// (`spu_write_out_intr_mbox`).
+    pub fn write_out_intr_mbox(&mut self, value: u32) -> CellResult<()> {
+        self.charge_compute();
+        self.clock.advance(Cycles(10));
+        self.mailbox_ops += 1;
+        self.mailboxes.outbound_intr.write(value, self.clock.now())
+    }
+
+    /// Words waiting in the inbound mailbox.
+    pub fn in_mbox_count(&self) -> usize {
+        self.mailboxes.inbound.count()
+    }
+
+    // ---- signals --------------------------------------------------------
+
+    /// Blocking read-and-clear of signal register 1.
+    pub fn wait_signal1(&mut self) -> CellResult<u32> {
+        self.charge_compute();
+        let v = self.signal1.wait()?;
+        self.clock.advance(Cycles(10));
+        Ok(v)
+    }
+
+    /// Blocking read-and-clear of signal register 2.
+    pub fn wait_signal2(&mut self) -> CellResult<u32> {
+        self.charge_compute();
+        let v = self.signal2.wait()?;
+        self.clock.advance(Cycles(10));
+        Ok(v)
+    }
+
+    /// Poll signal register 1.
+    pub fn poll_signal1(&mut self) -> CellResult<Option<u32>> {
+        self.signal1.poll()
+    }
+
+    /// Raise bits in *another* SPE's signal register 1 (`sndsig`): the
+    /// SPE-to-SPE notification path that lets kernels chain without a
+    /// PPE round-trip. Signalling yourself is refused — use local state.
+    pub fn signal_peer(&mut self, spe: usize, bits: u32) -> CellResult<()> {
+        if spe == self.spe_id {
+            return Err(CellError::BadConfig {
+                message: "an SPE cannot signal itself".to_string(),
+            });
+        }
+        let reg = Arc::clone(self.peer_signals.get(spe).ok_or(CellError::NoSpeAvailable {
+            requested: spe + 1,
+            available: self.peer_signals.len(),
+        })?);
+        self.charge_compute();
+        // A signalling write travels the EIB like a tiny DMA: charge the
+        // channel write plus crossing latency.
+        self.clock.advance(Cycles(10 + MAILBOX_LATENCY));
+        reg.send(bits)
+    }
+
+    // ---- DMA convenience (charges compute before waiting) ---------------
+
+    /// `mfc_get` + tag wait in one call, for simple kernels.
+    pub fn dma_get_sync(&mut self, la: cell_mem::LsAddr, ea: u64, size: usize, tag: u32) -> CellResult<()> {
+        self.charge_compute();
+        self.mfc.get(&mut self.ls, la, ea, size, tag, &mut self.clock)?;
+        self.mfc.wait_tag(tag, &mut self.clock)
+    }
+
+    /// `mfc_put` + tag wait in one call.
+    pub fn dma_put_sync(&mut self, la: cell_mem::LsAddr, ea: u64, size: usize, tag: u32) -> CellResult<()> {
+        self.charge_compute();
+        self.mfc.put(&mut self.ls, la, ea, size, tag, &mut self.clock)?;
+        self.mfc.wait_tag(tag, &mut self.clock)
+    }
+
+    /// Large synchronous get (splits at the 16 KB cap).
+    pub fn dma_get_large_sync(
+        &mut self,
+        la: cell_mem::LsAddr,
+        ea: u64,
+        size: usize,
+        tag: u32,
+    ) -> CellResult<()> {
+        self.charge_compute();
+        self.mfc.get_large(&mut self.ls, la, ea, size, tag, &mut self.clock)?;
+        self.mfc.wait_tag(tag, &mut self.clock)
+    }
+
+    /// Large synchronous put.
+    pub fn dma_put_large_sync(
+        &mut self,
+        la: cell_mem::LsAddr,
+        ea: u64,
+        size: usize,
+        tag: u32,
+    ) -> CellResult<()> {
+        self.charge_compute();
+        self.mfc.put_large(&mut self.ls, la, ea, size, tag, &mut self.clock)?;
+        self.mfc.wait_tag(tag, &mut self.clock)
+    }
+
+    // ---- reporting ------------------------------------------------------
+
+    /// The full operation profile of the kernel so far: SIMD counters plus
+    /// DMA traffic and mailbox words.
+    pub fn profile(&self) -> OpProfile {
+        let mut p = self.spu.counters().to_profile();
+        let m = self.mfc.stats();
+        p.dma_bytes_in = m.bytes_in;
+        p.dma_bytes_out = m.bytes_out;
+        p.dma_transfers = m.transfers;
+        p.mailbox_ops = self.mailbox_ops;
+        p
+    }
+
+    /// Elapsed virtual time on this SPE.
+    pub fn elapsed(&self) -> cell_core::VirtualDuration {
+        self.clock.elapsed()
+    }
+
+    pub(crate) fn into_report(mut self, fault: Option<String>) -> super::machine::SpeReport {
+        self.charge_compute();
+        super::machine::SpeReport {
+            spe_id: self.spe_id,
+            counters: self.spu.counters(),
+            mfc: self.mfc.stats(),
+            profile: self.profile(),
+            cycles: self.clock.now(),
+            elapsed: self.clock.elapsed(),
+            ls_high_water: self.ls.high_water(),
+            fault,
+        }
+    }
+}
+
+impl std::fmt::Debug for SpeEnv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpeEnv")
+            .field("spe_id", &self.spe_id)
+            .field("clock_cycles", &self.clock.now())
+            .field("counters", &self.spu.counters())
+            .finish()
+    }
+}
+
+/// A helper error constructor for kernels.
+pub fn spe_fault(spe: usize, message: impl Into<String>) -> CellError {
+    CellError::SpeFault { spe, message: message.into() }
+}

@@ -1,0 +1,148 @@
+//! k-nearest-neighbour classification — the paper's alternative to SVMs.
+//!
+//! §5.1 lists kNN next to SVMs as the statistical classification options
+//! MARVEL supports. It is implemented here as the baseline classifier the
+//! benchmarks compare the SVM path against.
+
+use cell_core::{CellError, CellResult, OpClass, OpProfile};
+
+/// A labelled exemplar set with a distance-vote classifier.
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    dim: usize,
+    exemplars: Vec<f32>,
+    labels: Vec<i8>,
+    k: usize,
+}
+
+impl KnnClassifier {
+    pub fn new(dim: usize, k: usize) -> CellResult<Self> {
+        if dim == 0 || k == 0 {
+            return Err(CellError::BadData { message: format!("bad kNN params dim={dim} k={k}") });
+        }
+        Ok(KnnClassifier { dim, exemplars: Vec::new(), labels: Vec::new(), k })
+    }
+
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Add a labelled exemplar (`label` is ±1).
+    pub fn insert(&mut self, feature: &[f32], label: i8) -> CellResult<()> {
+        if feature.len() != self.dim {
+            return Err(CellError::BadData {
+                message: format!("feature dim {} != {}", feature.len(), self.dim),
+            });
+        }
+        if label != 1 && label != -1 {
+            return Err(CellError::BadData { message: format!("label must be ±1, got {label}") });
+        }
+        self.exemplars.extend_from_slice(feature);
+        self.labels.push(label);
+        Ok(())
+    }
+
+    fn d2(&self, i: usize, x: &[f32]) -> f32 {
+        self.exemplars[i * self.dim..(i + 1) * self.dim]
+            .iter()
+            .zip(x)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    /// Majority vote over the `k` nearest exemplars; ties break negative.
+    pub fn classify(&self, x: &[f32]) -> CellResult<bool> {
+        if x.len() != self.dim {
+            return Err(CellError::BadData {
+                message: format!("feature dim {} != {}", x.len(), self.dim),
+            });
+        }
+        if self.is_empty() {
+            return Err(CellError::BadData { message: "empty exemplar set".to_string() });
+        }
+        let mut dists: Vec<(f32, i8)> =
+            (0..self.len()).map(|i| (self.d2(i, x), self.labels[i])).collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+        let vote: i32 = dists[..k].iter().map(|&(_, l)| l as i32).sum();
+        Ok(vote > 0)
+    }
+
+    /// Classify with the reference cost profile (distance scans are the
+    /// same multiply-add stream SVM scoring pays, plus the selection).
+    pub fn classify_counted(&self, x: &[f32], prof: &mut OpProfile) -> CellResult<bool> {
+        let n = self.len() as u64;
+        let d = self.dim as u64;
+        prof.record(OpClass::Load, n * d * 2);
+        prof.record(OpClass::FpAdd, n * d * 2);
+        prof.record(OpClass::FpMul, n * d);
+        prof.record(OpClass::BranchHard, n); // selection compares
+        prof.record(OpClass::IntAlu, n * 2);
+        self.classify(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained() -> KnnClassifier {
+        let mut knn = KnnClassifier::new(2, 3).unwrap();
+        // Positive cluster near (1, 1), negative near (-1, -1).
+        for d in [-0.1f32, 0.0, 0.1] {
+            knn.insert(&[1.0 + d, 1.0 - d], 1).unwrap();
+            knn.insert(&[-1.0 + d, -1.0 - d], -1).unwrap();
+        }
+        knn
+    }
+
+    #[test]
+    fn classifies_clusters() {
+        let knn = trained();
+        assert!(knn.classify(&[0.9, 1.1]).unwrap());
+        assert!(!knn.classify(&[-0.9, -1.2]).unwrap());
+    }
+
+    #[test]
+    fn k_larger_than_set_is_clamped() {
+        let mut knn = KnnClassifier::new(1, 99).unwrap();
+        knn.insert(&[0.0], 1).unwrap();
+        assert!(knn.classify(&[0.1]).unwrap());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(KnnClassifier::new(0, 3).is_err());
+        assert!(KnnClassifier::new(3, 0).is_err());
+        let mut knn = KnnClassifier::new(2, 1).unwrap();
+        assert!(knn.insert(&[1.0], 1).is_err());
+        assert!(knn.insert(&[1.0, 2.0], 0).is_err());
+        assert!(knn.classify(&[0.0, 0.0]).is_err(), "empty set");
+        knn.insert(&[1.0, 2.0], 1).unwrap();
+        assert!(knn.classify(&[0.0]).is_err(), "dim mismatch");
+    }
+
+    #[test]
+    fn counted_matches() {
+        let knn = trained();
+        let mut prof = OpProfile::new();
+        assert_eq!(
+            knn.classify(&[0.5, 0.5]).unwrap(),
+            knn.classify_counted(&[0.5, 0.5], &mut prof).unwrap()
+        );
+        assert!(prof.total_ops() > 0);
+    }
+
+    #[test]
+    fn tie_breaks_negative() {
+        let mut knn = KnnClassifier::new(1, 2).unwrap();
+        knn.insert(&[0.0], 1).unwrap();
+        knn.insert(&[0.2], -1).unwrap();
+        // k=2 → vote 0 → negative.
+        assert!(!knn.classify(&[0.1]).unwrap());
+    }
+}

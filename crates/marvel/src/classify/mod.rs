@@ -1,0 +1,47 @@
+//! Concept detection — the classification stage of the MARVEL pipeline.
+//!
+//! Paper §5.1: "the extracted features go through the concept detection
+//! phase, based on a collection of precomputed models and using one of the
+//! several available statistical classification methods like Support
+//! Vector Machines (SVMs), k-nearest neighbor search (kNN)". The paper's
+//! experiments use SVMs with model collections of 186 (CH), 225 (CC), 210
+//! (EH) and 255 (TX) vectors.
+//!
+//! * [`svm`] — RBF/linear SVM scoring, with the byte layout the SPE
+//!   kernel streams over DMA, plus synthetic "precomputed" model
+//!   generation;
+//! * [`knn`] — the kNN alternative, as a baseline classifier;
+//! * [`train`] — a small Pegasos-style trainer, so the "short training
+//!   phase" of the paper is represented rather than assumed.
+
+pub mod knn;
+pub mod svm;
+pub mod train;
+
+pub use svm::{SvmKernel, SvmModel};
+
+/// The paper's model-collection sizes per feature (§5.5: "186 vectors for
+/// color histogram, 225 for color correlogram, 210 for edge detection and
+/// 255 for texture").
+pub fn paper_model_size(kind: crate::features::KernelKind) -> usize {
+    match kind {
+        crate::features::KernelKind::Ch => 186,
+        crate::features::KernelKind::Cc => 225,
+        crate::features::KernelKind::Eh => 210,
+        crate::features::KernelKind::Tx => 255,
+        crate::features::KernelKind::Cd => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::features::KernelKind;
+
+    #[test]
+    fn paper_model_sizes() {
+        assert_eq!(super::paper_model_size(KernelKind::Ch), 186);
+        assert_eq!(super::paper_model_size(KernelKind::Cc), 225);
+        assert_eq!(super::paper_model_size(KernelKind::Eh), 210);
+        assert_eq!(super::paper_model_size(KernelKind::Tx), 255);
+    }
+}

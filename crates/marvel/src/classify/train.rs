@@ -1,0 +1,179 @@
+//! A small linear-SVM trainer (Pegasos-style stochastic sub-gradient).
+//!
+//! The paper's pipeline assumes "a short training phase" produced the
+//! concept models offline; this module makes that phase real enough to
+//! train models on synthetic labelled features. The trainer is
+//! deliberately simple — primal Pegasos with a fixed epoch budget — which
+//! is plenty for the linearly-separable synthetic concepts the examples
+//! and benchmarks use.
+
+use cell_core::{CellError, CellResult};
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+use crate::classify::svm::{SvmKernel, SvmModel};
+
+/// Training configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Regularization strength λ.
+    pub lambda: f32,
+    /// Passes over the data.
+    pub epochs: usize,
+    /// RNG seed (sampling order).
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { lambda: 1e-3, epochs: 30, seed: 1 }
+    }
+}
+
+/// Train a linear SVM on `(features, labels ±1)`; returns it wrapped as an
+/// [`SvmModel`] with a single weight "support vector", so it plugs into
+/// the same scoring path (including the SPE kernel) as RBF models.
+pub fn train_linear(
+    features: &[Vec<f32>],
+    labels: &[i8],
+    cfg: TrainConfig,
+) -> CellResult<SvmModel> {
+    if features.is_empty() || features.len() != labels.len() {
+        return Err(CellError::BadData {
+            message: format!("{} features vs {} labels", features.len(), labels.len()),
+        });
+    }
+    let dim = features[0].len();
+    if dim == 0 || features.iter().any(|f| f.len() != dim) {
+        return Err(CellError::BadData { message: "inconsistent feature dimensions".to_string() });
+    }
+    if labels.iter().any(|&l| l != 1 && l != -1) {
+        return Err(CellError::BadData { message: "labels must be ±1".to_string() });
+    }
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut w = vec![0.0f32; dim];
+    let mut b = 0.0f32;
+    let mut order: Vec<usize> = (0..features.len()).collect();
+    let mut t = 1u64;
+    for _ in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        for &i in &order {
+            let eta = 1.0 / (cfg.lambda * t as f32);
+            let x = &features[i];
+            let y = labels[i] as f32;
+            let margin = y * (dot(&w, x) + b);
+            // Regularization shrink.
+            let shrink = 1.0 - eta * cfg.lambda;
+            for wj in w.iter_mut() {
+                *wj *= shrink;
+            }
+            if margin < 1.0 {
+                for (wj, xj) in w.iter_mut().zip(x) {
+                    *wj += eta * y * xj;
+                }
+                b += eta * y * 0.1;
+            }
+            t += 1;
+        }
+    }
+    SvmModel::new("trained-linear", dim, SvmKernel::Linear, w, vec![1.0], b)
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Accuracy of a model on a labelled set.
+pub fn accuracy(model: &SvmModel, features: &[Vec<f32>], labels: &[i8]) -> CellResult<f64> {
+    let mut hits = 0usize;
+    for (x, &y) in features.iter().zip(labels) {
+        if model.classify(x)? == (y > 0) {
+            hits += 1;
+        }
+    }
+    Ok(hits as f64 / features.len() as f64)
+}
+
+/// Generate a linearly separable synthetic concept set: positives shifted
+/// along a random direction.
+pub fn synthetic_concept(
+    dim: usize,
+    n_per_class: usize,
+    seed: u64,
+) -> (Vec<Vec<f32>>, Vec<i8>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let direction: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let norm = dot(&direction, &direction).sqrt().max(1e-6);
+    let mut features = Vec::with_capacity(2 * n_per_class);
+    let mut labels = Vec::with_capacity(2 * n_per_class);
+    for class in [1i8, -1] {
+        for _ in 0..n_per_class {
+            let x: Vec<f32> = direction
+                .iter()
+                .map(|&d| {
+                    let noise = rng.gen_range(-0.3f32..0.3);
+                    0.5 + class as f32 * 0.8 * d / norm + noise
+                })
+                .collect();
+            features.push(x);
+            labels.push(class);
+        }
+    }
+    (features, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trains_a_separable_concept() {
+        let (features, labels) = synthetic_concept(16, 60, 5);
+        let model = train_linear(&features, &labels, TrainConfig::default()).unwrap();
+        let acc = accuracy(&model, &features, &labels).unwrap();
+        assert!(acc > 0.9, "training accuracy {acc}");
+    }
+
+    #[test]
+    fn generalizes_to_held_out_data() {
+        let (train_f, train_l) = synthetic_concept(16, 80, 6);
+        let model = train_linear(&train_f, &train_l, TrainConfig::default()).unwrap();
+        let (test_f, test_l) = synthetic_concept(16, 40, 999); // fresh noise, same structure? no —
+        // same seed-direction matters; use a split of the training distribution instead:
+        let (all_f, all_l) = synthetic_concept(16, 120, 6);
+        let (hold_f, hold_l) = (&all_f[160..], &all_l[160..]);
+        let acc = accuracy(&model, hold_f, hold_l).unwrap();
+        assert!(acc > 0.85, "held-out accuracy {acc}");
+        // Different concept → near-chance performance (sanity: the model
+        // is not trivially predicting one class).
+        let acc_other = accuracy(&model, &test_f, &test_l).unwrap();
+        assert!(acc_other < 0.95);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(train_linear(&[], &[], TrainConfig::default()).is_err());
+        let f = vec![vec![1.0, 2.0]];
+        assert!(train_linear(&f, &[1, -1], TrainConfig::default()).is_err());
+        assert!(train_linear(&f, &[2], TrainConfig::default()).is_err());
+        let ragged = vec![vec![1.0], vec![1.0, 2.0]];
+        assert!(train_linear(&ragged, &[1, -1], TrainConfig::default()).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (f, l) = synthetic_concept(8, 30, 7);
+        let a = train_linear(&f, &l, TrainConfig::default()).unwrap();
+        let b = train_linear(&f, &l, TrainConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trained_model_flows_through_the_wire_format() {
+        let (f, l) = synthetic_concept(12, 40, 8);
+        let model = train_linear(&f, &l, TrainConfig::default()).unwrap();
+        let back = SvmModel::from_wire("trained-linear", &model.to_wire()).unwrap();
+        assert_eq!(model, back);
+    }
+}

@@ -1,0 +1,116 @@
+//! The four visual-feature extractors of the MARVEL case study.
+//!
+//! Paper §5.2 defines the kernels and their measured share of per-image
+//! execution time on the PPE:
+//!
+//! | kernel | what it computes | paper coverage |
+//! |---|---|---|
+//! | [`histogram`] (CH) | 166-bin HSV color histogram | 8 % |
+//! | [`correlogram`] (CC) | color auto-correlogram, 17×17 window | 54 % |
+//! | [`texture`] (TX) | wavelet subband energies | 6 % |
+//! | [`edge`] (EH) | Sobel edge histogram | 28 % |
+//!
+//! Every extractor exists in a scalar *reference* form (with an
+//! op-counted twin) and in the *sliced* form the SPE kernels use. The
+//! sliced forms process row bands with explicit halos — the paper's §3.4
+//! "the data slices or the processing must take care of the new border
+//! conditions at the data slice edges" is a hard functional requirement
+//! here, enforced by equality tests against the reference.
+
+pub mod correlogram;
+pub mod edge;
+pub mod histogram;
+pub mod texture;
+
+/// A feature vector, L1- or L2-normalized depending on the extractor.
+pub type Feature = Vec<f32>;
+
+/// Kernel identifiers used across the app, schedules and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Color histogram extraction.
+    Ch,
+    /// Color correlogram extraction.
+    Cc,
+    /// Texture extraction.
+    Tx,
+    /// Edge histogram extraction.
+    Eh,
+    /// Concept detection (SVM scoring of all four features).
+    Cd,
+}
+
+impl KernelKind {
+    pub const ALL: [KernelKind; 5] =
+        [KernelKind::Ch, KernelKind::Cc, KernelKind::Tx, KernelKind::Eh, KernelKind::Cd];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Ch => "CHExtract",
+            KernelKind::Cc => "CCExtract",
+            KernelKind::Tx => "TXExtract",
+            KernelKind::Eh => "EHExtract",
+            KernelKind::Cd => "ConceptDet",
+        }
+    }
+
+    /// The paper's measured coverage of per-image execution time (§5.2),
+    /// used for comparison in experiment reports.
+    pub fn paper_coverage(self) -> f64 {
+        match self {
+            KernelKind::Ch => 0.08,
+            KernelKind::Cc => 0.54,
+            KernelKind::Tx => 0.06,
+            KernelKind::Eh => 0.28,
+            KernelKind::Cd => 0.02,
+        }
+    }
+
+    /// The paper's Table 1 SPE-vs-PPE speed-ups.
+    pub fn paper_speedup(self) -> f64 {
+        match self {
+            KernelKind::Ch => 53.67,
+            KernelKind::Cc => 52.23,
+            KernelKind::Tx => 15.99,
+            KernelKind::Eh => 65.94,
+            KernelKind::Cd => 10.80,
+        }
+    }
+}
+
+/// L1-normalize counts into a feature vector (histogram-style kernels).
+pub fn normalize_l1(counts: &[u32]) -> Feature {
+    let total: u64 = counts.iter().map(|&c| c as u64).sum();
+    if total == 0 {
+        return vec![0.0; counts.len()];
+    }
+    counts.iter().map(|&c| c as f32 / total as f32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_names_and_paper_numbers() {
+        assert_eq!(KernelKind::Cc.name(), "CCExtract");
+        let total: f64 = KernelKind::ALL.iter().map(|k| k.paper_coverage()).sum();
+        assert!((total - 0.98).abs() < 1e-9, "paper coverage sums to 98 % (2 % preprocessing)");
+        assert!(KernelKind::Eh.paper_speedup() > KernelKind::Cd.paper_speedup());
+    }
+
+    #[test]
+    fn normalize_l1_sums_to_one() {
+        let f = normalize_l1(&[1, 3, 0, 4]);
+        let sum: f32 = f.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert_eq!(f[2], 0.0);
+        assert!((f[3] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_l1_empty_counts() {
+        let f = normalize_l1(&[0, 0, 0]);
+        assert_eq!(f, vec![0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,252 @@
+//! The MARVEL *retrieval* engine (paper §5.1, engine 2): "integrates
+//! multimedia semantics-based searching with other search techniques for
+//! image and/or video searching".
+//!
+//! The analysis engine (this crate's main subject) produces per-image
+//! feature vectors and concept scores; [`FeatureIndex`] stores them and
+//! answers the two query types MARVEL serves:
+//!
+//! * **query-by-example** — rank indexed images by feature-space
+//!   similarity to a query image (histogram intersection for the
+//!   histogram-style features, L2 for the rest, score-fused across
+//!   feature kinds);
+//! * **query-by-concept** — rank by a concept's SVM decision value
+//!   ("find images the `CHExtract`-concept detector likes").
+
+use cell_core::{CellError, CellResult};
+
+use crate::app::ImageAnalysis;
+use crate::features::KernelKind;
+
+/// An indexed image: external id + its analysis.
+#[derive(Debug, Clone)]
+struct Entry {
+    id: u64,
+    analysis: ImageAnalysis,
+}
+
+/// One ranked search hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    pub id: u64,
+    /// Higher is better; in `[0, 1]` for query-by-example.
+    pub score: f64,
+}
+
+/// A searchable store of analyzed images.
+#[derive(Debug, Default)]
+pub struct FeatureIndex {
+    entries: Vec<Entry>,
+}
+
+/// Similarity of two feature vectors of the same kind.
+fn similarity(kind: KernelKind, a: &[f32], b: &[f32]) -> f64 {
+    match kind {
+        // Histogram intersection: natural for L1-normalized histograms
+        // and the CC probability vector.
+        KernelKind::Ch | KernelKind::Cc | KernelKind::Eh => {
+            a.iter().zip(b).map(|(&x, &y)| x.min(y) as f64).sum::<f64>()
+                / a.iter().zip(b).map(|(&x, &y)| x.max(y) as f64).sum::<f64>().max(1e-12)
+        }
+        // Texture (and anything else): inverse normalized L2.
+        _ => {
+            let d2: f64 = a.iter().zip(b).map(|(&x, &y)| ((x - y) as f64).powi(2)).sum();
+            1.0 / (1.0 + d2.sqrt())
+        }
+    }
+}
+
+impl FeatureIndex {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Index an analyzed image under `id`. Re-indexing an id replaces it.
+    pub fn insert(&mut self, id: u64, analysis: ImageAnalysis) {
+        self.entries.retain(|e| e.id != id);
+        self.entries.push(Entry { id, analysis });
+    }
+
+    /// Query by example: fuse per-feature similarities (equal weights)
+    /// and return the top `k` hits, best first.
+    pub fn query_by_example(&self, query: &ImageAnalysis, k: usize) -> CellResult<Vec<Hit>> {
+        if self.is_empty() {
+            return Err(CellError::BadData { message: "empty index".to_string() });
+        }
+        let mut hits: Vec<Hit> = self
+            .entries
+            .iter()
+            .map(|e| {
+                let mut total = 0.0;
+                let mut n = 0usize;
+                for (kind, qf) in &query.features {
+                    let ef = e.analysis.feature(*kind);
+                    total += similarity(*kind, qf, ef);
+                    n += 1;
+                }
+                Hit { id: e.id, score: total / n.max(1) as f64 }
+            })
+            .collect();
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+        hits.truncate(k);
+        Ok(hits)
+    }
+
+    /// Query by concept: rank by one feature kind's SVM decision value.
+    pub fn query_by_concept(&self, kind: KernelKind, k: usize) -> CellResult<Vec<Hit>> {
+        if self.is_empty() {
+            return Err(CellError::BadData { message: "empty index".to_string() });
+        }
+        let mut hits: Vec<Hit> = self
+            .entries
+            .iter()
+            .map(|e| Hit { id: e.id, score: e.analysis.score(kind) as f64 })
+            .collect();
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+        hits.truncate(k);
+        Ok(hits)
+    }
+
+    /// Hybrid query (the "integrates … with other search techniques"
+    /// bit): example similarity re-weighted by a concept's decision
+    /// value passed through a logistic squash.
+    pub fn query_hybrid(
+        &self,
+        query: &ImageAnalysis,
+        concept: KernelKind,
+        concept_weight: f64,
+        k: usize,
+    ) -> CellResult<Vec<Hit>> {
+        if !(0.0..=1.0).contains(&concept_weight) {
+            return Err(CellError::BadData {
+                message: format!("concept weight {concept_weight} outside [0, 1]"),
+            });
+        }
+        let by_example = self.query_by_example(query, self.len())?;
+        let mut hits: Vec<Hit> = by_example
+            .into_iter()
+            .map(|h| {
+                let e = self.entries.iter().find(|e| e.id == h.id).expect("hit id");
+                let c = 1.0 / (1.0 + (-e.analysis.score(concept) as f64).exp());
+                Hit { id: h.id, score: (1.0 - concept_weight) * h.score + concept_weight * c }
+            })
+            .collect();
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+        hits.truncate(k);
+        Ok(hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::ReferenceMarvel;
+    use crate::codec;
+    use crate::image::ColorImage;
+
+    fn analyses(n: usize) -> Vec<ImageAnalysis> {
+        let mut app = ReferenceMarvel::new(5);
+        (0..n)
+            .map(|i| {
+                let img = ColorImage::synthetic(48, 32, 1000 + i as u64).unwrap();
+                app.analyze(&codec::encode(&img, 90)).unwrap()
+            })
+            .collect()
+    }
+
+    fn noisy_variant(seed: u64) -> ImageAnalysis {
+        // A slightly perturbed re-encode of the same scene: similar but
+        // not identical features.
+        let img = ColorImage::synthetic(48, 32, seed).unwrap();
+        let mut app = ReferenceMarvel::new(5);
+        app.analyze(&codec::encode(&img, 40)).unwrap()
+    }
+
+    #[test]
+    fn query_by_example_finds_itself_first() {
+        let set = analyses(5);
+        let mut idx = FeatureIndex::new();
+        for (i, a) in set.iter().enumerate() {
+            idx.insert(i as u64, a.clone());
+        }
+        for (i, a) in set.iter().enumerate() {
+            let hits = idx.query_by_example(a, 3).unwrap();
+            assert_eq!(hits[0].id, i as u64, "self must rank first");
+            assert!((hits[0].score - 1.0).abs() < 1e-9, "self-similarity is 1");
+            assert!(hits[0].score >= hits[1].score);
+        }
+    }
+
+    #[test]
+    fn near_duplicate_ranks_above_strangers() {
+        let set = analyses(4);
+        let mut idx = FeatureIndex::new();
+        for (i, a) in set.iter().enumerate() {
+            idx.insert(i as u64, a.clone());
+        }
+        // Image 0 is seed 1000; a re-encode of the same scene at low
+        // quality is a near-duplicate.
+        let near = noisy_variant(1000);
+        let hits = idx.query_by_example(&near, 4).unwrap();
+        assert_eq!(hits[0].id, 0, "near-duplicate should retrieve the original: {hits:?}");
+    }
+
+    #[test]
+    fn query_by_concept_orders_by_score() {
+        let set = analyses(5);
+        let mut idx = FeatureIndex::new();
+        for (i, a) in set.iter().enumerate() {
+            idx.insert(i as u64, a.clone());
+        }
+        let hits = idx.query_by_concept(KernelKind::Cc, 5).unwrap();
+        assert_eq!(hits.len(), 5);
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn hybrid_weights_are_validated_and_blend() {
+        let set = analyses(3);
+        let mut idx = FeatureIndex::new();
+        for (i, a) in set.iter().enumerate() {
+            idx.insert(i as u64, a.clone());
+        }
+        assert!(idx.query_hybrid(&set[0], KernelKind::Ch, 1.5, 3).is_err());
+        // Weight 0 degenerates to query-by-example.
+        let h0 = idx.query_hybrid(&set[0], KernelKind::Ch, 0.0, 3).unwrap();
+        let he = idx.query_by_example(&set[0], 3).unwrap();
+        assert_eq!(h0[0].id, he[0].id);
+        // Weight 1 degenerates to concept ordering.
+        let h1 = idx.query_hybrid(&set[0], KernelKind::Ch, 1.0, 3).unwrap();
+        let hc = idx.query_by_concept(KernelKind::Ch, 3).unwrap();
+        assert_eq!(h1[0].id, hc[0].id);
+    }
+
+    #[test]
+    fn reinsert_replaces() {
+        let set = analyses(2);
+        let mut idx = FeatureIndex::new();
+        idx.insert(7, set[0].clone());
+        idx.insert(7, set[1].clone());
+        assert_eq!(idx.len(), 1);
+        let hits = idx.query_by_example(&set[1], 1).unwrap();
+        assert!((hits[0].score - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_index_errors() {
+        let idx = FeatureIndex::new();
+        let q = analyses(1).pop().unwrap();
+        assert!(idx.query_by_example(&q, 1).is_err());
+        assert!(idx.query_by_concept(KernelKind::Ch, 1).is_err());
+    }
+}

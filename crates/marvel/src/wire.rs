@@ -1,0 +1,160 @@
+//! Wrapper layouts shared by the PPE stubs and the SPE kernels.
+//!
+//! Paper §3.3: the stub and the kernel must agree on one "common data
+//! structure" per kernel. Both sides of the simulated DMA boundary build
+//! the same [`StructLayout`] through these constructors, so offsets can
+//! never drift apart (the C version relies on a shared header file for
+//! the same guarantee).
+
+use cell_core::{align_up, CellResult, QUADWORD};
+use cell_mem::{FieldId, StructLayout};
+
+use crate::image::ColorImage;
+use crate::classify::svm::SvmModel;
+
+/// Wrapper for the four feature-extraction kernels: image geometry, the
+/// effective address of the pixel data, and the output feature buffer.
+#[derive(Debug, Clone)]
+pub struct ExtractWire {
+    pub layout: StructLayout,
+    pub width: FieldId,
+    pub height: FieldId,
+    pub stride: FieldId,
+    pub image_ea: FieldId,
+    pub out: FieldId,
+    pub out_dim: usize,
+}
+
+impl ExtractWire {
+    pub fn new(out_dim: usize) -> CellResult<Self> {
+        let mut l = StructLayout::new();
+        let width = l.field_u32("width")?;
+        let height = l.field_u32("height")?;
+        let stride = l.field_u32("stride")?;
+        let image_ea = l.field_addr("image_ea")?;
+        let out = l.field_buffer("out", out_dim * 4)?;
+        Ok(ExtractWire { layout: l, width, height, stride, image_ea, out, out_dim })
+    }
+
+    /// Bytes of the header part (everything before the output buffer) —
+    /// what the kernel DMAs in first.
+    pub fn header_bytes(&self) -> usize {
+        align_up(self.layout.offset(self.out), QUADWORD)
+    }
+}
+
+/// Wrapper for the concept-detection kernel: the feature to score and the
+/// effective address of the model collection entry.
+#[derive(Debug, Clone)]
+pub struct DetectWire {
+    pub layout: StructLayout,
+    pub dim: FieldId,
+    pub model_ea: FieldId,
+    pub model_bytes: FieldId,
+    pub feature: FieldId,
+    pub out: FieldId,
+    pub feature_dim: usize,
+}
+
+impl DetectWire {
+    pub fn new(feature_dim: usize) -> CellResult<Self> {
+        let mut l = StructLayout::new();
+        let dim = l.field_u32("dim")?;
+        let model_bytes = l.field_u32("model_bytes")?;
+        let model_ea = l.field_addr("model_ea")?;
+        let feature = l.field_buffer("feature", feature_dim * 4)?;
+        let out = l.field_buffer("out", 16)?;
+        Ok(DetectWire { layout: l, dim, model_ea, model_bytes, feature, out, feature_dim })
+    }
+
+    /// Bytes the kernel DMAs in: header + feature buffer.
+    pub fn in_bytes(&self) -> usize {
+        align_up(self.layout.offset(self.out), QUADWORD)
+    }
+}
+
+/// The row stride (bytes) an image is uploaded with: rows padded to a
+/// quadword multiple so every band DMA is legal for every width.
+pub fn image_stride(width: usize) -> usize {
+    align_up(width * 3, QUADWORD)
+}
+
+/// Upload an image into main memory with padded rows; returns the
+/// effective address. The caller owns (and eventually frees) the block.
+pub fn upload_image(mem: &cell_mem::MainMemory, img: &ColorImage) -> CellResult<u64> {
+    let stride = image_stride(img.width());
+    let ea = mem.alloc_zeroed(stride * img.height(), 128)?;
+    for y in 0..img.height() {
+        mem.write(ea + (y * stride) as u64, img.row(y))?;
+    }
+    Ok(ea)
+}
+
+/// Upload a serialized SVM model; returns `(ea, wire_bytes)`.
+pub fn upload_model(mem: &cell_mem::MainMemory, model: &SvmModel) -> CellResult<(u64, usize)> {
+    let wire = model.to_wire();
+    let ea = mem.alloc(wire.len(), 128)?;
+    mem.write(ea, &wire)?;
+    Ok((ea, wire.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cell_mem::MainMemory;
+
+    #[test]
+    fn extract_wire_layout_is_dma_clean() {
+        let w = ExtractWire::new(166).unwrap();
+        assert_eq!(w.layout.offset(w.width), 0);
+        assert_eq!(w.layout.offset(w.height), 4);
+        assert_eq!(w.layout.offset(w.stride), 8);
+        assert_eq!(w.layout.offset(w.image_ea), 16);
+        assert_eq!(w.header_bytes() % 16, 0);
+        assert!(w.layout.size() >= w.header_bytes() + 166 * 4);
+        assert_eq!(w.layout.size() % 16, 0);
+    }
+
+    #[test]
+    fn detect_wire_layout() {
+        let w = DetectWire::new(80).unwrap();
+        assert_eq!(w.in_bytes() % 16, 0);
+        assert!(w.in_bytes() >= 16 + 80 * 4);
+        assert!(w.layout.size() > w.in_bytes());
+    }
+
+    #[test]
+    fn stride_padding() {
+        assert_eq!(image_stride(352), 1056); // already a multiple of 16
+        assert_eq!(image_stride(50), 160); // 150 → 160
+        assert_eq!(image_stride(1), 16);
+    }
+
+    #[test]
+    fn upload_image_pads_rows() {
+        let mem = MainMemory::new(1 << 20);
+        let img = ColorImage::synthetic(50, 4, 1).unwrap();
+        let ea = upload_image(&mem, &img).unwrap();
+        let stride = image_stride(50);
+        let mut row = vec![0u8; 150];
+        mem.read(ea + stride as u64, &mut row).unwrap();
+        assert_eq!(&row[..], img.row(1));
+        // Padding bytes are zeroed.
+        let mut pad = vec![0xFFu8; stride - 150];
+        mem.read(ea + 150, &mut pad).unwrap();
+        assert!(pad.iter().all(|&b| b == 0));
+        mem.free(ea).unwrap();
+    }
+
+    #[test]
+    fn upload_model_roundtrip() {
+        let mem = MainMemory::new(1 << 20);
+        let model = SvmModel::synthetic("m", 10, 4, 2);
+        let (ea, n) = upload_model(&mem, &model).unwrap();
+        let mut bytes = vec![0u8; n];
+        mem.read(ea, &mut bytes).unwrap();
+        let back = SvmModel::from_wire("m", &bytes).unwrap();
+        assert_eq!(model, back);
+        mem.free(ea).unwrap();
+    }
+}

@@ -1,0 +1,196 @@
+//! The SPE-side function dispatcher — paper Listing 1 as a library type.
+//!
+//! A ported kernel is rarely one function: the paper clusters several
+//! methods around a computation core, and each becomes a `case` in the SPE
+//! main loop. [`KernelDispatcher`] owns that loop: register functions in
+//! order, run, and the dispatcher reads `(opcode, argument)` pairs from
+//! the inbound mailbox, invokes the matching function, and reports its
+//! result through the outbound mailbox (polling mode) or the interrupting
+//! mailbox (interrupt mode), exactly like the `POLLING`/`INTERRUPT` arms
+//! of the listing.
+
+use cell_core::{CellError, CellResult};
+use cell_sys::spe::{SpeEnv, SpeProgram};
+
+use crate::interface::ReplyMode;
+use crate::opcodes::{run_opcode, SPU_EXIT};
+
+/// A kernel function: receives the environment and the 32-bit argument the
+/// stub sent (conventionally a main-memory wrapper address), returns the
+/// 32-bit result word for the reply mailbox.
+pub type KernelFn = Box<dyn FnMut(&mut SpeEnv, u32) -> CellResult<u32> + Send + 'static>;
+
+/// The SPE main loop of paper Listing 1.
+pub struct KernelDispatcher {
+    name: &'static str,
+    functions: Vec<(&'static str, KernelFn)>,
+    reply_mode: ReplyMode,
+    /// Invocations served, per function (diagnostics).
+    calls: Vec<u64>,
+}
+
+impl KernelDispatcher {
+    pub fn new(name: &'static str, reply_mode: ReplyMode) -> Self {
+        KernelDispatcher { name, functions: Vec::new(), reply_mode, calls: Vec::new() }
+    }
+
+    /// Register the next kernel function; returns the opcode the PPE stub
+    /// must send to invoke it.
+    pub fn register(
+        &mut self,
+        fn_name: &'static str,
+        f: impl FnMut(&mut SpeEnv, u32) -> CellResult<u32> + Send + 'static,
+    ) -> u32 {
+        self.functions.push((fn_name, Box::new(f)));
+        self.calls.push(0);
+        run_opcode(self.functions.len() as u32 - 1)
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+
+    /// Calls served per registered function so far.
+    pub fn call_counts(&self) -> &[u64] {
+        &self.calls
+    }
+
+    fn dispatch_once(&mut self, env: &mut SpeEnv) -> CellResult<bool> {
+        let opcode = env.read_in_mbox()?;
+        if opcode == SPU_EXIT {
+            return Ok(false);
+        }
+        let idx = (opcode.wrapping_sub(run_opcode(0))) as usize;
+        let Some((_, f)) = self.functions.get_mut(idx) else {
+            return Err(CellError::UnknownOpcode { opcode });
+        };
+        let arg = env.read_in_mbox()?;
+        let result = f(env, arg)?;
+        self.calls[idx] += 1;
+        match self.reply_mode {
+            ReplyMode::Polling => env.write_out_mbox(result)?,
+            ReplyMode::Interrupt => env.write_out_intr_mbox(result)?,
+        }
+        // Idle-loop reset: the static scheduling of §3.3 keeps the SPE
+        // resident; each invocation reuses the data region afresh.
+        env.ls.reset();
+        Ok(true)
+    }
+}
+
+impl SpeProgram for KernelDispatcher {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn run(&mut self, env: &mut SpeEnv) -> CellResult<()> {
+        while self.dispatch_once(env)? {}
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cell_core::MachineConfig;
+    use cell_sys::machine::CellMachine;
+
+    #[test]
+    fn register_assigns_sequential_opcodes() {
+        let mut d = KernelDispatcher::new("k", ReplyMode::Polling);
+        assert!(d.is_empty());
+        let op1 = d.register("one", |_, v| Ok(v + 1));
+        let op2 = d.register("two", |_, v| Ok(v + 2));
+        assert_eq!(op1, 1);
+        assert_eq!(op2, 2);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn dispatcher_runs_functions_and_exits() {
+        let mut m = CellMachine::new(MachineConfig::small()).unwrap();
+        let mut ppe = m.ppe();
+        let mut d = KernelDispatcher::new("adder", ReplyMode::Polling);
+        let op_inc = d.register("inc", |_, v| Ok(v + 1));
+        let op_dbl = d.register("dbl", |_, v| Ok(v * 2));
+        let h = m.spawn(0, Box::new(d)).unwrap();
+
+        ppe.write_in_mbox(0, op_inc).unwrap();
+        ppe.write_in_mbox(0, 10).unwrap();
+        assert_eq!(ppe.read_out_mbox(0).unwrap(), 11);
+
+        ppe.write_in_mbox(0, op_dbl).unwrap();
+        ppe.write_in_mbox(0, 10).unwrap();
+        assert_eq!(ppe.read_out_mbox(0).unwrap(), 20);
+
+        ppe.write_in_mbox(0, SPU_EXIT).unwrap();
+        let report = h.join().unwrap();
+        assert!(report.fault.is_none());
+    }
+
+    #[test]
+    fn interrupt_mode_replies_on_intr_mailbox() {
+        let mut m = CellMachine::new(MachineConfig::small()).unwrap();
+        let mut ppe = m.ppe();
+        let mut d = KernelDispatcher::new("intr", ReplyMode::Interrupt);
+        let op = d.register("id", |_, v| Ok(v));
+        let h = m.spawn(0, Box::new(d)).unwrap();
+        ppe.write_in_mbox(0, op).unwrap();
+        ppe.write_in_mbox(0, 77).unwrap();
+        assert_eq!(ppe.read_out_intr_mbox(0).unwrap(), 77);
+        ppe.write_in_mbox(0, SPU_EXIT).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn unknown_opcode_faults_the_spe() {
+        let mut m = CellMachine::new(MachineConfig::small()).unwrap();
+        let mut ppe = m.ppe();
+        let mut d = KernelDispatcher::new("strict", ReplyMode::Polling);
+        d.register("only", |_, v| Ok(v));
+        let h = m.spawn(0, Box::new(d)).unwrap();
+        ppe.write_in_mbox(0, 999).unwrap();
+        let err = h.join().unwrap_err();
+        assert!(matches!(err, CellError::SpeFault { .. }), "{err}");
+    }
+
+    #[test]
+    fn kernel_error_propagates() {
+        let mut m = CellMachine::new(MachineConfig::small()).unwrap();
+        let mut ppe = m.ppe();
+        let mut d = KernelDispatcher::new("fail", ReplyMode::Polling);
+        let op = d.register("boom", |env, _| {
+            Err(cell_sys::spe::spe_fault(env.spe_id(), "deliberate"))
+        });
+        let h = m.spawn(0, Box::new(d)).unwrap();
+        ppe.write_in_mbox(0, op).unwrap();
+        ppe.write_in_mbox(0, 0).unwrap();
+        assert!(h.join().is_err());
+    }
+
+    #[test]
+    fn ls_is_reset_between_invocations() {
+        let mut m = CellMachine::new(MachineConfig::small()).unwrap();
+        let mut ppe = m.ppe();
+        let mut d = KernelDispatcher::new("alloc", ReplyMode::Polling);
+        // Allocates half the LS per call: would overflow on the second call
+        // without the dispatcher's reset.
+        let op = d.register("hog", |env, _| {
+            let _ = env.ls.alloc(24 * 1024, 16)?;
+            Ok(0)
+        });
+        let h = m.spawn(0, Box::new(d)).unwrap();
+        for _ in 0..4 {
+            ppe.write_in_mbox(0, op).unwrap();
+            ppe.write_in_mbox(0, 0).unwrap();
+            assert_eq!(ppe.read_out_mbox(0).unwrap(), 0);
+        }
+        ppe.write_in_mbox(0, SPU_EXIT).unwrap();
+        h.join().unwrap();
+    }
+}

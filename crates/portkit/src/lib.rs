@@ -1,0 +1,73 @@
+//! **portkit** — the porting strategy of *"An Effective Strategy for
+//! Porting C++ Applications on Cell"* (ICPP 2007), as a reusable library.
+//!
+//! The paper's contribution is a discipline for moving a large sequential
+//! application onto a heterogeneous offload machine while keeping it
+//! functional at every step:
+//!
+//! 1. run everything on the main core ([`profile`] gives you the PPE
+//!    baseline and its per-phase coverage — the gprof step of §3.2);
+//! 2. pick kernels: clusters of methods with high coverage that fit the
+//!    local store (§3.2's sizing rules are enforced by `cell-mem`);
+//! 3. put a stub in front of each kernel ([`interface::SpeInterface`] —
+//!    paper Listing 2/3) and a dispatcher behind it
+//!    ([`dispatcher::KernelDispatcher`] — paper Listing 1);
+//! 4. wrap the kernel's data for DMA ([`wrapper::MsgWrapper`] — the
+//!    `FILL_MSG_FROM_COLORIMAGE` step of Listing 4);
+//! 5. schedule kernels onto SPEs statically, sequentially or in parallel
+//!    groups ([`schedule`] — Fig. 4 b/c);
+//! 6. before optimizing anything, check whether it can matter
+//!    ([`amdahl`] — Eq. 1–3 and the §4.2 worked example).
+//!
+//! # Example: one kernel, offloaded
+//!
+//! ```
+//! use cell_core::MachineConfig;
+//! use cell_sys::machine::CellMachine;
+//! use portkit::dispatcher::KernelDispatcher;
+//! use portkit::interface::{ReplyMode, SpeInterface};
+//!
+//! # fn main() -> cell_core::CellResult<()> {
+//! let mut machine = CellMachine::new(MachineConfig::small())?;
+//! let mut ppe = machine.ppe();
+//!
+//! // SPE side: the paper's Listing-1 dispatcher with one function.
+//! let mut d = KernelDispatcher::new("demo", ReplyMode::Polling);
+//! let op = d.register("triple", |_env, v| Ok(v * 3));
+//! let handle = machine.spawn(0, Box::new(d))?;
+//!
+//! // PPE side: the Listing-2/3 stub.
+//! let mut stub = SpeInterface::new("demo", 0, ReplyMode::Polling);
+//! assert_eq!(stub.send_and_wait(&mut ppe, op, 14)?, 42);
+//!
+//! // §4.2 sanity check before optimizing further: with 30% coverage, a
+//! // 10x kernel only buys 1.37x — know that *before* spending the effort.
+//! let gain = portkit::amdahl::estimate_single(0.30, 10.0)?;
+//! assert!((gain - 1.3699).abs() < 1e-3);
+//!
+//! stub.close(&mut ppe)?;
+//! handle.join()?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod advisor;
+pub mod amdahl;
+pub mod dispatcher;
+pub mod interface;
+pub mod opcodes;
+pub mod profile;
+pub mod report;
+pub mod schedule;
+pub mod trace;
+pub mod wrapper;
+
+pub use advisor::{check_kernel_budget, check_schedule, check_transfer, check_wrapper, Advice, Severity};
+pub use amdahl::{estimate_grouped, estimate_sequential, estimate_single, KernelSpec};
+pub use dispatcher::KernelDispatcher;
+pub use interface::{ReplyMode, SpeInterface};
+pub use profile::CoverageProfiler;
+pub use report::{PlanBuilder, PortingPlan};
+pub use schedule::Schedule;
+pub use trace::Timeline;
+pub use wrapper::MsgWrapper;

@@ -1,0 +1,34 @@
+//! Opcode conventions shared by stubs and dispatchers.
+//!
+//! Paper Listing 1 keys the SPE main loop on mailbox opcodes
+//! (`SPU_EXIT`, `SPU_Run_1`, `SPU_Run_2`, …). The same convention holds
+//! here: opcode 0 exits, everything else names a registered kernel
+//! function.
+
+/// Terminate the SPE program (paper `SPU_EXIT`).
+pub const SPU_EXIT: u32 = 0;
+
+/// First function opcode (paper `SPU_Run_1`).
+pub const SPU_RUN_BASE: u32 = 1;
+
+/// Build the opcode for the `n`-th registered kernel function (0-based).
+#[inline]
+pub const fn run_opcode(n: u32) -> u32 {
+    SPU_RUN_BASE + n
+}
+
+/// Status word a kernel writes back on success when it has no better
+/// result to report.
+pub const SPU_OK: u32 = 0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcodes_do_not_collide_with_exit() {
+        assert_ne!(run_opcode(0), SPU_EXIT);
+        assert_eq!(run_opcode(0), 1);
+        assert_eq!(run_opcode(4), 5);
+    }
+}

@@ -1,0 +1,209 @@
+//! Coverage profiling — the kernel-identification step of paper §3.2.
+//!
+//! "To identify the kernels, the PPE application running is profiled
+//! (using standard tools like gprof …), and the most 'expensive' methods
+//! are extracted as candidate kernels."
+//!
+//! [`CoverageProfiler`] plays gprof's role over the simulator's operation
+//! profiles: application phases record the work they did, and the report
+//! ranks phases by their share of total time on a chosen machine model —
+//! which is how the paper arrives at the 8/54/6/28/2 % coverage of its
+//! five MARVEL kernels.
+
+use cell_core::{CellError, CellResult, CostModel, MachineProfile, OpProfile, VirtualDuration};
+
+/// One profiled phase.
+#[derive(Debug, Clone)]
+struct Phase {
+    name: String,
+    work: OpProfile,
+    /// Calls observed (coverage reports are per-run; calls help spot
+    /// one-time overhead vs per-item work).
+    calls: u64,
+}
+
+/// Accumulates per-phase operation profiles across a run.
+#[derive(Debug, Default)]
+pub struct CoverageProfiler {
+    phases: Vec<Phase>,
+}
+
+/// A row of the coverage report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageRow {
+    pub name: String,
+    /// Share of total modelled time, in `[0, 1]`.
+    pub fraction: f64,
+    /// Modelled time of this phase.
+    pub time: VirtualDuration,
+    pub calls: u64,
+}
+
+impl CoverageProfiler {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record work done by `phase` (creates the phase on first sight).
+    pub fn record(&mut self, phase: &str, work: &OpProfile) {
+        if let Some(p) = self.phases.iter_mut().find(|p| p.name == phase) {
+            p.work.merge(work);
+            p.calls += 1;
+        } else {
+            self.phases.push(Phase { name: phase.to_string(), work: work.clone(), calls: 1 });
+        }
+    }
+
+    /// Number of distinct phases seen.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Accumulated profile of one phase.
+    pub fn phase_profile(&self, phase: &str) -> Option<&OpProfile> {
+        self.phases.iter().find(|p| p.name == phase).map(|p| &p.work)
+    }
+
+    /// The coverage report on `model`, sorted by descending fraction.
+    pub fn report(&self, model: &MachineProfile) -> CellResult<Vec<CoverageRow>> {
+        if self.phases.is_empty() {
+            return Err(CellError::BadData { message: "nothing profiled".to_string() });
+        }
+        let times: Vec<VirtualDuration> = self.phases.iter().map(|p| model.time(&p.work)).collect();
+        let total: f64 = times.iter().map(|t| t.seconds()).sum();
+        if total <= 0.0 {
+            return Err(CellError::BadData { message: "profiled phases did no work".to_string() });
+        }
+        let mut rows: Vec<CoverageRow> = self
+            .phases
+            .iter()
+            .zip(times)
+            .map(|(p, t)| CoverageRow {
+                name: p.name.clone(),
+                fraction: t.seconds() / total,
+                time: t,
+                calls: p.calls,
+            })
+            .collect();
+        rows.sort_by(|a, b| b.fraction.total_cmp(&a.fraction));
+        Ok(rows)
+    }
+
+    /// Kernel candidates: phases whose coverage meets `threshold` on
+    /// `model` — the §3.2 extraction rule.
+    pub fn candidates(&self, model: &MachineProfile, threshold: f64) -> CellResult<Vec<CoverageRow>> {
+        Ok(self.report(model)?.into_iter().filter(|r| r.fraction >= threshold).collect())
+    }
+
+    /// Combined coverage of a named subset (e.g. "feature extraction +
+    /// concept detection" — the paper's 87 % / 96 % numbers).
+    pub fn combined_fraction(&self, model: &MachineProfile, names: &[&str]) -> CellResult<f64> {
+        let rows = self.report(model)?;
+        Ok(rows.iter().filter(|r| names.contains(&r.name.as_str())).map(|r| r.fraction).sum())
+    }
+
+    pub fn reset(&mut self) {
+        self.phases.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cell_core::OpClass;
+
+    fn work(alu: u64) -> OpProfile {
+        let mut p = OpProfile::new();
+        p.record(OpClass::IntAlu, alu);
+        p
+    }
+
+    #[test]
+    fn report_ranks_by_fraction() {
+        let mut prof = CoverageProfiler::new();
+        prof.record("big", &work(900));
+        prof.record("small", &work(100));
+        let rows = prof.report(&MachineProfile::ppe()).unwrap();
+        assert_eq!(rows[0].name, "big");
+        assert!((rows[0].fraction - 0.9).abs() < 1e-9);
+        assert!((rows[1].fraction - 0.1).abs() < 1e-9);
+        let total: f64 = rows.iter().map(|r| r.fraction).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_records_accumulate() {
+        let mut prof = CoverageProfiler::new();
+        for _ in 0..50 {
+            prof.record("per_image", &work(10));
+        }
+        prof.record("one_time", &work(100));
+        let rows = prof.report(&MachineProfile::ppe()).unwrap();
+        let per_image = rows.iter().find(|r| r.name == "per_image").unwrap();
+        assert_eq!(per_image.calls, 50);
+        assert!((per_image.fraction - 500.0 / 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn candidates_filter_by_threshold() {
+        let mut prof = CoverageProfiler::new();
+        prof.record("kernel", &work(960));
+        prof.record("noise", &work(40));
+        let c = prof.candidates(&MachineProfile::ppe(), 0.05).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].name, "kernel");
+    }
+
+    #[test]
+    fn combined_fraction_sums_subset() {
+        let mut prof = CoverageProfiler::new();
+        prof.record("extract", &work(600));
+        prof.record("detect", &work(270));
+        prof.record("preproc", &work(130));
+        let f = prof
+            .combined_fraction(&MachineProfile::ppe(), &["extract", "detect"])
+            .unwrap();
+        assert!((f - 0.87).abs() < 1e-9, "expected the paper-style 87 %, got {f}");
+    }
+
+    #[test]
+    fn fractions_depend_on_the_machine_model() {
+        // Coverage is a property of the machine, which is why the paper
+        // profiles on the PPE. Relative to integer work, float divides
+        // weigh *more* on the laptop (FpDiv/IntAlu = 18/0.6 = 30) than on
+        // the in-order PPE (60/2.8 ≈ 21), so the same two phases report
+        // different fractions on the two models.
+        let mut float_work = OpProfile::new();
+        float_work.record(OpClass::FpDiv, 100);
+        let mut prof = CoverageProfiler::new();
+        prof.record("float_phase", &float_work);
+        prof.record("int_phase", &work(1000));
+        let on_ppe = prof.report(&MachineProfile::ppe()).unwrap();
+        let on_laptop = prof.report(&MachineProfile::laptop()).unwrap();
+        let f_ppe = on_ppe.iter().find(|r| r.name == "float_phase").unwrap().fraction;
+        let f_lap = on_laptop.iter().find(|r| r.name == "float_phase").unwrap().fraction;
+        assert!(f_lap > f_ppe, "laptop {f_lap} vs ppe {f_ppe}");
+    }
+
+    #[test]
+    fn empty_profiler_errors() {
+        let prof = CoverageProfiler::new();
+        assert!(prof.report(&MachineProfile::ppe()).is_err());
+        assert!(prof.is_empty());
+    }
+
+    #[test]
+    fn phase_profile_lookup_and_reset() {
+        let mut prof = CoverageProfiler::new();
+        prof.record("x", &work(5));
+        assert!(prof.phase_profile("x").is_some());
+        assert!(prof.phase_profile("y").is_none());
+        assert_eq!(prof.len(), 1);
+        prof.reset();
+        assert!(prof.is_empty());
+    }
+}

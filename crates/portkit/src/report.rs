@@ -1,0 +1,335 @@
+//! Porting-plan reports: the paper's §3–§4 decision process as an
+//! artifact.
+//!
+//! Given a coverage profile and assumed (or measured) kernel speed-ups,
+//! [`PortingPlan`] assembles what a porting engineer needs on one page:
+//! kernel candidates ranked by coverage, per-kernel "port only this"
+//! leverage (Eq. 1), whole-plan estimates for sequential and grouped
+//! scheduling (Eq. 2/3), the coverage ceiling, and a local-store budget
+//! check per kernel — the §3.2 "small enough to fit, large enough to
+//! matter" rule.
+
+use cell_core::{CellError, CellResult, MachineProfile, VirtualDuration};
+
+use crate::amdahl::{coverage_ceiling, estimate_grouped, estimate_sequential, estimate_single, KernelSpec};
+use crate::profile::CoverageProfiler;
+use crate::schedule::Schedule;
+
+/// One kernel candidate in a plan.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    pub name: String,
+    /// Coverage fraction on the profiling machine.
+    pub coverage: f64,
+    /// Time per run on the profiling machine.
+    pub time: VirtualDuration,
+    /// Assumed or measured kernel speed-up once ported.
+    pub speedup: f64,
+    /// Estimated local-store footprint (code + buffers), bytes.
+    pub ls_footprint: usize,
+    /// Application speed-up if only this kernel is ported (Eq. 1).
+    pub solo_app_speedup: f64,
+}
+
+/// A complete porting plan.
+#[derive(Debug, Clone)]
+pub struct PortingPlan {
+    pub candidates: Vec<Candidate>,
+    /// Eq. 2 estimate: all candidates, sequential SPE use (Fig. 4b).
+    pub sequential_estimate: f64,
+    /// Eq. 3 estimate: all candidates in one parallel group (Fig. 4c).
+    pub parallel_estimate: f64,
+    /// Upper bound if every kernel became infinitely fast.
+    pub ceiling: f64,
+    /// Coverage threshold used for candidate selection.
+    pub threshold: f64,
+    /// Local-store data capacity candidates were checked against.
+    pub ls_capacity: usize,
+}
+
+/// Builder for a [`PortingPlan`].
+pub struct PlanBuilder<'p> {
+    profiler: &'p CoverageProfiler,
+    machine: MachineProfile,
+    threshold: f64,
+    default_speedup: f64,
+    ls_capacity: usize,
+    speedups: Vec<(String, f64)>,
+    footprints: Vec<(String, usize)>,
+    exclude: Vec<String>,
+}
+
+impl<'p> PlanBuilder<'p> {
+    /// Start a plan from a profile, judged on `machine` (normally the
+    /// PPE — the machine the serial remainder will run on).
+    pub fn new(profiler: &'p CoverageProfiler, machine: MachineProfile) -> Self {
+        PlanBuilder {
+            profiler,
+            machine,
+            threshold: 0.02,
+            default_speedup: 20.0,
+            ls_capacity: cell_core::config::LOCAL_STORE_SIZE - 32 * 1024,
+            speedups: Vec::new(),
+            footprints: Vec::new(),
+            exclude: Vec::new(),
+        }
+    }
+
+    /// Coverage threshold below which a phase is not worth detaching.
+    pub fn threshold(mut self, t: f64) -> Self {
+        self.threshold = t;
+        self
+    }
+
+    /// Default assumed kernel speed-up (the paper's order-of-magnitude
+    /// a-priori guess).
+    pub fn default_speedup(mut self, s: f64) -> Self {
+        self.default_speedup = s;
+        self
+    }
+
+    /// Override the assumed/measured speed-up of one phase.
+    pub fn speedup(mut self, phase: &str, s: f64) -> Self {
+        self.speedups.push((phase.to_string(), s));
+        self
+    }
+
+    /// Declare a kernel's expected LS footprint for the budget check.
+    pub fn ls_footprint(mut self, phase: &str, bytes: usize) -> Self {
+        self.footprints.push((phase.to_string(), bytes));
+        self
+    }
+
+    /// Local-store data capacity to check against.
+    pub fn ls_capacity(mut self, bytes: usize) -> Self {
+        self.ls_capacity = bytes;
+        self
+    }
+
+    /// Mark a phase as not portable (e.g. I/O-bound preprocessing).
+    pub fn exclude(mut self, phase: &str) -> Self {
+        self.exclude.push(phase.to_string());
+        self
+    }
+
+    /// Assemble the plan.
+    pub fn build(self) -> CellResult<PortingPlan> {
+        let rows = self.profiler.report(&self.machine)?;
+        let mut candidates = Vec::new();
+        for row in rows {
+            if row.fraction < self.threshold || self.exclude.contains(&row.name) {
+                continue;
+            }
+            let speedup = self
+                .speedups
+                .iter()
+                .find(|(n, _)| *n == row.name)
+                .map(|(_, s)| *s)
+                .unwrap_or(self.default_speedup);
+            let ls_footprint = self
+                .footprints
+                .iter()
+                .find(|(n, _)| *n == row.name)
+                .map(|(_, b)| *b)
+                .unwrap_or(0);
+            if ls_footprint > self.ls_capacity {
+                return Err(CellError::BadKernelSpec {
+                    message: format!(
+                        "kernel `{}` needs {} B of local store but only {} B are available — slice its data (§3.4)",
+                        row.name, ls_footprint, self.ls_capacity
+                    ),
+                });
+            }
+            candidates.push(Candidate {
+                solo_app_speedup: estimate_single(row.fraction, speedup)?,
+                name: row.name,
+                coverage: row.fraction,
+                time: row.time,
+                speedup,
+                ls_footprint,
+            });
+        }
+        if candidates.is_empty() {
+            return Err(CellError::BadKernelSpec {
+                message: format!("no phase reaches the {:.1}% coverage threshold", self.threshold * 100.0),
+            });
+        }
+        let specs: Vec<KernelSpec> = candidates
+            .iter()
+            .map(|c| KernelSpec::new(Box::leak(c.name.clone().into_boxed_str()), c.coverage, c.speedup))
+            .collect();
+        let sequential_estimate = estimate_sequential(&specs)?;
+        let parallel_estimate = estimate_grouped(&specs, &[(0..specs.len()).collect()])?;
+        let ceiling = coverage_ceiling(&specs)?;
+        Ok(PortingPlan {
+            candidates,
+            sequential_estimate,
+            parallel_estimate,
+            ceiling,
+            threshold: self.threshold,
+            ls_capacity: self.ls_capacity,
+        })
+    }
+}
+
+impl PortingPlan {
+    /// Total coverage of the selected candidates.
+    pub fn total_coverage(&self) -> f64 {
+        self.candidates.iter().map(|c| c.coverage).sum()
+    }
+
+    /// A static schedule over the candidates sized for `num_spes`
+    /// (parallel group if they fit, else an error — the §3.3 one kernel
+    /// per SPE rule).
+    pub fn schedule(&self, num_spes: usize) -> CellResult<Schedule> {
+        Schedule::grouped(vec![(0..self.candidates.len()).collect()], num_spes)
+    }
+
+    /// The go/no-go verdict the paper's §4.2 arithmetic supports: porting
+    /// pays if the parallel estimate beats `min_gain`.
+    pub fn worth_porting(&self, min_gain: f64) -> bool {
+        self.parallel_estimate >= min_gain
+    }
+
+    /// Render as Markdown (for reports and examples).
+    pub fn to_markdown(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "# Porting plan\n");
+        let _ = writeln!(
+            out,
+            "Candidates at ≥{:.1}% coverage ({:.1}% total):\n",
+            self.threshold * 100.0,
+            self.total_coverage() * 100.0
+        );
+        let _ = writeln!(out, "| kernel | coverage | time | assumed speedup | solo app gain | LS check |");
+        let _ = writeln!(out, "|---|---|---|---|---|---|");
+        for c in &self.candidates {
+            let _ = writeln!(
+                out,
+                "| {} | {:.1}% | {} | {:.1}x | {:.3}x | {} |",
+                c.name,
+                c.coverage * 100.0,
+                c.time,
+                c.speedup,
+                c.solo_app_speedup,
+                if c.ls_footprint == 0 {
+                    "n/a".to_string()
+                } else {
+                    format!("{} / {} B", c.ls_footprint, self.ls_capacity)
+                }
+            );
+        }
+        let _ = writeln!(out, "\n- sequential SPE schedule (Eq. 2): **{:.2}x**", self.sequential_estimate);
+        let _ = writeln!(out, "- parallel SPE schedule (Eq. 3): **{:.2}x**", self.parallel_estimate);
+        let _ = writeln!(out, "- coverage ceiling: **{:.2}x**", self.ceiling);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cell_core::{OpClass, OpProfile};
+
+    fn profiler() -> CoverageProfiler {
+        let mut p = CoverageProfiler::new();
+        let mut rec = |name: &str, ops: u64| {
+            let mut prof = OpProfile::new();
+            prof.record(OpClass::IntAlu, ops);
+            p.record(name, &prof);
+        };
+        rec("hot", 5400);
+        rec("warm", 2800);
+        rec("cool", 800);
+        rec("io", 600);
+        rec("noise", 100);
+        p
+    }
+
+    #[test]
+    fn plan_selects_by_threshold_and_ranks() {
+        let prof = profiler();
+        let plan = PlanBuilder::new(&prof, MachineProfile::ppe())
+            .threshold(0.05)
+            .build()
+            .unwrap();
+        let names: Vec<&str> = plan.candidates.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["hot", "warm", "cool", "io"]);
+        assert!(plan.total_coverage() > 0.9);
+        assert!(plan.parallel_estimate >= plan.sequential_estimate);
+        assert!(plan.ceiling >= plan.parallel_estimate);
+    }
+
+    #[test]
+    fn exclusions_and_overrides_apply() {
+        let prof = profiler();
+        let plan = PlanBuilder::new(&prof, MachineProfile::ppe())
+            .threshold(0.05)
+            .exclude("io")
+            .speedup("hot", 50.0)
+            .default_speedup(10.0)
+            .build()
+            .unwrap();
+        assert!(plan.candidates.iter().all(|c| c.name != "io"));
+        let hot = plan.candidates.iter().find(|c| c.name == "hot").unwrap();
+        assert_eq!(hot.speedup, 50.0);
+        let warm = plan.candidates.iter().find(|c| c.name == "warm").unwrap();
+        assert_eq!(warm.speedup, 10.0);
+    }
+
+    #[test]
+    fn ls_budget_violation_is_caught() {
+        let prof = profiler();
+        let err = PlanBuilder::new(&prof, MachineProfile::ppe())
+            .ls_footprint("hot", 300 * 1024)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("slice"), "{err}");
+    }
+
+    #[test]
+    fn empty_plans_error() {
+        let prof = profiler();
+        assert!(PlanBuilder::new(&prof, MachineProfile::ppe()).threshold(0.99).build().is_err());
+    }
+
+    #[test]
+    fn schedule_and_verdict() {
+        let prof = profiler();
+        let plan = PlanBuilder::new(&prof, MachineProfile::ppe()).threshold(0.05).build().unwrap();
+        let schedule = plan.schedule(8).unwrap();
+        assert_eq!(schedule.num_kernels(), plan.candidates.len());
+        assert!(plan.schedule(2).is_err(), "4 kernels need 4 SPEs");
+        assert!(plan.worth_porting(2.0));
+        assert!(!plan.worth_porting(1000.0));
+    }
+
+    #[test]
+    fn markdown_renders() {
+        let prof = profiler();
+        let plan = PlanBuilder::new(&prof, MachineProfile::ppe())
+            .threshold(0.05)
+            .ls_footprint("hot", 64 * 1024)
+            .build()
+            .unwrap();
+        let md = plan.to_markdown();
+        assert!(md.contains("| hot |"));
+        assert!(md.contains("Eq. 2"));
+        assert!(md.contains("65536 /"));
+    }
+
+    #[test]
+    fn solo_gains_match_eq1() {
+        let prof = profiler();
+        let plan = PlanBuilder::new(&prof, MachineProfile::ppe())
+            .threshold(0.05)
+            .default_speedup(20.0)
+            .build()
+            .unwrap();
+        for c in &plan.candidates {
+            let expect = estimate_single(c.coverage, 20.0).unwrap();
+            assert!((c.solo_app_speedup - expect).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Static kernel → SPE scheduling (paper §3.3 and Fig. 4).
+//!
+//! The strategy "statically schedules the kernels to SPEs": each kernel
+//! gets a resident SPE thread at startup and keeps it for the whole run,
+//! avoiding per-call thread creation. A [`Schedule`] captures both the
+//! assignment (kernel → SPE) and the execution shape (which kernels run
+//! concurrently): a list of *groups*, executed sequentially, whose member
+//! kernels run in parallel on distinct SPEs.
+//!
+//! `Schedule::sequential` is Fig. 4(b) — every kernel in its own group —
+//! and `Schedule::grouped` is Fig. 4(c).
+
+use cell_core::{CellError, CellResult};
+
+use crate::amdahl::{estimate_grouped, KernelSpec};
+
+/// A kernel's identity within a schedule.
+pub type KernelId = usize;
+
+/// A static schedule over `n` kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    num_kernels: usize,
+    /// Kernel → SPE assignment.
+    assignment: Vec<usize>,
+    /// Sequential groups of concurrently running kernels.
+    groups: Vec<Vec<KernelId>>,
+}
+
+impl Schedule {
+    /// Fig. 4(b): every kernel in its own group, all mapped to distinct
+    /// SPEs (at most one kernel per SPE, per the paper's experiments).
+    pub fn sequential(num_kernels: usize, num_spes: usize) -> CellResult<Self> {
+        Self::grouped((0..num_kernels).map(|k| vec![k]).collect(), num_spes)
+    }
+
+    /// Fig. 4(c): caller-provided groups. Kernels are assigned SPEs in
+    /// kernel order (kernel *k* → SPE *k*), which is legal because the
+    /// assignment is static: two kernels never share an SPE even across
+    /// groups.
+    pub fn grouped(groups: Vec<Vec<KernelId>>, num_spes: usize) -> CellResult<Self> {
+        let num_kernels: usize = groups.iter().map(|g| g.len()).sum();
+        if num_kernels == 0 {
+            return Err(CellError::BadKernelSpec { message: "schedule with no kernels".to_string() });
+        }
+        if num_kernels > num_spes {
+            return Err(CellError::NoSpeAvailable { requested: num_kernels, available: num_spes });
+        }
+        let mut seen = vec![false; num_kernels];
+        for g in &groups {
+            if g.is_empty() {
+                return Err(CellError::BadKernelSpec { message: "empty schedule group".to_string() });
+            }
+            for &k in g {
+                if k >= num_kernels {
+                    return Err(CellError::BadKernelSpec {
+                        message: format!("kernel id {k} out of range (num_kernels = {num_kernels})"),
+                    });
+                }
+                if std::mem::replace(&mut seen[k], true) {
+                    return Err(CellError::BadKernelSpec {
+                        message: format!("kernel {k} scheduled twice"),
+                    });
+                }
+            }
+        }
+        let assignment = (0..num_kernels).collect();
+        Ok(Schedule { num_kernels, assignment, groups })
+    }
+
+    pub fn num_kernels(&self) -> usize {
+        self.num_kernels
+    }
+
+    /// SPE running kernel `k`.
+    pub fn spe_of(&self, k: KernelId) -> usize {
+        self.assignment[k]
+    }
+
+    /// The sequential groups.
+    pub fn groups(&self) -> &[Vec<KernelId>] {
+        &self.groups
+    }
+
+    /// Widest group — the number of SPEs that compute concurrently.
+    pub fn max_concurrency(&self) -> usize {
+        self.groups.iter().map(|g| g.len()).max().unwrap_or(0)
+    }
+
+    /// Estimate this schedule's application speed-up with Eq. 3, given
+    /// each kernel's coverage and speed-up (indexed by `KernelId`).
+    pub fn estimate(&self, kernels: &[KernelSpec]) -> CellResult<f64> {
+        if kernels.len() != self.num_kernels {
+            return Err(CellError::BadKernelSpec {
+                message: format!(
+                    "schedule has {} kernels but {} specs were given",
+                    self.num_kernels,
+                    kernels.len()
+                ),
+            });
+        }
+        estimate_grouped(kernels, &self.groups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_schedule_shape() {
+        let s = Schedule::sequential(5, 8).unwrap();
+        assert_eq!(s.num_kernels(), 5);
+        assert_eq!(s.groups().len(), 5);
+        assert_eq!(s.max_concurrency(), 1);
+        for k in 0..5 {
+            assert_eq!(s.spe_of(k), k);
+        }
+    }
+
+    #[test]
+    fn grouped_schedule_shape() {
+        let s = Schedule::grouped(vec![vec![0, 1, 2, 3], vec![4]], 8).unwrap();
+        assert_eq!(s.num_kernels(), 5);
+        assert_eq!(s.max_concurrency(), 4);
+        assert_eq!(s.groups()[1], vec![4]);
+    }
+
+    #[test]
+    fn too_many_kernels_for_spes() {
+        assert!(matches!(
+            Schedule::sequential(9, 8),
+            Err(CellError::NoSpeAvailable { requested: 9, available: 8 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_and_oob_kernels_rejected() {
+        assert!(Schedule::grouped(vec![vec![0, 0]], 8).is_err());
+        assert!(Schedule::grouped(vec![vec![0, 5]], 8).is_err());
+        assert!(Schedule::grouped(vec![vec![0], vec![]], 8).is_err());
+        assert!(Schedule::grouped(vec![], 8).is_err());
+    }
+
+    #[test]
+    fn estimate_delegates_to_eq3() {
+        let kernels = vec![
+            KernelSpec::new("a", 0.4, 10.0),
+            KernelSpec::new("b", 0.4, 10.0),
+        ];
+        let seq = Schedule::sequential(2, 8).unwrap().estimate(&kernels).unwrap();
+        let par = Schedule::grouped(vec![vec![0, 1]], 8).unwrap().estimate(&kernels).unwrap();
+        assert!(par > seq, "parallel {par} should beat sequential {seq}");
+        // Wrong spec count is rejected.
+        assert!(Schedule::sequential(2, 8).unwrap().estimate(&kernels[..1]).is_err());
+    }
+}

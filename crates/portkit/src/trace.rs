@@ -1,0 +1,223 @@
+//! Execution timelines: Fig. 4 as an artifact.
+//!
+//! The paper's scheduling discussion lives or dies on *when* each SPE is
+//! busy relative to the PPE. [`Timeline`] collects kernel-invocation
+//! spans (virtual times) and renders an ASCII Gantt chart, so the
+//! difference between Fig. 4(b) — staircase — and Fig. 4(c) — stacked
+//! bars — is inspectable in a terminal or a test.
+
+use cell_core::VirtualDuration;
+
+/// One kernel invocation's span on one SPE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    pub label: String,
+    pub spe: usize,
+    pub start: VirtualDuration,
+    pub end: VirtualDuration,
+}
+
+impl Span {
+    pub fn duration(&self) -> VirtualDuration {
+        self.end - self.start
+    }
+}
+
+/// A collection of spans with Gantt rendering.
+#[derive(Debug, Default, Clone)]
+pub struct Timeline {
+    spans: Vec<Span>,
+}
+
+impl Timeline {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one invocation span.
+    pub fn record(
+        &mut self,
+        label: impl Into<String>,
+        spe: usize,
+        start: VirtualDuration,
+        end: VirtualDuration,
+    ) {
+        assert!(end.seconds() >= start.seconds(), "span ends before it starts");
+        self.spans.push(Span { label: label.into(), spe, start, end });
+    }
+
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Wall span of the whole timeline.
+    pub fn horizon(&self) -> VirtualDuration {
+        self.spans
+            .iter()
+            .map(|s| s.end)
+            .fold(VirtualDuration::ZERO, VirtualDuration::max)
+    }
+
+    /// Total busy time across all SPEs.
+    pub fn busy(&self) -> VirtualDuration {
+        self.spans.iter().map(|s| s.duration()).sum()
+    }
+
+    /// Mean concurrency: busy time / horizon. Fig. 4(b) trends toward 1,
+    /// Fig. 4(c) toward the group width.
+    pub fn mean_concurrency(&self) -> f64 {
+        let h = self.horizon().seconds();
+        if h == 0.0 {
+            return 0.0;
+        }
+        self.busy().seconds() / h
+    }
+
+    /// Peak number of overlapping spans.
+    pub fn peak_concurrency(&self) -> usize {
+        let mut edges: Vec<(f64, i32)> = Vec::with_capacity(self.spans.len() * 2);
+        for s in &self.spans {
+            edges.push((s.start.seconds(), 1));
+            edges.push((s.end.seconds(), -1));
+        }
+        // Ends sort before starts at the same instant (half-open spans).
+        edges.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let (mut cur, mut peak) = (0i32, 0i32);
+        for (_, d) in edges {
+            cur += d;
+            peak = peak.max(cur);
+        }
+        peak.max(0) as usize
+    }
+
+    /// Render an ASCII Gantt chart, one row per SPE, `width` columns.
+    pub fn render(&self, width: usize) -> String {
+        use std::fmt::Write;
+        let width = width.max(16);
+        let horizon = self.horizon().seconds();
+        let mut out = String::new();
+        if horizon == 0.0 {
+            return "(empty timeline)\n".to_string();
+        }
+        let max_spe = self.spans.iter().map(|s| s.spe).max().unwrap_or(0);
+        for spe in 0..=max_spe {
+            let mut row = vec![b'.'; width];
+            let mut labels: Vec<&str> = Vec::new();
+            for s in self.spans.iter().filter(|s| s.spe == spe) {
+                let a = ((s.start.seconds() / horizon) * width as f64) as usize;
+                let b = (((s.end.seconds() / horizon) * width as f64).ceil() as usize).min(width);
+                let glyph = s.label.bytes().next().unwrap_or(b'#');
+                for cell in row.iter_mut().take(b).skip(a.min(width.saturating_sub(1))) {
+                    *cell = glyph;
+                }
+                if !labels.contains(&s.label.as_str()) {
+                    labels.push(&s.label);
+                }
+            }
+            let _ = writeln!(
+                out,
+                "SPE{spe} |{}| {}",
+                String::from_utf8_lossy(&row),
+                labels.join(", ")
+            );
+        }
+        let _ = writeln!(
+            out,
+            "       0 {:>w$}  (mean concurrency {:.2}, peak {})",
+            format!("{}", self.horizon()),
+            self.mean_concurrency(),
+            self.peak_concurrency(),
+            w = width - 1
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: f64) -> VirtualDuration {
+        VirtualDuration::from_millis(x)
+    }
+
+    fn staircase() -> Timeline {
+        // Fig. 4(b): kernels run one after another on distinct SPEs.
+        let mut t = Timeline::new();
+        t.record("A", 0, ms(0.0), ms(1.0));
+        t.record("B", 1, ms(1.0), ms(2.0));
+        t.record("C", 2, ms(2.0), ms(3.0));
+        t
+    }
+
+    fn stacked() -> Timeline {
+        // Fig. 4(c): kernels overlap.
+        let mut t = Timeline::new();
+        t.record("A", 0, ms(0.0), ms(1.0));
+        t.record("B", 1, ms(0.0), ms(1.0));
+        t.record("C", 2, ms(0.0), ms(1.0));
+        t
+    }
+
+    #[test]
+    fn horizon_and_busy() {
+        let t = staircase();
+        assert!((t.horizon().millis() - 3.0).abs() < 1e-9);
+        assert!((t.busy().millis() - 3.0).abs() < 1e-9);
+        let s = stacked();
+        assert!((s.horizon().millis() - 1.0).abs() < 1e-9);
+        assert!((s.busy().millis() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrency_distinguishes_fig4b_from_fig4c() {
+        assert!((staircase().mean_concurrency() - 1.0).abs() < 1e-9);
+        assert_eq!(staircase().peak_concurrency(), 1);
+        assert!((stacked().mean_concurrency() - 3.0).abs() < 1e-9);
+        assert_eq!(stacked().peak_concurrency(), 3);
+    }
+
+    #[test]
+    fn half_open_spans_do_not_overlap_at_edges() {
+        let mut t = Timeline::new();
+        t.record("A", 0, ms(0.0), ms(1.0));
+        t.record("B", 0, ms(1.0), ms(2.0));
+        assert_eq!(t.peak_concurrency(), 1);
+    }
+
+    #[test]
+    fn render_shows_rows_and_stats() {
+        let r = staircase().render(30);
+        assert!(r.contains("SPE0 |"));
+        assert!(r.contains("SPE2 |"));
+        assert!(r.contains("mean concurrency 1.00"));
+        // The staircase shape: A's glyphs precede B's on their rows.
+        let row0 = r.lines().next().unwrap();
+        assert!(row0.contains('A'));
+        assert!(!row0.contains('B'));
+    }
+
+    #[test]
+    fn empty_timeline_renders_gracefully() {
+        let t = Timeline::new();
+        assert!(t.is_empty());
+        assert_eq!(t.render(40), "(empty timeline)\n");
+        assert_eq!(t.peak_concurrency(), 0);
+        assert_eq!(t.mean_concurrency(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before it starts")]
+    fn inverted_span_rejected() {
+        let mut t = Timeline::new();
+        t.record("X", 0, ms(2.0), ms(1.0));
+    }
+}

@@ -1,0 +1,264 @@
+//! Message wrappers: the aligned data block a stub hands to its kernel.
+//!
+//! Paper §3.3: the stub "wraps all the required member data of the
+//! original class into a common data structure", allocates output buffers
+//! inside the same wrapper, and communicates *one address* to the kernel
+//! via the mailbox. [`MsgWrapper`] is that structure at runtime: a
+//! [`StructLayout`] bound to an allocation in simulated main memory, with
+//! typed field access from the PPE side and plain `(address, size)`
+//! coordinates for the SPE side's DMA.
+
+use cell_core::{CellError, CellResult};
+use cell_mem::{FieldId, MainMemory, StructLayout};
+
+/// A wrapper instance: layout + main-memory block.
+#[derive(Debug)]
+pub struct MsgWrapper<'m> {
+    mem: &'m MainMemory,
+    layout: StructLayout,
+    base: u64,
+}
+
+impl<'m> MsgWrapper<'m> {
+    /// Allocate a zeroed wrapper block for `layout` (the `malloc_align` of
+    /// Listing 4).
+    pub fn alloc(mem: &'m MainMemory, layout: StructLayout) -> CellResult<Self> {
+        if layout.is_empty() {
+            return Err(CellError::BadData { message: "empty wrapper layout".to_string() });
+        }
+        let base = mem.alloc_zeroed(layout.size(), layout.align().max(128))?;
+        Ok(MsgWrapper { mem, layout, base })
+    }
+
+    /// The effective address the stub mails to the kernel.
+    pub fn addr(&self) -> u64 {
+        self.base
+    }
+
+    /// The mailbox-word form of the address. Errors if the address does
+    /// not fit 32 bits (real MARVEL wrappers live in the low 4 GB for
+    /// exactly this reason).
+    pub fn addr_word(&self) -> CellResult<u32> {
+        u32::try_from(self.base).map_err(|_| CellError::BadData {
+            message: format!("wrapper address {:#x} exceeds the mailbox word", self.base),
+        })
+    }
+
+    /// Total DMA payload size.
+    pub fn size(&self) -> usize {
+        self.layout.size()
+    }
+
+    pub fn layout(&self) -> &StructLayout {
+        &self.layout
+    }
+
+    /// Effective address of one field (for DMA-ing a single buffer).
+    pub fn field_addr(&self, id: FieldId) -> u64 {
+        self.base + self.layout.offset(id) as u64
+    }
+
+    /// Write a `u32` field.
+    pub fn set_u32(&self, id: FieldId, v: u32) -> CellResult<()> {
+        self.check_size(id, 4)?;
+        self.mem.write_u32(self.field_addr(id), v)
+    }
+
+    /// Read a `u32` field.
+    pub fn get_u32(&self, id: FieldId) -> CellResult<u32> {
+        self.check_size(id, 4)?;
+        self.mem.read_u32(self.field_addr(id))
+    }
+
+    /// Write a `u64` (address) field.
+    pub fn set_u64(&self, id: FieldId, v: u64) -> CellResult<()> {
+        self.check_size(id, 8)?;
+        self.mem.write_u64(self.field_addr(id), v)
+    }
+
+    pub fn get_u64(&self, id: FieldId) -> CellResult<u64> {
+        self.check_size(id, 8)?;
+        self.mem.read_u64(self.field_addr(id))
+    }
+
+    /// Write a byte buffer field (must fit the declared size).
+    pub fn set_bytes(&self, id: FieldId, data: &[u8]) -> CellResult<()> {
+        if data.len() > self.layout.field_size(id) {
+            return Err(CellError::BadData {
+                message: format!(
+                    "field write of {} bytes exceeds declared {}",
+                    data.len(),
+                    self.layout.field_size(id)
+                ),
+            });
+        }
+        self.mem.write(self.field_addr(id), data)
+    }
+
+    /// Read `len` bytes of a buffer field.
+    pub fn get_bytes(&self, id: FieldId, len: usize) -> CellResult<Vec<u8>> {
+        if len > self.layout.field_size(id) {
+            return Err(CellError::BadData {
+                message: format!("field read of {len} bytes exceeds declared {}", self.layout.field_size(id)),
+            });
+        }
+        let mut out = vec![0u8; len];
+        self.mem.read(self.field_addr(id), &mut out)?;
+        Ok(out)
+    }
+
+    /// Write an `f32` slice into a buffer field.
+    pub fn set_f32s(&self, id: FieldId, data: &[f32]) -> CellResult<()> {
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.set_bytes(id, &bytes)
+    }
+
+    /// Read `n` `f32`s from a buffer field.
+    pub fn get_f32s(&self, id: FieldId, n: usize) -> CellResult<Vec<f32>> {
+        let bytes = self.get_bytes(id, n * 4)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Write a `u32` slice into a buffer field.
+    pub fn set_u32s(&self, id: FieldId, data: &[u32]) -> CellResult<()> {
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.set_bytes(id, &bytes)
+    }
+
+    /// Read `n` `u32`s from a buffer field.
+    pub fn get_u32s(&self, id: FieldId, n: usize) -> CellResult<Vec<u32>> {
+        let bytes = self.get_bytes(id, n * 4)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    fn check_size(&self, id: FieldId, need: usize) -> CellResult<()> {
+        if self.layout.field_size(id) < need {
+            return Err(CellError::BadData {
+                message: format!("field holds {} bytes, need {need}", self.layout.field_size(id)),
+            });
+        }
+        Ok(())
+    }
+
+    /// Free the block (the `free_align` of Listing 4). Consumes the
+    /// wrapper.
+    pub fn free(self) -> CellResult<()> {
+        self.mem.free(self.base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> MainMemory {
+        MainMemory::new(1 << 20)
+    }
+
+    fn image_layout() -> (StructLayout, FieldId, FieldId, FieldId, FieldId) {
+        let mut l = StructLayout::new();
+        let w = l.field_u32("width").unwrap();
+        let h = l.field_u32("height").unwrap();
+        let pixels = l.field_buffer("pixels", 64 * 64 * 3).unwrap();
+        let hist = l.field_buffer("histogram", 166 * 4).unwrap();
+        (l, w, h, pixels, hist)
+    }
+
+    #[test]
+    fn wrapper_roundtrip() {
+        let m = mem();
+        let (l, w, h, pixels, hist) = image_layout();
+        let wr = MsgWrapper::alloc(&m, l).unwrap();
+        wr.set_u32(w, 64).unwrap();
+        wr.set_u32(h, 64).unwrap();
+        let img: Vec<u8> = (0..64 * 64 * 3).map(|i| (i % 256) as u8).collect();
+        wr.set_bytes(pixels, &img).unwrap();
+        let histo: Vec<f32> = (0..166).map(|i| i as f32 / 166.0).collect();
+        wr.set_f32s(hist, &histo).unwrap();
+
+        assert_eq!(wr.get_u32(w).unwrap(), 64);
+        assert_eq!(wr.get_u32(h).unwrap(), 64);
+        assert_eq!(wr.get_bytes(pixels, img.len()).unwrap(), img);
+        assert_eq!(wr.get_f32s(hist, 166).unwrap(), histo);
+        wr.free().unwrap();
+        assert_eq!(m.live_allocations(), 0);
+    }
+
+    #[test]
+    fn wrapper_base_is_dma_aligned() {
+        let m = mem();
+        let (l, ..) = image_layout();
+        let wr = MsgWrapper::alloc(&m, l).unwrap();
+        assert_eq!(wr.addr() % 128, 0);
+        assert_eq!(wr.size() % 16, 0);
+        assert!(wr.addr_word().is_ok());
+        wr.free().unwrap();
+    }
+
+    #[test]
+    fn field_addr_matches_layout_offsets() {
+        let m = mem();
+        let (l, w, _h, pixels, _) = image_layout();
+        let off_pixels = l.offset(pixels);
+        let wr = MsgWrapper::alloc(&m, l).unwrap();
+        assert_eq!(wr.field_addr(w), wr.addr());
+        assert_eq!(wr.field_addr(pixels), wr.addr() + off_pixels as u64);
+        wr.free().unwrap();
+    }
+
+    #[test]
+    fn oversized_writes_are_rejected() {
+        let m = mem();
+        let mut l = StructLayout::new();
+        let buf = l.field_buffer("buf", 16).unwrap();
+        let wr = MsgWrapper::alloc(&m, l).unwrap();
+        assert!(wr.set_bytes(buf, &[0u8; 17]).is_err());
+        assert!(wr.get_bytes(buf, 17).is_err());
+        wr.free().unwrap();
+    }
+
+    #[test]
+    fn u32s_roundtrip() {
+        let m = mem();
+        let mut l = StructLayout::new();
+        let buf = l.field_buffer("counts", 40).unwrap();
+        let wr = MsgWrapper::alloc(&m, l).unwrap();
+        wr.set_u32s(buf, &[1, 2, 3, 4, 5]).unwrap();
+        assert_eq!(wr.get_u32s(buf, 5).unwrap(), vec![1, 2, 3, 4, 5]);
+        wr.free().unwrap();
+    }
+
+    #[test]
+    fn scalar_field_too_small_is_rejected() {
+        let m = mem();
+        let mut l = StructLayout::new();
+        let tiny = l.field("tiny", 2, 2).unwrap();
+        let wr = MsgWrapper::alloc(&m, l).unwrap();
+        assert!(wr.set_u32(tiny, 1).is_err());
+        assert!(wr.get_u64(tiny).is_err());
+        wr.free().unwrap();
+    }
+
+    #[test]
+    fn empty_layout_rejected() {
+        let m = mem();
+        assert!(MsgWrapper::alloc(&m, StructLayout::new()).is_err());
+    }
+
+    #[test]
+    fn address_fields_roundtrip() {
+        let m = mem();
+        let mut l = StructLayout::new();
+        let a = l.field_addr("image_ea").unwrap();
+        let wr = MsgWrapper::alloc(&m, l).unwrap();
+        wr.set_u64(a, 0xDEAD_BEEF_CAFE).unwrap();
+        assert_eq!(wr.get_u64(a).unwrap(), 0xDEAD_BEEF_CAFE);
+        wr.free().unwrap();
+    }
+}

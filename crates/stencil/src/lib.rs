@@ -1,0 +1,30 @@
+//! A second application ported with the ICPP'07 strategy.
+//!
+//! The paper claims its method "is generic in its approach, being
+//! applicable for any C++ application" (§7) and cites Sweep3D-class
+//! scientific codes as the other end of the spectrum from multimedia.
+//! This crate is the evidence: a Jacobi heat-diffusion solver — an
+//! iterative 5-point stencil, a completely different communication
+//! pattern from MARVEL's streaming filters — ported through exactly the
+//! same machinery: a [`portkit::SpeInterface`] stub, a
+//! [`portkit::KernelDispatcher`] kernel, wrapper structs, halo-aware DMA
+//! slicing, and SIMD compute.
+//!
+//! Two kernel regimes exist, chosen by the kernel itself at run time:
+//!
+//! * **LS-resident** — the grid fits the local store: DMA in once,
+//!   iterate locally (zero per-iteration traffic), DMA out once. This is
+//!   the §3.2 ideal of "small compute kernels on large amounts of data"
+//!   inverted: large compute on resident data;
+//! * **banded** — per sweep, each row band is fetched with a 1-row halo,
+//!   relaxed, and written back (the §3.4 slicing discipline applied to an
+//!   iterative kernel).
+//!
+//! Results are bit-identical to the scalar reference in both regimes —
+//! the SIMD and scalar paths share the same f32 association order.
+
+pub mod grid;
+pub mod offload;
+
+pub use grid::Grid;
+pub use offload::StencilApp;

@@ -1,0 +1,187 @@
+//! The paper's §3.4 worked example: filters over a 1600×1200 RGB image
+//! that does NOT fit the 256 KB local store, so the DMA must be sliced.
+//!
+//! Two filters show the two cases the paper distinguishes:
+//!
+//! * **color conversion** (RGB → grayscale-RGB): "when the new pixel is a
+//!   function of the old pixel only, the processing requires no changes";
+//! * **3×3 box blur convolution**: "the data slices or the processing
+//!   must take care of the new border conditions at the data slice
+//!   edges" — the kernel fetches a 1-row halo per band.
+//!
+//! Both kernels' outputs are verified byte-for-byte against host
+//! references.
+//!
+//! ```sh
+//! cargo run --release --example image_filter_offload
+//! ```
+
+use cell_sys::machine::CellMachine;
+use cell_sys::spe::SpeEnv;
+use marvel::image::ColorImage;
+use marvel::kernels::{band_plans, HaloBandReader};
+use marvel::wire::{image_stride, upload_image};
+use portkit::dispatcher::KernelDispatcher;
+use portkit::interface::{ReplyMode, SpeInterface};
+
+const W: usize = 1600;
+const H: usize = 1200;
+
+/// Host reference: per-pixel luma fill.
+fn reference_gray_rgb(img: &ColorImage) -> Vec<u8> {
+    let g = img.to_gray();
+    g.data().iter().flat_map(|&v| [v, v, v]).collect()
+}
+
+/// Host reference: 3×3 box blur per channel, edges clamped.
+fn reference_blur(img: &ColorImage) -> Vec<u8> {
+    let mut out = vec![0u8; W * H * 3];
+    for y in 0..H {
+        for x in 0..W {
+            for ch in 0..3 {
+                let mut sum = 0u32;
+                let mut n = 0u32;
+                for dy in -1i32..=1 {
+                    for dx in -1i32..=1 {
+                        let (nx, ny) = (x as i32 + dx, y as i32 + dy);
+                        if (0..W as i32).contains(&nx) && (0..H as i32).contains(&ny) {
+                            sum += img.data()[(ny as usize * W + nx as usize) * 3 + ch] as u32;
+                            n += 1;
+                        }
+                    }
+                }
+                out[(y * W + x) * 3 + ch] = (sum / n) as u8;
+            }
+        }
+    }
+    out
+}
+
+/// The SPE filter kernel: opcode selects the filter, the argument is a
+/// tiny wrapper [in_ea: u64][out_ea: u64] both strided images.
+fn filter_body(env: &mut SpeEnv, wrapper: u32, blur: bool) -> cell_core::CellResult<u32> {
+    let stride = image_stride(W);
+    let hdr = env.ls.alloc(16, 16)?;
+    env.dma_get_sync(hdr, wrapper as u64, 16, 0)?;
+    let in_ea = env.ls.read_u32(hdr)? as u64 | ((env.ls.read_u32(hdr + 4)? as u64) << 32);
+    let out_ea = env.ls.read_u32(hdr + 8)? as u64 | ((env.ls.read_u32(hdr + 12)? as u64) << 32);
+
+    let halo = if blur { 1 } else { 0 };
+    // ~24 rows per band: (24 + 2) × 4800 B ≈ 125 KB for two buffers.
+    let plans = band_plans(H, 12, halo);
+    let out_buf = env.ls.alloc(12 * stride, 128)?;
+    let mut reader = HaloBandReader::new(env, in_ea, stride, plans, 2, 2)?;
+    while let Some((la, plan)) = reader.acquire(env)? {
+        let rows = plan.bot - plan.top;
+        let band = env.ls.slice(la, rows * stride)?.to_vec();
+        let out_rows = plan.y1 - plan.y0;
+        for oy in 0..out_rows {
+            let y = plan.y0 + oy; // image row
+            let by = y - plan.top; // row within the fetched band
+            let mut out_row = vec![0u8; stride];
+            for x in 0..W {
+                for ch in 0..3 {
+                    let v = if blur {
+                        let mut sum = 0u32;
+                        let mut n = 0u32;
+                        for dy in -1i32..=1 {
+                            let ny = y as i32 + dy;
+                            if !(0..H as i32).contains(&ny) {
+                                continue;
+                            }
+                            let bny = (ny - plan.top as i32) as usize;
+                            for dx in -1i32..=1 {
+                                let nx = x as i32 + dx;
+                                if (0..W as i32).contains(&nx) {
+                                    sum += band[bny * stride + nx as usize * 3 + ch] as u32;
+                                    n += 1;
+                                }
+                            }
+                        }
+                        (sum / n) as u8
+                    } else {
+                        let p = &band[by * stride + x * 3..];
+                        ((77 * p[0] as u32 + 150 * p[1] as u32 + 29 * p[2] as u32) >> 8) as u8
+                    };
+                    out_row[x * 3 + ch] = v;
+                }
+                // Issue accounting: the real kernel SIMDizes this; charge a
+                // conservative vector-ish cost per pixel.
+                env.spu.scalar_op(0);
+            }
+            env.spu.scalar_op((W / 4) as u64); // 4-way-ish amortized cost
+            env.ls.write(out_buf + (oy * stride) as u32, &out_row)?;
+        }
+        env.mfc.put_large(
+            &mut env.ls,
+            out_buf,
+            out_ea + (plan.y0 * stride) as u64,
+            out_rows * stride,
+            1,
+            &mut env.clock,
+        )?;
+        env.mfc.wait_tag(1, &mut env.clock)?;
+        reader.release(env)?;
+    }
+    env.ls.reset();
+    Ok(0)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Generating a {W}x{H} image ({:.1} MB raw — 22x the local store)…", (W * H * 3) as f64 / 1e6);
+    let img = ColorImage::synthetic(W, H, 7)?;
+
+    let mut machine = CellMachine::cell_be();
+    let mut ppe = machine.ppe();
+    let mut d = KernelDispatcher::new("filters", ReplyMode::Polling);
+    let op_gray = d.register("gray", |env, a| filter_body(env, a, false));
+    let op_blur = d.register("blur", |env, a| filter_body(env, a, true));
+    let handle = machine.spawn(0, Box::new(d))?;
+    let mut stub = SpeInterface::new("filters", 0, ReplyMode::Polling);
+
+    let mem = std::sync::Arc::clone(ppe.mem());
+    let stride = image_stride(W);
+    let in_ea = upload_image(&mem, &img)?;
+    let out_ea = mem.alloc_zeroed(stride * H, 128)?;
+    let wrapper = mem.alloc(16, 128)?;
+    mem.write_u64(wrapper, in_ea)?;
+    mem.write_u64(wrapper + 8, out_ea)?;
+
+    let read_result = |mem: &cell_mem::MainMemory| -> Result<Vec<u8>, cell_core::CellError> {
+        let mut out = vec![0u8; W * H * 3];
+        for y in 0..H {
+            let mut row = vec![0u8; W * 3];
+            mem.read(out_ea + (y * stride) as u64, &mut row)?;
+            out[y * W * 3..(y + 1) * W * 3].copy_from_slice(&row);
+        }
+        Ok(out)
+    };
+
+    for (name, op, reference) in [
+        ("color conversion", op_gray, reference_gray_rgb(&img)),
+        ("3x3 convolution", op_blur, reference_blur(&img)),
+    ] {
+        let t0 = ppe.elapsed();
+        stub.send_and_wait(&mut ppe, op, wrapper as u32)?;
+        let dt = ppe.elapsed() - t0;
+        let got = read_result(&mem)?;
+        let ok = got == reference;
+        println!(
+            "{name}: {} in {dt} of virtual time{}",
+            if ok { "matches the host reference byte-for-byte" } else { "DIVERGED" },
+            if name.contains("convolution") { " (band borders halo-exchanged)" } else { "" },
+        );
+        assert!(ok);
+    }
+
+    stub.close(&mut ppe)?;
+    let report = handle.join()?;
+    println!(
+        "SPE DMA traffic: {:.1} MB in, {:.1} MB out across {} transfers ({} stall cycles)",
+        report.mfc.bytes_in as f64 / 1e6,
+        report.mfc.bytes_out as f64 / 1e6,
+        report.mfc.transfers,
+        report.mfc.stall_cycles
+    );
+    Ok(())
+}

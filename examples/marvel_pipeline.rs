@@ -1,0 +1,78 @@
+//! The full MARVEL case study: analyze a set of images on the simulated
+//! Cell under each of the paper's §5.5 scheduling scenarios and compare
+//! with the sequential reference.
+//!
+//! ```sh
+//! cargo run --release --example marvel_pipeline
+//! ```
+
+use cell_core::MachineProfile;
+use marvel::app::{CellMarvel, ReferenceMarvel, Scenario, EXTRACT_KINDS};
+use marvel::codec;
+use marvel::image::ColorImage;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small synthetic image set (full 352x240 runs live in the
+    // `experiments` binary).
+    let images: Vec<_> = (0..4)
+        .map(|i| codec::encode(&ColorImage::synthetic(176, 120, 42 + i).unwrap(), 90))
+        .collect();
+
+    // Reference run: the original sequential application, profiled.
+    let mut reference = ReferenceMarvel::new(42);
+    let ref_results: Vec<_> = images
+        .iter()
+        .map(|c| reference.analyze(c))
+        .collect::<Result<_, _>>()?;
+    println!("Reference coverage on the PPE (the paper's profiling step):");
+    for row in reference.coverage(&MachineProfile::ppe())? {
+        println!("  {:<11} {:5.1}%  ({} calls)", row.name, row.fraction * 100.0, row.calls);
+    }
+    println!();
+
+    for scenario in [
+        Scenario::Sequential,
+        Scenario::ParallelExtract,
+        Scenario::ParallelReplicated,
+    ] {
+        let mut cell = CellMarvel::new(scenario, true, 42)?;
+        cell.enable_tracing();
+        let mut ok = true;
+        for (c, want) in images.iter().zip(&ref_results) {
+            let got = cell.analyze(c)?;
+            for kind in EXTRACT_KINDS {
+                ok &= got.feature(kind) == want.feature(kind);
+            }
+        }
+        let gantt = cell.timeline().map(|t| t.render(60));
+        let (elapsed, reports) = cell.finish()?;
+        let spe_busy: u64 = reports.iter().map(|r| r.cycles).sum();
+        println!(
+            "{scenario:?}: {} for {} images — features {} — {} total SPE cycles",
+            elapsed,
+            images.len(),
+            if ok { "bit-identical to reference" } else { "DIVERGED!" },
+            spe_busy
+        );
+        if let Some(g) = gantt {
+            print!("{g}");
+        }
+        let ref_time = reference.processing_time(&MachineProfile::desktop())?;
+        println!(
+            "  speed-up vs Desktop reference: {:.2}x",
+            ref_time.seconds() / elapsed.seconds()
+        );
+    }
+
+    // The pipelined extension: hide PPE preprocessing behind SPE work.
+    let mut cell = CellMarvel::new(Scenario::ParallelExtract, true, 42)?;
+    cell.analyze_batch_pipelined(&images)?;
+    let (elapsed, _) = cell.finish()?;
+    let ref_time = reference.processing_time(&MachineProfile::desktop())?;
+    println!(
+        "Pipelined batch (extension): {} — {:.2}x vs Desktop",
+        elapsed,
+        ref_time.seconds() / elapsed.seconds()
+    );
+    Ok(())
+}

@@ -1,0 +1,153 @@
+//! Failure injection across the crate boundaries: the porting mistakes
+//! the paper's checklists warn about must surface as errors, not silent
+//! corruption.
+
+use cell_core::{CellError, MachineConfig};
+use cell_sys::machine::CellMachine;
+use cell_sys::spe::SpeEnv;
+use portkit::dispatcher::KernelDispatcher;
+use portkit::interface::{ReplyMode, SpeInterface};
+
+fn machine() -> CellMachine {
+    CellMachine::new(MachineConfig::small()).unwrap()
+}
+
+#[test]
+fn misaligned_wrapper_address_faults_the_kernel() {
+    let mut m = machine();
+    let mut ppe = m.ppe();
+    let mut d = KernelDispatcher::new("dma", ReplyMode::Polling);
+    let op = d.register("fetch", |env: &mut SpeEnv, addr| {
+        let la = env.ls.alloc(64, 16)?;
+        env.dma_get_sync(la, addr as u64, 64, 0)?;
+        Ok(0)
+    });
+    let h = m.spawn(0, Box::new(d)).unwrap();
+    let mut iface = SpeInterface::new("dma", 0, ReplyMode::Polling);
+    let base = ppe.mem().alloc(128, 128).unwrap();
+    // Off-by-eight: the classic data-wrapper alignment bug of §3.3.
+    iface.send(&mut ppe, op, (base + 8) as u32).unwrap();
+    let err = h.join().unwrap_err();
+    match err {
+        CellError::SpeFault { spe: 0, message } => {
+            assert!(message.contains("aligned"), "unexpected fault: {message}")
+        }
+        other => panic!("expected SpeFault, got {other}"),
+    }
+}
+
+#[test]
+fn oversized_kernel_buffer_reports_ls_overflow() {
+    let mut m = machine(); // 64 KB local stores
+    let mut ppe = m.ppe();
+    let mut d = KernelDispatcher::new("hog", ReplyMode::Polling);
+    let op = d.register("alloc_too_much", |env: &mut SpeEnv, _| {
+        // A 352x240 RGB image does not fit a small LS — the kernel must
+        // notice before any DMA, which is what forces slicing (§3.4).
+        let _ = env.ls.alloc(352 * 240 * 3, 16)?;
+        Ok(0)
+    });
+    let h = m.spawn(0, Box::new(d)).unwrap();
+    let mut iface = SpeInterface::new("hog", 0, ReplyMode::Polling);
+    iface.send(&mut ppe, op, 0).unwrap();
+    let err = h.join().unwrap_err();
+    assert!(err.to_string().contains("local store"), "{err}");
+}
+
+#[test]
+fn dma_size_violations_fault() {
+    let mut m = machine();
+    let mut ppe = m.ppe();
+    let mut d = KernelDispatcher::new("sizes", ReplyMode::Polling);
+    let op = d.register("bad_size", |env: &mut SpeEnv, addr| {
+        let la = env.ls.alloc(64, 16)?;
+        env.dma_get_sync(la, addr as u64, 24, 0)?; // not 1/2/4/8 or 16k
+        Ok(0)
+    });
+    let h = m.spawn(0, Box::new(d)).unwrap();
+    let mut iface = SpeInterface::new("sizes", 0, ReplyMode::Polling);
+    let base = ppe.mem().alloc(128, 128).unwrap();
+    iface.send(&mut ppe, op, base as u32).unwrap();
+    assert!(h.join().is_err());
+}
+
+#[test]
+fn wrong_model_dim_is_detected_by_the_cd_kernel() {
+    use marvel::classify::svm::SvmModel;
+    use marvel::kernels::{detect_dispatcher, prepare_detect};
+    use marvel::wire::upload_model;
+
+    let mut m = CellMachine::cell_be();
+    let mut ppe = m.ppe();
+    let (d, op) = detect_dispatcher(ReplyMode::Polling);
+    let h = m.spawn(0, Box::new(d)).unwrap();
+    let mut iface = SpeInterface::new("cd", 0, ReplyMode::Polling);
+
+    let model = SvmModel::synthetic("c", 80, 5, 1); // 80-dim model
+    let mem = std::sync::Arc::clone(ppe.mem());
+    let (model_ea, model_bytes) = upload_model(&mem, &model).unwrap();
+    let feature = vec![0.1f32; 166]; // 166-dim feature
+    let (dw, _wire) = prepare_detect(&mem, &feature, model_ea, model_bytes).unwrap();
+    iface.send(&mut ppe, op, dw.addr_word().unwrap()).unwrap();
+    let err = h.join().unwrap_err();
+    assert!(err.to_string().contains("dim"), "{err}");
+}
+
+#[test]
+fn machine_shutdown_wakes_every_idle_kernel() {
+    let mut m = machine();
+    let mut handles = Vec::new();
+    for spe in 0..2 {
+        let mut d = KernelDispatcher::new("idle", ReplyMode::Polling);
+        d.register("noop", |_, v| Ok(v));
+        handles.push(m.spawn(spe, Box::new(d)).unwrap());
+    }
+    m.shutdown();
+    for h in handles {
+        let err = h.join().unwrap_err();
+        assert!(matches!(err, CellError::SpeFault { .. }));
+    }
+}
+
+#[test]
+fn stub_to_missing_spe_errors_cleanly() {
+    let m = machine();
+    let mut ppe = m.ppe();
+    let mut iface = SpeInterface::new("ghost", 7, ReplyMode::Polling);
+    assert!(matches!(
+        iface.send(&mut ppe, 1, 0),
+        Err(CellError::NoSpeAvailable { .. })
+    ));
+}
+
+#[test]
+fn main_memory_exhaustion_propagates() {
+    let m = machine();
+    let ppe = m.ppe();
+    // The small config has 4 MB of main memory.
+    let err = ppe.mem().alloc(64 << 20, 16).unwrap_err();
+    assert!(matches!(err, CellError::OutOfMemory { .. }));
+}
+
+#[test]
+fn faulted_spe_leaves_other_spes_running() {
+    let mut m = machine();
+    let mut ppe = m.ppe();
+    let mut bad = KernelDispatcher::new("bad", ReplyMode::Polling);
+    let op_bad = bad.register("explode", |env: &mut SpeEnv, _| {
+        Err(cell_sys::spe::spe_fault(env.spe_id(), "injected"))
+    });
+    let mut good = KernelDispatcher::new("good", ReplyMode::Polling);
+    let op_good = good.register("ok", |_, v| Ok(v + 1));
+    let hb = m.spawn(0, Box::new(bad)).unwrap();
+    let hg = m.spawn(1, Box::new(good)).unwrap();
+
+    let mut bad_iface = SpeInterface::new("bad", 0, ReplyMode::Polling);
+    let mut good_iface = SpeInterface::new("good", 1, ReplyMode::Polling);
+    bad_iface.send(&mut ppe, op_bad, 0).unwrap();
+    assert!(hb.join().is_err());
+    // SPE 1 is unaffected.
+    assert_eq!(good_iface.send_and_wait(&mut ppe, op_good, 41).unwrap(), 42);
+    good_iface.close(&mut ppe).unwrap();
+    hg.join().unwrap();
+}

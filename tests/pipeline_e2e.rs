@@ -1,0 +1,113 @@
+//! End-to-end integration: the full MARVEL pipeline on the simulated Cell
+//! against the sequential reference, across scheduling scenarios.
+
+use cellport::prelude::*;
+use marvel::app::{CellMarvel, ReferenceMarvel, Scenario, EXTRACT_KINDS};
+use marvel::codec;
+use marvel::image::ColorImage;
+
+fn inputs(n: usize, seed: u64) -> Vec<codec::Compressed> {
+    (0..n)
+        .map(|i| codec::encode(&ColorImage::synthetic(64, 48, seed + i as u64).unwrap(), 90))
+        .collect()
+}
+
+#[test]
+fn cell_reproduces_reference_analysis_over_a_set() {
+    let set = inputs(3, 100);
+    let mut reference = ReferenceMarvel::new(7);
+    let want: Vec<_> = set.iter().map(|c| reference.analyze(c).unwrap()).collect();
+
+    let mut cell = CellMarvel::new(Scenario::ParallelExtract, true, 7).unwrap();
+    for (i, c) in set.iter().enumerate() {
+        let got = cell.analyze(c).unwrap();
+        for kind in EXTRACT_KINDS {
+            assert_eq!(got.feature(kind), want[i].feature(kind), "image {i}, {}", kind.name());
+            let (g, w) = (got.score(kind), want[i].score(kind));
+            assert!((g - w).abs() < 1e-3 * w.abs().max(1.0), "image {i} {} score", kind.name());
+        }
+    }
+    let (elapsed, reports) = cell.finish().unwrap();
+    assert!(elapsed.seconds() > 0.0);
+    // Every kernel SPE did real DMA work.
+    for r in &reports {
+        assert!(r.mfc.bytes_in > 0, "SPE {} never DMAed", r.spe_id);
+        assert!(r.fault.is_none());
+    }
+}
+
+#[test]
+fn pipelined_batch_matches_per_image_results() {
+    let set = inputs(4, 200);
+    let mut a = CellMarvel::new(Scenario::ParallelExtract, true, 9).unwrap();
+    let per_image: Vec<_> = set.iter().map(|c| a.analyze(c).unwrap()).collect();
+    a.finish().unwrap();
+
+    let mut b = CellMarvel::new(Scenario::ParallelExtract, true, 9).unwrap();
+    let batched = b.analyze_batch_pipelined(&set).unwrap();
+    b.finish().unwrap();
+
+    assert_eq!(batched.len(), per_image.len());
+    for (x, y) in batched.iter().zip(&per_image) {
+        for kind in EXTRACT_KINDS {
+            assert_eq!(x.feature(kind), y.feature(kind));
+        }
+    }
+}
+
+#[test]
+fn pipelining_is_not_slower() {
+    let set = inputs(4, 300);
+    let time_plain = {
+        let mut cell = CellMarvel::new(Scenario::ParallelExtract, true, 3).unwrap();
+        for c in &set {
+            cell.analyze(c).unwrap();
+        }
+        cell.finish().unwrap().0
+    };
+    let time_pipe = {
+        let mut cell = CellMarvel::new(Scenario::ParallelExtract, true, 3).unwrap();
+        cell.analyze_batch_pipelined(&set).unwrap();
+        cell.finish().unwrap().0
+    };
+    assert!(
+        time_pipe.seconds() <= time_plain.seconds() * 1.01,
+        "pipelined {time_pipe} vs plain {time_plain}"
+    );
+}
+
+#[test]
+fn virtual_times_are_deterministic_across_runs() {
+    let set = inputs(2, 400);
+    let run = || {
+        let mut cell = CellMarvel::new(Scenario::Sequential, true, 5).unwrap();
+        for c in &set {
+            cell.analyze(c).unwrap();
+        }
+        let (t, reports) = cell.finish().unwrap();
+        let spe_cycles: Vec<u64> = reports.iter().map(|r| r.cycles).collect();
+        (t, spe_cycles)
+    };
+    let (t1, c1) = run();
+    let (t2, c2) = run();
+    assert_eq!(t1, t2, "virtual wall time must be deterministic");
+    assert_eq!(c1, c2, "per-SPE virtual clocks must be deterministic");
+}
+
+#[test]
+fn umbrella_prelude_reexports_work() {
+    // The prelude must expose enough to run the Amdahl sanity check that
+    // the paper recommends before any porting effort.
+    let s = estimate_single(0.5, 20.0).unwrap();
+    assert!(s > 1.9 && s < 2.0);
+    let machine = CellMachine::new(MachineConfig::small()).unwrap();
+    assert_eq!(machine.config().num_spes, 2);
+    let _iface = SpeInterface::new("x", 0, portkit::interface::ReplyMode::Polling);
+    let c: Cycles = Cycles(5);
+    let f: Frequency = Frequency::ghz(3.2);
+    let _d: VirtualDuration = c.at(f);
+    let _e: CellError = CellError::MfcQueueFull;
+    let mut p = OpProfile::new();
+    p.record(OpClass::IntAlu, 1);
+    let _t = MachineProfile::ppe().time(&p);
+}

@@ -1,0 +1,197 @@
+//! Property-based tests over the core invariants:
+//!
+//! * every SIMD / sliced kernel form equals its scalar reference on
+//!   arbitrary images and band splits;
+//! * wrappers, wire formats and memory primitives round-trip;
+//! * the Amdahl estimators behave monotonically.
+
+use proptest::prelude::*;
+
+use cell_core::{align_up, SplitMix64};
+use marvel::classify::svm::SvmModel;
+use marvel::color;
+use marvel::features::{correlogram, edge, histogram, texture};
+use marvel::image::ColorImage;
+use portkit::amdahl::{estimate_grouped, estimate_sequential, estimate_single, KernelSpec};
+
+fn arb_image(max_w: usize, max_h: usize) -> impl Strategy<Value = ColorImage> {
+    ((8usize..max_w), (8usize..max_h), any::<u64>()).prop_map(|(w, h, seed)| {
+        ColorImage::synthetic(w, h, seed).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ch_simd_equals_scalar(img in arb_image(120, 80), band_rows in 1usize..20) {
+        let reference = histogram::extract(&img);
+        let mut sl = histogram::SlicedHistogram::new();
+        let mut spu = cell_spu::Spu::new();
+        let mut scratch = vec![0u8; img.width() * band_rows];
+        for band in img.data().chunks(band_rows * img.row_bytes()) {
+            sl.update_simd(&mut spu, band, &mut scratch);
+        }
+        prop_assert_eq!(sl.finish(), reference);
+    }
+
+    #[test]
+    fn cc_simd_banded_equals_scalar(img in arb_image(64, 48), band_rows in 4usize..24) {
+        let reference = correlogram::extract(&img);
+        let bins = correlogram::quantize_image(&img);
+        let (w, h) = (img.width(), img.height());
+        let mut acc = correlogram::CorrelogramAcc::new(w, h);
+        let mut spu = cell_spu::Spu::new();
+        let mut y = 0;
+        while y < h {
+            let y_end = (y + band_rows).min(h);
+            let top = y.saturating_sub(correlogram::RADIUS);
+            let bot = (y_end + correlogram::RADIUS).min(h);
+            acc.update_rows_simd(&mut spu, &bins[top * w..bot * w], y, y_end);
+            y = y_end;
+        }
+        prop_assert_eq!(acc.finish(), reference);
+    }
+
+    #[test]
+    fn eh_simd_banded_equals_scalar(img in arb_image(100, 60), band_rows in 2usize..16) {
+        let reference = edge::extract(&img);
+        let gray = img.to_gray();
+        let (w, h) = (gray.width(), gray.height());
+        let mut acc = edge::EdgeAcc::new(w, h);
+        let mut spu = cell_spu::Spu::new();
+        let mut y = 0;
+        while y < h {
+            let y_end = (y + band_rows).min(h);
+            let top = y.saturating_sub(1);
+            let bot = (y_end + 1).min(h);
+            acc.update_rows_simd(&mut spu, &gray.data()[top * w..bot * w], y, y_end);
+            y = y_end;
+        }
+        prop_assert_eq!(acc.finish(), reference);
+    }
+
+    #[test]
+    fn tx_simd_banded_equals_scalar(img in arb_image(100, 60), band_pairs in 1usize..8) {
+        let reference = texture::extract(&img);
+        let gray = img.to_gray();
+        // TX consumes whole row pairs; clip odd heights like the kernel.
+        let rows = gray.height() & !1;
+        let mut acc = texture::TextureAcc::new(gray.width());
+        let mut spu = cell_spu::Spu::new();
+        for band in gray.data()[..rows * gray.width()].chunks(band_pairs * 2 * gray.width()) {
+            acc.update_band_simd(&mut spu, band);
+        }
+        // Compare against the reference of the even-clipped image.
+        let clipped = ColorImage::from_data(
+            img.width(),
+            rows,
+            img.data()[..rows * img.row_bytes()].to_vec(),
+        ).unwrap();
+        let _ = reference;
+        prop_assert_eq!(acc.finish(), texture::extract(&clipped));
+    }
+
+    #[test]
+    fn quantizer_simd_equals_scalar_rowwise(img in arb_image(140, 12)) {
+        let mut spu = cell_spu::Spu::new();
+        for y in 0..img.height() {
+            let mut a = vec![0u8; img.width()];
+            let mut b = vec![0u8; img.width()];
+            color::quantize_row(img.row(y), &mut a);
+            color::quantize_row_simd(&mut spu, img.row(y), &mut b);
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    #[test]
+    fn quantizer_stays_in_range(r in any::<u8>(), g in any::<u8>(), b in any::<u8>()) {
+        let bin = color::quantize_rgb(r, g, b);
+        prop_assert!((bin as usize) < color::NUM_BINS);
+    }
+
+    #[test]
+    fn ppm_roundtrip(img in arb_image(64, 64)) {
+        let back = ColorImage::from_ppm(&img.to_ppm()).unwrap();
+        prop_assert_eq!(img, back);
+    }
+
+    #[test]
+    fn codec_roundtrip_has_bounded_error(img in arb_image(48, 48)) {
+        let c = marvel::codec::encode(&img, 92);
+        let back = marvel::codec::decode(&c).unwrap();
+        prop_assert_eq!(back.width(), img.width());
+        prop_assert_eq!(back.height(), img.height());
+        let max_err = img
+            .data()
+            .iter()
+            .zip(back.data())
+            .map(|(a, b)| (*a as i32 - *b as i32).unsigned_abs())
+            .max()
+            .unwrap();
+        prop_assert!(max_err < 96, "max channel error {}", max_err);
+    }
+
+    #[test]
+    fn svm_wire_roundtrip(dim in 1usize..64, n in 1usize..16, seed in any::<u64>()) {
+        let m = SvmModel::synthetic("p", dim, n, seed);
+        let back = SvmModel::from_wire("p", &m.to_wire()).unwrap();
+        prop_assert_eq!(m, back);
+    }
+
+    #[test]
+    fn svm_simd_score_close_to_scalar(dim in 4usize..48, n in 1usize..12, seed in any::<u64>()) {
+        let m = SvmModel::synthetic("p", dim, n, seed);
+        let mut rng = SplitMix64::new(seed ^ 1);
+        let x: Vec<f32> = (0..dim).map(|_| rng.next_f64() as f32 * 0.2).collect();
+        let scalar = m.score(&x).unwrap();
+        let wire = m.to_wire();
+        let rec = SvmModel::record_bytes(dim);
+        let mut spu = cell_spu::Spu::new();
+        let mut simd = m.bias;
+        for i in 0..n {
+            let base = SvmModel::HEADER_BYTES + i * rec;
+            simd += marvel::classify::svm::score_record_simd(&mut spu, m.kernel, &x, &wire[base..base + rec]);
+        }
+        prop_assert!((simd - scalar).abs() < 1e-3 * scalar.abs().max(1.0), "{} vs {}", simd, scalar);
+    }
+
+    #[test]
+    fn amdahl_monotone_in_speedup(fr in 0.01f64..0.99, s1 in 1.0f64..50.0, extra in 0.1f64..50.0) {
+        let a = estimate_single(fr, s1).unwrap();
+        let b = estimate_single(fr, s1 + extra).unwrap();
+        prop_assert!(b >= a, "{} then {}", a, b);
+    }
+
+    #[test]
+    fn grouped_never_loses_to_sequential(
+        fracs in proptest::collection::vec(0.01f64..0.2, 2..6),
+        speedup in 1.5f64..40.0,
+    ) {
+        let kernels: Vec<KernelSpec> = fracs
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| KernelSpec::new("k", f, speedup + i as f64))
+            .collect();
+        let seq = estimate_sequential(&kernels).unwrap();
+        let grouped = estimate_grouped(&kernels, &[(0..kernels.len()).collect()]).unwrap();
+        prop_assert!(grouped + 1e-12 >= seq, "grouped {} < sequential {}", grouped, seq);
+    }
+
+    #[test]
+    fn align_up_is_idempotent_and_minimal(v in 0usize..1_000_000, pow in 0u32..12) {
+        let a = 1usize << pow;
+        let up = align_up(v, a);
+        prop_assert!(up >= v);
+        prop_assert!(up - v < a);
+        prop_assert_eq!(align_up(up, a), up);
+    }
+
+    #[test]
+    fn splitmix_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut r = SplitMix64::new(seed);
+        for _ in 0..32 {
+            prop_assert!(r.next_below(bound) < bound);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Scheduling-scenario integration tests: the Fig. 4 execution models and
+//! the §5.5 estimate-vs-measurement relationship.
+
+use cell_core::MachineProfile;
+use marvel::app::{CellMarvel, ReferenceMarvel, Scenario};
+use marvel::codec;
+use marvel::image::ColorImage;
+use portkit::amdahl::KernelSpec;
+use portkit::schedule::Schedule;
+
+fn one_input(seed: u64) -> codec::Compressed {
+    codec::encode(&ColorImage::synthetic(96, 64, seed).unwrap(), 90)
+}
+
+fn kernel_time(scenario: Scenario, input: &codec::Compressed, seed: u64) -> f64 {
+    let mut cell = CellMarvel::new(scenario, true, seed).unwrap();
+    let t0 = cell.elapsed();
+    cell.analyze(input).unwrap();
+    let t = cell.elapsed() - t0;
+    cell.finish().unwrap();
+    t.seconds()
+}
+
+#[test]
+fn scenario_ordering_matches_fig4() {
+    let input = one_input(11);
+    let seq = kernel_time(Scenario::Sequential, &input, 11);
+    let par = kernel_time(Scenario::ParallelExtract, &input, 11);
+    let rep = kernel_time(Scenario::ParallelReplicated, &input, 11);
+    assert!(par < seq, "Fig 4(c) must beat Fig 4(b): {par} vs {seq}");
+    // Replicated detection is at worst marginally different from parallel
+    // (paper: 15.28 vs 15.64 — a sliver).
+    assert!(rep < seq);
+    assert!((rep - par).abs() / par < 0.30, "rep {rep} vs par {par}");
+}
+
+#[test]
+fn grouped_estimate_bounds_measured_parallel_gain() {
+    // The paper matched Eq. 2/3 estimates within 2 % because its serial
+    // fraction was tiny. Our measured runs carry the PPE-resident
+    // preprocessing penalty, so the estimate is an *upper bound*; the
+    // parallel/sequential *ratio*, however, should track the estimates'
+    // ratio closely.
+    let input = one_input(13);
+    let seq = kernel_time(Scenario::Sequential, &input, 13);
+    let par = kernel_time(Scenario::ParallelExtract, &input, 13);
+    let measured_gain = seq / par;
+
+    // Estimate the same gain from the reference profile + Table-1-style
+    // kernel speed-ups (vs the PPE, which is the machine the serial parts
+    // actually run on here).
+    let img = codec::decode(&input).unwrap();
+    let mut reference = ReferenceMarvel::new(13);
+    reference.analyze(&input).unwrap();
+    let ppe = MachineProfile::ppe();
+    let rows = reference.coverage(&ppe).unwrap();
+    let frac = |n: &str| rows.iter().find(|r| r.name == n).map(|r| r.fraction).unwrap();
+    let _ = img;
+    let specs = vec![
+        KernelSpec::new("CH", frac("CHExtract"), 40.0),
+        KernelSpec::new("CC", frac("CCExtract"), 40.0),
+        KernelSpec::new("TX", frac("TXExtract"), 25.0),
+        KernelSpec::new("EH", frac("EHExtract"), 60.0),
+        KernelSpec::new("CD", frac("ConceptDet"), 15.0),
+    ];
+    let est_seq = Schedule::sequential(5, 8).unwrap().estimate(&specs).unwrap();
+    let est_par = Schedule::grouped(vec![vec![0, 1, 2, 3], vec![4]], 8)
+        .unwrap()
+        .estimate(&specs)
+        .unwrap();
+    let estimated_gain = est_par / est_seq;
+    assert!(
+        (measured_gain / estimated_gain - 1.0).abs() < 0.5,
+        "measured parallel gain {measured_gain:.2} vs estimated {estimated_gain:.2}"
+    );
+}
+
+#[test]
+fn schedule_rejects_more_kernels_than_spes() {
+    assert!(Schedule::sequential(9, 8).is_err());
+    assert!(Schedule::grouped(vec![(0..9).collect()], 8).is_err());
+}
+
+#[test]
+fn static_assignment_keeps_kernels_on_their_spes() {
+    // Run two images through the parallel scenario and confirm via the
+    // SPE reports that each kernel's SPE served exactly its own calls:
+    // extraction SPEs see image-sized DMA, the CD SPE sees model-sized.
+    let input = one_input(17);
+    let mut cell = CellMarvel::new(Scenario::ParallelExtract, true, 17).unwrap();
+    cell.analyze(&input).unwrap();
+    cell.analyze(&input).unwrap();
+    let (_t, reports) = cell.finish().unwrap();
+    let img_bytes = (marvel::wire::image_stride(96) * 64) as u64;
+    for r in &reports[..4] {
+        assert!(
+            r.mfc.bytes_in >= 2 * img_bytes,
+            "extraction SPE {} transferred only {} bytes",
+            r.spe_id,
+            r.mfc.bytes_in
+        );
+    }
+    // The CD SPE transferred the four model collections twice.
+    let models = marvel::app::MarvelModels::synthetic(17);
+    assert!(reports[4].mfc.bytes_in as usize >= 2 * models.wire_bytes());
+}
+
+#[test]
+fn interrupt_mode_interface_works_under_load() {
+    use cell_sys::machine::CellMachine;
+    use portkit::dispatcher::KernelDispatcher;
+    use portkit::interface::{ReplyMode, SpeInterface};
+
+    let mut m = CellMachine::new(cell_core::MachineConfig::small()).unwrap();
+    let mut ppe = m.ppe();
+    let mut d = KernelDispatcher::new("worker", ReplyMode::Interrupt);
+    let op = d.register("square", |_, v| Ok(v.wrapping_mul(v)));
+    let h = m.spawn(0, Box::new(d)).unwrap();
+    let mut iface = SpeInterface::new("worker", 0, ReplyMode::Interrupt);
+    for i in 0..200u32 {
+        assert_eq!(iface.send_and_wait(&mut ppe, op, i).unwrap(), i.wrapping_mul(i));
+    }
+    iface.close(&mut ppe).unwrap();
+    h.join().unwrap();
+}
