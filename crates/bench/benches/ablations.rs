@@ -9,11 +9,12 @@
 //! * **kernel granularity**: band height vs DMA transfer count (§3.2's
 //!   "big enough to be worth a DMA round-trip").
 
+use cell_bench::harness::{BenchmarkId, Criterion};
+use cell_bench::{criterion_group, criterion_main};
 use cell_core::{Cycles, EibConfig, Frequency, MachineConfig, VirtualClock};
 use cell_eib::{Eib, Element};
 use cell_mem::{LocalStore, MainMemory};
 use cell_mfc::{Mfc, StreamReader};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::Arc;
 
 fn stream_run(depth: usize, compute_per_chunk: u64) -> (u64, u64) {
@@ -25,8 +26,17 @@ fn stream_run(depth: usize, compute_per_chunk: u64) -> (u64, u64) {
     let mut clock = VirtualClock::new(Frequency::ghz(3.2));
     let total = 512 * 1024;
     let ea = mem.alloc(total, 128).unwrap();
-    let mut rdr =
-        StreamReader::new(&mut mfc, &mut ls, &mut clock, ea, total, 16 * 1024, depth, 0).unwrap();
+    let mut rdr = StreamReader::new(
+        &mut mfc,
+        &mut ls,
+        &mut clock,
+        ea,
+        total,
+        16 * 1024,
+        depth,
+        0,
+    )
+    .unwrap();
     while let Some((_la, _len)) = rdr.acquire(&mut mfc, &mut clock).unwrap() {
         clock.advance(Cycles(compute_per_chunk));
         rdr.release(&mut mfc, &mut ls, &mut clock).unwrap();

@@ -4,7 +4,8 @@
 //! estimates built from the paper's own Table 1 numbers), then benches
 //! the estimator itself across kernel-set sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cell_bench::harness::{BenchmarkId, Criterion};
+use cell_bench::{criterion_group, criterion_main};
 use portkit::amdahl::{estimate_grouped, estimate_sequential, estimate_single, KernelSpec};
 
 fn paper_kernels() -> Vec<KernelSpec> {
@@ -35,7 +36,9 @@ fn print_estimates() {
 fn bench_estimators(c: &mut Criterion) {
     print_estimates();
     let mut g = c.benchmark_group("amdahl");
-    g.bench_function("eq1_single", |b| b.iter(|| estimate_single(0.1, 10.0).unwrap()));
+    g.bench_function("eq1_single", |b| {
+        b.iter(|| estimate_single(0.1, 10.0).unwrap())
+    });
     for n in [5usize, 50, 500] {
         let kernels: Vec<KernelSpec> = (0..n)
             .map(|i| KernelSpec::new("k", 0.9 / n as f64, 2.0 + i as f64))
@@ -43,12 +46,16 @@ fn bench_estimators(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("eq2_sequential", n), &kernels, |b, ks| {
             b.iter(|| estimate_sequential(ks).unwrap())
         });
-        let groups: Vec<Vec<usize>> = kernels.chunks(4).enumerate()
+        let groups: Vec<Vec<usize>> = kernels
+            .chunks(4)
+            .enumerate()
             .map(|(gi, ch)| (0..ch.len()).map(|k| gi * 4 + k).collect())
             .collect();
-        g.bench_with_input(BenchmarkId::new("eq3_grouped", n), &(kernels, groups), |b, (ks, gs)| {
-            b.iter(|| estimate_grouped(ks, gs).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("eq3_grouped", n),
+            &(kernels, groups),
+            |b, (ks, gs)| b.iter(|| estimate_grouped(ks, gs).unwrap()),
+        );
     }
     g.finish();
 }

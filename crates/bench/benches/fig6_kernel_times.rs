@@ -4,9 +4,10 @@
 //! benches the cost-model evaluation path itself (profiling + costing is
 //! what every experiment run spends its host time on).
 
+use cell_bench::harness::Criterion;
+use cell_bench::{criterion_group, criterion_main};
 use cell_bench::{measure_kernels, ms, SEED};
 use cell_core::{CostModel, MachineProfile, OpClass, OpProfile};
-use criterion::{criterion_group, criterion_main, Criterion};
 use marvel::features::histogram;
 use marvel::image::ColorImage;
 
@@ -14,7 +15,10 @@ fn print_fig6() {
     let img = ColorImage::synthetic(176, 120, SEED).unwrap();
     let m = measure_kernels(&img, false).expect("measurement");
     println!("\nFigure 6 (quick 176x120 reproduction) — times in ms:");
-    println!("  {:<11} {:>9} {:>9} {:>9} {:>9}", "kernel", "Laptop", "Desktop", "PPE", "SPE");
+    println!(
+        "  {:<11} {:>9} {:>9} {:>9} {:>9}",
+        "kernel", "Laptop", "Desktop", "PPE", "SPE"
+    );
     for r in &m.rows {
         println!(
             "  {:<11} {:>9} {:>9} {:>9} {:>9}",

@@ -4,8 +4,9 @@
 //! benches a full simulated application round (machine bring-up + one
 //! image + teardown) per scenario — the end-to-end cost of the simulator.
 
+use cell_bench::harness::Criterion;
+use cell_bench::{criterion_group, criterion_main};
 use cell_bench::{measure_app, small_workload, SEED};
-use criterion::{criterion_group, criterion_main, Criterion};
 use marvel::app::{CellMarvel, Scenario};
 use marvel::codec;
 use marvel::image::ColorImage;
@@ -34,8 +35,11 @@ fn bench_app(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("fig7_app_round");
     g.sample_size(10);
-    for scenario in [Scenario::Sequential, Scenario::ParallelExtract, Scenario::ParallelReplicated]
-    {
+    for scenario in [
+        Scenario::Sequential,
+        Scenario::ParallelExtract,
+        Scenario::ParallelReplicated,
+    ] {
         g.bench_function(format!("{scenario:?}"), |b| {
             b.iter(|| {
                 let mut cell = CellMarvel::new(scenario, true, SEED).unwrap();

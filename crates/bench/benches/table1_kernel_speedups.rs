@@ -6,8 +6,9 @@
 //! against its scalar reference, which is the work the simulation pays
 //! per iteration.
 
+use cell_bench::harness::{BatchSize, Criterion};
+use cell_bench::{criterion_group, criterion_main};
 use cell_bench::{measure_kernels, SEED};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use marvel::features::{correlogram, edge, histogram, texture};
 use marvel::image::ColorImage;
 

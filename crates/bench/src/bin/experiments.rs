@@ -149,7 +149,7 @@ fn e10_utilization(args: &Args) {
     cell.enable_tracing();
     cell.analyze(&inputs[0]).expect("analyze");
     let eib = cell.eib_stats();
-    let timeline = cell.timeline().cloned().expect("tracing enabled");
+    let timeline = cell.timeline().expect("tracing enabled");
     let (wall, reports) = cell.finish().expect("finish");
     println!("PPE wall time: {wall}");
     println!(
@@ -163,7 +163,12 @@ fn e10_utilization(args: &Args) {
     for r in &reports {
         println!(
             "| {} | {} | {} | {} | {} | {} |",
-            r.spe_id, r.cycles, r.mfc.bytes_in, r.mfc.bytes_out, r.mfc.stall_cycles, r.ls_high_water
+            r.spe_id,
+            r.cycles,
+            r.mfc.bytes_in,
+            r.mfc.bytes_out,
+            r.mfc.stall_cycles,
+            r.ls_high_water
         );
     }
     println!("\nPPE-observed kernel spans (Fig. 4(c) shape):\n");
@@ -227,16 +232,34 @@ fn e2_coverage(args: &Args) {
     ];
     let rows = one.coverage(&ppe).expect("coverage");
     for (kind, p) in paper {
-        let got = rows.iter().find(|r| r.name == kind.name()).map(|r| r.fraction).unwrap_or(0.0);
-        println!("| {} | {:.0}% | {:.1}% |", kind.name(), p * 100.0, got * 100.0);
+        let got = rows
+            .iter()
+            .find(|r| r.name == kind.name())
+            .map(|r| r.fraction)
+            .unwrap_or(0.0);
+        println!(
+            "| {} | {:.0}% | {:.1}% |",
+            kind.name(),
+            p * 100.0,
+            got * 100.0
+        );
     }
-    let pre = rows.iter().find(|r| r.name == "Preprocess").map(|r| r.fraction).unwrap_or(0.0);
+    let pre = rows
+        .iter()
+        .find(|r| r.name == "Preprocess")
+        .map(|r| r.fraction)
+        .unwrap_or(0.0);
     println!("| Preprocess | 2% | {:.1}% |", pre * 100.0);
 
     let k1 = one.kernel_coverage(&ppe).unwrap();
     let k50 = many.kernel_coverage(&ppe).unwrap();
     println!("\nExtraction+detection share of compute: paper 87% (1 image) → 96% (50 images);");
-    println!("measured {:.1}% (1 image) → {:.1}% ({} images).", k1 * 100.0, k50 * 100.0, n50);
+    println!(
+        "measured {:.1}% (1 image) → {:.1}% ({} images).",
+        k1 * 100.0,
+        k50 * 100.0,
+        n50
+    );
 
     // One-time overhead share of wall time on the PPE (paper: ~60 % for
     // one image, larger than the image processing itself).
@@ -315,9 +338,18 @@ fn e6_scenarios(m: &KernelMeasurements) {
     let est = scenario_estimates(&specs).expect("estimates");
     println!("| scenario | paper | measured | ratio |");
     println!("|---|---|---|---|");
-    println!("| Single-SPE (sequential) | {} |", fmt_vs(10.90, est.single_spe));
-    println!("| Multi-SPE (parallel extract) | {} |", fmt_vs(15.28, est.multi_spe));
-    println!("| Multi-SPE2 (replicated detect) | {} |", fmt_vs(15.64, est.multi_spe2));
+    println!(
+        "| Single-SPE (sequential) | {} |",
+        fmt_vs(10.90, est.single_spe)
+    );
+    println!(
+        "| Multi-SPE (parallel extract) | {} |",
+        fmt_vs(15.28, est.multi_spe)
+    );
+    println!(
+        "| Multi-SPE2 (replicated detect) | {} |",
+        fmt_vs(15.64, est.multi_spe2)
+    );
     println!(
         "\nShape check: parallel > sequential; replication adds only a sliver \
          (CC dominates its group; detection is tiny).\n"
@@ -328,7 +360,9 @@ fn e6_scenarios(m: &KernelMeasurements) {
 fn e7_fig7(args: &Args) {
     println!("## E7 — Figure 7: application speed-up on the Cell\n");
     let sizes: &[usize] = if args.quick { &[1, 3] } else { &[1, 10, 50] };
-    println!("| images | scenario | vs PPE | vs Desktop (paper ~10.9 seq / ~15.3 par @50) | vs Laptop |");
+    println!(
+        "| images | scenario | vs PPE | vs Desktop (paper ~10.9 seq / ~15.3 par @50) | vs Laptop |"
+    );
     println!("|---|---|---|---|---|");
     for &n in sizes {
         let inputs = if args.quick {

@@ -2,7 +2,9 @@
 //!
 //! Every table and figure of the paper's evaluation maps to a function
 //! here (see DESIGN.md's experiment index); the `experiments` binary and
-//! the Criterion benches are thin layers over these functions.
+//! the benches are thin layers over these functions.
+
+pub mod harness;
 
 use cell_core::{CellResult, MachineProfile, VirtualDuration};
 use cell_sys::machine::CellMachine;
@@ -12,8 +14,7 @@ use marvel::codec::{self, Compressed};
 use marvel::features::KernelKind;
 use marvel::image::ColorImage;
 use marvel::kernels::{
-    collect_detect, detect_dispatcher, extract_dispatcher, prepare_detect,
-    prepare_extract,
+    collect_detect, detect_dispatcher, extract_dispatcher, prepare_detect, prepare_extract,
 };
 use marvel::wire::{upload_image, upload_model};
 use portkit::amdahl::{estimate_grouped, estimate_sequential, KernelSpec};
@@ -24,7 +25,10 @@ pub const SEED: u64 = 2007;
 
 /// Paper-sized workload: `n` encoded 352×240 images.
 pub fn paper_workload(n: usize) -> Vec<Compressed> {
-    ColorImage::paper_set(n).iter().map(|img| codec::encode(img, 90)).collect()
+    ColorImage::paper_set(n)
+        .iter()
+        .map(|img| codec::encode(img, 90))
+        .collect()
 }
 
 /// Smaller workload for fast benches.
@@ -36,7 +40,11 @@ pub fn small_workload(n: usize, w: usize, h: usize) -> Vec<Compressed> {
 
 /// The reference machines of the paper's comparison.
 pub fn reference_machines() -> [MachineProfile; 3] {
-    [MachineProfile::laptop(), MachineProfile::desktop(), MachineProfile::ppe()]
+    [
+        MachineProfile::laptop(),
+        MachineProfile::desktop(),
+        MachineProfile::ppe(),
+    ]
 }
 
 // =========================================================================
@@ -114,7 +122,8 @@ impl KernelRow {
     }
 
     pub fn speedup_unopt_vs_ppe(&self) -> Option<f64> {
-        self.spe_unoptimized.map(|t| self.ppe.seconds() / t.seconds())
+        self.spe_unoptimized
+            .map(|t| self.ppe.seconds() / t.seconds())
     }
 
     pub fn speedup_spe_vs_desktop(&self) -> f64 {
@@ -140,7 +149,11 @@ pub fn measure_kernels(img: &ColorImage, with_unoptimized: bool) -> CellResult<K
     let analysis = reference.analyze(&input)?;
     let coverage = reference.coverage(&MachineProfile::ppe())?;
     let cov = |name: &str| {
-        coverage.iter().find(|r| r.name == name).map(|r| r.fraction).unwrap_or(0.0)
+        coverage
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.fraction)
+            .unwrap_or(0.0)
     };
 
     let mut rows = Vec::new();
@@ -218,7 +231,11 @@ pub fn measure_app_pipelined(inputs: &[Compressed]) -> CellResult<AppRun> {
     measure_app_inner(inputs, Scenario::ParallelExtract, true)
 }
 
-fn measure_app_inner(inputs: &[Compressed], scenario: Scenario, pipelined: bool) -> CellResult<AppRun> {
+fn measure_app_inner(
+    inputs: &[Compressed],
+    scenario: Scenario,
+    pipelined: bool,
+) -> CellResult<AppRun> {
     let mut cell = CellMarvel::new(scenario, true, SEED)?;
     if pipelined {
         cell.analyze_batch_pipelined(inputs)?;
@@ -288,7 +305,10 @@ pub fn scenario_estimates(specs: &[KernelSpec]) -> CellResult<ScenarioEstimates>
 
 /// `paper vs measured` formatting with a ratio.
 pub fn fmt_vs(paper: f64, measured: f64) -> String {
-    format!("{paper:>8.2} | {measured:>8.2} | {:>5.2}x", measured / paper)
+    format!(
+        "{paper:>8.2} | {measured:>8.2} | {:>5.2}x",
+        measured / paper
+    )
 }
 
 /// Format a duration in ms.

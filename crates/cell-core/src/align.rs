@@ -19,21 +19,30 @@ pub const CACHE_LINE: usize = 128;
 /// a programming error, not a runtime condition.
 #[inline]
 pub fn align_up(value: usize, align: usize) -> usize {
-    assert!(align.is_power_of_two(), "alignment {align} is not a power of two");
+    assert!(
+        align.is_power_of_two(),
+        "alignment {align} is not a power of two"
+    );
     (value + align - 1) & !(align - 1)
 }
 
 /// Round `value` down to the previous multiple of `align` (power of two).
 #[inline]
 pub fn align_down(value: usize, align: usize) -> usize {
-    assert!(align.is_power_of_two(), "alignment {align} is not a power of two");
+    assert!(
+        align.is_power_of_two(),
+        "alignment {align} is not a power of two"
+    );
     value & !(align - 1)
 }
 
 /// Whether `value` is a multiple of `align` (power of two).
 #[inline]
 pub fn is_aligned(value: usize, align: usize) -> bool {
-    assert!(align.is_power_of_two(), "alignment {align} is not a power of two");
+    assert!(
+        align.is_power_of_two(),
+        "alignment {align} is not a power of two"
+    );
     value & (align - 1) == 0
 }
 

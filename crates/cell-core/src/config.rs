@@ -158,7 +158,10 @@ impl MachineConfig {
         }
         if self.dma.max_transfer == 0 || !self.dma.max_transfer.is_multiple_of(16) {
             return Err(CellError::BadConfig {
-                message: format!("dma.max_transfer must be a positive multiple of 16, got {}", self.dma.max_transfer),
+                message: format!(
+                    "dma.max_transfer must be a positive multiple of 16, got {}",
+                    self.dma.max_transfer
+                ),
             });
         }
         Ok(self)
@@ -202,13 +205,19 @@ mod tests {
 
     #[test]
     fn validate_rejects_zero_spes() {
-        let c = MachineConfig { num_spes: 0, ..Default::default() };
+        let c = MachineConfig {
+            num_spes: 0,
+            ..Default::default()
+        };
         assert!(matches!(c.validate(), Err(CellError::BadConfig { .. })));
     }
 
     #[test]
     fn validate_rejects_npot_local_store() {
-        let c = MachineConfig { local_store_size: 100_000, ..Default::default() };
+        let c = MachineConfig {
+            local_store_size: 100_000,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 

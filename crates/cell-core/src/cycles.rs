@@ -336,8 +336,14 @@ mod tests {
 
     #[test]
     fn duration_display_units() {
-        assert_eq!(format!("{}", VirtualDuration::from_seconds(2.5)), "2.5000 s");
-        assert_eq!(format!("{}", VirtualDuration::from_millis(2.5)), "2.5000 ms");
+        assert_eq!(
+            format!("{}", VirtualDuration::from_seconds(2.5)),
+            "2.5000 s"
+        );
+        assert_eq!(
+            format!("{}", VirtualDuration::from_millis(2.5)),
+            "2.5000 ms"
+        );
         assert_eq!(format!("{}", VirtualDuration::from_micros(2.5)), "2.500 us");
     }
 

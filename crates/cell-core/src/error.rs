@@ -24,9 +24,17 @@ pub enum CellError {
     /// multiple of 16, or above the 16 KB single-transfer cap).
     BadDmaSize { size: usize },
     /// An access fell outside the 256 KB local store.
-    LocalStoreOverflow { offset: u32, len: usize, capacity: usize },
+    LocalStoreOverflow {
+        offset: u32,
+        len: usize,
+        capacity: usize,
+    },
     /// An access fell outside simulated main memory.
-    MainMemoryOutOfBounds { addr: u64, len: usize, capacity: usize },
+    MainMemoryOutOfBounds {
+        addr: u64,
+        len: usize,
+        capacity: usize,
+    },
     /// The main-memory allocator could not satisfy a request.
     OutOfMemory { requested: usize, align: usize },
     /// Freeing an address that was never allocated (or double free).
@@ -64,20 +72,41 @@ pub enum CellError {
 impl fmt::Display for CellError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CellError::Misaligned { what, addr, required } => {
+            CellError::Misaligned {
+                what,
+                addr,
+                required,
+            } => {
                 write!(f, "{what} address {addr:#x} is not {required}-byte aligned")
             }
             CellError::BadDmaSize { size } => {
                 write!(f, "illegal DMA transfer size {size} (must be 1,2,4,8 or a multiple of 16, at most 16384)")
             }
-            CellError::LocalStoreOverflow { offset, len, capacity } => {
-                write!(f, "local store access [{offset:#x}; {len}) exceeds capacity {capacity:#x}")
+            CellError::LocalStoreOverflow {
+                offset,
+                len,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "local store access [{offset:#x}; {len}) exceeds capacity {capacity:#x}"
+                )
             }
-            CellError::MainMemoryOutOfBounds { addr, len, capacity } => {
-                write!(f, "main memory access [{addr:#x}; {len}) exceeds capacity {capacity:#x}")
+            CellError::MainMemoryOutOfBounds {
+                addr,
+                len,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "main memory access [{addr:#x}; {len}) exceeds capacity {capacity:#x}"
+                )
             }
             CellError::OutOfMemory { requested, align } => {
-                write!(f, "main memory allocator exhausted: {requested} bytes @ align {align}")
+                write!(
+                    f,
+                    "main memory allocator exhausted: {requested} bytes @ align {align}"
+                )
             }
             CellError::BadFree { addr } => write!(f, "free of unallocated address {addr:#x}"),
             CellError::MfcQueueFull => write!(f, "MFC command queue full (16 entries)"),
@@ -88,15 +117,23 @@ impl fmt::Display for CellError {
             CellError::MailboxClosed => write!(f, "mailbox peer has shut down"),
             CellError::MailboxFull => write!(f, "mailbox full"),
             CellError::MailboxEmpty => write!(f, "mailbox empty"),
-            CellError::NoSpeAvailable { requested, available } => {
-                write!(f, "static schedule needs {requested} SPEs but only {available} exist")
+            CellError::NoSpeAvailable {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "static schedule needs {requested} SPEs but only {available} exist"
+                )
             }
             CellError::UnknownOpcode { opcode } => {
                 write!(f, "SPE dispatcher received unknown opcode {opcode:#x}")
             }
             CellError::SpeFault { spe, message } => write!(f, "SPE {spe} faulted: {message}"),
             CellError::Timeout { what } => write!(f, "timed out waiting for {what}"),
-            CellError::BadKernelSpec { message } => write!(f, "bad kernel specification: {message}"),
+            CellError::BadKernelSpec { message } => {
+                write!(f, "bad kernel specification: {message}")
+            }
             CellError::BadConfig { message } => write!(f, "bad configuration: {message}"),
             CellError::BadData { message } => write!(f, "bad data: {message}"),
         }
@@ -111,14 +148,28 @@ mod tests {
 
     #[test]
     fn display_formats_are_informative() {
-        let e = CellError::Misaligned { what: "DMA source", addr: 0x1001, required: 16 };
-        assert_eq!(e.to_string(), "DMA source address 0x1001 is not 16-byte aligned");
+        let e = CellError::Misaligned {
+            what: "DMA source",
+            addr: 0x1001,
+            required: 16,
+        };
+        assert_eq!(
+            e.to_string(),
+            "DMA source address 0x1001 is not 16-byte aligned"
+        );
 
-        let e = CellError::LocalStoreOverflow { offset: 0x3_fff0, len: 64, capacity: 0x4_0000 };
+        let e = CellError::LocalStoreOverflow {
+            offset: 0x3_fff0,
+            len: 64,
+            capacity: 0x4_0000,
+        };
         assert!(e.to_string().contains("0x3fff0"));
         assert!(e.to_string().contains("0x40000"));
 
-        let e = CellError::NoSpeAvailable { requested: 9, available: 8 };
+        let e = CellError::NoSpeAvailable {
+            requested: 9,
+            available: 8,
+        };
         assert!(e.to_string().contains('9'));
         assert!(e.to_string().contains('8'));
     }
@@ -131,7 +182,13 @@ mod tests {
 
     #[test]
     fn errors_compare_equal_by_payload() {
-        assert_eq!(CellError::BadDmaSize { size: 3 }, CellError::BadDmaSize { size: 3 });
-        assert_ne!(CellError::BadDmaSize { size: 3 }, CellError::BadDmaSize { size: 5 });
+        assert_eq!(
+            CellError::BadDmaSize { size: 3 },
+            CellError::BadDmaSize { size: 3 }
+        );
+        assert_ne!(
+            CellError::BadDmaSize { size: 3 },
+            CellError::BadDmaSize { size: 5 }
+        );
     }
 }

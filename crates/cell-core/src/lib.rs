@@ -31,7 +31,9 @@ pub mod machine;
 pub mod ops;
 pub mod rng;
 
-pub use align::{align_down, align_up, dma_transfer_legal, is_aligned, quadwords_for, CACHE_LINE, QUADWORD};
+pub use align::{
+    align_down, align_up, dma_transfer_legal, is_aligned, quadwords_for, CACHE_LINE, QUADWORD,
+};
 pub use clock::VirtualClock;
 pub use config::{DmaConfig, EibConfig, MachineConfig};
 pub use cycles::{Cycles, Frequency, VirtualDuration};

@@ -293,9 +293,14 @@ impl MachineProfile {
         }
         // Hard branches additionally pay the miss penalty on a fraction of
         // executions.
-        serial +=
-            profile.count(OpClass::BranchHard) as f64 * self.hard_miss_rate * self.branch_miss_penalty;
-        let simd = if self.dual_issue { even.max(odd) } else { even + odd };
+        serial += profile.count(OpClass::BranchHard) as f64
+            * self.hard_miss_rate
+            * self.branch_miss_penalty;
+        let simd = if self.dual_issue {
+            even.max(odd)
+        } else {
+            even + odd
+        };
         Cycles((serial + simd).round() as u64)
     }
 
@@ -320,8 +325,7 @@ impl MachineProfile {
             DmaOverlap::Overlapped => {
                 // Bound by the longer of the two streams, plus one
                 // transfer's startup that cannot be hidden (pipeline fill).
-                let fill = Cycles(self.dma_startup_cycles.round() as u64)
-                    .min(dma);
+                let fill = Cycles(self.dma_startup_cycles.round() as u64).min(dma);
                 compute.max(dma) + fill
             }
         };

@@ -61,6 +61,21 @@ impl SplitMix64 {
         }
     }
 
+    /// Next value in the half-open range `[lo, hi)`. Panics when `lo >= hi`.
+    #[inline]
+    pub fn next_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.next_below(hi - lo)
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
     /// Fork a statistically independent child generator (e.g. one per SPE).
     pub fn fork(&mut self) -> SplitMix64 {
         SplitMix64::new(self.next_u64())
@@ -115,7 +130,10 @@ mod tests {
             sum += x;
         }
         let mean = sum / 10_000.0;
-        assert!((mean - 0.5).abs() < 0.02, "mean {mean} suspiciously far from 0.5");
+        assert!(
+            (mean - 0.5).abs() < 0.02,
+            "mean {mean} suspiciously far from 0.5"
+        );
     }
 
     #[test]
@@ -125,6 +143,30 @@ mod tests {
         r.fill_bytes(&mut buf);
         // Overwhelmingly unlikely to be all zero.
         assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn next_in_stays_in_range() {
+        let mut r = SplitMix64::new(21);
+        for _ in 0..10_000 {
+            let x = r.next_in(40, 120);
+            assert!((40..120).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SplitMix64::new(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<u32>>(),
+            "shuffle left the slice sorted"
+        );
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
     }
 
     #[test]

@@ -22,7 +22,8 @@
 //! the paper's analysis (and any porting decision) actually consumes.
 
 use cell_core::{EibConfig, Frequency};
-use parking_lot::Mutex;
+use cell_trace::{Counter, EventKind, TraceConfig, Tracer, Track, TrackData};
+use std::sync::Mutex;
 
 /// A device attached to the EIB.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -101,6 +102,10 @@ struct State {
     port_out_free_at: [u64; 13],
     port_in_free_at: [u64; 13],
     stats: EibStats,
+    /// Structured trace of grants; stamps in *bus* cycles. Lives under
+    /// the same lock the calendar already takes, so tracing adds no
+    /// extra synchronization.
+    tracer: Tracer,
 }
 
 /// The bus model. Cheap to share: all methods take `&self`.
@@ -121,8 +126,27 @@ impl Eib {
                 port_out_free_at: [0; 13],
                 port_in_free_at: [0; 13],
                 stats: EibStats::default(),
+                tracer: Tracer::new(TraceConfig::Off, Track::Eib, cfg.bus_frequency.hertz()),
             }),
         }
+    }
+
+    /// Turn tracing on (or off). Stamps are in bus cycles; the track's
+    /// frequency is the bus frequency so exporters convert correctly.
+    pub fn enable_trace(&self, config: TraceConfig) {
+        self.state.lock().unwrap().tracer.set_config(config);
+    }
+
+    /// Take the trace collected so far, leaving a fresh tracer with the
+    /// same configuration in place.
+    pub fn take_trace(&self) -> TrackData {
+        let mut st = self.state.lock().unwrap();
+        let fresh = Tracer::new(
+            st.tracer.config(),
+            Track::Eib,
+            self.cfg.bus_frequency.hertz(),
+        );
+        std::mem::replace(&mut st.tracer, fresh).finish()
     }
 
     pub fn config(&self) -> &EibConfig {
@@ -159,14 +183,18 @@ impl Eib {
     /// startup and converts bus cycles to SPU cycles.
     pub fn transfer(&self, src: Element, dst: Element, bytes: usize, now: u64) -> TransferGrant {
         assert!(bytes > 0, "zero-byte EIB transfer");
-        assert_ne!(src.position(), dst.position(), "EIB transfer to self ({src:?})");
+        assert_ne!(
+            src.position(),
+            dst.position(),
+            "EIB transfer to self ({src:?})"
+        );
         let data_cycles = (bytes as u64).div_ceil(self.cfg.bytes_per_cycle as u64);
         // One command-bus slot per 128-byte (snoop-granule) chunk.
         let granule = self.cfg.snoop_bytes_per_cycle.max(1) as u64;
         let cmd_slots = (bytes as u64).div_ceil(granule);
 
         let (preferred, fallback) = self.eligible_rings(src, dst);
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
 
         // Command bus: serial server.
         let cmd_start = st.cmd_free_at.max(now);
@@ -211,17 +239,40 @@ impl Eib {
         st.stats.queued_cycles += start.saturating_sub(now + 1);
         st.stats.horizon = st.stats.horizon.max(complete);
 
-        TransferGrant { start, complete, ring }
+        st.tracer.span(
+            EventKind::EibTransfer,
+            "eib",
+            start,
+            data_cycles,
+            bytes as u64,
+            ring as u64,
+        );
+        st.tracer.count(Counter::EibTransfers, 1);
+        st.tracer.count(Counter::EibBytes, bytes as u64);
+        st.tracer.count(Counter::EibDataCycles, data_cycles);
+        st.tracer
+            .count(Counter::EibQueuedCycles, start.saturating_sub(now + 1));
+        st.tracer.count_max(Counter::EibHorizon, complete);
+        st.tracer.count_max(
+            Counter::EibSlotCapacity,
+            (self.cfg.rings * self.cfg.transfers_per_ring) as u64,
+        );
+
+        TransferGrant {
+            start,
+            complete,
+            ring,
+        }
     }
 
     /// Snapshot of the statistics so far.
     pub fn stats(&self) -> EibStats {
-        self.state.lock().stats.clone()
+        self.state.lock().unwrap().stats.clone()
     }
 
     /// Achieved bandwidth in bytes/second over the busy horizon.
     pub fn achieved_bandwidth(&self) -> f64 {
-        let st = self.state.lock();
+        let st = self.state.lock().unwrap();
         if st.stats.horizon == 0 {
             return 0.0;
         }
@@ -230,7 +281,7 @@ impl Eib {
 
     /// Reset the calendar and statistics (between benchmark iterations).
     pub fn reset(&self) {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         for ring in st.ring_slots.iter_mut() {
             ring.fill(0);
         }
@@ -238,6 +289,11 @@ impl Eib {
         st.port_out_free_at = [0; 13];
         st.port_in_free_at = [0; 13];
         st.stats = EibStats::default();
+        st.tracer = Tracer::new(
+            st.tracer.config(),
+            Track::Eib,
+            self.cfg.bus_frequency.hertz(),
+        );
     }
 }
 
@@ -289,7 +345,10 @@ mod tests {
         }
         let max_start_12 = grants.iter().map(|g| g.start).max().unwrap();
         let g13 = e.transfer(Element::Memory, Element::Spe(7), 16 * 1024, 0);
-        assert!(g13.start > max_start_12, "13th transfer must queue: {g13:?}");
+        assert!(
+            g13.start > max_start_12,
+            "13th transfer must queue: {g13:?}"
+        );
     }
 
     #[test]
@@ -335,7 +394,10 @@ mod tests {
         let achieved = e.achieved_bandwidth();
         let peak = e.config().peak_bandwidth();
         assert!(achieved > 0.0);
-        assert!(achieved <= peak * 1.001, "achieved {achieved:.3e} exceeds peak {peak:.3e}");
+        assert!(
+            achieved <= peak * 1.001,
+            "achieved {achieved:.3e} exceeds peak {peak:.3e}"
+        );
     }
 
     #[test]
@@ -387,7 +449,11 @@ mod tests {
 
     #[test]
     fn grant_latency_helper() {
-        let g = TransferGrant { start: 10, complete: 50, ring: 0 };
+        let g = TransferGrant {
+            start: 10,
+            complete: 50,
+            ring: 0,
+        };
         assert_eq!(g.latency(5), 45);
         assert_eq!(g.latency(60), 0);
     }
@@ -431,6 +497,40 @@ mod tests {
             bw <= port_bw * 1.05,
             "memory-bound aggregate {bw:.3e} exceeds the port limit {port_bw:.3e}"
         );
+    }
+
+    #[test]
+    fn trace_mirrors_stats() {
+        let e = eib();
+        e.enable_trace(TraceConfig::Full);
+        e.transfer(Element::Memory, Element::Spe(0), 1024, 0);
+        e.transfer(Element::Spe(0), Element::Memory, 2048, 0);
+        let trace = e.take_trace();
+        let stats = e.stats();
+        assert_eq!(trace.events.len(), 2);
+        assert_eq!(trace.counters.get(Counter::EibTransfers), stats.transfers);
+        assert_eq!(trace.counters.get(Counter::EibBytes), stats.bytes);
+        assert_eq!(
+            trace.counters.get(Counter::EibDataCycles),
+            stats.data_cycles
+        );
+        assert_eq!(
+            trace.counters.get(Counter::EibQueuedCycles),
+            stats.queued_cycles
+        );
+        assert_eq!(trace.counters.get(Counter::EibHorizon), stats.horizon);
+        // Taking the trace left a fresh, still-enabled tracer behind.
+        e.transfer(Element::Memory, Element::Spe(1), 64, 0);
+        assert_eq!(e.take_trace().events.len(), 1);
+    }
+
+    #[test]
+    fn trace_off_by_default_records_nothing() {
+        let e = eib();
+        e.transfer(Element::Memory, Element::Spe(0), 1024, 0);
+        let trace = e.take_trace();
+        assert!(trace.events.is_empty());
+        assert!(trace.counters.is_empty());
     }
 
     #[test]

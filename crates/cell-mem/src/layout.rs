@@ -36,22 +36,39 @@ pub struct StructLayout {
 
 impl StructLayout {
     pub fn new() -> Self {
-        StructLayout { fields: Vec::new(), size: 0, max_align: QUADWORD }
+        StructLayout {
+            fields: Vec::new(),
+            size: 0,
+            max_align: QUADWORD,
+        }
     }
 
     /// Append a field of `size` bytes aligned to `align` (power of two).
     pub fn field(&mut self, name: &'static str, size: usize, align: usize) -> CellResult<FieldId> {
         if !align.is_power_of_two() {
-            return Err(CellError::Misaligned { what: "field alignment", addr: align as u64, required: 1 });
+            return Err(CellError::Misaligned {
+                what: "field alignment",
+                addr: align as u64,
+                required: 1,
+            });
         }
         if size == 0 {
-            return Err(CellError::BadData { message: format!("field `{name}` has zero size") });
+            return Err(CellError::BadData {
+                message: format!("field `{name}` has zero size"),
+            });
         }
         if self.fields.iter().any(|f| f.name == name) {
-            return Err(CellError::BadData { message: format!("duplicate field `{name}`") });
+            return Err(CellError::BadData {
+                message: format!("duplicate field `{name}`"),
+            });
         }
         let offset = align_up(self.size, align);
-        self.fields.push(Field { name, offset, size, align });
+        self.fields.push(Field {
+            name,
+            offset,
+            size,
+            align,
+        });
         self.size = offset + size;
         self.max_align = self.max_align.max(align);
         Ok(FieldId(self.fields.len() - 1))

@@ -35,7 +35,12 @@ impl LocalStore {
         assert!(size.is_power_of_two(), "LS size must be a power of two");
         assert!(code_reserved < size, "code reserve must leave data room");
         let next = align_up(code_reserved, QUADWORD);
-        LocalStore { data: vec![0u8; size], code_reserved, next, high_water: next }
+        LocalStore {
+            data: vec![0u8; size],
+            code_reserved,
+            next,
+            high_water: next,
+        }
     }
 
     pub fn capacity(&self) -> usize {
@@ -77,11 +82,13 @@ impl LocalStore {
             });
         }
         let start = align_up(self.next, align);
-        let end = start.checked_add(size).ok_or(CellError::LocalStoreOverflow {
-            offset: start as u32,
-            len: size,
-            capacity: self.data.len(),
-        })?;
+        let end = start
+            .checked_add(size)
+            .ok_or(CellError::LocalStoreOverflow {
+                offset: start as u32,
+                len: size,
+                capacity: self.data.len(),
+            })?;
         if end > self.data.len() {
             return Err(CellError::LocalStoreOverflow {
                 offset: start as u32,
@@ -102,13 +109,19 @@ impl LocalStore {
 
     fn span(&self, addr: LsAddr, len: usize) -> CellResult<(usize, usize)> {
         let start = addr as usize;
-        let end = start.checked_add(len).ok_or(CellError::LocalStoreOverflow {
-            offset: addr,
-            len,
-            capacity: self.data.len(),
-        })?;
+        let end = start
+            .checked_add(len)
+            .ok_or(CellError::LocalStoreOverflow {
+                offset: addr,
+                len,
+                capacity: self.data.len(),
+            })?;
         if end > self.data.len() {
-            return Err(CellError::LocalStoreOverflow { offset: addr, len, capacity: self.data.len() });
+            return Err(CellError::LocalStoreOverflow {
+                offset: addr,
+                len,
+                capacity: self.data.len(),
+            });
         }
         Ok((start, end))
     }
@@ -149,7 +162,9 @@ impl LocalStore {
         let (b_s, b_e) = self.span(b.0, b.1)?;
         if a_s < b_e && b_s < a_e {
             return Err(CellError::BadData {
-                message: format!("overlapping LS slices [{a_s:#x},{a_e:#x}) and [{b_s:#x},{b_e:#x})"),
+                message: format!(
+                    "overlapping LS slices [{a_s:#x},{a_e:#x}) and [{b_s:#x},{b_e:#x})"
+                ),
             });
         }
         if a_s < b_s {
@@ -240,7 +255,11 @@ mod tests {
         let hw1 = s.high_water();
         s.reset();
         let _ = s.alloc(128, 16).unwrap();
-        assert_eq!(s.high_water(), hw1, "reset must not lower the high-water mark");
+        assert_eq!(
+            s.high_water(),
+            hw1,
+            "reset must not lower the high-water mark"
+        );
     }
 
     #[test]

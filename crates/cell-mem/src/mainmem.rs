@@ -7,7 +7,7 @@
 //! [`MainMemory::read`]/[`MainMemory::write`] on their behalf.
 //!
 //! The model is thread-safe: the PPE thread and all SPE threads hold the
-//! same `Arc<MainMemory>`. A `parking_lot` RwLock guards the byte arena;
+//! same `Arc<MainMemory>`. An `std::sync` RwLock guards the byte arena;
 //! DMA transfers from different SPEs serialize on writes, which is harmless
 //! for a functional model (the EIB model supplies the timing effects of
 //! contention).
@@ -15,7 +15,8 @@
 use std::collections::BTreeMap;
 
 use cell_core::{align_up, is_aligned, CellError, CellResult, QUADWORD};
-use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 /// Effective addresses start here so that address 0 stays invalid — a null
 /// effective address in a mailbox is one of the classic porting bugs this
@@ -36,17 +37,28 @@ struct Arena {
 pub struct MainMemory {
     inner: RwLock<Arena>,
     capacity: usize,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
 }
 
 impl MainMemory {
     /// Create a memory of `capacity` bytes.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity >= 4096, "main memory of {capacity} bytes is too small to simulate");
+        assert!(
+            capacity >= 4096,
+            "main memory of {capacity} bytes is too small to simulate"
+        );
         let mut free = BTreeMap::new();
         free.insert(0, capacity);
         MainMemory {
-            inner: RwLock::new(Arena { data: vec![0u8; capacity], free, live: BTreeMap::new() }),
+            inner: RwLock::new(Arena {
+                data: vec![0u8; capacity],
+                free,
+                live: BTreeMap::new(),
+            }),
             capacity,
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
         }
     }
 
@@ -54,23 +66,41 @@ impl MainMemory {
         self.capacity
     }
 
+    /// Total bytes copied out of the arena by [`MainMemory::read`] since
+    /// construction. Telemetry cross-checks trace DMA totals against this.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes copied into the arena by [`MainMemory::write`].
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
     /// Bytes currently allocated.
     pub fn allocated_bytes(&self) -> usize {
-        self.inner.read().live.values().sum()
+        self.inner.read().unwrap().live.values().sum()
     }
 
     /// Number of live allocations.
     pub fn live_allocations(&self) -> usize {
-        self.inner.read().live.len()
+        self.inner.read().unwrap().live.len()
     }
 
     fn offset_of(&self, addr: u64, len: usize) -> CellResult<usize> {
         let off = addr
             .checked_sub(BASE_ADDR)
-            .ok_or(CellError::MainMemoryOutOfBounds { addr, len, capacity: self.capacity })?
-            as usize;
+            .ok_or(CellError::MainMemoryOutOfBounds {
+                addr,
+                len,
+                capacity: self.capacity,
+            })? as usize;
         if off.checked_add(len).is_none_or(|end| end > self.capacity) {
-            return Err(CellError::MainMemoryOutOfBounds { addr, len, capacity: self.capacity });
+            return Err(CellError::MainMemoryOutOfBounds {
+                addr,
+                len,
+                capacity: self.capacity,
+            });
         }
         Ok(off)
     }
@@ -79,7 +109,10 @@ impl MainMemory {
     /// 16 — DMA-illegal allocations are refused at the source).
     pub fn alloc(&self, size: usize, align: usize) -> CellResult<u64> {
         if size == 0 {
-            return Err(CellError::OutOfMemory { requested: 0, align });
+            return Err(CellError::OutOfMemory {
+                requested: 0,
+                align,
+            });
         }
         if !align.is_power_of_two() || align < QUADWORD {
             return Err(CellError::Misaligned {
@@ -88,7 +121,7 @@ impl MainMemory {
                 required: QUADWORD,
             });
         }
-        let mut arena = self.inner.write();
+        let mut arena = self.inner.write().unwrap();
         // First fit over the free list: find a block that can carry an
         // aligned sub-range of `size` bytes.
         let mut found: Option<(usize, usize, usize)> = None; // (block_off, block_len, alloc_off)
@@ -101,7 +134,10 @@ impl MainMemory {
             }
         }
         let Some((block_off, block_len, alloc_off)) = found else {
-            return Err(CellError::OutOfMemory { requested: size, align });
+            return Err(CellError::OutOfMemory {
+                requested: size,
+                align,
+            });
         };
         arena.free.remove(&block_off);
         // Leading pad stays free.
@@ -130,7 +166,7 @@ impl MainMemory {
     /// an interior or unknown address is an error.
     pub fn free(&self, addr: u64) -> CellResult<()> {
         let off = self.offset_of(addr, 0)?;
-        let mut arena = self.inner.write();
+        let mut arena = self.inner.write().unwrap();
         let Some(len) = arena.live.remove(&off) else {
             return Err(CellError::BadFree { addr });
         };
@@ -156,23 +192,27 @@ impl MainMemory {
     /// Read `out.len()` bytes starting at `addr`.
     pub fn read(&self, addr: u64, out: &mut [u8]) -> CellResult<()> {
         let off = self.offset_of(addr, out.len())?;
-        let arena = self.inner.read();
+        let arena = self.inner.read().unwrap();
         out.copy_from_slice(&arena.data[off..off + out.len()]);
+        self.bytes_read
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
         Ok(())
     }
 
     /// Write `src` starting at `addr`.
     pub fn write(&self, addr: u64, src: &[u8]) -> CellResult<()> {
         let off = self.offset_of(addr, src.len())?;
-        let mut arena = self.inner.write();
+        let mut arena = self.inner.write().unwrap();
         arena.data[off..off + src.len()].copy_from_slice(src);
+        self.bytes_written
+            .fetch_add(src.len() as u64, Ordering::Relaxed);
         Ok(())
     }
 
     /// Fill `len` bytes at `addr` with `byte`.
     pub fn fill(&self, addr: u64, byte: u8, len: usize) -> CellResult<()> {
         let off = self.offset_of(addr, len)?;
-        let mut arena = self.inner.write();
+        let mut arena = self.inner.write().unwrap();
         arena.data[off..off + len].fill(byte);
         Ok(())
     }
@@ -212,15 +252,21 @@ impl MainMemory {
     pub fn copy_within(&self, src: u64, dst: u64, len: usize) -> CellResult<()> {
         let s = self.offset_of(src, len)?;
         let d = self.offset_of(dst, len)?;
-        let mut arena = self.inner.write();
+        let mut arena = self.inner.write().unwrap();
         arena.data.copy_within(s..s + len, d);
         Ok(())
     }
 
     /// Whether `addr` is DMA-aligned to `align`.
     pub fn check_alignment(&self, addr: u64, align: usize) -> CellResult<()> {
-        if !is_aligned((addr - BASE_ADDR.min(addr)) as usize, align) || !addr.is_multiple_of(align as u64) {
-            return Err(CellError::Misaligned { what: "effective address", addr, required: align });
+        if !is_aligned((addr - BASE_ADDR.min(addr)) as usize, align)
+            || !addr.is_multiple_of(align as u64)
+        {
+            return Err(CellError::Misaligned {
+                what: "effective address",
+                addr,
+                required: align,
+            });
         }
         Ok(())
     }
@@ -357,78 +403,70 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use cell_core::SplitMix64;
 
-        /// Drive the allocator with a random alloc/free trace and check
-        /// the structural invariants after every step: live allocations
-        /// never overlap, frees always coalesce back, and a full drain
-        /// restores the arena to one maximal block.
-        #[derive(Debug, Clone)]
-        enum Op {
-            Alloc { size: usize, align_pow: u8 },
-            FreeOldest,
-            FreeNewest,
-        }
-
-        fn op_strategy() -> impl Strategy<Value = Op> {
-            prop_oneof![
-                3 => ((1usize..8000), (4u8..10)).prop_map(|(size, align_pow)| Op::Alloc { size, align_pow }),
-                1 => Just(Op::FreeOldest),
-                1 => Just(Op::FreeNewest),
-            ]
-        }
-
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(64))]
-
-            #[test]
-            fn allocator_invariants_hold(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        /// Drive the allocator with a seeded random alloc/free trace and
+        /// check the structural invariants after every step: live
+        /// allocations never overlap, frees always coalesce back, and a
+        /// full drain restores the arena to one maximal block.
+        #[test]
+        fn allocator_invariants_hold() {
+            for case in 0..64u64 {
+                let mut rng = SplitMix64::new(0x00A1_10C8 ^ case);
                 let m = MainMemory::new(1 << 18);
                 let mut live: Vec<(u64, usize)> = Vec::new();
-                for op in ops {
-                    match op {
-                        Op::Alloc { size, align_pow } => {
-                            let align = 1usize << align_pow;
+                let steps = 1 + rng.next_below(60) as usize;
+                for _ in 0..steps {
+                    match rng.next_below(5) {
+                        0..=2 => {
+                            let size = 1 + rng.next_below(7999) as usize;
+                            let align = 1usize << (4 + rng.next_below(6));
                             if let Ok(addr) = m.alloc(size, align) {
-                                prop_assert_eq!(addr % align as u64, 0, "misaligned grant");
+                                assert_eq!(addr % align as u64, 0, "misaligned grant");
                                 // No overlap with any live allocation.
                                 for &(a, s) in &live {
                                     let disjoint = addr + size as u64 <= a || a + s as u64 <= addr;
-                                    prop_assert!(disjoint, "{addr:#x}+{size} overlaps {a:#x}+{s}");
+                                    assert!(disjoint, "{addr:#x}+{size} overlaps {a:#x}+{s}");
                                 }
                                 live.push((addr, size));
                             }
                         }
-                        Op::FreeOldest => {
+                        3 => {
                             if !live.is_empty() {
                                 let (a, _) = live.remove(0);
-                                prop_assert!(m.free(a).is_ok());
+                                assert!(m.free(a).is_ok());
                             }
                         }
-                        Op::FreeNewest => {
+                        _ => {
                             if let Some((a, _)) = live.pop() {
-                                prop_assert!(m.free(a).is_ok());
+                                assert!(m.free(a).is_ok());
                             }
                         }
                     }
                     let total: usize = live.iter().map(|&(_, s)| s).sum();
-                    prop_assert_eq!(m.allocated_bytes(), total);
-                    prop_assert_eq!(m.live_allocations(), live.len());
+                    assert_eq!(m.allocated_bytes(), total);
+                    assert_eq!(m.live_allocations(), live.len());
                 }
                 // Drain: afterwards the full arena must be allocatable again.
                 for (a, _) in live.drain(..) {
-                    prop_assert!(m.free(a).is_ok());
+                    assert!(m.free(a).is_ok());
                 }
                 let everything = m.alloc((1 << 18) - 16, 16);
-                prop_assert!(everything.is_ok(), "arena did not coalesce: {everything:?}");
+                assert!(everything.is_ok(), "arena did not coalesce: {everything:?}");
             }
+        }
 
-            #[test]
-            fn writes_never_bleed_into_neighbours(sizes in proptest::collection::vec(16usize..512, 2..10)) {
+        #[test]
+        fn writes_never_bleed_into_neighbours() {
+            for case in 0..32u64 {
+                let mut rng = SplitMix64::new(0xB1EED ^ case);
                 let m = MainMemory::new(1 << 18);
-                let blocks: Vec<(u64, usize)> = sizes
-                    .iter()
-                    .map(|&s| (m.alloc(s, 16).unwrap(), s))
+                let n = 2 + rng.next_below(8) as usize;
+                let blocks: Vec<(u64, usize)> = (0..n)
+                    .map(|_| {
+                        let s = 16 + rng.next_below(496) as usize;
+                        (m.alloc(s, 16).unwrap(), s)
+                    })
                     .collect();
                 for (i, &(addr, size)) in blocks.iter().enumerate() {
                     m.fill(addr, i as u8 + 1, size).unwrap();
@@ -436,7 +474,7 @@ mod tests {
                 for (i, &(addr, size)) in blocks.iter().enumerate() {
                     let mut buf = vec![0u8; size];
                     m.read(addr, &mut buf).unwrap();
-                    prop_assert!(buf.iter().all(|&b| b == i as u8 + 1));
+                    assert!(buf.iter().all(|&b| b == i as u8 + 1));
                 }
             }
         }

@@ -17,11 +17,10 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use cell_core::{
-    dma_transfer_legal, CellError, CellResult, DmaConfig, VirtualClock, QUADWORD,
-};
+use cell_core::{dma_transfer_legal, CellError, CellResult, DmaConfig, VirtualClock, QUADWORD};
 use cell_eib::{Eib, Element};
 use cell_mem::{LocalStore, LsAddr, MainMemory};
+use cell_trace::{Counter, EventKind, Tracer, TrackData};
 
 /// Number of DMA tag groups.
 pub const MAX_TAGS: usize = 32;
@@ -86,6 +85,9 @@ pub struct Mfc {
     /// Completion floor set by `mfc_barrier`: no later command may
     /// complete before it.
     barrier_floor: u64,
+    /// Structured trace sink; `Off` by default (the SPE runtime installs
+    /// a configured tracer when the machine has tracing enabled).
+    tracer: Tracer,
 }
 
 /// Direction of a transfer, used internally.
@@ -107,7 +109,18 @@ impl Mfc {
             stats: MfcStats::default(),
             issue_cost: 6,
             barrier_floor: 0,
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Install a tracer (typically `Track::Spe(id)` at the core clock).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Take the accumulated trace, leaving a disabled tracer behind.
+    pub fn take_tracer(&mut self) -> TrackData {
+        std::mem::replace(&mut self.tracer, Tracer::off()).finish()
     }
 
     pub fn spe_id(&self) -> usize {
@@ -124,12 +137,18 @@ impl Mfc {
     }
 
     fn validate(&self, ea: u64, la: LsAddr, size: usize) -> CellResult<()> {
-        if size == 0 || size > self.cfg.max_transfer || !matches!(size, 1 | 2 | 4 | 8) && !size.is_multiple_of(QUADWORD)
+        if size == 0
+            || size > self.cfg.max_transfer
+            || !matches!(size, 1 | 2 | 4 | 8) && !size.is_multiple_of(QUADWORD)
         {
             return Err(CellError::BadDmaSize { size });
         }
         if !dma_transfer_legal(ea, size) {
-            return Err(CellError::Misaligned { what: "DMA effective address", addr: ea, required: QUADWORD });
+            return Err(CellError::Misaligned {
+                what: "DMA effective address",
+                addr: ea,
+                required: QUADWORD,
+            });
         }
         if !dma_transfer_legal(la as u64, size) {
             return Err(CellError::Misaligned {
@@ -151,9 +170,15 @@ impl Mfc {
         self.drain_completed(clock.now());
         if self.queue.len() >= self.cfg.queue_depth {
             // Stall until the earliest entry retires.
-            let earliest = self.queue.iter().map(|p| p.complete_at).min().unwrap_or(clock.now());
+            let earliest = self
+                .queue
+                .iter()
+                .map(|p| p.complete_at)
+                .min()
+                .unwrap_or(clock.now());
             let stall = earliest.saturating_sub(clock.now());
             self.stats.stall_cycles += stall;
+            self.tracer.count(Counter::DmaStallCycles, stall);
             clock.advance_to(earliest);
             self.drain_completed(clock.now());
         }
@@ -174,8 +199,16 @@ impl Mfc {
     fn record(&mut self, dir: Dir, size: usize) {
         self.stats.transfers += 1;
         match dir {
-            Dir::Get => self.stats.bytes_in += size as u64,
-            Dir::Put => self.stats.bytes_out += size as u64,
+            Dir::Get => {
+                self.stats.bytes_in += size as u64;
+                self.tracer.count(Counter::DmaGets, 1);
+                self.tracer.count(Counter::DmaBytesIn, size as u64);
+            }
+            Dir::Put => {
+                self.stats.bytes_out += size as u64;
+                self.tracer.count(Counter::DmaPuts, 1);
+                self.tracer.count(Counter::DmaBytesOut, size as u64);
+            }
         }
     }
 
@@ -211,6 +244,15 @@ impl Mfc {
         }
 
         let complete_at = self.schedule(dir, size, clock).max(self.barrier_floor);
+        let ts_issue = clock.now();
+        let latency = complete_at.saturating_sub(ts_issue);
+        let (kind, label) = match dir {
+            Dir::Get => (EventKind::DmaGet, "dma_get"),
+            Dir::Put => (EventKind::DmaPut, "dma_put"),
+        };
+        self.tracer
+            .span(kind, label, ts_issue, latency, size as u64, tag as u64);
+        self.tracer.record_dma_latency(latency);
         self.queue.push_back(Pending { complete_at });
         self.tag_complete[tag as usize] = self.tag_complete[tag as usize].max(complete_at);
         self.record(dir, size);
@@ -403,7 +445,9 @@ impl Mfc {
             return Err(CellError::BadTagGroup { tag });
         }
         if list.is_empty() || list.len() > self.cfg.list_max_elements {
-            return Err(CellError::DmaListTooLong { elements: list.len() });
+            return Err(CellError::DmaListTooLong {
+                elements: list.len(),
+            });
         }
         // Validate every element before moving any byte: a half-applied
         // list would be a simulator artifact real hardware cannot produce
@@ -417,7 +461,11 @@ impl Mfc {
             }
             cursor = cursor
                 .checked_add(cell_core::align_up(size, QUADWORD) as u32)
-                .ok_or(CellError::LocalStoreOverflow { offset: cursor, len: size, capacity: ls.capacity() })?;
+                .ok_or(CellError::LocalStoreOverflow {
+                    offset: cursor,
+                    len: size,
+                    capacity: ls.capacity(),
+                })?;
         }
 
         self.admit(clock);
@@ -441,9 +489,26 @@ impl Mfc {
             self.record(dir, size);
             cursor += cell_core::align_up(size, QUADWORD) as u32;
         }
-        self.queue.push_back(Pending { complete_at: latest });
+        self.queue.push_back(Pending {
+            complete_at: latest,
+        });
         self.tag_complete[tag as usize] = self.tag_complete[tag as usize].max(latest);
         self.stats.list_commands += 1;
+        self.tracer.count(Counter::DmaListCommands, 1);
+        let total: u64 = list.iter().map(|&(_, s)| s as u64).sum();
+        let ts = clock.now();
+        let (kind, label) = match dir {
+            Dir::Get => (EventKind::DmaGet, "dma_list_get"),
+            Dir::Put => (EventKind::DmaPut, "dma_list_put"),
+        };
+        self.tracer.span(
+            kind,
+            label,
+            ts,
+            latest.saturating_sub(ts),
+            total,
+            tag as u64,
+        );
         Ok(())
     }
 
@@ -460,6 +525,17 @@ impl Mfc {
             .unwrap_or(0);
         let stall = target.saturating_sub(clock.now());
         self.stats.stall_cycles += stall;
+        if stall > 0 {
+            self.tracer.count(Counter::DmaStallCycles, stall);
+            self.tracer.span(
+                EventKind::DmaWait,
+                "tag_wait",
+                clock.now(),
+                stall,
+                mask.0 as u64,
+                0,
+            );
+        }
         clock.advance_to(target);
         self.drain_completed(clock.now());
     }
@@ -589,7 +665,8 @@ mod tests {
         let data: Vec<u8> = (0..total).map(|i| (i / 64) as u8).collect();
         mem.write(ea, &data).unwrap();
         let la = ls.alloc(total, 16).unwrap();
-        mfc.get_large(&mut ls, la, ea, total, 2, &mut clock).unwrap();
+        mfc.get_large(&mut ls, la, ea, total, 2, &mut clock)
+            .unwrap();
         mfc.wait_tag(2, &mut clock).unwrap();
         assert_eq!(mfc.stats().transfers, 3);
         assert_eq!(ls.slice(la, total).unwrap(), &data[..]);
@@ -601,11 +678,15 @@ mod tests {
         let ea = mem.alloc(16 * 1024 * 20, 128).unwrap();
         let la = ls.alloc(16 * 1024, 16).unwrap();
         for i in 0..20u64 {
-            mfc.get(&mut ls, la, ea + i * 16 * 1024, 16 * 1024, 0, &mut clock).unwrap();
+            mfc.get(&mut ls, la, ea + i * 16 * 1024, 16 * 1024, 0, &mut clock)
+                .unwrap();
         }
         // The queue never exceeds its depth, and admitting past 16 stalls.
         assert!(mfc.queue_len() <= 16);
-        assert!(mfc.stats().stall_cycles > 0, "full queue should have stalled the SPU");
+        assert!(
+            mfc.stats().stall_cycles > 0,
+            "full queue should have stalled the SPU"
+        );
     }
 
     #[test]
@@ -618,7 +699,8 @@ mod tests {
         mem.fill(b, 2, 128).unwrap();
         mem.fill(c, 3, 32).unwrap();
         let la = ls.alloc(64 + 128 + 32, 16).unwrap();
-        mfc.get_list(&mut ls, la, &[(a, 64), (b, 128), (c, 32)], 7, &mut clock).unwrap();
+        mfc.get_list(&mut ls, la, &[(a, 64), (b, 128), (c, 32)], 7, &mut clock)
+            .unwrap();
         mfc.wait_tag(7, &mut clock).unwrap();
         assert!(ls.slice(la, 64).unwrap().iter().all(|&x| x == 1));
         assert!(ls.slice(la + 64, 128).unwrap().iter().all(|&x| x == 2));
@@ -635,7 +717,8 @@ mod tests {
         let b = mem.alloc(64, 16).unwrap();
         let la = ls.alloc(128, 16).unwrap();
         ls.write(la, &[9u8; 128]).unwrap();
-        mfc.put_list(&mut ls, la, &[(a, 64), (b, 64)], 3, &mut clock).unwrap();
+        mfc.put_list(&mut ls, la, &[(a, 64), (b, 64)], 3, &mut clock)
+            .unwrap();
         mfc.wait_tag(3, &mut clock).unwrap();
         let mut out = [0u8; 64];
         mem.read(a, &mut out).unwrap();
@@ -705,9 +788,11 @@ mod tests {
         ls.write_u32(flag_la, 1).unwrap();
         // Big result write, then the fenced completion flag: the flag's
         // completion must not precede the data's, even though it is tiny.
-        mfc.put(&mut ls, la, data_ea, 16 * 1024, 3, &mut clock).unwrap();
+        mfc.put(&mut ls, la, data_ea, 16 * 1024, 3, &mut clock)
+            .unwrap();
         let data_done = mfc.tag_complete[3];
-        mfc.put_fenced(&mut ls, flag_la, flag_ea, 16, 3, &mut clock).unwrap();
+        mfc.put_fenced(&mut ls, flag_la, flag_ea, 16, 3, &mut clock)
+            .unwrap();
         assert!(mfc.tag_complete[3] >= data_done);
         let flag_entry = mfc.queue.back().unwrap().complete_at;
         assert!(
@@ -729,9 +814,11 @@ mod tests {
         let flag_ea = mem.alloc(16, 16).unwrap();
         let la = ls.alloc(16 * 1024, 16).unwrap();
         let flag_la = ls.alloc(16, 16).unwrap();
-        mfc.put(&mut ls, la, data_ea, 16 * 1024, 3, &mut clock).unwrap();
+        mfc.put(&mut ls, la, data_ea, 16 * 1024, 3, &mut clock)
+            .unwrap();
         let data_done = mfc.queue.back().unwrap().complete_at;
-        mfc.get(&mut ls, flag_la, flag_ea, 16, 4, &mut clock).unwrap();
+        mfc.get(&mut ls, flag_la, flag_ea, 16, 4, &mut clock)
+            .unwrap();
         let flag_done = mfc.queue.back().unwrap().complete_at;
         assert!(flag_done < data_done, "{flag_done} vs {data_done}");
     }
@@ -756,7 +843,8 @@ mod tests {
         let la = ls.alloc(16 * 1024, 16).unwrap();
         // Big transfer on tag 0, then a barrier, then a tiny transfer on a
         // *different* tag: the tiny one must complete after the big one.
-        mfc.get(&mut ls, la, big_ea, 16 * 1024, 0, &mut clock).unwrap();
+        mfc.get(&mut ls, la, big_ea, 16 * 1024, 0, &mut clock)
+            .unwrap();
         let big_done = mfc.tag_complete[0];
         mfc.barrier(&mut clock);
         mfc.get(&mut ls, la, small_ea, 16, 7, &mut clock).unwrap();
@@ -768,13 +856,75 @@ mod tests {
     }
 
     #[test]
+    fn trace_records_transfers_and_waits() {
+        use cell_trace::{TraceConfig, Track};
+        let (mut mfc, mut ls, mut clock, mem) = rig();
+        mfc.set_tracer(Tracer::new(TraceConfig::Full, Track::Spe(0), 3.2e9));
+        let ea = mem.alloc(8192, 128).unwrap();
+        let la = ls.alloc(4096, 16).unwrap();
+        mfc.get(&mut ls, la, ea, 4096, 1, &mut clock).unwrap();
+        mfc.wait_tag(1, &mut clock).unwrap();
+        mfc.put(&mut ls, la, ea + 4096, 4096, 2, &mut clock)
+            .unwrap();
+        mfc.wait_tag(2, &mut clock).unwrap();
+        let trace = mfc.take_tracer();
+        assert_eq!(trace.counters.get(Counter::DmaGets), 1);
+        assert_eq!(trace.counters.get(Counter::DmaPuts), 1);
+        assert_eq!(trace.counters.get(Counter::DmaBytesIn), 4096);
+        assert_eq!(trace.counters.get(Counter::DmaBytesOut), 4096);
+        assert_eq!(
+            trace.counters.get(Counter::DmaStallCycles),
+            mfc.stats().stall_cycles
+        );
+        assert_eq!(trace.dma_latency.count(), 2);
+        let kinds: Vec<EventKind> = trace.events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::DmaGet));
+        assert!(kinds.contains(&EventKind::DmaPut));
+        assert!(kinds.contains(&EventKind::DmaWait));
+        // The get span's latency equals the stall the wait observed plus
+        // nothing else (single transfer, idle bus): issue→complete.
+        let get = trace
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::DmaGet)
+            .unwrap();
+        assert!(get.dur > 0);
+        assert_eq!(get.arg0, 4096);
+        // take_tracer leaves tracing off.
+        mfc.get(&mut ls, la, ea, 16, 1, &mut clock).unwrap();
+        assert!(mfc.take_tracer().events.is_empty());
+    }
+
+    #[test]
+    fn trace_counts_list_commands() {
+        use cell_trace::{TraceConfig, Track};
+        let (mut mfc, mut ls, mut clock, mem) = rig();
+        mfc.set_tracer(Tracer::new(TraceConfig::Full, Track::Spe(0), 3.2e9));
+        let a = mem.alloc(64, 16).unwrap();
+        let b = mem.alloc(64, 16).unwrap();
+        let la = ls.alloc(128, 16).unwrap();
+        mfc.get_list(&mut ls, la, &[(a, 64), (b, 64)], 0, &mut clock)
+            .unwrap();
+        let trace = mfc.take_tracer();
+        assert_eq!(trace.counters.get(Counter::DmaListCommands), 1);
+        assert_eq!(trace.counters.get(Counter::DmaGets), 2);
+        let list_ev = trace
+            .events
+            .iter()
+            .find(|e| e.label == "dma_list_get")
+            .expect("list command span recorded");
+        assert_eq!(list_ev.arg0, 128);
+    }
+
+    #[test]
     fn two_tags_complete_independently() {
         let (mut mfc, mut ls, mut clock, mem) = rig();
         let ea = mem.alloc(32 * 1024, 128).unwrap();
         let la1 = ls.alloc(16, 16).unwrap();
         let la2 = ls.alloc(16 * 1024, 16).unwrap();
         mfc.get(&mut ls, la1, ea, 16, 1, &mut clock).unwrap();
-        mfc.get(&mut ls, la2, ea + 16 * 1024, 16 * 1024, 2, &mut clock).unwrap();
+        mfc.get(&mut ls, la2, ea + 16 * 1024, 16 * 1024, 2, &mut clock)
+            .unwrap();
         // The small transfer on tag 1 finishes long before tag 2.
         let mut c1 = clock.clone();
         mfc.wait_tags(TagMask::single(1).unwrap(), &mut c1);

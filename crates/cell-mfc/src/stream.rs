@@ -58,7 +58,9 @@ impl StreamReader {
         tag_base: u32,
     ) -> CellResult<Self> {
         if depth == 0 || depth > 8 {
-            return Err(CellError::BadConfig { message: format!("stream depth {depth} not in 1..=8") });
+            return Err(CellError::BadConfig {
+                message: format!("stream depth {depth} not in 1..=8"),
+            });
         }
         if chunk == 0 || !chunk.is_multiple_of(QUADWORD) {
             return Err(CellError::BadDmaSize { size: chunk });
@@ -67,7 +69,9 @@ impl StreamReader {
             return Err(CellError::BadDmaSize { size: total });
         }
         if tag_base as usize + depth > crate::dma::MAX_TAGS {
-            return Err(CellError::BadTagGroup { tag: tag_base + depth as u32 - 1 });
+            return Err(CellError::BadTagGroup {
+                tag: tag_base + depth as u32 - 1,
+            });
         }
         let mut buffers = Vec::with_capacity(depth);
         for _ in 0..depth {
@@ -96,14 +100,26 @@ impl StreamReader {
         self.buffers.len()
     }
 
-    fn issue_next(&mut self, mfc: &mut Mfc, ls: &mut LocalStore, clock: &mut VirtualClock) -> CellResult<()> {
+    fn issue_next(
+        &mut self,
+        mfc: &mut Mfc,
+        ls: &mut LocalStore,
+        clock: &mut VirtualClock,
+    ) -> CellResult<()> {
         if self.fetch_remaining == 0 {
             return Ok(());
         }
         let slot = (self.fetch_idx % self.depth() as u64) as usize;
         let len = self.fetch_remaining.min(self.chunk);
         let dma_len = align_up(len, QUADWORD);
-        mfc.get(ls, self.buffers[slot], self.fetch_ea, dma_len, self.tags[slot], clock)?;
+        mfc.get(
+            ls,
+            self.buffers[slot],
+            self.fetch_ea,
+            dma_len,
+            self.tags[slot],
+            clock,
+        )?;
         self.inflight_len[slot] = len;
         self.fetch_ea += dma_len as u64;
         self.fetch_remaining -= len;
@@ -136,9 +152,16 @@ impl StreamReader {
     }
 
     /// Return the held chunk and prefetch the next one into its buffer.
-    pub fn release(&mut self, mfc: &mut Mfc, ls: &mut LocalStore, clock: &mut VirtualClock) -> CellResult<()> {
+    pub fn release(
+        &mut self,
+        mfc: &mut Mfc,
+        ls: &mut LocalStore,
+        clock: &mut VirtualClock,
+    ) -> CellResult<()> {
         let Some(idx) = self.held.take() else {
-            return Err(CellError::BadData { message: "StreamReader::release with nothing held".to_string() });
+            return Err(CellError::BadData {
+                message: "StreamReader::release with nothing held".to_string(),
+            });
         };
         debug_assert_eq!(idx, self.consume_idx);
         self.consume_idx += 1;
@@ -175,7 +198,9 @@ impl StreamWriter {
         tag_base: u32,
     ) -> CellResult<Self> {
         if depth == 0 || depth > 8 {
-            return Err(CellError::BadConfig { message: format!("stream depth {depth} not in 1..=8") });
+            return Err(CellError::BadConfig {
+                message: format!("stream depth {depth} not in 1..=8"),
+            });
         }
         if chunk == 0 || !chunk.is_multiple_of(QUADWORD) {
             return Err(CellError::BadDmaSize { size: chunk });
@@ -184,7 +209,9 @@ impl StreamWriter {
             return Err(CellError::BadDmaSize { size: total });
         }
         if tag_base as usize + depth > crate::dma::MAX_TAGS {
-            return Err(CellError::BadTagGroup { tag: tag_base + depth as u32 - 1 });
+            return Err(CellError::BadTagGroup {
+                tag: tag_base + depth as u32 - 1,
+            });
         }
         let mut buffers = Vec::with_capacity(depth);
         for _ in 0..depth {
@@ -225,13 +252,27 @@ impl StreamWriter {
 
     /// Submit the held buffer's first `len` bytes (as granted by
     /// `acquire`) to main memory.
-    pub fn submit(&mut self, mfc: &mut Mfc, ls: &mut LocalStore, clock: &mut VirtualClock) -> CellResult<()> {
+    pub fn submit(
+        &mut self,
+        mfc: &mut Mfc,
+        ls: &mut LocalStore,
+        clock: &mut VirtualClock,
+    ) -> CellResult<()> {
         let Some(slot) = self.held.take() else {
-            return Err(CellError::BadData { message: "StreamWriter::submit with nothing held".to_string() });
+            return Err(CellError::BadData {
+                message: "StreamWriter::submit with nothing held".to_string(),
+            });
         };
         let len = self.remaining.min(self.chunk);
         let dma_len = align_up(len, QUADWORD);
-        mfc.put(ls, self.buffers[slot], self.write_ea, dma_len, self.tags[slot], clock)?;
+        mfc.put(
+            ls,
+            self.buffers[slot],
+            self.write_ea,
+            dma_len,
+            self.tags[slot],
+            clock,
+        )?;
         self.write_ea += dma_len as u64;
         self.remaining -= len;
         self.submit_idx += 1;
@@ -273,7 +314,8 @@ mod tests {
         mem.write(ea, &data).unwrap();
 
         let mut rdr =
-            StreamReader::new(&mut mfc, &mut ls, &mut clock, ea, total, 8 * 1024, depth, 0).unwrap();
+            StreamReader::new(&mut mfc, &mut ls, &mut clock, ea, total, 8 * 1024, depth, 0)
+                .unwrap();
         let mut out = Vec::with_capacity(total);
         while let Some((la, len)) = rdr.acquire(&mut mfc, &mut clock).unwrap() {
             out.extend_from_slice(ls.slice(la, len).unwrap());
@@ -315,7 +357,8 @@ mod tests {
         let ea = mem.alloc(total, 128).unwrap();
         let data: Vec<u8> = (0..total).map(|i| (i % 256) as u8).collect();
         mem.write(ea, &data).unwrap();
-        let mut rdr = StreamReader::new(&mut mfc, &mut ls, &mut clock, ea, total, 4096, 2, 0).unwrap();
+        let mut rdr =
+            StreamReader::new(&mut mfc, &mut ls, &mut clock, ea, total, 4096, 2, 0).unwrap();
         let mut out = Vec::new();
         let mut lens = Vec::new();
         while let Some((la, len)) = rdr.acquire(&mut mfc, &mut clock).unwrap() {
@@ -331,7 +374,8 @@ mod tests {
     fn acquire_twice_without_release_fails() {
         let (mut mfc, mut ls, mut clock, mem) = rig();
         let ea = mem.alloc(8192, 128).unwrap();
-        let mut rdr = StreamReader::new(&mut mfc, &mut ls, &mut clock, ea, 8192, 4096, 2, 0).unwrap();
+        let mut rdr =
+            StreamReader::new(&mut mfc, &mut ls, &mut clock, ea, 8192, 4096, 2, 0).unwrap();
         rdr.acquire(&mut mfc, &mut clock).unwrap().unwrap();
         assert!(rdr.acquire(&mut mfc, &mut clock).is_err());
     }
@@ -340,7 +384,8 @@ mod tests {
     fn release_without_acquire_fails() {
         let (mut mfc, mut ls, mut clock, mem) = rig();
         let ea = mem.alloc(4096, 128).unwrap();
-        let mut rdr = StreamReader::new(&mut mfc, &mut ls, &mut clock, ea, 4096, 4096, 1, 0).unwrap();
+        let mut rdr =
+            StreamReader::new(&mut mfc, &mut ls, &mut clock, ea, 4096, 4096, 1, 0).unwrap();
         assert!(rdr.release(&mut mfc, &mut ls, &mut clock).is_err());
     }
 

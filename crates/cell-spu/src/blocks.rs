@@ -119,9 +119,9 @@ pub fn sum_f32(spu: &mut Spu, data: &[f32]) -> f32 {
         i += 4;
     }
     let mut sum = spu.hsum_f32(acc);
-    for j in full..data.len() {
+    for &x in &data[full..] {
         spu.scalar_op(1);
-        sum += data[j];
+        sum += x;
     }
     sum
 }
@@ -142,9 +142,9 @@ pub fn max_u8(spu: &mut Spu, data: &[u8]) -> u8 {
         acc = spu.max_u8(acc, r);
     }
     let mut m = spu.extract_u8(acc, 0);
-    for j in full..data.len() {
+    for &x in &data[full..] {
         spu.scalar_op(1);
-        m = m.max(data[j]);
+        m = m.max(x);
     }
     m
 }
@@ -199,7 +199,11 @@ mod tests {
         let y0 = y.clone();
         axpy_f32(&mut spu, 2.5, &x, &mut y);
         for i in 0..37 {
-            assert_eq!(y[i].to_bits(), 2.5f32.mul_add(x[i], y0[i]).to_bits(), "i={i}");
+            assert_eq!(
+                y[i].to_bits(),
+                2.5f32.mul_add(x[i], y0[i]).to_bits(),
+                "i={i}"
+            );
         }
     }
 

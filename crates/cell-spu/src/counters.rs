@@ -75,8 +75,17 @@ mod tests {
 
     #[test]
     fn merge_and_total() {
-        let mut a = SpuCounters { even: 10, odd: 5, ..Default::default() };
-        let b = SpuCounters { even: 1, scalar: 2, branches_hard: 3, ..Default::default() };
+        let mut a = SpuCounters {
+            even: 10,
+            odd: 5,
+            ..Default::default()
+        };
+        let b = SpuCounters {
+            even: 1,
+            scalar: 2,
+            branches_hard: 3,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.even, 11);
         assert_eq!(a.scalar, 2);
@@ -85,8 +94,17 @@ mod tests {
 
     #[test]
     fn since_gives_delta() {
-        let early = SpuCounters { even: 10, odd: 4, ..Default::default() };
-        let late = SpuCounters { even: 25, odd: 9, branches: 2, ..Default::default() };
+        let early = SpuCounters {
+            even: 10,
+            odd: 4,
+            ..Default::default()
+        };
+        let late = SpuCounters {
+            even: 25,
+            odd: 9,
+            branches: 2,
+            ..Default::default()
+        };
         let d = late.since(&early);
         assert_eq!(d.even, 15);
         assert_eq!(d.odd, 5);
@@ -95,7 +113,14 @@ mod tests {
 
     #[test]
     fn profile_mapping() {
-        let c = SpuCounters { even: 7, odd: 3, scalar: 2, branches: 1, branches_hard: 4, double: 6 };
+        let c = SpuCounters {
+            even: 7,
+            odd: 3,
+            scalar: 2,
+            branches: 1,
+            branches_hard: 4,
+            double: 6,
+        };
         let p = c.to_profile();
         assert_eq!(p.count(OpClass::SimdEven), 7);
         assert_eq!(p.count(OpClass::SimdOdd), 3);
@@ -107,7 +132,10 @@ mod tests {
 
     #[test]
     fn reset_zeroes() {
-        let mut c = SpuCounters { even: 1, ..Default::default() };
+        let mut c = SpuCounters {
+            even: 1,
+            ..Default::default()
+        };
         c.reset();
         assert_eq!(c, SpuCounters::default());
     }

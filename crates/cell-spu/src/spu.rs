@@ -30,7 +30,9 @@ pub struct Spu {
 
 impl Spu {
     pub fn new() -> Self {
-        Spu { c: SpuCounters::new() }
+        Spu {
+            c: SpuCounters::new(),
+        }
     }
 
     /// Current tally.
@@ -220,19 +222,25 @@ impl Spu {
     pub fn cmpeq_u16(&mut self, a: V128, b: V128) -> V128 {
         self.even();
         let (a, b) = (a.as_u16x8(), b.as_u16x8());
-        V128::from_u16x8(std::array::from_fn(|i| if a[i] == b[i] { 0xFFFF } else { 0 }))
+        V128::from_u16x8(std::array::from_fn(
+            |i| if a[i] == b[i] { 0xFFFF } else { 0 },
+        ))
     }
 
     pub fn cmpgt_u16(&mut self, a: V128, b: V128) -> V128 {
         self.even();
         let (a, b) = (a.as_u16x8(), b.as_u16x8());
-        V128::from_u16x8(std::array::from_fn(|i| if a[i] > b[i] { 0xFFFF } else { 0 }))
+        V128::from_u16x8(std::array::from_fn(
+            |i| if a[i] > b[i] { 0xFFFF } else { 0 },
+        ))
     }
 
     pub fn cmpgt_i16(&mut self, a: V128, b: V128) -> V128 {
         self.even();
         let (a, b) = (a.as_i16x8(), b.as_i16x8());
-        V128::from_u16x8(std::array::from_fn(|i| if a[i] > b[i] { 0xFFFF } else { 0 }))
+        V128::from_u16x8(std::array::from_fn(
+            |i| if a[i] > b[i] { 0xFFFF } else { 0 },
+        ))
     }
 
     /// Shift each halfword left by an immediate.
@@ -328,19 +336,25 @@ impl Spu {
     pub fn cmpeq_u32(&mut self, a: V128, b: V128) -> V128 {
         self.even();
         let (a, b) = (a.as_u32x4(), b.as_u32x4());
-        V128::from_u32x4(std::array::from_fn(|i| if a[i] == b[i] { u32::MAX } else { 0 }))
+        V128::from_u32x4(std::array::from_fn(
+            |i| if a[i] == b[i] { u32::MAX } else { 0 },
+        ))
     }
 
     pub fn cmpgt_u32(&mut self, a: V128, b: V128) -> V128 {
         self.even();
         let (a, b) = (a.as_u32x4(), b.as_u32x4());
-        V128::from_u32x4(std::array::from_fn(|i| if a[i] > b[i] { u32::MAX } else { 0 }))
+        V128::from_u32x4(std::array::from_fn(
+            |i| if a[i] > b[i] { u32::MAX } else { 0 },
+        ))
     }
 
     pub fn cmpgt_i32(&mut self, a: V128, b: V128) -> V128 {
         self.even();
         let (a, b) = (a.as_i32x4(), b.as_i32x4());
-        V128::from_u32x4(std::array::from_fn(|i| if a[i] > b[i] { u32::MAX } else { 0 }))
+        V128::from_u32x4(std::array::from_fn(
+            |i| if a[i] > b[i] { u32::MAX } else { 0 },
+        ))
     }
 
     pub fn shl_u32(&mut self, a: V128, n: u32) -> V128 {
@@ -482,7 +496,9 @@ impl Spu {
     pub fn cmpgt_f32(&mut self, a: V128, b: V128) -> V128 {
         self.even();
         let (a, b) = (a.as_f32x4(), b.as_f32x4());
-        V128::from_u32x4(std::array::from_fn(|i| if a[i] > b[i] { u32::MAX } else { 0 }))
+        V128::from_u32x4(std::array::from_fn(
+            |i| if a[i] > b[i] { u32::MAX } else { 0 },
+        ))
     }
 
     /// Reciprocal via estimate + two Newton-Raphson steps
@@ -612,7 +628,9 @@ impl Spu {
     pub fn shl_bytes(&mut self, a: V128, n: usize) -> V128 {
         self.odd();
         let b = a.to_bytes();
-        V128::from_bytes(std::array::from_fn(|i| if i + n < 16 { b[i + n] } else { 0 }))
+        V128::from_bytes(std::array::from_fn(
+            |i| if i + n < 16 { b[i + n] } else { 0 },
+        ))
     }
 
     /// Shift the whole quadword right by `n` bytes, zero-filling.
@@ -723,7 +741,9 @@ impl Spu {
         self.c.odd += 2;
         self.c.even += 2;
         let l = a.as_u32x4();
-        l[0].wrapping_add(l[1]).wrapping_add(l[2]).wrapping_add(l[3])
+        l[0].wrapping_add(l[1])
+            .wrapping_add(l[2])
+            .wrapping_add(l[3])
     }
 
     /// Sum all 16 bytes: `sumb` + horizontal u32 sum.
@@ -852,7 +872,10 @@ mod tests {
         let b = V128::splat_u16(30_000);
         assert_eq!(s.add_u16(a, b).as_u16x8()[0], 4464); // wrap
         assert_eq!(s.adds_u16(a, b).as_u16x8()[0], u16::MAX);
-        assert_eq!(s.mul_u16(a, b).as_u16x8()[0], 40_000u16.wrapping_mul(30_000));
+        assert_eq!(
+            s.mul_u16(a, b).as_u16x8()[0],
+            40_000u16.wrapping_mul(30_000)
+        );
         assert_eq!(s.mul_even_u16(a, b).as_u32x4()[0], 40_000u32 * 30_000);
         assert_eq!(s.shl_u16(V128::splat_u16(3), 4).as_u16x8()[0], 48);
         assert_eq!(s.shr_u16(V128::splat_u16(48), 4).as_u16x8()[0], 3);
@@ -866,7 +889,10 @@ mod tests {
         let b = V128::from_i16x8([50; 8]);
         assert_eq!(s.add_i16(a, b).as_i16x8()[0], -50);
         assert_eq!(s.sub_i16(a, b).as_i16x8()[1], 150);
-        assert_eq!(s.cmpgt_i16(a, V128::zero()).as_u16x8(), [0, 0xFFFF, 0, 0xFFFF, 0, 0xFFFF, 0, 0xFFFF]);
+        assert_eq!(
+            s.cmpgt_i16(a, V128::zero()).as_u16x8(),
+            [0, 0xFFFF, 0, 0xFFFF, 0, 0xFFFF, 0, 0xFFFF]
+        );
     }
 
     #[test]
@@ -888,10 +914,19 @@ mod tests {
     fn word_compares() {
         let mut s = spu();
         let a = V128::from_i32x4([-5, 0, 5, 10]);
-        assert_eq!(s.cmpgt_i32(a, V128::zero()).as_u32x4(), [0, 0, u32::MAX, u32::MAX]);
+        assert_eq!(
+            s.cmpgt_i32(a, V128::zero()).as_u32x4(),
+            [0, 0, u32::MAX, u32::MAX]
+        );
         let u = V128::from_u32x4([1, 5, 5, 9]);
-        assert_eq!(s.cmpeq_u32(u, V128::splat_u32(5)).as_u32x4(), [0, u32::MAX, u32::MAX, 0]);
-        assert_eq!(s.cmpgt_u32(u, V128::splat_u32(4)).as_u32x4(), [0, u32::MAX, u32::MAX, u32::MAX]);
+        assert_eq!(
+            s.cmpeq_u32(u, V128::splat_u32(5)).as_u32x4(),
+            [0, u32::MAX, u32::MAX, 0]
+        );
+        assert_eq!(
+            s.cmpgt_u32(u, V128::splat_u32(4)).as_u32x4(),
+            [0, u32::MAX, u32::MAX, u32::MAX]
+        );
     }
 
     #[test]
@@ -1001,7 +1036,9 @@ mod tests {
     #[test]
     fn lookup16_quantizes() {
         let mut s = spu();
-        let table = V128::from_u8x16([10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25]);
+        let table = V128::from_u8x16([
+            10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25,
+        ]);
         let idx = V128::from_u8x16([0, 5, 15, 16, 31, 255, 2, 2, 0, 0, 0, 0, 0, 0, 0, 0]);
         let r = s.lookup16_u8(table, idx).as_u8x16();
         assert_eq!(r[0], 10);
@@ -1099,7 +1136,9 @@ mod tests {
     #[test]
     fn cntb_counts_bits() {
         let mut s = spu();
-        let v = V128::from_u8x16([0, 1, 3, 7, 15, 31, 63, 127, 255, 0x80, 0xAA, 0x55, 2, 4, 8, 16]);
+        let v = V128::from_u8x16([
+            0, 1, 3, 7, 15, 31, 63, 127, 255, 0x80, 0xAA, 0x55, 2, 4, 8, 16,
+        ]);
         assert_eq!(
             s.cntb(v).as_u8x16(),
             [0, 1, 2, 3, 4, 5, 6, 7, 8, 1, 4, 4, 1, 1, 1, 1]
@@ -1114,7 +1153,11 @@ mod tests {
         assert_eq!(s.min_i16(a, b).as_i16x8()[0], -5);
         assert_eq!(s.max_i16(a, b).as_i16x8()[0], 0);
         assert_eq!(s.abs_i16(a).as_i16x8()[2], 100);
-        assert_eq!(s.abs_i16(a).as_i16x8()[4], i16::MIN, "wrapping abs at the edge");
+        assert_eq!(
+            s.abs_i16(a).as_i16x8()[4],
+            i16::MIN,
+            "wrapping abs at the edge"
+        );
         let w = V128::from_i32x4([-7, 7, i32::MIN, 0]);
         assert_eq!(s.min_i32(w, V128::zero()).as_i32x4(), [-7, 0, i32::MIN, 0]);
         assert_eq!(s.max_i32(w, V128::zero()).as_i32x4(), [0, 7, 0, 0]);
@@ -1158,7 +1201,9 @@ mod tests {
     #[test]
     fn exp_composites() {
         let mut s = spu();
-        let v = s.exp_f32(V128::from_f32x4([0.0, 1.0, -1.0, 2.0])).as_f32x4();
+        let v = s
+            .exp_f32(V128::from_f32x4([0.0, 1.0, -1.0, 2.0]))
+            .as_f32x4();
         assert!((v[0] - 1.0).abs() < 1e-6);
         assert!((v[1] - std::f32::consts::E).abs() < 1e-5);
         assert!((s.exp_scalar_f32(0.5) - 0.5f32.exp()).abs() < 1e-6);
@@ -1168,7 +1213,9 @@ mod tests {
     #[test]
     fn recip_is_close() {
         let mut s = spu();
-        let r = s.recip_f32(V128::from_f32x4([2.0, 4.0, 0.5, 10.0])).as_f32x4();
+        let r = s
+            .recip_f32(V128::from_f32x4([2.0, 4.0, 0.5, 10.0]))
+            .as_f32x4();
         for (got, want) in r.iter().zip([0.5f32, 0.25, 2.0, 0.1]) {
             assert!((got - want).abs() < want * 1e-4, "{got} vs {want}");
         }

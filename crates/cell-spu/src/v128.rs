@@ -106,7 +106,12 @@ impl V128 {
     #[inline]
     pub fn as_u32x4(self) -> [u32; 4] {
         std::array::from_fn(|i| {
-            u32::from_le_bytes([self.0[i * 4], self.0[i * 4 + 1], self.0[i * 4 + 2], self.0[i * 4 + 3]])
+            u32::from_le_bytes([
+                self.0[i * 4],
+                self.0[i * 4 + 1],
+                self.0[i * 4 + 2],
+                self.0[i * 4 + 3],
+            ])
         })
     }
 
@@ -239,7 +244,10 @@ mod tests {
     fn splats_fill_all_lanes() {
         assert!(V128::splat_u8(7).as_u8x16().iter().all(|&x| x == 7));
         assert!(V128::splat_u16(300).as_u16x8().iter().all(|&x| x == 300));
-        assert!(V128::splat_u32(70000).as_u32x4().iter().all(|&x| x == 70000));
+        assert!(V128::splat_u32(70000)
+            .as_u32x4()
+            .iter()
+            .all(|&x| x == 70000));
         assert!(V128::splat_f32(2.5).as_f32x4().iter().all(|&x| x == 2.5));
     }
 

@@ -14,6 +14,7 @@ use cell_eib::Eib;
 use cell_mem::{LocalStore, MainMemory};
 use cell_mfc::{Mfc, MfcStats};
 use cell_spu::SpuCounters;
+use cell_trace::{TraceConfig, TrackData};
 
 use crate::mailbox::MailboxPair;
 use crate::ppe::Ppe;
@@ -38,6 +39,9 @@ pub struct SpeReport {
     pub ls_high_water: usize,
     /// Fault message if the program returned an error.
     pub fault: Option<String>,
+    /// Structured trace of this SPE (env + MFC streams merged). Empty
+    /// unless the machine had tracing enabled before the spawn.
+    pub trace: TrackData,
 }
 
 /// Handle to a running SPE program.
@@ -54,12 +58,15 @@ impl SpeHandle {
     /// Wait for the SPE program to return and collect its report.
     /// A faulted program yields `Err(CellError::SpeFault)`.
     pub fn join(self) -> CellResult<SpeReport> {
-        let report = self
-            .join
-            .join()
-            .map_err(|_| CellError::SpeFault { spe: self.spe_id, message: "SPE thread panicked".into() })?;
+        let report = self.join.join().map_err(|_| CellError::SpeFault {
+            spe: self.spe_id,
+            message: "SPE thread panicked".into(),
+        })?;
         if let Some(msg) = &report.fault {
-            return Err(CellError::SpeFault { spe: report.spe_id, message: msg.clone() });
+            return Err(CellError::SpeFault {
+                spe: report.spe_id,
+                message: msg.clone(),
+            });
         }
         Ok(report)
     }
@@ -78,6 +85,7 @@ pub struct CellMachine {
     mem: Arc<MainMemory>,
     eib: Arc<Eib>,
     slots: Vec<SpeSlot>,
+    trace_config: TraceConfig,
 }
 
 impl CellMachine {
@@ -94,7 +102,30 @@ impl CellMachine {
                 occupied: false,
             })
             .collect();
-        Ok(CellMachine { config, mem, eib, slots })
+        Ok(CellMachine {
+            config,
+            mem,
+            eib,
+            slots,
+            trace_config: TraceConfig::Off,
+        })
+    }
+
+    /// Enable (or disable) tracing machine-wide. Must be called before
+    /// [`CellMachine::ppe`] and [`CellMachine::spawn`] — components copy
+    /// the configuration when they are created.
+    pub fn set_trace_config(&mut self, config: TraceConfig) {
+        self.trace_config = config;
+        self.eib.enable_trace(config);
+    }
+
+    pub fn trace_config(&self) -> TraceConfig {
+        self.trace_config
+    }
+
+    /// Take the EIB's trace stream (bus-cycle stamps).
+    pub fn take_eib_trace(&self) -> TrackData {
+        self.eib.take_trace()
     }
 
     /// A default Cell B.E. (8 SPEs, 256 KB local stores).
@@ -122,23 +153,38 @@ impl CellMachine {
             self.slots.iter().map(|s| s.mailboxes.clone()).collect(),
             self.slots.iter().map(|s| Arc::clone(&s.signal1)).collect(),
             self.slots.iter().map(|s| Arc::clone(&s.signal2)).collect(),
+            self.trace_config,
         )
     }
 
     /// Spawn `program` on SPE `spe_id`. The program runs on a host thread
     /// until it returns (normally after receiving its exit opcode).
-    pub fn spawn(&mut self, spe_id: usize, mut program: Box<dyn SpeProgram>) -> CellResult<SpeHandle> {
-        let slot = self.slots.get_mut(spe_id).ok_or(CellError::NoSpeAvailable {
-            requested: spe_id + 1,
-            available: self.config.num_spes,
-        })?;
+    pub fn spawn(
+        &mut self,
+        spe_id: usize,
+        mut program: Box<dyn SpeProgram>,
+    ) -> CellResult<SpeHandle> {
+        let slot = self
+            .slots
+            .get_mut(spe_id)
+            .ok_or(CellError::NoSpeAvailable {
+                requested: spe_id + 1,
+                available: self.config.num_spes,
+            })?;
         if slot.occupied {
-            return Err(CellError::BadConfig { message: format!("SPE {spe_id} already runs a program") });
+            return Err(CellError::BadConfig {
+                message: format!("SPE {spe_id} already runs a program"),
+            });
         }
         slot.occupied = true;
 
         let ls = LocalStore::new(self.config.local_store_size, self.config.code_reserved);
-        let mfc = Mfc::new(spe_id, Arc::clone(&self.mem), Arc::clone(&self.eib), self.config.dma);
+        let mfc = Mfc::new(
+            spe_id,
+            Arc::clone(&self.mem),
+            Arc::clone(&self.eib),
+            self.config.dma,
+        );
         let clock = VirtualClock::new(self.config.core_frequency);
         let peer_signals = self.slots.iter().map(|s| Arc::clone(&s.signal1)).collect();
         let slot = &mut self.slots[spe_id];
@@ -151,6 +197,7 @@ impl CellMachine {
             Arc::clone(&slot.signal1),
             Arc::clone(&slot.signal2),
             peer_signals,
+            self.trace_config,
         );
 
         // Thread-creation cost on the PPE side is what the paper's static
@@ -164,18 +211,24 @@ impl CellMachine {
                 let result = program.run(&mut env);
                 env.into_report(result.err().map(|e| e.to_string()))
             })
-            .map_err(|e| CellError::SpeFault { spe: spe_id, message: format!("spawn failed: {e}") })?;
+            .map_err(|e| CellError::SpeFault {
+                spe: spe_id,
+                message: format!("spawn failed: {e}"),
+            })?;
 
         Ok(SpeHandle { spe_id, join })
     }
 
     /// Spawn on the lowest-numbered free SPE.
     pub fn spawn_any(&mut self, program: Box<dyn SpeProgram>) -> CellResult<SpeHandle> {
-        let free = self
-            .slots
-            .iter()
-            .position(|s| !s.occupied)
-            .ok_or(CellError::NoSpeAvailable { requested: 1, available: 0 })?;
+        let free =
+            self.slots
+                .iter()
+                .position(|s| !s.occupied)
+                .ok_or(CellError::NoSpeAvailable {
+                    requested: 1,
+                    available: 0,
+                })?;
         self.spawn(free, program)
     }
 
@@ -194,7 +247,10 @@ impl std::fmt::Debug for CellMachine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CellMachine")
             .field("num_spes", &self.config.num_spes)
-            .field("occupied", &self.slots.iter().filter(|s| s.occupied).count())
+            .field(
+                "occupied",
+                &self.slots.iter().filter(|s| s.occupied).count(),
+            )
             .finish()
     }
 }
@@ -338,7 +394,10 @@ mod tests {
         let h1 = m.spawn_any(Box::new(echo_kernel)).unwrap();
         assert_eq!(h0.spe_id(), 0);
         assert_eq!(h1.spe_id(), 1);
-        assert!(m.spawn_any(Box::new(echo_kernel)).is_err(), "small config has 2 SPEs");
+        assert!(
+            m.spawn_any(Box::new(echo_kernel)).is_err(),
+            "small config has 2 SPEs"
+        );
         m.shutdown();
         h0.join().unwrap_err(); // woken by shutdown → MailboxClosed fault
         h1.join().unwrap_err();
@@ -404,7 +463,12 @@ mod tests {
         let r0 = h0.join().unwrap();
         let r1 = h1.join().unwrap();
         // Causality in virtual time: stage 2 finished after stage 1 signalled.
-        assert!(r1.cycles > r0.cycles - 200, "{} vs {}", r1.cycles, r0.cycles);
+        assert!(
+            r1.cycles > r0.cycles - 200,
+            "{} vs {}",
+            r1.cycles,
+            r0.cycles
+        );
     }
 
     #[test]
@@ -421,6 +485,70 @@ mod tests {
         let mut m = small_machine();
         let h = m.spawn(0, Box::new(selfish)).unwrap();
         h.join().unwrap();
+    }
+
+    #[test]
+    fn machine_trace_captures_every_layer() {
+        use cell_trace::{Counter, EventKind, TraceConfig};
+        let mut m = small_machine();
+        m.set_trace_config(TraceConfig::Full);
+        let mut ppe = m.ppe();
+        let h = m.spawn(0, Box::new(echo_kernel)).unwrap();
+
+        let addr = ppe.mem().alloc(4096, 128).unwrap();
+        ppe.mem().write(addr, &vec![1u8; 4096]).unwrap();
+        ppe.write_in_mbox(0, OP_SUM).unwrap();
+        ppe.write_in_mbox(0, addr as u32).unwrap();
+        assert_eq!(ppe.read_out_mbox(0).unwrap(), 1);
+        ppe.write_in_mbox(0, OP_EXIT).unwrap();
+        let report = h.join().unwrap();
+
+        // PPE track: sends + the blocking receive.
+        let ppe_trace = ppe.take_trace();
+        assert_eq!(ppe_trace.counters.get(Counter::MailboxSends), 3);
+        assert_eq!(ppe_trace.counters.get(Counter::MailboxRecvs), 1);
+        assert!(ppe_trace.counters.get(Counter::TotalCycles) > 0);
+        // Mailbox events carry the target SPE in arg1.
+        assert!(ppe_trace
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::MailboxSend)
+            .all(|e| e.arg1 == 0));
+
+        // SPE track: mailbox traffic, DMA both ways, compute slices.
+        let t = &report.trace;
+        assert_eq!(t.counters.get(Counter::MailboxRecvs), 3);
+        assert_eq!(t.counters.get(Counter::MailboxSends), 1);
+        assert_eq!(t.counters.get(Counter::DmaBytesIn), 4096);
+        assert_eq!(t.counters.get(Counter::DmaBytesOut), 16);
+        assert!(t.counters.get(Counter::SpuIssues) >= 4096);
+        assert_eq!(
+            t.counters.get(Counter::LsHighWater),
+            report.ls_high_water as u64
+        );
+        assert_eq!(t.counters.get(Counter::TotalCycles), report.cycles);
+        assert!(t.events.iter().any(|e| e.kind == EventKind::DmaGet));
+        assert!(t.events.iter().any(|e| e.kind == EventKind::SpuSlice));
+
+        // EIB track: the two DMAs crossed the bus.
+        let eib = m.take_eib_trace();
+        assert_eq!(eib.counters.get(Counter::EibTransfers), 2);
+        assert_eq!(eib.counters.get(Counter::EibBytes), 4096 + 16);
+    }
+
+    #[test]
+    fn tracing_off_leaves_reports_empty() {
+        let mut m = small_machine();
+        let mut ppe = m.ppe();
+        let h = m.spawn(0, Box::new(echo_kernel)).unwrap();
+        ppe.write_in_mbox(0, OP_ECHO).unwrap();
+        ppe.write_in_mbox(0, 5).unwrap();
+        assert_eq!(ppe.read_out_mbox(0).unwrap(), 10);
+        ppe.write_in_mbox(0, OP_EXIT).unwrap();
+        let report = h.join().unwrap();
+        assert!(report.trace.events.is_empty());
+        assert!(report.trace.counters.is_empty());
+        assert!(ppe.take_trace().events.is_empty());
     }
 
     #[test]

@@ -16,10 +16,9 @@
 //!   with [`CellError::MailboxClosed`] instead of deadlocking.
 
 use std::collections::VecDeque;
-use std::sync::Arc;
 
 use cell_core::{CellError, CellResult};
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// A word in flight: the payload and the sender's virtual time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,7 +47,11 @@ impl Mailbox {
     pub fn new(capacity: usize) -> Arc<Self> {
         assert!(capacity > 0, "mailbox capacity must be positive");
         Arc::new(Mailbox {
-            inner: Mutex::new(Inner { queue: VecDeque::with_capacity(capacity), capacity, closed: false }),
+            inner: Mutex::new(Inner {
+                queue: VecDeque::with_capacity(capacity),
+                capacity,
+                closed: false,
+            }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
         })
@@ -56,7 +59,7 @@ impl Mailbox {
 
     /// Blocking write; returns when the word is enqueued.
     pub fn write(&self, value: u32, stamp: u64) -> CellResult<()> {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap();
         loop {
             if g.closed {
                 return Err(CellError::MailboxClosed);
@@ -67,13 +70,13 @@ impl Mailbox {
                 self.not_empty.notify_one();
                 return Ok(());
             }
-            self.not_full.wait(&mut g);
+            g = self.not_full.wait(g).unwrap();
         }
     }
 
     /// Non-blocking write.
     pub fn try_write(&self, value: u32, stamp: u64) -> CellResult<()> {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap();
         if g.closed {
             return Err(CellError::MailboxClosed);
         }
@@ -88,7 +91,7 @@ impl Mailbox {
 
     /// Blocking read; returns the oldest word.
     pub fn read(&self) -> CellResult<Stamped> {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap();
         loop {
             if let Some(s) = g.queue.pop_front() {
                 drop(g);
@@ -98,13 +101,13 @@ impl Mailbox {
             if g.closed {
                 return Err(CellError::MailboxClosed);
             }
-            self.not_empty.wait(&mut g);
+            g = self.not_empty.wait(g).unwrap();
         }
     }
 
     /// Non-blocking read.
     pub fn try_read(&self) -> CellResult<Stamped> {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap();
         if let Some(s) = g.queue.pop_front() {
             drop(g);
             self.not_full.notify_one();
@@ -119,13 +122,13 @@ impl Mailbox {
     /// Words currently queued (`spe_stat_out_mbox` in paper Listing 3
     /// polls exactly this).
     pub fn count(&self) -> usize {
-        self.inner.lock().queue.len()
+        self.inner.lock().unwrap().queue.len()
     }
 
     /// Close the mailbox: queued words stay readable, blocked writers and
     /// readers-on-empty wake with [`CellError::MailboxClosed`].
     pub fn close(&self) {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap();
         g.closed = true;
         drop(g);
         self.not_empty.notify_all();
@@ -133,7 +136,7 @@ impl Mailbox {
     }
 
     pub fn is_closed(&self) -> bool {
-        self.inner.lock().closed
+        self.inner.lock().unwrap().closed
     }
 }
 
@@ -183,8 +186,20 @@ mod tests {
         mb.write(10, 100).unwrap();
         mb.write(20, 200).unwrap();
         assert_eq!(mb.count(), 2);
-        assert_eq!(mb.read().unwrap(), Stamped { value: 10, stamp: 100 });
-        assert_eq!(mb.read().unwrap(), Stamped { value: 20, stamp: 200 });
+        assert_eq!(
+            mb.read().unwrap(),
+            Stamped {
+                value: 10,
+                stamp: 100
+            }
+        );
+        assert_eq!(
+            mb.read().unwrap(),
+            Stamped {
+                value: 20,
+                stamp: 200
+            }
+        );
         assert_eq!(mb.count(), 0);
     }
 
@@ -203,7 +218,13 @@ mod tests {
         let h = thread::spawn(move || mb2.read().unwrap());
         thread::sleep(Duration::from_millis(20));
         mb.write(99, 7).unwrap();
-        assert_eq!(h.join().unwrap(), Stamped { value: 99, stamp: 7 });
+        assert_eq!(
+            h.join().unwrap(),
+            Stamped {
+                value: 99,
+                stamp: 7
+            }
+        );
     }
 
     #[test]

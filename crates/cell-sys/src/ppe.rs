@@ -19,6 +19,7 @@ use cell_core::{
     VirtualDuration,
 };
 use cell_mem::MainMemory;
+use cell_trace::{Counter, EventKind, TraceConfig, Tracer, Track, TrackData};
 
 use crate::mailbox::MailboxPair;
 use crate::signal::SignalRegister;
@@ -34,6 +35,7 @@ pub struct Ppe {
     signals1: Vec<Arc<SignalRegister>>,
     signals2: Vec<Arc<SignalRegister>>,
     profile: OpProfile,
+    tracer: Tracer,
 }
 
 impl Ppe {
@@ -43,7 +45,9 @@ impl Ppe {
         mailboxes: Vec<MailboxPair>,
         signals1: Vec<Arc<SignalRegister>>,
         signals2: Vec<Arc<SignalRegister>>,
+        trace_config: TraceConfig,
     ) -> Self {
+        let hz = clock.frequency().hertz();
         Ppe {
             mem,
             clock,
@@ -52,7 +56,32 @@ impl Ppe {
             signals1,
             signals2,
             profile: OpProfile::new(),
+            tracer: Tracer::new(trace_config, Track::Ppe, hz),
         }
+    }
+
+    /// The PPE's tracer (read-only view).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The PPE's tracer, for callers recording their own spans (e.g.
+    /// `portkit` dispatch round-trips).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Take the PPE trace, stamping the run's total cycles first. Leaves
+    /// a fresh same-config tracer behind.
+    pub fn take_trace(&mut self) -> TrackData {
+        self.tracer
+            .count_max(Counter::TotalCycles, self.clock.now());
+        let fresh = Tracer::new(
+            self.tracer.config(),
+            Track::Ppe,
+            self.clock.frequency().hertz(),
+        );
+        std::mem::replace(&mut self.tracer, fresh).finish()
     }
 
     /// Shared main memory.
@@ -72,7 +101,10 @@ impl Ppe {
 
     fn check_spe(&self, spe: usize) -> CellResult<()> {
         if spe >= self.mailboxes.len() {
-            return Err(CellError::NoSpeAvailable { requested: spe + 1, available: self.mailboxes.len() });
+            return Err(CellError::NoSpeAvailable {
+                requested: spe + 1,
+                available: self.mailboxes.len(),
+            });
         }
         Ok(())
     }
@@ -107,6 +139,15 @@ impl Ppe {
         self.check_spe(spe)?;
         self.clock.advance(Cycles(50));
         self.profile.mailbox_ops += 1;
+        self.tracer.span(
+            EventKind::MailboxSend,
+            "mbox_send",
+            self.clock.now(),
+            0,
+            value as u64,
+            spe as u64,
+        );
+        self.tracer.count(Counter::MailboxSends, 1);
         self.mailboxes[spe].inbound.write(value, self.clock.now())
     }
 
@@ -122,20 +163,46 @@ impl Ppe {
     /// of Fig. 4(b).
     pub fn read_out_mbox(&mut self, spe: usize) -> CellResult<u32> {
         self.check_spe(spe)?;
+        let t0 = self.clock.now();
         let s = self.mailboxes[spe].outbound.read()?;
         self.clock.advance_to(s.stamp + MAILBOX_LATENCY);
+        let blocked = self.clock.now() - t0;
         self.clock.advance(Cycles(50));
         self.profile.mailbox_ops += 1;
+        self.tracer.span(
+            EventKind::MailboxRecv,
+            "mbox_recv",
+            t0,
+            blocked,
+            s.value as u64,
+            spe as u64,
+        );
+        self.tracer.count(Counter::MailboxRecvs, 1);
+        self.tracer.count(Counter::MailboxStallCycles, blocked);
+        self.tracer.record_mailbox_stall(blocked);
         Ok(s.value)
     }
 
     /// Non-blocking read from the outbound mailbox.
     pub fn try_read_out_mbox(&mut self, spe: usize) -> CellResult<u32> {
         self.check_spe(spe)?;
+        let t0 = self.clock.now();
         let s = self.mailboxes[spe].outbound.try_read()?;
         self.clock.advance_to(s.stamp + MAILBOX_LATENCY);
+        let blocked = self.clock.now() - t0;
         self.clock.advance(Cycles(50));
         self.profile.mailbox_ops += 1;
+        self.tracer.span(
+            EventKind::MailboxRecv,
+            "mbox_recv",
+            t0,
+            blocked,
+            s.value as u64,
+            spe as u64,
+        );
+        self.tracer.count(Counter::MailboxRecvs, 1);
+        self.tracer.count(Counter::MailboxStallCycles, blocked);
+        self.tracer.record_mailbox_stall(blocked);
         Ok(s.value)
     }
 
@@ -144,10 +211,23 @@ impl Ppe {
     /// spinning — the trade paper §3.5 step 6 describes.
     pub fn read_out_intr_mbox(&mut self, spe: usize) -> CellResult<u32> {
         self.check_spe(spe)?;
+        let t0 = self.clock.now();
         let s = self.mailboxes[spe].outbound_intr.read()?;
         self.clock.advance_to(s.stamp + MAILBOX_LATENCY);
+        let blocked = self.clock.now() - t0;
         self.clock.advance(Cycles(600)); // interrupt entry/exit
         self.profile.mailbox_ops += 1;
+        self.tracer.span(
+            EventKind::MailboxRecv,
+            "mbox_recv",
+            t0,
+            blocked,
+            s.value as u64,
+            spe as u64,
+        );
+        self.tracer.count(Counter::MailboxRecvs, 1);
+        self.tracer.count(Counter::MailboxStallCycles, blocked);
+        self.tracer.record_mailbox_stall(blocked);
         Ok(s.value)
     }
 

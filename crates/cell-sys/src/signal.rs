@@ -13,10 +13,8 @@
 //! ("typically, this channel is based on the use of mailboxes or
 //! signals").
 
-use std::sync::Arc;
-
 use cell_core::{CellError, CellResult};
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Accumulation behaviour of a signal register.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,7 +42,11 @@ impl SignalRegister {
     pub fn new(mode: SignalMode) -> Arc<Self> {
         Arc::new(SignalRegister {
             mode,
-            inner: Mutex::new(Inner { value: 0, pending: false, closed: false }),
+            inner: Mutex::new(Inner {
+                value: 0,
+                pending: false,
+                closed: false,
+            }),
             raised: Condvar::new(),
         })
     }
@@ -55,7 +57,7 @@ impl SignalRegister {
 
     /// Raise a signal from the PPE (or another SPE's signalling DMA).
     pub fn send(&self, bits: u32) -> CellResult<()> {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap();
         if g.closed {
             return Err(CellError::MailboxClosed);
         }
@@ -71,7 +73,7 @@ impl SignalRegister {
 
     /// Blocking read-and-clear from the SPE side.
     pub fn wait(&self) -> CellResult<u32> {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap();
         loop {
             if g.pending {
                 g.pending = false;
@@ -80,13 +82,13 @@ impl SignalRegister {
             if g.closed {
                 return Err(CellError::MailboxClosed);
             }
-            self.raised.wait(&mut g);
+            g = self.raised.wait(g).unwrap();
         }
     }
 
     /// Non-blocking read-and-clear; `Ok(None)` when nothing is pending.
     pub fn poll(&self) -> CellResult<Option<u32>> {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap();
         if g.pending {
             g.pending = false;
             return Ok(Some(std::mem::take(&mut g.value)));
@@ -99,7 +101,7 @@ impl SignalRegister {
 
     /// Tear down: blocked waiters wake with an error.
     pub fn close(&self) {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap();
         g.closed = true;
         drop(g);
         self.raised.notify_all();

@@ -22,6 +22,7 @@ use cell_core::{CellError, CellResult, Cycles, MachineProfile, OpProfile, Virtua
 use cell_mem::LocalStore;
 use cell_mfc::Mfc;
 use cell_spu::{Spu, SpuCounters};
+use cell_trace::{Counter, EventKind, TraceConfig, Tracer, Track};
 
 use crate::mailbox::MailboxPair;
 use crate::signal::SignalRegister;
@@ -79,6 +80,8 @@ pub struct SpeEnv {
     charged: SpuCounters,
     /// Mailbox words read or written (for the op profile).
     mailbox_ops: u64,
+    /// Structured trace sink for this SPE (thread-local by ownership).
+    tracer: Tracer,
 }
 
 impl SpeEnv {
@@ -92,7 +95,11 @@ impl SpeEnv {
         signal1: Arc<SignalRegister>,
         signal2: Arc<SignalRegister>,
         peer_signals: Vec<Arc<SignalRegister>>,
+        trace_config: TraceConfig,
     ) -> Self {
+        let hz = clock.frequency().hertz();
+        let mut mfc = mfc;
+        mfc.set_tracer(Tracer::new(trace_config, Track::Spe(spe_id), hz));
         SpeEnv {
             spe_id,
             ls,
@@ -106,7 +113,13 @@ impl SpeEnv {
             compute_model: MachineProfile::spe_optimized(),
             charged: SpuCounters::default(),
             mailbox_ops: 0,
+            tracer: Tracer::new(trace_config, Track::Spe(spe_id), hz),
         }
+    }
+
+    /// This SPE's tracer (for kernels that want custom events).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
     }
 
     pub fn spe_id(&self) -> usize {
@@ -131,7 +144,18 @@ impl SpeEnv {
         let delta = now.since(&self.charged);
         if delta.total() > 0 {
             let cycles = self.compute_model.compute_cycles(&delta.to_profile());
+            let start = self.clock.now();
             self.clock.advance(cycles);
+            self.tracer.span(
+                EventKind::SpuSlice,
+                "spu",
+                start,
+                self.clock.now() - start,
+                delta.total(),
+                0,
+            );
+            self.tracer.count(Counter::SpuSlices, 1);
+            self.tracer.count(Counter::SpuIssues, delta.total());
             self.charged = now;
         }
     }
@@ -147,20 +171,46 @@ impl SpeEnv {
     /// Blocking read from the inbound mailbox (`spu_read_in_mbox`).
     pub fn read_in_mbox(&mut self) -> CellResult<u32> {
         self.charge_compute();
+        let t0 = self.clock.now();
         let s = self.mailboxes.inbound.read()?;
         self.clock.advance_to(s.stamp + MAILBOX_LATENCY);
+        let blocked = self.clock.now() - t0;
         self.clock.advance(Cycles(10));
         self.mailbox_ops += 1;
+        self.tracer.span(
+            EventKind::MailboxRecv,
+            "mbox_recv",
+            t0,
+            blocked,
+            s.value as u64,
+            0,
+        );
+        self.tracer.count(Counter::MailboxRecvs, 1);
+        self.tracer.count(Counter::MailboxStallCycles, blocked);
+        self.tracer.record_mailbox_stall(blocked);
         Ok(s.value)
     }
 
     /// Non-blocking read from the inbound mailbox.
     pub fn try_read_in_mbox(&mut self) -> CellResult<u32> {
         self.charge_compute();
+        let t0 = self.clock.now();
         let s = self.mailboxes.inbound.try_read()?;
         self.clock.advance_to(s.stamp + MAILBOX_LATENCY);
+        let blocked = self.clock.now() - t0;
         self.clock.advance(Cycles(10));
         self.mailbox_ops += 1;
+        self.tracer.span(
+            EventKind::MailboxRecv,
+            "mbox_recv",
+            t0,
+            blocked,
+            s.value as u64,
+            0,
+        );
+        self.tracer.count(Counter::MailboxRecvs, 1);
+        self.tracer.count(Counter::MailboxStallCycles, blocked);
+        self.tracer.record_mailbox_stall(blocked);
         Ok(s.value)
     }
 
@@ -169,6 +219,15 @@ impl SpeEnv {
         self.charge_compute();
         self.clock.advance(Cycles(10));
         self.mailbox_ops += 1;
+        self.tracer.span(
+            EventKind::MailboxSend,
+            "mbox_send",
+            self.clock.now(),
+            0,
+            value as u64,
+            0,
+        );
+        self.tracer.count(Counter::MailboxSends, 1);
         self.mailboxes.outbound.write(value, self.clock.now())
     }
 
@@ -178,6 +237,15 @@ impl SpeEnv {
         self.charge_compute();
         self.clock.advance(Cycles(10));
         self.mailbox_ops += 1;
+        self.tracer.span(
+            EventKind::MailboxSend,
+            "mbox_send",
+            self.clock.now(),
+            0,
+            value as u64,
+            0,
+        );
+        self.tracer.count(Counter::MailboxSends, 1);
         self.mailboxes.outbound_intr.write(value, self.clock.now())
     }
 
@@ -218,10 +286,14 @@ impl SpeEnv {
                 message: "an SPE cannot signal itself".to_string(),
             });
         }
-        let reg = Arc::clone(self.peer_signals.get(spe).ok_or(CellError::NoSpeAvailable {
-            requested: spe + 1,
-            available: self.peer_signals.len(),
-        })?);
+        let reg = Arc::clone(
+            self.peer_signals
+                .get(spe)
+                .ok_or(CellError::NoSpeAvailable {
+                    requested: spe + 1,
+                    available: self.peer_signals.len(),
+                })?,
+        );
         self.charge_compute();
         // A signalling write travels the EIB like a tiny DMA: charge the
         // channel write plus crossing latency.
@@ -232,16 +304,30 @@ impl SpeEnv {
     // ---- DMA convenience (charges compute before waiting) ---------------
 
     /// `mfc_get` + tag wait in one call, for simple kernels.
-    pub fn dma_get_sync(&mut self, la: cell_mem::LsAddr, ea: u64, size: usize, tag: u32) -> CellResult<()> {
+    pub fn dma_get_sync(
+        &mut self,
+        la: cell_mem::LsAddr,
+        ea: u64,
+        size: usize,
+        tag: u32,
+    ) -> CellResult<()> {
         self.charge_compute();
-        self.mfc.get(&mut self.ls, la, ea, size, tag, &mut self.clock)?;
+        self.mfc
+            .get(&mut self.ls, la, ea, size, tag, &mut self.clock)?;
         self.mfc.wait_tag(tag, &mut self.clock)
     }
 
     /// `mfc_put` + tag wait in one call.
-    pub fn dma_put_sync(&mut self, la: cell_mem::LsAddr, ea: u64, size: usize, tag: u32) -> CellResult<()> {
+    pub fn dma_put_sync(
+        &mut self,
+        la: cell_mem::LsAddr,
+        ea: u64,
+        size: usize,
+        tag: u32,
+    ) -> CellResult<()> {
         self.charge_compute();
-        self.mfc.put(&mut self.ls, la, ea, size, tag, &mut self.clock)?;
+        self.mfc
+            .put(&mut self.ls, la, ea, size, tag, &mut self.clock)?;
         self.mfc.wait_tag(tag, &mut self.clock)
     }
 
@@ -254,7 +340,8 @@ impl SpeEnv {
         tag: u32,
     ) -> CellResult<()> {
         self.charge_compute();
-        self.mfc.get_large(&mut self.ls, la, ea, size, tag, &mut self.clock)?;
+        self.mfc
+            .get_large(&mut self.ls, la, ea, size, tag, &mut self.clock)?;
         self.mfc.wait_tag(tag, &mut self.clock)
     }
 
@@ -267,7 +354,8 @@ impl SpeEnv {
         tag: u32,
     ) -> CellResult<()> {
         self.charge_compute();
-        self.mfc.put_large(&mut self.ls, la, ea, size, tag, &mut self.clock)?;
+        self.mfc
+            .put_large(&mut self.ls, la, ea, size, tag, &mut self.clock)?;
         self.mfc.wait_tag(tag, &mut self.clock)
     }
 
@@ -292,15 +380,23 @@ impl SpeEnv {
 
     pub(crate) fn into_report(mut self, fault: Option<String>) -> super::machine::SpeReport {
         self.charge_compute();
+        self.tracer
+            .count_max(Counter::LsHighWater, self.ls.high_water() as u64);
+        self.tracer
+            .count_max(Counter::TotalCycles, self.clock.now());
+        let profile = self.profile();
+        let mut trace = self.tracer.snapshot();
+        trace.merge(self.mfc.take_tracer());
         super::machine::SpeReport {
             spe_id: self.spe_id,
             counters: self.spu.counters(),
             mfc: self.mfc.stats(),
-            profile: self.profile(),
+            profile,
             cycles: self.clock.now(),
             elapsed: self.clock.elapsed(),
             ls_high_water: self.ls.high_water(),
             fault,
+            trace,
         }
     }
 }
@@ -317,5 +413,8 @@ impl std::fmt::Debug for SpeEnv {
 
 /// A helper error constructor for kernels.
 pub fn spe_fault(spe: usize, message: impl Into<String>) -> CellError {
-    CellError::SpeFault { spe, message: message.into() }
+    CellError::SpeFault {
+        spe,
+        message: message.into(),
+    }
 }

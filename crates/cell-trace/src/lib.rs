@@ -1,0 +1,1113 @@
+//! Low-overhead structured tracing and metrics for the simulated Cell.
+//!
+//! Every layer of the stack — SPE lifecycle and mailboxes (`cell-sys`),
+//! DMA (`cell-mfc`), the element-interconnect bus (`cell-eib`), per-slice
+//! SPU issue counters (`cell-spu`) and kernel dispatch (`portkit`) — owns
+//! a [`Tracer`] and records [`TraceEvent`]s and [`Counter`]s into it.
+//! Tracers are thread-local by construction (each lives inside the struct
+//! the owning thread already mutates), so recording takes no locks; the
+//! per-track buffers are merged into a [`TraceReport`] at machine
+//! teardown.
+//!
+//! Three consumers sit on top of the raw event stream:
+//!
+//! 1. [`TraceReport::to_chrome_json`] — Chrome trace-event JSON, loadable
+//!    in Perfetto / `chrome://tracing`;
+//! 2. [`TraceReport::metrics`] — an aggregated [`MetricsReport`] with
+//!    counters and latency histograms (DMA round-trip, mailbox stall,
+//!    EIB utilization, LS high-water, SPE busy fraction);
+//! 3. `portkit::trace::Timeline::from_trace` — the ASCII Gantt renderer,
+//!    populated from real dispatch spans instead of manual bookkeeping.
+//!
+//! The default [`TraceConfig::Off`] keeps the hot path allocation-free:
+//! every recording helper starts with a config check and returns before
+//! touching the event vector. [`TraceConfig::Counters`] bumps fixed-size
+//! counter arrays only; [`TraceConfig::Full`] additionally appends
+//! constant-size [`TraceEvent`] records (a `Vec<TraceEvent>` push — the
+//! only allocation, amortized).
+//!
+//! Timestamps are *virtual* cycles from the owning component's
+//! [`cell_core::VirtualClock`]. Tracks carry their own clock frequency
+//! (`hz`) because the EIB counts bus cycles while PPE/SPE tracks count
+//! core cycles; the exporters convert per track.
+
+use std::fmt::Write as _;
+
+/// How much the tracer records. `Off` is the default and keeps every
+/// recording helper to a single branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceConfig {
+    /// Record nothing. All helpers are no-ops.
+    #[default]
+    Off,
+    /// Maintain counters and histograms, but no per-event records.
+    Counters,
+    /// Counters plus the full structured event stream.
+    Full,
+}
+
+impl TraceConfig {
+    /// True when counters (and histograms) are maintained.
+    #[inline]
+    pub fn counters(self) -> bool {
+        !matches!(self, TraceConfig::Off)
+    }
+
+    /// True when individual events are recorded.
+    #[inline]
+    pub fn events(self) -> bool {
+        matches!(self, TraceConfig::Full)
+    }
+}
+
+/// Which hardware unit a tracer belongs to. Determines the row the
+/// events land on in the Chrome export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Track {
+    /// The PowerPC control core.
+    Ppe,
+    /// A synergistic processing element, by index.
+    Spe(usize),
+    /// The element interconnect bus (stamps in *bus* cycles).
+    Eib,
+}
+
+impl Track {
+    /// Stable thread id for the Chrome export: PPE = 0, SPE *i* = *i* + 1,
+    /// EIB = 99 (kept visually apart from the cores).
+    fn tid(self) -> u64 {
+        match self {
+            Track::Ppe => 0,
+            Track::Spe(i) => i as u64 + 1,
+            Track::Eib => 99,
+        }
+    }
+
+    fn name(self) -> String {
+        match self {
+            Track::Ppe => "PPE".to_string(),
+            Track::Spe(i) => format!("SPE{i}"),
+            Track::Eib => "EIB".to_string(),
+        }
+    }
+}
+
+/// What a [`TraceEvent`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A mailbox word written (PPE→SPE or SPE→PPE, per the track).
+    MailboxSend,
+    /// A mailbox word read; `dur` is the blocked wait, `arg0` the value.
+    MailboxRecv,
+    /// A DMA transfer into local store; `arg0` bytes, `arg1` tag.
+    DmaGet,
+    /// A DMA transfer out of local store; `arg0` bytes, `arg1` tag.
+    DmaPut,
+    /// A blocking wait on DMA tag groups; `arg0` is the tag mask.
+    DmaWait,
+    /// A bus transfer; `arg0` bytes, `arg1` ring index. Bus cycles.
+    EibTransfer,
+    /// A compute slice on an SPU; `arg0` is instructions issued.
+    SpuSlice,
+    /// A PPE-observed remote call: send → reply. `arg0` is the SPE id.
+    Dispatch,
+    /// An SPE-side kernel invocation; `arg0` is the kernel index.
+    Kernel,
+}
+
+impl EventKind {
+    /// Category string for the Chrome export (drives Perfetto coloring).
+    fn category(self) -> &'static str {
+        match self {
+            EventKind::MailboxSend | EventKind::MailboxRecv => "mailbox",
+            EventKind::DmaGet | EventKind::DmaPut | EventKind::DmaWait => "dma",
+            EventKind::EibTransfer => "eib",
+            EventKind::SpuSlice => "spu",
+            EventKind::Dispatch => "dispatch",
+            EventKind::Kernel => "kernel",
+        }
+    }
+}
+
+/// One recorded event. `Copy` and fixed-size: recording never allocates
+/// per event beyond the amortized `Vec` growth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Start, in the owning track's virtual cycles.
+    pub ts: u64,
+    /// Duration in the same cycles (0 for instantaneous marks).
+    pub dur: u64,
+    pub kind: EventKind,
+    /// Static label — kernel/stub name or a fixed operation tag.
+    pub label: &'static str,
+    /// Kind-specific payload (bytes, value, SPE id, ...).
+    pub arg0: u64,
+    /// Second kind-specific payload (tag, ring, SPE id, ...).
+    pub arg1: u64,
+}
+
+/// Scalar counters a tracer maintains in `Counters` and `Full` modes.
+///
+/// Most merge additively across tracks; the ones for which a *maximum*
+/// is the meaningful aggregate (high-water marks, horizons) merge by
+/// `max` — see [`Counter::merge_is_max`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    MailboxSends,
+    MailboxRecvs,
+    MailboxStallCycles,
+    DmaGets,
+    DmaPuts,
+    DmaBytesIn,
+    DmaBytesOut,
+    DmaStallCycles,
+    DmaListCommands,
+    EibTransfers,
+    EibBytes,
+    EibDataCycles,
+    EibQueuedCycles,
+    EibHorizon,
+    EibSlotCapacity,
+    SpuSlices,
+    SpuIssues,
+    Dispatches,
+    KernelInvocations,
+    LsHighWater,
+    TotalCycles,
+}
+
+impl Counter {
+    /// Number of counters; sizes [`CounterSet`].
+    pub const COUNT: usize = 21;
+
+    /// All counters, in index order. Drives reports and merging.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::MailboxSends,
+        Counter::MailboxRecvs,
+        Counter::MailboxStallCycles,
+        Counter::DmaGets,
+        Counter::DmaPuts,
+        Counter::DmaBytesIn,
+        Counter::DmaBytesOut,
+        Counter::DmaStallCycles,
+        Counter::DmaListCommands,
+        Counter::EibTransfers,
+        Counter::EibBytes,
+        Counter::EibDataCycles,
+        Counter::EibQueuedCycles,
+        Counter::EibHorizon,
+        Counter::EibSlotCapacity,
+        Counter::SpuSlices,
+        Counter::SpuIssues,
+        Counter::Dispatches,
+        Counter::KernelInvocations,
+        Counter::LsHighWater,
+        Counter::TotalCycles,
+    ];
+
+    /// True for counters whose cross-track aggregate is a maximum, not a
+    /// sum (high-water marks and horizon stamps).
+    pub fn merge_is_max(self) -> bool {
+        matches!(
+            self,
+            Counter::EibHorizon
+                | Counter::EibSlotCapacity
+                | Counter::LsHighWater
+                | Counter::TotalCycles
+        )
+    }
+}
+
+/// Fixed-size array of counter values, indexed by [`Counter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSet([u64; Counter::COUNT]);
+
+impl CounterSet {
+    pub fn new() -> Self {
+        CounterSet::default()
+    }
+
+    /// Add `delta` to a counter.
+    #[inline]
+    pub fn add(&mut self, counter: Counter, delta: u64) {
+        self.0[counter as usize] += delta;
+    }
+
+    /// Raise a counter to at least `value` (high-water semantics).
+    #[inline]
+    pub fn raise(&mut self, counter: Counter, value: u64) {
+        let slot = &mut self.0[counter as usize];
+        *slot = (*slot).max(value);
+    }
+
+    /// Current value of a counter.
+    #[inline]
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.0[counter as usize]
+    }
+
+    /// Merge another set into this one, respecting per-counter
+    /// sum-vs-max semantics.
+    pub fn merge(&mut self, other: &CounterSet) {
+        for c in Counter::ALL {
+            if c.merge_is_max() {
+                self.raise(c, other.get(c));
+            } else {
+                self.add(c, other.get(c));
+            }
+        }
+    }
+
+    /// True when every counter is zero.
+    pub fn is_empty(&self) -> bool {
+        self.0.iter().all(|&v| v == 0)
+    }
+}
+
+/// A power-of-two-bucketed latency histogram. 65 buckets cover the full
+/// `u64` range: bucket 0 holds zeros, bucket *b* ≥ 1 holds values whose
+/// highest set bit is *b* − 1 (i.e. `[2^(b-1), 2^b)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    pub fn new() -> Self {
+        LogHistogram::default()
+    }
+
+    #[inline]
+    fn bucket(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0.0 ..= 1.0`). Conservative: the true quantile is ≤ the
+    /// returned value. Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return match b {
+                    0 => 0,
+                    64 => u64::MAX,
+                    _ => (1u64 << b) - 1,
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Per-track event buffer plus counters. One lives inside each
+/// instrumented component (PPE, each SPE environment and its MFC, the
+/// EIB), owned by the thread that mutates the component — so recording
+/// is lock-free by construction.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    config: TraceConfig,
+    track: Track,
+    hz: f64,
+    events: Vec<TraceEvent>,
+    counters: CounterSet,
+    dma_latency: LogHistogram,
+    mailbox_stall: LogHistogram,
+}
+
+impl Tracer {
+    pub fn new(config: TraceConfig, track: Track, hz: f64) -> Self {
+        Tracer {
+            config,
+            track,
+            hz,
+            events: Vec::new(),
+            counters: CounterSet::new(),
+            dma_latency: LogHistogram::new(),
+            mailbox_stall: LogHistogram::new(),
+        }
+    }
+
+    /// A disabled tracer — the default for every component.
+    pub fn off() -> Self {
+        Tracer::new(TraceConfig::Off, Track::Ppe, 1.0)
+    }
+
+    pub fn config(&self) -> TraceConfig {
+        self.config
+    }
+
+    pub fn set_config(&mut self, config: TraceConfig) {
+        self.config = config;
+    }
+
+    pub fn track(&self) -> Track {
+        self.track
+    }
+
+    /// Bump a counter (no-op unless counters are enabled).
+    #[inline]
+    pub fn count(&mut self, counter: Counter, delta: u64) {
+        if self.config.counters() {
+            self.counters.add(counter, delta);
+        }
+    }
+
+    /// Raise a high-water counter (no-op unless counters are enabled).
+    #[inline]
+    pub fn count_max(&mut self, counter: Counter, value: u64) {
+        if self.config.counters() {
+            self.counters.raise(counter, value);
+        }
+    }
+
+    /// Record a span event (no-op unless `Full`).
+    #[inline]
+    pub fn span(
+        &mut self,
+        kind: EventKind,
+        label: &'static str,
+        ts: u64,
+        dur: u64,
+        arg0: u64,
+        arg1: u64,
+    ) {
+        if self.config.events() {
+            self.events.push(TraceEvent {
+                ts,
+                dur,
+                kind,
+                label,
+                arg0,
+                arg1,
+            });
+        }
+    }
+
+    /// Record a DMA issue→complete latency observation.
+    #[inline]
+    pub fn record_dma_latency(&mut self, cycles: u64) {
+        if self.config.counters() {
+            self.dma_latency.record(cycles);
+        }
+    }
+
+    /// Record a blocked mailbox wait.
+    #[inline]
+    pub fn record_mailbox_stall(&mut self, cycles: u64) {
+        if self.config.counters() {
+            self.mailbox_stall.record(cycles);
+        }
+    }
+
+    /// The events recorded so far.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Counter values recorded so far.
+    pub fn counters(&self) -> &CounterSet {
+        &self.counters
+    }
+
+    /// Consume the tracer into its immutable per-track data.
+    pub fn finish(self) -> TrackData {
+        TrackData {
+            track: self.track,
+            hz: self.hz,
+            events: self.events,
+            counters: self.counters,
+            dma_latency: self.dma_latency,
+            mailbox_stall: self.mailbox_stall,
+        }
+    }
+
+    /// Clone the current state without consuming the tracer.
+    pub fn snapshot(&self) -> TrackData {
+        self.clone().finish()
+    }
+}
+
+/// Immutable, merged data for one track.
+#[derive(Debug, Clone)]
+pub struct TrackData {
+    pub track: Track,
+    /// Clock frequency the `ts`/`dur` cycles are counted at.
+    pub hz: f64,
+    pub events: Vec<TraceEvent>,
+    pub counters: CounterSet,
+    pub dma_latency: LogHistogram,
+    pub mailbox_stall: LogHistogram,
+}
+
+impl TrackData {
+    /// An empty track (useful as a default / placeholder).
+    pub fn empty(track: Track, hz: f64) -> Self {
+        Tracer::new(TraceConfig::Off, track, hz).finish()
+    }
+
+    /// Merge another track's data into this one (same track expected —
+    /// e.g. an SPE environment's tracer and its MFC's tracer).
+    pub fn merge(&mut self, other: TrackData) {
+        self.events.extend(other.events);
+        self.counters.merge(&other.counters);
+        self.dma_latency.merge(&other.dma_latency);
+        self.mailbox_stall.merge(&other.mailbox_stall);
+    }
+}
+
+/// Minimal JSON string escaping for labels (all labels are `'static`
+/// identifiers today, but stay safe).
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// The merged output of one traced run: every track's events, counters
+/// and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    pub tracks: Vec<TrackData>,
+}
+
+impl TraceReport {
+    /// Total number of events across all tracks.
+    pub fn event_count(&self) -> usize {
+        self.tracks.iter().map(|t| t.events.len()).sum()
+    }
+
+    /// All events of one kind, across tracks.
+    pub fn events_of(&self, kind: EventKind) -> impl Iterator<Item = &TraceEvent> {
+        self.tracks
+            .iter()
+            .flat_map(move |t| t.events.iter().filter(move |e| e.kind == kind))
+    }
+
+    /// Aggregate a counter across tracks (sum, or max for high-water
+    /// counters).
+    pub fn counter(&self, c: Counter) -> u64 {
+        let mut acc = 0u64;
+        for t in &self.tracks {
+            if c.merge_is_max() {
+                acc = acc.max(t.counters.get(c));
+            } else {
+                acc += t.counters.get(c);
+            }
+        }
+        acc
+    }
+
+    /// Export as Chrome trace-event JSON (the "JSON Object Format" with
+    /// `displayTimeUnit`), loadable in Perfetto or `chrome://tracing`.
+    /// Timestamps convert from per-track virtual cycles to microseconds.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.event_count() * 160);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        for track in &self.tracks {
+            let tid = track.track.tid();
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                track.track.name()
+            );
+            let scale = 1e6 / track.hz;
+            for e in &track.events {
+                out.push(',');
+                let ts_us = e.ts as f64 * scale;
+                let dur_us = e.dur as f64 * scale;
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us:.3},\
+                     \"dur\":{dur_us:.3},\"cat\":\"{}\",\"name\":\"",
+                    e.kind.category()
+                );
+                escape_json(e.label, &mut out);
+                let _ = write!(
+                    out,
+                    "\",\"args\":{{\"arg0\":{},\"arg1\":{}}}}}",
+                    e.arg0, e.arg1
+                );
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Aggregate the raw streams into a [`MetricsReport`].
+    pub fn metrics(&self) -> MetricsReport {
+        let ppe = self.tracks.iter().find(|t| t.track == Track::Ppe);
+        let total_seconds = match ppe {
+            Some(t) if t.hz > 0.0 => t.counters.get(Counter::TotalCycles) as f64 / t.hz,
+            _ => 0.0,
+        };
+
+        // Per-phase wall time from PPE dispatch spans, grouped by label.
+        let mut phases: Vec<PhaseTime> = Vec::new();
+        if let Some(t) = ppe {
+            for e in t.events.iter().filter(|e| e.kind == EventKind::Dispatch) {
+                let seconds = e.dur as f64 / t.hz;
+                match phases.iter_mut().find(|p| p.label == e.label) {
+                    Some(p) => {
+                        p.seconds += seconds;
+                        p.spans += 1;
+                    }
+                    None => phases.push(PhaseTime {
+                        label: e.label.to_string(),
+                        seconds,
+                        spans: 1,
+                        fraction: 0.0,
+                    }),
+                }
+            }
+        }
+        if total_seconds > 0.0 {
+            for p in &mut phases {
+                p.fraction = p.seconds / total_seconds;
+            }
+        }
+
+        let mut spes: Vec<SpeMetrics> = Vec::new();
+        for t in &self.tracks {
+            if let Track::Spe(i) = t.track {
+                let c = &t.counters;
+                let total = c.get(Counter::TotalCycles);
+                let stall = c.get(Counter::MailboxStallCycles) + c.get(Counter::DmaStallCycles);
+                spes.push(SpeMetrics {
+                    spe: i,
+                    total_cycles: total,
+                    stall_cycles: stall,
+                    busy_fraction: if total > 0 {
+                        1.0 - (stall.min(total) as f64 / total as f64)
+                    } else {
+                        0.0
+                    },
+                    dma_bytes_in: c.get(Counter::DmaBytesIn),
+                    dma_bytes_out: c.get(Counter::DmaBytesOut),
+                    mailbox_sends: c.get(Counter::MailboxSends),
+                    mailbox_recvs: c.get(Counter::MailboxRecvs),
+                    ls_high_water: c.get(Counter::LsHighWater),
+                });
+            }
+        }
+        spes.sort_by_key(|s| s.spe);
+
+        let horizon = self.counter(Counter::EibHorizon);
+        let capacity = self.counter(Counter::EibSlotCapacity);
+        let data_cycles = self.counter(Counter::EibDataCycles);
+        let eib = EibMetrics {
+            transfers: self.counter(Counter::EibTransfers),
+            bytes: self.counter(Counter::EibBytes),
+            utilization: if horizon > 0 && capacity > 0 {
+                data_cycles as f64 / (horizon as f64 * capacity as f64)
+            } else {
+                0.0
+            },
+            queued_cycles: self.counter(Counter::EibQueuedCycles),
+        };
+
+        let mut dma_latency = LogHistogram::new();
+        let mut mailbox_stall = LogHistogram::new();
+        for t in &self.tracks {
+            dma_latency.merge(&t.dma_latency);
+            mailbox_stall.merge(&t.mailbox_stall);
+        }
+
+        MetricsReport {
+            total_seconds,
+            phases,
+            spes,
+            eib,
+            dma_latency,
+            mailbox_stall,
+        }
+    }
+}
+
+/// Wall time attributed to one dispatch label (stub name).
+#[derive(Debug, Clone)]
+pub struct PhaseTime {
+    pub label: String,
+    pub seconds: f64,
+    /// Number of dispatch spans aggregated into `seconds`.
+    pub spans: u64,
+    /// `seconds` / total run seconds.
+    pub fraction: f64,
+}
+
+/// Aggregates for one SPE track.
+#[derive(Debug, Clone)]
+pub struct SpeMetrics {
+    pub spe: usize,
+    pub total_cycles: u64,
+    pub stall_cycles: u64,
+    /// 1 − stall/total: fraction of the SPE's lifetime not blocked on
+    /// mailboxes or DMA tag waits.
+    pub busy_fraction: f64,
+    pub dma_bytes_in: u64,
+    pub dma_bytes_out: u64,
+    pub mailbox_sends: u64,
+    pub mailbox_recvs: u64,
+    pub ls_high_water: u64,
+}
+
+/// Aggregates for the bus.
+#[derive(Debug, Clone)]
+pub struct EibMetrics {
+    pub transfers: u64,
+    pub bytes: u64,
+    /// Busy data-cycles over available slot-cycles across the traced
+    /// horizon — the simulated analogue of achieved/peak bandwidth.
+    pub utilization: f64,
+    pub queued_cycles: u64,
+}
+
+/// The aggregated, human-consumable metrics of one traced run.
+#[derive(Debug, Clone)]
+pub struct MetricsReport {
+    /// Run wall time, from the PPE clock.
+    pub total_seconds: f64,
+    pub phases: Vec<PhaseTime>,
+    pub spes: Vec<SpeMetrics>,
+    pub eib: EibMetrics,
+    pub dma_latency: LogHistogram,
+    pub mailbox_stall: LogHistogram,
+}
+
+impl MetricsReport {
+    /// Decompose the run into per-phase fractions for the paper's
+    /// Eq. 1–3 estimators: each dispatch label becomes a kernel with
+    /// fraction `phase.seconds / total_seconds`; the remainder is the
+    /// serial part.
+    pub fn amdahl_decomposition(&self) -> AmdahlDecomposition {
+        let covered: f64 = self.phases.iter().map(|p| p.fraction).sum();
+        AmdahlDecomposition {
+            total_seconds: self.total_seconds,
+            serial_seconds: self.total_seconds * (1.0 - covered).max(0.0),
+            phases: self.phases.clone(),
+        }
+    }
+
+    /// Multi-line text summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "run: {:.6} s total", self.total_seconds);
+        for p in &self.phases {
+            let _ = writeln!(
+                out,
+                "  phase {:<12} {:>10.6} s  {:>5.1}%  ({} spans)",
+                p.label,
+                p.seconds,
+                p.fraction * 100.0,
+                p.spans
+            );
+        }
+        for s in &self.spes {
+            let _ = writeln!(
+                out,
+                "  spe{} busy {:>5.1}%  dma in/out {}/{} B  mbox s/r {}/{}  ls hw {} B",
+                s.spe,
+                s.busy_fraction * 100.0,
+                s.dma_bytes_in,
+                s.dma_bytes_out,
+                s.mailbox_sends,
+                s.mailbox_recvs,
+                s.ls_high_water
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  eib: {} transfers, {} B, utilization {:.2}%, queued {} bus-cycles",
+            self.eib.transfers,
+            self.eib.bytes,
+            self.eib.utilization * 100.0,
+            self.eib.queued_cycles
+        );
+        let _ = writeln!(
+            out,
+            "  dma latency: mean {:.0} cy, p95 <= {} cy, max {} cy ({} transfers)",
+            self.dma_latency.mean(),
+            self.dma_latency.percentile(0.95),
+            self.dma_latency.max(),
+            self.dma_latency.count()
+        );
+        let _ = writeln!(
+            out,
+            "  mailbox stall: mean {:.0} cy, p95 <= {} cy, max {} cy ({} waits)",
+            self.mailbox_stall.mean(),
+            self.mailbox_stall.percentile(0.95),
+            self.mailbox_stall.max(),
+            self.mailbox_stall.count()
+        );
+        out
+    }
+}
+
+/// Observed per-phase decomposition, ready for the Eq. 1–3 estimators.
+#[derive(Debug, Clone)]
+pub struct AmdahlDecomposition {
+    pub total_seconds: f64,
+    /// Time not covered by any dispatch span (the `1 − Σf` serial part).
+    pub serial_seconds: f64,
+    pub phases: Vec<PhaseTime>,
+}
+
+impl AmdahlDecomposition {
+    /// Fraction covered by offloaded phases.
+    pub fn covered_fraction(&self) -> f64 {
+        self.phases.iter().map(|p| p.fraction).sum()
+    }
+
+    /// Predicted speedup (Eq. 3 with unit per-kernel speedups) of
+    /// running the phases in the given concurrent groups instead of
+    /// sequentially. Indices refer to `self.phases`.
+    pub fn predicted_grouped_speedup(&self, groups: &[Vec<usize>]) -> f64 {
+        let specs: Vec<(f64, f64)> = self.phases.iter().map(|p| (p.fraction, 1.0)).collect();
+        eq3_grouped(&specs, groups)
+    }
+}
+
+/// Paper Eq. 1: speedup from accelerating one fraction `f` by `s`.
+pub fn eq1_single(f: f64, s: f64) -> f64 {
+    1.0 / ((1.0 - f) + f / s)
+}
+
+/// Paper Eq. 2: kernels `(fraction, speedup)` accelerated one after
+/// another — their remaining times add up.
+pub fn eq2_sequential(kernels: &[(f64, f64)]) -> f64 {
+    let covered: f64 = kernels.iter().map(|&(f, _)| f).sum();
+    let accel: f64 = kernels.iter().map(|&(f, s)| f / s).sum();
+    1.0 / ((1.0 - covered) + accel)
+}
+
+/// Paper Eq. 3: kernels running concurrently within `groups`; each
+/// group costs only its slowest member.
+pub fn eq3_grouped(kernels: &[(f64, f64)], groups: &[Vec<usize>]) -> f64 {
+    let covered: f64 = kernels.iter().map(|&(f, _)| f).sum();
+    let overlapped: f64 = groups
+        .iter()
+        .map(|g| {
+            g.iter()
+                .map(|&i| kernels[i].0 / kernels[i].1)
+                .fold(0.0, f64::max)
+        })
+        .sum();
+    1.0 / ((1.0 - covered) + overlapped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_records_nothing() {
+        let mut t = Tracer::off();
+        t.span(EventKind::DmaGet, "dma_get", 0, 10, 4096, 1);
+        t.count(Counter::DmaGets, 1);
+        t.record_dma_latency(128);
+        assert!(t.events().is_empty());
+        assert!(t.counters().is_empty());
+        let d = t.finish();
+        assert_eq!(d.dma_latency.count(), 0);
+    }
+
+    #[test]
+    fn counters_mode_counts_but_no_events() {
+        let mut t = Tracer::new(TraceConfig::Counters, Track::Spe(0), 3.2e9);
+        t.span(EventKind::DmaGet, "dma_get", 0, 10, 4096, 1);
+        t.count(Counter::DmaGets, 1);
+        t.count(Counter::DmaBytesIn, 4096);
+        assert!(t.events().is_empty());
+        assert_eq!(t.counters().get(Counter::DmaGets), 1);
+        assert_eq!(t.counters().get(Counter::DmaBytesIn), 4096);
+    }
+
+    #[test]
+    fn full_mode_records_events() {
+        let mut t = Tracer::new(TraceConfig::Full, Track::Spe(2), 3.2e9);
+        t.span(EventKind::MailboxRecv, "mbox_recv", 100, 50, 7, 0);
+        assert_eq!(t.events().len(), 1);
+        let e = t.events()[0];
+        assert_eq!(e.ts, 100);
+        assert_eq!(e.dur, 50);
+        assert_eq!(e.arg0, 7);
+    }
+
+    #[test]
+    fn counter_merge_respects_max_semantics() {
+        let mut a = CounterSet::new();
+        a.add(Counter::DmaGets, 3);
+        a.raise(Counter::LsHighWater, 1000);
+        let mut b = CounterSet::new();
+        b.add(Counter::DmaGets, 4);
+        b.raise(Counter::LsHighWater, 700);
+        a.merge(&b);
+        assert_eq!(a.get(Counter::DmaGets), 7);
+        assert_eq!(a.get(Counter::LsHighWater), 1000);
+    }
+
+    #[test]
+    fn counter_all_covers_every_index() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i);
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 2, 3, 4, 1000, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.max(), 1_000_000);
+        assert!((h.mean() - (1_001_010.0 / 7.0)).abs() < 1e-9);
+        // p50 falls in the buckets holding the small values.
+        assert!(h.percentile(0.5) <= 7);
+        // p100 is bounded above by the bucket holding the max.
+        assert!(h.percentile(1.0) >= 1_000_000);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = LogHistogram::new();
+        a.record(5);
+        let mut b = LogHistogram::new();
+        b.record(500);
+        b.record(9);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 514);
+        assert_eq!(a.max(), 500);
+    }
+
+    #[test]
+    fn chrome_json_is_structurally_sound() {
+        let mut t = Tracer::new(TraceConfig::Full, Track::Spe(0), 3.2e9);
+        t.span(EventKind::DmaGet, "dma_get", 3200, 320, 4096, 5);
+        let report = TraceReport {
+            tracks: vec![t.finish()],
+        };
+        let json = report.to_chrome_json();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"name\":\"SPE0\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"cat\":\"dma\""));
+        assert!(json.contains("\"arg0\":4096"));
+        // 3200 cycles at 3.2 GHz = 1 us.
+        assert!(json.contains("\"ts\":1.000"));
+        // Balanced braces/brackets (cheap structural check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn chrome_json_escapes_labels() {
+        let mut out = String::new();
+        escape_json("a\"b\\c\nd", &mut out);
+        assert_eq!(out, "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn metrics_aggregates_phases_and_spes() {
+        let hz = 3.2e9;
+        let mut ppe = Tracer::new(TraceConfig::Full, Track::Ppe, hz);
+        ppe.span(EventKind::Dispatch, "CH", 0, 3_200_000, 0, 0);
+        ppe.span(EventKind::Dispatch, "CH", 3_200_000, 3_200_000, 0, 0);
+        ppe.span(EventKind::Dispatch, "CC", 6_400_000, 6_400_000, 1, 0);
+        ppe.count_max(Counter::TotalCycles, 16_000_000);
+        let mut spe = Tracer::new(TraceConfig::Full, Track::Spe(0), hz);
+        spe.count(Counter::MailboxStallCycles, 2_000_000);
+        spe.count_max(Counter::TotalCycles, 10_000_000);
+        spe.count(Counter::DmaBytesIn, 8192);
+        let report = TraceReport {
+            tracks: vec![ppe.finish(), spe.finish()],
+        };
+        let m = report.metrics();
+        assert!((m.total_seconds - 16_000_000.0 / hz).abs() < 1e-12);
+        assert_eq!(m.phases.len(), 2);
+        let ch = m.phases.iter().find(|p| p.label == "CH").unwrap();
+        assert_eq!(ch.spans, 2);
+        assert!((ch.fraction - 6_400_000.0 / 16_000_000.0).abs() < 1e-12);
+        assert_eq!(m.spes.len(), 1);
+        assert!((m.spes[0].busy_fraction - 0.8).abs() < 1e-12);
+        assert_eq!(m.spes[0].dma_bytes_in, 8192);
+        assert!(!m.render().is_empty());
+    }
+
+    #[test]
+    fn eib_utilization_is_data_over_capacity() {
+        let mut eib = Tracer::new(TraceConfig::Counters, Track::Eib, 1.6e9);
+        eib.count(Counter::EibDataCycles, 300);
+        eib.count_max(Counter::EibHorizon, 1000);
+        eib.count_max(Counter::EibSlotCapacity, 3);
+        let report = TraceReport {
+            tracks: vec![eib.finish()],
+        };
+        let m = report.metrics();
+        assert!((m.eib.utilization - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amdahl_eq1_matches_hand_value() {
+        // f = 0.5, s = 2 -> 1 / (0.5 + 0.25) = 4/3.
+        assert!((eq1_single(0.5, 2.0) - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amdahl_eq3_beats_eq2() {
+        let ks = [(0.2, 2.0), (0.3, 3.0), (0.1, 1.5)];
+        let seq = eq2_sequential(&ks);
+        let grp = eq3_grouped(&ks, &[vec![0, 1, 2]]);
+        assert!(grp > seq);
+        // Grouped cost is max(0.1, 0.1, 0.0667) = 0.1 over serial 0.4.
+        assert!((grp - 1.0 / 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decomposition_predicts_grouped_speedup() {
+        let m = MetricsReport {
+            total_seconds: 1.0,
+            phases: vec![
+                PhaseTime {
+                    label: "a".into(),
+                    seconds: 0.3,
+                    spans: 1,
+                    fraction: 0.3,
+                },
+                PhaseTime {
+                    label: "b".into(),
+                    seconds: 0.2,
+                    spans: 1,
+                    fraction: 0.2,
+                },
+            ],
+            spes: vec![],
+            eib: EibMetrics {
+                transfers: 0,
+                bytes: 0,
+                utilization: 0.0,
+                queued_cycles: 0,
+            },
+            dma_latency: LogHistogram::new(),
+            mailbox_stall: LogHistogram::new(),
+        };
+        let d = m.amdahl_decomposition();
+        assert!((d.serial_seconds - 0.5).abs() < 1e-12);
+        // Grouping both phases: 1 / (0.5 + max(0.3, 0.2)) = 1.25.
+        let s = d.predicted_grouped_speedup(&[vec![0, 1]]);
+        assert!((s - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trackdata_merge_combines_streams() {
+        let mut a = Tracer::new(TraceConfig::Full, Track::Spe(1), 3.2e9);
+        a.span(EventKind::MailboxRecv, "mbox_recv", 0, 10, 1, 0);
+        a.count(Counter::MailboxRecvs, 1);
+        let mut b = Tracer::new(TraceConfig::Full, Track::Spe(1), 3.2e9);
+        b.span(EventKind::DmaGet, "dma_get", 5, 20, 128, 0);
+        b.count(Counter::DmaGets, 1);
+        b.record_dma_latency(20);
+        let mut d = a.finish();
+        d.merge(b.finish());
+        assert_eq!(d.events.len(), 2);
+        assert_eq!(d.counters.get(Counter::MailboxRecvs), 1);
+        assert_eq!(d.counters.get(Counter::DmaGets), 1);
+        assert_eq!(d.dma_latency.count(), 1);
+    }
+
+    #[test]
+    fn report_counter_sums_across_tracks() {
+        let mut a = Tracer::new(TraceConfig::Counters, Track::Spe(0), 3.2e9);
+        a.count(Counter::DmaBytesIn, 100);
+        a.count_max(Counter::TotalCycles, 500);
+        let mut b = Tracer::new(TraceConfig::Counters, Track::Spe(1), 3.2e9);
+        b.count(Counter::DmaBytesIn, 50);
+        b.count_max(Counter::TotalCycles, 900);
+        let r = TraceReport {
+            tracks: vec![a.finish(), b.finish()],
+        };
+        assert_eq!(r.counter(Counter::DmaBytesIn), 150);
+        assert_eq!(r.counter(Counter::TotalCycles), 900);
+    }
+}

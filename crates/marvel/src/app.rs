@@ -16,16 +16,15 @@
 
 use std::sync::Arc;
 
-use cell_core::{
-    CellError, CellResult, CostModel, MachineProfile, OpProfile, VirtualDuration,
-};
+use cell_core::{CellError, CellResult, CostModel, MachineProfile, OpProfile, VirtualDuration};
 use cell_sys::machine::{CellMachine, SpeHandle, SpeReport};
 use cell_sys::ppe::Ppe;
+use cell_trace::{TraceConfig, TraceReport};
 use portkit::interface::{ReplyMode, SpeInterface};
 use portkit::profile::CoverageProfiler;
 
-use crate::classify::svm::SvmModel;
 use crate::classify::paper_model_size;
+use crate::classify::svm::SvmModel;
 use crate::codec::{self, Compressed};
 use crate::features::{correlogram, edge, histogram, texture, Feature, KernelKind};
 use crate::image::ColorImage;
@@ -47,8 +46,12 @@ pub const ONE_TIME_OVERHEAD: f64 = 0.100; // seconds
 pub const DISK_READ_PER_IMAGE: f64 = 0.0006; // seconds
 
 /// The extraction kernels in pipeline order.
-pub const EXTRACT_KINDS: [KernelKind; 4] =
-    [KernelKind::Ch, KernelKind::Cc, KernelKind::Tx, KernelKind::Eh];
+pub const EXTRACT_KINDS: [KernelKind; 4] = [
+    KernelKind::Ch,
+    KernelKind::Cc,
+    KernelKind::Tx,
+    KernelKind::Eh,
+];
 
 /// The per-concept model set (one SVM per feature kind, paper §5.5
 /// collection sizes).
@@ -76,7 +79,12 @@ impl MarvelModels {
     }
 
     pub fn get(&self, kind: KernelKind) -> &SvmModel {
-        &self.models.iter().find(|(k, _)| *k == kind).expect("extraction kind").1
+        &self
+            .models
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .expect("extraction kind")
+            .1
     }
 
     /// Total wire bytes of the collection.
@@ -95,11 +103,20 @@ pub struct ImageAnalysis {
 
 impl ImageAnalysis {
     pub fn feature(&self, kind: KernelKind) -> &Feature {
-        &self.features.iter().find(|(k, _)| *k == kind).expect("feature").1
+        &self
+            .features
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .expect("feature")
+            .1
     }
 
     pub fn score(&self, kind: KernelKind) -> f32 {
-        self.scores.iter().find(|(k, _)| *k == kind).expect("score").1
+        self.scores
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .expect("score")
+            .1
     }
 }
 
@@ -117,7 +134,11 @@ pub struct ReferenceMarvel {
 
 impl ReferenceMarvel {
     pub fn new(seed: u64) -> Self {
-        ReferenceMarvel { models: MarvelModels::synthetic(seed), profiler: CoverageProfiler::new(), images: 0 }
+        ReferenceMarvel {
+            models: MarvelModels::synthetic(seed),
+            profiler: CoverageProfiler::new(),
+            images: 0,
+        }
     }
 
     pub fn models(&self) -> &MarvelModels {
@@ -189,7 +210,10 @@ impl ReferenceMarvel {
     }
 
     /// The §3.2 profiling step: per-phase coverage on `model`.
-    pub fn coverage(&self, model: &MachineProfile) -> CellResult<Vec<portkit::profile::CoverageRow>> {
+    pub fn coverage(
+        &self,
+        model: &MachineProfile,
+    ) -> CellResult<Vec<portkit::profile::CoverageRow>> {
         self.profiler.report(model)
     }
 
@@ -235,7 +259,9 @@ impl ReferenceMarvel {
         let prof = self
             .profiler
             .phase_profile(phase)
-            .ok_or_else(|| CellError::BadData { message: format!("no phase `{phase}`") })?;
+            .ok_or_else(|| CellError::BadData {
+                message: format!("no phase `{phase}`"),
+            })?;
         Ok(model.time(prof))
     }
 }
@@ -271,8 +297,6 @@ pub struct CellMarvel {
     model_eas: Vec<(KernelKind, u64, usize)>,
     scenario: Scenario,
     images: usize,
-    /// PPE-observed kernel spans, when tracing is enabled.
-    timeline: Option<portkit::trace::Timeline>,
 }
 
 impl CellMarvel {
@@ -280,7 +304,21 @@ impl CellMarvel {
     ///
     /// `optimized = false` runs the freshly ported kernels of §5.3.
     pub fn new(scenario: Scenario, optimized: bool, seed: u64) -> CellResult<Self> {
+        Self::with_trace(scenario, optimized, seed, TraceConfig::Off)
+    }
+
+    /// As [`CellMarvel::new`], but with tracing armed on every layer
+    /// (PPE, SPEs, MFCs, EIB) before any thread spawns, so the resulting
+    /// [`TraceReport`] from [`CellMarvel::finish_traced`] covers the whole
+    /// run.
+    pub fn with_trace(
+        scenario: Scenario,
+        optimized: bool,
+        seed: u64,
+        trace: TraceConfig,
+    ) -> CellResult<Self> {
         let mut machine = CellMachine::cell_be();
+        machine.set_trace_config(trace);
         let ppe = machine.ppe();
         let models = MarvelModels::synthetic(seed);
 
@@ -300,7 +338,11 @@ impl CellMarvel {
         for (spe, kind) in EXTRACT_KINDS.into_iter().enumerate() {
             let (d, ops) = extract_dispatcher(kind, optimized, with_detect, ReplyMode::Polling);
             handles.push(machine.spawn(spe, Box::new(d))?);
-            stubs.push((kind, SpeInterface::new(kind.name(), spe, ReplyMode::Polling), ops));
+            stubs.push((
+                kind,
+                SpeInterface::new(kind.name(), spe, ReplyMode::Polling),
+                ops,
+            ));
         }
         let (cd, cd_opcode) = detect_dispatcher(ReplyMode::Polling);
         handles.push(machine.spawn(4, Box::new(cd))?);
@@ -317,20 +359,32 @@ impl CellMarvel {
             model_eas,
             scenario,
             images: 0,
-            timeline: None,
         })
     }
 
-    /// Start recording PPE-observed kernel spans; render them with
+    /// Start recording PPE-observed dispatch spans; render them with
     /// [`CellMarvel::timeline`] after a run. Spans are what the PPE sees
-    /// (send → reply), which is exactly the Fig. 4 view.
+    /// (send → reply), which is exactly the Fig. 4 view. For whole-machine
+    /// tracing (SPEs, MFCs, EIB) build with [`CellMarvel::with_trace`]
+    /// instead — the SPE threads are already running by the time this can
+    /// be called, so only the PPE track is affected here.
     pub fn enable_tracing(&mut self) {
-        self.timeline = Some(portkit::trace::Timeline::new());
+        self.ppe.tracer_mut().set_config(TraceConfig::Full);
     }
 
-    /// The recorded timeline, if tracing was enabled.
-    pub fn timeline(&self) -> Option<&portkit::trace::Timeline> {
-        self.timeline.as_ref()
+    /// The Fig. 4 timeline, reconstructed from the PPE's recorded dispatch
+    /// spans. `None` unless event tracing is on (via
+    /// [`CellMarvel::enable_tracing`] or a [`CellMarvel::with_trace`]
+    /// config of [`TraceConfig::Full`]).
+    pub fn timeline(&self) -> Option<portkit::trace::Timeline> {
+        if !self.ppe.tracer().config().events() {
+            return None;
+        }
+        let hz = self.ppe.clock.frequency().hertz();
+        Some(portkit::trace::Timeline::from_dispatch_events(
+            self.ppe.tracer().events(),
+            hz,
+        ))
     }
 
     /// Bus statistics so far (utilization reporting).
@@ -356,7 +410,11 @@ impl CellMarvel {
     }
 
     fn model_ea(&self, kind: KernelKind) -> (u64, usize) {
-        let (_, ea, bytes) = self.model_eas.iter().find(|(k, _, _)| *k == kind).expect("model");
+        let (_, ea, bytes) = self
+            .model_eas
+            .iter()
+            .find(|(k, _, _)| *k == kind)
+            .expect("model");
         (*ea, *bytes)
     }
 
@@ -398,7 +456,10 @@ impl CellMarvel {
     ///
     /// Uses parallel extraction regardless of the configured scenario;
     /// detection runs on the dedicated CD SPE.
-    pub fn analyze_batch_pipelined(&mut self, inputs: &[Compressed]) -> CellResult<Vec<ImageAnalysis>> {
+    pub fn analyze_batch_pipelined(
+        &mut self,
+        inputs: &[Compressed],
+    ) -> CellResult<Vec<ImageAnalysis>> {
         let mem = Arc::clone(self.ppe.mem());
         let mut results = Vec::new();
         if inputs.is_empty() {
@@ -412,9 +473,10 @@ impl CellMarvel {
             for i in 0..self.stubs.len() {
                 let (kind, ops) = (self.stubs[i].0, self.stubs[i].2);
                 let (wrapper, wire) = prepare_extract(&mem, kind, image_ea, w, h)?;
-                let t0 = self.ppe.elapsed();
-                self.stubs[i].1.send(&mut self.ppe, ops.extract, wrapper.addr_word()?)?;
-                wrappers.push((kind, wrapper, wire, t0));
+                self.stubs[i]
+                    .1
+                    .send(&mut self.ppe, ops.extract, wrapper.addr_word()?)?;
+                wrappers.push((kind, wrapper, wire));
             }
             // Overlap: decode + upload the next image on the PPE.
             if next < inputs.len() {
@@ -423,11 +485,8 @@ impl CellMarvel {
             }
             // Collect this image's features and run its detections.
             let mut features = Vec::new();
-            for (i, (kind, wrapper, wire, t0)) in wrappers.into_iter().enumerate() {
+            for (i, (kind, wrapper, wire)) in wrappers.into_iter().enumerate() {
                 self.stubs[i].1.wait(&mut self.ppe)?;
-                if let Some(tl) = self.timeline.as_mut() {
-                    tl.record(kind.name(), i, t0, self.ppe.elapsed());
-                }
                 features.push((kind, collect_extract(&wrapper, &wire)?));
                 wrapper.free()?;
             }
@@ -467,12 +526,7 @@ impl CellMarvel {
             let (kind, ops) = (self.stubs[i].0, self.stubs[i].2);
             let (wrapper, wire) = prepare_extract(mem, kind, image_ea, img.width(), img.height())?;
             let iface = &mut self.stubs[i].1;
-            let t0 = self.ppe.elapsed();
             iface.send_and_wait(&mut self.ppe, ops.extract, wrapper.addr_word()?)?;
-            let t1 = self.ppe.elapsed();
-            if let Some(tl) = self.timeline.as_mut() {
-                tl.record(kind.name(), i, t0, t1);
-            }
             features.push((kind, collect_extract(&wrapper, &wire)?));
             wrapper.free()?;
         }
@@ -491,16 +545,14 @@ impl CellMarvel {
         for i in 0..self.stubs.len() {
             let (kind, ops) = (self.stubs[i].0, self.stubs[i].2);
             let (wrapper, wire) = prepare_extract(mem, kind, image_ea, img.width(), img.height())?;
-            let t0 = self.ppe.elapsed();
-            self.stubs[i].1.send(&mut self.ppe, ops.extract, wrapper.addr_word()?)?;
-            wrappers.push((kind, wrapper, wire, t0));
+            self.stubs[i]
+                .1
+                .send(&mut self.ppe, ops.extract, wrapper.addr_word()?)?;
+            wrappers.push((kind, wrapper, wire));
         }
         let mut features = Vec::new();
-        for (i, (kind, wrapper, wire, t0)) in wrappers.into_iter().enumerate() {
+        for (i, (kind, wrapper, wire)) in wrappers.into_iter().enumerate() {
             self.stubs[i].1.wait(&mut self.ppe)?;
-            if let Some(tl) = self.timeline.as_mut() {
-                tl.record(kind.name(), i, t0, self.ppe.elapsed());
-            }
             features.push((kind, collect_extract(&wrapper, &wire)?));
             wrapper.free()?;
         }
@@ -520,35 +572,34 @@ impl CellMarvel {
         for i in 0..self.stubs.len() {
             let (kind, ops) = (self.stubs[i].0, self.stubs[i].2);
             let (wrapper, wire) = prepare_extract(mem, kind, image_ea, img.width(), img.height())?;
-            let t0 = self.ppe.elapsed();
-            self.stubs[i].1.send(&mut self.ppe, ops.extract, wrapper.addr_word()?)?;
-            wrappers.push((kind, wrapper, wire, t0));
+            self.stubs[i]
+                .1
+                .send(&mut self.ppe, ops.extract, wrapper.addr_word()?)?;
+            wrappers.push((kind, wrapper, wire));
         }
         let mut features = Vec::new();
         let mut detect_wrappers = Vec::new();
-        for (i, (kind, wrapper, wire, t0)) in wrappers.into_iter().enumerate() {
+        for (i, (kind, wrapper, wire)) in wrappers.into_iter().enumerate() {
             self.stubs[i].1.wait(&mut self.ppe)?;
-            if let Some(tl) = self.timeline.as_mut() {
-                tl.record(kind.name(), i, t0, self.ppe.elapsed());
-            }
             let feature = collect_extract(&wrapper, &wire)?;
             wrapper.free()?;
             let (model_ea, model_bytes) = self.model_ea(kind);
             let (dw, dwire) = prepare_detect(mem, &feature, model_ea, model_bytes)?;
-            let detect_op = self.stubs[i].2.detect.ok_or_else(|| CellError::BadKernelSpec {
-                message: "replicated scenario needs detect-capable dispatchers".to_string(),
-            })?;
-            let td = self.ppe.elapsed();
-            self.stubs[i].1.send(&mut self.ppe, detect_op, dw.addr_word()?)?;
+            let detect_op = self.stubs[i]
+                .2
+                .detect
+                .ok_or_else(|| CellError::BadKernelSpec {
+                    message: "replicated scenario needs detect-capable dispatchers".to_string(),
+                })?;
+            self.stubs[i]
+                .1
+                .send(&mut self.ppe, detect_op, dw.addr_word()?)?;
             features.push((kind, feature));
-            detect_wrappers.push((kind, dw, dwire, td));
+            detect_wrappers.push((kind, dw, dwire));
         }
         let mut scores = Vec::new();
-        for (i, (kind, dw, dwire, td)) in detect_wrappers.into_iter().enumerate() {
+        for (i, (kind, dw, dwire)) in detect_wrappers.into_iter().enumerate() {
             self.stubs[i].1.wait(&mut self.ppe)?;
-            if let Some(tl) = self.timeline.as_mut() {
-                tl.record("det", i, td, self.ppe.elapsed());
-            }
             scores.push((kind, collect_detect(&dw, &dwire)?));
             dw.free()?;
         }
@@ -564,11 +615,8 @@ impl CellMarvel {
         for (kind, feature) in features {
             let (model_ea, model_bytes) = self.model_ea(*kind);
             let (dw, dwire) = prepare_detect(mem, feature, model_ea, model_bytes)?;
-            let t0 = self.ppe.elapsed();
-            self.cd_stub.send_and_wait(&mut self.ppe, self.cd_opcode, dw.addr_word()?)?;
-            if let Some(tl) = self.timeline.as_mut() {
-                tl.record("det", 4, t0, self.ppe.elapsed());
-            }
+            self.cd_stub
+                .send_and_wait(&mut self.ppe, self.cd_opcode, dw.addr_word()?)?;
             scores.push((*kind, collect_detect(&dw, &dwire)?));
             dw.free()?;
         }
@@ -587,18 +635,30 @@ impl CellMarvel {
     }
 
     /// Shut the kernels down and collect their reports.
-    pub fn finish(mut self) -> CellResult<(VirtualDuration, Vec<SpeReport>)> {
+    pub fn finish(self) -> CellResult<(VirtualDuration, Vec<SpeReport>)> {
+        let (elapsed, reports, _) = self.finish_traced()?;
+        Ok((elapsed, reports))
+    }
+
+    /// As [`CellMarvel::finish`], but also assemble the whole-machine
+    /// [`TraceReport`]: the PPE track, one track per joined SPE (its
+    /// mailbox/DMA/compute events merged by `into_report`), and the EIB
+    /// track. Empty tracks result when tracing was off.
+    pub fn finish_traced(mut self) -> CellResult<(VirtualDuration, Vec<SpeReport>, TraceReport)> {
         for (_, iface, _) in &self.stubs {
             iface.close(&mut self.ppe)?;
         }
         self.cd_stub.close(&mut self.ppe)?;
         let elapsed = self.ppe.elapsed();
+        let mut tracks = vec![self.ppe.take_trace()];
         let mut reports = Vec::new();
         for h in self.handles {
             reports.push(h.join()?);
         }
+        tracks.extend(reports.iter().map(|r| r.trace.clone()));
+        tracks.push(self.machine.take_eib_trace());
         self.machine.shutdown();
-        Ok((elapsed, reports))
+        Ok((elapsed, reports, TraceReport { tracks }))
     }
 }
 
@@ -631,7 +691,11 @@ mod tests {
         let mut app = ReferenceMarvel::new(2);
         app.analyze(&input).unwrap();
         let rows = app.coverage(&MachineProfile::ppe()).unwrap();
-        assert_eq!(rows[0].name, KernelKind::Cc.name(), "CC must dominate: {rows:?}");
+        assert_eq!(
+            rows[0].name,
+            KernelKind::Cc.name(),
+            "CC must dominate: {rows:?}"
+        );
         let combined = app.kernel_coverage(&MachineProfile::ppe()).unwrap();
         assert!(combined > 0.8, "kernels cover {combined:.2} of compute");
     }
@@ -646,7 +710,10 @@ mod tests {
         assert!(t_ppe.seconds() > t_lap.seconds());
         assert!(t_lap.seconds() > t_desk.seconds());
         let slow = t_ppe.seconds() / t_lap.seconds();
-        assert!((1.8..3.5).contains(&slow), "PPE/Laptop kernel slowdown {slow:.2}");
+        assert!(
+            (1.8..3.5).contains(&slow),
+            "PPE/Laptop kernel slowdown {slow:.2}"
+        );
     }
 
     #[test]
@@ -654,7 +721,11 @@ mod tests {
         let input = tiny_input(4);
         let mut reference = ReferenceMarvel::new(4);
         let want = reference.analyze(&input).unwrap();
-        for scenario in [Scenario::Sequential, Scenario::ParallelExtract, Scenario::ParallelReplicated] {
+        for scenario in [
+            Scenario::Sequential,
+            Scenario::ParallelExtract,
+            Scenario::ParallelReplicated,
+        ] {
             let mut cell = CellMarvel::new(scenario, true, 4).unwrap();
             let got = cell.analyze(&input).unwrap();
             for kind in EXTRACT_KINDS {
@@ -709,7 +780,10 @@ mod tests {
         };
         let opt = time(true);
         let unopt = time(false);
-        assert!(unopt.seconds() > 2.0 * opt.seconds(), "unopt {unopt} vs opt {opt}");
+        assert!(
+            unopt.seconds() > 2.0 * opt.seconds(),
+            "unopt {unopt} vs opt {opt}"
+        );
     }
 
     #[test]
@@ -719,15 +793,12 @@ mod tests {
         // SVM decision — the kNN path should then broadly agree with the
         // SVM path on those same images.
         let mut app = ReferenceMarvel::new(9);
-        let train: Vec<ImageAnalysis> =
-            (0..6).map(|i| app.analyze(&tiny_input(30 + i)).unwrap()).collect();
+        let train: Vec<ImageAnalysis> = (0..6)
+            .map(|i| app.analyze(&tiny_input(30 + i)).unwrap())
+            .collect();
         let mut exemplars = Vec::new();
         for kind in EXTRACT_KINDS {
-            let mut knn = KnnClassifier::new(
-                crate::kernels::feature_dim(kind),
-                3,
-            )
-            .unwrap();
+            let mut knn = KnnClassifier::new(crate::kernels::feature_dim(kind), 3).unwrap();
             for a in &train {
                 let label = if a.score(kind) > 0.0 { 1 } else { -1 };
                 knn.insert(a.feature(kind), label).unwrap();
@@ -746,7 +817,12 @@ mod tests {
         let _ = member;
         let self_check = app.detect_with_knn(&train[0], &exemplars).unwrap();
         for (kind, decision) in self_check {
-            assert_eq!(decision, train[0].score(kind) > 0.0, "{} disagreed", kind.name());
+            assert_eq!(
+                decision,
+                train[0].score(kind) > 0.0,
+                "{} disagreed",
+                kind.name()
+            );
         }
     }
 
@@ -766,7 +842,10 @@ mod tests {
         assert_eq!(n_seq, 8, "four extraction + four detection spans recorded");
         assert_eq!(n_par, 8);
         assert_eq!(peak_seq, 1, "Fig. 4(b): staircase");
-        assert!(peak_par >= 3, "Fig. 4(c): stacked bars, got peak {peak_par}");
+        assert!(
+            peak_par >= 3,
+            "Fig. 4(c): stacked bars, got peak {peak_par}"
+        );
     }
 
     #[test]

@@ -18,9 +18,16 @@ pub struct KnnClassifier {
 impl KnnClassifier {
     pub fn new(dim: usize, k: usize) -> CellResult<Self> {
         if dim == 0 || k == 0 {
-            return Err(CellError::BadData { message: format!("bad kNN params dim={dim} k={k}") });
+            return Err(CellError::BadData {
+                message: format!("bad kNN params dim={dim} k={k}"),
+            });
         }
-        Ok(KnnClassifier { dim, exemplars: Vec::new(), labels: Vec::new(), k })
+        Ok(KnnClassifier {
+            dim,
+            exemplars: Vec::new(),
+            labels: Vec::new(),
+            k,
+        })
     }
 
     pub fn len(&self) -> usize {
@@ -39,7 +46,9 @@ impl KnnClassifier {
             });
         }
         if label != 1 && label != -1 {
-            return Err(CellError::BadData { message: format!("label must be ±1, got {label}") });
+            return Err(CellError::BadData {
+                message: format!("label must be ±1, got {label}"),
+            });
         }
         self.exemplars.extend_from_slice(feature);
         self.labels.push(label);
@@ -62,10 +71,13 @@ impl KnnClassifier {
             });
         }
         if self.is_empty() {
-            return Err(CellError::BadData { message: "empty exemplar set".to_string() });
+            return Err(CellError::BadData {
+                message: "empty exemplar set".to_string(),
+            });
         }
-        let mut dists: Vec<(f32, i8)> =
-            (0..self.len()).map(|i| (self.d2(i, x), self.labels[i])).collect();
+        let mut dists: Vec<(f32, i8)> = (0..self.len())
+            .map(|i| (self.d2(i, x), self.labels[i]))
+            .collect();
         let k = self.k.min(dists.len());
         dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
         let vote: i32 = dists[..k].iter().map(|&(_, l)| l as i32).sum();

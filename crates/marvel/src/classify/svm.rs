@@ -12,10 +12,8 @@
 //! * **synthetic model generation** standing in for MARVEL's precomputed
 //!   concept models (seeded, deterministic).
 
-use cell_core::{align_up, CellError, CellResult, OpClass, OpProfile};
+use cell_core::{align_up, CellError, CellResult, OpClass, OpProfile, SplitMix64};
 use cell_spu::{Spu, V128};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Kernel function of a model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,7 +52,14 @@ impl SvmModel {
                 ),
             });
         }
-        Ok(SvmModel { name: name.into(), dim, kernel, support_vectors, alphas, bias })
+        Ok(SvmModel {
+            name: name.into(),
+            dim,
+            kernel,
+            support_vectors,
+            alphas,
+            bias,
+        })
     }
 
     pub fn num_vectors(&self) -> usize {
@@ -112,7 +117,7 @@ impl SvmModel {
             SvmKernel::Rbf { .. } => {
                 prof.record(OpClass::FpAdd, n * per_sv * 2); // sub + accumulate
                 prof.record(OpClass::FpMul, n * per_sv); // square
-                // expf ≈ 10 fp ops each.
+                                                         // expf ≈ 10 fp ops each.
                 prof.record(OpClass::FpMul, n * 5);
                 prof.record(OpClass::FpAdd, n * 5);
             }
@@ -169,7 +174,9 @@ impl SvmModel {
     /// parses records incrementally instead).
     pub fn from_wire(name: impl Into<String>, bytes: &[u8]) -> CellResult<Self> {
         if bytes.len() < Self::HEADER_BYTES {
-            return Err(CellError::BadData { message: "truncated SVM header".to_string() });
+            return Err(CellError::BadData {
+                message: "truncated SVM header".to_string(),
+            });
         }
         let rd_u32 = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
         let rd_f32 = |o: usize| f32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
@@ -178,12 +185,18 @@ impl SvmModel {
         let kernel = match rd_u32(8) {
             0 => SvmKernel::Linear,
             1 => SvmKernel::Rbf { gamma: rd_f32(12) },
-            k => return Err(CellError::BadData { message: format!("unknown kernel code {k}") }),
+            k => {
+                return Err(CellError::BadData {
+                    message: format!("unknown kernel code {k}"),
+                })
+            }
         };
         let bias = rd_f32(16);
         let rec = Self::record_bytes(dim);
         if bytes.len() < Self::HEADER_BYTES + n * rec {
-            return Err(CellError::BadData { message: "truncated SVM records".to_string() });
+            return Err(CellError::BadData {
+                message: "truncated SVM records".to_string(),
+            });
         }
         let mut alphas = Vec::with_capacity(n);
         let mut svs = Vec::with_capacity(n * dim);
@@ -201,31 +214,33 @@ impl SvmModel {
     /// shaped like the feature distribution (non-negative, histogram-ish)
     /// with alternating-sign alphas.
     pub fn synthetic(name: impl Into<String>, dim: usize, n: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x53564D); // "SVM"
+        let mut rng = SplitMix64::new(seed ^ 0x53564D); // "SVM"
         let mut svs = Vec::with_capacity(n * dim);
         let mut alphas = Vec::with_capacity(n);
         for i in 0..n {
             for _ in 0..dim {
-                svs.push(rng.gen_range(0.0f32..0.2));
+                svs.push(rng.next_f64() as f32 * 0.2);
             }
             let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
-            alphas.push(sign * rng.gen_range(0.1f32..1.0));
+            alphas.push(sign * (0.1 + rng.next_f64() as f32 * 0.9));
         }
         let gamma = 1.0 / dim as f32 * 8.0;
-        SvmModel::new(name, dim, SvmKernel::Rbf { gamma }, svs, alphas, rng.gen_range(-0.1..0.1))
-            .expect("synthetic model is consistent")
+        SvmModel::new(
+            name,
+            dim,
+            SvmKernel::Rbf { gamma },
+            svs,
+            alphas,
+            rng.next_f64() as f32 * 0.2 - 0.1,
+        )
+        .expect("synthetic model is consistent")
     }
 }
 
 /// SIMD scoring of one support-vector *record* (wire format) against a
 /// feature resident in LS — the inner loop of the SPE ConceptDet kernel.
 /// Returns the record's contribution `alpha * K(sv, x)`.
-pub fn score_record_simd(
-    spu: &mut Spu,
-    kernel: SvmKernel,
-    x: &[f32],
-    record: &[u8],
-) -> f32 {
+pub fn score_record_simd(spu: &mut Spu, kernel: SvmKernel, x: &[f32], record: &[u8]) -> f32 {
     let dim = x.len();
     let alpha = f32::from_le_bytes(record[0..4].try_into().unwrap());
     spu.scalar_op(1); // alpha fetch
@@ -282,15 +297,19 @@ mod tests {
     }
 
     fn feature(seed: u64) -> Vec<f32> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        (0..166).map(|_| rng.gen_range(0.0f32..0.2)).collect()
+        let mut rng = SplitMix64::new(seed);
+        (0..166).map(|_| rng.next_f64() as f32 * 0.2).collect()
     }
 
     #[test]
     fn model_validation() {
         assert!(SvmModel::new("x", 0, SvmKernel::Linear, vec![], vec![], 0.0).is_err());
-        assert!(SvmModel::new("x", 3, SvmKernel::Linear, vec![1.0; 5], vec![1.0, 2.0], 0.0).is_err());
-        assert!(SvmModel::new("x", 3, SvmKernel::Linear, vec![1.0; 6], vec![1.0, 2.0], 0.0).is_ok());
+        assert!(
+            SvmModel::new("x", 3, SvmKernel::Linear, vec![1.0; 5], vec![1.0, 2.0], 0.0).is_err()
+        );
+        assert!(
+            SvmModel::new("x", 3, SvmKernel::Linear, vec![1.0; 6], vec![1.0, 2.0], 0.0).is_ok()
+        );
     }
 
     #[test]

@@ -7,9 +7,7 @@
 //! is plenty for the linearly-separable synthetic concepts the examples
 //! and benchmarks use.
 
-use cell_core::{CellError, CellResult};
-use rand::rngs::StdRng;
-use rand::{seq::SliceRandom, Rng, SeedableRng};
+use cell_core::{CellError, CellResult, SplitMix64};
 
 use crate::classify::svm::{SvmKernel, SvmModel};
 
@@ -26,7 +24,11 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { lambda: 1e-3, epochs: 30, seed: 1 }
+        TrainConfig {
+            lambda: 1e-3,
+            epochs: 30,
+            seed: 1,
+        }
     }
 }
 
@@ -45,19 +47,23 @@ pub fn train_linear(
     }
     let dim = features[0].len();
     if dim == 0 || features.iter().any(|f| f.len() != dim) {
-        return Err(CellError::BadData { message: "inconsistent feature dimensions".to_string() });
+        return Err(CellError::BadData {
+            message: "inconsistent feature dimensions".to_string(),
+        });
     }
     if labels.iter().any(|&l| l != 1 && l != -1) {
-        return Err(CellError::BadData { message: "labels must be ±1".to_string() });
+        return Err(CellError::BadData {
+            message: "labels must be ±1".to_string(),
+        });
     }
 
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SplitMix64::new(cfg.seed);
     let mut w = vec![0.0f32; dim];
     let mut b = 0.0f32;
     let mut order: Vec<usize> = (0..features.len()).collect();
     let mut t = 1u64;
     for _ in 0..cfg.epochs {
-        order.shuffle(&mut rng);
+        rng.shuffle(&mut order);
         for &i in &order {
             let eta = 1.0 / (cfg.lambda * t as f32);
             let x = &features[i];
@@ -97,13 +103,11 @@ pub fn accuracy(model: &SvmModel, features: &[Vec<f32>], labels: &[i8]) -> CellR
 
 /// Generate a linearly separable synthetic concept set: positives shifted
 /// along a random direction.
-pub fn synthetic_concept(
-    dim: usize,
-    n_per_class: usize,
-    seed: u64,
-) -> (Vec<Vec<f32>>, Vec<i8>) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let direction: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+pub fn synthetic_concept(dim: usize, n_per_class: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<i8>) {
+    let mut rng = SplitMix64::new(seed);
+    let direction: Vec<f32> = (0..dim)
+        .map(|_| rng.next_f64() as f32 * 2.0 - 1.0)
+        .collect();
     let norm = dot(&direction, &direction).sqrt().max(1e-6);
     let mut features = Vec::with_capacity(2 * n_per_class);
     let mut labels = Vec::with_capacity(2 * n_per_class);
@@ -112,7 +116,7 @@ pub fn synthetic_concept(
             let x: Vec<f32> = direction
                 .iter()
                 .map(|&d| {
-                    let noise = rng.gen_range(-0.3f32..0.3);
+                    let noise = rng.next_f64() as f32 * 0.6 - 0.3;
                     0.5 + class as f32 * 0.8 * d / norm + noise
                 })
                 .collect();
@@ -140,7 +144,7 @@ mod tests {
         let (train_f, train_l) = synthetic_concept(16, 80, 6);
         let model = train_linear(&train_f, &train_l, TrainConfig::default()).unwrap();
         let (test_f, test_l) = synthetic_concept(16, 40, 999); // fresh noise, same structure? no —
-        // same seed-direction matters; use a split of the training distribution instead:
+                                                               // same seed-direction matters; use a split of the training distribution instead:
         let (all_f, all_l) = synthetic_concept(16, 120, 6);
         let (hold_f, hold_l) = (&all_f[160..], &all_l[160..]);
         let acc = accuracy(&model, hold_f, hold_l).unwrap();

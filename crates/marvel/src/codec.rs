@@ -65,7 +65,11 @@ fn dct_1d(input: &[f32; 8], output: &mut [f32; 8]) {
         for (n, &v) in input.iter().enumerate() {
             sum += v * (std::f32::consts::PI / 8.0 * (n as f32 + 0.5) * k as f32).cos();
         }
-        let scale = if k == 0 { (1.0f32 / 8.0).sqrt() } else { (2.0f32 / 8.0).sqrt() };
+        let scale = if k == 0 {
+            (1.0f32 / 8.0).sqrt()
+        } else {
+            (2.0f32 / 8.0).sqrt()
+        };
         *out = sum * scale;
     }
 }
@@ -199,7 +203,12 @@ pub fn encode(img: &ColorImage, quality: u8) -> Compressed {
         }
     }
 
-    Compressed { width: w as u32, height: h as u32, quality, payload }
+    Compressed {
+        width: w as u32,
+        height: h as u32,
+        quality,
+        payload,
+    }
 }
 
 /// Decode a compressed image.
@@ -216,7 +225,9 @@ pub fn decode_counted(c: &Compressed, prof: &mut OpProfile) -> CellResult<ColorI
 fn decode_internal(c: &Compressed, mut prof: Option<&mut OpProfile>) -> CellResult<ColorImage> {
     let (w, h) = (c.width as usize, c.height as usize);
     if w == 0 || h == 0 {
-        return Err(CellError::BadData { message: "empty compressed image".to_string() });
+        return Err(CellError::BadData {
+            message: "empty compressed image".to_string(),
+        });
     }
     let bw = w.div_ceil(BLOCK);
     let bh = h.div_ceil(BLOCK);
@@ -238,7 +249,9 @@ fn decode_internal(c: &Compressed, mut prof: Option<&mut OpProfile>) -> CellResu
                 })?;
                 zi += run as usize;
                 if zi >= 64 {
-                    return Err(CellError::BadData { message: "RLE run overflows block".to_string() });
+                    return Err(CellError::BadData {
+                        message: "RLE run overflows block".to_string(),
+                    });
                 }
                 let pos = order[zi];
                 let (u, v) = (pos % 8, pos / 8);
@@ -286,8 +299,11 @@ fn decode_internal(c: &Compressed, mut prof: Option<&mut OpProfile>) -> CellResu
     for y in 0..h {
         for x in 0..w {
             let i = y * bw * BLOCK + x;
-            let (r, g, b) =
-                ycbcr_to_rgb(planes[0][i] + 128.0, planes[1][i] + 128.0, planes[2][i] + 128.0);
+            let (r, g, b) = ycbcr_to_rgb(
+                planes[0][i] + 128.0,
+                planes[1][i] + 128.0,
+                planes[2][i] + 128.0,
+            );
             img.set(x, y, (r, g, b));
         }
     }
@@ -347,7 +363,12 @@ mod tests {
 
     #[test]
     fn ycbcr_roundtrip() {
-        for (r, g, b) in [(0u8, 0u8, 0u8), (255, 255, 255), (200, 30, 90), (12, 250, 128)] {
+        for (r, g, b) in [
+            (0u8, 0u8, 0u8),
+            (255, 255, 255),
+            (200, 30, 90),
+            (12, 250, 128),
+        ] {
             let (y, cb, cr) = rgb_to_ycbcr(r, g, b);
             let (r2, g2, b2) = ycbcr_to_rgb(y, cb, cr);
             assert!((r as i32 - r2 as i32).abs() <= 1);
@@ -372,7 +393,12 @@ mod tests {
         let img = ColorImage::synthetic(72, 48, 12).unwrap();
         let hi = encode(&img, 90);
         let lo = encode(&img, 10);
-        assert!(lo.size_bytes() < hi.size_bytes(), "{} !< {}", lo.size_bytes(), hi.size_bytes());
+        assert!(
+            lo.size_bytes() < hi.size_bytes(),
+            "{} !< {}",
+            lo.size_bytes(),
+            hi.size_bytes()
+        );
         let psnr_hi = psnr(&img, &decode(&hi).unwrap());
         let psnr_lo = psnr(&img, &decode(&lo).unwrap());
         assert!(psnr_hi > psnr_lo);
@@ -423,7 +449,12 @@ mod tests {
 
     #[test]
     fn empty_geometry_rejected() {
-        let c = Compressed { width: 0, height: 8, quality: 50, payload: vec![] };
+        let c = Compressed {
+            width: 0,
+            height: 8,
+            quality: 50,
+            payload: vec![],
+        };
         assert!(decode(&c).is_err());
     }
 }

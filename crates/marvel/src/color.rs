@@ -35,7 +35,11 @@ pub fn rgb_to_hsv(r: u8, g: u8, b: u8) -> (u16, u8, u8) {
     let min = r32.min(g32).min(b32);
     let delta = max - min;
     let v = max as u8;
-    let s = if max == 0 { 0 } else { (255 * delta / max) as u8 };
+    let s = if max == 0 {
+        0
+    } else {
+        (255 * delta / max) as u8
+    };
     let h = if delta == 0 {
         0
     } else if max == r32 {
@@ -60,7 +64,8 @@ pub fn quantize_rgb(r: u8, g: u8, b: u8) -> u8 {
         return (162 + (v as u32 * GRAY_BINS / 256)) as u8;
     }
     let hq = (h as u32 * HUE_BINS / 360).min(HUE_BINS - 1);
-    let sq = ((s as u32 - GRAY_SAT_THRESHOLD as u32) * SAT_BINS / (256 - GRAY_SAT_THRESHOLD as u32))
+    let sq = ((s as u32 - GRAY_SAT_THRESHOLD as u32) * SAT_BINS
+        / (256 - GRAY_SAT_THRESHOLD as u32))
         .min(SAT_BINS - 1);
     let vq = (v as u32 * VAL_BINS / 256).min(VAL_BINS - 1);
     (hq * SAT_BINS * VAL_BINS + sq * VAL_BINS + vq) as u8
@@ -218,7 +223,10 @@ mod tests {
         let max_bin = (0..256).rev().find(|&i| seen[i]).unwrap();
         assert!(max_bin < NUM_BINS, "bin {max_bin} out of range");
         let used = seen.iter().filter(|&&s| s).count();
-        assert!(used > 100, "only {used} bins used by the lattice — quantizer degenerate");
+        assert!(
+            used > 100,
+            "only {used} bins used by the lattice — quantizer degenerate"
+        );
     }
 
     #[test]
@@ -245,7 +253,10 @@ mod tests {
     fn counted_matches_uncounted() {
         let mut prof = OpProfile::new();
         for (r, g, b) in [(1u8, 2u8, 3u8), (200, 100, 50), (128, 128, 128)] {
-            assert_eq!(quantize_rgb(r, g, b), quantize_rgb_counted(r, g, b, &mut prof));
+            assert_eq!(
+                quantize_rgb(r, g, b),
+                quantize_rgb_counted(r, g, b, &mut prof)
+            );
         }
         assert!(prof.count(OpClass::IntDiv) == 6);
         assert!(prof.total_ops() > 0);

@@ -209,8 +209,12 @@ impl CorrelogramAcc {
                     let wx1 = (cx + RADIUS).min(w - 1);
                     let window = wrows * (wx1 - wx0 + 1) as u64 - 1;
                     let c = padded[crow + cx] as usize;
-                    let same =
-                        if lane < 8 { counts_lo[lane] } else { counts_hi[lane - 8] } as u64 - 1;
+                    let same = if lane < 8 {
+                        counts_lo[lane]
+                    } else {
+                        counts_hi[lane - 8]
+                    } as u64
+                        - 1;
                     self.same[c] += same;
                     self.examined[c] += window;
                     let _ = spu.extract_u16(if lane < 8 { acc_lo } else { acc_hi }, lane % 8);
@@ -284,7 +288,10 @@ mod tests {
     fn feature_shape_and_range() {
         let f = extract(&img());
         assert_eq!(f.len(), NUM_BINS);
-        assert!(f.iter().all(|&v| (0.0..=1.0).contains(&v)), "probabilities out of range");
+        assert!(
+            f.iter().all(|&v| (0.0..=1.0).contains(&v)),
+            "probabilities out of range"
+        );
         assert!(f.iter().any(|&v| v > 0.0));
     }
 
@@ -298,7 +305,10 @@ mod tests {
         }
         let f = extract(&flat);
         let bin = crate::color::quantize_rgb(0, 0, 255) as usize;
-        assert!((f[bin] - 1.0).abs() < 1e-6, "uniform image: every neighbour matches");
+        assert!(
+            (f[bin] - 1.0).abs() < 1e-6,
+            "uniform image: every neighbour matches"
+        );
     }
 
     #[test]
@@ -308,7 +318,11 @@ mod tests {
         let mut cb = ColorImage::new(24, 24).unwrap();
         for y in 0..24 {
             for x in 0..24 {
-                let c = if (x + y) % 2 == 0 { (255, 0, 0) } else { (0, 0, 255) };
+                let c = if (x + y) % 2 == 0 {
+                    (255, 0, 0)
+                } else {
+                    (0, 0, 255)
+                };
                 cb.set(x, y, c);
             }
         }

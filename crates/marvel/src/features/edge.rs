@@ -89,7 +89,12 @@ pub struct EdgeAcc {
 
 impl EdgeAcc {
     pub fn new(width: usize, height: usize) -> Self {
-        EdgeAcc { width, height, counts: [0; EH_DIM], region_pixels: [0; GRID * GRID] }
+        EdgeAcc {
+            width,
+            height,
+            counts: [0; EH_DIM],
+            region_pixels: [0; GRID * GRID],
+        }
     }
 
     #[inline]
@@ -426,7 +431,10 @@ mod tests {
         let t_ch = ppe.time(&ch_prof).seconds();
         // Paper coverage: EH 28 % vs CH 8 % → EH ≈ 3.5× CH on the PPE.
         let ratio = t_eh / t_ch;
-        assert!((1.5..8.0).contains(&ratio), "EH/CH PPE cost ratio {ratio:.2}");
+        assert!(
+            (1.5..8.0).contains(&ratio),
+            "EH/CH PPE cost ratio {ratio:.2}"
+        );
     }
 
     #[test]

@@ -49,7 +49,9 @@ pub struct SlicedHistogram {
 
 impl SlicedHistogram {
     pub fn new() -> Self {
-        SlicedHistogram { counts: [0; NUM_BINS] }
+        SlicedHistogram {
+            counts: [0; NUM_BINS],
+        }
     }
 
     /// Accumulate a band of interleaved RGB rows (scalar form).
@@ -233,7 +235,10 @@ mod tests {
         sl.update_simd(&mut spu, image.data(), &mut scratch);
         let c = spu.counters();
         let per_px = (c.even + c.odd + c.scalar) as f64 / image.pixel_count() as f64;
-        assert!(per_px < 8.0, "{per_px:.2} issues/pixel — SIMD CH too expensive");
+        assert!(
+            per_px < 8.0,
+            "{per_px:.2} issues/pixel — SIMD CH too expensive"
+        );
     }
 
     #[test]

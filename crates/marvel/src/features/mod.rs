@@ -41,8 +41,13 @@ pub enum KernelKind {
 }
 
 impl KernelKind {
-    pub const ALL: [KernelKind; 5] =
-        [KernelKind::Ch, KernelKind::Cc, KernelKind::Tx, KernelKind::Eh, KernelKind::Cd];
+    pub const ALL: [KernelKind; 5] = [
+        KernelKind::Ch,
+        KernelKind::Cc,
+        KernelKind::Tx,
+        KernelKind::Eh,
+        KernelKind::Cd,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -95,7 +100,10 @@ mod tests {
     fn kernel_names_and_paper_numbers() {
         assert_eq!(KernelKind::Cc.name(), "CCExtract");
         let total: f64 = KernelKind::ALL.iter().map(|k| k.paper_coverage()).sum();
-        assert!((total - 0.98).abs() < 1e-9, "paper coverage sums to 98 % (2 % preprocessing)");
+        assert!(
+            (total - 0.98).abs() < 1e-9,
+            "paper coverage sums to 98 % (2 % preprocessing)"
+        );
         assert!(KernelKind::Eh.paper_speedup() > KernelKind::Cd.paper_speedup());
     }
 

@@ -137,14 +137,23 @@ pub struct TextureAcc {
 
 impl TextureAcc {
     pub fn new(width: usize) -> Self {
-        TextureAcc { width, ll1: Vec::new(), level1_energy: [0; 3], rows_in: 0 }
+        TextureAcc {
+            width,
+            ll1: Vec::new(),
+            level1_energy: [0; 3],
+            rows_in: 0,
+        }
     }
 
     /// Feed a band of gray rows. Bands must contain an even number of
     /// rows (pairs are consumed whole); the total fed must equal the
     /// image height before `finish`.
     pub fn update_band(&mut self, gray_rows: &[u8]) {
-        assert_eq!(gray_rows.len() % (2 * self.width), 0, "bands must be whole row pairs");
+        assert_eq!(
+            gray_rows.len() % (2 * self.width),
+            0,
+            "bands must be whole row pairs"
+        );
         let w = self.width;
         for pair in gray_rows.chunks_exact(2 * w) {
             let (r0, r1) = pair.split_at(w);
@@ -168,12 +177,20 @@ impl TextureAcc {
     /// Even/odd columns separate with shuffle patterns; sums/differences
     /// run in i16 lanes (safe: |coeff| ≤ 1020).
     pub fn update_band_simd(&mut self, spu: &mut Spu, gray_rows: &[u8]) {
-        assert_eq!(gray_rows.len() % (2 * self.width), 0, "bands must be whole row pairs");
+        assert_eq!(
+            gray_rows.len() % (2 * self.width),
+            0,
+            "bands must be whole row pairs"
+        );
         let w = self.width;
         // Shuffle patterns: even bytes / odd bytes of a 16-byte register,
         // widened into u16 lanes (high byte zero via the 0x80 code).
-        let even_pat = V128::from_u8x16([0, 0x80, 2, 0x80, 4, 0x80, 6, 0x80, 8, 0x80, 10, 0x80, 12, 0x80, 14, 0x80]);
-        let odd_pat = V128::from_u8x16([1, 0x80, 3, 0x80, 5, 0x80, 7, 0x80, 9, 0x80, 11, 0x80, 13, 0x80, 15, 0x80]);
+        let even_pat = V128::from_u8x16([
+            0, 0x80, 2, 0x80, 4, 0x80, 6, 0x80, 8, 0x80, 10, 0x80, 12, 0x80, 14, 0x80,
+        ]);
+        let odd_pat = V128::from_u8x16([
+            1, 0x80, 3, 0x80, 5, 0x80, 7, 0x80, 9, 0x80, 11, 0x80, 13, 0x80, 15, 0x80,
+        ]);
 
         for (pair_idx, pair) in gray_rows.chunks_exact(2 * w).enumerate() {
             let _ = pair_idx;
@@ -333,7 +350,12 @@ mod tests {
             }
         }
         let f_smooth = extract(&smooth);
-        assert!(f_stripes[0] > 10.0 * f_smooth[0].max(1e-6), "stripes LH {} vs smooth {}", f_stripes[0], f_smooth[0]);
+        assert!(
+            f_stripes[0] > 10.0 * f_smooth[0].max(1e-6),
+            "stripes LH {} vs smooth {}",
+            f_stripes[0],
+            f_smooth[0]
+        );
         // Stripes are purely horizontal-frequency: HL (vertical detail)
         // stays at zero.
         assert_eq!(f_stripes[1], 0.0);
@@ -349,7 +371,11 @@ mod tests {
             for band in gray.data().chunks(band_pairs * 2 * gray.width()) {
                 acc.update_band(band);
             }
-            assert_eq!(acc.finish(), reference, "band of {band_pairs} row pairs diverged");
+            assert_eq!(
+                acc.finish(),
+                reference,
+                "band of {band_pairs} row pairs diverged"
+            );
         }
     }
 

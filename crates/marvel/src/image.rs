@@ -6,9 +6,7 @@
 //! regions, textured regions, edges, and color variety — so every feature
 //! extractor has real structure to measure.
 
-use cell_core::{CellError, CellResult};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cell_core::{CellError, CellResult, SplitMix64};
 
 /// The paper's test-image geometry.
 pub const PAPER_WIDTH: usize = 352;
@@ -26,15 +24,25 @@ pub struct ColorImage {
 impl ColorImage {
     pub fn new(width: usize, height: usize) -> CellResult<Self> {
         if width == 0 || height == 0 || width > 1 << 16 || height > 1 << 16 {
-            return Err(CellError::BadData { message: format!("bad image geometry {width}x{height}") });
+            return Err(CellError::BadData {
+                message: format!("bad image geometry {width}x{height}"),
+            });
         }
-        Ok(ColorImage { width, height, data: vec![0; width * height * 3] })
+        Ok(ColorImage {
+            width,
+            height,
+            data: vec![0; width * height * 3],
+        })
     }
 
     pub fn from_data(width: usize, height: usize, data: Vec<u8>) -> CellResult<Self> {
         if data.len() != width * height * 3 {
             return Err(CellError::BadData {
-                message: format!("{} bytes for {width}x{height} RGB (need {})", data.len(), width * height * 3),
+                message: format!(
+                    "{} bytes for {width}x{height} RGB (need {})",
+                    data.len(),
+                    width * height * 3
+                ),
             });
         }
         let mut img = Self::new(width, height)?;
@@ -104,14 +112,14 @@ impl ColorImage {
     /// noise. Distinct seeds give distinct scenes.
     pub fn synthetic(width: usize, height: usize, seed: u64) -> CellResult<Self> {
         let mut img = Self::new(width, height)?;
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x4D41_5256_454C_0001); // "MARVEL" tag
-        // Scene palette parameters.
-        let horizon = height * (40 + (rng.gen::<u32>() % 30) as usize) / 100;
-        let sky_hue = rng.gen_range(0u32..360);
+        let mut rng = SplitMix64::new(seed ^ 0x4D41_5256_454C_0001); // "MARVEL" tag
+                                                                     // Scene palette parameters.
+        let horizon = height * (40 + (rng.next_u32() % 30) as usize) / 100;
+        let sky_hue = rng.next_below(360) as u32;
         let ground_base: (u8, u8, u8) = (
-            rng.gen_range(40..120),
-            rng.gen_range(60..140),
-            rng.gen_range(20..90),
+            rng.next_in(40, 120) as u8,
+            rng.next_in(60, 140) as u8,
+            rng.next_in(20, 90) as u8,
         );
         for y in 0..height {
             for x in 0..width {
@@ -132,12 +140,21 @@ impl ColorImage {
             }
         }
         // A few rectangles: buildings/objects with crisp edges.
-        for _ in 0..rng.gen_range(3..8) {
-            let rw = rng.gen_range(width / 16..(width / 4).max(width / 16 + 1));
-            let rh = rng.gen_range(height / 12..(height / 3).max(height / 12 + 1));
-            let rx = rng.gen_range(0..width.saturating_sub(rw).max(1));
-            let ry = rng.gen_range(horizon / 2..height.saturating_sub(rh).max(horizon / 2 + 1));
-            let color: (u8, u8, u8) = (rng.gen(), rng.gen(), rng.gen());
+        for _ in 0..rng.next_in(3, 8) {
+            let rw =
+                rng.next_in(width as u64 / 16, (width / 4).max(width / 16 + 1) as u64) as usize;
+            let rh =
+                rng.next_in(height as u64 / 12, (height / 3).max(height / 12 + 1) as u64) as usize;
+            let rx = rng.next_below(width.saturating_sub(rw).max(1) as u64) as usize;
+            let ry = rng.next_in(
+                horizon as u64 / 2,
+                height.saturating_sub(rh).max(horizon / 2 + 1) as u64,
+            ) as usize;
+            let color: (u8, u8, u8) = (
+                rng.next_u32() as u8,
+                rng.next_u32() as u8,
+                rng.next_u32() as u8,
+            );
             for y in ry..(ry + rh).min(height) {
                 for x in rx..(rx + rw).min(width) {
                     img.set(x, y, color);
@@ -146,7 +163,7 @@ impl ColorImage {
         }
         // Sensor noise.
         for b in img.data.iter_mut() {
-            let n = rng.gen_range(-4i32..=4);
+            let n = rng.next_below(9) as i32 - 4;
             *b = clamp_u8(*b as i32 + n);
         }
         Ok(img)
@@ -155,7 +172,9 @@ impl ColorImage {
     /// The paper's test set: `n` distinct 352×240 scenes.
     pub fn paper_set(n: usize) -> Vec<ColorImage> {
         (0..n)
-            .map(|i| Self::synthetic(PAPER_WIDTH, PAPER_HEIGHT, 1000 + i as u64).expect("valid geometry"))
+            .map(|i| {
+                Self::synthetic(PAPER_WIDTH, PAPER_HEIGHT, 1000 + i as u64).expect("valid geometry")
+            })
             .collect()
     }
 
@@ -167,8 +186,16 @@ impl ColorImage {
         let mut out = ColorImage::new(new_w, new_h)?;
         // Fixed-point source step per destination pixel, corner-anchored:
         // destination pixel 0 samples source 0, the last samples the last.
-        let sx = if new_w > 1 { ((self.width - 1) << 8) / (new_w - 1) } else { 0 };
-        let sy = if new_h > 1 { ((self.height - 1) << 8) / (new_h - 1) } else { 0 };
+        let sx = if new_w > 1 {
+            ((self.width - 1) << 8) / (new_w - 1)
+        } else {
+            0
+        };
+        let sy = if new_h > 1 {
+            ((self.height - 1) << 8) / (new_h - 1)
+        } else {
+            0
+        };
         for y in 0..new_h {
             let fy = y * sy;
             let y0 = (fy >> 8).min(self.height - 1);
@@ -181,7 +208,8 @@ impl ColorImage {
                 let wx = (fx & 0xFF) as u32;
                 let mut rgb = [0u8; 3];
                 for (ch, out_ch) in rgb.iter_mut().enumerate() {
-                    let p = |px: usize, py: usize| self.data[(py * self.width + px) * 3 + ch] as u32;
+                    let p =
+                        |px: usize, py: usize| self.data[(py * self.width + px) * 3 + ch] as u32;
                     let top = p(x0, y0) * (256 - wx) + p(x1, y0) * wx;
                     let bot = p(x0, y1) * (256 - wx) + p(x1, y1) * wx;
                     *out_ch = ((top * (256 - wy) + bot * wy) >> 16) as u8;
@@ -238,30 +266,40 @@ impl ColorImage {
                 *pos += 1;
             }
             if start == *pos {
-                return Err(CellError::BadData { message: "truncated PPM header".to_string() });
+                return Err(CellError::BadData {
+                    message: "truncated PPM header".to_string(),
+                });
             }
             Ok(bytes[start..*pos].to_vec())
         }
         let magic = token(bytes, &mut pos)?;
         if magic != b"P6" {
-            return Err(CellError::BadData { message: "not a P6 PPM".to_string() });
+            return Err(CellError::BadData {
+                message: "not a P6 PPM".to_string(),
+            });
         }
         let parse = |t: Vec<u8>| -> CellResult<usize> {
             std::str::from_utf8(&t)
                 .ok()
                 .and_then(|s| s.parse().ok())
-                .ok_or(CellError::BadData { message: "bad PPM number".to_string() })
+                .ok_or(CellError::BadData {
+                    message: "bad PPM number".to_string(),
+                })
         };
         let width = parse(token(bytes, &mut pos)?)?;
         let height = parse(token(bytes, &mut pos)?)?;
         let maxval = parse(token(bytes, &mut pos)?)?;
         if maxval != 255 {
-            return Err(CellError::BadData { message: format!("unsupported PPM maxval {maxval}") });
+            return Err(CellError::BadData {
+                message: format!("unsupported PPM maxval {maxval}"),
+            });
         }
         pos += 1; // single whitespace after maxval
         let need = width * height * 3;
         if bytes.len() < pos + need {
-            return Err(CellError::BadData { message: "truncated PPM payload".to_string() });
+            return Err(CellError::BadData {
+                message: "truncated PPM payload".to_string(),
+            });
         }
         Self::from_data(width, height, bytes[pos..pos + need].to_vec())
     }
@@ -278,9 +316,15 @@ pub struct GrayImage {
 impl GrayImage {
     pub fn new(width: usize, height: usize) -> CellResult<Self> {
         if width == 0 || height == 0 {
-            return Err(CellError::BadData { message: format!("bad image geometry {width}x{height}") });
+            return Err(CellError::BadData {
+                message: format!("bad image geometry {width}x{height}"),
+            });
         }
-        Ok(GrayImage { width, height, data: vec![0; width * height] })
+        Ok(GrayImage {
+            width,
+            height,
+            data: vec![0; width * height],
+        })
     }
 
     pub fn from_data(width: usize, height: usize, data: Vec<u8>) -> CellResult<Self> {
@@ -289,7 +333,11 @@ impl GrayImage {
                 message: format!("{} bytes for {width}x{height} gray", data.len()),
             });
         }
-        Ok(GrayImage { width, height, data })
+        Ok(GrayImage {
+            width,
+            height,
+            data,
+        })
     }
 
     pub fn width(&self) -> usize {
@@ -399,9 +447,15 @@ mod tests {
         assert_eq!(a, b, "same seed must give the same scene");
         assert_ne!(a, c, "different seeds must differ");
         // Should contain some color variety (not a flat image).
-        let distinct: std::collections::HashSet<(u8, u8, u8)> =
-            (0..48).flat_map(|y| (0..64).map(move |x| (x, y))).map(|(x, y)| a.get(x, y)).collect();
-        assert!(distinct.len() > 50, "only {} distinct colors", distinct.len());
+        let distinct: std::collections::HashSet<(u8, u8, u8)> = (0..48)
+            .flat_map(|y| (0..64).map(move |x| (x, y)))
+            .map(|(x, y)| a.get(x, y))
+            .collect();
+        assert!(
+            distinct.len() > 50,
+            "only {} distinct colors",
+            distinct.len()
+        );
     }
 
     #[test]
@@ -435,8 +489,14 @@ mod tests {
     #[test]
     fn ppm_rejects_garbage() {
         assert!(ColorImage::from_ppm(b"P5\n1 1\n255\nx").is_err());
-        assert!(ColorImage::from_ppm(b"P6\n4 4\n255\n").is_err(), "truncated payload");
-        assert!(ColorImage::from_ppm(b"P6\n4 4\n65535\n").is_err(), "wide maxval");
+        assert!(
+            ColorImage::from_ppm(b"P6\n4 4\n255\n").is_err(),
+            "truncated payload"
+        );
+        assert!(
+            ColorImage::from_ppm(b"P6\n4 4\n65535\n").is_err(),
+            "wide maxval"
+        );
         assert!(ColorImage::from_ppm(b"").is_err());
     }
 

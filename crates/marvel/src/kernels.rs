@@ -224,13 +224,23 @@ struct ExtractHeader {
     out_ea: u64,
 }
 
-fn read_extract_header(env: &mut SpeEnv, addr: u32, wire: &ExtractWire) -> CellResult<ExtractHeader> {
+fn read_extract_header(
+    env: &mut SpeEnv,
+    addr: u32,
+    wire: &ExtractWire,
+) -> CellResult<ExtractHeader> {
     let hdr = wire.header_bytes();
     let la = env.ls.alloc(hdr, 16)?;
     env.dma_get_sync(la, addr as u64, hdr, 0)?;
-    let width = env.ls.read_u32(la + wire.layout.offset(wire.width) as u32)? as usize;
-    let height = env.ls.read_u32(la + wire.layout.offset(wire.height) as u32)? as usize;
-    let stride = env.ls.read_u32(la + wire.layout.offset(wire.stride) as u32)? as usize;
+    let width = env
+        .ls
+        .read_u32(la + wire.layout.offset(wire.width) as u32)? as usize;
+    let height = env
+        .ls
+        .read_u32(la + wire.layout.offset(wire.height) as u32)? as usize;
+    let stride = env
+        .ls
+        .read_u32(la + wire.layout.offset(wire.stride) as u32)? as usize;
     let off = wire.layout.offset(wire.image_ea) as u32;
     let lo = env.ls.read_u32(la + off)? as u64;
     let hi = env.ls.read_u32(la + off + 4)? as u64;
@@ -321,7 +331,10 @@ fn cc_body(env: &mut SpeEnv, addr: u32, optimized: bool) -> CellResult<u32> {
         let rows = plan.bot - plan.top;
         // Quantize the fetched rows (including halos) into the bins plane.
         for r in 0..rows {
-            let row = env.ls.slice(la + (r * h.stride) as u32, h.width * 3)?.to_vec();
+            let row = env
+                .ls
+                .slice(la + (r * h.stride) as u32, h.width * 3)?
+                .to_vec();
             let mut bins_row = vec![0u8; h.width];
             if optimized {
                 crate::color::quantize_row_simd(&mut env.spu, &row, &mut bins_row);
@@ -340,7 +353,13 @@ fn cc_body(env: &mut SpeEnv, addr: u32, optimized: bool) -> CellResult<u32> {
         if optimized {
             acc.update_rows_simd(&mut env.spu, &bins, plan.y0, plan.y1);
         } else {
-            correlogram::update_rows_unoptimized_spu(&mut acc, &mut env.spu, &bins, plan.y0, plan.y1);
+            correlogram::update_rows_unoptimized_spu(
+                &mut acc,
+                &mut env.spu,
+                &bins,
+                plan.y0,
+                plan.y1,
+            );
         }
         env.charge_compute();
         reader.release(env)?;
@@ -368,7 +387,10 @@ fn eh_body(env: &mut SpeEnv, addr: u32, optimized: bool) -> CellResult<u32> {
     while let Some((la, plan)) = reader.acquire(env)? {
         let rows = plan.bot - plan.top;
         for r in 0..rows {
-            let row = env.ls.slice(la + (r * h.stride) as u32, h.width * 3)?.to_vec();
+            let row = env
+                .ls
+                .slice(la + (r * h.stride) as u32, h.width * 3)?
+                .to_vec();
             let mut gray_row = vec![0u8; h.width];
             if optimized {
                 gray_row_simd(&mut env.spu, &row, &mut gray_row);
@@ -410,11 +432,22 @@ fn tx_body(env: &mut SpeEnv, addr: u32, optimized: bool) -> CellResult<u32> {
         let rows = plan.bot - plan.top;
         let mut gray = vec![0u8; rows * h.width];
         for r in 0..rows {
-            let row = env.ls.slice(la + (r * h.stride) as u32, h.width * 3)?.to_vec();
+            let row = env
+                .ls
+                .slice(la + (r * h.stride) as u32, h.width * 3)?
+                .to_vec();
             if optimized {
-                gray_row_simd(&mut env.spu, &row, &mut gray[r * h.width..(r + 1) * h.width]);
+                gray_row_simd(
+                    &mut env.spu,
+                    &row,
+                    &mut gray[r * h.width..(r + 1) * h.width],
+                );
             } else {
-                gray_row_unoptimized(&mut env.spu, &row, &mut gray[r * h.width..(r + 1) * h.width]);
+                gray_row_unoptimized(
+                    &mut env.spu,
+                    &row,
+                    &mut gray[r * h.width..(r + 1) * h.width],
+                );
             }
         }
         if optimized {
@@ -440,16 +473,20 @@ fn cd_body(env: &mut SpeEnv, addr: u32) -> CellResult<u32> {
     env.dma_get_sync(la16, addr as u64, 16, 0)?;
     let dim = env.ls.read_u32(la16)? as usize;
     if dim == 0 || dim > 4096 {
-        return Err(CellError::BadData { message: format!("bad CD feature dim {dim}") });
+        return Err(CellError::BadData {
+            message: format!("bad CD feature dim {dim}"),
+        });
     }
     let wire = DetectWire::new(dim).map_err(to_fault(env))?;
     let in_bytes = wire.in_bytes();
     let la = env.ls.alloc(in_bytes, 16)?;
     env.dma_get_sync(la, addr as u64, in_bytes, 0)?;
-    let model_bytes = env.ls.read_u32(la + wire.layout.offset(wire.model_bytes) as u32)? as usize;
+    let model_bytes = env
+        .ls
+        .read_u32(la + wire.layout.offset(wire.model_bytes) as u32)? as usize;
     let ea_off = wire.layout.offset(wire.model_ea) as u32;
-    let model_ea = env.ls.read_u32(la + ea_off)? as u64
-        | ((env.ls.read_u32(la + ea_off + 4)? as u64) << 32);
+    let model_ea =
+        env.ls.read_u32(la + ea_off)? as u64 | ((env.ls.read_u32(la + ea_off + 4)? as u64) << 32);
     let mut x = vec![0.0f32; dim];
     let feat_off = wire.layout.offset(wire.feature) as u32;
     for (i, xi) in x.iter_mut().enumerate() {
@@ -465,18 +502,28 @@ fn cd_body(env: &mut SpeEnv, addr: u32) -> CellResult<u32> {
     let gamma = env.ls.read_f32(mh + 12)?;
     let bias = env.ls.read_f32(mh + 16)?;
     if mdim != dim {
-        return Err(CellError::BadData { message: format!("model dim {mdim} != feature dim {dim}") });
+        return Err(CellError::BadData {
+            message: format!("model dim {mdim} != feature dim {dim}"),
+        });
     }
     let kernel = match kcode {
         0 => SvmKernel::Linear,
         1 => SvmKernel::Rbf { gamma },
-        k => return Err(CellError::BadData { message: format!("unknown kernel code {k}") }),
+        k => {
+            return Err(CellError::BadData {
+                message: format!("unknown kernel code {k}"),
+            })
+        }
     };
     let rec = SvmModel::record_bytes(dim);
     let total = n * rec;
     if SvmModel::HEADER_BYTES + total != model_bytes {
         return Err(CellError::BadData {
-            message: format!("model wire size mismatch: {} != {}", SvmModel::HEADER_BYTES + total, model_bytes),
+            message: format!(
+                "model wire size mismatch: {} != {}",
+                SvmModel::HEADER_BYTES + total,
+                model_bytes
+            ),
         });
     }
     // Stream records: whole multiples of the record size per chunk.
@@ -510,7 +557,10 @@ fn cd_body(env: &mut SpeEnv, addr: u32) -> CellResult<u32> {
 
 fn to_fault(env: &SpeEnv) -> impl Fn(CellError) -> CellError + '_ {
     let spe = env.spe_id();
-    move |e| CellError::SpeFault { spe, message: e.to_string() }
+    move |e| CellError::SpeFault {
+        spe,
+        message: e.to_string(),
+    }
 }
 
 // =========================================================================
@@ -627,7 +677,8 @@ mod tests {
 
         let mem = std::sync::Arc::clone(ppe.mem());
         let image_ea = upload_image(&mem, img).unwrap();
-        let (wrapper, wire) = prepare_extract(&mem, kind, image_ea, img.width(), img.height()).unwrap();
+        let (wrapper, wire) =
+            prepare_extract(&mem, kind, image_ea, img.width(), img.height()).unwrap();
         let status = iface
             .send_and_wait(&mut ppe, ops.extract, wrapper.addr_word().unwrap())
             .unwrap();
@@ -818,7 +869,10 @@ mod tests {
         }
         let t1 = run(1);
         let t2 = run(2);
-        assert!(t2 < t1, "double-buffered bands ({t2}) should beat single ({t1})");
+        assert!(
+            t2 < t1,
+            "double-buffered bands ({t2}) should beat single ({t1})"
+        );
     }
 
     #[test]

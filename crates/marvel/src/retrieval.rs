@@ -46,11 +46,19 @@ fn similarity(kind: KernelKind, a: &[f32], b: &[f32]) -> f64 {
         // and the CC probability vector.
         KernelKind::Ch | KernelKind::Cc | KernelKind::Eh => {
             a.iter().zip(b).map(|(&x, &y)| x.min(y) as f64).sum::<f64>()
-                / a.iter().zip(b).map(|(&x, &y)| x.max(y) as f64).sum::<f64>().max(1e-12)
+                / a.iter()
+                    .zip(b)
+                    .map(|(&x, &y)| x.max(y) as f64)
+                    .sum::<f64>()
+                    .max(1e-12)
         }
         // Texture (and anything else): inverse normalized L2.
         _ => {
-            let d2: f64 = a.iter().zip(b).map(|(&x, &y)| ((x - y) as f64).powi(2)).sum();
+            let d2: f64 = a
+                .iter()
+                .zip(b)
+                .map(|(&x, &y)| ((x - y) as f64).powi(2))
+                .sum();
             1.0 / (1.0 + d2.sqrt())
         }
     }
@@ -79,7 +87,9 @@ impl FeatureIndex {
     /// and return the top `k` hits, best first.
     pub fn query_by_example(&self, query: &ImageAnalysis, k: usize) -> CellResult<Vec<Hit>> {
         if self.is_empty() {
-            return Err(CellError::BadData { message: "empty index".to_string() });
+            return Err(CellError::BadData {
+                message: "empty index".to_string(),
+            });
         }
         let mut hits: Vec<Hit> = self
             .entries
@@ -92,7 +102,10 @@ impl FeatureIndex {
                     total += similarity(*kind, qf, ef);
                     n += 1;
                 }
-                Hit { id: e.id, score: total / n.max(1) as f64 }
+                Hit {
+                    id: e.id,
+                    score: total / n.max(1) as f64,
+                }
             })
             .collect();
         hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
@@ -103,12 +116,17 @@ impl FeatureIndex {
     /// Query by concept: rank by one feature kind's SVM decision value.
     pub fn query_by_concept(&self, kind: KernelKind, k: usize) -> CellResult<Vec<Hit>> {
         if self.is_empty() {
-            return Err(CellError::BadData { message: "empty index".to_string() });
+            return Err(CellError::BadData {
+                message: "empty index".to_string(),
+            });
         }
         let mut hits: Vec<Hit> = self
             .entries
             .iter()
-            .map(|e| Hit { id: e.id, score: e.analysis.score(kind) as f64 })
+            .map(|e| Hit {
+                id: e.id,
+                score: e.analysis.score(kind) as f64,
+            })
             .collect();
         hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
         hits.truncate(k);
@@ -136,7 +154,10 @@ impl FeatureIndex {
             .map(|h| {
                 let e = self.entries.iter().find(|e| e.id == h.id).expect("hit id");
                 let c = 1.0 / (1.0 + (-e.analysis.score(concept) as f64).exp());
-                Hit { id: h.id, score: (1.0 - concept_weight) * h.score + concept_weight * c }
+                Hit {
+                    id: h.id,
+                    score: (1.0 - concept_weight) * h.score + concept_weight * c,
+                }
             })
             .collect();
         hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
@@ -196,7 +217,10 @@ mod tests {
         // quality is a near-duplicate.
         let near = noisy_variant(1000);
         let hits = idx.query_by_example(&near, 4).unwrap();
-        assert_eq!(hits[0].id, 0, "near-duplicate should retrieve the original: {hits:?}");
+        assert_eq!(
+            hits[0].id, 0,
+            "near-duplicate should retrieve the original: {hits:?}"
+        );
     }
 
     #[test]

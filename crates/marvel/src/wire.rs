@@ -9,8 +9,8 @@
 use cell_core::{align_up, CellResult, QUADWORD};
 use cell_mem::{FieldId, StructLayout};
 
-use crate::image::ColorImage;
 use crate::classify::svm::SvmModel;
+use crate::image::ColorImage;
 
 /// Wrapper for the four feature-extraction kernels: image geometry, the
 /// effective address of the pixel data, and the output feature buffer.
@@ -33,7 +33,15 @@ impl ExtractWire {
         let stride = l.field_u32("stride")?;
         let image_ea = l.field_addr("image_ea")?;
         let out = l.field_buffer("out", out_dim * 4)?;
-        Ok(ExtractWire { layout: l, width, height, stride, image_ea, out, out_dim })
+        Ok(ExtractWire {
+            layout: l,
+            width,
+            height,
+            stride,
+            image_ea,
+            out,
+            out_dim,
+        })
     }
 
     /// Bytes of the header part (everything before the output buffer) —
@@ -64,7 +72,15 @@ impl DetectWire {
         let model_ea = l.field_addr("model_ea")?;
         let feature = l.field_buffer("feature", feature_dim * 4)?;
         let out = l.field_buffer("out", 16)?;
-        Ok(DetectWire { layout: l, dim, model_ea, model_bytes, feature, out, feature_dim })
+        Ok(DetectWire {
+            layout: l,
+            dim,
+            model_ea,
+            model_bytes,
+            feature,
+            out,
+            feature_dim,
+        })
     }
 
     /// Bytes the kernel DMAs in: header + feature buffer.

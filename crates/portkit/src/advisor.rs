@@ -31,7 +31,11 @@ pub struct Advice {
 
 impl Advice {
     fn new(severity: Severity, rule: &'static str, message: String) -> Self {
-        Advice { severity, rule, message }
+        Advice {
+            severity,
+            rule,
+            message,
+        }
     }
 }
 
@@ -40,17 +44,21 @@ impl Advice {
 pub fn check_wrapper(layout: &StructLayout) -> Vec<Advice> {
     let mut out = Vec::new();
     if layout.is_empty() {
-        out.push(Advice::new(Severity::Error, "wrapper-empty", "wrapper has no fields".into()));
+        out.push(Advice::new(
+            Severity::Error,
+            "wrapper-empty",
+            "wrapper has no fields".into(),
+        ));
         return out;
     }
-    if layout.size() % QUADWORD != 0 {
+    if !layout.size().is_multiple_of(QUADWORD) {
         out.push(Advice::new(
             Severity::Error,
             "wrapper-size",
             format!("wrapper size {} is not a quadword multiple", layout.size()),
         ));
     }
-    if layout.size() % CACHE_LINE != 0 {
+    if !layout.size().is_multiple_of(CACHE_LINE) {
         out.push(Advice::new(
             Severity::Hint,
             "wrapper-cacheline",
@@ -80,7 +88,7 @@ pub fn check_wrapper(layout: &StructLayout) -> Vec<Advice> {
 /// Check a transfer plan: `chunk` bytes per DMA over `total` bytes.
 pub fn check_transfer(chunk: usize, total: usize, buffers: usize) -> Vec<Advice> {
     let mut out = Vec::new();
-    if chunk == 0 || !matches!(chunk, 1 | 2 | 4 | 8) && chunk % QUADWORD != 0 {
+    if chunk == 0 || !matches!(chunk, 1 | 2 | 4 | 8) && !chunk.is_multiple_of(QUADWORD) {
         out.push(Advice::new(
             Severity::Error,
             "transfer-size",
@@ -92,7 +100,9 @@ pub fn check_transfer(chunk: usize, total: usize, buffers: usize) -> Vec<Advice>
         out.push(Advice::new(
             Severity::Error,
             "transfer-cap",
-            format!("{chunk}-byte transfers exceed the 16 KB single-DMA cap; split or use get_large"),
+            format!(
+                "{chunk}-byte transfers exceed the 16 KB single-DMA cap; split or use get_large"
+            ),
         ));
     }
     if chunk < CACHE_LINE {
@@ -102,7 +112,7 @@ pub fn check_transfer(chunk: usize, total: usize, buffers: usize) -> Vec<Advice>
             format!("{chunk}-byte transfers waste the EIB: each costs a full command-bus slot; batch to at least 128 bytes"),
         ));
     }
-    if chunk % CACHE_LINE != 0 {
+    if !chunk.is_multiple_of(CACHE_LINE) {
         out.push(Advice::new(
             Severity::Hint,
             "transfer-cacheline",
@@ -113,7 +123,8 @@ pub fn check_transfer(chunk: usize, total: usize, buffers: usize) -> Vec<Advice>
         out.push(Advice::new(
             Severity::Warning,
             "transfer-single-buffered",
-            "single-buffered streaming stalls the SPU on every chunk; double-buffer (paper §4.1)".into(),
+            "single-buffered streaming stalls the SPU on every chunk; double-buffer (paper §4.1)"
+                .into(),
         ));
     }
     let transfers = total.div_ceil(chunk.max(1));
@@ -167,9 +178,9 @@ pub fn check_schedule(schedule: &Schedule, kernels: &[KernelSpec]) -> Vec<Advice
             .filter_map(|&k| kernels.get(k))
             .map(|k| k.fraction / k.speedup)
             .collect();
-        let (min, max) = times.iter().fold((f64::MAX, 0.0f64), |(lo, hi), &t| {
-            (lo.min(t), hi.max(t))
-        });
+        let (min, max) = times
+            .iter()
+            .fold((f64::MAX, 0.0f64), |(lo, hi), &t| (lo.min(t), hi.max(t)));
         if min > 0.0 && max / min > 8.0 {
             out.push(Advice::new(
                 Severity::Warning,
@@ -237,11 +248,18 @@ mod tests {
     #[test]
     fn transfer_rules() {
         // Illegal size.
-        assert_eq!(worst(&check_transfer(24, 1 << 20, 2)), Some(Severity::Error));
+        assert_eq!(
+            worst(&check_transfer(24, 1 << 20, 2)),
+            Some(Severity::Error)
+        );
         // Tiny transfers.
-        assert!(check_transfer(16, 1 << 20, 2).iter().any(|a| a.rule == "transfer-small"));
+        assert!(check_transfer(16, 1 << 20, 2)
+            .iter()
+            .any(|a| a.rule == "transfer-small"));
         // Over the cap.
-        assert!(check_transfer(32 * 1024, 1 << 20, 2).iter().any(|a| a.rule == "transfer-cap"));
+        assert!(check_transfer(32 * 1024, 1 << 20, 2)
+            .iter()
+            .any(|a| a.rule == "transfer-cap"));
         // Single buffered streaming.
         assert!(check_transfer(4096, 1 << 20, 1)
             .iter()
@@ -254,7 +272,10 @@ mod tests {
     #[test]
     fn budget_rules() {
         let ls = 256 * 1024;
-        assert_eq!(worst(&check_kernel_budget(64 << 10, 300 << 10, ls)), Some(Severity::Error));
+        assert_eq!(
+            worst(&check_kernel_budget(64 << 10, 300 << 10, ls)),
+            Some(Severity::Error)
+        );
         assert!(check_kernel_budget(32 << 10, 210 << 10, ls)
             .iter()
             .any(|a| a.rule == "ls-tight"));
@@ -273,7 +294,10 @@ mod tests {
         ];
         let schedule = Schedule::grouped(vec![vec![0, 1, 2]], 8).unwrap();
         let advice = check_schedule(&schedule, &kernels);
-        assert!(advice.iter().any(|a| a.rule == "schedule-imbalance"), "{advice:?}");
+        assert!(
+            advice.iter().any(|a| a.rule == "schedule-imbalance"),
+            "{advice:?}"
+        );
         assert!(advice.iter().any(|a| a.rule == "kernel-slower-than-host"));
         // Singleton groups don't trigger imbalance.
         let seq = Schedule::sequential(3, 8).unwrap();

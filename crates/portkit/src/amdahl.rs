@@ -31,18 +31,28 @@ pub struct KernelSpec {
 
 impl KernelSpec {
     pub fn new(name: &'static str, fraction: f64, speedup: f64) -> Self {
-        KernelSpec { name, fraction, speedup }
+        KernelSpec {
+            name,
+            fraction,
+            speedup,
+        }
     }
 
     fn validate(&self) -> CellResult<()> {
         if !(self.fraction > 0.0 && self.fraction <= 1.0) {
             return Err(CellError::BadKernelSpec {
-                message: format!("kernel `{}` fraction {} outside (0, 1]", self.name, self.fraction),
+                message: format!(
+                    "kernel `{}` fraction {} outside (0, 1]",
+                    self.name, self.fraction
+                ),
             });
         }
         if !(self.speedup > 0.0 && self.speedup.is_finite()) {
             return Err(CellError::BadKernelSpec {
-                message: format!("kernel `{}` speedup {} must be positive", self.name, self.speedup),
+                message: format!(
+                    "kernel `{}` speedup {} must be positive",
+                    self.name, self.speedup
+                ),
             });
         }
         Ok(())
@@ -51,7 +61,9 @@ impl KernelSpec {
 
 fn validate_set(kernels: &[KernelSpec]) -> CellResult<f64> {
     if kernels.is_empty() {
-        return Err(CellError::BadKernelSpec { message: "no kernels given".to_string() });
+        return Err(CellError::BadKernelSpec {
+            message: "no kernels given".to_string(),
+        });
     }
     let mut covered = 0.0;
     for k in kernels {
@@ -89,7 +101,9 @@ pub fn estimate_grouped(kernels: &[KernelSpec], groups: &[Vec<usize>]) -> CellRe
     let mut accelerated = 0.0;
     for group in groups {
         if group.is_empty() {
-            return Err(CellError::BadKernelSpec { message: "empty kernel group".to_string() });
+            return Err(CellError::BadKernelSpec {
+                message: "empty kernel group".to_string(),
+            });
         }
         let mut worst: f64 = 0.0;
         for &idx in group {
@@ -107,7 +121,10 @@ pub fn estimate_grouped(kernels: &[KernelSpec], groups: &[Vec<usize>]) -> CellRe
     }
     if let Some(missing) = seen.iter().position(|s| !s) {
         return Err(CellError::BadKernelSpec {
-            message: format!("kernel `{}` is not scheduled in any group", kernels[missing].name),
+            message: format!(
+                "kernel `{}` is not scheduled in any group",
+                kernels[missing].name
+            ),
         });
     }
     Ok(1.0 / ((1.0 - covered) + accelerated))
@@ -207,7 +224,11 @@ mod tests {
         let s2 = estimate_grouped(&kernels, &[vec![0, 1, 2, 3], vec![4]]).unwrap();
         let s3 = estimate_grouped(&kernels, &[vec![0, 1, 2, 3, 4]]).unwrap();
         assert!(s3 > s2);
-        assert!(s3 / s2 < 1.15, "replication gain {:.3} should be marginal", s3 / s2);
+        assert!(
+            s3 / s2 < 1.15,
+            "replication gain {:.3} should be marginal",
+            s3 / s2
+        );
     }
 
     #[test]
@@ -226,13 +247,19 @@ mod tests {
         assert!(estimate_single(0.5, 0.0).is_err());
         assert!(estimate_single(0.5, f64::NAN).is_err());
         assert!(estimate_sequential(&[]).is_err());
-        let over = [KernelSpec::new("a", 0.7, 2.0), KernelSpec::new("b", 0.5, 2.0)];
+        let over = [
+            KernelSpec::new("a", 0.7, 2.0),
+            KernelSpec::new("b", 0.5, 2.0),
+        ];
         assert!(estimate_sequential(&over).is_err());
     }
 
     #[test]
     fn grouping_validation() {
-        let ks = [KernelSpec::new("a", 0.3, 2.0), KernelSpec::new("b", 0.3, 2.0)];
+        let ks = [
+            KernelSpec::new("a", 0.3, 2.0),
+            KernelSpec::new("b", 0.3, 2.0),
+        ];
         // Kernel not scheduled.
         assert!(estimate_grouped(&ks, &[vec![0]]).is_err());
         // Kernel scheduled twice.

@@ -11,6 +11,7 @@
 
 use cell_core::{CellError, CellResult};
 use cell_sys::spe::{SpeEnv, SpeProgram};
+use cell_trace::{Counter, EventKind};
 
 use crate::interface::ReplyMode;
 use crate::opcodes::{run_opcode, SPU_EXIT};
@@ -31,7 +32,12 @@ pub struct KernelDispatcher {
 
 impl KernelDispatcher {
     pub fn new(name: &'static str, reply_mode: ReplyMode) -> Self {
-        KernelDispatcher { name, functions: Vec::new(), reply_mode, calls: Vec::new() }
+        KernelDispatcher {
+            name,
+            functions: Vec::new(),
+            reply_mode,
+            calls: Vec::new(),
+        }
     }
 
     /// Register the next kernel function; returns the opcode the PPE stub
@@ -66,11 +72,20 @@ impl KernelDispatcher {
             return Ok(false);
         }
         let idx = (opcode.wrapping_sub(run_opcode(0))) as usize;
-        let Some((_, f)) = self.functions.get_mut(idx) else {
+        let Some((fn_name, f)) = self.functions.get_mut(idx) else {
             return Err(CellError::UnknownOpcode { opcode });
         };
+        let fn_name = *fn_name;
         let arg = env.read_in_mbox()?;
+        let t0 = env.clock.now();
         let result = f(env, arg)?;
+        // Fold outstanding SIMD work into the clock so the kernel span
+        // covers the invocation's full virtual duration.
+        env.charge_compute();
+        let dur = env.clock.now().saturating_sub(t0);
+        env.tracer_mut()
+            .span(EventKind::Kernel, fn_name, t0, dur, idx as u64, 0);
+        env.tracer_mut().count(Counter::KernelInvocations, 1);
         self.calls[idx] += 1;
         match self.reply_mode {
             ReplyMode::Polling => env.write_out_mbox(result)?,

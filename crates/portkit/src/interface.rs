@@ -14,6 +14,7 @@
 
 use cell_core::{CellError, CellResult};
 use cell_sys::ppe::Ppe;
+use cell_trace::{Counter, EventKind};
 
 use crate::opcodes::SPU_EXIT;
 
@@ -38,6 +39,9 @@ pub struct SpeInterface {
     reply_mode: ReplyMode,
     /// Calls issued through this stub.
     calls: u64,
+    /// PPE clock at the in-flight call's `send`; cleared on completion.
+    /// Drives the dispatch span on the PPE trace (send → reply).
+    inflight: Option<u64>,
 }
 
 impl SpeInterface {
@@ -45,7 +49,29 @@ impl SpeInterface {
     /// the actual thread is spawned by the machine; static scheduling
     /// keeps it resident and idle between calls, §3.3).
     pub fn new(name: &'static str, spe_id: usize, reply_mode: ReplyMode) -> Self {
-        SpeInterface { name, spe_id, reply_mode, calls: 0 }
+        SpeInterface {
+            name,
+            spe_id,
+            reply_mode,
+            calls: 0,
+            inflight: None,
+        }
+    }
+
+    /// Record the completed send→reply round trip on the PPE trace.
+    fn record_dispatch(&mut self, ppe: &mut Ppe) {
+        if let Some(t0) = self.inflight.take() {
+            let dur = ppe.clock.now().saturating_sub(t0);
+            ppe.tracer_mut().span(
+                EventKind::Dispatch,
+                self.name,
+                t0,
+                dur,
+                self.spe_id as u64,
+                0,
+            );
+            ppe.tracer_mut().count(Counter::Dispatches, 1);
+        }
     }
 
     pub fn spe_id(&self) -> usize {
@@ -68,16 +94,18 @@ impl SpeInterface {
                 message: "use close() to terminate the kernel, not send(SPU_EXIT)".to_string(),
             });
         }
+        let t0 = ppe.clock.now();
         ppe.write_in_mbox(self.spe_id, function_call)?;
         ppe.write_in_mbox(self.spe_id, value)?;
         self.calls += 1;
+        self.inflight = Some(t0);
         Ok(())
     }
 
     /// `Wait`: block until the kernel reports completion; returns its
     /// result word.
     pub fn wait(&mut self, ppe: &mut Ppe) -> CellResult<u32> {
-        match self.reply_mode {
+        let result = match self.reply_mode {
             ReplyMode::Polling => {
                 // Listing 3 polls spe_stat_out_mbox; the blocking read on
                 // the simulated mailbox is its virtual-time equivalent
@@ -85,7 +113,11 @@ impl SpeInterface {
                 ppe.read_out_mbox(self.spe_id)
             }
             ReplyMode::Interrupt => ppe.read_out_intr_mbox(self.spe_id),
+        };
+        if result.is_ok() {
+            self.record_dispatch(ppe);
         }
+        result
     }
 
     /// Non-blocking completion check: `Ok(Some(result))` if the kernel has
@@ -99,7 +131,9 @@ impl SpeInterface {
         if ppe.stat_out_mbox(self.spe_id)? == 0 {
             return Ok(None);
         }
-        ppe.try_read_out_mbox(self.spe_id).map(Some)
+        let v = ppe.try_read_out_mbox(self.spe_id)?;
+        self.record_dispatch(ppe);
+        Ok(Some(v))
     }
 
     /// `Wait(timeout)` from paper Listing 2: poll for completion for at
@@ -119,14 +153,21 @@ impl SpeInterface {
                 return Ok(v);
             }
             if std::time::Instant::now() >= deadline {
-                return Err(CellError::Timeout { what: "SPE kernel completion" });
+                return Err(CellError::Timeout {
+                    what: "SPE kernel completion",
+                });
             }
             std::thread::yield_now();
         }
     }
 
     /// `SendAndWait`: the full Listing 3 protocol.
-    pub fn send_and_wait(&mut self, ppe: &mut Ppe, function_call: u32, value: u32) -> CellResult<u32> {
+    pub fn send_and_wait(
+        &mut self,
+        ppe: &mut Ppe,
+        function_call: u32,
+        value: u32,
+    ) -> CellResult<u32> {
         self.send(ppe, function_call, value)?;
         self.wait(ppe)
     }
@@ -161,7 +202,15 @@ mod tests {
     use cell_core::MachineConfig;
     use cell_sys::machine::CellMachine;
 
-    fn adder_machine(mode: ReplyMode) -> (CellMachine, Ppe, SpeInterface, u32, cell_sys::machine::SpeHandle) {
+    fn adder_machine(
+        mode: ReplyMode,
+    ) -> (
+        CellMachine,
+        Ppe,
+        SpeInterface,
+        u32,
+        cell_sys::machine::SpeHandle,
+    ) {
         let mut m = CellMachine::new(MachineConfig::small()).unwrap();
         let ppe = m.ppe();
         let mut d = KernelDispatcher::new("adder", mode);
@@ -225,10 +274,14 @@ mod tests {
         let (_m, mut ppe, mut iface, op, h) = adder_machine(ReplyMode::Polling);
         // Normal completion beats a generous deadline.
         iface.send(&mut ppe, op, 3).unwrap();
-        let v = iface.wait_timeout(&mut ppe, std::time::Duration::from_secs(5)).unwrap();
+        let v = iface
+            .wait_timeout(&mut ppe, std::time::Duration::from_secs(5))
+            .unwrap();
         assert_eq!(v, 10);
         // No outstanding call → nothing ever arrives → timeout.
-        let err = iface.wait_timeout(&mut ppe, std::time::Duration::from_millis(30)).unwrap_err();
+        let err = iface
+            .wait_timeout(&mut ppe, std::time::Duration::from_millis(30))
+            .unwrap_err();
         assert!(matches!(err, cell_core::CellError::Timeout { .. }));
         iface.close(&mut ppe).unwrap();
         h.join().unwrap();
@@ -264,11 +317,8 @@ mod tests {
         }
         let mut a = SpeInterface::new("a", 0, ReplyMode::Polling);
         let mut b = SpeInterface::new("b", 1, ReplyMode::Polling);
-        let results = send_all_wait_all(
-            &mut ppe,
-            &mut [(&mut a, ops[0], 10), (&mut b, ops[1], 20)],
-        )
-        .unwrap();
+        let results =
+            send_all_wait_all(&mut ppe, &mut [(&mut a, ops[0], 10), (&mut b, ops[1], 20)]).unwrap();
         assert_eq!(results, vec![30, 60]);
         a.close(&mut ppe).unwrap();
         b.close(&mut ppe).unwrap();

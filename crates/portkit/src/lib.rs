@@ -62,7 +62,9 @@ pub mod schedule;
 pub mod trace;
 pub mod wrapper;
 
-pub use advisor::{check_kernel_budget, check_schedule, check_transfer, check_wrapper, Advice, Severity};
+pub use advisor::{
+    check_kernel_budget, check_schedule, check_transfer, check_wrapper, Advice, Severity,
+};
 pub use amdahl::{estimate_grouped, estimate_sequential, estimate_single, KernelSpec};
 pub use dispatcher::KernelDispatcher;
 pub use interface::{ReplyMode, SpeInterface};

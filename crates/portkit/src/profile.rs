@@ -50,7 +50,11 @@ impl CoverageProfiler {
             p.work.merge(work);
             p.calls += 1;
         } else {
-            self.phases.push(Phase { name: phase.to_string(), work: work.clone(), calls: 1 });
+            self.phases.push(Phase {
+                name: phase.to_string(),
+                work: work.clone(),
+                calls: 1,
+            });
         }
     }
 
@@ -65,18 +69,25 @@ impl CoverageProfiler {
 
     /// Accumulated profile of one phase.
     pub fn phase_profile(&self, phase: &str) -> Option<&OpProfile> {
-        self.phases.iter().find(|p| p.name == phase).map(|p| &p.work)
+        self.phases
+            .iter()
+            .find(|p| p.name == phase)
+            .map(|p| &p.work)
     }
 
     /// The coverage report on `model`, sorted by descending fraction.
     pub fn report(&self, model: &MachineProfile) -> CellResult<Vec<CoverageRow>> {
         if self.phases.is_empty() {
-            return Err(CellError::BadData { message: "nothing profiled".to_string() });
+            return Err(CellError::BadData {
+                message: "nothing profiled".to_string(),
+            });
         }
         let times: Vec<VirtualDuration> = self.phases.iter().map(|p| model.time(&p.work)).collect();
         let total: f64 = times.iter().map(|t| t.seconds()).sum();
         if total <= 0.0 {
-            return Err(CellError::BadData { message: "profiled phases did no work".to_string() });
+            return Err(CellError::BadData {
+                message: "profiled phases did no work".to_string(),
+            });
         }
         let mut rows: Vec<CoverageRow> = self
             .phases
@@ -95,15 +106,27 @@ impl CoverageProfiler {
 
     /// Kernel candidates: phases whose coverage meets `threshold` on
     /// `model` — the §3.2 extraction rule.
-    pub fn candidates(&self, model: &MachineProfile, threshold: f64) -> CellResult<Vec<CoverageRow>> {
-        Ok(self.report(model)?.into_iter().filter(|r| r.fraction >= threshold).collect())
+    pub fn candidates(
+        &self,
+        model: &MachineProfile,
+        threshold: f64,
+    ) -> CellResult<Vec<CoverageRow>> {
+        Ok(self
+            .report(model)?
+            .into_iter()
+            .filter(|r| r.fraction >= threshold)
+            .collect())
     }
 
     /// Combined coverage of a named subset (e.g. "feature extraction +
     /// concept detection" — the paper's 87 % / 96 % numbers).
     pub fn combined_fraction(&self, model: &MachineProfile, names: &[&str]) -> CellResult<f64> {
         let rows = self.report(model)?;
-        Ok(rows.iter().filter(|r| names.contains(&r.name.as_str())).map(|r| r.fraction).sum())
+        Ok(rows
+            .iter()
+            .filter(|r| names.contains(&r.name.as_str()))
+            .map(|r| r.fraction)
+            .sum())
     }
 
     pub fn reset(&mut self) {
@@ -167,7 +190,10 @@ mod tests {
         let f = prof
             .combined_fraction(&MachineProfile::ppe(), &["extract", "detect"])
             .unwrap();
-        assert!((f - 0.87).abs() < 1e-9, "expected the paper-style 87 %, got {f}");
+        assert!(
+            (f - 0.87).abs() < 1e-9,
+            "expected the paper-style 87 %, got {f}"
+        );
     }
 
     #[test]
@@ -184,8 +210,16 @@ mod tests {
         prof.record("int_phase", &work(1000));
         let on_ppe = prof.report(&MachineProfile::ppe()).unwrap();
         let on_laptop = prof.report(&MachineProfile::laptop()).unwrap();
-        let f_ppe = on_ppe.iter().find(|r| r.name == "float_phase").unwrap().fraction;
-        let f_lap = on_laptop.iter().find(|r| r.name == "float_phase").unwrap().fraction;
+        let f_ppe = on_ppe
+            .iter()
+            .find(|r| r.name == "float_phase")
+            .unwrap()
+            .fraction;
+        let f_lap = on_laptop
+            .iter()
+            .find(|r| r.name == "float_phase")
+            .unwrap()
+            .fraction;
         assert!(f_lap > f_ppe, "laptop {f_lap} vs ppe {f_ppe}");
     }
 

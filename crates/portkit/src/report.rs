@@ -11,7 +11,9 @@
 
 use cell_core::{CellError, CellResult, MachineProfile, VirtualDuration};
 
-use crate::amdahl::{coverage_ceiling, estimate_grouped, estimate_sequential, estimate_single, KernelSpec};
+use crate::amdahl::{
+    coverage_ceiling, estimate_grouped, estimate_sequential, estimate_single, KernelSpec,
+};
 use crate::profile::CoverageProfiler;
 use crate::schedule::Schedule;
 
@@ -151,12 +153,21 @@ impl<'p> PlanBuilder<'p> {
         }
         if candidates.is_empty() {
             return Err(CellError::BadKernelSpec {
-                message: format!("no phase reaches the {:.1}% coverage threshold", self.threshold * 100.0),
+                message: format!(
+                    "no phase reaches the {:.1}% coverage threshold",
+                    self.threshold * 100.0
+                ),
             });
         }
         let specs: Vec<KernelSpec> = candidates
             .iter()
-            .map(|c| KernelSpec::new(Box::leak(c.name.clone().into_boxed_str()), c.coverage, c.speedup))
+            .map(|c| {
+                KernelSpec::new(
+                    Box::leak(c.name.clone().into_boxed_str()),
+                    c.coverage,
+                    c.speedup,
+                )
+            })
             .collect();
         let sequential_estimate = estimate_sequential(&specs)?;
         let parallel_estimate = estimate_grouped(&specs, &[(0..specs.len()).collect()])?;
@@ -202,7 +213,10 @@ impl PortingPlan {
             self.threshold * 100.0,
             self.total_coverage() * 100.0
         );
-        let _ = writeln!(out, "| kernel | coverage | time | assumed speedup | solo app gain | LS check |");
+        let _ = writeln!(
+            out,
+            "| kernel | coverage | time | assumed speedup | solo app gain | LS check |"
+        );
         let _ = writeln!(out, "|---|---|---|---|---|---|");
         for c in &self.candidates {
             let _ = writeln!(
@@ -220,8 +234,16 @@ impl PortingPlan {
                 }
             );
         }
-        let _ = writeln!(out, "\n- sequential SPE schedule (Eq. 2): **{:.2}x**", self.sequential_estimate);
-        let _ = writeln!(out, "- parallel SPE schedule (Eq. 3): **{:.2}x**", self.parallel_estimate);
+        let _ = writeln!(
+            out,
+            "\n- sequential SPE schedule (Eq. 2): **{:.2}x**",
+            self.sequential_estimate
+        );
+        let _ = writeln!(
+            out,
+            "- parallel SPE schedule (Eq. 3): **{:.2}x**",
+            self.parallel_estimate
+        );
         let _ = writeln!(out, "- coverage ceiling: **{:.2}x**", self.ceiling);
         out
     }
@@ -291,13 +313,19 @@ mod tests {
     #[test]
     fn empty_plans_error() {
         let prof = profiler();
-        assert!(PlanBuilder::new(&prof, MachineProfile::ppe()).threshold(0.99).build().is_err());
+        assert!(PlanBuilder::new(&prof, MachineProfile::ppe())
+            .threshold(0.99)
+            .build()
+            .is_err());
     }
 
     #[test]
     fn schedule_and_verdict() {
         let prof = profiler();
-        let plan = PlanBuilder::new(&prof, MachineProfile::ppe()).threshold(0.05).build().unwrap();
+        let plan = PlanBuilder::new(&prof, MachineProfile::ppe())
+            .threshold(0.05)
+            .build()
+            .unwrap();
         let schedule = plan.schedule(8).unwrap();
         assert_eq!(schedule.num_kernels(), plan.candidates.len());
         assert!(plan.schedule(2).is_err(), "4 kernels need 4 SPEs");

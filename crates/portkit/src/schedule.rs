@@ -41,20 +41,29 @@ impl Schedule {
     pub fn grouped(groups: Vec<Vec<KernelId>>, num_spes: usize) -> CellResult<Self> {
         let num_kernels: usize = groups.iter().map(|g| g.len()).sum();
         if num_kernels == 0 {
-            return Err(CellError::BadKernelSpec { message: "schedule with no kernels".to_string() });
+            return Err(CellError::BadKernelSpec {
+                message: "schedule with no kernels".to_string(),
+            });
         }
         if num_kernels > num_spes {
-            return Err(CellError::NoSpeAvailable { requested: num_kernels, available: num_spes });
+            return Err(CellError::NoSpeAvailable {
+                requested: num_kernels,
+                available: num_spes,
+            });
         }
         let mut seen = vec![false; num_kernels];
         for g in &groups {
             if g.is_empty() {
-                return Err(CellError::BadKernelSpec { message: "empty schedule group".to_string() });
+                return Err(CellError::BadKernelSpec {
+                    message: "empty schedule group".to_string(),
+                });
             }
             for &k in g {
                 if k >= num_kernels {
                     return Err(CellError::BadKernelSpec {
-                        message: format!("kernel id {k} out of range (num_kernels = {num_kernels})"),
+                        message: format!(
+                            "kernel id {k} out of range (num_kernels = {num_kernels})"
+                        ),
                     });
                 }
                 if std::mem::replace(&mut seen[k], true) {
@@ -65,7 +74,11 @@ impl Schedule {
             }
         }
         let assignment = (0..num_kernels).collect();
-        Ok(Schedule { num_kernels, assignment, groups })
+        Ok(Schedule {
+            num_kernels,
+            assignment,
+            groups,
+        })
     }
 
     pub fn num_kernels(&self) -> usize {
@@ -130,7 +143,10 @@ mod tests {
     fn too_many_kernels_for_spes() {
         assert!(matches!(
             Schedule::sequential(9, 8),
-            Err(CellError::NoSpeAvailable { requested: 9, available: 8 })
+            Err(CellError::NoSpeAvailable {
+                requested: 9,
+                available: 8
+            })
         ));
     }
 
@@ -148,10 +164,19 @@ mod tests {
             KernelSpec::new("a", 0.4, 10.0),
             KernelSpec::new("b", 0.4, 10.0),
         ];
-        let seq = Schedule::sequential(2, 8).unwrap().estimate(&kernels).unwrap();
-        let par = Schedule::grouped(vec![vec![0, 1]], 8).unwrap().estimate(&kernels).unwrap();
+        let seq = Schedule::sequential(2, 8)
+            .unwrap()
+            .estimate(&kernels)
+            .unwrap();
+        let par = Schedule::grouped(vec![vec![0, 1]], 8)
+            .unwrap()
+            .estimate(&kernels)
+            .unwrap();
         assert!(par > seq, "parallel {par} should beat sequential {seq}");
         // Wrong spec count is rejected.
-        assert!(Schedule::sequential(2, 8).unwrap().estimate(&kernels[..1]).is_err());
+        assert!(Schedule::sequential(2, 8)
+            .unwrap()
+            .estimate(&kernels[..1])
+            .is_err());
     }
 }

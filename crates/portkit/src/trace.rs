@@ -7,6 +7,7 @@
 //! bars — is inspectable in a terminal or a test.
 
 use cell_core::VirtualDuration;
+use cell_trace::{EventKind, TraceEvent, TraceReport};
 
 /// One kernel invocation's span on one SPE.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +35,39 @@ impl Timeline {
         Self::default()
     }
 
+    /// Build a timeline from the PPE's recorded dispatch round-trips.
+    ///
+    /// Each [`EventKind::Dispatch`] span is one stub `send` → reply on one
+    /// SPE (the SPE id rides in `arg0`), so the timeline reconstructs
+    /// Fig. 4 from the trace instead of hand-inserted `record` calls.
+    /// `hz` is the clock frequency the event timestamps were taken at.
+    pub fn from_dispatch_events(events: &[TraceEvent], hz: f64) -> Self {
+        let mut t = Timeline::new();
+        if hz <= 0.0 {
+            return t;
+        }
+        for e in events.iter().filter(|e| e.kind == EventKind::Dispatch) {
+            let start = VirtualDuration::from_seconds(e.ts as f64 / hz);
+            let end = VirtualDuration::from_seconds((e.ts + e.dur) as f64 / hz);
+            t.record(e.label, e.arg0 as usize, start, end);
+        }
+        t
+    }
+
+    /// Build a timeline from a full [`TraceReport`]: collects the dispatch
+    /// spans of every track (normally only the PPE records them), each
+    /// converted with its own track frequency.
+    pub fn from_trace(report: &TraceReport) -> Self {
+        let mut t = Timeline::new();
+        for track in &report.tracks {
+            let sub = Timeline::from_dispatch_events(&track.events, track.hz);
+            t.spans.extend(sub.spans);
+        }
+        t.spans
+            .sort_by(|a, b| a.start.seconds().total_cmp(&b.start.seconds()));
+        t
+    }
+
     /// Record one invocation span.
     pub fn record(
         &mut self,
@@ -42,8 +76,16 @@ impl Timeline {
         start: VirtualDuration,
         end: VirtualDuration,
     ) {
-        assert!(end.seconds() >= start.seconds(), "span ends before it starts");
-        self.spans.push(Span { label: label.into(), spe, start, end });
+        assert!(
+            end.seconds() >= start.seconds(),
+            "span ends before it starts"
+        );
+        self.spans.push(Span {
+            label: label.into(),
+            spe,
+            start,
+            end,
+        });
     }
 
     pub fn len(&self) -> usize {
@@ -219,5 +261,97 @@ mod tests {
     fn inverted_span_rejected() {
         let mut t = Timeline::new();
         t.record("X", 0, ms(2.0), ms(1.0));
+    }
+
+    #[test]
+    fn zero_length_spans_only_render_as_empty() {
+        // A kernel so cheap it takes no virtual time: horizon stays 0.
+        let mut t = Timeline::new();
+        t.record("Z", 0, ms(0.0), ms(0.0));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.render(40), "(empty timeline)\n");
+        assert_eq!(t.peak_concurrency(), 0);
+    }
+
+    #[test]
+    fn zero_length_span_amid_real_spans_does_not_distort_rows() {
+        let mut t = Timeline::new();
+        t.record("A", 0, ms(0.0), ms(2.0));
+        t.record("Z", 1, ms(1.0), ms(1.0)); // instantaneous blip
+        let r = t.render(24);
+        assert!(r.contains("SPE0 |"));
+        assert!(r.contains("SPE1 |"));
+        // The blip contributes no busy time and no concurrency.
+        assert!((t.busy().millis() - 2.0).abs() < 1e-9);
+        assert_eq!(t.peak_concurrency(), 1);
+    }
+
+    #[test]
+    fn overlapping_spans_on_same_spe_list_both_labels() {
+        // Double-booked SPE (e.g. a mis-scheduled group): both labels must
+        // survive in the row legend even though the glyphs overwrite.
+        let mut t = Timeline::new();
+        t.record("A", 0, ms(0.0), ms(2.0));
+        t.record("B", 0, ms(1.0), ms(3.0));
+        let r = t.render(30);
+        let row0 = r.lines().next().unwrap();
+        assert!(row0.contains("A, B"), "legend lost a label: {row0}");
+        assert_eq!(t.peak_concurrency(), 2);
+        assert!((t.busy().millis() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_dispatch_events_reconstructs_spans() {
+        use cell_trace::{EventKind, TraceEvent};
+        let hz = 1_000.0; // 1 kHz: 1 cycle == 1 ms
+        let events = vec![
+            TraceEvent {
+                ts: 0,
+                dur: 1,
+                kind: EventKind::Dispatch,
+                label: "A",
+                arg0: 0,
+                arg1: 0,
+            },
+            TraceEvent {
+                ts: 1,
+                dur: 1,
+                kind: EventKind::Dispatch,
+                label: "B",
+                arg0: 1,
+                arg1: 0,
+            },
+            // Non-dispatch events must be ignored.
+            TraceEvent {
+                ts: 0,
+                dur: 9,
+                kind: EventKind::DmaGet,
+                label: "dma",
+                arg0: 0,
+                arg1: 0,
+            },
+        ];
+        let t = Timeline::from_dispatch_events(&events, hz);
+        assert_eq!(t.len(), 2);
+        assert!((t.horizon().millis() - 2.0).abs() < 1e-9);
+        assert_eq!(t.spans()[1].spe, 1);
+        assert_eq!(t.peak_concurrency(), 1);
+    }
+
+    #[test]
+    fn from_trace_merges_tracks_in_start_order() {
+        use cell_trace::{EventKind, TraceConfig, TraceEvent, TraceReport, Tracer, Track};
+        let mut tr = Tracer::new(TraceConfig::Full, Track::Ppe, 1_000.0);
+        tr.span(EventKind::Dispatch, "late", 5, 2, 2, 0);
+        tr.span(EventKind::Dispatch, "early", 1, 2, 0, 0);
+        let report = TraceReport {
+            tracks: vec![tr.finish()],
+        };
+        let t = Timeline::from_trace(&report);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.spans()[0].label, "early");
+        assert_eq!(t.spans()[1].label, "late");
+        let ev: Vec<TraceEvent> = Vec::new();
+        assert!(Timeline::from_dispatch_events(&ev, 1_000.0).is_empty());
     }
 }

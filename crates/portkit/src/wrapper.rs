@@ -24,7 +24,9 @@ impl<'m> MsgWrapper<'m> {
     /// Listing 4).
     pub fn alloc(mem: &'m MainMemory, layout: StructLayout) -> CellResult<Self> {
         if layout.is_empty() {
-            return Err(CellError::BadData { message: "empty wrapper layout".to_string() });
+            return Err(CellError::BadData {
+                message: "empty wrapper layout".to_string(),
+            });
         }
         let base = mem.alloc_zeroed(layout.size(), layout.align().max(128))?;
         Ok(MsgWrapper { mem, layout, base })
@@ -99,7 +101,10 @@ impl<'m> MsgWrapper<'m> {
     pub fn get_bytes(&self, id: FieldId, len: usize) -> CellResult<Vec<u8>> {
         if len > self.layout.field_size(id) {
             return Err(CellError::BadData {
-                message: format!("field read of {len} bytes exceeds declared {}", self.layout.field_size(id)),
+                message: format!(
+                    "field read of {len} bytes exceeds declared {}",
+                    self.layout.field_size(id)
+                ),
             });
         }
         let mut out = vec![0u8; len];
@@ -140,7 +145,10 @@ impl<'m> MsgWrapper<'m> {
     fn check_size(&self, id: FieldId, need: usize) -> CellResult<()> {
         if self.layout.field_size(id) < need {
             return Err(CellError::BadData {
-                message: format!("field holds {} bytes, need {need}", self.layout.field_size(id)),
+                message: format!(
+                    "field holds {} bytes, need {need}",
+                    self.layout.field_size(id)
+                ),
             });
         }
         Ok(())

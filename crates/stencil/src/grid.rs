@@ -22,7 +22,11 @@ impl Grid {
                 message: format!("grid {width}x{height} too small for a 5-point stencil"),
             });
         }
-        Ok(Grid { width, height, data: vec![0.0; width * height] })
+        Ok(Grid {
+            width,
+            height,
+            data: vec![0.0; width * height],
+        })
     }
 
     /// A standard test problem: zero interior, hot west edge, cold east
@@ -93,7 +97,9 @@ impl Grid {
     pub fn from_strided_bytes(width: usize, height: usize, bytes: &[u8]) -> CellResult<Self> {
         let stride = Self::row_stride_bytes(width);
         if bytes.len() < stride * height {
-            return Err(CellError::BadData { message: "short grid payload".to_string() });
+            return Err(CellError::BadData {
+                message: "short grid payload".to_string(),
+            });
         }
         let mut g = Self::new(width, height)?;
         for y in 0..height {
@@ -195,7 +201,9 @@ pub fn jacobi_band_simd(
             // [1, width-1). The right boundary column needs restoring when
             // the final overlapped block touched it.
             let b = f32::from_le_bytes(
-                src[row + (width - 1) * 4..row + width * 4].try_into().unwrap(),
+                src[row + (width - 1) * 4..row + width * 4]
+                    .try_into()
+                    .unwrap(),
             );
             dst[row + (width - 1) * 4..row + width * 4].copy_from_slice(&b.to_le_bytes());
         } else {
@@ -263,7 +271,11 @@ mod tests {
         assert!(a.at(1, 9) > 80.0);
         assert!(a.at(22, 9) < 20.0);
         jacobi_step(&a, &mut b);
-        assert!(a.mean_abs_diff(&b) < 0.05, "not converged: {}", a.mean_abs_diff(&b));
+        assert!(
+            a.mean_abs_diff(&b) < 0.05,
+            "not converged: {}",
+            a.mean_abs_diff(&b)
+        );
     }
 
     #[test]

@@ -53,7 +53,9 @@ fn stencil_body(env: &mut SpeEnv, addr: u32) -> CellResult<u32> {
     let ea_a = rd64(env, fa)?;
     let ea_b = rd64(env, fb)?;
     if w < 3 || h < 3 || stride < w * 4 || !stride.is_multiple_of(16) {
-        return Err(CellError::BadData { message: format!("bad stencil header {w}x{h}/{stride}") });
+        return Err(CellError::BadData {
+            message: format!("bad stencil header {w}x{h}/{stride}"),
+        });
     }
 
     let grid_bytes = stride * h;
@@ -132,7 +134,11 @@ fn stencil_body(env: &mut SpeEnv, addr: u32) -> CellResult<u32> {
     }
     env.ls.reset();
     // After the final swap, `src_ea` holds the latest sweep's output.
-    Ok(if src_ea == ea_a { RESULT_IN_A } else { RESULT_IN_B })
+    Ok(if src_ea == ea_a {
+        RESULT_IN_A
+    } else {
+        RESULT_IN_B
+    })
 }
 
 /// The PPE-side application.
@@ -180,10 +186,16 @@ impl StencilApp {
         wrapper.set_u64(fb, ea_b)?;
 
         let t0 = self.ppe.elapsed();
-        let where_result = self.stub.send_and_wait(&mut self.ppe, self.opcode, wrapper.addr_word()?)?;
+        let where_result =
+            self.stub
+                .send_and_wait(&mut self.ppe, self.opcode, wrapper.addr_word()?)?;
         let elapsed = self.ppe.elapsed() - t0;
 
-        let result_ea = if where_result == RESULT_IN_A { ea_a } else { ea_b };
+        let result_ea = if where_result == RESULT_IN_A {
+            ea_a
+        } else {
+            ea_b
+        };
         let mut out = vec![0u8; bytes.len()];
         mem.read(result_ea, &mut out)?;
         let result = Grid::from_strided_bytes(grid.width(), grid.height(), &out)?;

@@ -33,8 +33,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- The paper's worked example ---------------------------------------
     println!("\nPaper §4.2 worked example:");
-    println!("  K_fr = 10%, 10x  -> S_app = {:.4} (paper: 1.0989)", estimate_single(0.10, 10.0)?);
-    println!("  K_fr = 10%, 100x -> S_app = {:.4} (paper: 1.1098)", estimate_single(0.10, 100.0)?);
+    println!(
+        "  K_fr = 10%, 10x  -> S_app = {:.4} (paper: 1.0989)",
+        estimate_single(0.10, 10.0)?
+    );
+    println!(
+        "  K_fr = 10%, 100x -> S_app = {:.4} (paper: 1.1098)",
+        estimate_single(0.10, 100.0)?
+    );
     println!(
         "  leverage of that extra 10x of effort: {:.4} -> not worth it",
         optimization_leverage(0.10, 10.0, 100.0)?
@@ -62,10 +68,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  scenario 3 (replicated CD):   {:.2}  (paper 15.64)",
         estimate_grouped(&kernels, &[vec![0, 1, 2, 3, 4]])?
     );
-    println!("  ceiling at 98% coverage:      {:.2}", coverage_ceiling(&kernels)?);
+    println!(
+        "  ceiling at 98% coverage:      {:.2}",
+        coverage_ceiling(&kernels)?
+    );
 
     // ---- What-if: kill the dominant kernel's advantage --------------------
-    println!("\nWhat-if: CCExtract only reaches 5x instead of {:.1}x:", 52.23 / f);
+    println!(
+        "\nWhat-if: CCExtract only reaches 5x instead of {:.1}x:",
+        52.23 / f
+    );
     let mut nerfed = kernels.clone();
     nerfed[1] = KernelSpec::new("CCExtract", 0.54, 5.0);
     println!(

@@ -128,7 +128,10 @@ fn filter_body(env: &mut SpeEnv, wrapper: u32, blur: bool) -> cell_core::CellRes
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("Generating a {W}x{H} image ({:.1} MB raw — 22x the local store)…", (W * H * 3) as f64 / 1e6);
+    println!(
+        "Generating a {W}x{H} image ({:.1} MB raw — 22x the local store)…",
+        (W * H * 3) as f64 / 1e6
+    );
     let img = ColorImage::synthetic(W, H, 7)?;
 
     let mut machine = CellMachine::cell_be();
@@ -168,8 +171,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let ok = got == reference;
         println!(
             "{name}: {} in {dt} of virtual time{}",
-            if ok { "matches the host reference byte-for-byte" } else { "DIVERGED" },
-            if name.contains("convolution") { " (band borders halo-exchanged)" } else { "" },
+            if ok {
+                "matches the host reference byte-for-byte"
+            } else {
+                "DIVERGED"
+            },
+            if name.contains("convolution") {
+                " (band borders halo-exchanged)"
+            } else {
+                ""
+            },
         );
         assert!(ok);
     }

@@ -26,7 +26,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect::<Result<_, _>>()?;
     println!("Reference coverage on the PPE (the paper's profiling step):");
     for row in reference.coverage(&MachineProfile::ppe())? {
-        println!("  {:<11} {:5.1}%  ({} calls)", row.name, row.fraction * 100.0, row.calls);
+        println!(
+            "  {:<11} {:5.1}%  ({} calls)",
+            row.name,
+            row.fraction * 100.0,
+            row.calls
+        );
     }
     println!();
 
@@ -51,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{scenario:?}: {} for {} images — features {} — {} total SPE cycles",
             elapsed,
             images.len(),
-            if ok { "bit-identical to reference" } else { "DIVERGED!" },
+            if ok {
+                "bit-identical to reference"
+            } else {
+                "DIVERGED!"
+            },
             spe_busy
         );
         if let Some(g) = gantt {

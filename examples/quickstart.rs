@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ppe.mem().fill(data_ea, 3, 4096)?;
 
     let result = stub.send_and_wait(&mut ppe, op_sum, data_ea as u32)?;
-    println!("SPE says the block sums to {result} (expected {})", 3 * 4096);
+    println!(
+        "SPE says the block sums to {result} (expected {})",
+        3 * 4096
+    );
     assert_eq!(result, 3 * 4096);
 
     // 5. Tear down and look at the accounting.

@@ -22,9 +22,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut inputs: Vec<_> = (0..8)
         .map(|i| codec::encode(&ColorImage::synthetic(96, 64, 500 + i).unwrap(), 90))
         .collect();
-    inputs.push(codec::encode(&ColorImage::synthetic(96, 64, 503).unwrap(), 35));
+    inputs.push(codec::encode(
+        &ColorImage::synthetic(96, 64, 503).unwrap(),
+        35,
+    ));
 
-    println!("Analyzing {} images on the simulated Cell (pipelined)…", inputs.len());
+    println!(
+        "Analyzing {} images on the simulated Cell (pipelined)…",
+        inputs.len()
+    );
     let mut cell = CellMarvel::new(Scenario::ParallelExtract, true, 500)?;
     let analyses = cell.analyze_batch_pipelined(&inputs)?;
     let (elapsed, _) = cell.finish()?;

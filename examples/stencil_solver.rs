@@ -11,7 +11,10 @@ use cell_stencil::offload::{plain_solve, reference_solve, StencilApp};
 use cell_stencil::Grid;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    for (w, h, iters, regime) in [(128usize, 96usize, 50u32, "LS-resident"), (512, 256, 10, "banded")] {
+    for (w, h, iters, regime) in [
+        (128usize, 96usize, 50u32, "LS-resident"),
+        (512, 256, 10, "banded"),
+    ] {
         let grid = Grid::heat_problem(w, h)?;
         println!("{w}x{h} grid, {iters} Jacobi sweeps ({regime} regime expected):");
 
@@ -24,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  SPE result bit-identical to the scalar reference");
 
         let (_, prof) = reference_solve(&grid, iters);
-        for machine in [MachineProfile::laptop(), MachineProfile::desktop(), MachineProfile::ppe()] {
+        for machine in [
+            MachineProfile::laptop(),
+            MachineProfile::desktop(),
+            MachineProfile::ppe(),
+        ] {
             let t = machine.time(&prof);
             println!(
                 "  {:<28} {}  (SPE: {}, speed-up {:.1}x)",

@@ -10,6 +10,7 @@
 //! * [`cell_mfc`] — DMA engine: commands, tags, lists, multibuffering.
 //! * [`cell_spu`] — 128-bit SIMD emulation with pipeline accounting.
 //! * [`cell_sys`] — the machine: PPE, SPE threads, mailboxes, signals.
+//! * [`cell_trace`] — event bus, counters, Chrome-trace + metrics export.
 //! * [`portkit`] — the ICPP'07 porting strategy (the paper's contribution).
 //! * [`marvel`] — the MARVEL-like multimedia analysis case study.
 
@@ -20,6 +21,7 @@ pub use cell_mfc;
 pub use cell_spu;
 pub use cell_stencil;
 pub use cell_sys;
+pub use cell_trace;
 pub use marvel;
 pub use portkit;
 
@@ -30,6 +32,7 @@ pub mod prelude {
         OpClass, OpProfile, VirtualDuration,
     };
     pub use cell_sys::machine::CellMachine;
+    pub use cell_trace::{MetricsReport, TraceConfig, TraceReport};
     pub use portkit::amdahl::{estimate_grouped, estimate_sequential, estimate_single};
     pub use portkit::interface::SpeInterface;
 }

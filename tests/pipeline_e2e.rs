@@ -22,9 +22,18 @@ fn cell_reproduces_reference_analysis_over_a_set() {
     for (i, c) in set.iter().enumerate() {
         let got = cell.analyze(c).unwrap();
         for kind in EXTRACT_KINDS {
-            assert_eq!(got.feature(kind), want[i].feature(kind), "image {i}, {}", kind.name());
+            assert_eq!(
+                got.feature(kind),
+                want[i].feature(kind),
+                "image {i}, {}",
+                kind.name()
+            );
             let (g, w) = (got.score(kind), want[i].score(kind));
-            assert!((g - w).abs() < 1e-3 * w.abs().max(1.0), "image {i} {} score", kind.name());
+            assert!(
+                (g - w).abs() < 1e-3 * w.abs().max(1.0),
+                "image {i} {} score",
+                kind.name()
+            );
         }
     }
     let (elapsed, reports) = cell.finish().unwrap();
@@ -92,6 +101,60 @@ fn virtual_times_are_deterministic_across_runs() {
     let (t2, c2) = run();
     assert_eq!(t1, t2, "virtual wall time must be deterministic");
     assert_eq!(c1, c2, "per-SPE virtual clocks must be deterministic");
+}
+
+#[test]
+fn mailbox_traffic_balances_per_spe() {
+    use cell_trace::{Counter, EventKind, TraceConfig, Track};
+
+    let mut cell =
+        CellMarvel::with_trace(Scenario::ParallelExtract, true, 21, TraceConfig::Full).unwrap();
+    for c in &inputs(2, 500) {
+        cell.analyze(c).unwrap();
+    }
+    let (_, _, trace) = cell.finish_traced().unwrap();
+
+    let ppe = trace.tracks.iter().find(|t| t.track == Track::Ppe).unwrap();
+    for spe in trace
+        .tracks
+        .iter()
+        .filter(|t| matches!(t.track, Track::Spe(_)))
+    {
+        let Track::Spe(id) = spe.track else {
+            unreachable!()
+        };
+        // PPE mailbox events carry the SPE id in arg1, so traffic can be
+        // attributed per endpoint: every word the PPE sent to SPE `id`
+        // must have been read there, and every word SPE `id` sent must
+        // have been read on the PPE.
+        let sent_to = ppe
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::MailboxSend && e.arg1 == id as u64)
+            .count() as u64;
+        let recv_from = ppe
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::MailboxRecv && e.arg1 == id as u64)
+            .count() as u64;
+        assert_eq!(
+            sent_to,
+            spe.counters.get(Counter::MailboxRecvs),
+            "SPE {id}: PPE sends ≠ SPE receives"
+        );
+        assert_eq!(
+            spe.counters.get(Counter::MailboxSends),
+            recv_from,
+            "SPE {id}: SPE sends ≠ PPE receives"
+        );
+        assert!(sent_to > 0, "SPE {id} never addressed");
+    }
+    // And in aggregate the machine-wide ledger balances.
+    assert_eq!(
+        trace.counter(Counter::MailboxSends),
+        trace.counter(Counter::MailboxRecvs),
+        "a mailbox word was sent but never read (or vice versa)"
+    );
 }
 
 #[test]

@@ -1,11 +1,14 @@
-//! Property-based tests over the core invariants:
+//! Randomized-but-deterministic tests over the core invariants:
 //!
 //! * every SIMD / sliced kernel form equals its scalar reference on
 //!   arbitrary images and band splits;
 //! * wrappers, wire formats and memory primitives round-trip;
 //! * the Amdahl estimators behave monotonically.
-
-use proptest::prelude::*;
+//!
+//! Each test sweeps a seeded case set (SplitMix64-driven, so failures are
+//! reproducible from the printed case number alone) instead of depending
+//! on an external property-testing crate — the workspace must build
+//! offline.
 
 use cell_core::{align_up, SplitMix64};
 use marvel::classify::svm::SvmModel;
@@ -14,17 +17,29 @@ use marvel::features::{correlogram, edge, histogram, texture};
 use marvel::image::ColorImage;
 use portkit::amdahl::{estimate_grouped, estimate_sequential, estimate_single, KernelSpec};
 
-fn arb_image(max_w: usize, max_h: usize) -> impl Strategy<Value = ColorImage> {
-    ((8usize..max_w), (8usize..max_h), any::<u64>()).prop_map(|(w, h, seed)| {
-        ColorImage::synthetic(w, h, seed).unwrap()
-    })
+/// A random image with geometry in `[8, max_w) × [8, max_h)`.
+fn arb_image(rng: &mut SplitMix64, max_w: usize, max_h: usize) -> ColorImage {
+    let w = rng.next_in(8, max_w as u64) as usize;
+    let h = rng.next_in(8, max_h as u64) as usize;
+    ColorImage::synthetic(w, h, rng.next_u64()).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Run `body` over `cases` seeded cases, labelling failures by case index.
+fn sweep(name: &str, cases: u64, mut body: impl FnMut(&mut SplitMix64)) {
+    for case in 0..cases {
+        let mut rng = SplitMix64::new(0x5EED_0000 ^ (case.wrapping_mul(0x9E37_79B9)));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(e) = result {
+            panic!("{name}: case {case} failed: {e:?}");
+        }
+    }
+}
 
-    #[test]
-    fn ch_simd_equals_scalar(img in arb_image(120, 80), band_rows in 1usize..20) {
+#[test]
+fn ch_simd_equals_scalar() {
+    sweep("ch_simd_equals_scalar", 24, |rng| {
+        let img = arb_image(rng, 120, 80);
+        let band_rows = rng.next_in(1, 20) as usize;
         let reference = histogram::extract(&img);
         let mut sl = histogram::SlicedHistogram::new();
         let mut spu = cell_spu::Spu::new();
@@ -32,11 +47,15 @@ proptest! {
         for band in img.data().chunks(band_rows * img.row_bytes()) {
             sl.update_simd(&mut spu, band, &mut scratch);
         }
-        prop_assert_eq!(sl.finish(), reference);
-    }
+        assert_eq!(sl.finish(), reference);
+    });
+}
 
-    #[test]
-    fn cc_simd_banded_equals_scalar(img in arb_image(64, 48), band_rows in 4usize..24) {
+#[test]
+fn cc_simd_banded_equals_scalar() {
+    sweep("cc_simd_banded_equals_scalar", 24, |rng| {
+        let img = arb_image(rng, 64, 48);
+        let band_rows = rng.next_in(4, 24) as usize;
         let reference = correlogram::extract(&img);
         let bins = correlogram::quantize_image(&img);
         let (w, h) = (img.width(), img.height());
@@ -50,11 +69,15 @@ proptest! {
             acc.update_rows_simd(&mut spu, &bins[top * w..bot * w], y, y_end);
             y = y_end;
         }
-        prop_assert_eq!(acc.finish(), reference);
-    }
+        assert_eq!(acc.finish(), reference);
+    });
+}
 
-    #[test]
-    fn eh_simd_banded_equals_scalar(img in arb_image(100, 60), band_rows in 2usize..16) {
+#[test]
+fn eh_simd_banded_equals_scalar() {
+    sweep("eh_simd_banded_equals_scalar", 24, |rng| {
+        let img = arb_image(rng, 100, 60);
+        let band_rows = rng.next_in(2, 16) as usize;
         let reference = edge::extract(&img);
         let gray = img.to_gray();
         let (w, h) = (gray.width(), gray.height());
@@ -68,12 +91,15 @@ proptest! {
             acc.update_rows_simd(&mut spu, &gray.data()[top * w..bot * w], y, y_end);
             y = y_end;
         }
-        prop_assert_eq!(acc.finish(), reference);
-    }
+        assert_eq!(acc.finish(), reference);
+    });
+}
 
-    #[test]
-    fn tx_simd_banded_equals_scalar(img in arb_image(100, 60), band_pairs in 1usize..8) {
-        let reference = texture::extract(&img);
+#[test]
+fn tx_simd_banded_equals_scalar() {
+    sweep("tx_simd_banded_equals_scalar", 24, |rng| {
+        let img = arb_image(rng, 100, 60);
+        let band_pairs = rng.next_in(1, 8) as usize;
         let gray = img.to_gray();
         // TX consumes whole row pairs; clip odd heights like the kernel.
         let rows = gray.height() & !1;
@@ -87,41 +113,59 @@ proptest! {
             img.width(),
             rows,
             img.data()[..rows * img.row_bytes()].to_vec(),
-        ).unwrap();
-        let _ = reference;
-        prop_assert_eq!(acc.finish(), texture::extract(&clipped));
-    }
+        )
+        .unwrap();
+        assert_eq!(acc.finish(), texture::extract(&clipped));
+    });
+}
 
-    #[test]
-    fn quantizer_simd_equals_scalar_rowwise(img in arb_image(140, 12)) {
+#[test]
+fn quantizer_simd_equals_scalar_rowwise() {
+    sweep("quantizer_simd_equals_scalar_rowwise", 24, |rng| {
+        let img = arb_image(rng, 140, 12);
         let mut spu = cell_spu::Spu::new();
         for y in 0..img.height() {
             let mut a = vec![0u8; img.width()];
             let mut b = vec![0u8; img.width()];
             color::quantize_row(img.row(y), &mut a);
             color::quantize_row_simd(&mut spu, img.row(y), &mut b);
-            prop_assert_eq!(&a, &b);
+            assert_eq!(&a, &b);
         }
-    }
+    });
+}
 
-    #[test]
-    fn quantizer_stays_in_range(r in any::<u8>(), g in any::<u8>(), b in any::<u8>()) {
+#[test]
+fn quantizer_stays_in_range() {
+    // Small enough to sweep exhaustively on two channels plus a seeded third.
+    let mut rng = SplitMix64::new(0xC0105);
+    for _ in 0..4096 {
+        let (r, g, b) = (
+            rng.next_u32() as u8,
+            rng.next_u32() as u8,
+            rng.next_u32() as u8,
+        );
         let bin = color::quantize_rgb(r, g, b);
-        prop_assert!((bin as usize) < color::NUM_BINS);
+        assert!((bin as usize) < color::NUM_BINS);
     }
+}
 
-    #[test]
-    fn ppm_roundtrip(img in arb_image(64, 64)) {
+#[test]
+fn ppm_roundtrip() {
+    sweep("ppm_roundtrip", 24, |rng| {
+        let img = arb_image(rng, 64, 64);
         let back = ColorImage::from_ppm(&img.to_ppm()).unwrap();
-        prop_assert_eq!(img, back);
-    }
+        assert_eq!(img, back);
+    });
+}
 
-    #[test]
-    fn codec_roundtrip_has_bounded_error(img in arb_image(48, 48)) {
+#[test]
+fn codec_roundtrip_has_bounded_error() {
+    sweep("codec_roundtrip_has_bounded_error", 24, |rng| {
+        let img = arb_image(rng, 48, 48);
         let c = marvel::codec::encode(&img, 92);
         let back = marvel::codec::decode(&c).unwrap();
-        prop_assert_eq!(back.width(), img.width());
-        prop_assert_eq!(back.height(), img.height());
+        assert_eq!(back.width(), img.width());
+        assert_eq!(back.height(), img.height());
         let max_err = img
             .data()
             .iter()
@@ -129,21 +173,30 @@ proptest! {
             .map(|(a, b)| (*a as i32 - *b as i32).unsigned_abs())
             .max()
             .unwrap();
-        prop_assert!(max_err < 96, "max channel error {}", max_err);
-    }
+        assert!(max_err < 96, "max channel error {max_err}");
+    });
+}
 
-    #[test]
-    fn svm_wire_roundtrip(dim in 1usize..64, n in 1usize..16, seed in any::<u64>()) {
-        let m = SvmModel::synthetic("p", dim, n, seed);
+#[test]
+fn svm_wire_roundtrip() {
+    sweep("svm_wire_roundtrip", 24, |rng| {
+        let dim = rng.next_in(1, 64) as usize;
+        let n = rng.next_in(1, 16) as usize;
+        let m = SvmModel::synthetic("p", dim, n, rng.next_u64());
         let back = SvmModel::from_wire("p", &m.to_wire()).unwrap();
-        prop_assert_eq!(m, back);
-    }
+        assert_eq!(m, back);
+    });
+}
 
-    #[test]
-    fn svm_simd_score_close_to_scalar(dim in 4usize..48, n in 1usize..12, seed in any::<u64>()) {
+#[test]
+fn svm_simd_score_close_to_scalar() {
+    sweep("svm_simd_score_close_to_scalar", 24, |rng| {
+        let dim = rng.next_in(4, 48) as usize;
+        let n = rng.next_in(1, 12) as usize;
+        let seed = rng.next_u64();
         let m = SvmModel::synthetic("p", dim, n, seed);
-        let mut rng = SplitMix64::new(seed ^ 1);
-        let x: Vec<f32> = (0..dim).map(|_| rng.next_f64() as f32 * 0.2).collect();
+        let mut frng = SplitMix64::new(seed ^ 1);
+        let x: Vec<f32> = (0..dim).map(|_| frng.next_f64() as f32 * 0.2).collect();
         let scalar = m.score(&x).unwrap();
         let wire = m.to_wire();
         let rec = SvmModel::record_bytes(dim);
@@ -151,47 +204,71 @@ proptest! {
         let mut simd = m.bias;
         for i in 0..n {
             let base = SvmModel::HEADER_BYTES + i * rec;
-            simd += marvel::classify::svm::score_record_simd(&mut spu, m.kernel, &x, &wire[base..base + rec]);
+            simd += marvel::classify::svm::score_record_simd(
+                &mut spu,
+                m.kernel,
+                &x,
+                &wire[base..base + rec],
+            );
         }
-        prop_assert!((simd - scalar).abs() < 1e-3 * scalar.abs().max(1.0), "{} vs {}", simd, scalar);
-    }
+        assert!(
+            (simd - scalar).abs() < 1e-3 * scalar.abs().max(1.0),
+            "{simd} vs {scalar}"
+        );
+    });
+}
 
-    #[test]
-    fn amdahl_monotone_in_speedup(fr in 0.01f64..0.99, s1 in 1.0f64..50.0, extra in 0.1f64..50.0) {
+#[test]
+fn amdahl_monotone_in_speedup() {
+    sweep("amdahl_monotone_in_speedup", 64, |rng| {
+        let fr = 0.01 + rng.next_f64() * 0.98;
+        let s1 = 1.0 + rng.next_f64() * 49.0;
+        let extra = 0.1 + rng.next_f64() * 49.9;
         let a = estimate_single(fr, s1).unwrap();
         let b = estimate_single(fr, s1 + extra).unwrap();
-        prop_assert!(b >= a, "{} then {}", a, b);
-    }
+        assert!(b >= a, "{a} then {b}");
+    });
+}
 
-    #[test]
-    fn grouped_never_loses_to_sequential(
-        fracs in proptest::collection::vec(0.01f64..0.2, 2..6),
-        speedup in 1.5f64..40.0,
-    ) {
-        let kernels: Vec<KernelSpec> = fracs
-            .iter()
-            .enumerate()
-            .map(|(i, &f)| KernelSpec::new("k", f, speedup + i as f64))
+#[test]
+fn grouped_never_loses_to_sequential() {
+    sweep("grouped_never_loses_to_sequential", 64, |rng| {
+        let n = rng.next_in(2, 6) as usize;
+        let speedup = 1.5 + rng.next_f64() * 38.5;
+        let kernels: Vec<KernelSpec> = (0..n)
+            .map(|i| {
+                let f = 0.01 + rng.next_f64() * 0.19;
+                KernelSpec::new("k", f, speedup + i as f64)
+            })
             .collect();
         let seq = estimate_sequential(&kernels).unwrap();
         let grouped = estimate_grouped(&kernels, &[(0..kernels.len()).collect()]).unwrap();
-        prop_assert!(grouped + 1e-12 >= seq, "grouped {} < sequential {}", grouped, seq);
-    }
+        assert!(
+            grouped + 1e-12 >= seq,
+            "grouped {grouped} < sequential {seq}"
+        );
+    });
+}
 
-    #[test]
-    fn align_up_is_idempotent_and_minimal(v in 0usize..1_000_000, pow in 0u32..12) {
-        let a = 1usize << pow;
+#[test]
+fn align_up_is_idempotent_and_minimal() {
+    sweep("align_up_is_idempotent_and_minimal", 256, |rng| {
+        let v = rng.next_below(1_000_000) as usize;
+        let a = 1usize << rng.next_below(12);
         let up = align_up(v, a);
-        prop_assert!(up >= v);
-        prop_assert!(up - v < a);
-        prop_assert_eq!(align_up(up, a), up);
-    }
+        assert!(up >= v);
+        assert!(up - v < a);
+        assert_eq!(align_up(up, a), up);
+    });
+}
 
-    #[test]
-    fn splitmix_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
-        let mut r = SplitMix64::new(seed);
+#[test]
+fn splitmix_bounds() {
+    sweep("splitmix_bounds", 64, |rng| {
+        let bound = rng.next_in(1, 1_000_000);
+        let mut r = SplitMix64::new(rng.next_u64());
         for _ in 0..32 {
-            prop_assert!(r.next_below(bound) < bound);
+            assert!(r.next_below(bound) < bound);
         }
-    }
+    });
 }

@@ -54,7 +54,12 @@ fn grouped_estimate_bounds_measured_parallel_gain() {
     reference.analyze(&input).unwrap();
     let ppe = MachineProfile::ppe();
     let rows = reference.coverage(&ppe).unwrap();
-    let frac = |n: &str| rows.iter().find(|r| r.name == n).map(|r| r.fraction).unwrap();
+    let frac = |n: &str| {
+        rows.iter()
+            .find(|r| r.name == n)
+            .map(|r| r.fraction)
+            .unwrap()
+    };
     let _ = img;
     let specs = vec![
         KernelSpec::new("CH", frac("CHExtract"), 40.0),
@@ -63,7 +68,10 @@ fn grouped_estimate_bounds_measured_parallel_gain() {
         KernelSpec::new("EH", frac("EHExtract"), 60.0),
         KernelSpec::new("CD", frac("ConceptDet"), 15.0),
     ];
-    let est_seq = Schedule::sequential(5, 8).unwrap().estimate(&specs).unwrap();
+    let est_seq = Schedule::sequential(5, 8)
+        .unwrap()
+        .estimate(&specs)
+        .unwrap();
     let est_par = Schedule::grouped(vec![vec![0, 1, 2, 3], vec![4]], 8)
         .unwrap()
         .estimate(&specs)
@@ -118,7 +126,10 @@ fn interrupt_mode_interface_works_under_load() {
     let h = m.spawn(0, Box::new(d)).unwrap();
     let mut iface = SpeInterface::new("worker", 0, ReplyMode::Interrupt);
     for i in 0..200u32 {
-        assert_eq!(iface.send_and_wait(&mut ppe, op, i).unwrap(), i.wrapping_mul(i));
+        assert_eq!(
+            iface.send_and_wait(&mut ppe, op, i).unwrap(),
+            i.wrapping_mul(i)
+        );
     }
     iface.close(&mut ppe).unwrap();
     h.join().unwrap();

@@ -1,0 +1,314 @@
+//! Observability integration: the `cell-trace` event bus against the
+//! machine layers it instruments.
+//!
+//! Three invariants anchor the suite: conservation (every DMA byte the
+//! trace claims matches the main-memory access counters), coverage (a
+//! fully traced MARVEL run produces events from every layer and a
+//! structurally sound Chrome JSON export), and prediction (the Amdahl
+//! decomposition recovered *from the trace* forecasts the measured
+//! grouped-parallel speedup, paper Eq. 2/3).
+
+use cell_core::{CellResult, MachineConfig};
+use cell_sys::machine::CellMachine;
+use cell_sys::spe::SpeEnv;
+use cell_trace::{eq2_sequential, eq3_grouped, Counter, EventKind, Track};
+use cellport::prelude::*;
+use marvel::app::{CellMarvel, Scenario, EXTRACT_KINDS};
+use marvel::codec;
+use marvel::image::ColorImage;
+use portkit::amdahl::KernelSpec;
+
+const OP_EXIT: u32 = 0;
+const OP_SUM: u32 = 2;
+const BLOCK: usize = 4096;
+
+/// Minimal Listing-1-style kernel: DMA a block in, reduce it, DMA the
+/// 16-byte result line out, reply.
+fn sum_kernel(env: &mut SpeEnv) -> CellResult<()> {
+    loop {
+        match env.read_in_mbox()? {
+            OP_EXIT => return Ok(()),
+            _ => {
+                let addr = env.read_in_mbox()? as u64;
+                let la = env.ls.alloc(BLOCK, 16)?;
+                env.dma_get_sync(la, addr, BLOCK, 0)?;
+                let mut sum = 0u32;
+                {
+                    let buf = env.ls.slice(la, BLOCK)?;
+                    for &b in buf {
+                        sum = sum.wrapping_add(b as u32);
+                    }
+                }
+                env.spu.scalar_op(BLOCK as u64);
+                env.ls.write_u32(la, sum)?;
+                env.dma_put_sync(la, addr, 16, 0)?;
+                env.ls.reset();
+                env.write_out_mbox(1)?;
+            }
+        }
+    }
+}
+
+/// Conservation: between two snapshots of the main-memory access
+/// counters, the only traffic is SPE DMA — so the per-SPE trace counters
+/// must account for every byte, and the EIB for their sum.
+#[test]
+fn dma_bytes_are_conserved_against_main_memory() {
+    let mut m = CellMachine::new(MachineConfig::small()).unwrap();
+    m.set_trace_config(TraceConfig::Counters);
+    let mut ppe = m.ppe();
+    let h0 = m.spawn(0, Box::new(sum_kernel)).unwrap();
+    let h1 = m.spawn(1, Box::new(sum_kernel)).unwrap();
+
+    // Stage inputs (PPE-side writes, outside the measured window).
+    let mut addrs = Vec::new();
+    for i in 0..2u8 {
+        let addr = ppe.mem().alloc(BLOCK, 128).unwrap();
+        ppe.mem().write(addr, &vec![i + 1; BLOCK]).unwrap();
+        addrs.push(addr);
+    }
+
+    let read0 = ppe.mem().bytes_read();
+    let written0 = ppe.mem().bytes_written();
+    for (spe, addr) in addrs.iter().enumerate() {
+        ppe.write_in_mbox(spe, OP_SUM).unwrap();
+        ppe.write_in_mbox(spe, *addr as u32).unwrap();
+    }
+    assert_eq!(ppe.read_out_mbox(0).unwrap(), 1);
+    assert_eq!(ppe.read_out_mbox(1).unwrap(), 1);
+    // Both kernels replied after their dma_put_sync, so all DMA memory
+    // traffic is complete here.
+    let dma_read = ppe.mem().bytes_read() - read0;
+    let dma_written = ppe.mem().bytes_written() - written0;
+
+    ppe.write_in_mbox(0, OP_EXIT).unwrap();
+    ppe.write_in_mbox(1, OP_EXIT).unwrap();
+    let reports = [h0.join().unwrap(), h1.join().unwrap()];
+
+    let traced_in: u64 = reports
+        .iter()
+        .map(|r| r.trace.counters.get(Counter::DmaBytesIn))
+        .sum();
+    let traced_out: u64 = reports
+        .iter()
+        .map(|r| r.trace.counters.get(Counter::DmaBytesOut))
+        .sum();
+    assert_eq!(traced_in, 2 * BLOCK as u64);
+    assert_eq!(traced_out, 2 * 16);
+    assert_eq!(dma_read, traced_in, "main memory read ≠ traced DMA in");
+    assert_eq!(
+        dma_written, traced_out,
+        "main memory written ≠ traced DMA out"
+    );
+
+    // The bus saw exactly the same payload.
+    let eib = m.take_eib_trace();
+    assert_eq!(eib.counters.get(Counter::EibBytes), traced_in + traced_out);
+    // Counters mode keeps the event stream empty.
+    assert!(eib.events.is_empty());
+    assert!(reports.iter().all(|r| r.trace.events.is_empty()));
+    m.shutdown();
+}
+
+fn marvel_input(w: usize, h: usize, seed: u64) -> codec::Compressed {
+    codec::encode(&ColorImage::synthetic(w, h, seed).unwrap(), 90)
+}
+
+/// A fully traced MARVEL run yields at least one event from every layer
+/// and a structurally sound Chrome trace export.
+#[test]
+fn full_trace_covers_every_layer_and_exports_chrome_json() {
+    let mut cell =
+        CellMarvel::with_trace(Scenario::ParallelExtract, true, 11, TraceConfig::Full).unwrap();
+    cell.analyze(&marvel_input(64, 48, 11)).unwrap();
+    let (_, reports, trace) = cell.finish_traced().unwrap();
+    assert_eq!(reports.len(), 5);
+    // PPE + 5 SPEs + EIB.
+    assert_eq!(trace.tracks.len(), 7);
+
+    for kind in [
+        EventKind::MailboxSend,
+        EventKind::MailboxRecv,
+        EventKind::DmaGet,
+        EventKind::DmaPut,
+        EventKind::EibTransfer,
+        EventKind::SpuSlice,
+        EventKind::Dispatch,
+        EventKind::Kernel,
+    ] {
+        assert!(
+            trace.events_of(kind).next().is_some(),
+            "no {kind:?} event recorded"
+        );
+    }
+
+    let json = trace.to_chrome_json();
+    assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    for name in ["\"PPE\"", "\"SPE0\"", "\"SPE4\"", "\"EIB\"", "thread_name"] {
+        assert!(json.contains(name), "export lacks {name}");
+    }
+    // Structural soundness: braces/brackets balance outside strings and
+    // close exactly at the end.
+    let (mut depth, mut in_str, mut escaped) = (0i64, false, false);
+    for (i, c) in json.chars().enumerate() {
+        if in_str {
+            match (escaped, c) {
+                (true, _) => escaped = false,
+                (false, '\\') => escaped = true,
+                (false, '"') => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => depth -= 1,
+            _ => {}
+        }
+        assert!(depth >= 0, "unbalanced close at byte {i}");
+        if depth == 0 {
+            assert_eq!(
+                i,
+                json.trim_end().len() - 1,
+                "early top-level close at byte {i}"
+            );
+        }
+    }
+    assert_eq!(depth, 0, "export never closes");
+    assert!(!in_str, "export ends inside a string");
+}
+
+/// The local Eq. 2/3 helpers in `cell-trace` agree with `portkit`'s
+/// validated Amdahl estimators.
+#[test]
+fn eq_helpers_match_portkit_amdahl() {
+    let fractions = [(0.30, 10.0), (0.25, 8.0), (0.20, 12.0), (0.15, 6.0)];
+    let specs: Vec<KernelSpec> = fractions
+        .iter()
+        .map(|&(f, s)| KernelSpec::new("k", f, s))
+        .collect();
+    let groups = vec![vec![0, 1, 2], vec![3]];
+
+    let seq_local = eq2_sequential(&fractions);
+    let seq_port = estimate_sequential(&specs).unwrap();
+    assert!(
+        (seq_local - seq_port).abs() < 1e-12,
+        "{seq_local} vs {seq_port}"
+    );
+
+    let grp_local = eq3_grouped(&fractions, &groups);
+    let grp_port = estimate_grouped(&specs, &groups).unwrap();
+    assert!(
+        (grp_local - grp_port).abs() < 1e-12,
+        "{grp_local} vs {grp_port}"
+    );
+    assert!(grp_local > seq_local, "grouping must help");
+}
+
+/// The acceptance check of the observability PR: the Amdahl
+/// decomposition recovered from a traced *sequential* run predicts the
+/// measured grouped-parallel speedup within 5 % (paper Eq. 3 with unit
+/// per-kernel speedups — the kernels do the same work, only overlapped).
+#[test]
+fn trace_decomposition_predicts_grouped_speedup() {
+    let input = marvel_input(96, 64, 13);
+
+    let mut seq =
+        CellMarvel::with_trace(Scenario::Sequential, true, 13, TraceConfig::Full).unwrap();
+    seq.analyze(&input).unwrap();
+    let (t_seq, _, trace) = seq.finish_traced().unwrap();
+
+    let mut grouped =
+        CellMarvel::with_trace(Scenario::ParallelExtract, true, 13, TraceConfig::Full).unwrap();
+    grouped.analyze(&input).unwrap();
+    let (t_grouped, _, _) = grouped.finish_traced().unwrap();
+    let observed = t_seq.seconds() / t_grouped.seconds();
+    assert!(
+        observed > 1.0,
+        "grouping must speed the run up, got {observed:.3}"
+    );
+
+    let metrics = trace.metrics();
+    assert!(metrics.total_seconds > 0.0);
+    let decomp = metrics.amdahl_decomposition();
+    // On the simulated machine the PPE-resident decode is the dominant
+    // serial part (the paper's §5.2 observation); the dispatch spans
+    // still have to account for a visible slice of the run.
+    let covered = decomp.covered_fraction();
+    assert!(
+        (0.05..1.0).contains(&covered),
+        "implausible coverage {covered:.3}"
+    );
+
+    // Group the four extraction phases; detection stays sequential on its
+    // own SPE in both scenarios.
+    let extract: Vec<usize> = decomp
+        .phases
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| EXTRACT_KINDS.iter().any(|k| k.name() == p.label))
+        .map(|(i, _)| i)
+        .collect();
+    let detect: Vec<usize> = decomp
+        .phases
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.label == "ConceptDet")
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(extract.len(), 4);
+    assert_eq!(detect.len(), 1);
+    let predicted = decomp.predicted_grouped_speedup(&[extract, detect]);
+
+    let rel = (observed - predicted).abs() / predicted;
+    assert!(
+        rel < 0.05,
+        "observed {observed:.4} vs predicted {predicted:.4} ({:.1}% off)",
+        rel * 100.0
+    );
+}
+
+/// Tracing must be free in virtual time: a fully traced run and an
+/// untraced run of the same workload land on the identical cycle.
+/// (Sequential scenario: the parallel ones admit host-scheduling jitter
+/// in EIB contention ordering, independent of tracing.)
+#[test]
+fn tracing_does_not_perturb_virtual_time() {
+    let input = marvel_input(48, 32, 17);
+    let run = |config: TraceConfig| {
+        let mut cell = CellMarvel::with_trace(Scenario::Sequential, true, 17, config).unwrap();
+        cell.analyze(&input).unwrap();
+        cell.finish().unwrap().0
+    };
+    let off = run(TraceConfig::Off);
+    let counters = run(TraceConfig::Counters);
+    let full = run(TraceConfig::Full);
+    assert_eq!(off, counters, "Counters mode shifted virtual time");
+    assert_eq!(off, full, "Full mode shifted virtual time");
+}
+
+/// The metrics report carries per-SPE and bus aggregates that agree with
+/// the raw trace counters.
+#[test]
+fn metrics_report_aggregates_match_counters() {
+    let mut cell =
+        CellMarvel::with_trace(Scenario::Sequential, true, 19, TraceConfig::Full).unwrap();
+    cell.analyze(&marvel_input(64, 48, 19)).unwrap();
+    let (_, _, trace) = cell.finish_traced().unwrap();
+    let metrics = trace.metrics();
+
+    assert_eq!(metrics.spes.len(), 5);
+    let in_sum: u64 = metrics.spes.iter().map(|s| s.dma_bytes_in).sum();
+    assert_eq!(in_sum, trace.counter(Counter::DmaBytesIn));
+    let eib_track = trace.tracks.iter().find(|t| t.track == Track::Eib).unwrap();
+    assert_eq!(metrics.eib.bytes, eib_track.counters.get(Counter::EibBytes));
+    assert!(metrics.eib.transfers > 0);
+    assert!((0.0..=1.0).contains(&metrics.eib.utilization));
+    assert!(metrics.dma_latency.count() > 0);
+    let rendered = metrics.render();
+    assert!(
+        rendered.contains("CCExtract"),
+        "render lacks phase rows:\n{rendered}"
+    );
+}
