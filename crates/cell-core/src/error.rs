@@ -67,6 +67,8 @@ pub enum CellError {
     BadConfig { message: String },
     /// Image or model data failed validation.
     BadData { message: String },
+    /// A fault-injection plan fired at this operation (chaos testing).
+    FaultInjected { what: &'static str },
 }
 
 impl fmt::Display for CellError {
@@ -136,6 +138,7 @@ impl fmt::Display for CellError {
             }
             CellError::BadConfig { message } => write!(f, "bad configuration: {message}"),
             CellError::BadData { message } => write!(f, "bad data: {message}"),
+            CellError::FaultInjected { what } => write!(f, "injected fault: {what}"),
         }
     }
 }
@@ -172,6 +175,14 @@ mod tests {
         };
         assert!(e.to_string().contains('9'));
         assert!(e.to_string().contains('8'));
+    }
+
+    #[test]
+    fn fault_injected_display() {
+        let e = CellError::FaultInjected {
+            what: "SPE crash on dispatch 3",
+        };
+        assert_eq!(e.to_string(), "injected fault: SPE crash on dispatch 3");
     }
 
     #[test]

@@ -1,0 +1,405 @@
+//! **cell-fault** — deterministic, seeded fault injection for the
+//! simulated Cell machine.
+//!
+//! Real Cell deployments live or die by how they handle *partial*
+//! failures: an SPE that crashes or wedges mid-kernel, a DMA that stalls
+//! under EIB contention, a mailbox reply that never arrives. This crate
+//! provides the chaos half of that story: a [`FaultPlan`] describes, up
+//! front and deterministically, which faults fire at which operation
+//! indices on which SPE. The machine consults the plan at three
+//! injection points:
+//!
+//! * **SPE dispatch** — the Nth inbound-mailbox read of an SPE
+//!   (`cell-sys/src/spe.rs`): crash ([`FaultKind::SpeCrash`]) or hang
+//!   until shutdown ([`FaultKind::SpeHang`]);
+//! * **DMA** — the Nth transfer issued by an SPE's MFC
+//!   (`cell-mfc/src/dma.rs`): extra latency ([`FaultKind::DmaDelay`]) or
+//!   a transient failure absorbed by an automatic retry
+//!   ([`FaultKind::DmaFault`]);
+//! * **mailbox reply** — the Nth outbound-mailbox write of an SPE:
+//!   silently dropped ([`FaultKind::ReplyDrop`]) or stalled in virtual
+//!   time ([`FaultKind::ReplyStall`]).
+//!
+//! # Determinism
+//!
+//! A plan is a pure value: same seed → same [`FaultSpec`]s → same faults
+//! at the same per-SPE operation indices, independent of host thread
+//! scheduling. Each injection point owns its own [`FaultLine`] (armed
+//! from the plan with [`FaultPlan::arm`]), whose operation counter is
+//! private to the owning SPE thread — no cross-thread state, so the
+//! fault *schedule* is reproducible even though host interleaving is
+//! not. [`FaultPlan::chaos`] derives a random-looking plan from the
+//! in-tree `SplitMix64`; no wall-clock input anywhere.
+//!
+//! # Zero cost when disabled
+//!
+//! Mirroring `TraceConfig::Off`, a default (empty) plan arms empty
+//! [`FaultLine`]s whose [`FaultLine::next`] is a single
+//! `is_empty()` branch — no allocation, no counter update, nothing else
+//! on the hot path.
+
+use cell_core::rng::SplitMix64;
+
+/// What happens when a fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The SPE kernel dies with `CellError::FaultInjected` — its thread
+    /// exits and its mailboxes close, like a crashed SPU program.
+    SpeCrash,
+    /// The SPE wedges: it silently discards every further inbound
+    /// mailbox word (including `SPU_EXIT`) and only wakes — with an
+    /// error — when the machine shuts its mailboxes.
+    SpeHang,
+    /// The DMA transfer completes `cycles` later than modeled — EIB
+    /// congestion, a livelocked ring slot.
+    DmaDelay {
+        /// Extra SPU cycles added to the transfer's completion time.
+        cycles: u64,
+    },
+    /// The DMA transfer fails once and the MFC retries it
+    /// automatically; the retry costs `retry_penalty` extra cycles.
+    DmaFault {
+        /// SPU cycles the automatic retry adds to the completion time.
+        retry_penalty: u64,
+    },
+    /// The outbound mailbox word is silently dropped — the PPE waits
+    /// for a reply that never comes.
+    ReplyDrop,
+    /// The outbound mailbox word is written `cycles` later in virtual
+    /// time.
+    ReplyStall {
+        /// SPU cycles the reply is delayed by.
+        cycles: u64,
+    },
+}
+
+/// Where in the machine a fault is injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// `SpeEnv::read_in_mbox` — the dispatcher's opcode/argument reads.
+    SpeDispatch,
+    /// `Mfc::issue_one` — every DMA transfer the SPE issues.
+    Dma,
+    /// `SpeEnv::write_out_mbox` / `write_out_intr_mbox` — the kernel's
+    /// reply word.
+    MailboxReply,
+}
+
+/// One planned fault: at the `at`-th operation (1-based) of `site` on
+/// SPE `spe`, inject `kind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    pub site: FaultSite,
+    pub spe: usize,
+    /// 1-based operation index at the site (the 1st dispatch read, the
+    /// 3rd DMA, …).
+    pub at: u64,
+    pub kind: FaultKind,
+}
+
+/// A deterministic fault schedule for one machine run.
+///
+/// Build one with the explicit methods ([`crash_spe`](Self::crash_spe),
+/// [`delay_dma`](Self::delay_dma), …) or derive one from a seed with
+/// [`chaos`](Self::chaos), then install it with
+/// `CellMachine::set_fault_plan` before spawning SPEs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults, zero-cost lines everywhere.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// All planned faults.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Add an arbitrary spec.
+    #[must_use]
+    pub fn with(mut self, spec: FaultSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Crash SPE `spe` on its `at`-th dispatched op (inbound read).
+    #[must_use]
+    pub fn crash_spe(self, spe: usize, at: u64) -> Self {
+        self.with(FaultSpec {
+            site: FaultSite::SpeDispatch,
+            spe,
+            at,
+            kind: FaultKind::SpeCrash,
+        })
+    }
+
+    /// Hang SPE `spe` on its `at`-th dispatched op.
+    #[must_use]
+    pub fn hang_spe(self, spe: usize, at: u64) -> Self {
+        self.with(FaultSpec {
+            site: FaultSite::SpeDispatch,
+            spe,
+            at,
+            kind: FaultKind::SpeHang,
+        })
+    }
+
+    /// Delay SPE `spe`'s `at`-th DMA transfer by `cycles`.
+    #[must_use]
+    pub fn delay_dma(self, spe: usize, at: u64, cycles: u64) -> Self {
+        self.with(FaultSpec {
+            site: FaultSite::Dma,
+            spe,
+            at,
+            kind: FaultKind::DmaDelay { cycles },
+        })
+    }
+
+    /// Fail SPE `spe`'s `at`-th DMA transfer once; the MFC's automatic
+    /// retry costs `retry_penalty` cycles.
+    #[must_use]
+    pub fn fail_dma(self, spe: usize, at: u64, retry_penalty: u64) -> Self {
+        self.with(FaultSpec {
+            site: FaultSite::Dma,
+            spe,
+            at,
+            kind: FaultKind::DmaFault { retry_penalty },
+        })
+    }
+
+    /// Drop SPE `spe`'s `at`-th reply word.
+    #[must_use]
+    pub fn drop_reply(self, spe: usize, at: u64) -> Self {
+        self.with(FaultSpec {
+            site: FaultSite::MailboxReply,
+            spe,
+            at,
+            kind: FaultKind::ReplyDrop,
+        })
+    }
+
+    /// Stall SPE `spe`'s `at`-th reply word by `cycles` of virtual time.
+    #[must_use]
+    pub fn stall_reply(self, spe: usize, at: u64, cycles: u64) -> Self {
+        self.with(FaultSpec {
+            site: FaultSite::MailboxReply,
+            spe,
+            at,
+            kind: FaultKind::ReplyStall { cycles },
+        })
+    }
+
+    /// Derive a deterministic random-looking plan from `seed`:
+    /// `faults` faults spread over `num_spes` SPEs and the first
+    /// `ops_horizon` operations of each site. Same seed → same plan.
+    #[must_use]
+    pub fn chaos(seed: u64, num_spes: usize, faults: usize, ops_horizon: u64) -> Self {
+        assert!(num_spes > 0, "chaos plan needs at least one SPE");
+        assert!(ops_horizon > 0, "chaos plan needs a positive op horizon");
+        let mut rng = SplitMix64::new(seed ^ 0xFA_0175);
+        let mut plan = FaultPlan::new();
+        for _ in 0..faults {
+            let spe = rng.next_below(num_spes as u64) as usize;
+            let at = 1 + rng.next_below(ops_horizon);
+            let cycles = 1_000 + rng.next_below(100_000);
+            plan = match rng.next_below(6) {
+                0 => plan.crash_spe(spe, at),
+                1 => plan.hang_spe(spe, at),
+                2 => plan.delay_dma(spe, at, cycles),
+                3 => plan.fail_dma(spe, at, cycles),
+                4 => plan.drop_reply(spe, at),
+                _ => plan.stall_reply(spe, at, cycles),
+            };
+        }
+        plan
+    }
+
+    /// Arm the plan for one injection point: the [`FaultLine`] the
+    /// owning component consults on every operation. Arming is a pure
+    /// function of `(plan, site, spe)`, so per-line op counting is
+    /// deterministic regardless of thread interleaving.
+    pub fn arm(&self, site: FaultSite, spe: usize) -> FaultLine {
+        let mut specs: Vec<ArmedFault> = self
+            .specs
+            .iter()
+            .filter(|s| s.site == site && s.spe == spe)
+            .map(|s| ArmedFault {
+                at: s.at,
+                kind: s.kind,
+            })
+            .collect();
+        specs.sort_by_key(|s| s.at);
+        FaultLine { ops: 0, specs }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ArmedFault {
+    at: u64,
+    kind: FaultKind,
+}
+
+/// The per-injection-point fault schedule, owned by the component that
+/// consults it (one per SPE per site — never shared across threads).
+///
+/// `tick()` is called once per operation; it returns the fault to
+/// inject, if any. When no faults are armed (the default), the call is
+/// one `is_empty()` branch and nothing else.
+#[derive(Debug, Clone)]
+pub struct FaultLine {
+    ops: u64,
+    /// Remaining faults, sorted by `at` ascending; fired specs are
+    /// drained from the front so an exhausted line is as cheap as an
+    /// empty one.
+    specs: Vec<ArmedFault>,
+}
+
+impl FaultLine {
+    /// A line with no faults — the zero-cost default.
+    pub const fn off() -> Self {
+        FaultLine {
+            ops: 0,
+            specs: Vec::new(),
+        }
+    }
+
+    /// `true` when no faults remain to fire.
+    pub fn is_exhausted(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Count one operation; returns the fault scheduled for it, if any.
+    #[inline]
+    pub fn tick(&mut self) -> Option<FaultKind> {
+        if self.specs.is_empty() {
+            return None;
+        }
+        self.advance()
+    }
+
+    #[cold]
+    fn advance(&mut self) -> Option<FaultKind> {
+        self.ops += 1;
+        // Drop specs the counter has already passed (possible when an
+        // earlier fault killed the consumer before a later one fired).
+        while let Some(first) = self.specs.first() {
+            if first.at > self.ops {
+                return None;
+            }
+            let fired = self.specs.remove(0);
+            if fired.at == self.ops {
+                return Some(fired.kind);
+            }
+        }
+        None
+    }
+}
+
+impl Default for FaultLine {
+    fn default() -> Self {
+        FaultLine::off()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_line_is_inert() {
+        let mut line = FaultLine::off();
+        for _ in 0..1000 {
+            assert_eq!(line.tick(), None);
+        }
+        // The empty fast path must not even count ops (no state churn).
+        assert_eq!(line.ops, 0);
+        assert_eq!(line.specs.capacity(), 0, "no allocation when disabled");
+    }
+
+    #[test]
+    fn faults_fire_at_their_op_index() {
+        let plan = FaultPlan::new()
+            .crash_spe(3, 2)
+            .delay_dma(3, 1, 500)
+            .drop_reply(3, 4);
+        let mut dispatch = plan.arm(FaultSite::SpeDispatch, 3);
+        assert_eq!(dispatch.tick(), None);
+        assert_eq!(dispatch.tick(), Some(FaultKind::SpeCrash));
+        assert_eq!(dispatch.tick(), None);
+        assert!(dispatch.is_exhausted());
+
+        let mut dma = plan.arm(FaultSite::Dma, 3);
+        assert_eq!(dma.tick(), Some(FaultKind::DmaDelay { cycles: 500 }));
+
+        let mut reply = plan.arm(FaultSite::MailboxReply, 3);
+        for _ in 0..3 {
+            assert_eq!(reply.tick(), None);
+        }
+        assert_eq!(reply.tick(), Some(FaultKind::ReplyDrop));
+    }
+
+    #[test]
+    fn arming_filters_by_site_and_spe() {
+        let plan = FaultPlan::new().crash_spe(1, 1).hang_spe(2, 1);
+        assert!(plan.arm(FaultSite::SpeDispatch, 0).is_exhausted());
+        assert!(plan.arm(FaultSite::Dma, 1).is_exhausted());
+        assert_eq!(
+            plan.arm(FaultSite::SpeDispatch, 1).tick(),
+            Some(FaultKind::SpeCrash)
+        );
+        assert_eq!(
+            plan.arm(FaultSite::SpeDispatch, 2).tick(),
+            Some(FaultKind::SpeHang)
+        );
+    }
+
+    #[test]
+    fn multiple_faults_on_one_line_fire_in_order() {
+        let plan = FaultPlan::new()
+            .stall_reply(0, 3, 10)
+            .drop_reply(0, 1)
+            .stall_reply(0, 5, 20);
+        let mut line = plan.arm(FaultSite::MailboxReply, 0);
+        assert_eq!(line.tick(), Some(FaultKind::ReplyDrop));
+        assert_eq!(line.tick(), None);
+        assert_eq!(line.tick(), Some(FaultKind::ReplyStall { cycles: 10 }));
+        assert_eq!(line.tick(), None);
+        assert_eq!(line.tick(), Some(FaultKind::ReplyStall { cycles: 20 }));
+        assert!(line.is_exhausted());
+    }
+
+    #[test]
+    fn chaos_plans_are_deterministic() {
+        let a = FaultPlan::chaos(41, 8, 6, 20);
+        let b = FaultPlan::chaos(41, 8, 6, 20);
+        assert_eq!(a, b);
+        assert_eq!(a.specs().len(), 6);
+        let c = FaultPlan::chaos(42, 8, 6, 20);
+        assert_ne!(a, c, "different seed should give a different plan");
+        for s in a.specs() {
+            assert!(s.spe < 8);
+            assert!((1..=20).contains(&s.at));
+        }
+    }
+
+    #[test]
+    fn duplicate_op_index_fires_first_spec_only() {
+        // Two faults at the same index: the first (by insertion after
+        // the stable sort) fires, the other is discarded — a line
+        // injects at most one fault per op.
+        let plan = FaultPlan::new().drop_reply(0, 2).stall_reply(0, 2, 9);
+        let mut line = plan.arm(FaultSite::MailboxReply, 0);
+        assert_eq!(line.tick(), None);
+        assert_eq!(line.tick(), Some(FaultKind::ReplyDrop));
+        assert_eq!(line.tick(), None);
+        assert!(line.is_exhausted());
+    }
+}

@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 use cell_core::{dma_transfer_legal, CellError, CellResult, DmaConfig, VirtualClock, QUADWORD};
 use cell_eib::{Eib, Element};
+use cell_fault::{FaultKind, FaultLine};
 use cell_mem::{LocalStore, LsAddr, MainMemory};
 use cell_trace::{Counter, EventKind, Tracer, TrackData};
 
@@ -88,6 +89,9 @@ pub struct Mfc {
     /// Structured trace sink; `Off` by default (the SPE runtime installs
     /// a configured tracer when the machine has tracing enabled).
     tracer: Tracer,
+    /// Seeded fault plan for this SPE's transfers; empty by default, so the
+    /// hot path pays a single `is_empty` branch (chaos testing only).
+    fault_line: FaultLine,
 }
 
 /// Direction of a transfer, used internally.
@@ -110,12 +114,19 @@ impl Mfc {
             issue_cost: 6,
             barrier_floor: 0,
             tracer: Tracer::off(),
+            fault_line: FaultLine::off(),
         }
     }
 
     /// Install a tracer (typically `Track::Spe(id)` at the core clock).
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Install a fault line armed from a [`cell_fault::FaultPlan`] at
+    /// [`cell_fault::FaultSite::Dma`] for this SPE.
+    pub fn set_fault_line(&mut self, line: FaultLine) {
+        self.fault_line = line;
     }
 
     /// Take the accumulated trace, leaving a disabled tracer behind.
@@ -196,6 +207,50 @@ impl Mfc {
         clock.stamp_from(grant.complete, bus_freq)
     }
 
+    /// Apply an injected DMA fault to one transfer's completion time.
+    ///
+    /// * `DmaDelay` pushes completion out by the given bus-congestion
+    ///   penalty — the transfer still succeeds, just late.
+    /// * `DmaFault` models a transient failure the MFC retries internally:
+    ///   completion slips by the retry penalty and a retry is counted.
+    ///
+    /// Both are visible only through the virtual clock (and the trace);
+    /// the functional byte movement already happened, so data integrity is
+    /// untouched — exactly the property the chaos tests assert.
+    #[cold]
+    fn inject_dma_fault(&mut self, kind: FaultKind, complete_at: u64, now: u64) -> u64 {
+        match kind {
+            FaultKind::DmaDelay { cycles } => {
+                self.tracer.count(Counter::FaultsInjected, 1);
+                self.tracer.span(
+                    EventKind::Fault,
+                    "dma_delay",
+                    now,
+                    cycles,
+                    self.spe_id as u64,
+                    0,
+                );
+                complete_at + cycles
+            }
+            FaultKind::DmaFault { retry_penalty } => {
+                self.tracer.count(Counter::FaultsInjected, 1);
+                self.tracer.count(Counter::Retries, 1);
+                self.tracer.span(
+                    EventKind::Fault,
+                    "dma_retry",
+                    now,
+                    retry_penalty,
+                    self.spe_id as u64,
+                    1,
+                );
+                complete_at + retry_penalty
+            }
+            // SPE-dispatch and mailbox fault kinds never reach the DMA
+            // line; `FaultPlan::arm` filters by site.
+            _ => complete_at,
+        }
+    }
+
     fn record(&mut self, dir: Dir, size: usize) {
         self.stats.transfers += 1;
         match dir {
@@ -243,7 +298,10 @@ impl Mfc {
             }
         }
 
-        let complete_at = self.schedule(dir, size, clock).max(self.barrier_floor);
+        let mut complete_at = self.schedule(dir, size, clock).max(self.barrier_floor);
+        if let Some(kind) = self.fault_line.tick() {
+            complete_at = self.inject_dma_fault(kind, complete_at, clock.now());
+        }
         let ts_issue = clock.now();
         let latency = complete_at.saturating_sub(ts_issue);
         let (kind, label) = match dir {
@@ -914,6 +972,66 @@ mod tests {
             .find(|e| e.label == "dma_list_get")
             .expect("list command span recorded");
         assert_eq!(list_ev.arg0, 128);
+    }
+
+    #[test]
+    fn injected_dma_delay_slows_completion_without_corrupting_data() {
+        use cell_fault::{FaultPlan, FaultSite};
+        use cell_trace::{TraceConfig, Track};
+        let (mut mfc, mut ls, mut clock, mem) = rig();
+        mfc.set_tracer(Tracer::new(TraceConfig::Full, Track::Spe(0), 3.2e9));
+        let plan = FaultPlan::new().delay_dma(0, 2, 50_000);
+        mfc.set_fault_line(plan.arm(FaultSite::Dma, 0));
+
+        let ea = mem.alloc(8192, 128).unwrap();
+        let data: Vec<u8> = (0..8192).map(|i| (i % 253) as u8).collect();
+        mem.write(ea, &data).unwrap();
+        let la = ls.alloc(8192, 16).unwrap();
+
+        // First transfer unaffected, second one delayed by 50k cycles.
+        mfc.get(&mut ls, la, ea, 4096, 1, &mut clock).unwrap();
+        let clean_done = mfc.tag_complete[1];
+        mfc.get(&mut ls, la + 4096, ea + 4096, 4096, 2, &mut clock)
+            .unwrap();
+        let faulted_done = mfc.tag_complete[2];
+        assert!(
+            faulted_done >= clean_done + 50_000,
+            "delayed transfer completes at {faulted_done}, clean at {clean_done}"
+        );
+        mfc.wait_all(&mut clock);
+        assert_eq!(ls.slice(la, 8192).unwrap(), &data[..]);
+
+        let trace = mfc.take_tracer();
+        assert_eq!(trace.counters.get(Counter::FaultsInjected), 1);
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| e.kind == EventKind::Fault && e.label == "dma_delay"));
+    }
+
+    #[test]
+    fn injected_dma_transient_failure_counts_a_retry() {
+        use cell_fault::{FaultPlan, FaultSite};
+        use cell_trace::{TraceConfig, Track};
+        let (mut mfc, mut ls, mut clock, mem) = rig();
+        mfc.set_tracer(Tracer::new(TraceConfig::Full, Track::Spe(0), 3.2e9));
+        let plan = FaultPlan::new().fail_dma(0, 1, 10_000);
+        mfc.set_fault_line(plan.arm(FaultSite::Dma, 0));
+
+        let ea = mem.alloc(256, 16).unwrap();
+        let la = ls.alloc(256, 16).unwrap();
+        ls.write(la, &[0xA5u8; 256]).unwrap();
+        mfc.put(&mut ls, la, ea, 256, 0, &mut clock).unwrap();
+        mfc.wait_all(&mut clock);
+
+        let mut out = [0u8; 256];
+        mem.read(ea, &mut out).unwrap();
+        assert_eq!(out, [0xA5u8; 256], "retried transfer still lands");
+
+        let trace = mfc.take_tracer();
+        assert_eq!(trace.counters.get(Counter::FaultsInjected), 1);
+        assert_eq!(trace.counters.get(Counter::Retries), 1);
+        assert!(mfc.fault_line.is_exhausted());
     }
 
     #[test]

@@ -6,11 +6,13 @@
 //! the mailbox protocol and the grouped-parallel scheduling of the paper
 //! observable rather than merely modelled.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use cell_core::{CellError, CellResult, Cycles, MachineConfig, VirtualClock, VirtualDuration};
 use cell_eib::Eib;
+use cell_fault::{FaultPlan, FaultSite};
 use cell_mem::{LocalStore, MainMemory};
 use cell_mfc::{Mfc, MfcStats};
 use cell_spu::SpuCounters;
@@ -45,6 +47,7 @@ pub struct SpeReport {
 }
 
 /// Handle to a running SPE program.
+#[must_use = "an unjoined SPE handle leaks a host thread; call join() or join_report()"]
 pub struct SpeHandle {
     spe_id: usize,
     join: JoinHandle<SpeReport>,
@@ -58,10 +61,7 @@ impl SpeHandle {
     /// Wait for the SPE program to return and collect its report.
     /// A faulted program yields `Err(CellError::SpeFault)`.
     pub fn join(self) -> CellResult<SpeReport> {
-        let report = self.join.join().map_err(|_| CellError::SpeFault {
-            spe: self.spe_id,
-            message: "SPE thread panicked".into(),
-        })?;
+        let report = self.join_report()?;
         if let Some(msg) = &report.fault {
             return Err(CellError::SpeFault {
                 spe: report.spe_id,
@@ -69,6 +69,18 @@ impl SpeHandle {
             });
         }
         Ok(report)
+    }
+
+    /// Wait for the SPE program and return its report even when the program
+    /// faulted — the fault message stays in [`SpeReport::fault`] and the
+    /// trace (with any injected-fault events) is preserved. Only a panicked
+    /// thread still yields `Err(CellError::SpeFault)`. This is what
+    /// resilience layers use to harvest traces from SPEs they gave up on.
+    pub fn join_report(self) -> CellResult<SpeReport> {
+        self.join.join().map_err(|_| CellError::SpeFault {
+            spe: self.spe_id,
+            message: "SPE thread panicked".into(),
+        })
     }
 }
 
@@ -86,6 +98,12 @@ pub struct CellMachine {
     eib: Arc<Eib>,
     slots: Vec<SpeSlot>,
     trace_config: TraceConfig,
+    /// Seeded fault-injection plan; empty by default. Copied into each SPE
+    /// environment at spawn, like the trace configuration.
+    fault_plan: FaultPlan,
+    /// Set once [`CellMachine::shutdown`] has run; later spawns are refused
+    /// (their mailboxes are already closed, they could never be driven).
+    shut_down: AtomicBool,
 }
 
 impl CellMachine {
@@ -108,6 +126,8 @@ impl CellMachine {
             eib,
             slots,
             trace_config: TraceConfig::Off,
+            fault_plan: FaultPlan::new(),
+            shut_down: AtomicBool::new(false),
         })
     }
 
@@ -121,6 +141,18 @@ impl CellMachine {
 
     pub fn trace_config(&self) -> TraceConfig {
         self.trace_config
+    }
+
+    /// Install a deterministic fault-injection plan (chaos testing). Must
+    /// be called before [`CellMachine::spawn`] — each SPE arms its fault
+    /// lines when it is created. With the default empty plan every
+    /// injection point stays on its zero-cost fast path.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
+    }
+
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
     }
 
     /// Take the EIB's trace stream (bus-cycle stamps).
@@ -164,6 +196,11 @@ impl CellMachine {
         spe_id: usize,
         mut program: Box<dyn SpeProgram>,
     ) -> CellResult<SpeHandle> {
+        if self.shut_down.load(Ordering::SeqCst) {
+            // The fabric is torn down; a fresh program could only ever see
+            // closed mailboxes, so fail the spawn itself, cleanly.
+            return Err(CellError::MailboxClosed);
+        }
         let slot = self
             .slots
             .get_mut(spe_id)
@@ -199,16 +236,30 @@ impl CellMachine {
             peer_signals,
             self.trace_config,
         );
+        if !self.fault_plan.is_empty() {
+            env.set_fault_lines(
+                self.fault_plan.arm(FaultSite::SpeDispatch, spe_id),
+                self.fault_plan.arm(FaultSite::MailboxReply, spe_id),
+                self.fault_plan.arm(FaultSite::Dma, spe_id),
+            );
+        }
 
         // Thread-creation cost on the PPE side is what the paper's static
         // scheduling avoids paying per call; model it once at spawn.
         env.charge_cycles(Cycles(20_000).get());
 
         let name = program.name();
+        // If the program dies (injected crash, unknown opcode, panic in the
+        // kernel body converted to Err), close its mailboxes so the PPE side
+        // observes a dead SPE promptly instead of timing out.
+        let fault_mailboxes = slot.mailboxes.clone();
         let join = std::thread::Builder::new()
             .name(format!("spe{spe_id}-{name}"))
             .spawn(move || {
                 let result = program.run(&mut env);
+                if result.is_err() {
+                    fault_mailboxes.close_all();
+                }
                 env.into_report(result.err().map(|e| e.to_string()))
             })
             .map_err(|e| CellError::SpeFault {
@@ -233,13 +284,22 @@ impl CellMachine {
     }
 
     /// Close every SPE's mailboxes and signals, waking any blocked kernel
-    /// so it can observe the shutdown and return.
+    /// so it can observe the shutdown and return. Idempotent; after it,
+    /// [`CellMachine::spawn`] refuses with [`CellError::MailboxClosed`] and
+    /// joining an already-woken SPE completes promptly with a clean
+    /// `SpeFault` instead of hanging.
     pub fn shutdown(&self) {
+        self.shut_down.store(true, Ordering::SeqCst);
         for slot in &self.slots {
             slot.mailboxes.close_all();
             slot.signal1.close();
             slot.signal2.close();
         }
+    }
+
+    /// Has [`CellMachine::shutdown`] run?
+    pub fn is_shut_down(&self) -> bool {
+        self.shut_down.load(Ordering::SeqCst)
     }
 }
 
@@ -421,6 +481,88 @@ mod tests {
         m.shutdown();
         let err = h.join().unwrap_err();
         assert!(matches!(err, CellError::SpeFault { .. }));
+    }
+
+    #[test]
+    fn panicking_kernel_converts_to_spe_fault() {
+        fn bomb(_env: &mut SpeEnv) -> CellResult<()> {
+            panic!("kernel bug");
+        }
+        let mut m = small_machine();
+        let h = m.spawn(0, Box::new(bomb)).unwrap();
+        let err = h.join().unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                CellError::SpeFault { spe: 0, message } if message.contains("panicked")
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn join_after_shutdown_is_clean_and_prompt() {
+        let mut m = small_machine();
+        let h = m.spawn(0, Box::new(echo_kernel)).unwrap();
+        m.shutdown();
+        m.shutdown(); // idempotent
+        let err = h.join().unwrap_err();
+        assert!(
+            matches!(&err, CellError::SpeFault { spe: 0, message }
+                if message.contains("mailbox peer has shut down")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn spawn_after_shutdown_is_refused() {
+        let mut m = small_machine();
+        assert!(!m.is_shut_down());
+        m.shutdown();
+        assert!(m.is_shut_down());
+        assert_eq!(
+            m.spawn(0, Box::new(echo_kernel)).map(|_| ()).unwrap_err(),
+            CellError::MailboxClosed
+        );
+    }
+
+    #[test]
+    fn faulted_kernel_closes_its_mailboxes() {
+        let mut m = small_machine();
+        let mut ppe = m.ppe();
+        let h = m.spawn(0, Box::new(echo_kernel)).unwrap();
+        assert!(ppe.spe_alive(0).unwrap());
+        ppe.write_in_mbox(0, 0xDEAD).unwrap(); // unknown opcode → kernel dies
+        let report = h.join_report().unwrap();
+        assert!(report.fault.is_some());
+        assert!(
+            !ppe.spe_alive(0).unwrap(),
+            "dead SPE must close its mailboxes"
+        );
+        assert_eq!(
+            ppe.write_in_mbox(0, OP_ECHO).unwrap_err(),
+            CellError::MailboxClosed
+        );
+    }
+
+    #[test]
+    fn injected_crash_kills_the_nth_dispatch() {
+        use cell_fault::FaultPlan;
+        let mut m = small_machine();
+        // Each OP_ECHO costs two inbound reads (opcode + value); the third
+        // read is the second request's opcode.
+        m.set_fault_plan(FaultPlan::new().crash_spe(0, 3));
+        let mut ppe = m.ppe();
+        let h = m.spawn(0, Box::new(echo_kernel)).unwrap();
+        ppe.write_in_mbox(0, OP_ECHO).unwrap();
+        ppe.write_in_mbox(0, 21).unwrap();
+        assert_eq!(ppe.read_out_mbox(0).unwrap(), 42, "first call survives");
+        // The crash fires as soon as the SPE *attempts* its 3rd read — no
+        // further stimulus needed (a write here would race the closure).
+        let report = h.join_report().unwrap();
+        let fault = report.fault.expect("crash fault recorded");
+        assert!(fault.contains("injected fault"), "{fault}");
+        assert!(!ppe.spe_alive(0).unwrap());
     }
 
     #[test]

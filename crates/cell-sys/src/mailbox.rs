@@ -298,6 +298,108 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_try_writers_see_full_not_lost_words() {
+        // Many non-blocking senders race a slow reader on a 4-deep inbound
+        // mailbox: every word either lands exactly once or its sender got
+        // MailboxFull — no silent loss, no duplication.
+        let mb = Mailbox::new(4);
+        let mut senders = Vec::new();
+        for t in 0..4u32 {
+            let mb = Arc::clone(&mb);
+            senders.push(thread::spawn(move || {
+                let mut accepted = Vec::new();
+                let mut full = 0usize;
+                for i in 0..256u32 {
+                    let word = t * 1000 + i;
+                    match mb.try_write(word, 0) {
+                        Ok(()) => accepted.push(word),
+                        Err(CellError::MailboxFull) => full += 1,
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                    if i % 8 == 0 {
+                        thread::yield_now();
+                    }
+                }
+                (accepted, full)
+            }));
+        }
+        let reader = {
+            let mb = Arc::clone(&mb);
+            thread::spawn(move || {
+                let mut got = Vec::new();
+                let mut empty = 0usize;
+                loop {
+                    match mb.try_read() {
+                        Ok(s) => got.push(s.value),
+                        Err(CellError::MailboxEmpty) => {
+                            empty += 1;
+                            if empty > 20_000 {
+                                break; // senders long gone, queue drained
+                            }
+                            thread::yield_now();
+                        }
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+                got
+            })
+        };
+        let mut sent = Vec::new();
+        let mut any_full = 0usize;
+        for s in senders {
+            let (accepted, full) = s.join().unwrap();
+            sent.extend(accepted);
+            any_full += full;
+        }
+        let mut got = reader.join().unwrap();
+        // Drain anything still queued after the reader gave up.
+        while let Ok(s) = mb.try_read() {
+            got.push(s.value);
+        }
+        sent.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(sent, got, "accepted words and read words must match 1:1");
+        assert!(
+            any_full > 0,
+            "4 racing senders against a 4-deep box should hit MailboxFull"
+        );
+    }
+
+    #[test]
+    fn blocking_roundtrip_under_concurrent_senders_keeps_every_word() {
+        // Four blocking senders × 250 words through the 4-deep inbound box;
+        // one blocking reader. All 1000 distinct words arrive.
+        let mb = Mailbox::new(4);
+        let senders: Vec<_> = (0..4u32)
+            .map(|t| {
+                let mb = Arc::clone(&mb);
+                thread::spawn(move || {
+                    for i in 0..250u32 {
+                        mb.write(t * 1000 + i, i as u64).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let mb = Arc::clone(&mb);
+            thread::spawn(move || {
+                let mut got: Vec<u32> = (0..1000).map(|_| mb.read().unwrap().value).collect();
+                got.sort_unstable();
+                got
+            })
+        };
+        for s in senders {
+            s.join().unwrap();
+        }
+        let got = reader.join().unwrap();
+        let mut expect: Vec<u32> = (0..4u32)
+            .flat_map(|t| (0..250u32).map(move |i| t * 1000 + i))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
     fn pair_has_cell_capacities() {
         let p = MailboxPair::new();
         for _ in 0..4 {

@@ -157,6 +157,15 @@ impl Ppe {
         Ok(self.mailboxes[spe].outbound.count())
     }
 
+    /// Is the SPE's mailbox fabric still open? A program that died (crash,
+    /// injected fault, machine shutdown) closes its mailboxes on the way
+    /// out, so this is the PPE's cheap liveness probe — resilience layers
+    /// poll it instead of waiting for a full virtual-time timeout.
+    pub fn spe_alive(&self, spe: usize) -> CellResult<bool> {
+        self.check_spe(spe)?;
+        Ok(!self.mailboxes[spe].inbound.is_closed())
+    }
+
     /// `spe_read_out_mbox` after a successful poll: blocking read from the
     /// SPE's outbound mailbox. The PPE clock advances to the message's
     /// send time plus crossing latency — this is the virtual-time "stall"

@@ -19,6 +19,7 @@
 use std::sync::Arc;
 
 use cell_core::{CellError, CellResult, Cycles, MachineProfile, OpProfile, VirtualClock};
+use cell_fault::{FaultKind, FaultLine};
 use cell_mem::LocalStore;
 use cell_mfc::Mfc;
 use cell_spu::{Spu, SpuCounters};
@@ -82,6 +83,11 @@ pub struct SpeEnv {
     mailbox_ops: u64,
     /// Structured trace sink for this SPE (thread-local by ownership).
     tracer: Tracer,
+    /// Fault schedule for dispatched ops (inbound mailbox reads). Empty
+    /// by default: one branch on the hot path, nothing else.
+    dispatch_faults: FaultLine,
+    /// Fault schedule for reply words (outbound mailbox writes).
+    reply_faults: FaultLine,
 }
 
 impl SpeEnv {
@@ -114,7 +120,23 @@ impl SpeEnv {
             charged: SpuCounters::default(),
             mailbox_ops: 0,
             tracer: Tracer::new(trace_config, Track::Spe(spe_id), hz),
+            dispatch_faults: FaultLine::off(),
+            reply_faults: FaultLine::off(),
         }
+    }
+
+    /// Install the armed fault schedules for this SPE (dispatch reads,
+    /// reply writes, DMA transfers). Called by the machine at spawn;
+    /// defaults keep every line empty and the hot paths one-branch.
+    pub(crate) fn set_fault_lines(
+        &mut self,
+        dispatch: FaultLine,
+        reply: FaultLine,
+        dma: FaultLine,
+    ) {
+        self.dispatch_faults = dispatch;
+        self.reply_faults = reply;
+        self.mfc.set_fault_line(dma);
     }
 
     /// This SPE's tracer (for kernels that want custom events).
@@ -168,9 +190,60 @@ impl SpeEnv {
 
     // ---- mailboxes ------------------------------------------------------
 
+    /// Apply a scheduled dispatch fault, if one is due for this inbound
+    /// read. `Ok(())` means no terminal fault fired; `Err` kills the
+    /// kernel (the machine closes the SPE's mailboxes on the way out).
+    #[cold]
+    fn inject_dispatch_fault(&mut self, kind: FaultKind) -> CellResult<()> {
+        match kind {
+            FaultKind::SpeCrash => {
+                self.tracer.span(
+                    EventKind::Fault,
+                    "spe_crash",
+                    self.clock.now(),
+                    0,
+                    self.spe_id as u64,
+                    0,
+                );
+                self.tracer.count(Counter::FaultsInjected, 1);
+                Err(CellError::FaultInjected {
+                    what: "SPE crash on dispatch",
+                })
+            }
+            FaultKind::SpeHang => {
+                self.tracer.span(
+                    EventKind::Fault,
+                    "spe_hang",
+                    self.clock.now(),
+                    0,
+                    self.spe_id as u64,
+                    0,
+                );
+                self.tracer.count(Counter::FaultsInjected, 1);
+                // Wedge: silently discard every further inbound word
+                // (including SPU_EXIT). Only machine shutdown closes the
+                // mailbox and wakes us — with the closure error, so the
+                // SPE still reports a fault on join.
+                loop {
+                    self.mailboxes.inbound.read()?;
+                }
+            }
+            // Faults of other sites never reach this line.
+            _ => Ok(()),
+        }
+    }
+
     /// Blocking read from the inbound mailbox (`spu_read_in_mbox`).
+    ///
+    /// This is the *dispatched op* injection point: the Nth call on an
+    /// SPE is where `FaultPlan::crash_spe` / `hang_spe` faults fire
+    /// (the dispatcher performs two reads per kernel call — opcode,
+    /// then argument).
     pub fn read_in_mbox(&mut self) -> CellResult<u32> {
         self.charge_compute();
+        if let Some(kind) = self.dispatch_faults.tick() {
+            self.inject_dispatch_fault(kind)?;
+        }
         let t0 = self.clock.now();
         let s = self.mailboxes.inbound.read()?;
         self.clock.advance_to(s.stamp + MAILBOX_LATENCY);
@@ -214,9 +287,53 @@ impl SpeEnv {
         Ok(s.value)
     }
 
+    /// Apply a scheduled reply fault, if one is due for this outbound
+    /// write. Returns `true` when the word must be dropped.
+    #[cold]
+    fn inject_reply_fault(&mut self, kind: FaultKind, value: u32) -> bool {
+        match kind {
+            FaultKind::ReplyDrop => {
+                self.tracer.span(
+                    EventKind::Fault,
+                    "reply_drop",
+                    self.clock.now(),
+                    0,
+                    self.spe_id as u64,
+                    value as u64,
+                );
+                self.tracer.count(Counter::FaultsInjected, 1);
+                true
+            }
+            FaultKind::ReplyStall { cycles } => {
+                self.tracer.span(
+                    EventKind::Fault,
+                    "reply_stall",
+                    self.clock.now(),
+                    cycles,
+                    self.spe_id as u64,
+                    value as u64,
+                );
+                self.tracer.count(Counter::FaultsInjected, 1);
+                // The reply leaves later in virtual time; the PPE's
+                // `advance_to` on the stamped word observes the delay.
+                self.clock.advance(Cycles(cycles));
+                false
+            }
+            _ => false,
+        }
+    }
+
     /// Blocking write to the outbound mailbox (`spu_write_out_mbox`).
+    ///
+    /// Reply-site injection point: the Nth outbound write on an SPE is
+    /// where `FaultPlan::drop_reply` / `stall_reply` faults fire.
     pub fn write_out_mbox(&mut self, value: u32) -> CellResult<()> {
         self.charge_compute();
+        if let Some(kind) = self.reply_faults.tick() {
+            if self.inject_reply_fault(kind, value) {
+                return Ok(());
+            }
+        }
         self.clock.advance(Cycles(10));
         self.mailbox_ops += 1;
         self.tracer.span(
@@ -232,9 +349,15 @@ impl SpeEnv {
     }
 
     /// Blocking write to the interrupting outbound mailbox
-    /// (`spu_write_out_intr_mbox`).
+    /// (`spu_write_out_intr_mbox`). Shares the reply fault line with
+    /// [`write_out_mbox`](Self::write_out_mbox).
     pub fn write_out_intr_mbox(&mut self, value: u32) -> CellResult<()> {
         self.charge_compute();
+        if let Some(kind) = self.reply_faults.tick() {
+            if self.inject_reply_fault(kind, value) {
+                return Ok(());
+            }
+        }
         self.clock.advance(Cycles(10));
         self.mailbox_ops += 1;
         self.tracer.span(

@@ -113,6 +113,11 @@ pub enum EventKind {
     Dispatch,
     /// An SPE-side kernel invocation; `arg0` is the kernel index.
     Kernel,
+    /// An injected fault fired (chaos testing); `arg0` is the SPE id.
+    Fault,
+    /// A recovery action — retry, failover, degraded re-plan; `arg0` is
+    /// the SPE id, `arg1` the attempt / replacement SPE.
+    Recovery,
 }
 
 impl EventKind {
@@ -125,6 +130,8 @@ impl EventKind {
             EventKind::SpuSlice => "spu",
             EventKind::Dispatch => "dispatch",
             EventKind::Kernel => "kernel",
+            EventKind::Fault => "fault",
+            EventKind::Recovery => "recovery",
         }
     }
 }
@@ -175,11 +182,14 @@ pub enum Counter {
     KernelInvocations,
     LsHighWater,
     TotalCycles,
+    FaultsInjected,
+    Retries,
+    Failovers,
 }
 
 impl Counter {
     /// Number of counters; sizes [`CounterSet`].
-    pub const COUNT: usize = 21;
+    pub const COUNT: usize = 24;
 
     /// All counters, in index order. Drives reports and merging.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -204,6 +214,9 @@ impl Counter {
         Counter::KernelInvocations,
         Counter::LsHighWater,
         Counter::TotalCycles,
+        Counter::FaultsInjected,
+        Counter::Retries,
+        Counter::Failovers,
     ];
 
     /// True for counters whose cross-track aggregate is a maximum, not a

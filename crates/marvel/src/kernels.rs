@@ -602,6 +602,47 @@ pub fn detect_dispatcher(reply_mode: ReplyMode) -> (KernelDispatcher, u32) {
     (d, op)
 }
 
+/// Opcodes of a [`universal_dispatcher`]. Registration order is fixed, so
+/// every SPE running a universal dispatcher answers to the *same* opcodes
+/// — the precondition for re-dispatching a kernel on any survivor after
+/// an SPE failure ([`portkit::schedule::Schedule::replan`]).
+#[derive(Debug, Clone, Copy)]
+pub struct UniversalOpcodes {
+    extract: [u32; 4],
+    /// Concept detection.
+    pub detect: u32,
+}
+
+impl UniversalOpcodes {
+    /// The opcode serving `kind` (detection for [`KernelKind::Cd`]).
+    pub fn opcode(&self, kind: KernelKind) -> u32 {
+        match kind {
+            KernelKind::Ch => self.extract[0],
+            KernelKind::Cc => self.extract[1],
+            KernelKind::Tx => self.extract[2],
+            KernelKind::Eh => self.extract[3],
+            KernelKind::Cd => self.detect,
+        }
+    }
+}
+
+/// Build a dispatcher that serves *every* MARVEL kernel: the four
+/// extractions plus concept detection, registered in a fixed order.
+pub fn universal_dispatcher(
+    optimized: bool,
+    reply_mode: ReplyMode,
+) -> (KernelDispatcher, UniversalOpcodes) {
+    let mut d = KernelDispatcher::new("universal", reply_mode);
+    let extract = [
+        d.register("ch_extract", move |env, a| ch_body(env, a, optimized)),
+        d.register("cc_extract", move |env, a| cc_body(env, a, optimized)),
+        d.register("tx_extract", move |env, a| tx_body(env, a, optimized)),
+        d.register("eh_extract", move |env, a| eh_body(env, a, optimized)),
+    ];
+    let detect = d.register("concept_detect", cd_body);
+    (d, UniversalOpcodes { extract, detect })
+}
+
 // =========================================================================
 // PPE-side wrapper helpers
 // =========================================================================

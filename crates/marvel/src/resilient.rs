@@ -1,0 +1,525 @@
+//! MARVEL with graceful degradation: the pipeline of [`crate::app`], but
+//! able to survive SPE failures injected by `cell-fault` (or, on real
+//! hardware, anything that kills a resident kernel).
+//!
+//! Three ingredients make the recovery work:
+//!
+//! * **universal dispatchers** — every SPE runs
+//!   [`crate::kernels::universal_dispatcher`], so any kernel can be
+//!   re-dispatched on any survivor with the same opcode;
+//! * **resilient stubs** — every round trip goes through
+//!   [`portkit::recovery`]'s timeout/retry/dead-SPE machinery;
+//! * **re-planning** — on a detected failure the static schedule is
+//!   recomputed over the survivors with
+//!   [`portkit::schedule::Schedule::replan`], and the degraded Eq. 3
+//!   estimate ([`ResilientMarvel::degraded_estimate`]) reprices the run
+//!   for the reduced SPE count.
+//!
+//! Because the kernels are pure functions over wrapped inputs, a failover
+//! re-dispatch recomputes *exactly* the same feature bytes: a chaos run
+//! that kills one of eight SPEs mid-pipeline still produces results
+//! byte-identical to the fault-free run (asserted in `tests/chaos.rs`).
+
+use std::sync::Arc;
+
+use cell_core::{CellError, CellResult, OpProfile, VirtualDuration};
+use cell_fault::FaultPlan;
+use cell_sys::machine::{CellMachine, SpeHandle, SpeReport};
+use cell_sys::ppe::Ppe;
+use cell_trace::{Counter, EventKind, TraceConfig, TraceReport};
+use portkit::amdahl::KernelSpec;
+use portkit::interface::{ReplyMode, SpeInterface};
+use portkit::recovery::RetryPolicy;
+use portkit::schedule::{KernelId, Schedule};
+
+use crate::app::{ImageAnalysis, MarvelModels, DISK_READ_PER_IMAGE, EXTRACT_KINDS};
+use crate::codec::{self, Compressed};
+use crate::features::{Feature, KernelKind};
+use crate::image::ColorImage;
+use crate::kernels::{
+    collect_detect, collect_extract, prepare_detect, prepare_extract, universal_dispatcher,
+    UniversalOpcodes,
+};
+use crate::wire::{upload_image, upload_model};
+
+/// Kernel id of concept detection in the resilient schedule (extractions
+/// are kernels `0..=3` in [`EXTRACT_KINDS`] order).
+pub const CD_KERNEL: KernelId = 4;
+
+/// The paper's Table 1 kernels as [`KernelSpec`]s vs the Desktop (each
+/// SPE-vs-PPE speed-up divided by the 3.2× PPE slowdown) — the inputs the
+/// §5.5 scenario estimates and the degraded-mode Eq. 3 share. Indexed by
+/// [`KernelId`]: `0..=3` the extractions, [`CD_KERNEL`] detection.
+pub fn paper_kernel_specs() -> Vec<KernelSpec> {
+    let f = 3.2;
+    vec![
+        KernelSpec::new("CHExtract", 0.08, 53.67 / f),
+        KernelSpec::new("CCExtract", 0.54, 52.23 / f),
+        KernelSpec::new("TXExtract", 0.06, 15.99 / f),
+        KernelSpec::new("EHExtract", 0.28, 65.94 / f),
+        KernelSpec::new("ConceptDet", 0.02, 10.80 / f),
+    ]
+}
+
+/// The fault-tolerant ported application: universal dispatchers on every
+/// SPE, resilient stubs, and failover re-planning.
+pub struct ResilientMarvel {
+    // Field order matters: handles are joined in `finish`, machine last.
+    ppe: Ppe,
+    machine: CellMachine,
+    handles: Vec<SpeHandle>,
+    stubs: Vec<SpeInterface>,
+    opcodes: UniversalOpcodes,
+    policy: RetryPolicy,
+    schedule: Schedule,
+    alive: Vec<bool>,
+    models: MarvelModels,
+    model_eas: Vec<(KernelKind, u64, usize)>,
+    images: usize,
+    failovers: u64,
+}
+
+impl ResilientMarvel {
+    /// Build the machine with `plan` armed, spawn a universal dispatcher
+    /// on every SPE, upload the models. Tracing off.
+    pub fn new(optimized: bool, seed: u64, plan: FaultPlan) -> CellResult<Self> {
+        Self::with_trace(optimized, seed, plan, TraceConfig::Off)
+    }
+
+    /// As [`ResilientMarvel::new`] with tracing armed on every layer, so
+    /// injected faults and recoveries land in the final [`TraceReport`].
+    pub fn with_trace(
+        optimized: bool,
+        seed: u64,
+        plan: FaultPlan,
+        trace: TraceConfig,
+    ) -> CellResult<Self> {
+        let mut machine = CellMachine::cell_be();
+        machine.set_trace_config(trace);
+        machine.set_fault_plan(plan);
+        let ppe = machine.ppe();
+        let models = MarvelModels::synthetic(seed);
+
+        let mem = Arc::clone(ppe.mem());
+        let mut model_eas = Vec::new();
+        for kind in EXTRACT_KINDS {
+            let (ea, bytes) = upload_model(&mem, models.get(kind))?;
+            model_eas.push((kind, ea, bytes));
+        }
+
+        let num_spes = machine.config().num_spes;
+        let mut handles = Vec::new();
+        let mut stubs = Vec::new();
+        let mut opcodes = None;
+        for spe in 0..num_spes {
+            let (d, ops) = universal_dispatcher(optimized, ReplyMode::Polling);
+            handles.push(machine.spawn(spe, Box::new(d))?);
+            stubs.push(SpeInterface::new("universal", spe, ReplyMode::Polling));
+            opcodes = Some(ops);
+        }
+        let opcodes = opcodes.ok_or(CellError::NoSpeAvailable {
+            requested: EXTRACT_KINDS.len() + 1,
+            available: 0,
+        })?;
+        // The paper's scenario-2 shape: extractions in parallel, then
+        // detection — re-planned over survivors as SPEs die.
+        let schedule = Schedule::grouped(vec![vec![0, 1, 2, 3], vec![CD_KERNEL]], num_spes)?;
+
+        Ok(ResilientMarvel {
+            ppe,
+            machine,
+            handles,
+            stubs,
+            opcodes,
+            policy: RetryPolicy::default(),
+            schedule,
+            alive: vec![true; num_spes],
+            models,
+            model_eas,
+            images: 0,
+            failovers: 0,
+        })
+    }
+
+    /// Replace the retry/timeout policy (e.g. shorter deadlines for hang
+    /// detection in tests).
+    pub fn set_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+    }
+
+    pub fn models(&self) -> &MarvelModels {
+        &self.models
+    }
+
+    /// Liveness per SPE, as observed so far.
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// SPEs still believed alive.
+    pub fn survivors(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Failovers performed so far (each one marks an SPE dead and
+    /// re-plans the schedule).
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// The current (possibly re-planned) schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Images analyzed so far.
+    pub fn images(&self) -> usize {
+        self.images
+    }
+
+    /// Virtual wall time so far (PPE clock).
+    pub fn elapsed(&self) -> VirtualDuration {
+        self.ppe.elapsed()
+    }
+
+    /// Degraded-mode Eq. 3: the application speed-up estimate for the
+    /// paper's kernels on the *current* survivor count (wide groups
+    /// serialized into chunks, exactly as the re-planned schedule runs
+    /// them).
+    pub fn degraded_estimate(&self) -> CellResult<f64> {
+        self.schedule
+            .estimate_degraded(&paper_kernel_specs(), self.survivors())
+    }
+
+    fn model_ea(&self, kind: KernelKind) -> (u64, usize) {
+        let (_, ea, bytes) = self
+            .model_eas
+            .iter()
+            .find(|(k, _, _)| *k == kind)
+            .expect("model");
+        (*ea, *bytes)
+    }
+
+    /// Analyze one compressed image, surviving any SPE failures the fault
+    /// plan (or the machine) throws at the run.
+    pub fn analyze(&mut self, input: &Compressed) -> CellResult<ImageAnalysis> {
+        let mut pre = OpProfile::new();
+        let img = codec::decode_counted(input, &mut pre)?;
+        self.ppe.charge(&pre);
+        self.ppe
+            .charge_cycles((DISK_READ_PER_IMAGE * self.ppe.clock.frequency().hertz()) as u64);
+        self.analyze_decoded(&img)
+    }
+
+    /// Analyze an already-decoded image.
+    pub fn analyze_decoded(&mut self, img: &ColorImage) -> CellResult<ImageAnalysis> {
+        let mem = Arc::clone(self.ppe.mem());
+        let image_ea = upload_image(&mem, img)?;
+        self.ppe.charge_cycles(2_000);
+        let result = self.run_schedule(&mem, image_ea, img);
+        mem.free(image_ea)?;
+        self.images += 1;
+        result
+    }
+
+    /// Mark `dead_spe` dead, trace the failover, and re-plan the schedule
+    /// over the survivors. Errors with `NoSpeAvailable` when nobody is
+    /// left to take over `kernel`.
+    fn fail_over(&mut self, dead_spe: usize, kernel: KernelId) -> CellResult<()> {
+        self.alive[dead_spe] = false;
+        let now = self.ppe.clock.now();
+        self.ppe.tracer_mut().span(
+            EventKind::Recovery,
+            "failover",
+            now,
+            0,
+            dead_spe as u64,
+            kernel as u64,
+        );
+        self.ppe.tracer_mut().count(Counter::Failovers, 1);
+        self.schedule = self.schedule.replan(&self.alive)?;
+        self.failovers += 1;
+        Ok(())
+    }
+
+    /// Toss replies a timed-out earlier attempt may have left queued, so
+    /// the next send/wait pair stays in lock-step.
+    fn drain_stale(&mut self, spe: usize) -> CellResult<()> {
+        while self.ppe.stat_out_mbox(spe)? > 0 {
+            let _ = self.ppe.try_read_out_mbox(spe)?;
+        }
+        Ok(())
+    }
+
+    /// Fire kernel `k` on its currently assigned SPE without waiting;
+    /// returns the SPE the request actually went to. A dead-at-send SPE
+    /// triggers failover and the send moves with the kernel.
+    fn send_kernel(&mut self, k: KernelId, op: u32, arg: u32) -> CellResult<usize> {
+        loop {
+            let spe = self.schedule.spe_of(k);
+            self.drain_stale(spe)?;
+            match self.stubs[spe].send(&mut self.ppe, op, arg) {
+                Ok(()) => return Ok(spe),
+                Err(CellError::MailboxClosed) => self.fail_over(spe, k)?,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Full resilient round trip for kernel `k`: retry in place for lost
+    /// replies, fail over to a survivor when the SPE is dead or hung.
+    fn call_kernel(&mut self, k: KernelId, op: u32, arg: u32) -> CellResult<u32> {
+        let policy = self.policy;
+        loop {
+            let spe = self.schedule.spe_of(k);
+            match self.stubs[spe].send_and_wait_resilient(&mut self.ppe, &policy, op, arg) {
+                Ok(v) => return Ok(v),
+                // A dead SPE (SpeFault) fails over immediately; exhausted
+                // retries (Timeout) mean a hung dispatcher — same remedy.
+                Err(CellError::SpeFault { .. }) | Err(CellError::Timeout { .. }) => {
+                    self.fail_over(spe, k)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Collect the reply of a request previously sent to `sent_spe`. On
+    /// failure the SPE is retired and the kernel re-runs elsewhere via
+    /// [`ResilientMarvel::call_kernel`] (the wrapper is untouched input,
+    /// so the re-dispatch recomputes identical bytes).
+    fn finish_kernel(
+        &mut self,
+        k: KernelId,
+        sent_spe: usize,
+        op: u32,
+        arg: u32,
+    ) -> CellResult<u32> {
+        let policy = self.policy;
+        match self.stubs[sent_spe].wait_for(&mut self.ppe, &policy) {
+            Ok(v) => Ok(v),
+            Err(CellError::SpeFault { .. }) => {
+                self.fail_over(sent_spe, k)?;
+                self.call_kernel(k, op, arg)
+            }
+            Err(CellError::Timeout { .. }) => {
+                // Reply lost (or the SPE hung): count the retry and go
+                // through the full resilient path, which drains any late
+                // reply before re-sending and fails over if need be.
+                let now = self.ppe.clock.now();
+                let backoff = policy.backoff(1);
+                self.ppe.tracer_mut().span(
+                    EventKind::Recovery,
+                    "retry",
+                    now,
+                    backoff,
+                    sent_spe as u64,
+                    1,
+                );
+                self.ppe.tracer_mut().count(Counter::Retries, 1);
+                self.ppe.charge_cycles(backoff);
+                self.call_kernel(k, op, arg)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn run_schedule(
+        &mut self,
+        mem: &cell_mem::MainMemory,
+        image_ea: u64,
+        img: &ColorImage,
+    ) -> CellResult<ImageAnalysis> {
+        let mut features: Vec<(KernelKind, Feature)> = Vec::new();
+        let mut scores: Vec<(KernelKind, f32)> = Vec::new();
+        // Snapshot: a mid-image re-plan changes assignments (handled per
+        // kernel) but this image keeps the snapshot's group shape.
+        let groups = self.schedule.groups().to_vec();
+        for group in groups {
+            let extract_ids: Vec<KernelId> =
+                group.iter().copied().filter(|&k| k != CD_KERNEL).collect();
+            if !extract_ids.is_empty() {
+                // Fire the group's extractions before waiting on any
+                // (Fig. 4c), each on its currently assigned SPE.
+                let mut pending = Vec::new();
+                for &k in &extract_ids {
+                    let kind = EXTRACT_KINDS[k];
+                    let (wrapper, wire) =
+                        prepare_extract(mem, kind, image_ea, img.width(), img.height())?;
+                    let arg = wrapper.addr_word()?;
+                    let sent_spe = self.send_kernel(k, self.opcodes.opcode(kind), arg)?;
+                    pending.push((k, sent_spe, wrapper, wire));
+                }
+                for (k, sent_spe, wrapper, wire) in pending {
+                    let kind = EXTRACT_KINDS[k];
+                    let arg = wrapper.addr_word()?;
+                    self.finish_kernel(k, sent_spe, self.opcodes.opcode(kind), arg)?;
+                    features.push((kind, collect_extract(&wrapper, &wire)?));
+                    wrapper.free()?;
+                }
+            }
+            if group.contains(&CD_KERNEL) {
+                // Detection: one resilient round trip per feature on the
+                // CD kernel's (possibly re-planned) SPE.
+                for (kind, feature) in &features {
+                    let (model_ea, model_bytes) = self.model_ea(*kind);
+                    let (dw, dwire) = prepare_detect(mem, feature, model_ea, model_bytes)?;
+                    let score = {
+                        let arg = dw.addr_word()?;
+                        self.call_kernel(CD_KERNEL, self.opcodes.detect, arg)?;
+                        collect_detect(&dw, &dwire)?
+                    };
+                    scores.push((*kind, score));
+                    dw.free()?;
+                }
+            }
+        }
+        Ok(ImageAnalysis { features, scores })
+    }
+
+    /// Shut the machine down and collect every SPE's report — including
+    /// crashed and hung ones, whose traces carry the injected-fault spans.
+    pub fn finish(self) -> CellResult<(VirtualDuration, Vec<SpeReport>)> {
+        let (elapsed, reports, _) = self.finish_traced()?;
+        Ok((elapsed, reports))
+    }
+
+    /// As [`ResilientMarvel::finish`], but also assemble the whole-machine
+    /// [`TraceReport`] (PPE + every SPE + EIB).
+    pub fn finish_traced(mut self) -> CellResult<(VirtualDuration, Vec<SpeReport>, TraceReport)> {
+        // Politely close the survivors; dead SPEs refuse, which is fine.
+        for stub in &self.stubs {
+            let _ = stub.close(&mut self.ppe);
+        }
+        let elapsed = self.ppe.elapsed();
+        let mut tracks = vec![self.ppe.take_trace()];
+        // Shutdown *before* joining: a hung dispatcher discards SPU_EXIT,
+        // so only closing its mailboxes can wake it; survivors that
+        // already consumed SPU_EXIT exit normally either way.
+        self.machine.shutdown();
+        let mut reports = Vec::new();
+        for h in self.handles {
+            reports.push(h.join_report()?);
+        }
+        tracks.extend(reports.iter().map(|r| r.trace.clone()));
+        tracks.push(self.machine.take_eib_trace());
+        Ok((elapsed, reports, TraceReport { tracks }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::ReferenceMarvel;
+    use crate::codec::encode;
+
+    fn tiny_input(seed: u64) -> Compressed {
+        encode(&ColorImage::synthetic(48, 32, seed).unwrap(), 90)
+    }
+
+    #[test]
+    fn fault_free_resilient_run_matches_reference() {
+        let input = tiny_input(11);
+        let mut reference = ReferenceMarvel::new(11);
+        let want = reference.analyze(&input).unwrap();
+        let mut cell = ResilientMarvel::new(true, 11, FaultPlan::new()).unwrap();
+        let got = cell.analyze(&input).unwrap();
+        for kind in EXTRACT_KINDS {
+            assert_eq!(got.feature(kind), want.feature(kind), "{}", kind.name());
+            let (gs, ws) = (got.score(kind), want.score(kind));
+            assert!((gs - ws).abs() < 1e-3 * ws.abs().max(1.0), "{gs} vs {ws}");
+        }
+        assert_eq!(cell.failovers(), 0);
+        assert_eq!(cell.survivors(), 8);
+        let (elapsed, reports) = cell.finish().unwrap();
+        assert!(elapsed.seconds() > 0.0);
+        assert_eq!(reports.len(), 8);
+        assert!(reports.iter().all(|r| r.fault.is_none()));
+    }
+
+    #[test]
+    fn crashed_spe_fails_over_and_results_are_identical() {
+        let input = tiny_input(12);
+        let mut clean = ResilientMarvel::new(true, 12, FaultPlan::new()).unwrap();
+        let want = clean.analyze(&input).unwrap();
+        clean.finish().unwrap();
+
+        // SPE 1 (CCExtract's home) dies on its very first dispatch.
+        let plan = FaultPlan::new().crash_spe(1, 1);
+        let mut cell = ResilientMarvel::with_trace(true, 12, plan, TraceConfig::Full).unwrap();
+        let got = cell.analyze(&input).unwrap();
+        assert_eq!(cell.failovers(), 1);
+        assert_eq!(cell.survivors(), 7);
+        assert!(!cell.alive()[1]);
+        assert_ne!(cell.schedule().spe_of(1), 1, "CC must have moved");
+        for kind in EXTRACT_KINDS {
+            assert_eq!(got.feature(kind), want.feature(kind), "{}", kind.name());
+            assert_eq!(got.score(kind), want.score(kind), "{}", kind.name());
+        }
+        let (_, reports, trace) = cell.finish_traced().unwrap();
+        assert!(reports[1]
+            .fault
+            .as_deref()
+            .unwrap()
+            .contains("injected fault"));
+        let failovers: u64 = trace
+            .tracks
+            .iter()
+            .map(|t| t.counters.get(Counter::Failovers))
+            .sum();
+        assert_eq!(failovers, 1);
+    }
+
+    #[test]
+    fn hung_spe_times_out_and_fails_over() {
+        let input = tiny_input(13);
+        let mut clean = ResilientMarvel::new(true, 13, FaultPlan::new()).unwrap();
+        let want = clean.analyze(&input).unwrap();
+        clean.finish().unwrap();
+
+        // SPE 3 (EHExtract's home) hangs on its first dispatch.
+        let plan = FaultPlan::new().hang_spe(3, 1);
+        let mut cell = ResilientMarvel::new(true, 13, plan).unwrap();
+        cell.set_policy(RetryPolicy {
+            max_attempts: 2,
+            timeout_cycles: 300_000,
+            ..RetryPolicy::default()
+        });
+        let got = cell.analyze(&input).unwrap();
+        assert_eq!(cell.failovers(), 1);
+        assert!(!cell.alive()[3]);
+        for kind in EXTRACT_KINDS {
+            assert_eq!(got.feature(kind), want.feature(kind), "{}", kind.name());
+        }
+        let (_, reports) = cell.finish().unwrap();
+        // The hung SPE was woken by shutdown, not SPU_EXIT.
+        assert!(reports[3].fault.is_some());
+    }
+
+    #[test]
+    fn degraded_estimate_tracks_survivor_count() {
+        let cell = ResilientMarvel::new(true, 14, FaultPlan::new()).unwrap();
+        let full = cell.degraded_estimate().unwrap();
+        assert!(
+            (13.0..=18.0).contains(&full),
+            "8-SPE estimate {full:.2} should sit in the paper's ~15.3 band"
+        );
+        // Squeeze to 2 survivors: the wide group serializes, Eq. 3 drops.
+        let specs = paper_kernel_specs();
+        let s2 = cell.schedule().estimate_degraded(&specs, 2).unwrap();
+        assert!(s2 < full, "2 survivors {s2:.2} must be below {full:.2}");
+    }
+
+    #[test]
+    fn universal_opcodes_are_spe_invariant() {
+        // Two independently built universal dispatchers must agree on
+        // every opcode — that is what makes failover re-dispatch legal.
+        let (_d1, o1) = universal_dispatcher(true, ReplyMode::Polling);
+        let (_d2, o2) = universal_dispatcher(false, ReplyMode::Polling);
+        for kind in EXTRACT_KINDS {
+            assert_eq!(o1.opcode(kind), o2.opcode(kind));
+        }
+        assert_eq!(o1.detect, o2.detect);
+        assert_eq!(o1.opcode(KernelKind::Cd), o1.detect);
+    }
+}

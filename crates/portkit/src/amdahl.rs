@@ -130,6 +130,29 @@ pub fn estimate_grouped(kernels: &[KernelSpec], groups: &[Vec<usize>]) -> CellRe
     Ok(1.0 / ((1.0 - covered) + accelerated))
 }
 
+/// Equation 3 under a *degraded* machine: only `num_spes` SPEs survive, so
+/// any group wider than that cannot run fully in parallel — it is split
+/// into sequential chunks of at most `num_spes` kernels, and each chunk
+/// contributes the max of its members' scaled times. With all SPEs alive
+/// this reduces exactly to [`estimate_grouped`]; with one SPE it reduces
+/// to [`estimate_sequential`].
+pub fn estimate_degraded(
+    kernels: &[KernelSpec],
+    groups: &[Vec<usize>],
+    num_spes: usize,
+) -> CellResult<f64> {
+    if num_spes == 0 {
+        return Err(CellError::BadKernelSpec {
+            message: "degraded estimate needs at least one surviving SPE".to_string(),
+        });
+    }
+    let chunked: Vec<Vec<usize>> = groups
+        .iter()
+        .flat_map(|g| g.chunks(num_spes).map(<[usize]>::to_vec))
+        .collect();
+    estimate_grouped(kernels, &chunked)
+}
+
 /// The §4.2 judgment call: is optimizing this kernel from `speedup_now` to
 /// `speedup_then` worth it? Returns the application-level gain ratio
 /// (`> 1` means the app gets faster by that factor).
@@ -229,6 +252,33 @@ mod tests {
             "replication gain {:.3} should be marginal",
             s3 / s2
         );
+    }
+
+    #[test]
+    fn degraded_estimate_interpolates_between_grouped_and_sequential() {
+        // MARVEL's parallel scenario with 8, 7, 4 and 1 surviving SPEs:
+        // losing one of eight SPEs leaves the {CH,CC,TX,EH} group intact
+        // (4 kernels still fit), so the estimate is unchanged; squeezing
+        // to fewer SPEs than the widest group degrades monotonically down
+        // to the fully sequential Eq. 2 value.
+        let kernels = marvel_kernels_vs_desktop();
+        let groups = vec![vec![0, 1, 2, 3], vec![4]];
+        let full = estimate_grouped(&kernels, &groups).unwrap();
+        let s8 = estimate_degraded(&kernels, &groups, 8).unwrap();
+        let s7 = estimate_degraded(&kernels, &groups, 7).unwrap();
+        let s4 = estimate_degraded(&kernels, &groups, 4).unwrap();
+        let s2 = estimate_degraded(&kernels, &groups, 2).unwrap();
+        let s1 = estimate_degraded(&kernels, &groups, 1).unwrap();
+        let seq = estimate_sequential(&kernels).unwrap();
+        assert!(close(s8, full, 1e-12));
+        assert!(close(s7, full, 1e-12), "7-of-8 still fits the wide group");
+        assert!(close(s4, full, 1e-12), "4 survivors exactly fit");
+        assert!(
+            s2 < s4,
+            "2 survivors serialize half the group: {s2} vs {s4}"
+        );
+        assert!(close(s1, seq, 1e-12), "one SPE is the sequential scenario");
+        assert!(estimate_degraded(&kernels, &groups, 0).is_err());
     }
 
     #[test]

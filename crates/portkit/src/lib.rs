@@ -57,6 +57,7 @@ pub mod dispatcher;
 pub mod interface;
 pub mod opcodes;
 pub mod profile;
+pub mod recovery;
 pub mod report;
 pub mod schedule;
 pub mod trace;
@@ -65,10 +66,13 @@ pub mod wrapper;
 pub use advisor::{
     check_kernel_budget, check_schedule, check_transfer, check_wrapper, Advice, Severity,
 };
-pub use amdahl::{estimate_grouped, estimate_sequential, estimate_single, KernelSpec};
+pub use amdahl::{
+    estimate_degraded, estimate_grouped, estimate_sequential, estimate_single, KernelSpec,
+};
 pub use dispatcher::KernelDispatcher;
 pub use interface::{ReplyMode, SpeInterface};
 pub use profile::CoverageProfiler;
+pub use recovery::RetryPolicy;
 pub use report::{PlanBuilder, PortingPlan};
 pub use schedule::Schedule;
 pub use trace::Timeline;

@@ -1,0 +1,349 @@
+//! Resilient dispatch: timeouts, bounded-backoff retry, and dead-SPE
+//! detection on top of the Listing-2/3 stub.
+//!
+//! The paper's protocol assumes the SPE side never dies; chaos testing
+//! (the `cell-fault` crate) breaks that assumption on purpose. This module
+//! gives the PPE-side stub three defenses:
+//!
+//! * [`SpeInterface::wait_for`] — a *virtual-time* deadline on the reply
+//!   poll loop. Each empty poll charges PPE cycles, so a dropped reply
+//!   surfaces as [`CellError::Timeout`] after `timeout_cycles` of
+//!   simulated waiting instead of spinning forever.
+//! * [`SpeInterface::send_and_wait_resilient`] — retry with bounded
+//!   exponential backoff for **idempotent** kernels (the paper's kernels
+//!   are pure functions over wrapped inputs, so re-dispatching the same
+//!   opcode and wrapper address is safe).
+//! * dead-SPE detection — a program that faults closes its mailboxes on
+//!   the way out, and [`cell_sys::ppe::Ppe::spe_alive`] sees that
+//!   immediately; the stub converts it to a [`CellError::SpeFault`] the
+//!   scheduler can failover on (see [`crate::schedule::Schedule::replan`]).
+//!
+//! Every retry emits a [`cell_trace`] `Recovery` span and bumps the
+//! `Retries` counter, so a chaos run's trace tells the whole story.
+
+use std::time::{Duration, Instant};
+
+use cell_core::{CellError, CellResult};
+use cell_sys::ppe::Ppe;
+use cell_trace::{Counter, EventKind};
+
+use crate::interface::SpeInterface;
+
+/// Host-time grace period after the virtual deadline expires. The virtual
+/// clock can outrun a descheduled SPE host thread; waiting a little real
+/// time before declaring a timeout keeps spurious retries (harmless for
+/// idempotent kernels, but noisy) to scheduler-starvation cases only.
+const HOST_GRACE: Duration = Duration::from_millis(25);
+
+/// Retry discipline for one stub's dispatches.
+///
+/// All costs are in 3.2 GHz core cycles. The defaults suit MARVEL-sized
+/// kernels: a 2 M-cycle (~0.6 ms virtual) reply deadline, three attempts,
+/// and backoff doubling from 1 k cycles up to a 100 k-cycle ceiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, the first dispatch included. At least 1.
+    pub max_attempts: u32,
+    /// Backoff charged before retry `n` is `base_backoff << (n-1)` cycles…
+    pub base_backoff: u64,
+    /// …capped here.
+    pub max_backoff: u64,
+    /// Virtual-time reply deadline per attempt.
+    pub timeout_cycles: u64,
+    /// PPE cycles charged per empty poll of the outbound mailbox (models
+    /// the `spe_stat_out_mbox` spin of Listing 3).
+    pub poll_cost: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: 1_000,
+            max_backoff: 100_000,
+            timeout_cycles: 2_000_000,
+            poll_cost: 200,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff charged before attempt `attempt` (1-based over
+    /// retries: the first retry is attempt 1).
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        self.base_backoff
+            .checked_shl(attempt.saturating_sub(1))
+            .unwrap_or(self.max_backoff)
+            .min(self.max_backoff)
+    }
+
+    /// A policy that never retries (timeouts surface directly).
+    pub fn no_retry(timeout_cycles: u64) -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            timeout_cycles,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+fn dead_spe(spe: usize) -> CellError {
+    CellError::SpeFault {
+        spe,
+        message: "SPE died (mailboxes closed) while a dispatch was in flight".to_string(),
+    }
+}
+
+impl SpeInterface {
+    /// Poll for the in-flight call's reply under a virtual-time deadline.
+    ///
+    /// Requires `ReplyMode::Polling`. Each empty poll charges
+    /// `policy.poll_cost` PPE cycles until `policy.timeout_cycles` have
+    /// been burned, then returns [`CellError::Timeout`]. A dead SPE is
+    /// reported as [`CellError::SpeFault`] as soon as its closed mailboxes
+    /// are observed — no need to wait out the deadline.
+    pub fn wait_for(&mut self, ppe: &mut Ppe, policy: &RetryPolicy) -> CellResult<u32> {
+        let deadline = ppe.clock.now() + policy.timeout_cycles;
+        let mut grace: Option<Instant> = None;
+        loop {
+            match self.poll(ppe) {
+                Ok(Some(v)) => return Ok(v),
+                Ok(None) => {}
+                Err(CellError::MailboxClosed) => return Err(dead_spe(self.spe_id())),
+                Err(e) => return Err(e),
+            }
+            if !ppe.spe_alive(self.spe_id())? {
+                // One last poll: the dying SPE may have replied before it
+                // closed its mailboxes (queued words stay readable).
+                if let Ok(Some(v)) = self.poll(ppe) {
+                    return Ok(v);
+                }
+                return Err(dead_spe(self.spe_id()));
+            }
+            if ppe.clock.now() < deadline {
+                ppe.charge_cycles(policy.poll_cost);
+            } else {
+                // Virtual deadline passed; give the host thread a moment
+                // before declaring the reply lost.
+                let started = *grace.get_or_insert_with(Instant::now);
+                if started.elapsed() >= HOST_GRACE {
+                    return Err(CellError::Timeout {
+                        what: "SPE kernel reply",
+                    });
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// The Listing-3 round trip with timeout + bounded-backoff retry.
+    ///
+    /// Only safe for **idempotent** dispatches: on timeout the same opcode
+    /// and argument are re-sent, so a kernel whose reply was merely lost
+    /// recomputes the same value. Retries are traced (`Recovery` span,
+    /// `Retries` counter). Returns the last error when attempts are
+    /// exhausted; a dead SPE short-circuits immediately.
+    pub fn send_and_wait_resilient(
+        &mut self,
+        ppe: &mut Ppe,
+        policy: &RetryPolicy,
+        function_call: u32,
+        value: u32,
+    ) -> CellResult<u32> {
+        let spe = self.spe_id();
+        let mut attempt: u32 = 0;
+        loop {
+            // Toss stale replies a previous (spuriously timed-out) attempt
+            // may have left queued, so request/reply stay in lock-step.
+            while ppe.stat_out_mbox(spe)? > 0 {
+                let _ = ppe.try_read_out_mbox(spe)?;
+            }
+            match self.send(ppe, function_call, value) {
+                Ok(()) => {}
+                Err(CellError::MailboxClosed) => return Err(dead_spe(spe)),
+                Err(e) => return Err(e),
+            }
+            match self.wait_for(ppe, policy) {
+                Ok(v) => return Ok(v),
+                Err(CellError::Timeout { .. }) if attempt + 1 < policy.max_attempts.max(1) => {
+                    attempt += 1;
+                    let backoff = policy.backoff(attempt);
+                    let now = ppe.clock.now();
+                    ppe.tracer_mut().span(
+                        EventKind::Recovery,
+                        "retry",
+                        now,
+                        backoff,
+                        spe as u64,
+                        attempt as u64,
+                    );
+                    ppe.tracer_mut().count(Counter::Retries, 1);
+                    ppe.charge_cycles(backoff);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatcher::KernelDispatcher;
+    use crate::interface::ReplyMode;
+    use cell_core::MachineConfig;
+    use cell_fault::FaultPlan;
+    use cell_sys::machine::{CellMachine, SpeHandle};
+    use cell_trace::TraceConfig;
+
+    fn machine_with_plan(plan: FaultPlan) -> (CellMachine, Ppe, SpeInterface, u32, SpeHandle) {
+        let mut m = CellMachine::new(MachineConfig::small()).unwrap();
+        m.set_trace_config(TraceConfig::Full);
+        m.set_fault_plan(plan);
+        let ppe = m.ppe();
+        let mut d = KernelDispatcher::new("adder", ReplyMode::Polling);
+        let op = d.register("add_seven", |env, v| {
+            env.spu.scalar_op(1);
+            Ok(v + 7)
+        });
+        let h = m.spawn(0, Box::new(d)).unwrap();
+        let iface = SpeInterface::new("adder", 0, ReplyMode::Polling);
+        (m, ppe, iface, op, h)
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(1), 1_000);
+        assert_eq!(p.backoff(2), 2_000);
+        assert_eq!(p.backoff(3), 4_000);
+        assert_eq!(p.backoff(60), p.max_backoff);
+        assert_eq!(p.backoff(1_000_000), p.max_backoff);
+        assert_eq!(RetryPolicy::no_retry(5).max_attempts, 1);
+    }
+
+    #[test]
+    fn resilient_path_is_transparent_without_faults() {
+        let (_m, mut ppe, mut iface, op, h) = machine_with_plan(FaultPlan::new());
+        let policy = RetryPolicy::default();
+        for i in 0..4u32 {
+            assert_eq!(
+                iface
+                    .send_and_wait_resilient(&mut ppe, &policy, op, 10 * i)
+                    .unwrap(),
+                10 * i + 7
+            );
+        }
+        iface.close(&mut ppe).unwrap();
+        h.join().unwrap();
+        let trace = ppe.take_trace();
+        assert_eq!(trace.counters.get(Counter::Retries), 0);
+    }
+
+    #[test]
+    fn dropped_reply_is_retried_and_recovered() {
+        // The second reply out of SPE 0 is dropped; the stub must time
+        // out, re-send, and still produce the right answer.
+        let (_m, mut ppe, mut iface, op, h) = machine_with_plan(FaultPlan::new().drop_reply(0, 2));
+        let policy = RetryPolicy {
+            timeout_cycles: 500_000,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(
+            iface
+                .send_and_wait_resilient(&mut ppe, &policy, op, 1)
+                .unwrap(),
+            8
+        );
+        assert_eq!(
+            iface
+                .send_and_wait_resilient(&mut ppe, &policy, op, 2)
+                .unwrap(),
+            9,
+            "retry must recover the dropped reply"
+        );
+        iface.close(&mut ppe).unwrap();
+        let report = h.join().unwrap();
+        assert_eq!(
+            report.trace.counters.get(Counter::FaultsInjected),
+            1,
+            "the drop fired on the SPE side"
+        );
+        let trace = ppe.take_trace();
+        assert!(trace.counters.get(Counter::Retries) >= 1);
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| e.kind == EventKind::Recovery && e.label == "retry"));
+    }
+
+    #[test]
+    fn crashed_spe_is_detected_as_dead_not_timeout() {
+        // SPE 0 crashes on its third inbound read (the second request's
+        // opcode): the in-flight dispatch must fail fast with SpeFault.
+        let (_m, mut ppe, mut iface, op, h) = machine_with_plan(FaultPlan::new().crash_spe(0, 3));
+        let policy = RetryPolicy::default();
+        assert_eq!(
+            iface
+                .send_and_wait_resilient(&mut ppe, &policy, op, 1)
+                .unwrap(),
+            8
+        );
+        let err = iface
+            .send_and_wait_resilient(&mut ppe, &policy, op, 2)
+            .unwrap_err();
+        assert!(matches!(err, CellError::SpeFault { spe: 0, .. }), "{err}");
+        let report = h.join_report().unwrap();
+        assert!(report.fault.unwrap().contains("injected fault"));
+    }
+
+    #[test]
+    fn exhausted_retries_surface_timeout() {
+        // Every reply from SPE 0 is dropped: three attempts, then Timeout.
+        let plan = FaultPlan::new()
+            .drop_reply(0, 1)
+            .drop_reply(0, 2)
+            .drop_reply(0, 3);
+        let (_m, mut ppe, mut iface, op, h) = machine_with_plan(plan);
+        let policy = RetryPolicy {
+            timeout_cycles: 200_000,
+            ..RetryPolicy::default()
+        };
+        let err = iface
+            .send_and_wait_resilient(&mut ppe, &policy, op, 5)
+            .unwrap_err();
+        assert!(matches!(err, CellError::Timeout { .. }), "{err}");
+        let trace = ppe.take_trace();
+        assert_eq!(
+            trace.counters.get(Counter::Retries),
+            2,
+            "3 attempts = 2 retries"
+        );
+        iface.close(&mut ppe).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn stalled_reply_is_late_in_virtual_time_but_not_lost() {
+        // A stall only delays the reply on the virtual timeline; the host
+        // delivery is immediate, so no retry fires and the stamp is late.
+        let (_m, mut ppe, mut iface, op, h) =
+            machine_with_plan(FaultPlan::new().stall_reply(0, 1, 300_000));
+        let policy = RetryPolicy::default();
+        let t0 = ppe.clock.now();
+        assert_eq!(
+            iface
+                .send_and_wait_resilient(&mut ppe, &policy, op, 1)
+                .unwrap(),
+            8
+        );
+        assert!(
+            ppe.clock.now() - t0 >= 300_000,
+            "stall must show up in virtual time"
+        );
+        let trace = ppe.take_trace();
+        assert_eq!(trace.counters.get(Counter::Retries), 0);
+        iface.close(&mut ppe).unwrap();
+        h.join().unwrap();
+    }
+}

@@ -12,7 +12,8 @@
 use cell_core::{CellError, CellResult, MachineProfile, VirtualDuration};
 
 use crate::amdahl::{
-    coverage_ceiling, estimate_grouped, estimate_sequential, estimate_single, KernelSpec,
+    coverage_ceiling, estimate_degraded, estimate_grouped, estimate_sequential, estimate_single,
+    KernelSpec,
 };
 use crate::profile::CoverageProfiler;
 use crate::schedule::Schedule;
@@ -78,6 +79,7 @@ impl<'p> PlanBuilder<'p> {
     }
 
     /// Coverage threshold below which a phase is not worth detaching.
+    #[must_use]
     pub fn threshold(mut self, t: f64) -> Self {
         self.threshold = t;
         self
@@ -85,30 +87,35 @@ impl<'p> PlanBuilder<'p> {
 
     /// Default assumed kernel speed-up (the paper's order-of-magnitude
     /// a-priori guess).
+    #[must_use]
     pub fn default_speedup(mut self, s: f64) -> Self {
         self.default_speedup = s;
         self
     }
 
     /// Override the assumed/measured speed-up of one phase.
+    #[must_use]
     pub fn speedup(mut self, phase: &str, s: f64) -> Self {
         self.speedups.push((phase.to_string(), s));
         self
     }
 
     /// Declare a kernel's expected LS footprint for the budget check.
+    #[must_use]
     pub fn ls_footprint(mut self, phase: &str, bytes: usize) -> Self {
         self.footprints.push((phase.to_string(), bytes));
         self
     }
 
     /// Local-store data capacity to check against.
+    #[must_use]
     pub fn ls_capacity(mut self, bytes: usize) -> Self {
         self.ls_capacity = bytes;
         self
     }
 
     /// Mark a phase as not portable (e.g. I/O-bound preprocessing).
+    #[must_use]
     pub fn exclude(mut self, phase: &str) -> Self {
         self.exclude.push(phase.to_string());
         self
@@ -200,6 +207,24 @@ impl PortingPlan {
     /// pays if the parallel estimate beats `min_gain`.
     pub fn worth_porting(&self, min_gain: f64) -> bool {
         self.parallel_estimate >= min_gain
+    }
+
+    /// The parallel estimate recomputed for a degraded machine with only
+    /// `num_spes` surviving SPEs (degraded-mode Eq. 3): what the plan is
+    /// still worth after failover, e.g. 7-of-8 after one SPE died.
+    pub fn degraded_estimate(&self, num_spes: usize) -> CellResult<f64> {
+        let specs: Vec<KernelSpec> = self
+            .candidates
+            .iter()
+            .map(|c| {
+                KernelSpec::new(
+                    Box::leak(c.name.clone().into_boxed_str()),
+                    c.coverage,
+                    c.speedup,
+                )
+            })
+            .collect();
+        estimate_degraded(&specs, &[(0..specs.len()).collect()], num_spes)
     }
 
     /// Render as Markdown (for reports and examples).
@@ -331,6 +356,25 @@ mod tests {
         assert!(plan.schedule(2).is_err(), "4 kernels need 4 SPEs");
         assert!(plan.worth_porting(2.0));
         assert!(!plan.worth_porting(1000.0));
+    }
+
+    #[test]
+    fn degraded_estimate_shrinks_with_survivors() {
+        let prof = profiler();
+        let plan = PlanBuilder::new(&prof, MachineProfile::ppe())
+            .threshold(0.05)
+            .build()
+            .unwrap();
+        // 4 candidates: with ≥4 survivors the full parallel estimate holds;
+        // fewer survivors degrade monotonically toward the sequential one.
+        let full = plan.degraded_estimate(4).unwrap();
+        assert!((full - plan.parallel_estimate).abs() < 1e-12);
+        let d2 = plan.degraded_estimate(2).unwrap();
+        let d1 = plan.degraded_estimate(1).unwrap();
+        assert!(d2 < full);
+        assert!(d1 <= d2);
+        assert!((d1 - plan.sequential_estimate).abs() < 1e-12);
+        assert!(plan.degraded_estimate(0).is_err());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use cell_core::{CellError, CellResult};
 
-use crate::amdahl::{estimate_grouped, KernelSpec};
+use crate::amdahl::{estimate_degraded, estimate_grouped, KernelSpec};
 
 /// A kernel's identity within a schedule.
 pub type KernelId = usize;
@@ -100,6 +100,61 @@ impl Schedule {
         self.groups.iter().map(|g| g.len()).max().unwrap_or(0)
     }
 
+    /// Re-plan this schedule onto the surviving SPEs after failures
+    /// (`alive[spe]` says whether SPE `spe` still runs its dispatcher).
+    ///
+    /// Graceful degradation, not a fresh schedule: kernels whose SPE
+    /// survived stay where they are (their dispatcher is warm and their
+    /// local store is loaded); displaced kernels move to free survivors.
+    /// A group wider than the survivor count is split into sequential
+    /// chunks — the degraded shape [`estimate_degraded`] prices. With
+    /// fewer SPEs than kernels, SPEs are reused across groups, which is
+    /// sound as long as every SPE runs a dispatcher that serves every
+    /// kernel (the universal-dispatcher pattern resilient apps use).
+    pub fn replan(&self, alive: &[bool]) -> CellResult<Schedule> {
+        let alive_ids: Vec<usize> = alive
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a)
+            .map(|(i, _)| i)
+            .collect();
+        if alive_ids.is_empty() {
+            return Err(CellError::NoSpeAvailable {
+                requested: self.num_kernels,
+                available: 0,
+            });
+        }
+        let cap = alive_ids.len();
+        let mut assignment = vec![usize::MAX; self.num_kernels];
+        let mut groups = Vec::new();
+        for group in &self.groups {
+            for chunk in group.chunks(cap) {
+                // First pass: kernels keep a surviving SPE when they can.
+                let mut taken = vec![false; alive.len()];
+                for &k in chunk {
+                    let spe = self.assignment[k];
+                    if spe < alive.len() && alive[spe] && !taken[spe] {
+                        assignment[k] = spe;
+                        taken[spe] = true;
+                    }
+                }
+                // Second pass: the displaced go to free survivors.
+                let mut free = alive_ids.iter().copied().filter(|&s| !taken[s]);
+                for &k in chunk {
+                    if assignment[k] == usize::MAX {
+                        assignment[k] = free.next().expect("chunk is at most cap kernels wide");
+                    }
+                }
+                groups.push(chunk.to_vec());
+            }
+        }
+        Ok(Schedule {
+            num_kernels: self.num_kernels,
+            assignment,
+            groups,
+        })
+    }
+
     /// Estimate this schedule's application speed-up with Eq. 3, given
     /// each kernel's coverage and speed-up (indexed by `KernelId`).
     pub fn estimate(&self, kernels: &[KernelSpec]) -> CellResult<f64> {
@@ -113,6 +168,21 @@ impl Schedule {
             });
         }
         estimate_grouped(kernels, &self.groups)
+    }
+
+    /// Estimate this schedule's speed-up when only `num_spes` SPEs survive
+    /// (degraded-mode Eq. 3: wide groups are serialized into chunks).
+    pub fn estimate_degraded(&self, kernels: &[KernelSpec], num_spes: usize) -> CellResult<f64> {
+        if kernels.len() != self.num_kernels {
+            return Err(CellError::BadKernelSpec {
+                message: format!(
+                    "schedule has {} kernels but {} specs were given",
+                    self.num_kernels,
+                    kernels.len()
+                ),
+            });
+        }
+        estimate_degraded(kernels, &self.groups, num_spes)
     }
 }
 
@@ -156,6 +226,71 @@ mod tests {
         assert!(Schedule::grouped(vec![vec![0, 5]], 8).is_err());
         assert!(Schedule::grouped(vec![vec![0], vec![]], 8).is_err());
         assert!(Schedule::grouped(vec![], 8).is_err());
+    }
+
+    #[test]
+    fn replan_keeps_survivors_and_moves_the_displaced() {
+        // MARVEL's shape: {0,1,2,3} then {4}, on 8 SPEs. SPE 1 dies.
+        let s = Schedule::grouped(vec![vec![0, 1, 2, 3], vec![4]], 8).unwrap();
+        let mut alive = [true; 8];
+        alive[1] = false;
+        let r = s.replan(&alive).unwrap();
+        assert_eq!(r.num_kernels(), 5);
+        assert_eq!(r.groups(), s.groups(), "7 survivors keep the shape");
+        // Unaffected kernels stay put; kernel 1 moved to a free survivor.
+        assert_eq!(r.spe_of(0), 0);
+        assert_eq!(r.spe_of(2), 2);
+        assert_eq!(r.spe_of(3), 3);
+        assert_eq!(r.spe_of(4), 4);
+        let moved = r.spe_of(1);
+        assert!(
+            alive[moved],
+            "kernel 1 must land on a live SPE, got {moved}"
+        );
+        assert!(
+            ![0, 2, 3].contains(&moved),
+            "kernel 1 must not collide inside its group"
+        );
+    }
+
+    #[test]
+    fn replan_serializes_wide_groups_when_few_spes_survive() {
+        let s = Schedule::grouped(vec![vec![0, 1, 2, 3], vec![4]], 8).unwrap();
+        // Only SPEs 2 and 5 survive.
+        let mut alive = [false; 8];
+        alive[2] = true;
+        alive[5] = true;
+        let r = s.replan(&alive).unwrap();
+        assert_eq!(r.groups().len(), 3, "wide group splits into two chunks");
+        assert_eq!(r.max_concurrency(), 2);
+        for k in 0..5 {
+            assert!([2, 5].contains(&r.spe_of(k)), "kernel {k} on a dead SPE");
+        }
+        // Within each chunk, no two kernels share an SPE.
+        for g in r.groups() {
+            let mut spes: Vec<usize> = g.iter().map(|&k| r.spe_of(k)).collect();
+            spes.sort_unstable();
+            spes.dedup();
+            assert_eq!(spes.len(), g.len());
+        }
+        // Kernel 2 kept its home SPE.
+        assert_eq!(r.spe_of(2), 2);
+    }
+
+    #[test]
+    fn replan_with_no_survivors_fails() {
+        let s = Schedule::sequential(2, 8).unwrap();
+        assert!(matches!(
+            s.replan(&[false; 8]),
+            Err(CellError::NoSpeAvailable { available: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn replan_is_idempotent_when_nothing_died() {
+        let s = Schedule::grouped(vec![vec![0, 1], vec![2]], 4).unwrap();
+        let r = s.replan(&[true; 4]).unwrap();
+        assert_eq!(r, s);
     }
 
     #[test]
