@@ -104,7 +104,7 @@ fn bench_ablations(c: &mut Criterion) {
     let mut g = c.benchmark_group("multibuffer_depth");
     for depth in [1usize, 2, 3] {
         g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
-            b.iter(|| stream_run(d, 10_000))
+            b.iter(|| stream_run(d, 10_000));
         });
     }
     g.finish();
@@ -120,7 +120,7 @@ fn bench_ablations(c: &mut Criterion) {
                     }
                 }
                 eib.stats().horizon
-            })
+            });
         });
     }
     g.finish();
@@ -139,7 +139,7 @@ fn bench_ablations(c: &mut Criterion) {
                     sl.update(chunk);
                 }
                 sl.finish()
-            })
+            });
         });
     }
     g.finish();

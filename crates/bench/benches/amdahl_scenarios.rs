@@ -37,14 +37,14 @@ fn bench_estimators(c: &mut Criterion) {
     print_estimates();
     let mut g = c.benchmark_group("amdahl");
     g.bench_function("eq1_single", |b| {
-        b.iter(|| estimate_single(0.1, 10.0).unwrap())
+        b.iter(|| estimate_single(0.1, 10.0).unwrap());
     });
     for n in [5usize, 50, 500] {
         let kernels: Vec<KernelSpec> = (0..n)
             .map(|i| KernelSpec::new("k", 0.9 / n as f64, 2.0 + i as f64))
             .collect();
         g.bench_with_input(BenchmarkId::new("eq2_sequential", n), &kernels, |b, ks| {
-            b.iter(|| estimate_sequential(ks).unwrap())
+            b.iter(|| estimate_sequential(ks).unwrap());
         });
         let groups: Vec<Vec<usize>> = kernels
             .chunks(4)

@@ -60,7 +60,7 @@ fn bench_degraded(c: &mut Criterion) {
                 let analysis = cell.analyze(&inputs[0]).unwrap();
                 cell.finish().unwrap();
                 analysis.scores.len()
-            })
+            });
         });
     }
     g.finish();

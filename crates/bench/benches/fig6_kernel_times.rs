@@ -41,7 +41,7 @@ fn bench_costing(c: &mut Criterion) {
         b.iter(|| {
             let mut prof = OpProfile::new();
             histogram::extract_counted(&img, &mut prof)
-        })
+        });
     });
 
     let mut prof = OpProfile::new();
@@ -58,7 +58,7 @@ fn bench_costing(c: &mut Criterion) {
                 .iter()
                 .map(|m| m.time(&prof).seconds())
                 .sum::<f64>()
-        })
+        });
     });
 
     g.bench_function("profile_merge", |b| {
@@ -68,7 +68,7 @@ fn bench_costing(c: &mut Criterion) {
                 total.merge(&prof);
             }
             total.count(OpClass::IntAlu)
-        })
+        });
     });
 
     g.finish();

@@ -46,7 +46,7 @@ fn bench_app(c: &mut Criterion) {
                 let analysis = cell.analyze(&input).unwrap();
                 cell.finish().unwrap();
                 analysis.scores.len()
-            })
+            });
         });
     }
     g.finish();

@@ -48,7 +48,7 @@ fn bench_kernels(c: &mut Criterion) {
                 sl.finish()
             },
             BatchSize::SmallInput,
-        )
+        );
     });
 
     g.bench_function("cc_reference", |b| b.iter(|| correlogram::extract(&img)));
@@ -61,7 +61,7 @@ fn bench_kernels(c: &mut Criterion) {
                 acc.finish()
             },
             BatchSize::SmallInput,
-        )
+        );
     });
 
     g.bench_function("tx_reference", |b| b.iter(|| texture::extract(&img)));
@@ -74,7 +74,7 @@ fn bench_kernels(c: &mut Criterion) {
                 acc.finish()
             },
             BatchSize::SmallInput,
-        )
+        );
     });
 
     g.bench_function("eh_reference", |b| b.iter(|| edge::extract(&img)));
@@ -87,7 +87,7 @@ fn bench_kernels(c: &mut Criterion) {
                 acc.finish()
             },
             BatchSize::SmallInput,
-        )
+        );
     });
 
     g.finish();

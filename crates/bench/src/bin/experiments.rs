@@ -235,8 +235,7 @@ fn e2_coverage(args: &Args) {
         let got = rows
             .iter()
             .find(|r| r.name == kind.name())
-            .map(|r| r.fraction)
-            .unwrap_or(0.0);
+            .map_or(0.0, |r| r.fraction);
         println!(
             "| {} | {:.0}% | {:.1}% |",
             kind.name(),
@@ -247,8 +246,7 @@ fn e2_coverage(args: &Args) {
     let pre = rows
         .iter()
         .find(|r| r.name == "Preprocess")
-        .map(|r| r.fraction)
-        .unwrap_or(0.0);
+        .map_or(0.0, |r| r.fraction);
     println!("| Preprocess | 2% | {:.1}% |", pre * 100.0);
 
     let k1 = one.kernel_coverage(&ppe).unwrap();

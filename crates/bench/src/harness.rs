@@ -279,7 +279,7 @@ mod tests {
         let mut ran = false;
         g.bench_function("noop", |b| {
             ran = true;
-            b.iter(|| 1 + 1)
+            b.iter(|| 1 + 1);
         });
         g.finish();
         assert!(ran);

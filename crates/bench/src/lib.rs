@@ -152,8 +152,7 @@ pub fn measure_kernels(img: &ColorImage, with_unoptimized: bool) -> CellResult<K
         coverage
             .iter()
             .find(|r| r.name == name)
-            .map(|r| r.fraction)
-            .unwrap_or(0.0)
+            .map_or(0.0, |r| r.fraction)
     };
 
     let mut rows = Vec::new();

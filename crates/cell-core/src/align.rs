@@ -16,24 +16,47 @@ pub const CACHE_LINE: usize = 128;
 ///
 /// `align` must be a power of two; this is asserted because every caller in
 /// the simulator passes a hardware constant and a non-power-of-two would be
-/// a programming error, not a runtime condition.
+/// a programming error, not a runtime condition. Panics if the rounded
+/// value does not fit in `usize` (`value + align - 1` used to wrap in
+/// release builds, silently aligning near-`usize::MAX` values to 0); use
+/// [`checked_align_up`] to handle that case as a value.
 #[inline]
+#[must_use]
 pub fn align_up(value: usize, align: usize) -> usize {
+    checked_align_up(value, align)
+        .unwrap_or_else(|| panic!("align_up({value}, {align}) overflows usize"))
+}
+
+/// [`align_up`] that returns `None` instead of panicking when the rounded
+/// value overflows `usize`.
+#[inline]
+#[must_use]
+pub fn checked_align_up(value: usize, align: usize) -> Option<usize> {
     assert!(
         align.is_power_of_two(),
         "alignment {align} is not a power of two"
     );
-    (value + align - 1) & !(align - 1)
+    Some(value.checked_add(align - 1)? & !(align - 1))
 }
 
 /// Round `value` down to the previous multiple of `align` (power of two).
 #[inline]
+#[must_use]
 pub fn align_down(value: usize, align: usize) -> usize {
     assert!(
         align.is_power_of_two(),
         "alignment {align} is not a power of two"
     );
     value & !(align - 1)
+}
+
+/// [`align_down`] as a checked pair to [`checked_align_up`]. Rounding down
+/// cannot overflow, so this never returns `None`; it exists so callers
+/// threading both directions through checked arithmetic stay symmetric.
+#[inline]
+#[must_use]
+pub fn checked_align_down(value: usize, align: usize) -> Option<usize> {
+    Some(align_down(value, align))
 }
 
 /// Whether `value` is a multiple of `align` (power of two).
@@ -102,6 +125,23 @@ mod tests {
     #[should_panic(expected = "not a power of two")]
     fn align_up_rejects_npot() {
         let _ = align_up(5, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows usize")]
+    fn align_up_panics_on_overflow() {
+        let _ = align_up(usize::MAX - 3, 16);
+    }
+
+    #[test]
+    fn checked_align_handles_the_top_of_the_address_space() {
+        assert_eq!(checked_align_up(usize::MAX - 3, 16), None);
+        assert_eq!(checked_align_up(usize::MAX, 1), Some(usize::MAX));
+        let top = usize::MAX & !(15usize);
+        assert_eq!(checked_align_up(top, 16), Some(top));
+        assert_eq!(checked_align_up(top - 1, 16), Some(top));
+        assert_eq!(checked_align_down(usize::MAX, 16), Some(top));
+        assert_eq!(checked_align_down(0, 128), Some(0));
     }
 
     #[test]

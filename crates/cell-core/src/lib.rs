@@ -32,7 +32,8 @@ pub mod ops;
 pub mod rng;
 
 pub use align::{
-    align_down, align_up, dma_transfer_legal, is_aligned, quadwords_for, CACHE_LINE, QUADWORD,
+    align_down, align_up, checked_align_down, checked_align_up, dma_transfer_legal, is_aligned,
+    quadwords_for, CACHE_LINE, QUADWORD,
 };
 pub use clock::VirtualClock;
 pub use config::{DmaConfig, EibConfig, MachineConfig};

@@ -170,7 +170,7 @@ impl OpProfile {
     /// per-image profile to an image-set workload.
     pub fn repeated(&self, n: u64) -> OpProfile {
         let mut out = self.clone();
-        for c in out.counts.iter_mut() {
+        for c in &mut out.counts {
             *c = c.saturating_mul(n);
         }
         out.dma_bytes_in = out.dma_bytes_in.saturating_mul(n);

@@ -205,7 +205,7 @@ impl Eib {
         let ready = cmd_start + 1;
         let mut best: Option<(usize, usize, u64)> = None; // (ring, slot, start)
         for ring_set in [&preferred, &fallback] {
-            for &r in ring_set.iter() {
+            for &r in ring_set {
                 for (si, &busy_until) in st.ring_slots[r].iter().enumerate() {
                     let start = busy_until.max(ready);
                     if best.is_none_or(|(_, _, b)| start < b) {
@@ -282,7 +282,7 @@ impl Eib {
     /// Reset the calendar and statistics (between benchmark iterations).
     pub fn reset(&self) {
         let mut st = self.state.lock().unwrap();
-        for ring in st.ring_slots.iter_mut() {
+        for ring in &mut st.ring_slots {
             ring.fill(0);
         }
         st.cmd_free_at = 0;

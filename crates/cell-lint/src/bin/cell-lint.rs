@@ -1,0 +1,103 @@
+//! Lint every shipped port: static analysis over each example's
+//! [`cell_lint::PortModel`] plus happens-before race detection over a
+//! traced pipelined run. Writes one `lint_<port>.json` per port into
+//! `target/lint/` and exits nonzero when any Error-severity finding
+//! survives — which is what the CI `lint` job gates on.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cell_core::CellResult;
+use cell_fault::FaultPlan;
+use cell_lint::{analyze, detect_races, LintConfig, LintReport};
+use cell_stencil::grid::Grid;
+use cell_stencil::offload::StencilApp;
+use cell_trace::TraceConfig;
+use marvel::app::{CellMarvel, Scenario};
+use marvel::image::ColorImage;
+use marvel::resilient::ResilientMarvel;
+
+/// Image geometry the lint models assume (CIF frames, like the paper's
+/// MARVEL corpus).
+const IMG_W: usize = 352;
+const IMG_H: usize = 288;
+
+fn reports() -> CellResult<Vec<LintReport>> {
+    let config = LintConfig::new();
+    let mut out = Vec::new();
+
+    // --- MARVEL, pipelined scenario: static model + traced run ----------
+    let mut app = CellMarvel::with_trace(Scenario::ParallelExtract, true, 7, TraceConfig::Full)?;
+    let model = cell_lint::model_marvel(&app, IMG_W, IMG_H)?;
+    let mut report = analyze(&model, &config);
+    // Drive two frames through the pipeline so the trace has concurrent
+    // extraction DMA on every SPE, then race-check it.
+    for seed in 0..2u64 {
+        let img = ColorImage::synthetic(IMG_W, IMG_H, seed)?;
+        app.analyze_decoded(&img)?;
+    }
+    let (_, _, trace) = app.finish_traced()?;
+    report.findings.extend(detect_races(&trace));
+    out.push(report);
+
+    // --- MARVEL with universal dispatchers (failover port) --------------
+    let app = ResilientMarvel::new(true, 7, FaultPlan::new())?;
+    let model = cell_lint::model_resilient(&app, IMG_W, IMG_H)?;
+    out.push(analyze(&model, &config));
+    app.finish()?;
+
+    // --- Stencil, both regimes ------------------------------------------
+    let app = StencilApp::new()?;
+    let mut resident = cell_lint::model_stencil(&app, 96, 64)?;
+    resident.name = "stencil-resident".to_string();
+    out.push(analyze(&resident, &config));
+    let mut banded = cell_lint::model_stencil(&app, 512, 256)?;
+    banded.name = "stencil-banded".to_string();
+    out.push(analyze(&banded, &config));
+    // A real solve keeps the model honest about the machine being usable.
+    let mut app = app;
+    let grid = Grid::heat_problem(96, 64)?;
+    app.solve(&grid, 1)?;
+    app.finish()?;
+
+    // --- Image-filter offload example ------------------------------------
+    let model = cell_lint::model_image_filter()?;
+    out.push(analyze(&model, &config));
+
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let reports = match reports() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cell-lint: failed to build port models: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let dir = PathBuf::from("target/lint");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cell-lint: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut errors = 0usize;
+    for report in &reports {
+        print!("{}", report.render());
+        let path = dir.join(format!("lint_{}.json", report.port));
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("cell-lint: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("  report: {}", path.display());
+        errors += report.error_count();
+    }
+
+    if errors > 0 {
+        eprintln!("cell-lint: {errors} error-severity finding(s)");
+        return ExitCode::FAILURE;
+    }
+    println!("cell-lint: clean ({} ports)", reports.len());
+    ExitCode::SUCCESS
+}

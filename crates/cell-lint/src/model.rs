@@ -1,0 +1,128 @@
+//! The port IR: a [`PortModel`] describes everything about a whole port
+//! that the paper's checklists (§3.2–§3.5, §4.1) constrain — kernels and
+//! their SPE placement, wrapper layouts on both sides of the ABI, DMA
+//! slicing plans, opcode tables, dispatch scripts and the static
+//! schedule. The rule passes in [`crate::rules`] consume this; the
+//! builders in [`crate::builders`] construct it from the shipped
+//! applications.
+
+use cell_mem::StructLayout;
+use portkit::amdahl::KernelSpec;
+use portkit::schedule::Schedule;
+
+/// A whole port, ready for static analysis.
+#[derive(Debug, Clone)]
+pub struct PortModel {
+    /// Port name; becomes the report title and the JSON file stem.
+    pub name: String,
+    /// SPEs available on the target machine.
+    pub num_spes: usize,
+    /// Local-store bytes per SPE (code + data).
+    pub ls_capacity: usize,
+    /// The resident kernels.
+    pub kernels: Vec<KernelModel>,
+    /// The static schedule, when the port has one.
+    pub schedule: Option<Schedule>,
+    /// Kernel specs matching the schedule's kernel ids (may be empty).
+    pub kernel_specs: Vec<KernelSpec>,
+    /// PPE-side dispatch scripts, one per conversation with a dispatcher.
+    pub scripts: Vec<DispatchScript>,
+}
+
+/// One SPE-resident kernel (a dispatcher plus what it moves).
+#[derive(Debug, Clone)]
+pub struct KernelModel {
+    pub name: String,
+    /// SPE the dispatcher is spawned on.
+    pub spe: usize,
+    /// The dispatcher's opcode table: `(function name, opcode)`.
+    pub opcodes: Vec<(String, u32)>,
+    /// The message wrapper, when the kernel takes one.
+    pub wrapper: Option<WrapperModel>,
+    /// Code bytes resident in the local store.
+    pub code_bytes: usize,
+    /// Every DMA plan the kernel issues per invocation.
+    pub plans: Vec<DmaPlan>,
+}
+
+/// A data wrapper as both sides of the ABI see it.
+#[derive(Debug, Clone)]
+pub struct WrapperModel {
+    /// Layout the PPE stub fills in.
+    pub ppe_layout: StructLayout,
+    /// Layout the SPE kernel reads with; `None` when it is (by
+    /// construction) the identical object.
+    pub spe_layout: Option<StructLayout>,
+    /// Alignment of the wrapper's main-memory base address.
+    pub base_align: usize,
+}
+
+/// How a kernel moves one logical buffer through the local store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmaPlan {
+    /// One unsliced transfer of `bytes`.
+    Single { bytes: usize },
+    /// `total` bytes streamed in `chunk`-byte slices through `buffers`
+    /// local-store buffers (1 = single-buffered, 2 = double-buffered…).
+    Sliced {
+        chunk: usize,
+        total: usize,
+        buffers: usize,
+    },
+    /// A DMA list of `elements` entries of `element_bytes` each.
+    List {
+        elements: usize,
+        element_bytes: usize,
+    },
+}
+
+impl DmaPlan {
+    /// Peak local-store bytes the plan needs resident at once.
+    pub fn ls_bytes(&self) -> usize {
+        match *self {
+            DmaPlan::Single { bytes } => cell_core::align_up(bytes, cell_core::QUADWORD),
+            DmaPlan::Sliced { chunk, buffers, .. } => {
+                cell_core::align_up(chunk, cell_core::QUADWORD) * buffers.max(1)
+            }
+            DmaPlan::List {
+                elements,
+                element_bytes,
+            } => cell_core::align_up(element_bytes, cell_core::QUADWORD) * elements,
+        }
+    }
+}
+
+/// One step of a PPE dispatch conversation (Listing 3's protocol).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScriptOp {
+    /// Write the opcode word (and the wrapper-address word) to the SPE's
+    /// inbound mailbox.
+    Send { opcode: u32 },
+    /// Block on the SPE's outbound mailbox for the reply word.
+    WaitReply,
+    /// Send `SPU_EXIT`, ending the dispatcher loop.
+    Close,
+}
+
+/// A PPE-side conversation with one kernel's dispatcher.
+#[derive(Debug, Clone)]
+pub struct DispatchScript {
+    /// Index into [`PortModel::kernels`] of the dispatcher addressed.
+    pub kernel: usize,
+    pub ops: Vec<ScriptOp>,
+}
+
+impl PortModel {
+    /// A canonical `send → wait → close` script for kernel `k`'s opcode
+    /// `op` — the shape every shipped stub performs.
+    pub fn roundtrip_script(kernel: usize, op: u32) -> DispatchScript {
+        DispatchScript {
+            kernel,
+            ops: vec![
+                ScriptOp::Send { opcode: op },
+                ScriptOp::WaitReply,
+                ScriptOp::Close,
+            ],
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! Sanitizer-style dynamic race detection over `cell-trace` streams.
+//!
+//! The detector replays a [`TraceReport`] and builds a happens-before
+//! relation with vector clocks, one component per track (PPE plus each
+//! SPE). Two kinds of edges exist:
+//!
+//! * **program order** — events on one track, in timestamp order;
+//! * **mailbox synchronization** — each PPE→SPE inbound-mailbox word and
+//!   each SPE→PPE outbound word is a FIFO channel: the *k*-th send
+//!   happens-before the *k*-th receive. PPE-side mailbox events carry
+//!   the SPE index in `arg1`, which keys the channel.
+//!
+//! DMA events whose `ea` is nonzero are memory accesses on main memory:
+//! `DmaGet` reads `[ea, ea + arg0)`, `DmaPut` writes it. Two accesses on
+//! different tracks *race* when their ranges overlap, at least one is a
+//! write, and neither's vector clock happens-before the other — i.e. no
+//! chain of mailbox messages orders them. Racy pairs become `dma-race`
+//! findings (Error severity): on real hardware the winner is decided by
+//! EIB arbitration, which is exactly the nondeterminism a port must not
+//! depend on.
+//!
+//! Timestamps are **not** used to order events across tracks — each
+//! track has its own virtual clock, and "A's put finished before B's put
+//! started" on simulated clocks proves nothing about the real machine.
+//! Only message edges count, which is what makes this a happens-before
+//! detector rather than a lucky-schedule observer.
+
+use cell_trace::{EventKind, TraceEvent, TraceReport, Track};
+use portkit::advisor::Severity;
+
+use crate::rules::Finding;
+
+/// A vector clock: one logical-time component per track.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct VectorClock(Vec<u64>);
+
+impl VectorClock {
+    fn zero(n: usize) -> Self {
+        VectorClock(vec![0; n])
+    }
+
+    fn tick(&mut self, track: usize) {
+        self.0[track] += 1;
+    }
+
+    fn join(&mut self, other: &VectorClock) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// True when `self` happens-before-or-equals `other`.
+    fn le(&self, other: &VectorClock) -> bool {
+        self.0.iter().zip(other.0.iter()).all(|(a, b)| a <= b)
+    }
+}
+
+/// One main-memory access reconstructed from a DMA event.
+#[derive(Debug, Clone)]
+struct Access {
+    track: usize,
+    ts: u64,
+    is_write: bool,
+    lo: u64,
+    hi: u64, // exclusive
+    label: &'static str,
+    clock: VectorClock,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    /// Mailbox send on channel (key is `(direction, spe)`).
+    Send { inbound: bool, spe: usize },
+    /// Mailbox receive on the same channel keying.
+    Recv { inbound: bool, spe: usize },
+    /// A main-memory DMA access.
+    Memory,
+    /// Everything else: program-order only.
+    Local,
+}
+
+fn classify(track: Track, e: &TraceEvent) -> Role {
+    match (track, e.kind) {
+        // PPE→SPE inbound channel: PPE sends, SPE receives.
+        (Track::Ppe, EventKind::MailboxSend) => Role::Send {
+            inbound: true,
+            spe: e.arg1 as usize,
+        },
+        (Track::Spe(i), EventKind::MailboxRecv) => Role::Recv {
+            inbound: true,
+            spe: i,
+        },
+        // SPE→PPE outbound channel: SPE sends, PPE receives.
+        (Track::Spe(i), EventKind::MailboxSend) => Role::Send {
+            inbound: false,
+            spe: i,
+        },
+        (Track::Ppe, EventKind::MailboxRecv) => Role::Recv {
+            inbound: false,
+            spe: e.arg1 as usize,
+        },
+        (_, EventKind::DmaGet | EventKind::DmaPut) if e.ea != 0 => Role::Memory,
+        _ => Role::Local,
+    }
+}
+
+/// Upper bound on reported races; a broken port floods otherwise.
+const MAX_FINDINGS: usize = 64;
+
+/// Replay `report` and return one `dma-race` finding per racy pair of
+/// overlapping DMA ranges (deduplicated by track pair and overlap start).
+#[must_use]
+pub fn detect_races(report: &TraceReport) -> Vec<Finding> {
+    // Track layout: index 0 = PPE, index i+1 = SPE i. The EIB track is
+    // ignored (bus transfers carry no effective addresses).
+    let num_spes = report
+        .tracks
+        .iter()
+        .filter_map(|t| match t.track {
+            Track::Spe(i) => Some(i + 1),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let n = num_spes + 1;
+
+    // Per-track event lists in program order. Stable sort: equal stamps
+    // keep recording order, which within a merged SPE track preserves
+    // the environment-before-MFC interleaving.
+    let mut lanes: Vec<Vec<(Track, TraceEvent)>> = vec![Vec::new(); n];
+    for t in &report.tracks {
+        let lane = match t.track {
+            Track::Ppe => 0,
+            Track::Spe(i) => i + 1,
+            Track::Eib => continue,
+        };
+        lanes[lane].extend(t.events.iter().map(|e| (t.track, *e)));
+    }
+    for lane in &mut lanes {
+        lane.sort_by_key(|(_, e)| e.ts);
+    }
+
+    // FIFO channel state: clocks of processed sends, count of matched
+    // receives. Channels keyed by (inbound, spe).
+    let channel = |inbound: bool, spe: usize| usize::from(inbound) * n + spe;
+    let mut sent: Vec<Vec<VectorClock>> = vec![Vec::new(); 2 * n];
+    let mut received: Vec<usize> = vec![0; 2 * n];
+
+    let mut cursors = vec![0usize; n];
+    let mut clocks: Vec<VectorClock> = (0..n).map(|_| VectorClock::zero(n)).collect();
+    let mut accesses: Vec<Access> = Vec::new();
+
+    // Worklist replay: advance any track whose next event is ready. A
+    // receive is ready once its matching send was processed. When no
+    // track can advance (a receive with no recorded send — e.g. a
+    // half-captured trace), force the lowest-timestamp blocked receive
+    // through without a join rather than dropping the rest of the lane.
+    loop {
+        let mut advanced = false;
+        for lane in 0..n {
+            while cursors[lane] < lanes[lane].len() {
+                let (track, e) = lanes[lane][cursors[lane]];
+                let role = classify(track, &e);
+                if let Role::Recv { inbound, spe } = role {
+                    // An inbound receive keys its channel by the
+                    // receiving SPE (this lane); an outbound receive on
+                    // the PPE keys it by the sending SPE in `arg1`.
+                    let spe = if inbound { lane - 1 } else { spe };
+                    if spe + 1 >= n {
+                        // arg1 out of range (not a real channel): treat
+                        // as local below via the forced path.
+                        break;
+                    }
+                    let ch = channel(inbound, spe);
+                    if received[ch] >= sent[ch].len() {
+                        break; // matching send not processed yet
+                    }
+                }
+                process(
+                    lane,
+                    track,
+                    &e,
+                    role,
+                    n,
+                    &channel,
+                    &mut sent,
+                    &mut received,
+                    &mut clocks,
+                    &mut accesses,
+                );
+                cursors[lane] += 1;
+                advanced = true;
+            }
+        }
+        if cursors.iter().zip(lanes.iter()).all(|(c, l)| *c >= l.len()) {
+            break;
+        }
+        if !advanced {
+            // Every runnable track is blocked on an unmatched receive:
+            // force the earliest one through (no cross-track edge).
+            let lane = (0..n)
+                .filter(|&l| cursors[l] < lanes[l].len())
+                .min_by_key(|&l| lanes[l][cursors[l]].1.ts)
+                .expect("some lane must be unfinished");
+            let (track, e) = lanes[lane][cursors[lane]];
+            process(
+                lane,
+                track,
+                &e,
+                Role::Local,
+                n,
+                &channel,
+                &mut sent,
+                &mut received,
+                &mut clocks,
+                &mut accesses,
+            );
+            cursors[lane] += 1;
+        }
+    }
+
+    report_races(&accesses)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn process(
+    lane: usize,
+    _track: Track,
+    e: &TraceEvent,
+    role: Role,
+    n: usize,
+    channel: &impl Fn(bool, usize) -> usize,
+    sent: &mut [Vec<VectorClock>],
+    received: &mut [usize],
+    clocks: &mut [VectorClock],
+    accesses: &mut Vec<Access>,
+) {
+    clocks[lane].tick(lane);
+    match role {
+        Role::Send { inbound, spe } => {
+            let spe = if inbound { spe } else { lane - 1 };
+            if spe + 1 < n {
+                sent[channel(inbound, spe)].push(clocks[lane].clone());
+            }
+        }
+        Role::Recv { inbound, spe } => {
+            let spe = if inbound { lane - 1 } else { spe };
+            let ch = channel(inbound, spe);
+            let k = received[ch];
+            if k < sent[ch].len() {
+                let sender = sent[ch][k].clone();
+                clocks[lane].join(&sender);
+                received[ch] = k + 1;
+            }
+        }
+        Role::Memory => {
+            accesses.push(Access {
+                track: lane,
+                ts: e.ts,
+                is_write: e.kind == EventKind::DmaPut,
+                lo: e.ea,
+                hi: e.ea + e.arg0,
+                label: e.label,
+                clock: clocks[lane].clone(),
+            });
+        }
+        Role::Local => {}
+    }
+}
+
+fn report_races(accesses: &[Access]) -> Vec<Finding> {
+    // Sweep in range order so overlap candidates sit near each other.
+    let mut order: Vec<usize> = (0..accesses.len()).collect();
+    order.sort_by_key(|&i| (accesses[i].lo, accesses[i].hi));
+
+    let mut findings = Vec::new();
+    let mut seen: Vec<(usize, usize, u64)> = Vec::new();
+    'outer: for (oi, &i) in order.iter().enumerate() {
+        for &j in &order[oi + 1..] {
+            let (a, b) = (&accesses[i], &accesses[j]);
+            if b.lo >= a.hi {
+                break; // sorted by lo: nothing later can overlap `a`
+            }
+            if a.track == b.track || (!a.is_write && !b.is_write) {
+                continue;
+            }
+            if a.clock.le(&b.clock) || b.clock.le(&a.clock) {
+                continue; // ordered by a message chain
+            }
+            let overlap_lo = a.lo.max(b.lo);
+            let key = (a.track.min(b.track), a.track.max(b.track), overlap_lo);
+            if seen.contains(&key) {
+                continue;
+            }
+            seen.push(key);
+            let name = |t: usize| {
+                if t == 0 {
+                    "PPE".to_string()
+                } else {
+                    format!("SPE{}", t - 1)
+                }
+            };
+            findings.push(Finding::new(
+                Severity::Error,
+                "dma-race",
+                format!("ea {:#x}..{:#x}", overlap_lo, a.hi.min(b.hi)),
+                format!(
+                    "unsynchronized {} `{}` on {} (ts {}) overlaps {} `{}` on {} (ts {}); \
+                     no mailbox edge orders them",
+                    if a.is_write { "put" } else { "get" },
+                    a.label,
+                    name(a.track),
+                    a.ts,
+                    if b.is_write { "put" } else { "get" },
+                    b.label,
+                    name(b.track),
+                    b.ts,
+                ),
+            ));
+            if findings.len() >= MAX_FINDINGS {
+                break 'outer;
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cell_trace::{TraceConfig, Tracer};
+
+    fn spe_tracer(i: usize) -> Tracer {
+        Tracer::new(TraceConfig::Full, Track::Spe(i), 3.2e9)
+    }
+
+    /// Two SPEs put overlapping ranges with no message between them.
+    #[test]
+    fn concurrent_overlapping_puts_race() {
+        let mut a = spe_tracer(0);
+        a.span_mem(EventKind::DmaPut, "dma_put", 100, 10, 4096, 1, 0x1_0000);
+        let mut b = spe_tracer(1);
+        b.span_mem(EventKind::DmaPut, "dma_put", 500, 10, 4096, 1, 0x1_0800);
+        let report = TraceReport {
+            tracks: vec![a.finish(), b.finish()],
+        };
+        let findings = detect_races(&report);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "dma-race");
+        assert_eq!(findings[0].severity, Severity::Error);
+    }
+
+    /// Same ranges, but a mailbox chain through the PPE orders them:
+    /// SPE0 put → SPE0 send → PPE recv → PPE send → SPE1 recv → SPE1 put.
+    #[test]
+    fn mailbox_chain_orders_the_same_puts() {
+        let mut ppe = Tracer::new(TraceConfig::Full, Track::Ppe, 3.2e9);
+        ppe.span(EventKind::MailboxRecv, "mbox_recv", 200, 0, 1, 0); // from SPE0
+        ppe.span(EventKind::MailboxSend, "mbox_send", 210, 0, 7, 1); // to SPE1
+        let mut a = spe_tracer(0);
+        a.span_mem(EventKind::DmaPut, "dma_put", 100, 10, 4096, 1, 0x1_0000);
+        a.span(EventKind::MailboxSend, "mbox_send", 120, 0, 1, 0);
+        let mut b = spe_tracer(1);
+        b.span(EventKind::MailboxRecv, "mbox_recv", 300, 0, 7, 0);
+        b.span_mem(EventKind::DmaPut, "dma_put", 310, 10, 4096, 1, 0x1_0800);
+        let report = TraceReport {
+            tracks: vec![ppe.finish(), a.finish(), b.finish()],
+        };
+        assert!(detect_races(&report).is_empty());
+    }
+
+    /// Reads of a shared range never race with each other.
+    #[test]
+    fn concurrent_gets_do_not_race() {
+        let mut a = spe_tracer(0);
+        a.span_mem(EventKind::DmaGet, "dma_get", 100, 10, 4096, 1, 0x1_0000);
+        let mut b = spe_tracer(1);
+        b.span_mem(EventKind::DmaGet, "dma_get", 100, 10, 4096, 1, 0x1_0000);
+        let report = TraceReport {
+            tracks: vec![a.finish(), b.finish()],
+        };
+        assert!(detect_races(&report).is_empty());
+    }
+
+    /// Disjoint ranges never race regardless of ordering.
+    #[test]
+    fn disjoint_puts_do_not_race() {
+        let mut a = spe_tracer(0);
+        a.span_mem(EventKind::DmaPut, "dma_put", 100, 10, 4096, 1, 0x1_0000);
+        let mut b = spe_tracer(1);
+        b.span_mem(EventKind::DmaPut, "dma_put", 100, 10, 4096, 1, 0x2_0000);
+        let report = TraceReport {
+            tracks: vec![a.finish(), b.finish()],
+        };
+        assert!(detect_races(&report).is_empty());
+    }
+
+    /// A get racing a put is still a race (read of a torn write).
+    #[test]
+    fn get_against_put_races() {
+        let mut a = spe_tracer(0);
+        a.span_mem(EventKind::DmaPut, "dma_put", 100, 10, 4096, 1, 0x1_0000);
+        let mut b = spe_tracer(1);
+        b.span_mem(EventKind::DmaGet, "dma_get", 100, 10, 256, 1, 0x1_0100);
+        let report = TraceReport {
+            tracks: vec![a.finish(), b.finish()],
+        };
+        let findings = detect_races(&report);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("get"));
+    }
+
+    /// Timestamps alone never create an edge: even widely separated
+    /// stamps race when no message connects the tracks.
+    #[test]
+    fn timestamps_do_not_synchronize() {
+        let mut a = spe_tracer(0);
+        a.span_mem(EventKind::DmaPut, "dma_put", 1, 1, 128, 1, 0x3_0000);
+        let mut b = spe_tracer(1);
+        b.span_mem(EventKind::DmaPut, "dma_put", 1_000_000, 1, 128, 1, 0x3_0000);
+        let report = TraceReport {
+            tracks: vec![a.finish(), b.finish()],
+        };
+        assert_eq!(detect_races(&report).len(), 1);
+    }
+}

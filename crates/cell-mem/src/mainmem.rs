@@ -125,7 +125,7 @@ impl MainMemory {
         // First fit over the free list: find a block that can carry an
         // aligned sub-range of `size` bytes.
         let mut found: Option<(usize, usize, usize)> = None; // (block_off, block_len, alloc_off)
-        for (&off, &len) in arena.free.iter() {
+        for (&off, &len) in &arena.free {
             let aligned = align_up(off, align);
             let pad = aligned - off;
             if len >= pad + size {

@@ -309,7 +309,7 @@ impl Mfc {
             Dir::Put => (EventKind::DmaPut, "dma_put"),
         };
         self.tracer
-            .span(kind, label, ts_issue, latency, size as u64, tag as u64);
+            .span_mem(kind, label, ts_issue, latency, size as u64, tag as u64, ea);
         self.tracer.record_dma_latency(latency);
         self.queue.push_back(Pending { complete_at });
         self.tag_complete[tag as usize] = self.tag_complete[tag as usize].max(complete_at);
@@ -412,7 +412,7 @@ impl Mfc {
     pub fn barrier(&mut self, clock: &mut VirtualClock) {
         clock.advance(cell_core::Cycles(self.issue_cost));
         let horizon = self.tag_complete.iter().copied().max().unwrap_or(0);
-        for t in self.tag_complete.iter_mut() {
+        for t in &mut self.tag_complete {
             *t = (*t).max(horizon);
         }
         self.barrier_floor = horizon;
@@ -545,6 +545,27 @@ impl Mfc {
             let done = self.schedule(dir, size, clock);
             latest = latest.max(done);
             self.record(dir, size);
+            // Per-element span under its own label so the race detector
+            // sees each scattered range (the aggregate span below keeps
+            // the existing byte-total semantics).
+            let elem_label = match dir {
+                Dir::Get => "dma_list_elem_get",
+                Dir::Put => "dma_list_elem_put",
+            };
+            let elem_kind = match dir {
+                Dir::Get => EventKind::DmaGet,
+                Dir::Put => EventKind::DmaPut,
+            };
+            let now = clock.now();
+            self.tracer.span_mem(
+                elem_kind,
+                elem_label,
+                now,
+                done.saturating_sub(now),
+                size as u64,
+                tag as u64,
+                ea,
+            );
             cursor += cell_core::align_up(size, QUADWORD) as u32;
         }
         self.queue.push_back(Pending {
@@ -948,6 +969,7 @@ mod tests {
             .unwrap();
         assert!(get.dur > 0);
         assert_eq!(get.arg0, 4096);
+        assert_eq!(get.ea, ea, "DMA span carries the effective address");
         // take_tracer leaves tracing off.
         mfc.get(&mut ls, la, ea, 16, 1, &mut clock).unwrap();
         assert!(mfc.take_tracer().events.is_empty());
@@ -972,6 +994,14 @@ mod tests {
             .find(|e| e.label == "dma_list_get")
             .expect("list command span recorded");
         assert_eq!(list_ev.arg0, 128);
+        let elems: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| e.label == "dma_list_elem_get")
+            .collect();
+        assert_eq!(elems.len(), 2, "one span per list element");
+        assert_eq!(elems[0].ea, a);
+        assert_eq!(elems[1].ea, b);
     }
 
     #[test]

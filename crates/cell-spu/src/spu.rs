@@ -283,7 +283,7 @@ impl Spu {
     /// composite issue pair here).
     pub fn abs_i16(&mut self, a: V128) -> V128 {
         self.c.even += 2;
-        V128::from_i16x8(a.as_i16x8().map(|v| v.wrapping_abs()))
+        V128::from_i16x8(a.as_i16x8().map(i16::wrapping_abs))
     }
 
     // =====================================================================
@@ -393,7 +393,7 @@ impl Spu {
     /// Per-word count leading zeros (`clz`).
     pub fn clz_u32(&mut self, a: V128) -> V128 {
         self.even();
-        V128::from_u32x4(a.as_u32x4().map(|v| v.leading_zeros()))
+        V128::from_u32x4(a.as_u32x4().map(u32::leading_zeros))
     }
 
     /// Per-word variable rotate left (`rot`): each lane rotates by the

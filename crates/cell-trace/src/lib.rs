@@ -151,6 +151,11 @@ pub struct TraceEvent {
     pub arg0: u64,
     /// Second kind-specific payload (tag, ring, SPE id, ...).
     pub arg1: u64,
+    /// Main-memory effective address touched by the event, or 0 when the
+    /// event has no memory footprint. DMA events record the start of the
+    /// transferred range (`arg0` carries the byte count), which is what
+    /// the happens-before race detector in `cell-lint` consumes.
+    pub ea: u64,
 }
 
 /// Scalar counters a tracer maintains in `Counters` and `Full` modes.
@@ -449,6 +454,24 @@ impl Tracer {
         arg0: u64,
         arg1: u64,
     ) {
+        self.span_mem(kind, label, ts, dur, arg0, arg1, 0);
+    }
+
+    /// Record a span event that touches main memory at effective address
+    /// `ea` (no-op unless `Full`). DMA sites use this so race detection
+    /// can reconstruct the byte ranges each SPE reads and writes.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn span_mem(
+        &mut self,
+        kind: EventKind,
+        label: &'static str,
+        ts: u64,
+        dur: u64,
+        arg0: u64,
+        arg1: u64,
+        ea: u64,
+    ) {
         if self.config.events() {
             self.events.push(TraceEvent {
                 ts,
@@ -457,6 +480,7 @@ impl Tracer {
                 label,
                 arg0,
                 arg1,
+                ea,
             });
         }
     }
@@ -616,8 +640,8 @@ impl TraceReport {
                 escape_json(e.label, &mut out);
                 let _ = write!(
                     out,
-                    "\",\"args\":{{\"arg0\":{},\"arg1\":{}}}}}",
-                    e.arg0, e.arg1
+                    "\",\"args\":{{\"arg0\":{},\"arg1\":{},\"ea\":{}}}}}",
+                    e.arg0, e.arg1, e.ea
                 );
             }
         }
@@ -922,6 +946,20 @@ mod tests {
         assert_eq!(e.ts, 100);
         assert_eq!(e.dur, 50);
         assert_eq!(e.arg0, 7);
+    }
+
+    #[test]
+    fn span_mem_carries_effective_address() {
+        let mut t = Tracer::new(TraceConfig::Full, Track::Spe(1), 3.2e9);
+        t.span_mem(EventKind::DmaPut, "dma_put", 10, 5, 4096, 2, 0x8_0000);
+        t.span(EventKind::MailboxSend, "mbox_send", 20, 0, 7, 0);
+        assert_eq!(t.events()[0].ea, 0x8_0000);
+        assert_eq!(t.events()[1].ea, 0, "plain span defaults ea to 0");
+        let json = TraceReport {
+            tracks: vec![t.finish()],
+        }
+        .to_chrome_json();
+        assert!(json.contains("\"ea\":524288"));
     }
 
     #[test]

@@ -396,6 +396,21 @@ impl CellMarvel {
         self.scenario
     }
 
+    /// The extraction kernels' SPE placement and opcode tables:
+    /// `(kind, spe id, opcodes)` per resident dispatcher. Feeds the
+    /// `cell-lint` port model.
+    pub fn kernel_bindings(&self) -> Vec<(KernelKind, usize, ExtractOpcodes)> {
+        self.stubs
+            .iter()
+            .map(|(kind, stub, ops)| (*kind, stub.spe_id(), *ops))
+            .collect()
+    }
+
+    /// Concept detection's `(spe id, opcode)` binding.
+    pub fn cd_binding(&self) -> (usize, u32) {
+        (self.cd_stub.spe_id(), self.cd_opcode)
+    }
+
     /// Charge the one-time startup overhead (model loading etc.) to the
     /// PPE clock. Separate from `new` so experiments can measure
     /// processing time and wall time independently, exactly like the

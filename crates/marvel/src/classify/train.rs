@@ -71,7 +71,7 @@ pub fn train_linear(
             let margin = y * (dot(&w, x) + b);
             // Regularization shrink.
             let shrink = 1.0 - eta * cfg.lambda;
-            for wj in w.iter_mut() {
+            for wj in &mut w {
                 *wj *= shrink;
             }
             if margin < 1.0 {

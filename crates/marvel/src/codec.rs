@@ -32,7 +32,7 @@ fn zigzag_order() -> [usize; 64] {
     let mut order = [0usize; 64];
     let (mut x, mut y) = (0i32, 0i32);
     let mut up = true;
-    for slot in order.iter_mut() {
+    for slot in &mut order {
         *slot = (y * 8 + x) as usize;
         if up {
             if x == 7 {
@@ -237,7 +237,7 @@ fn decode_internal(c: &Compressed, mut prof: Option<&mut OpProfile>) -> CellResu
     let mut planes = vec![vec![0.0f32; bw * BLOCK * bh * BLOCK]; 3];
     let mut sym = c.payload.iter();
 
-    for plane in planes.iter_mut() {
+    for plane in &mut planes {
         for bi in 0..blocks_per_plane {
             let (by, bx) = (bi / bw, bi % bw);
             let mut block = [0.0f32; 64];

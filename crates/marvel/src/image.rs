@@ -162,7 +162,7 @@ impl ColorImage {
             }
         }
         // Sensor noise.
-        for b in img.data.iter_mut() {
+        for b in &mut img.data {
             let n = rng.next_below(9) as i32 - 4;
             *b = clamp_u8(*b as i32 + n);
         }

@@ -172,6 +172,17 @@ impl ResilientMarvel {
         &self.schedule
     }
 
+    /// The universal opcode table every SPE's dispatcher serves (feeds the
+    /// `cell-lint` port model).
+    pub fn opcodes(&self) -> UniversalOpcodes {
+        self.opcodes
+    }
+
+    /// Number of SPEs carrying a universal dispatcher.
+    pub fn num_spes(&self) -> usize {
+        self.stubs.len()
+    }
+
     /// Images analyzed so far.
     pub fn images(&self) -> usize {
         self.images

@@ -20,6 +20,18 @@ pub enum Severity {
     Error,
 }
 
+impl Severity {
+    /// Stable lowercase name, used in JSON reports.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Hint => "hint",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
 /// One finding from an advisor rule.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Advice {
@@ -37,10 +49,35 @@ impl Advice {
             message,
         }
     }
+
+    /// Render as one JSON object, with the message escaped by hand so
+    /// reports need no serialization dependency.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut msg = String::with_capacity(self.message.len());
+        for c in self.message.chars() {
+            match c {
+                '"' => msg.push_str("\\\""),
+                '\\' => msg.push_str("\\\\"),
+                '\n' => msg.push_str("\\n"),
+                c if (c as u32) < 0x20 => {
+                    use std::fmt::Write as _;
+                    let _ = write!(msg, "\\u{:04x}", c as u32);
+                }
+                c => msg.push(c),
+            }
+        }
+        format!(
+            "{{\"severity\":\"{}\",\"rule\":\"{}\",\"message\":\"{msg}\"}}",
+            self.severity.as_str(),
+            self.rule
+        )
+    }
 }
 
 /// Check a data-wrapper layout for DMA friendliness (paper §3.3's
 /// "preserve/enforce data alignment for future DMA operations").
+#[must_use]
 pub fn check_wrapper(layout: &StructLayout) -> Vec<Advice> {
     let mut out = Vec::new();
     if layout.is_empty() {
@@ -86,6 +123,7 @@ pub fn check_wrapper(layout: &StructLayout) -> Vec<Advice> {
 }
 
 /// Check a transfer plan: `chunk` bytes per DMA over `total` bytes.
+#[must_use]
 pub fn check_transfer(chunk: usize, total: usize, buffers: usize) -> Vec<Advice> {
     let mut out = Vec::new();
     if chunk == 0 || !matches!(chunk, 1 | 2 | 4 | 8) && !chunk.is_multiple_of(QUADWORD) {
@@ -139,6 +177,7 @@ pub fn check_transfer(chunk: usize, total: usize, buffers: usize) -> Vec<Advice>
 }
 
 /// Check a kernel's local-store budget (paper §3.2's sizing rule).
+#[must_use]
 pub fn check_kernel_budget(code_bytes: usize, data_bytes: usize, ls_size: usize) -> Vec<Advice> {
     let mut out = Vec::new();
     let total = code_bytes + data_bytes;
@@ -167,6 +206,7 @@ pub fn check_kernel_budget(code_bytes: usize, data_bytes: usize, ls_size: usize)
 
 /// Check a schedule against its kernel specs: imbalance inside parallel
 /// groups wastes SPEs (the group finishes with its slowest member).
+#[must_use]
 pub fn check_schedule(schedule: &Schedule, kernels: &[KernelSpec]) -> Vec<Advice> {
     let mut out = Vec::new();
     for (gi, group) in schedule.groups().iter().enumerate() {
@@ -208,6 +248,7 @@ pub fn check_schedule(schedule: &Schedule, kernels: &[KernelSpec]) -> Vec<Advice
 }
 
 /// Highest severity in a finding set (`None` if clean).
+#[must_use]
 pub fn worst(advice: &[Advice]) -> Option<Severity> {
     advice.iter().map(|a| a.severity).max()
 }
@@ -303,6 +344,20 @@ mod tests {
         let seq = Schedule::sequential(3, 8).unwrap();
         let advice = check_schedule(&seq, &kernels);
         assert!(advice.iter().all(|a| a.rule != "schedule-imbalance"));
+    }
+
+    #[test]
+    fn advice_to_json_escapes_and_tags() {
+        let a = Advice::new(
+            Severity::Error,
+            "wrapper-size",
+            "bad \"quote\"\nline".into(),
+        );
+        assert_eq!(
+            a.to_json(),
+            "{\"severity\":\"error\",\"rule\":\"wrapper-size\",\
+             \"message\":\"bad \\\"quote\\\"\\nline\"}"
+        );
     }
 
     #[test]

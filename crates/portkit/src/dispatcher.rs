@@ -66,6 +66,18 @@ impl KernelDispatcher {
         &self.calls
     }
 
+    /// The opcode table: `(function name, opcode)` in registration order.
+    /// Static analyzers use this to cross-check PPE-side dispatch scripts
+    /// against what the SPE dispatcher actually serves.
+    #[must_use]
+    pub fn registered(&self) -> Vec<(&'static str, u32)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .map(|(i, (name, _))| (*name, run_opcode(i as u32)))
+            .collect()
+    }
+
     fn dispatch_once(&mut self, env: &mut SpeEnv) -> CellResult<bool> {
         let opcode = env.read_in_mbox()?;
         if opcode == SPU_EXIT {

@@ -133,14 +133,12 @@ impl<'p> PlanBuilder<'p> {
                 .speedups
                 .iter()
                 .find(|(n, _)| *n == row.name)
-                .map(|(_, s)| *s)
-                .unwrap_or(self.default_speedup);
+                .map_or(self.default_speedup, |(_, s)| *s);
             let ls_footprint = self
                 .footprints
                 .iter()
                 .find(|(n, _)| *n == row.name)
-                .map(|(_, b)| *b)
-                .unwrap_or(0);
+                .map_or(0, |(_, b)| *b);
             if ls_footprint > self.ls_capacity {
                 return Err(CellError::BadKernelSpec {
                     message: format!(

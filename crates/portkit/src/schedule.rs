@@ -39,7 +39,7 @@ impl Schedule {
     /// assignment is static: two kernels never share an SPE even across
     /// groups.
     pub fn grouped(groups: Vec<Vec<KernelId>>, num_spes: usize) -> CellResult<Self> {
-        let num_kernels: usize = groups.iter().map(|g| g.len()).sum();
+        let num_kernels: usize = groups.iter().map(std::vec::Vec::len).sum();
         if num_kernels == 0 {
             return Err(CellError::BadKernelSpec {
                 message: "schedule with no kernels".to_string(),
@@ -97,7 +97,11 @@ impl Schedule {
 
     /// Widest group — the number of SPEs that compute concurrently.
     pub fn max_concurrency(&self) -> usize {
-        self.groups.iter().map(|g| g.len()).max().unwrap_or(0)
+        self.groups
+            .iter()
+            .map(std::vec::Vec::len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Re-plan this schedule onto the surviving SPEs after failures

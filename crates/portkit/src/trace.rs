@@ -110,7 +110,7 @@ impl Timeline {
 
     /// Total busy time across all SPEs.
     pub fn busy(&self) -> VirtualDuration {
-        self.spans.iter().map(|s| s.duration()).sum()
+        self.spans.iter().map(Span::duration).sum()
     }
 
     /// Mean concurrency: busy time / horizon. Fig. 4(b) trends toward 1,
@@ -312,6 +312,7 @@ mod tests {
                 label: "A",
                 arg0: 0,
                 arg1: 0,
+                ea: 0,
             },
             TraceEvent {
                 ts: 1,
@@ -320,6 +321,7 @@ mod tests {
                 label: "B",
                 arg0: 1,
                 arg1: 0,
+                ea: 0,
             },
             // Non-dispatch events must be ignored.
             TraceEvent {
@@ -329,6 +331,7 @@ mod tests {
                 label: "dma",
                 arg0: 0,
                 arg1: 0,
+                ea: 0,
             },
         ];
         let t = Timeline::from_dispatch_events(&events, hz);

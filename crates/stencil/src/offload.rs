@@ -24,6 +24,13 @@ const RESULT_IN_A: u32 = 0;
 /// Result word: the relaxed grid ended up in the `out` buffer.
 const RESULT_IN_B: u32 = 1;
 
+/// The stencil wrapper's layout alone, for static analysis of the port
+/// (the PPE stub and SPE kernel both build theirs via [`wrapper_layout`],
+/// so a checker seeing this sees the real ABI).
+pub fn stencil_wrapper_layout() -> CellResult<StructLayout> {
+    Ok(wrapper_layout()?.0)
+}
+
 fn wrapper_layout() -> CellResult<(StructLayout, [cell_mem::FieldId; 6])> {
     let mut l = StructLayout::new();
     let w = l.field_u32("width")?;
@@ -164,6 +171,16 @@ impl StencilApp {
             opcode,
             handle: Some(handle),
         })
+    }
+
+    /// The opcode the PPE stub sends to invoke the Jacobi kernel.
+    pub fn opcode(&self) -> u32 {
+        self.opcode
+    }
+
+    /// The SPE hosting the stencil dispatcher.
+    pub fn spe(&self) -> usize {
+        self.stub.spe_id()
     }
 
     /// Run `iters` Jacobi sweeps on the SPE; returns the relaxed grid and

@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cell = CellMarvel::new(Scenario::ParallelExtract, true, 500)?;
     let analyses = cell.analyze_batch_pipelined(&inputs)?;
     let (elapsed, _) = cell.finish()?;
-    println!("  done in {} of virtual time\n", elapsed);
+    println!("  done in {elapsed} of virtual time\n");
 
     let mut index = FeatureIndex::new();
     for (i, a) in analyses.iter().enumerate() {

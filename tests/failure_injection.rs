@@ -30,7 +30,7 @@ fn misaligned_wrapper_address_faults_the_kernel() {
     let err = h.join().unwrap_err();
     match err {
         CellError::SpeFault { spe: 0, message } => {
-            assert!(message.contains("aligned"), "unexpected fault: {message}")
+            assert!(message.contains("aligned"), "unexpected fault: {message}");
         }
         other => panic!("expected SpeFault, got {other}"),
     }

@@ -1,0 +1,110 @@
+//! The Listing-3 deadlock, end to end: a PPE stub dispatches an opcode
+//! the SPE dispatcher never registered. Dynamically the port only
+//! survives because the recovery layer converts the silent SPE into
+//! [`CellError::Timeout`]; statically `cell-lint` flags the same defect
+//! up front as `dispatch-unknown-opcode` — the point of the rule is that
+//! the timeout at run time is avoidable at review time.
+
+use cell_core::{CellError, CellResult, MachineConfig};
+use cell_lint::{analyze, DispatchScript, DmaPlan, KernelModel, LintConfig, PortModel, ScriptOp};
+use cell_sys::machine::CellMachine;
+use cell_sys::spe::SpeEnv;
+use cell_trace::TraceConfig;
+use portkit::interface::{ReplyMode, SpeInterface};
+use portkit::opcodes::{run_opcode, SPU_EXIT};
+use portkit::recovery::RetryPolicy;
+
+/// The one opcode the dispatcher knows.
+const OP_WORK: u32 = 1; // run_opcode(0)
+
+/// A lenient Listing-3-style dispatcher: it always consumes the opcode
+/// and argument words, but an unrecognized opcode is silently dropped —
+/// no reply ever arrives, the SPE just waits for the next dispatch. This
+/// is the shape that deadlocks a stub with no timeout.
+fn lenient_dispatcher(env: &mut SpeEnv) -> CellResult<()> {
+    loop {
+        let opcode = env.read_in_mbox()?;
+        if opcode == SPU_EXIT {
+            return Ok(());
+        }
+        let arg = env.read_in_mbox()?;
+        if opcode == OP_WORK {
+            env.spu.scalar_op(1);
+            env.write_out_mbox(arg.wrapping_add(7))?;
+        }
+        // else: unknown opcode swallowed, no reply — the stub hangs.
+    }
+}
+
+/// A model of the same port: one kernel registering only `OP_WORK`, one
+/// script that sends the bogus opcode. What times out dynamically below
+/// must be an Error statically here.
+fn deadlocking_model(bad_opcode: u32) -> PortModel {
+    PortModel {
+        name: "lenient".to_string(),
+        num_spes: 2,
+        ls_capacity: 256 * 1024,
+        kernels: vec![KernelModel {
+            name: "lenient".to_string(),
+            spe: 0,
+            opcodes: vec![("work".to_string(), OP_WORK)],
+            wrapper: None,
+            code_bytes: 8 * 1024,
+            plans: vec![DmaPlan::Single { bytes: 128 }],
+        }],
+        schedule: None,
+        kernel_specs: Vec::new(),
+        scripts: vec![DispatchScript {
+            kernel: 0,
+            ops: vec![
+                ScriptOp::Send { opcode: bad_opcode },
+                ScriptOp::WaitReply,
+                ScriptOp::Close,
+            ],
+        }],
+    }
+}
+
+#[test]
+fn unregistered_opcode_times_out_dynamically_and_lints_statically() {
+    let bad_opcode = run_opcode(9); // never registered above
+    assert_ne!(bad_opcode, OP_WORK);
+
+    // --- static: cell-lint sees the deadlock before anything runs ------
+    let report = analyze(&deadlocking_model(bad_opcode), &LintConfig::new());
+    assert!(
+        report.has("dispatch-unknown-opcode"),
+        "lint must flag the unregistered opcode: {}",
+        report.render()
+    );
+    assert!(report.error_count() > 0);
+
+    // --- dynamic: the same dispatch only resolves via the timeout ------
+    let mut m = CellMachine::new(MachineConfig::small()).unwrap();
+    m.set_trace_config(TraceConfig::Counters);
+    let mut ppe = m.ppe();
+    let h = m.spawn(0, Box::new(lenient_dispatcher)).unwrap();
+    let mut iface = SpeInterface::new("lenient", 0, ReplyMode::Polling);
+    let policy = RetryPolicy {
+        timeout_cycles: 100_000,
+        ..RetryPolicy::default()
+    };
+
+    // A registered opcode round-trips fine.
+    iface.send(&mut ppe, OP_WORK, 35).unwrap();
+    assert_eq!(iface.wait_for(&mut ppe, &policy).unwrap(), 42);
+
+    // The unregistered opcode never gets a reply: without the recovery
+    // deadline this wait would spin forever (the Listing-3 deadlock);
+    // with it, the hang surfaces as CellError::Timeout.
+    iface.send(&mut ppe, bad_opcode, 35).unwrap();
+    let err = iface.wait_for(&mut ppe, &policy).unwrap_err();
+    assert!(matches!(err, CellError::Timeout { .. }), "{err}");
+
+    // The SPE itself is still alive (it swallowed the words): a clean
+    // close proves it was a protocol deadlock, not a crash.
+    iface.close(&mut ppe).unwrap();
+    let spe_report = h.join().unwrap();
+    assert!(spe_report.fault.is_none());
+    m.shutdown();
+}

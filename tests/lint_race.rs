@@ -1,0 +1,113 @@
+//! Happens-before race detection against real traced machines: the
+//! detector must flag a genuinely racy port (two SPEs `put` overlapping
+//! main-memory ranges with no mailbox edge between them), stay silent
+//! when a reply chain serializes the same transfers, and stay silent on
+//! the shipped pipelined MARVEL port.
+
+use cell_core::{CellResult, MachineConfig};
+use cell_lint::detect_races;
+use cell_sys::machine::CellMachine;
+use cell_sys::spe::SpeEnv;
+use cell_trace::{TraceConfig, TraceReport};
+use marvel::app::{CellMarvel, Scenario};
+use marvel::image::ColorImage;
+
+const OP_EXIT: u32 = 0;
+const CHUNK: usize = 4096;
+
+/// Listing-1-style kernel: on each dispatch, read a target address from
+/// the mailbox, DMA a 4 KB block out to it, reply.
+fn put_kernel(env: &mut SpeEnv) -> CellResult<()> {
+    loop {
+        match env.read_in_mbox()? {
+            OP_EXIT => return Ok(()),
+            _ => {
+                let addr = env.read_in_mbox()? as u64;
+                let la = env.ls.alloc(CHUNK, 16)?;
+                env.ls.write_u32(la, 0xD00D_F00D)?;
+                env.dma_put_sync(la, addr, CHUNK, 0)?;
+                env.ls.reset();
+                env.write_out_mbox(1)?;
+            }
+        }
+    }
+}
+
+/// Run `drive` against a traced two-SPE machine and hand the assembled
+/// whole-machine trace to the race detector.
+fn trace_two_spes(
+    drive: impl FnOnce(&mut cell_sys::ppe::Ppe, u64, u64) -> CellResult<()>,
+) -> TraceReport {
+    let mut m = CellMachine::new(MachineConfig::small()).unwrap();
+    m.set_trace_config(TraceConfig::Full);
+    let mut ppe = m.ppe();
+    let h0 = m.spawn(0, Box::new(put_kernel)).unwrap();
+    let h1 = m.spawn(1, Box::new(put_kernel)).unwrap();
+
+    // One shared 8 KB region; the two 4 KB puts at base and base + 2 KB
+    // overlap in [base + 2 KB, base + 4 KB).
+    let base = ppe.mem().alloc(2 * CHUNK, 128).unwrap();
+    drive(&mut ppe, base, base + CHUNK as u64 / 2).unwrap();
+
+    ppe.write_in_mbox(0, OP_EXIT).unwrap();
+    ppe.write_in_mbox(1, OP_EXIT).unwrap();
+    let r0 = h0.join().unwrap();
+    let r1 = h1.join().unwrap();
+    assert!(r0.fault.is_none() && r1.fault.is_none());
+    let tracks = vec![ppe.take_trace(), r0.trace, r1.trace, m.take_eib_trace()];
+    m.shutdown();
+    TraceReport { tracks }
+}
+
+/// Send-all-then-wait-all: both puts are in flight with no message chain
+/// between them, so the overlap is a real race.
+#[test]
+fn concurrent_overlapping_puts_are_flagged() {
+    let report = trace_two_spes(|ppe, a0, a1| {
+        ppe.write_in_mbox(0, 1)?;
+        ppe.write_in_mbox(0, a0 as u32)?;
+        ppe.write_in_mbox(1, 1)?;
+        ppe.write_in_mbox(1, a1 as u32)?;
+        ppe.read_out_mbox(0)?;
+        ppe.read_out_mbox(1)?;
+        Ok(())
+    });
+    let findings = detect_races(&report);
+    assert!(
+        findings.iter().any(|f| f.rule == "dma-race"),
+        "expected a dma-race finding, got: {findings:?}"
+    );
+}
+
+/// Same addresses, but the PPE waits for SPE0's reply before dispatching
+/// SPE1: the reply chain (put → reply → dispatch → put) orders the
+/// transfers, so the detector must stay silent.
+#[test]
+fn reply_chain_serializes_the_same_puts() {
+    let report = trace_two_spes(|ppe, a0, a1| {
+        ppe.write_in_mbox(0, 1)?;
+        ppe.write_in_mbox(0, a0 as u32)?;
+        ppe.read_out_mbox(0)?;
+        ppe.write_in_mbox(1, 1)?;
+        ppe.write_in_mbox(1, a1 as u32)?;
+        ppe.read_out_mbox(1)?;
+        Ok(())
+    });
+    let findings = detect_races(&report);
+    assert!(findings.is_empty(), "false positives: {findings:?}");
+}
+
+/// The shipped pipelined MARVEL port partitions its output wrappers per
+/// kernel, so a fully traced multi-frame run must be race-free.
+#[test]
+fn pipelined_marvel_trace_is_race_free() {
+    let mut app =
+        CellMarvel::with_trace(Scenario::ParallelExtract, true, 5, TraceConfig::Full).unwrap();
+    for seed in 0..2u64 {
+        let img = ColorImage::synthetic(64, 48, seed).unwrap();
+        app.analyze_decoded(&img).unwrap();
+    }
+    let (_, _, trace) = app.finish_traced().unwrap();
+    let findings = detect_races(&trace);
+    assert!(findings.is_empty(), "false positives: {findings:?}");
+}

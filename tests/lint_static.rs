@@ -1,0 +1,179 @@
+//! Negative fixtures for the `cell-lint` static engine: each seeded
+//! defect must trigger its specific rule id, and the shipped example
+//! models must stay free of Error-severity findings.
+
+use cell_lint::{
+    analyze, DispatchScript, DmaPlan, KernelModel, LintConfig, PortModel, ScriptOp, WrapperModel,
+};
+use cell_mem::StructLayout;
+use portkit::advisor::Severity;
+use portkit::opcodes::run_opcode;
+
+/// A minimal, clean two-SPE port the fixtures perturb one axis at a time.
+fn base_model() -> PortModel {
+    PortModel {
+        name: "fixture".to_string(),
+        num_spes: 2,
+        ls_capacity: 256 * 1024,
+        kernels: vec![KernelModel {
+            name: "k".to_string(),
+            spe: 0,
+            opcodes: vec![("f".to_string(), run_opcode(0))],
+            wrapper: None,
+            code_bytes: 16 * 1024,
+            plans: vec![DmaPlan::Sliced {
+                chunk: 16 * 1024,
+                total: 1 << 20,
+                buffers: 2,
+            }],
+        }],
+        schedule: None,
+        kernel_specs: Vec::new(),
+        scripts: vec![PortModel::roundtrip_script(0, run_opcode(0))],
+    }
+}
+
+fn lint(model: &PortModel) -> cell_lint::LintReport {
+    analyze(model, &LintConfig::new())
+}
+
+#[test]
+fn base_fixture_is_clean() {
+    let report = lint(&base_model());
+    assert_eq!(report.error_count(), 0, "{}", report.render());
+}
+
+#[test]
+fn misaligned_wrapper_triggers_wrapper_misaligned() {
+    let mut layout = StructLayout::new();
+    layout.field_addr("image_ea").unwrap();
+    layout.field_u32("width").unwrap();
+    layout.field_u32("height").unwrap();
+    layout.field_buffer("out", 64).unwrap();
+    let mut m = base_model();
+    m.kernels[0].wrapper = Some(WrapperModel {
+        ppe_layout: layout,
+        spe_layout: None,
+        base_align: 8, // not a quadword multiple: DMA of the wrapper faults
+    });
+    let report = lint(&m);
+    assert!(report.has("wrapper-misaligned"), "{}", report.render());
+    assert_eq!(report.worst(), Some(Severity::Error));
+}
+
+#[test]
+fn oversized_unsliced_dma_triggers_transfer_cap() {
+    let mut m = base_model();
+    // A 20 KB single-shot transfer exceeds the 16 KB MFC class limit.
+    m.kernels[0].plans = vec![DmaPlan::Single { bytes: 20 * 1024 }];
+    let report = lint(&m);
+    assert!(report.has("transfer-cap"), "{}", report.render());
+    assert_eq!(report.worst(), Some(Severity::Error));
+}
+
+#[test]
+fn unregistered_opcode_triggers_dispatch_unknown_opcode() {
+    let mut m = base_model();
+    // The PPE stub sends opcode 0xBEEF but the dispatcher table only
+    // registers `run_opcode(0)` — on hardware the SPE blocks on its
+    // mailbox forever (the Listing-3 deadlock).
+    m.scripts = vec![DispatchScript {
+        kernel: 0,
+        ops: vec![
+            ScriptOp::Send { opcode: 0xBEEF },
+            ScriptOp::WaitReply,
+            ScriptOp::Close,
+        ],
+    }];
+    let report = lint(&m);
+    assert!(report.has("dispatch-unknown-opcode"), "{}", report.render());
+    assert_eq!(report.worst(), Some(Severity::Error));
+}
+
+#[test]
+fn ls_budget_overflow_triggers_ls_overflow() {
+    let mut m = base_model();
+    // Code plus resident buffers exceed the 256 KB local store.
+    m.kernels[0].code_bytes = 64 * 1024;
+    m.kernels[0].plans = vec![
+        DmaPlan::Sliced {
+            chunk: 16 * 1024,
+            total: 1 << 20,
+            buffers: 8,
+        },
+        DmaPlan::Single { bytes: 16 * 1024 },
+        DmaPlan::Sliced {
+            chunk: 16 * 1024,
+            total: 1 << 20,
+            buffers: 4,
+        },
+    ];
+    let report = lint(&m);
+    assert!(report.has("ls-overflow"), "{}", report.render());
+    assert_eq!(report.worst(), Some(Severity::Error));
+}
+
+#[test]
+fn overlong_dma_list_triggers_list_length() {
+    let mut m = base_model();
+    m.kernels[0].plans = vec![DmaPlan::List {
+        elements: 3000,
+        element_bytes: 128,
+    }];
+    let report = lint(&m);
+    assert!(report.has("list-length"), "{}", report.render());
+}
+
+#[test]
+fn missing_exit_and_mailbox_misuse_are_flagged() {
+    let mut m = base_model();
+    let op = run_opcode(0);
+    m.scripts = vec![DispatchScript {
+        kernel: 0,
+        ops: vec![
+            ScriptOp::Send { opcode: op },
+            ScriptOp::Send { opcode: op }, // double send before draining
+            ScriptOp::WaitReply,
+            ScriptOp::WaitReply,
+            ScriptOp::WaitReply, // one read too many
+                                 // ... and no Close: SPE never sees SPU_EXIT
+        ],
+    }];
+    let report = lint(&m);
+    assert!(report.has("mailbox-double-send"), "{}", report.render());
+    assert!(report.has("mailbox-read-no-pending"));
+    assert!(report.has("dispatch-missing-exit"));
+}
+
+#[test]
+fn deny_escalates_and_allow_suppresses() {
+    let mut m = base_model();
+    m.kernels[0].plans = vec![DmaPlan::Sliced {
+        chunk: 16 * 1024,
+        total: 1 << 20,
+        buffers: 1,
+    }];
+    let denied = analyze(&m, &LintConfig::new().deny("transfer-single-buffered"));
+    assert!(denied.error_count() > 0);
+    let allowed = analyze(&m, &LintConfig::new().allow("transfer-single-buffered"));
+    assert!(!allowed.has("transfer-single-buffered"));
+    assert_eq!(allowed.error_count(), 0);
+}
+
+#[test]
+fn shipped_image_filter_model_has_no_errors() {
+    let model = cell_lint::model_image_filter().unwrap();
+    let report = lint(&model);
+    assert_eq!(report.error_count(), 0, "{}", report.render());
+}
+
+#[test]
+fn shipped_stencil_models_have_no_errors() {
+    let app = cell_stencil::offload::StencilApp::new().unwrap();
+    for (w, h) in [(96usize, 64usize), (512, 256)] {
+        let model = cell_lint::model_stencil(&app, w, h).unwrap();
+        let report = lint(&model);
+        assert_eq!(report.error_count(), 0, "{}x{}: {}", w, h, report.render());
+    }
+    app.finish().unwrap();
+}

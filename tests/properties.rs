@@ -10,7 +10,10 @@
 //! on an external property-testing crate — the workspace must build
 //! offline.
 
-use cell_core::{align_up, SplitMix64};
+use cell_core::{
+    align_down, align_up, checked_align_down, checked_align_up, dma_transfer_legal, is_aligned,
+    quadwords_for, SplitMix64,
+};
 use marvel::classify::svm::SvmModel;
 use marvel::color;
 use marvel::features::{correlogram, edge, histogram, texture};
@@ -270,5 +273,78 @@ fn splitmix_bounds() {
         for _ in 0..32 {
             assert!(r.next_below(bound) < bound);
         }
+    });
+}
+
+#[test]
+fn align_pair_brackets_every_value() {
+    sweep("align_pair_brackets_every_value", 256, |rng| {
+        let v = rng.next_u64() as usize >> rng.next_below(48);
+        let a = 1usize << rng.next_below(12);
+        let down = align_down(v, a);
+        assert!(down <= v);
+        assert!(v - down < a);
+        assert!(is_aligned(down, a));
+        assert_eq!(checked_align_down(v, a), Some(down));
+        // Where the rounded-up value exists, the pair brackets `v` within
+        // one alignment unit and both bounds are fixed points.
+        if let Some(up) = checked_align_up(v, a) {
+            assert_eq!(up, align_up(v, a));
+            assert!(is_aligned(up, a));
+            assert!((down..down + a).contains(&v));
+            assert!(up - down <= a);
+            assert_eq!(checked_align_up(up, a), Some(up));
+        }
+    });
+}
+
+#[test]
+fn checked_align_up_overflows_exactly_above_the_last_multiple() {
+    sweep("checked_align_up_overflow_boundary", 256, |rng| {
+        let a = 1usize << rng.next_below(12);
+        let top = usize::MAX & !(a - 1); // greatest multiple of `a`
+        let v = usize::MAX - (rng.next_below(4096) as usize);
+        match checked_align_up(v, a) {
+            // Values at or below the last multiple round up normally.
+            Some(up) => {
+                assert!(v <= top);
+                assert_eq!(up, top.min(align_down(v + (a - 1), a)));
+                assert!(up >= v);
+            }
+            // Values above it have no representable rounding.
+            None => assert!(v > top),
+        }
+        // Rounding down never overflows, even at the very top.
+        assert_eq!(checked_align_down(v, a), Some(align_down(v, a)));
+    });
+}
+
+#[test]
+fn quadwords_cover_exactly() {
+    sweep("quadwords_cover_exactly", 256, |rng| {
+        let bytes = rng.next_below(1 << 20) as usize;
+        let q = quadwords_for(bytes);
+        assert!(q * 16 >= bytes);
+        assert!(q == 0 || (q - 1) * 16 < bytes);
+    });
+}
+
+#[test]
+fn dma_legality_respects_quadword_slicing() {
+    sweep("dma_legality_respects_quadword_slicing", 256, |rng| {
+        let addr = (rng.next_u64() >> 20) & !0xF;
+        let chunks = rng.next_in(1, 64);
+        // Any quadword-aligned address takes any multiple-of-16 size...
+        assert!(dma_transfer_legal(addr, 16 * chunks as usize));
+        // ...naturally aligned small sizes are legal at their own stride
+        // (a quadword-aligned base plus `s` stays `s`-aligned)...
+        for s in [1u64, 2, 4, 8] {
+            assert!(dma_transfer_legal(addr + s, s as usize));
+            let down = align_down((addr + 7) as usize, s as usize) as u64;
+            assert!(dma_transfer_legal(down, s as usize));
+        }
+        // ...and odd bulk sizes or misaligned bases are rejected.
+        assert!(!dma_transfer_legal(addr, 16 * chunks as usize + 8));
+        assert!(!dma_transfer_legal(addr + 8, 32));
     });
 }
