@@ -33,6 +33,14 @@ pub struct DmaConfig {
     pub list_max_elements: usize,
     /// Fixed per-command latency in bus cycles (command phase, snooping).
     pub startup_bus_cycles: u64,
+    /// Checksummed-DMA mode: every single-transfer command verifies the
+    /// destination payload against the source checksum and retransmits on
+    /// mismatch (serving runtimes enable this; off by default because an
+    /// uncorrupted machine never needs it).
+    pub integrity: bool,
+    /// SPU cycles a checksum-triggered retransmission adds to the
+    /// transfer's completion time (only read when `integrity` is set).
+    pub retransmit_penalty_cycles: u64,
 }
 
 impl Default for DmaConfig {
@@ -42,6 +50,8 @@ impl Default for DmaConfig {
             queue_depth: MFC_QUEUE_DEPTH,
             list_max_elements: DMA_LIST_MAX_ELEMENTS,
             startup_bus_cycles: 100,
+            integrity: false,
+            retransmit_penalty_cycles: 1_000,
         }
     }
 }

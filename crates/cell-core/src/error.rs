@@ -69,6 +69,18 @@ pub enum CellError {
     BadData { message: String },
     /// A fault-injection plan fired at this operation (chaos testing).
     FaultInjected { what: &'static str },
+    /// An admission queue refused a request because it is at capacity —
+    /// backpressure, the serving runtime's alternative to unbounded
+    /// queueing.
+    Overloaded { depth: usize, capacity: usize },
+    /// A payload arrived with a checksum that does not match its stamp.
+    /// Retry layers treat this as transient: the transfer is retransmitted
+    /// rather than the component torn down.
+    ChecksumMismatch {
+        what: &'static str,
+        expected: u32,
+        got: u32,
+    },
 }
 
 impl fmt::Display for CellError {
@@ -139,6 +151,22 @@ impl fmt::Display for CellError {
             CellError::BadConfig { message } => write!(f, "bad configuration: {message}"),
             CellError::BadData { message } => write!(f, "bad data: {message}"),
             CellError::FaultInjected { what } => write!(f, "injected fault: {what}"),
+            CellError::Overloaded { depth, capacity } => {
+                write!(
+                    f,
+                    "admission queue overloaded ({depth}/{capacity} requests)"
+                )
+            }
+            CellError::ChecksumMismatch {
+                what,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "checksum mismatch on {what}: stamped {expected:#010x}, received {got:#010x}"
+                )
+            }
         }
     }
 }

@@ -17,12 +17,15 @@
 //!   PPE, SPE) that convert an [`OpProfile`] plus DMA traffic into cycles.
 //! * [`config`] — machine geometry (number of SPEs, LS size, EIB and DMA
 //!   parameters).
+//! * [`checksum`] — the one payload checksum shared by wrapper stamps and
+//!   the MFC's checksummed-DMA retransmission path.
 //! * [`error`] — the shared error type.
 //! * [`rng`] — a small deterministic SplitMix64 generator used where
 //!   substrates need reproducible pseudo-randomness without pulling in a
 //!   full RNG crate.
 
 pub mod align;
+pub mod checksum;
 pub mod clock;
 pub mod config;
 pub mod cycles;
@@ -35,6 +38,7 @@ pub use align::{
     align_down, align_up, checked_align_down, checked_align_up, dma_transfer_legal, is_aligned,
     quadwords_for, CACHE_LINE, QUADWORD,
 };
+pub use checksum::{checksum32, verify_checksum};
 pub use clock::VirtualClock;
 pub use config::{DmaConfig, EibConfig, MachineConfig};
 pub use cycles::{Cycles, Frequency, VirtualDuration};

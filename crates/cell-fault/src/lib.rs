@@ -13,9 +13,10 @@
 //!   (`cell-sys/src/spe.rs`): crash ([`FaultKind::SpeCrash`]) or hang
 //!   until shutdown ([`FaultKind::SpeHang`]);
 //! * **DMA** — the Nth transfer issued by an SPE's MFC
-//!   (`cell-mfc/src/dma.rs`): extra latency ([`FaultKind::DmaDelay`]) or
-//!   a transient failure absorbed by an automatic retry
-//!   ([`FaultKind::DmaFault`]);
+//!   (`cell-mfc/src/dma.rs`): extra latency ([`FaultKind::DmaDelay`]), a
+//!   transient failure absorbed by an automatic retry
+//!   ([`FaultKind::DmaFault`]), or a corrupted destination payload
+//!   ([`FaultKind::DmaCorrupt`]);
 //! * **mailbox reply** — the Nth outbound-mailbox write of an SPE:
 //!   silently dropped ([`FaultKind::ReplyDrop`]) or stalled in virtual
 //!   time ([`FaultKind::ReplyStall`]).
@@ -62,6 +63,12 @@ pub enum FaultKind {
         /// SPU cycles the automatic retry adds to the completion time.
         retry_penalty: u64,
     },
+    /// The DMA transfer's destination payload is corrupted in flight
+    /// (one bit flipped mid-payload). Without checksummed-DMA mode the
+    /// corruption is *silent* — the transfer completes normally and the
+    /// consumer computes on bad bytes; with `DmaConfig::integrity` the
+    /// MFC detects the mismatch and retransmits.
+    DmaCorrupt,
     /// The outbound mailbox word is silently dropped — the PPE waits
     /// for a reply that never comes.
     ReplyDrop,
@@ -172,6 +179,18 @@ impl FaultPlan {
             spe,
             at,
             kind: FaultKind::DmaFault { retry_penalty },
+        })
+    }
+
+    /// Corrupt the payload of SPE `spe`'s `at`-th DMA transfer (one bit
+    /// flipped at the destination).
+    #[must_use]
+    pub fn corrupt_dma(self, spe: usize, at: u64) -> Self {
+        self.with(FaultSpec {
+            site: FaultSite::Dma,
+            spe,
+            at,
+            kind: FaultKind::DmaCorrupt,
         })
     }
 

@@ -10,6 +10,7 @@ use std::process::ExitCode;
 use cell_core::CellResult;
 use cell_fault::FaultPlan;
 use cell_lint::{analyze, detect_races, LintConfig, LintReport};
+use cell_serve::{generate, CellServer, ServeConfig, WorkloadSpec};
 use cell_stencil::grid::Grid;
 use cell_stencil::offload::StencilApp;
 use cell_trace::TraceConfig;
@@ -45,6 +46,34 @@ fn reports() -> CellResult<Vec<LintReport>> {
     let model = cell_lint::model_resilient(&app, IMG_W, IMG_H)?;
     out.push(analyze(&model, &config));
     app.finish()?;
+
+    // --- Supervised serving runtime: static model + traced fault run ----
+    // The injected fault is DMA corruption, not a crash: the MFC's
+    // checksum-retransmit path gets exercised in the trace while every
+    // mailbox FIFO keeps its 1:1 send/recv pairing. (A crash/respawn run
+    // would reset a mailbox FIFO mid-trace, which the happens-before
+    // detector's continuous-channel model cannot represent.)
+    let serve_w = 48;
+    let serve_h = 32;
+    let mut server = CellServer::new(
+        ServeConfig {
+            trace: TraceConfig::Full,
+            ..ServeConfig::default()
+        },
+        FaultPlan::new().corrupt_dma(0, 1),
+    )?;
+    let model = cell_lint::model_serve(&server, serve_w, serve_h)?;
+    let mut report = analyze(&model, &config);
+    let requests = generate(&WorkloadSpec {
+        requests: 4,
+        width: serve_w,
+        height: serve_h,
+        ..WorkloadSpec::default()
+    })?;
+    server.run(requests)?;
+    let output = server.finish()?;
+    report.findings.extend(detect_races(&output.trace));
+    out.push(report);
 
     // --- Stencil, both regimes ------------------------------------------
     let app = StencilApp::new()?;

@@ -10,6 +10,7 @@
 use cell_core::config::{MachineConfig, DMA_MAX_TRANSFER};
 use cell_core::{align_up, CellResult, QUADWORD};
 use cell_mem::StructLayout;
+use cell_serve::CellServer;
 use cell_stencil::grid::Grid;
 use cell_stencil::offload::{stencil_wrapper_layout, StencilApp};
 use marvel::app::{CellMarvel, EXTRACT_KINDS};
@@ -171,6 +172,57 @@ pub fn model_resilient(
         ls_capacity: cfg.local_store_size,
         kernels,
         schedule: Some(app.schedule().clone()),
+        kernel_specs: paper_kernel_specs(),
+        scripts,
+    })
+}
+
+/// Model the supervised serving port: the resilient layout (a universal
+/// dispatcher on every SPE) plus the serving runtime's extras — the
+/// `integrity_probe` opcode and its 16-byte probe transfer on every
+/// dispatcher, and the supervisor's retire → re-upload → probe recovery
+/// conversation as a dispatch script the protocol pass verifies.
+pub fn model_serve(server: &CellServer, image_w: usize, image_h: usize) -> CellResult<PortModel> {
+    let cfg = MachineConfig::default();
+    let ops = server.opcodes();
+    let probe_op = server.probe_opcode();
+    let num_spes = server.alive().len();
+    let mut kernels = Vec::new();
+    let mut scripts = Vec::new();
+    for spe in 0..num_spes {
+        let mut opcodes: Vec<(String, u32)> = EXTRACT_KINDS
+            .iter()
+            .map(|&k| (extract_fn_name(k).to_string(), ops.opcode(k)))
+            .collect();
+        opcodes.push(("concept_detect".to_string(), ops.detect));
+        opcodes.push(("integrity_probe".to_string(), probe_op));
+        let wire = ExtractWire::new(feature_dim(KernelKind::Ch))?;
+        let mut plans = extract_plans(&wire, image_w, image_h);
+        // The watchdog/respawn probe block: one 16-byte checksummed get.
+        plans.push(DmaPlan::Single { bytes: 16 });
+        scripts.push(PortModel::roundtrip_script(spe, ops.opcode(KernelKind::Ch)));
+        kernels.push(KernelModel {
+            name: format!("serve@spe{spe}"),
+            spe,
+            opcodes,
+            wrapper: Some(extract_wrapper(KernelKind::Ch)?),
+            code_bytes: cfg.code_reserved,
+            plans,
+        });
+    }
+    // The supervisor's recovery path on one slot: round trip, retire,
+    // dispatcher re-upload, end-to-end probe, close.
+    scripts.push(PortModel::respawn_script(
+        0,
+        ops.opcode(KernelKind::Ch),
+        probe_op,
+    ));
+    Ok(PortModel {
+        name: "cell-serve".to_string(),
+        num_spes,
+        ls_capacity: cfg.local_store_size,
+        kernels,
+        schedule: Some(server.full_schedule().clone()),
         kernel_specs: paper_kernel_specs(),
         scripts,
     })

@@ -25,7 +25,7 @@ pub mod model;
 pub mod race;
 pub mod rules;
 
-pub use builders::{model_image_filter, model_marvel, model_resilient, model_stencil};
+pub use builders::{model_image_filter, model_marvel, model_resilient, model_serve, model_stencil};
 pub use model::{DispatchScript, DmaPlan, KernelModel, PortModel, ScriptOp, WrapperModel};
 pub use race::detect_races;
 pub use rules::{analyze, Finding, LintConfig, LintReport};
@@ -121,6 +121,57 @@ mod tests {
         assert!(report.has("mailbox-double-send"));
         assert!(report.has("mailbox-read-no-pending"));
         assert!(report.has("dispatch-missing-exit"));
+    }
+
+    #[test]
+    fn respawn_script_with_upload_is_clean() {
+        let mut m = tiny_model();
+        let op = portkit::opcodes::run_opcode(0);
+        // The canonical recovery conversation: round trip, retire,
+        // re-upload, probe, close — no findings.
+        m.scripts = vec![PortModel::respawn_script(0, op, op)];
+        let report = analyze(&m, &LintConfig::new());
+        assert_eq!(report.error_count(), 0, "{}", report.render());
+        assert!(!report.has("respawn-missing-upload"));
+        assert!(!report.has("dispatch-missing-exit"));
+    }
+
+    #[test]
+    fn respawn_without_upload_is_an_error() {
+        let mut m = tiny_model();
+        let op = portkit::opcodes::run_opcode(0);
+        m.scripts = vec![DispatchScript {
+            kernel: 0,
+            ops: vec![
+                ScriptOp::Send { opcode: op },
+                ScriptOp::WaitReply,
+                ScriptOp::Retire,
+                // Missing UploadCode: dispatching to a bare context.
+                ScriptOp::Send { opcode: op },
+                ScriptOp::WaitReply,
+                ScriptOp::Close,
+            ],
+        }];
+        let report = analyze(&m, &LintConfig::new());
+        assert!(report.has("respawn-missing-upload"), "{}", report.render());
+        assert_eq!(report.worst(), Some(Severity::Error));
+    }
+
+    #[test]
+    fn retire_discards_pending_and_ends_the_loop() {
+        let mut m = tiny_model();
+        let op = portkit::opcodes::run_opcode(0);
+        // Retire with a reply pending warns (the reply is lost with the
+        // context); a script that ends retired needs no Close — there is
+        // no dispatcher loop left to exit.
+        m.scripts = vec![DispatchScript {
+            kernel: 0,
+            ops: vec![ScriptOp::Send { opcode: op }, ScriptOp::Retire],
+        }];
+        let report = analyze(&m, &LintConfig::new());
+        assert!(report.has("mailbox-close-pending"), "{}", report.render());
+        assert!(!report.has("dispatch-missing-exit"));
+        assert_eq!(report.error_count(), 0);
     }
 
     #[test]

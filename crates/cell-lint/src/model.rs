@@ -92,7 +92,8 @@ impl DmaPlan {
     }
 }
 
-/// One step of a PPE dispatch conversation (Listing 3's protocol).
+/// One step of a PPE dispatch conversation (Listing 3's protocol, plus
+/// the supervisor's retire/respawn extension).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScriptOp {
     /// Write the opcode word (and the wrapper-address word) to the SPE's
@@ -100,6 +101,12 @@ pub enum ScriptOp {
     Send { opcode: u32 },
     /// Block on the SPE's outbound mailbox for the reply word.
     WaitReply,
+    /// Tear the SPE context down: mailboxes close and any queued words
+    /// are discarded. The next `Send` requires an `UploadCode` first.
+    Retire,
+    /// Recreate the context and re-upload the dispatcher code — the
+    /// respawn step that makes the slot dispatchable again.
+    UploadCode,
     /// Send `SPU_EXIT`, ending the dispatcher loop.
     Close,
 }
@@ -120,6 +127,26 @@ impl PortModel {
             kernel,
             ops: vec![
                 ScriptOp::Send { opcode: op },
+                ScriptOp::WaitReply,
+                ScriptOp::Close,
+            ],
+        }
+    }
+
+    /// The supervisor's recovery conversation with kernel `k`'s slot: a
+    /// normal round trip, then the occupant is retired (its failure
+    /// already consumed by the round trip's error path), the dispatcher
+    /// code re-uploaded, and the fresh context probed before the slot
+    /// closes. This is the shape `cell-serve`'s respawn path performs.
+    pub fn respawn_script(kernel: usize, op: u32, probe_op: u32) -> DispatchScript {
+        DispatchScript {
+            kernel,
+            ops: vec![
+                ScriptOp::Send { opcode: op },
+                ScriptOp::WaitReply,
+                ScriptOp::Retire,
+                ScriptOp::UploadCode,
+                ScriptOp::Send { opcode: probe_op },
                 ScriptOp::WaitReply,
                 ScriptOp::Close,
             ],

@@ -26,6 +26,7 @@
 //! | `kernel-too-small` | Hint | budget |
 //! | `dispatch-unknown-opcode`, `dispatch-missing-exit` | Error | protocol |
 //! | `mailbox-read-no-pending` | Error | protocol |
+//! | `respawn-missing-upload` | Error | protocol |
 //! | `mailbox-double-send`, `mailbox-close-pending` | Warning | protocol |
 //! | `schedule-imbalance`, `kernel-slower-than-host` | Warning | schedule |
 //! | `dma-race` | Error | dynamic ([`crate::race`]) |
@@ -428,9 +429,24 @@ fn protocol_pass(
 
     let mut pending = 0usize;
     let mut closed = false;
+    // Retired slots need a code re-upload before they are dispatchable
+    // again — the respawn invariant `cell-serve` relies on.
+    let mut retired = false;
     for op in &script.ops {
         match *op {
             ScriptOp::Send { opcode } => {
+                if retired {
+                    emit(Finding::new(
+                        Severity::Error,
+                        "respawn-missing-upload",
+                        subject.clone(),
+                        format!(
+                            "opcode {opcode} dispatched to a retired SPE slot whose dispatcher \
+                             code was never re-uploaded; the fresh context has no Listing 3 \
+                             loop to serve it"
+                        ),
+                    ));
+                }
                 if opcode == SPU_EXIT {
                     emit(Finding::new(
                         Severity::Error,
@@ -477,6 +493,25 @@ fn protocol_pass(
                     pending -= 1;
                 }
             }
+            ScriptOp::Retire => {
+                if pending > 0 {
+                    emit(Finding::new(
+                        Severity::Warning,
+                        "mailbox-close-pending",
+                        subject.clone(),
+                        format!(
+                            "SPE retired with {pending} reply(ies) still pending; the context \
+                             teardown discards them"
+                        ),
+                    ));
+                }
+                // Mailboxes die with the context: nothing stays pending.
+                pending = 0;
+                retired = true;
+            }
+            ScriptOp::UploadCode => {
+                retired = false;
+            }
             ScriptOp::Close => {
                 if pending > 0 {
                     emit(Finding::new(
@@ -490,7 +525,9 @@ fn protocol_pass(
             }
         }
     }
-    if !closed {
+    // A slot left retired has no dispatcher loop to exit; otherwise the
+    // script must Close or the join hangs.
+    if !closed && !retired {
         emit(Finding::new(
             Severity::Error,
             "dispatch-missing-exit",

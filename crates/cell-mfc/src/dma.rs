@@ -213,10 +213,15 @@ impl Mfc {
     ///   penalty — the transfer still succeeds, just late.
     /// * `DmaFault` models a transient failure the MFC retries internally:
     ///   completion slips by the retry penalty and a retry is counted.
+    /// * `DmaCorrupt` is traced here, but its functional effect (the bit
+    ///   flip, and the checksum-triggered retransmission when
+    ///   `DmaConfig::integrity` is set) happens in [`Mfc::issue_one`],
+    ///   which owns the payload.
     ///
-    /// Both are visible only through the virtual clock (and the trace);
-    /// the functional byte movement already happened, so data integrity is
-    /// untouched — exactly the property the chaos tests assert.
+    /// Delay and retry are visible only through the virtual clock (and
+    /// the trace); their functional byte movement already happened, so
+    /// data integrity is untouched — exactly the property the chaos
+    /// tests assert.
     #[cold]
     fn inject_dma_fault(&mut self, kind: FaultKind, complete_at: u64, now: u64) -> u64 {
         match kind {
@@ -245,10 +250,92 @@ impl Mfc {
                 );
                 complete_at + retry_penalty
             }
+            FaultKind::DmaCorrupt => {
+                self.tracer.count(Counter::FaultsInjected, 1);
+                self.tracer.span(
+                    EventKind::Fault,
+                    "dma_corrupt",
+                    now,
+                    0,
+                    self.spe_id as u64,
+                    2,
+                );
+                complete_at
+            }
             // SPE-dispatch and mailbox fault kinds never reach the DMA
             // line; `FaultPlan::arm` filters by site.
             _ => complete_at,
         }
+    }
+
+    /// Flip one bit mid-payload at the transfer's *destination* — local
+    /// store for a get, main memory for a put — modelling in-flight
+    /// corruption the source never sees.
+    #[cold]
+    fn corrupt_payload(&mut self, dir: Dir, ls: &mut LocalStore, la: LsAddr, ea: u64, size: usize) {
+        let off = size / 2;
+        let flipped = match dir {
+            Dir::Get => ls.slice_mut(la, size).map(|buf| {
+                buf[off] ^= 0x01;
+            }),
+            Dir::Put => {
+                let mut b = [0u8; 1];
+                self.mem.read(ea + off as u64, &mut b).and_then(|()| {
+                    b[0] ^= 0x01;
+                    self.mem.write(ea + off as u64, &b)
+                })
+            }
+        };
+        debug_assert!(flipped.is_ok(), "corruption targets the validated range");
+    }
+
+    /// Checksummed-DMA mode: compare the destination payload against the
+    /// source checksum computed before corruption could strike; on
+    /// mismatch redo the byte move from the (intact) source, charge the
+    /// configured retransmission penalty, and count the event.
+    #[allow(clippy::too_many_arguments)] // one verification per channel command
+    fn verify_or_retransmit(
+        &mut self,
+        dir: Dir,
+        ls: &mut LocalStore,
+        la: LsAddr,
+        ea: u64,
+        size: usize,
+        expected: u32,
+        complete_at: u64,
+        now: u64,
+    ) -> CellResult<u64> {
+        let got = match dir {
+            Dir::Get => cell_core::checksum32(ls.slice(la, size)?),
+            Dir::Put => {
+                let mut buf = vec![0u8; size];
+                self.mem.read(ea, &mut buf)?;
+                cell_core::checksum32(&buf)
+            }
+        };
+        if got == expected {
+            return Ok(complete_at);
+        }
+        match dir {
+            Dir::Get => {
+                let buf = ls.slice_mut(la, size)?;
+                self.mem.read(ea, buf)?;
+            }
+            Dir::Put => {
+                let buf = ls.slice(la, size)?;
+                self.mem.write(ea, buf)?;
+            }
+        }
+        self.tracer.count(Counter::ChecksumRetransmits, 1);
+        self.tracer.span(
+            EventKind::Recovery,
+            "dma_retransmit",
+            now,
+            self.cfg.retransmit_penalty_cycles,
+            self.spe_id as u64,
+            u64::from(expected ^ got),
+        );
+        Ok(complete_at + self.cfg.retransmit_penalty_cycles)
     }
 
     fn record(&mut self, dir: Dir, size: usize) {
@@ -286,20 +373,41 @@ impl Mfc {
         clock.advance(cell_core::Cycles(self.issue_cost));
 
         // Functional effect: move the bytes now (the virtual completion
-        // time gates when the SPU may *observe* them via wait_tag).
-        match dir {
+        // time gates when the SPU may *observe* them via wait_tag). In
+        // checksummed-DMA mode the source payload is stamped here, before
+        // any injected corruption can touch the destination.
+        let src_sum = match dir {
             Dir::Get => {
                 let buf = ls.slice_mut(la, size)?;
                 self.mem.read(ea, buf)?;
+                self.cfg.integrity.then(|| cell_core::checksum32(buf))
             }
             Dir::Put => {
                 let buf = ls.slice(la, size)?;
+                let sum = self.cfg.integrity.then(|| cell_core::checksum32(buf));
                 self.mem.write(ea, buf)?;
+                sum
             }
-        }
+        };
 
         let mut complete_at = self.schedule(dir, size, clock).max(self.barrier_floor);
-        if let Some(kind) = self.fault_line.tick() {
+        let fault = self.fault_line.tick();
+        if fault == Some(FaultKind::DmaCorrupt) {
+            self.corrupt_payload(dir, ls, la, ea, size);
+        }
+        if let Some(expected) = src_sum {
+            complete_at = self.verify_or_retransmit(
+                dir,
+                ls,
+                la,
+                ea,
+                size,
+                expected,
+                complete_at,
+                clock.now(),
+            )?;
+        }
+        if let Some(kind) = fault {
             complete_at = self.inject_dma_fault(kind, complete_at, clock.now());
         }
         let ts_issue = clock.now();

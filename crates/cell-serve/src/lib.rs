@@ -1,0 +1,38 @@
+//! cell-serve: a supervised serving runtime for the simulated Cell
+//! machine.
+//!
+//! The porting strategy of the source paper gets a MARVEL pipeline
+//! *running* on the Cell; this crate is about keeping it *serving* —
+//! pushing a sustained request stream through the machine while SPEs
+//! crash, dispatchers hang, DMA payloads corrupt and arrival bursts
+//! outrun the service rate. Four mechanisms, one per module boundary:
+//!
+//! * [`queue`] — bounded admission with [`cell_core::CellError::Overloaded`]
+//!   backpressure and deadline-aware shedding;
+//! * [`breaker`] — per-SPE Closed/Open/HalfOpen circuit breakers pacing
+//!   recovery of crash-looping SPEs;
+//! * [`server`] — the [`server::CellServer`] runtime: heartbeat
+//!   watchdog, SPE respawn with dispatcher re-upload and full-width
+//!   schedule re-expansion, end-to-end checksum verification with
+//!   automatic retransmission, and graceful degradation that sheds the
+//!   cheapest kernels first;
+//! * [`workload`] — seeded request-stream generation for reproducible
+//!   soak and chaos runs.
+//!
+//! Everything runs in virtual time from seeded inputs: a chaos soak with
+//! a fixed [`cell_fault::FaultPlan`] and [`workload::WorkloadSpec`] is
+//! bit-for-bit reproducible, and every admitted request's feature bytes
+//! are identical to a fault-free run's.
+
+pub mod breaker;
+pub mod queue;
+pub mod server;
+pub mod workload;
+
+pub use breaker::{BreakerState, CircuitBreaker};
+pub use queue::AdmissionQueue;
+pub use server::{
+    serve_dispatcher, CellServer, Outcome, Request, Response, ServeConfig, ServeOutput,
+    ServeReport, ShedReason,
+};
+pub use workload::{generate, Burst, WorkloadSpec};

@@ -1,0 +1,142 @@
+//! Bounded admission queue with deadline-aware load shedding.
+//!
+//! The queue is the server's only buffer: when it is full, new requests
+//! are rejected at the door ([`cell_core::CellError::Overloaded`]) rather
+//! than accepted into an ever-growing backlog, and requests whose
+//! deadline has already passed are shed at pop time instead of wasting
+//! SPE cycles on an answer nobody is waiting for.
+
+use std::collections::VecDeque;
+
+use cell_core::CellError;
+
+use crate::server::Request;
+
+/// FIFO admission queue with a hard capacity.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    capacity: usize,
+    queue: VecDeque<Request>,
+    max_depth: usize,
+}
+
+impl AdmissionQueue {
+    pub fn new(capacity: usize) -> Self {
+        AdmissionQueue {
+            capacity: capacity.max(1),
+            queue: VecDeque::new(),
+            max_depth: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// High-water mark of the queue depth.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Admit a request; on a full queue the request is handed back with
+    /// the [`CellError::Overloaded`] the caller should surface. Returns
+    /// the depth after admission.
+    pub fn admit(&mut self, request: Request) -> Result<usize, (Request, CellError)> {
+        if self.queue.len() >= self.capacity {
+            let err = CellError::Overloaded {
+                depth: self.queue.len(),
+                capacity: self.capacity,
+            };
+            return Err((request, err));
+        }
+        self.queue.push_back(request);
+        self.max_depth = self.max_depth.max(self.queue.len());
+        Ok(self.queue.len())
+    }
+
+    /// Pop the next request to serve at virtual time `now`: requests whose
+    /// deadline already passed are shed (returned in the first slot), the
+    /// first still-serviceable request rides in the second.
+    pub fn pop_ready(&mut self, now: u64) -> (Vec<Request>, Option<Request>) {
+        let mut expired = Vec::new();
+        while let Some(front) = self.queue.front() {
+            if front.deadline < now {
+                expired.push(self.queue.pop_front().expect("front exists"));
+            } else {
+                return (expired, self.queue.pop_front());
+            }
+        }
+        (expired, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marvel::image::ColorImage;
+
+    fn req(id: u64, arrival: u64, deadline: u64) -> Request {
+        Request {
+            id,
+            arrival,
+            deadline,
+            image: ColorImage::synthetic(16, 16, id).unwrap(),
+        }
+    }
+
+    #[test]
+    fn admits_up_to_capacity_then_rejects_with_overloaded() {
+        let mut q = AdmissionQueue::new(2);
+        assert_eq!(q.admit(req(0, 0, 100)).unwrap(), 1);
+        assert_eq!(q.admit(req(1, 0, 100)).unwrap(), 2);
+        let (returned, err) = q.admit(req(2, 0, 100)).unwrap_err();
+        assert_eq!(returned.id, 2);
+        assert!(matches!(
+            err,
+            CellError::Overloaded {
+                depth: 2,
+                capacity: 2
+            }
+        ));
+        assert_eq!(q.max_depth(), 2);
+    }
+
+    #[test]
+    fn pop_sheds_expired_deadlines_first() {
+        let mut q = AdmissionQueue::new(4);
+        q.admit(req(0, 0, 50)).unwrap();
+        q.admit(req(1, 0, 60)).unwrap();
+        q.admit(req(2, 0, 500)).unwrap();
+        let (expired, next) = q.pop_ready(100);
+        assert_eq!(expired.iter().map(|r| r.id).collect::<Vec<_>>(), [0, 1]);
+        assert_eq!(next.unwrap().id, 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn deadline_exactly_now_is_still_served() {
+        let mut q = AdmissionQueue::new(2);
+        q.admit(req(0, 0, 100)).unwrap();
+        let (expired, next) = q.pop_ready(100);
+        assert!(expired.is_empty());
+        assert_eq!(next.unwrap().id, 0);
+    }
+
+    #[test]
+    fn all_expired_returns_none() {
+        let mut q = AdmissionQueue::new(2);
+        q.admit(req(0, 0, 1)).unwrap();
+        q.admit(req(1, 0, 2)).unwrap();
+        let (expired, next) = q.pop_ready(10);
+        assert_eq!(expired.len(), 2);
+        assert!(next.is_none());
+    }
+}

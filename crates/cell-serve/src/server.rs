@@ -1,0 +1,924 @@
+//! The supervised serving runtime.
+//!
+//! [`CellServer`] pushes MARVEL feature-extraction requests through the
+//! simulated machine under sustained load and injected faults. It layers
+//! four defenses on top of the resilient pipeline of
+//! [`marvel::resilient`]:
+//!
+//! * **admission control** — a bounded [`AdmissionQueue`]; a full queue
+//!   rejects with [`CellError::Overloaded`], and requests whose deadline
+//!   passed while queued are shed instead of served late;
+//! * **per-SPE supervision** — a virtual-time heartbeat watchdog probes
+//!   idle SPEs end to end (mailbox → DMA → checksum → reply), and a
+//!   consecutive-failure [`CircuitBreaker`] paces recovery attempts;
+//! * **SPE respawn** — a failed SPE is retired, its context recreated
+//!   and the dispatcher code re-uploaded ([`CellMachine::respawn`]
+//!   charges the spawn cost), then probed before the schedule is
+//!   re-expanded back to full width from the pristine original;
+//! * **end-to-end integrity** — MFC checksum-verify-retransmit
+//!   ([`cell_core::DmaConfig::integrity`]) plus wrapper-level request
+//!   (`in_sum`) and response (`out_sum`) checksums; a kernel that sees a
+//!   corrupt payload replies [`SPU_CORRUPT`] and the server retransmits
+//!   the request under its retry policy.
+//!
+//! Under overload the server degrades gracefully: the cheapest kernels
+//! are shed first (TX, then EH — CH/CC/CD always run) and every response
+//! carries its degradation level. Everything runs in virtual time from
+//! seeded inputs, so a chaos soak is exactly reproducible.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use cell_core::{CellError, CellResult, MachineConfig, VirtualDuration};
+use cell_fault::FaultPlan;
+use cell_sys::machine::{CellMachine, SpeHandle, SpeReport};
+use cell_sys::ppe::Ppe;
+use cell_sys::spe::SpeEnv;
+use cell_trace::{Counter, EventKind, LogHistogram, TraceConfig, TraceReport};
+use marvel::app::{MarvelModels, EXTRACT_KINDS};
+use marvel::features::{Feature, KernelKind};
+use marvel::image::ColorImage;
+use marvel::kernels::{
+    collect_detect, collect_extract, prepare_detect, prepare_extract, universal_dispatcher,
+    UniversalOpcodes,
+};
+use marvel::resilient::CD_KERNEL;
+use marvel::wire::{upload_image, upload_model};
+use portkit::dispatcher::KernelDispatcher;
+use portkit::interface::{ReplyMode, SpeInterface};
+use portkit::opcodes::{SPU_CORRUPT, SPU_OK};
+use portkit::recovery::RetryPolicy;
+use portkit::schedule::{KernelId, Schedule};
+
+use crate::breaker::{BreakerState, CircuitBreaker};
+use crate::queue::AdmissionQueue;
+
+/// One feature-extraction request: an image with an arrival time and an
+/// absolute deadline, both in PPE cycles.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub id: u64,
+    pub arrival: u64,
+    pub deadline: u64,
+    pub image: ColorImage,
+}
+
+/// Why a request was shed instead of served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Rejected at admission: the queue was full.
+    Overloaded,
+    /// Expired in the queue: its deadline passed before an SPE was free.
+    DeadlineExpired,
+}
+
+/// A served request: features, scores, and how degraded the service was.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub id: u64,
+    /// 0 = full service, 1 = TX shed, 2 = TX and EH shed.
+    pub degradation: u8,
+    pub features: Vec<(KernelKind, Feature)>,
+    pub scores: Vec<(KernelKind, f32)>,
+    pub arrival: u64,
+    pub completed_at: u64,
+}
+
+impl Response {
+    /// Arrival-to-completion latency in PPE cycles.
+    pub fn latency(&self) -> u64 {
+        self.completed_at.saturating_sub(self.arrival)
+    }
+}
+
+/// Terminal state of one request.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    Served(Box<Response>),
+    Shed { id: u64, reason: ShedReason },
+}
+
+/// Serving-runtime knobs. All times are PPE cycles (3.2 GHz virtual).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    pub optimized: bool,
+    pub seed: u64,
+    /// Admission queue capacity; a full queue rejects with `Overloaded`.
+    pub queue_capacity: usize,
+    /// Queue depth at which TX is shed (degradation level 1).
+    pub degrade_high: usize,
+    /// Queue depth at which EH is also shed (degradation level 2).
+    pub degrade_critical: usize,
+    /// Consecutive failures before an SPE's breaker trips open.
+    pub breaker_threshold: u32,
+    /// Cycles an open breaker waits before allowing a respawn probe.
+    pub breaker_cooldown: u64,
+    /// An alive SPE silent longer than this gets a watchdog probe.
+    pub heartbeat_timeout: u64,
+    /// Reply deadline for one probe dispatch.
+    pub probe_timeout: u64,
+    /// Arm MFC checksum-verify-retransmit on every DMA transfer.
+    pub mfc_integrity: bool,
+    pub policy: RetryPolicy,
+    pub trace: TraceConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            optimized: true,
+            seed: 7,
+            queue_capacity: 8,
+            degrade_high: 3,
+            degrade_critical: 6,
+            breaker_threshold: 2,
+            breaker_cooldown: 10_000_000,
+            heartbeat_timeout: 100_000_000,
+            probe_timeout: 2_000_000,
+            mfc_integrity: true,
+            policy: RetryPolicy::default(),
+            trace: TraceConfig::Off,
+        }
+    }
+}
+
+/// Aggregate result of a serve run.
+#[derive(Debug)]
+pub struct ServeReport {
+    pub outcomes: Vec<Outcome>,
+    pub served: u64,
+    pub degraded_served: u64,
+    pub shed_overload: u64,
+    pub shed_deadline: u64,
+    pub respawns: u64,
+    pub breaker_trips: u64,
+    /// PPE-side request retransmits after a corrupt payload was detected
+    /// (the MFC's silent in-flight retransmits are counted in the trace).
+    pub retransmits: u64,
+    pub survivors: usize,
+    pub max_queue_depth: usize,
+    pub elapsed: VirtualDuration,
+    /// Arrival-to-completion latency of served requests.
+    pub latency: LogHistogram,
+}
+
+impl ServeReport {
+    /// Machine-readable one-line summary for CI artifacts.
+    pub fn summary_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"served\":{},\"degraded\":{},\"shed_overload\":{},",
+                "\"shed_deadline\":{},\"respawns\":{},\"breaker_trips\":{},",
+                "\"retransmits\":{},\"survivors\":{},\"max_queue_depth\":{},",
+                "\"elapsed_ms\":{:.3},\"latency_p50_cycles\":{},",
+                "\"latency_p95_cycles\":{},\"latency_p99_cycles\":{}}}"
+            ),
+            self.served,
+            self.degraded_served,
+            self.shed_overload,
+            self.shed_deadline,
+            self.respawns,
+            self.breaker_trips,
+            self.retransmits,
+            self.survivors,
+            self.max_queue_depth,
+            self.elapsed.seconds() * 1e3,
+            self.latency.percentile(0.50),
+            self.latency.percentile(0.95),
+            self.latency.percentile(0.99),
+        )
+    }
+}
+
+/// Everything a finished server hands back: the serving report, every
+/// SPE's report (including retired occupants), and the machine trace.
+#[derive(Debug)]
+pub struct ServeOutput {
+    pub report: ServeReport,
+    pub spe_reports: Vec<SpeReport>,
+    pub trace: TraceReport,
+}
+
+const PROBE_PAYLOAD: usize = 12;
+const PROBE_BYTES: usize = 16;
+
+/// SPE-side integrity probe: DMA a 16-byte block, verify its stamped
+/// checksum, reply `SPU_OK`. A corrupt transfer surfaces as
+/// `ChecksumMismatch`, which the dispatcher converts to [`SPU_CORRUPT`].
+fn probe_body(env: &mut SpeEnv, addr: u32) -> CellResult<u32> {
+    let la = env.ls.alloc(PROBE_BYTES, 16)?;
+    env.dma_get_sync(la, addr as u64, PROBE_BYTES, 0)?;
+    let expected = env.ls.read_u32(la + PROBE_PAYLOAD as u32)?;
+    cell_core::verify_checksum(env.ls.slice(la, PROBE_PAYLOAD)?, expected, "probe block")?;
+    env.ls.reset();
+    Ok(SPU_OK)
+}
+
+/// The serving dispatcher: every MARVEL kernel plus the integrity probe,
+/// in a fixed registration order on every SPE (the respawn/failover
+/// precondition).
+pub fn serve_dispatcher(optimized: bool) -> (KernelDispatcher, UniversalOpcodes, u32) {
+    let (mut d, ops) = universal_dispatcher(optimized, ReplyMode::Polling);
+    let probe_op = d.register("integrity_probe", probe_body);
+    (d, ops, probe_op)
+}
+
+/// The supervised serving runtime over one simulated Cell machine.
+pub struct CellServer {
+    ppe: Ppe,
+    machine: CellMachine,
+    handles: Vec<Option<SpeHandle>>,
+    retired_reports: Vec<SpeReport>,
+    stubs: Vec<SpeInterface>,
+    opcodes: UniversalOpcodes,
+    probe_op: u32,
+    probe_word: u32,
+    policy: RetryPolicy,
+    /// The pristine full-width schedule; respawn restores from this.
+    full_schedule: Schedule,
+    schedule: Schedule,
+    alive: Vec<bool>,
+    breakers: Vec<CircuitBreaker>,
+    heartbeats: Vec<u64>,
+    queue: AdmissionQueue,
+    cfg: ServeConfig,
+    models: MarvelModels,
+    model_eas: Vec<(KernelKind, u64, usize)>,
+    outcomes: Vec<Outcome>,
+    latency: LogHistogram,
+    served: u64,
+    degraded_served: u64,
+    shed_overload: u64,
+    shed_deadline: u64,
+    respawns: u64,
+    retransmits: u64,
+}
+
+impl CellServer {
+    /// Build the machine (integrity mode per the config), arm `plan`,
+    /// spawn a serve dispatcher on every SPE and upload the models.
+    pub fn new(cfg: ServeConfig, plan: FaultPlan) -> CellResult<Self> {
+        let mut machine_cfg = MachineConfig::default();
+        machine_cfg.dma.integrity = cfg.mfc_integrity;
+        let mut machine = CellMachine::new(machine_cfg)?;
+        machine.set_trace_config(cfg.trace);
+        machine.set_fault_plan(plan);
+        let ppe = machine.ppe();
+        let models = MarvelModels::synthetic(cfg.seed);
+
+        let mem = Arc::clone(ppe.mem());
+        let mut model_eas = Vec::new();
+        for kind in EXTRACT_KINDS {
+            let (ea, bytes) = upload_model(&mem, models.get(kind))?;
+            model_eas.push((kind, ea, bytes));
+        }
+
+        // The probe block: a seeded 12-byte payload with its checksum
+        // stamped behind it. Every watchdog/respawn probe DMAs this.
+        let probe_ea = mem.alloc(PROBE_BYTES, 128)?;
+        let payload: Vec<u8> = (0..PROBE_PAYLOAD)
+            .map(|i| (cfg.seed >> ((i % 8) * 8)) as u8 ^ i as u8)
+            .collect();
+        mem.write(probe_ea, &payload)?;
+        mem.write_u32(
+            probe_ea + PROBE_PAYLOAD as u64,
+            cell_core::checksum32(&payload),
+        )?;
+        let probe_word = u32::try_from(probe_ea).map_err(|_| CellError::BadData {
+            message: "probe block above the mailbox address space".to_string(),
+        })?;
+
+        let num_spes = machine.config().num_spes;
+        let mut handles = Vec::new();
+        let mut stubs = Vec::new();
+        let mut opcodes = None;
+        let mut probe_op = 0;
+        for spe in 0..num_spes {
+            let (d, ops, probe) = serve_dispatcher(cfg.optimized);
+            handles.push(Some(machine.spawn(spe, Box::new(d))?));
+            stubs.push(SpeInterface::new("serve", spe, ReplyMode::Polling));
+            opcodes = Some(ops);
+            probe_op = probe;
+        }
+        let opcodes = opcodes.ok_or(CellError::NoSpeAvailable {
+            requested: 1,
+            available: 0,
+        })?;
+        let full_schedule = Schedule::grouped(vec![vec![0, 1, 2, 3], vec![CD_KERNEL]], num_spes)?;
+
+        Ok(CellServer {
+            ppe,
+            machine,
+            handles,
+            retired_reports: Vec::new(),
+            stubs,
+            opcodes,
+            probe_op,
+            probe_word,
+            policy: cfg.policy,
+            schedule: full_schedule.clone(),
+            full_schedule,
+            alive: vec![true; num_spes],
+            breakers: vec![
+                CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown);
+                num_spes
+            ],
+            heartbeats: vec![0; num_spes],
+            queue: AdmissionQueue::new(cfg.queue_capacity),
+            models,
+            model_eas,
+            cfg,
+            outcomes: Vec::new(),
+            latency: LogHistogram::new(),
+            served: 0,
+            degraded_served: 0,
+            shed_overload: 0,
+            shed_deadline: 0,
+            respawns: 0,
+            retransmits: 0,
+        })
+    }
+
+    // ---------------------------------------------------------------
+    // Introspection
+    // ---------------------------------------------------------------
+
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    pub fn survivors(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    pub fn full_schedule(&self) -> &Schedule {
+        &self.full_schedule
+    }
+
+    pub fn breaker(&self, spe: usize) -> &CircuitBreaker {
+        &self.breakers[spe]
+    }
+
+    pub fn respawns(&self) -> u64 {
+        self.respawns
+    }
+
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    pub fn models(&self) -> &MarvelModels {
+        &self.models
+    }
+
+    pub fn opcodes(&self) -> UniversalOpcodes {
+        self.opcodes
+    }
+
+    /// Opcode of the `integrity_probe` kernel on every serve dispatcher.
+    pub fn probe_opcode(&self) -> u32 {
+        self.probe_op
+    }
+
+    pub fn elapsed(&self) -> VirtualDuration {
+        self.ppe.elapsed()
+    }
+
+    /// Degradation level the next dispatch would run at.
+    pub fn degradation_level(&self) -> u8 {
+        let depth = self.queue.depth();
+        if depth >= self.cfg.degrade_critical {
+            2
+        } else if depth >= self.cfg.degrade_high {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Kernel ids shed at `level` (cheapest first: TX, then EH).
+    pub fn dropped_kernels(level: u8) -> &'static [KernelId] {
+        match level {
+            0 => &[],
+            1 => &[2],
+            _ => &[2, 3],
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Admission
+    // ---------------------------------------------------------------
+
+    /// Offer one request for admission; a full queue rejects with
+    /// [`CellError::Overloaded`] (the backpressure signal a caller feeds
+    /// back to its client).
+    pub fn try_submit(&mut self, request: Request) -> CellResult<()> {
+        match self.queue.admit(request) {
+            Ok(depth) => {
+                self.ppe
+                    .tracer_mut()
+                    .count_max(Counter::QueueDepth, depth as u64);
+                Ok(())
+            }
+            Err((_, err)) => Err(err),
+        }
+    }
+
+    fn admit_or_shed(&mut self, request: Request) {
+        let id = request.id;
+        match self.queue.admit(request) {
+            Ok(depth) => {
+                self.ppe
+                    .tracer_mut()
+                    .count_max(Counter::QueueDepth, depth as u64);
+            }
+            Err((_, _)) => self.record_shed(id, ShedReason::Overloaded),
+        }
+    }
+
+    fn record_shed(&mut self, id: u64, reason: ShedReason) {
+        let now = self.ppe.clock.now();
+        let (label, arg1) = match reason {
+            ShedReason::Overloaded => {
+                self.shed_overload += 1;
+                ("shed_overload", 0)
+            }
+            ShedReason::DeadlineExpired => {
+                self.shed_deadline += 1;
+                ("shed_deadline", 1)
+            }
+        };
+        self.ppe
+            .tracer_mut()
+            .span(EventKind::Recovery, label, now, 0, id, arg1);
+        self.ppe.tracer_mut().count(Counter::Shed, 1);
+        self.outcomes.push(Outcome::Shed { id, reason });
+    }
+
+    // ---------------------------------------------------------------
+    // Supervision: watchdog, breaker, respawn
+    // ---------------------------------------------------------------
+
+    /// One supervision tick: watchdog-probe silent SPEs, then try to
+    /// respawn dead ones whose breaker cooled down.
+    pub fn supervise(&mut self) -> CellResult<()> {
+        let now = self.ppe.clock.now();
+        for spe in 0..self.stubs.len() {
+            if self.alive[spe]
+                && now.saturating_sub(self.heartbeats[spe]) > self.cfg.heartbeat_timeout
+            {
+                if self.probe_spe(spe)? {
+                    continue;
+                }
+                let t = self.ppe.clock.now();
+                self.ppe.tracer_mut().span(
+                    EventKind::Fault,
+                    "watchdog_expired",
+                    t,
+                    0,
+                    spe as u64,
+                    0,
+                );
+                self.mark_failed(spe)?;
+            }
+        }
+        for spe in 0..self.stubs.len() {
+            if !self.alive[spe] && self.breakers[spe].ready(self.ppe.clock.now()) {
+                self.try_respawn(spe)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// One end-to-end probe round trip: mailbox dispatch, 16-byte DMA,
+    /// checksum verification, mailbox reply. `Ok(false)` on any failure
+    /// that indicts the SPE (closed mailbox, fault, timeout, corruption).
+    fn probe_spe(&mut self, spe: usize) -> CellResult<bool> {
+        self.drain_stale(spe)?;
+        match self.stubs[spe].send(&mut self.ppe, self.probe_op, self.probe_word) {
+            Ok(()) => {}
+            Err(CellError::MailboxClosed) => return Ok(false),
+            Err(e) => return Err(e),
+        }
+        let policy = RetryPolicy::no_retry(self.cfg.probe_timeout);
+        match self.stubs[spe].wait_for(&mut self.ppe, &policy) {
+            Ok(status) if status == SPU_OK => {
+                self.heartbeats[spe] = self.ppe.clock.now();
+                self.breakers[spe].record_success();
+                Ok(true)
+            }
+            Ok(_) => Ok(false),
+            Err(
+                CellError::SpeFault { .. } | CellError::Timeout { .. } | CellError::MailboxClosed,
+            ) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Record an SPE failure: breaker bookkeeping, mark dead, re-plan
+    /// over the survivors.
+    fn mark_failed(&mut self, spe: usize) -> CellResult<()> {
+        let now = self.ppe.clock.now();
+        if self.breakers[spe].record_failure(now) {
+            self.ppe.tracer_mut().span(
+                EventKind::Recovery,
+                "breaker_open",
+                now,
+                0,
+                spe as u64,
+                u64::from(self.breakers[spe].consecutive_failures()),
+            );
+            self.ppe.tracer_mut().count(Counter::BreakerTrips, 1);
+        }
+        if self.alive[spe] {
+            self.alive[spe] = false;
+            self.ppe
+                .tracer_mut()
+                .span(EventKind::Recovery, "failover", now, 0, spe as u64, 0);
+            self.ppe.tracer_mut().count(Counter::Failovers, 1);
+            self.schedule = self.schedule.replan(&self.alive)?;
+        }
+        Ok(())
+    }
+
+    /// Attempt to bring a dead SPE back: retire what's left of the old
+    /// occupant, respawn a fresh dispatcher (context recreation + code
+    /// re-upload), probe it end to end, and only then re-expand the
+    /// schedule from the pristine full-width original.
+    fn try_respawn(&mut self, spe: usize) -> CellResult<()> {
+        if self.breakers[spe].state() == BreakerState::Open {
+            self.breakers[spe].begin_probe();
+        }
+        // Tear down: close the slot's fabric (wakes a wedged thread) and
+        // collect the old occupant's report for the final trace.
+        self.machine.retire(spe)?;
+        if let Some(handle) = self.handles[spe].take() {
+            self.retired_reports.push(handle.join_report()?);
+        }
+        let (d, _ops, _probe) = serve_dispatcher(self.cfg.optimized);
+        self.handles[spe] = Some(self.machine.respawn(spe, Box::new(d))?);
+        if self.probe_spe(spe)? {
+            let now = self.ppe.clock.now();
+            self.alive[spe] = true;
+            self.heartbeats[spe] = now;
+            // Restore from the original, not the degraded schedule:
+            // replan over all-alive is idempotent, so a full recovery is
+            // byte-identical to the schedule the server started with.
+            self.schedule = self.full_schedule.replan(&self.alive)?;
+            self.respawns += 1;
+            self.ppe
+                .tracer_mut()
+                .span(EventKind::Recovery, "respawn", now, 0, spe as u64, 0);
+            self.ppe.tracer_mut().count(Counter::Respawns, 1);
+        } else {
+            let now = self.ppe.clock.now();
+            if self.breakers[spe].record_failure(now) {
+                self.ppe.tracer_mut().span(
+                    EventKind::Recovery,
+                    "breaker_open",
+                    now,
+                    0,
+                    spe as u64,
+                    u64::from(self.breakers[spe].consecutive_failures()),
+                );
+                self.ppe.tracer_mut().count(Counter::BreakerTrips, 1);
+            }
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------
+    // Resilient kernel round trips (the marvel::resilient machinery,
+    // with breaker accounting and corrupt-reply retransmission)
+    // ---------------------------------------------------------------
+
+    fn model_ea(&self, kind: KernelKind) -> (u64, usize) {
+        let (_, ea, bytes) = self
+            .model_eas
+            .iter()
+            .find(|(k, _, _)| *k == kind)
+            .expect("model uploaded in new()");
+        (*ea, *bytes)
+    }
+
+    fn drain_stale(&mut self, spe: usize) -> CellResult<()> {
+        loop {
+            match self.ppe.stat_out_mbox(spe) {
+                Ok(0) => return Ok(()),
+                Ok(_) => {
+                    let _ = self.ppe.try_read_out_mbox(spe)?;
+                }
+                Err(CellError::MailboxClosed) => return Ok(()),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn send_kernel(&mut self, k: KernelId, op: u32, arg: u32) -> CellResult<usize> {
+        loop {
+            let spe = self.schedule.spe_of(k);
+            self.drain_stale(spe)?;
+            match self.stubs[spe].send(&mut self.ppe, op, arg) {
+                Ok(()) => return Ok(spe),
+                Err(CellError::MailboxClosed) => self.mark_failed(spe)?,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn call_kernel(&mut self, k: KernelId, op: u32, arg: u32) -> CellResult<u32> {
+        let policy = self.policy;
+        loop {
+            let spe = self.schedule.spe_of(k);
+            match self.stubs[spe].send_and_wait_resilient(&mut self.ppe, &policy, op, arg) {
+                Ok(v) => {
+                    self.heartbeats[spe] = self.ppe.clock.now();
+                    self.breakers[spe].record_success();
+                    return Ok(v);
+                }
+                Err(CellError::SpeFault { .. } | CellError::Timeout { .. }) => {
+                    self.mark_failed(spe)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn finish_kernel(
+        &mut self,
+        k: KernelId,
+        sent_spe: usize,
+        op: u32,
+        arg: u32,
+    ) -> CellResult<u32> {
+        let policy = self.policy;
+        match self.stubs[sent_spe].wait_for(&mut self.ppe, &policy) {
+            Ok(v) => {
+                self.heartbeats[sent_spe] = self.ppe.clock.now();
+                self.breakers[sent_spe].record_success();
+                Ok(v)
+            }
+            Err(CellError::SpeFault { .. }) => {
+                self.mark_failed(sent_spe)?;
+                self.call_kernel(k, op, arg)
+            }
+            Err(CellError::Timeout { .. }) => {
+                let now = self.ppe.clock.now();
+                let backoff = policy.backoff(1);
+                self.ppe.tracer_mut().span(
+                    EventKind::Recovery,
+                    "retry",
+                    now,
+                    backoff,
+                    sent_spe as u64,
+                    1,
+                );
+                self.ppe.tracer_mut().count(Counter::Retries, 1);
+                self.ppe.charge_cycles(backoff);
+                self.call_kernel(k, op, arg)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn note_retransmit(&mut self, k: KernelId, attempt: u32) {
+        let now = self.ppe.clock.now();
+        let backoff = self.policy.backoff(attempt);
+        self.ppe.tracer_mut().span(
+            EventKind::Recovery,
+            "request_retransmit",
+            now,
+            backoff,
+            k as u64,
+            u64::from(attempt),
+        );
+        self.ppe.tracer_mut().count(Counter::ChecksumRetransmits, 1);
+        self.ppe.charge_cycles(backoff);
+        self.retransmits += 1;
+    }
+
+    /// Drive `collect` after a kernel round trip, retransmitting the
+    /// request while the kernel reports [`SPU_CORRUPT`] or the collected
+    /// payload fails its response checksum.
+    fn verified<T>(
+        &mut self,
+        k: KernelId,
+        op: u32,
+        arg: u32,
+        mut status: u32,
+        collect: impl Fn() -> CellResult<T>,
+    ) -> CellResult<T> {
+        let budget = self.policy.max_attempts.max(1);
+        let mut attempts = 0u32;
+        loop {
+            if status == SPU_CORRUPT {
+                attempts += 1;
+                if attempts >= budget {
+                    return Err(CellError::ChecksumMismatch {
+                        what: "kernel payload after retransmit budget",
+                        expected: SPU_OK,
+                        got: SPU_CORRUPT,
+                    });
+                }
+                self.note_retransmit(k, attempts);
+                status = self.call_kernel(k, op, arg)?;
+                continue;
+            }
+            match collect() {
+                Ok(v) => return Ok(v),
+                Err(CellError::ChecksumMismatch { .. }) => {
+                    attempts += 1;
+                    if attempts >= budget {
+                        return Err(CellError::ChecksumMismatch {
+                            what: "collected payload after retransmit budget",
+                            expected: SPU_OK,
+                            got: SPU_CORRUPT,
+                        });
+                    }
+                    self.note_retransmit(k, attempts);
+                    status = self.call_kernel(k, op, arg)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Request processing
+    // ---------------------------------------------------------------
+
+    #[allow(clippy::type_complexity)]
+    fn process(
+        &mut self,
+        request: &Request,
+        level: u8,
+    ) -> CellResult<(Vec<(KernelKind, Feature)>, Vec<(KernelKind, f32)>)> {
+        let mem = Arc::clone(self.ppe.mem());
+        let image_ea = upload_image(&mem, &request.image)?;
+        self.ppe.charge_cycles(2_000);
+        let result = self.run_kernels(&mem, image_ea, &request.image, level);
+        mem.free(image_ea)?;
+        result
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_kernels(
+        &mut self,
+        mem: &cell_mem::MainMemory,
+        image_ea: u64,
+        img: &ColorImage,
+        level: u8,
+    ) -> CellResult<(Vec<(KernelKind, Feature)>, Vec<(KernelKind, f32)>)> {
+        let mut features: Vec<(KernelKind, Feature)> = Vec::new();
+        let mut scores: Vec<(KernelKind, f32)> = Vec::new();
+        let dropped = Self::dropped_kernels(level);
+        let groups = self.schedule.groups().to_vec();
+        for group in groups {
+            let extract_ids: Vec<KernelId> = group
+                .iter()
+                .copied()
+                .filter(|&k| k != CD_KERNEL && !dropped.contains(&k))
+                .collect();
+            if !extract_ids.is_empty() {
+                let mut pending = Vec::new();
+                for &k in &extract_ids {
+                    let kind = EXTRACT_KINDS[k];
+                    let (wrapper, wire) =
+                        prepare_extract(mem, kind, image_ea, img.width(), img.height())?;
+                    let arg = wrapper.addr_word()?;
+                    let sent_spe = self.send_kernel(k, self.opcodes.opcode(kind), arg)?;
+                    pending.push((k, sent_spe, wrapper, wire));
+                }
+                for (k, sent_spe, wrapper, wire) in pending {
+                    let kind = EXTRACT_KINDS[k];
+                    let op = self.opcodes.opcode(kind);
+                    let arg = wrapper.addr_word()?;
+                    let status = self.finish_kernel(k, sent_spe, op, arg)?;
+                    let feature =
+                        self.verified(k, op, arg, status, || collect_extract(&wrapper, &wire))?;
+                    features.push((kind, feature));
+                    wrapper.free()?;
+                }
+            }
+            if group.contains(&CD_KERNEL) {
+                for (kind, feature) in &features.clone() {
+                    let (model_ea, model_bytes) = self.model_ea(*kind);
+                    let (dw, dwire) = prepare_detect(mem, feature, model_ea, model_bytes)?;
+                    let arg = dw.addr_word()?;
+                    let status = self.call_kernel(CD_KERNEL, self.opcodes.detect, arg)?;
+                    let score =
+                        self.verified(CD_KERNEL, self.opcodes.detect, arg, status, || {
+                            collect_detect(&dw, &dwire)
+                        })?;
+                    scores.push((*kind, score));
+                    dw.free()?;
+                }
+            }
+        }
+        Ok((features, scores))
+    }
+
+    // ---------------------------------------------------------------
+    // The serving loop
+    // ---------------------------------------------------------------
+
+    /// Serve a request stream to completion: admit arrivals, shed under
+    /// overload and past deadlines, supervise/heal between dispatches.
+    pub fn run(&mut self, mut requests: Vec<Request>) -> CellResult<()> {
+        requests.sort_by_key(|r| (r.arrival, r.id));
+        let mut pending: VecDeque<Request> = requests.into();
+        loop {
+            let now = self.ppe.clock.now();
+            while pending.front().is_some_and(|r| r.arrival <= now) {
+                let request = pending.pop_front().expect("front checked");
+                self.admit_or_shed(request);
+            }
+            if self.queue.is_empty() {
+                let Some(next_arrival) = pending.front().map(|r| r.arrival) else {
+                    break;
+                };
+                // Idle until the next arrival — supervision gets the gap.
+                self.supervise()?;
+                self.ppe.clock.advance_to(next_arrival);
+                continue;
+            }
+            self.supervise()?;
+            let now = self.ppe.clock.now();
+            let (expired, next) = self.queue.pop_ready(now);
+            for request in expired {
+                self.record_shed(request.id, ShedReason::DeadlineExpired);
+            }
+            let Some(request) = next else { continue };
+            let level = self.degradation_level();
+            let (features, scores) = self.process(&request, level)?;
+            let completed_at = self.ppe.clock.now();
+            self.latency
+                .record(completed_at.saturating_sub(request.arrival));
+            self.served += 1;
+            if level > 0 {
+                self.degraded_served += 1;
+                self.ppe.tracer_mut().span(
+                    EventKind::Recovery,
+                    "degraded_service",
+                    completed_at,
+                    0,
+                    request.id,
+                    u64::from(level),
+                );
+            }
+            self.outcomes.push(Outcome::Served(Box::new(Response {
+                id: request.id,
+                degradation: level,
+                features,
+                scores,
+                arrival: request.arrival,
+                completed_at,
+            })));
+        }
+        Ok(())
+    }
+
+    /// Shut the machine down and assemble the final report, every SPE
+    /// report (retired occupants included) and the whole-machine trace.
+    pub fn finish(mut self) -> CellResult<ServeOutput> {
+        for stub in &self.stubs {
+            let _ = stub.close(&mut self.ppe);
+        }
+        let elapsed = self.ppe.elapsed();
+        let survivors = self.survivors();
+        let breaker_trips: u64 = self.breakers.iter().map(CircuitBreaker::trips).sum();
+        let mut tracks = vec![self.ppe.take_trace()];
+        // Shutdown before joining: only closing the fabric can wake a
+        // hung dispatcher.
+        self.machine.shutdown();
+        let mut spe_reports = self.retired_reports;
+        for handle in self.handles.into_iter().flatten() {
+            spe_reports.push(handle.join_report()?);
+        }
+        tracks.extend(spe_reports.iter().map(|r| r.trace.clone()));
+        tracks.push(self.machine.take_eib_trace());
+        let report = ServeReport {
+            outcomes: self.outcomes,
+            served: self.served,
+            degraded_served: self.degraded_served,
+            shed_overload: self.shed_overload,
+            shed_deadline: self.shed_deadline,
+            respawns: self.respawns,
+            breaker_trips,
+            retransmits: self.retransmits,
+            survivors,
+            max_queue_depth: self.queue.max_depth(),
+            elapsed,
+            latency: self.latency,
+        };
+        Ok(ServeOutput {
+            report,
+            spe_reports,
+            trace: TraceReport { tracks },
+        })
+    }
+}

@@ -270,6 +270,54 @@ impl CellMachine {
         Ok(SpeHandle { spe_id, join })
     }
 
+    /// Retire SPE `spe_id`: close its mailboxes and signals, waking its
+    /// program (even one wedged in a blocking read) so the thread exits
+    /// and its handle can be joined. The rest of the machine keeps
+    /// running — this is the single-SPE counterpart of
+    /// [`CellMachine::shutdown`], and the first step of a respawn.
+    pub fn retire(&self, spe_id: usize) -> CellResult<()> {
+        let slot = self.slots.get(spe_id).ok_or(CellError::NoSpeAvailable {
+            requested: spe_id + 1,
+            available: self.config.num_spes,
+        })?;
+        slot.mailboxes.close_all();
+        slot.signal1.close();
+        slot.signal2.close();
+        Ok(())
+    }
+
+    /// Respawn SPE `spe_id` with a fresh program: the slot's communication
+    /// fabric is reopened in place (the PPE's existing clones of the
+    /// mailboxes and signal registers stay valid) and the program spawns
+    /// through the normal path — a new local store, a new MFC, fault
+    /// lines re-armed from the plan, and the spawn cost charged again.
+    ///
+    /// The caller must have joined the previous occupant's [`SpeHandle`]
+    /// first (after [`CellMachine::retire`] if it was hung): reopening
+    /// mailboxes under a live thread would let the old program steal the
+    /// new one's words.
+    pub fn respawn(
+        &mut self,
+        spe_id: usize,
+        program: Box<dyn SpeProgram>,
+    ) -> CellResult<SpeHandle> {
+        if self.shut_down.load(Ordering::SeqCst) {
+            return Err(CellError::MailboxClosed);
+        }
+        let slot = self
+            .slots
+            .get_mut(spe_id)
+            .ok_or(CellError::NoSpeAvailable {
+                requested: spe_id + 1,
+                available: self.config.num_spes,
+            })?;
+        slot.mailboxes.reopen_all();
+        slot.signal1.reopen();
+        slot.signal2.reopen();
+        slot.occupied = false;
+        self.spawn(spe_id, program)
+    }
+
     /// Spawn on the lowest-numbered free SPE.
     pub fn spawn_any(&mut self, program: Box<dyn SpeProgram>) -> CellResult<SpeHandle> {
         let free =
@@ -563,6 +611,77 @@ mod tests {
         let fault = report.fault.expect("crash fault recorded");
         assert!(fault.contains("injected fault"), "{fault}");
         assert!(!ppe.spe_alive(0).unwrap());
+    }
+
+    #[test]
+    fn respawn_revives_a_crashed_spe() {
+        let mut m = small_machine();
+        let mut ppe = m.ppe();
+        let h = m.spawn(0, Box::new(echo_kernel)).unwrap();
+        ppe.write_in_mbox(0, 0xDEAD).unwrap(); // unknown opcode → kernel dies
+        let report = h.join_report().unwrap();
+        assert!(report.fault.is_some());
+        assert!(!ppe.spe_alive(0).unwrap());
+
+        // Same slot, same PPE handle: the fabric reopens in place.
+        let h = m.respawn(0, Box::new(echo_kernel)).unwrap();
+        assert!(ppe.spe_alive(0).unwrap());
+        ppe.write_in_mbox(0, OP_ECHO).unwrap();
+        ppe.write_in_mbox(0, 21).unwrap();
+        assert_eq!(ppe.read_out_mbox(0).unwrap(), 42);
+        ppe.write_in_mbox(0, OP_EXIT).unwrap();
+        assert!(h.join().unwrap().fault.is_none());
+        m.shutdown();
+    }
+
+    #[test]
+    fn retire_wakes_a_wedged_spe_for_respawn() {
+        let mut m = small_machine();
+        let mut ppe = m.ppe();
+        // The kernel blocks in read_in_mbox with nothing to read — the
+        // shape of a hung SPE. retire() must wake it so join completes.
+        let h = m.spawn(0, Box::new(echo_kernel)).unwrap();
+        m.retire(0).unwrap();
+        let report = h.join_report().unwrap();
+        assert!(report.fault.is_some(), "woken by closure, not clean exit");
+
+        let h = m.respawn(0, Box::new(echo_kernel)).unwrap();
+        ppe.write_in_mbox(0, OP_ECHO).unwrap();
+        ppe.write_in_mbox(0, 5).unwrap();
+        assert_eq!(ppe.read_out_mbox(0).unwrap(), 10);
+        ppe.write_in_mbox(0, OP_EXIT).unwrap();
+        h.join().unwrap();
+        m.shutdown();
+    }
+
+    #[test]
+    fn respawn_discards_stale_mailbox_words() {
+        let mut m = small_machine();
+        let mut ppe = m.ppe();
+        let h = m.spawn(0, Box::new(echo_kernel)).unwrap();
+        // Leave an unread inbound word behind, then kill the SPE with a
+        // second (unknown) opcode read.
+        ppe.write_in_mbox(0, 0xDEAD).unwrap();
+        h.join_report().unwrap();
+        // A stale word in the *inbound* queue would desynchronise the new
+        // program's opcode stream; reopen clears it.
+        let h = m.respawn(0, Box::new(echo_kernel)).unwrap();
+        ppe.write_in_mbox(0, OP_ECHO).unwrap();
+        ppe.write_in_mbox(0, 3).unwrap();
+        assert_eq!(ppe.read_out_mbox(0).unwrap(), 6);
+        ppe.write_in_mbox(0, OP_EXIT).unwrap();
+        h.join().unwrap();
+        m.shutdown();
+    }
+
+    #[test]
+    fn respawn_after_shutdown_is_refused() {
+        let mut m = small_machine();
+        m.shutdown();
+        assert_eq!(
+            m.respawn(0, Box::new(echo_kernel)).map(|_| ()).unwrap_err(),
+            CellError::MailboxClosed
+        );
     }
 
     #[test]

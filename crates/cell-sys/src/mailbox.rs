@@ -138,6 +138,19 @@ impl Mailbox {
     pub fn is_closed(&self) -> bool {
         self.inner.lock().unwrap().closed
     }
+
+    /// Reopen a closed mailbox for a respawned SPE: the closed flag is
+    /// cleared and any stale queued words are discarded (they belong to
+    /// the previous occupant's conversation; a fresh program must not
+    /// read them). Safe because a closed mailbox has no blocked writers
+    /// or readers — both paths return `MailboxClosed` immediately.
+    pub fn reopen(&self) {
+        let mut g = self.inner.lock().unwrap();
+        g.closed = false;
+        g.queue.clear();
+        drop(g);
+        self.not_full.notify_all();
+    }
 }
 
 /// The full mailbox set of one SPE, as both sides see it.
@@ -165,6 +178,15 @@ impl MailboxPair {
         self.inbound.close();
         self.outbound.close();
         self.outbound_intr.close();
+    }
+
+    /// Reopen every direction (SPE respawn). The PPE keeps its clones of
+    /// these mailboxes, so the revived SPE is reachable at the same
+    /// addresses without rebuilding any handles.
+    pub fn reopen_all(&self) {
+        self.inbound.reopen();
+        self.outbound.reopen();
+        self.outbound_intr.reopen();
     }
 }
 

@@ -106,6 +106,15 @@ impl SignalRegister {
         drop(g);
         self.raised.notify_all();
     }
+
+    /// Reopen for a respawned SPE: clears the closed flag and discards
+    /// any stale pending value from the previous occupant.
+    pub fn reopen(&self) {
+        let mut g = self.inner.lock().unwrap();
+        g.closed = false;
+        g.value = 0;
+        g.pending = false;
+    }
 }
 
 #[cfg(test)]

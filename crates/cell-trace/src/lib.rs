@@ -190,11 +190,21 @@ pub enum Counter {
     FaultsInjected,
     Retries,
     Failovers,
+    /// Admission-queue depth high-water mark (serving runtimes).
+    QueueDepth,
+    /// Requests shed by admission control or deadline policy.
+    Shed,
+    /// Circuit-breaker Closed→Open transitions.
+    BreakerTrips,
+    /// SPE contexts recreated after a trip or crash.
+    Respawns,
+    /// Transfers retransmitted after a payload checksum mismatch.
+    ChecksumRetransmits,
 }
 
 impl Counter {
     /// Number of counters; sizes [`CounterSet`].
-    pub const COUNT: usize = 24;
+    pub const COUNT: usize = 29;
 
     /// All counters, in index order. Drives reports and merging.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -222,6 +232,11 @@ impl Counter {
         Counter::FaultsInjected,
         Counter::Retries,
         Counter::Failovers,
+        Counter::QueueDepth,
+        Counter::Shed,
+        Counter::BreakerTrips,
+        Counter::Respawns,
+        Counter::ChecksumRetransmits,
     ];
 
     /// True for counters whose cross-track aggregate is a maximum, not a
@@ -233,6 +248,7 @@ impl Counter {
                 | Counter::EibSlotCapacity
                 | Counter::LsHighWater
                 | Counter::TotalCycles
+                | Counter::QueueDepth
         )
     }
 }

@@ -222,6 +222,7 @@ struct ExtractHeader {
     stride: usize,
     image_ea: u64,
     out_ea: u64,
+    sum_ea: u64,
 }
 
 fn read_extract_header(
@@ -232,6 +233,16 @@ fn read_extract_header(
     let hdr = wire.header_bytes();
     let la = env.ls.alloc(hdr, 16)?;
     env.dma_get_sync(la, addr as u64, hdr, 0)?;
+    // Verify the stub's request checksum before trusting any field: a
+    // mismatch is a retryable transfer fault, not a bad request.
+    let expected = env
+        .ls
+        .read_u32(la + wire.layout.offset(wire.in_sum) as u32)?;
+    cell_core::verify_checksum(
+        env.ls.slice(la, wire.in_sum_bytes())?,
+        expected,
+        "extract wrapper header",
+    )?;
     let width = env
         .ls
         .read_u32(la + wire.layout.offset(wire.width) as u32)? as usize;
@@ -255,17 +266,25 @@ fn read_extract_header(
         stride,
         image_ea: lo | (hi << 32),
         out_ea: addr as u64 + wire.layout.offset(wire.out) as u64,
+        sum_ea: addr as u64 + wire.layout.offset(wire.out_sum) as u64,
     })
 }
 
-/// Write `values` as f32s to `out_ea` (quadword-padded).
-fn write_feature(env: &mut SpeEnv, out_ea: u64, values: &[f32]) -> CellResult<()> {
+/// Write `values` as f32s to `out_ea` (quadword-padded), then stamp their
+/// checksum into the wrapper's `out_sum` field at `sum_ea` so the PPE can
+/// verify the result survived the DMA back.
+fn write_feature(env: &mut SpeEnv, out_ea: u64, sum_ea: u64, values: &[f32]) -> CellResult<()> {
     let bytes = cell_core::align_up(values.len() * 4, QUADWORD);
     let la = env.ls.alloc(bytes, 16)?;
     for (i, &v) in values.iter().enumerate() {
         env.ls.write_f32(la + (i * 4) as u32, v)?;
     }
-    env.dma_put_sync(la, out_ea, bytes, 1)
+    let sum = cell_core::checksum32(env.ls.slice(la, values.len() * 4)?);
+    env.dma_put_sync(la, out_ea, bytes, 1)?;
+    let sla = env.ls.alloc(16, 16)?;
+    env.ls.write(sla, &[0u8; 16])?;
+    env.ls.write_u32(sla, sum)?;
+    env.dma_put_sync(sla, sum_ea, 16, 1)
 }
 
 /// Rows per band so a fetched band (with halo) stays well under both the
@@ -309,7 +328,7 @@ fn ch_body(env: &mut SpeEnv, addr: u32, optimized: bool) -> CellResult<u32> {
         crate::features::normalize_l1(&unopt_counts)
     };
     env.spu.scalar_op(feature.len() as u64); // normalization divides
-    write_feature(env, h.out_ea, &feature)?;
+    write_feature(env, h.out_ea, h.sum_ea, &feature)?;
     env.ls.reset();
     Ok(SPU_OK)
 }
@@ -366,7 +385,7 @@ fn cc_body(env: &mut SpeEnv, addr: u32, optimized: bool) -> CellResult<u32> {
     }
     let feature = acc.finish();
     env.spu.scalar_op(feature.len() as u64);
-    write_feature(env, h.out_ea, &feature)?;
+    write_feature(env, h.out_ea, h.sum_ea, &feature)?;
     env.ls.reset();
     Ok(SPU_OK)
 }
@@ -410,7 +429,7 @@ fn eh_body(env: &mut SpeEnv, addr: u32, optimized: bool) -> CellResult<u32> {
     }
     let feature = acc.finish();
     env.spu.scalar_op(feature.len() as u64);
-    write_feature(env, h.out_ea, &feature)?;
+    write_feature(env, h.out_ea, h.sum_ea, &feature)?;
     env.ls.reset();
     Ok(SPU_OK)
 }
@@ -461,7 +480,7 @@ fn tx_body(env: &mut SpeEnv, addr: u32, optimized: bool) -> CellResult<u32> {
     }
     let feature = acc.finish();
     env.spu.scalar_op(feature.len() as u64);
-    write_feature(env, h.out_ea, &feature)?;
+    write_feature(env, h.out_ea, h.sum_ea, &feature)?;
     env.ls.reset();
     Ok(SPU_OK)
 }
@@ -481,6 +500,16 @@ fn cd_body(env: &mut SpeEnv, addr: u32) -> CellResult<u32> {
     let in_bytes = wire.in_bytes();
     let la = env.ls.alloc(in_bytes, 16)?;
     env.dma_get_sync(la, addr as u64, in_bytes, 0)?;
+    // Verify the stub's request checksum (header + feature) before
+    // scoring: a mismatch is a retryable transfer fault.
+    let expected = env
+        .ls
+        .read_u32(la + wire.layout.offset(wire.in_sum) as u32)?;
+    cell_core::verify_checksum(
+        env.ls.slice(la, wire.in_sum_bytes())?,
+        expected,
+        "detect wrapper input",
+    )?;
     let model_bytes = env
         .ls
         .read_u32(la + wire.layout.offset(wire.model_bytes) as u32)? as usize;
@@ -550,7 +579,8 @@ fn cd_body(env: &mut SpeEnv, addr: u32) -> CellResult<u32> {
     }
     // Write the score into the wrapper's out field.
     let out_ea = addr as u64 + wire.layout.offset(wire.out) as u64;
-    write_feature(env, out_ea, &[score])?;
+    let sum_ea = addr as u64 + wire.layout.offset(wire.out_sum) as u64;
+    write_feature(env, out_ea, sum_ea, &[score])?;
     env.ls.reset();
     Ok(SPU_OK)
 }
@@ -661,14 +691,19 @@ pub fn prepare_extract<'m>(
     w.set_u32(wire.height, height as u32)?;
     w.set_u32(wire.stride, crate::wire::image_stride(width) as u32)?;
     w.set_u64(wire.image_ea, image_ea)?;
+    w.set_u32(wire.in_sum, w.checksum_prefix(wire.in_sum_bytes())?)?;
     Ok((w, wire))
 }
 
-/// Read the finished feature out of an extraction wrapper.
+/// Read the finished feature out of an extraction wrapper, verifying the
+/// kernel's response checksum.
 pub fn collect_extract(
     wrapper: &portkit::wrapper::MsgWrapper<'_>,
     wire: &ExtractWire,
 ) -> CellResult<Vec<f32>> {
+    let bytes = wrapper.get_bytes(wire.out, wire.out_dim * 4)?;
+    let expected = wrapper.get_u32s(wire.out_sum, 1)?[0];
+    cell_core::verify_checksum(&bytes, expected, "extract feature")?;
     wrapper.get_f32s(wire.out, wire.out_dim)
 }
 
@@ -685,14 +720,19 @@ pub fn prepare_detect<'m>(
     w.set_u32(wire.model_bytes, model_bytes as u32)?;
     w.set_u64(wire.model_ea, model_ea)?;
     w.set_f32s(wire.feature, feature)?;
+    w.set_u32(wire.in_sum, w.checksum_prefix(wire.in_sum_bytes())?)?;
     Ok((w, wire))
 }
 
-/// Read the decision value out of a detection wrapper.
+/// Read the decision value out of a detection wrapper, verifying the
+/// kernel's response checksum.
 pub fn collect_detect(
     wrapper: &portkit::wrapper::MsgWrapper<'_>,
     wire: &DetectWire,
 ) -> CellResult<f32> {
+    let bytes = wrapper.get_bytes(wire.out, 4)?;
+    let expected = wrapper.get_u32s(wire.out_sum, 1)?[0];
+    cell_core::verify_checksum(&bytes, expected, "detect score")?;
     Ok(wrapper.get_f32s(wire.out, 1)?[0])
 }
 

@@ -13,7 +13,8 @@ use crate::classify::svm::SvmModel;
 use crate::image::ColorImage;
 
 /// Wrapper for the four feature-extraction kernels: image geometry, the
-/// effective address of the pixel data, and the output feature buffer.
+/// effective address of the pixel data, request/response checksums, and
+/// the output feature buffer.
 #[derive(Debug, Clone)]
 pub struct ExtractWire {
     pub layout: StructLayout,
@@ -21,7 +22,13 @@ pub struct ExtractWire {
     pub height: FieldId,
     pub stride: FieldId,
     pub image_ea: FieldId,
+    /// Checksum of every header byte before this field, stamped by the
+    /// PPE stub and verified by the kernel after its header DMA.
+    pub in_sum: FieldId,
     pub out: FieldId,
+    /// Checksum of the `out` feature bytes, stamped by the kernel and
+    /// verified by the PPE when it collects the result.
+    pub out_sum: FieldId,
     pub out_dim: usize,
 }
 
@@ -32,14 +39,18 @@ impl ExtractWire {
         let height = l.field_u32("height")?;
         let stride = l.field_u32("stride")?;
         let image_ea = l.field_addr("image_ea")?;
+        let in_sum = l.field_u32("in_sum")?;
         let out = l.field_buffer("out", out_dim * 4)?;
+        let out_sum = l.field_buffer("out_sum", 16)?;
         Ok(ExtractWire {
             layout: l,
             width,
             height,
             stride,
             image_ea,
+            in_sum,
             out,
+            out_sum,
             out_dim,
         })
     }
@@ -48,6 +59,11 @@ impl ExtractWire {
     /// what the kernel DMAs in first.
     pub fn header_bytes(&self) -> usize {
         align_up(self.layout.offset(self.out), QUADWORD)
+    }
+
+    /// Bytes the request checksum covers: everything before `in_sum`.
+    pub fn in_sum_bytes(&self) -> usize {
+        self.layout.offset(self.in_sum)
     }
 }
 
@@ -60,7 +76,13 @@ pub struct DetectWire {
     pub model_ea: FieldId,
     pub model_bytes: FieldId,
     pub feature: FieldId,
+    /// Checksum of every input byte before this field (header + feature),
+    /// stamped by the PPE stub and verified by the kernel.
+    pub in_sum: FieldId,
     pub out: FieldId,
+    /// Checksum of the decision value, stamped by the kernel and verified
+    /// by the PPE when it collects the score.
+    pub out_sum: FieldId,
     pub feature_dim: usize,
 }
 
@@ -71,21 +93,30 @@ impl DetectWire {
         let model_bytes = l.field_u32("model_bytes")?;
         let model_ea = l.field_addr("model_ea")?;
         let feature = l.field_buffer("feature", feature_dim * 4)?;
+        let in_sum = l.field_u32("in_sum")?;
         let out = l.field_buffer("out", 16)?;
+        let out_sum = l.field_buffer("out_sum", 16)?;
         Ok(DetectWire {
             layout: l,
             dim,
             model_ea,
             model_bytes,
             feature,
+            in_sum,
             out,
+            out_sum,
             feature_dim,
         })
     }
 
-    /// Bytes the kernel DMAs in: header + feature buffer.
+    /// Bytes the kernel DMAs in: header + feature buffer + checksum.
     pub fn in_bytes(&self) -> usize {
         align_up(self.layout.offset(self.out), QUADWORD)
+    }
+
+    /// Bytes the request checksum covers: everything before `in_sum`.
+    pub fn in_sum_bytes(&self) -> usize {
+        self.layout.offset(self.in_sum)
     }
 }
 
@@ -126,9 +157,15 @@ mod tests {
         assert_eq!(w.layout.offset(w.height), 4);
         assert_eq!(w.layout.offset(w.stride), 8);
         assert_eq!(w.layout.offset(w.image_ea), 16);
+        assert_eq!(w.layout.offset(w.in_sum), 24);
+        assert_eq!(w.in_sum_bytes(), 24);
         assert_eq!(w.header_bytes() % 16, 0);
+        // The request checksum rides inside the header DMA.
+        assert!(w.layout.offset(w.in_sum) + 4 <= w.header_bytes());
         assert!(w.layout.size() >= w.header_bytes() + 166 * 4);
         assert_eq!(w.layout.size() % 16, 0);
+        // The response checksum sits after the padded feature put.
+        assert!(w.layout.offset(w.out_sum) >= w.layout.offset(w.out) + align_up(166 * 4, QUADWORD));
     }
 
     #[test]
@@ -137,6 +174,11 @@ mod tests {
         assert_eq!(w.in_bytes() % 16, 0);
         assert!(w.in_bytes() >= 16 + 80 * 4);
         assert!(w.layout.size() > w.in_bytes());
+        // The request checksum covers the header + feature and rides
+        // inside the kernel's input DMA.
+        assert!(w.in_sum_bytes() >= 16 + 80 * 4);
+        assert!(w.layout.offset(w.in_sum) + 4 <= w.in_bytes());
+        assert!(w.layout.offset(w.out_sum) >= w.layout.offset(w.out) + 16);
     }
 
     #[test]

@@ -90,7 +90,15 @@ impl KernelDispatcher {
         let fn_name = *fn_name;
         let arg = env.read_in_mbox()?;
         let t0 = env.clock.now();
-        let result = f(env, arg)?;
+        // A checksum mismatch is a *retryable* data fault, not an SPE
+        // fault: the kernel saw a corrupted payload, but the SPE itself
+        // is healthy. Reply SPU_CORRUPT so the stub retransmits instead
+        // of tearing the SPE down.
+        let result = match f(env, arg) {
+            Ok(r) => r,
+            Err(CellError::ChecksumMismatch { .. }) => crate::opcodes::SPU_CORRUPT,
+            Err(e) => return Err(e),
+        };
         // Fold outstanding SIMD work into the clock so the kernel span
         // covers the invocation's full virtual duration.
         env.charge_compute();

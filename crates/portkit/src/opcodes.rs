@@ -21,6 +21,12 @@ pub const fn run_opcode(n: u32) -> u32 {
 /// result to report.
 pub const SPU_OK: u32 = 0;
 
+/// Status word a kernel replies when a stamped payload failed checksum
+/// verification on receive ("BAD C5" — bad checksum). The dispatcher
+/// reports this instead of faulting the SPE, so the stub can retransmit
+/// the request under its retry policy.
+pub const SPU_CORRUPT: u32 = 0xBADC5;
+
 #[cfg(test)]
 mod tests {
     use super::*;

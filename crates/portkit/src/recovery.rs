@@ -69,11 +69,16 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// The backoff charged before attempt `attempt` (1-based over
-    /// retries: the first retry is attempt 1).
+    /// retries: the first retry is attempt 1). Saturates at
+    /// `max_backoff` for any attempt count: `checked_shl` only rejects
+    /// shifts of 64 or more, so a large-but-legal shift (say attempt 50
+    /// on a 1000-cycle base) would silently wrap the high bits — the
+    /// doubling is done with saturating arithmetic instead.
     pub fn backoff(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1);
+        let factor = if shift >= 63 { u64::MAX } else { 1u64 << shift };
         self.base_backoff
-            .checked_shl(attempt.saturating_sub(1))
-            .unwrap_or(self.max_backoff)
+            .saturating_mul(factor)
             .min(self.max_backoff)
     }
 
@@ -220,6 +225,29 @@ mod tests {
         assert_eq!(p.backoff(60), p.max_backoff);
         assert_eq!(p.backoff(1_000_000), p.max_backoff);
         assert_eq!(RetryPolicy::no_retry(5).max_attempts, 1);
+    }
+
+    #[test]
+    fn backoff_never_wraps_at_high_attempt_counts() {
+        // Regression: `1000 << 61` wraps to 0 in plain shift arithmetic
+        // (checked_shl only rejects shifts >= 64), which made backoff(62)
+        // free. Every attempt past the doubling range must saturate.
+        let p = RetryPolicy::default();
+        for attempt in 1..=200 {
+            let b = p.backoff(attempt);
+            assert!(b >= 1, "attempt {attempt} got a zero backoff");
+            assert!(b <= p.max_backoff);
+            assert!(b >= p.backoff(attempt.saturating_sub(1)).min(p.max_backoff));
+        }
+        assert_eq!(p.backoff(62), p.max_backoff);
+        assert_eq!(p.backoff(u32::MAX), p.max_backoff);
+        // A pathological policy with a huge base still saturates.
+        let big = RetryPolicy {
+            base_backoff: u64::MAX / 2,
+            max_backoff: u64::MAX,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(big.backoff(3), u64::MAX);
     }
 
     #[test]

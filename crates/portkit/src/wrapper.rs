@@ -142,6 +142,24 @@ impl<'m> MsgWrapper<'m> {
             .collect())
     }
 
+    /// Checksum of the first `len` bytes of the wrapper block — exactly
+    /// the bytes a kernel's header DMA will see, padding included. Stubs
+    /// stamp this into a trailing checksum field so the kernel can verify
+    /// the request arrived intact end to end.
+    pub fn checksum_prefix(&self, len: usize) -> CellResult<u32> {
+        if len > self.layout.size() {
+            return Err(CellError::BadData {
+                message: format!(
+                    "checksum prefix of {len} bytes exceeds wrapper size {}",
+                    self.layout.size()
+                ),
+            });
+        }
+        let mut buf = vec![0u8; len];
+        self.mem.read(self.base, &mut buf)?;
+        Ok(cell_core::checksum32(&buf))
+    }
+
     fn check_size(&self, id: FieldId, need: usize) -> CellResult<()> {
         if self.layout.field_size(id) < need {
             return Err(CellError::BadData {
@@ -257,6 +275,22 @@ mod tests {
     fn empty_layout_rejected() {
         let m = mem();
         assert!(MsgWrapper::alloc(&m, StructLayout::new()).is_err());
+    }
+
+    #[test]
+    fn checksum_prefix_sees_field_writes() {
+        let m = mem();
+        let mut l = StructLayout::new();
+        let a = l.field_u32("a").unwrap();
+        let _b = l.field_u32("b").unwrap();
+        let wr = MsgWrapper::alloc(&m, l).unwrap();
+        let zeroed = wr.checksum_prefix(8).unwrap();
+        wr.set_u32(a, 7).unwrap();
+        let stamped = wr.checksum_prefix(8).unwrap();
+        assert_ne!(zeroed, stamped, "checksum must track field writes");
+        assert_eq!(stamped, wr.checksum_prefix(8).unwrap());
+        assert!(wr.checksum_prefix(usize::MAX).is_err());
+        wr.free().unwrap();
     }
 
     #[test]

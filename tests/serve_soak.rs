@@ -1,0 +1,493 @@
+//! Soak and chaos tests for the `cell-serve` supervised serving runtime:
+//! sustained request streams through the simulated machine while SPEs
+//! crash, DMA payloads corrupt and arrival bursts outrun the service
+//! rate. Everything is seeded and runs in virtual time, so every
+//! scenario — including the shed pattern under overload — is asserted
+//! to be exactly reproducible, and every *served* request must produce
+//! feature bytes identical to a fault-free run's.
+
+use cell_fault::FaultPlan;
+use cell_serve::server::{CellServer, Outcome, Request, Response, ServeConfig, ServeOutput};
+use cell_serve::workload::{generate, Burst, WorkloadSpec};
+use cell_serve::{BreakerState, ShedReason};
+use cell_trace::{Counter, TraceConfig, TraceReport};
+use marvel::features::KernelKind;
+
+fn serve(cfg: ServeConfig, plan: FaultPlan, requests: Vec<Request>) -> ServeOutput {
+    let mut server = CellServer::new(cfg, plan).unwrap();
+    server.run(requests).unwrap();
+    server.finish().unwrap()
+}
+
+/// A clean reference config for `seed`: effectively unbounded queue,
+/// degradation disabled, no faults — every request is served at full
+/// service. The seed must match the chaos run's, because it also seeds
+/// the detection models.
+fn reference_config(seed: u64) -> ServeConfig {
+    ServeConfig {
+        seed,
+        queue_capacity: 1_024,
+        degrade_high: 1_024,
+        degrade_critical: 1_024,
+        ..ServeConfig::default()
+    }
+}
+
+fn served(output: &ServeOutput) -> Vec<&Response> {
+    output
+        .report
+        .outcomes
+        .iter()
+        .filter_map(|o| match o {
+            Outcome::Served(r) => Some(r.as_ref()),
+            Outcome::Shed { .. } => None,
+        })
+        .collect()
+}
+
+fn response_by_id<'a>(responses: &'a [&Response], id: u64) -> &'a Response {
+    responses
+        .iter()
+        .find(|r| r.id == id)
+        .unwrap_or_else(|| panic!("request {id} missing from reference run"))
+}
+
+/// Every feature and score the (possibly degraded) response carries must
+/// be bit-identical to the full-service reference for the same request.
+fn assert_bit_identical(got: &Response, want: &Response, context: &str) {
+    for (kind, feature) in &got.features {
+        let reference = &want
+            .features
+            .iter()
+            .find(|(k, _)| k == kind)
+            .unwrap_or_else(|| panic!("{context}: {} missing in reference", kind.name()))
+            .1;
+        assert_eq!(feature.len(), reference.len(), "{context}: {}", kind.name());
+        for (i, (a, b)) in feature.iter().zip(reference).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{context}: {}[{i}] {a} vs {b}",
+                kind.name()
+            );
+        }
+    }
+    for (kind, score) in &got.scores {
+        let reference = want
+            .scores
+            .iter()
+            .find(|(k, _)| k == kind)
+            .unwrap_or_else(|| panic!("{context}: {} score missing", kind.name()))
+            .1;
+        assert_eq!(
+            score.to_bits(),
+            reference.to_bits(),
+            "{context}: {} score",
+            kind.name()
+        );
+    }
+}
+
+fn counter_sum(trace: &TraceReport, counter: Counter) -> u64 {
+    trace.tracks.iter().map(|t| t.counters.get(counter)).sum()
+}
+
+#[test]
+fn fault_free_soak_serves_everything_at_full_service() {
+    let spec = WorkloadSpec {
+        requests: 6,
+        ..WorkloadSpec::default()
+    };
+    let output = serve(
+        reference_config(7),
+        FaultPlan::new(),
+        generate(&spec).unwrap(),
+    );
+    assert_eq!(output.report.served, 6);
+    assert_eq!(output.report.shed_overload + output.report.shed_deadline, 0);
+    assert_eq!(output.report.respawns, 0);
+    assert_eq!(output.report.breaker_trips, 0);
+    assert_eq!(output.report.survivors, 8);
+    assert!(output.report.outcomes.iter().all(|o| match o {
+        Outcome::Served(r) => r.degradation == 0 && r.features.len() == 4,
+        Outcome::Shed { .. } => false,
+    }));
+    assert!(output.report.latency.percentile(0.5) > 0);
+    let json = output.report.summary_json();
+    assert!(json.contains("\"served\":6"), "{json}");
+    assert!(json.contains("latency_p99_cycles"), "{json}");
+}
+
+#[test]
+fn crashed_spe_is_respawned_and_schedule_returns_to_full_width() {
+    let spec = WorkloadSpec {
+        requests: 6,
+        seed: 11,
+        ..WorkloadSpec::default()
+    };
+    let requests = generate(&spec).unwrap();
+    let reference = serve(reference_config(11), FaultPlan::new(), requests.clone());
+    let want = served(&reference);
+
+    // SPE 1 (CCExtract's home) dies on its 5th dispatch (inbound read 9:
+    // request 4's opcode). The respawned occupant re-arms the same fault
+    // line, but its remaining life — probe + one dispatch — stays short
+    // of read 9, so the second life survives to the end.
+    let cfg = ServeConfig {
+        trace: TraceConfig::Full,
+        ..reference_config(11)
+    };
+    let mut server = CellServer::new(cfg, FaultPlan::new().crash_spe(1, 9)).unwrap();
+    server.run(requests).unwrap();
+    assert_eq!(server.respawns(), 1, "exactly one respawn");
+    assert_eq!(server.survivors(), 8, "the respawned SPE is back");
+    assert_eq!(
+        server.schedule(),
+        server.full_schedule(),
+        "recovery must restore the original full-width schedule byte-identically"
+    );
+    assert_eq!(server.breaker(1).state(), BreakerState::Closed);
+
+    let output = server.finish().unwrap();
+    assert_eq!(output.report.served, 6, "the crashed dispatch failed over");
+    for response in served(&output) {
+        assert_bit_identical(response, response_by_id(&want, response.id), "respawn run");
+    }
+    assert_eq!(counter_sum(&output.trace, Counter::Respawns), 1);
+    assert!(counter_sum(&output.trace, Counter::Failovers) >= 1);
+    // 9 reports: 8 final occupants + the retired first life of SPE 1.
+    assert_eq!(output.spe_reports.len(), 9);
+    assert_eq!(
+        output
+            .spe_reports
+            .iter()
+            .filter(|r| r.fault.is_some())
+            .count(),
+        1,
+        "only the retired first life carries the injected fault"
+    );
+}
+
+#[test]
+fn crash_looping_spe_trips_the_breaker_and_stays_retired() {
+    let spec = WorkloadSpec {
+        requests: 4,
+        seed: 13,
+        ..WorkloadSpec::default()
+    };
+    let requests = generate(&spec).unwrap();
+    let reference = serve(reference_config(13), FaultPlan::new(), requests.clone());
+    let want = served(&reference);
+
+    // SPE 1 dies on its *first* dispatch, every life: the respawn probe
+    // itself crashes the fresh occupant — a flaky blade. The breaker
+    // must trip (Closed→Open), the cooled-down probe must re-trip it
+    // (HalfOpen→Open), and no respawn ever completes.
+    let cfg = ServeConfig {
+        trace: TraceConfig::Full,
+        ..reference_config(13)
+    };
+    let mut server = CellServer::new(cfg, FaultPlan::new().crash_spe(1, 1)).unwrap();
+    server.run(requests).unwrap();
+    assert_eq!(server.respawns(), 0, "no probe ever succeeded");
+    assert_eq!(server.survivors(), 7);
+    assert!(!server.alive()[1]);
+    assert_eq!(server.breaker(1).state(), BreakerState::Open);
+    assert!(
+        server.breaker(1).trips() >= 2,
+        "first trip from consecutive failures, later ones from failed \
+         half-open probes; got {}",
+        server.breaker(1).trips()
+    );
+
+    let output = server.finish().unwrap();
+    assert_eq!(output.report.served, 4, "CC failed over to survivors");
+    for response in served(&output) {
+        assert_bit_identical(response, response_by_id(&want, response.id), "breaker run");
+    }
+    assert!(counter_sum(&output.trace, Counter::BreakerTrips) >= 2);
+}
+
+#[test]
+fn overload_burst_sheds_with_backpressure_and_degrades_survivors() {
+    // Ten requests arriving essentially at once behind a bounded queue
+    // of four: admission must shed the overflow with `Overloaded`, and
+    // the requests served from a deep queue must shed TX (level 1).
+    let spec = WorkloadSpec {
+        requests: 12,
+        seed: 17,
+        burst: Some(Burst {
+            start: 2,
+            len: 10,
+            gap: 2_000,
+        }),
+        ..WorkloadSpec::default()
+    };
+    let requests = generate(&spec).unwrap();
+    let reference = serve(reference_config(17), FaultPlan::new(), requests.clone());
+    let want = served(&reference);
+
+    let cfg = ServeConfig {
+        seed: 17,
+        queue_capacity: 4,
+        trace: TraceConfig::Full,
+        ..ServeConfig::default()
+    };
+    let output = serve(cfg, FaultPlan::new(), requests);
+    let report = &output.report;
+    assert!(
+        report.shed_overload >= 1,
+        "the burst must overflow the queue"
+    );
+    assert_eq!(
+        report.served + report.shed_overload + report.shed_deadline,
+        12,
+        "every request gets a terminal outcome"
+    );
+    assert_eq!(report.max_queue_depth, 4, "the queue filled to capacity");
+    assert!(
+        report.degraded_served >= 1,
+        "deep-queue service must degrade"
+    );
+    for response in served(&output) {
+        if response.degradation >= 1 {
+            assert!(
+                !response.features.iter().any(|(k, _)| *k == KernelKind::Tx),
+                "level {} service must shed TX",
+                response.degradation
+            );
+        }
+        assert_bit_identical(response, response_by_id(&want, response.id), "overload run");
+    }
+    assert!(counter_sum(&output.trace, Counter::Shed) >= 1);
+    assert_eq!(
+        counter_sum(&output.trace, Counter::QueueDepth),
+        4,
+        "QueueDepth merges as a high-water mark"
+    );
+}
+
+#[test]
+fn slow_service_expires_queued_deadlines_deterministically() {
+    // Deadlines far shorter than one service time: whoever queues behind
+    // the first request expires before an SPE frees up.
+    let spec = WorkloadSpec {
+        requests: 5,
+        seed: 19,
+        deadline: 50_000,
+        burst: Some(Burst {
+            start: 0,
+            len: 5,
+            gap: 1_000,
+        }),
+        ..WorkloadSpec::default()
+    };
+    let cfg = reference_config(19);
+    let output = serve(cfg, FaultPlan::new(), generate(&spec).unwrap());
+    assert!(output.report.shed_deadline >= 1, "queued deadlines expired");
+    assert!(output.report.served >= 1, "the head of the queue is served");
+    assert_eq!(
+        output.report.served + output.report.shed_deadline + output.report.shed_overload,
+        5
+    );
+    let deadline_sheds = output
+        .report
+        .outcomes
+        .iter()
+        .filter(|o| {
+            matches!(
+                o,
+                Outcome::Shed {
+                    reason: ShedReason::DeadlineExpired,
+                    ..
+                }
+            )
+        })
+        .count() as u64;
+    assert_eq!(deadline_sheds, output.report.shed_deadline);
+}
+
+#[test]
+fn corrupted_dma_is_retransmitted_by_the_mfc_without_changing_bytes() {
+    let spec = WorkloadSpec {
+        requests: 3,
+        seed: 23,
+        ..WorkloadSpec::default()
+    };
+    let requests = generate(&spec).unwrap();
+    let reference = serve(reference_config(23), FaultPlan::new(), requests.clone());
+    let want = served(&reference);
+
+    // SPE 0's first DMA — CH's header fetch for request 0 — is corrupted
+    // in flight. Integrity mode is on, so the MFC itself detects the
+    // mismatch and retransmits; the kernel never sees bad bytes.
+    let cfg = ServeConfig {
+        trace: TraceConfig::Full,
+        ..reference_config(23)
+    };
+    let output = serve(cfg, FaultPlan::new().corrupt_dma(0, 1), requests);
+    assert_eq!(output.report.served, 3);
+    assert_eq!(output.report.respawns, 0);
+    assert_eq!(output.report.survivors, 8);
+    assert_eq!(output.report.retransmits, 0, "caught below the PPE");
+    assert!(
+        counter_sum(&output.trace, Counter::ChecksumRetransmits) >= 1,
+        "the MFC must record its retransmit"
+    );
+    for response in served(&output) {
+        assert_bit_identical(response, response_by_id(&want, response.id), "mfc run");
+    }
+}
+
+#[test]
+fn without_mfc_integrity_the_kernel_detects_corruption_and_the_ppe_retransmits() {
+    let spec = WorkloadSpec {
+        requests: 3,
+        seed: 29,
+        ..WorkloadSpec::default()
+    };
+    let requests = generate(&spec).unwrap();
+    let reference = serve(reference_config(29), FaultPlan::new(), requests.clone());
+    let want = served(&reference);
+
+    // Same corruption, but with the MFC's integrity layer off the bad
+    // header reaches the kernel, whose wire-level `in_sum` check fails:
+    // the dispatcher replies SPU_CORRUPT and the server re-sends the
+    // request — the SPE itself stays alive the whole time.
+    let cfg = ServeConfig {
+        mfc_integrity: false,
+        trace: TraceConfig::Full,
+        ..reference_config(29)
+    };
+    let output = serve(cfg, FaultPlan::new().corrupt_dma(0, 1), requests);
+    assert_eq!(output.report.served, 3);
+    assert_eq!(output.report.survivors, 8, "corruption must not kill SPEs");
+    assert_eq!(output.report.respawns, 0);
+    assert!(
+        output.report.retransmits >= 1,
+        "the PPE must retransmit the corrupt request"
+    );
+    assert!(counter_sum(&output.trace, Counter::ChecksumRetransmits) >= 1);
+    for response in served(&output) {
+        assert_bit_identical(response, response_by_id(&want, response.id), "wire run");
+    }
+}
+
+/// The acceptance scenario: one seeded plan mixing an SPE crash, DMA
+/// corruption and an overload burst. The run must shed instead of
+/// deadlocking, retransmit the corrupted transfer, respawn the crashed
+/// SPE back to the full-width schedule, and serve every admitted request
+/// with feature bytes identical to the fault-free run.
+#[test]
+fn chaos_soak_crash_corruption_and_overload_together() {
+    let spec = WorkloadSpec {
+        requests: 12,
+        seed: 2007,
+        // Generous deadlines: overload is resolved by admission-time
+        // backpressure here, so the served count stays load-independent.
+        deadline: 100_000_000_000,
+        burst: Some(Burst {
+            start: 2,
+            len: 10,
+            gap: 2_000,
+        }),
+        ..WorkloadSpec::default()
+    };
+    let requests = generate(&spec).unwrap();
+    let reference = serve(reference_config(2007), FaultPlan::new(), requests.clone());
+    let want = served(&reference);
+
+    // Crash CC's SPE on its 9th dispatch (inbound read 17) — late enough
+    // that the respawned second life (probe + the remaining dispatches)
+    // never reaches the re-armed fault line — corrupt CH's first header
+    // fetch, and let the burst overflow the queue, all at once.
+    let plan = FaultPlan::new().crash_spe(1, 17).corrupt_dma(0, 1);
+    let cfg = ServeConfig {
+        seed: 2007,
+        trace: TraceConfig::Full,
+        ..ServeConfig::default()
+    };
+    let mut server = CellServer::new(cfg, plan).unwrap();
+    server.run(requests).unwrap();
+    assert_eq!(server.respawns(), 1, "the crashed SPE came back");
+    assert_eq!(
+        server.survivors(),
+        8,
+        "post-respawn the machine is back to full width"
+    );
+    assert_eq!(server.schedule(), server.full_schedule());
+
+    let output = server.finish().unwrap();
+    let report = &output.report;
+    assert_eq!(
+        report.shed_overload, 2,
+        "the burst overflows the queue by 2"
+    );
+    assert_eq!(report.served, 10, "everything admitted is served");
+    assert_eq!(report.shed_deadline, 0);
+    assert!(
+        counter_sum(&output.trace, Counter::ChecksumRetransmits) >= 1,
+        "the corrupted transfer was retransmitted"
+    );
+    assert_eq!(counter_sum(&output.trace, Counter::Respawns), 1);
+    for response in served(&output) {
+        assert_bit_identical(response, response_by_id(&want, response.id), "chaos soak");
+    }
+}
+
+/// The shed pattern, degradation levels and result bytes must repeat
+/// exactly for a fixed seed. (Virtual *cycle counts* are not asserted:
+/// mailbox polling charges depend on host thread interleaving, exactly
+/// as in `tests/chaos.rs` — determinism here means *what* happened, to
+/// *whom*, with *which bytes*.)
+#[test]
+fn soak_outcomes_are_deterministic_across_repeats_for_every_seed() {
+    for seed in [7, 41, 2007] {
+        let spec = WorkloadSpec {
+            requests: 10,
+            seed,
+            deadline: 100_000_000_000,
+            burst: Some(Burst {
+                start: 1,
+                len: 8,
+                gap: 2_000,
+            }),
+            ..WorkloadSpec::default()
+        };
+        let cfg = ServeConfig {
+            seed,
+            queue_capacity: 4,
+            ..ServeConfig::default()
+        };
+        let plan = FaultPlan::new().crash_spe(1, 9).corrupt_dma(0, 1);
+        let a = serve(cfg.clone(), plan.clone(), generate(&spec).unwrap());
+        let b = serve(cfg, plan, generate(&spec).unwrap());
+        assert!(
+            a.report.shed_overload >= 1,
+            "seed {seed}: the burst must overload the bounded queue"
+        );
+        assert_eq!(a.report.served, b.report.served, "seed {seed}");
+        assert_eq!(
+            a.report.shed_overload, b.report.shed_overload,
+            "seed {seed}"
+        );
+        assert_eq!(
+            a.report.shed_deadline, b.report.shed_deadline,
+            "seed {seed}"
+        );
+        assert_eq!(a.report.outcomes.len(), b.report.outcomes.len());
+        for (x, y) in a.report.outcomes.iter().zip(&b.report.outcomes) {
+            match (x, y) {
+                (Outcome::Served(r), Outcome::Served(s)) => {
+                    assert_eq!(r.id, s.id, "seed {seed}");
+                    assert_eq!(r.degradation, s.degradation, "seed {seed}");
+                    assert_bit_identical(r, s, &format!("seed {seed} repeat"));
+                }
+                (Outcome::Shed { id: i, reason: p }, Outcome::Shed { id: j, reason: q }) => {
+                    assert_eq!((i, p), (j, q), "seed {seed}");
+                }
+                _ => panic!("seed {seed}: outcome kinds diverged"),
+            }
+        }
+    }
+}
