@@ -1,0 +1,114 @@
+//! BENCH_05 — the engine performance trajectory.
+//!
+//! Quantifies the two dispatch optimizations the shared `cell-engine`
+//! runtime adds over the original frame-at-a-time drivers:
+//!
+//! * **pipelined vs send-and-wait** — a multi-frame MARVEL run through
+//!   the window-2 in-flight lanes vs the same frames dispatched one at a
+//!   time (submit-all / wait-all per frame);
+//! * **batched vs unbatched** — many tiny kernel calls packed into
+//!   `SPU_BATCH` frames (one mailbox round-trip per frame) vs one
+//!   round-trip per call.
+//!
+//! Both comparisons are on *simulated* cycles (fixed seeds, deterministic
+//! virtual clock), so the numbers are exactly reproducible; host time is
+//! benched separately below. Results are written to
+//! `target/bench/BENCH_05.json` for the CI artifact.
+
+use cell_bench::harness::{BenchmarkId, Criterion};
+use cell_bench::{
+    criterion_group, criterion_main, measure_engine_batching, measure_engine_pipelining,
+    small_workload, SEED,
+};
+use cell_core::{Frequency, VirtualDuration};
+
+const FRAMES: usize = 8;
+const MICRO_CALLS: usize = 64;
+
+fn cycles(d: VirtualDuration) -> u64 {
+    Frequency::ghz(3.2).cycles_in(d).0
+}
+
+fn write_bench_json(
+    serial: VirtualDuration,
+    pipelined: VirtualDuration,
+    unbatched: VirtualDuration,
+    batched: VirtualDuration,
+) -> std::io::Result<String> {
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"BENCH_05\",\"seed\":{seed},\"clock_ghz\":3.2,",
+            "\"pipeline\":{{\"frames\":{frames},\"window\":2,",
+            "\"send_and_wait_cycles\":{sc},\"pipelined_cycles\":{pc},",
+            "\"speedup\":{ps:.4}}},",
+            "\"batching\":{{\"calls\":{calls},\"max_batch\":{mb},",
+            "\"unbatched_cycles\":{uc},\"batched_cycles\":{bc},",
+            "\"speedup\":{bs:.4}}}}}"
+        ),
+        seed = SEED,
+        frames = FRAMES,
+        sc = cycles(serial),
+        pc = cycles(pipelined),
+        ps = serial.seconds() / pipelined.seconds(),
+        calls = MICRO_CALLS,
+        mb = portkit::opcodes::MAX_BATCH,
+        uc = cycles(unbatched),
+        bc = cycles(batched),
+        bs = unbatched.seconds() / batched.seconds(),
+    );
+    // Anchor on the crate dir so the artifact lands in the workspace
+    // `target/` whatever cwd cargo runs the bench from.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/bench");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_05.json");
+    std::fs::write(&path, &json)?;
+    Ok(path.display().to_string())
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let inputs = small_workload(FRAMES, 96, 64);
+
+    let (serial, pipelined) = measure_engine_pipelining(&inputs).unwrap();
+    println!("Engine pipelining ({FRAMES}-frame MARVEL run, fixed seed {SEED}):");
+    println!(
+        "  send-and-wait {} cyc, pipelined (window 2) {} cyc -> {:.2}x",
+        cycles(serial),
+        cycles(pipelined),
+        serial.seconds() / pipelined.seconds()
+    );
+    assert!(
+        pipelined.seconds() < serial.seconds(),
+        "pipelined dispatch must beat send-and-wait"
+    );
+
+    let (unbatched, batched) = measure_engine_batching(MICRO_CALLS).unwrap();
+    println!("Engine batching ({MICRO_CALLS} micro-calls, SPU_BATCH frames):");
+    println!(
+        "  unbatched {} cyc, batched {} cyc -> {:.2}x",
+        cycles(unbatched),
+        cycles(batched),
+        unbatched.seconds() / batched.seconds()
+    );
+    assert!(
+        batched.seconds() < unbatched.seconds(),
+        "batched dispatch must beat per-call round-trips"
+    );
+
+    let path = write_bench_json(serial, pipelined, unbatched, batched).unwrap();
+    println!("report: {path}\n");
+
+    // Host cost of the two dispatch strategies (simulation throughput).
+    let mut g = c.benchmark_group("engine_dispatch_host_cost");
+    g.sample_size(10);
+    let small = small_workload(2, 48, 32);
+    g.bench_with_input(BenchmarkId::new("pipelined", 2), &small, |b, inputs| {
+        b.iter(|| measure_engine_pipelining(inputs).unwrap());
+    });
+    g.bench_function("batched/64", |b| {
+        b.iter(|| measure_engine_batching(64).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

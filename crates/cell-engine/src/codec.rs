@@ -1,0 +1,153 @@
+//! Checksummed wire framing shared by every port.
+//!
+//! Paper §3.3 puts one "common data structure" per kernel on the wire;
+//! the robustness PRs added end-to-end checksums over those bytes. Both
+//! MARVEL's feature marshalling and cell-serve's integrity probes used
+//! to hand-roll the same three steps — serialize, checksum, verify —
+//! in parallel implementations. This module is the single codec path:
+//!
+//! * [`f32s_to_bytes`] / [`parse_f32s`] — the feature-vector payload
+//!   format (little-endian `f32`s, verified against a `checksum32`
+//!   stamped by the producer);
+//! * [`seal_block`] / [`open_block`] — a self-describing "sealed block":
+//!   payload bytes followed by their `checksum32`, padded to a DMA-legal
+//!   quadword multiple. cell-serve's 16-byte probe block is a sealed
+//!   block with a 12-byte payload.
+
+use cell_core::{align_up, checksum32, verify_checksum, CellError, CellResult, QUADWORD};
+
+/// Serialize a feature vector exactly as the wire carries it:
+/// little-endian `f32`s, no padding (padding is the layout's business).
+pub fn f32s_to_bytes(values: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Checksum of a feature vector's wire bytes — what the producing kernel
+/// stamps into the wrapper's `out_sum` field.
+pub fn f32s_checksum(values: &[f32]) -> u32 {
+    checksum32(&f32s_to_bytes(values))
+}
+
+/// Parse `dim` `f32`s out of wire bytes after verifying the producer's
+/// checksum. `what` names the payload in the mismatch error.
+pub fn parse_f32s(
+    bytes: &[u8],
+    dim: usize,
+    expected: u32,
+    what: &'static str,
+) -> CellResult<Vec<f32>> {
+    if bytes.len() < dim * 4 {
+        return Err(CellError::BadData {
+            message: format!("{what}: {} bytes cannot hold {dim} f32s", bytes.len()),
+        });
+    }
+    verify_checksum(&bytes[..dim * 4], expected, what)?;
+    Ok(bytes[..dim * 4]
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+/// Total size of a sealed block holding `payload_len` bytes: payload +
+/// 4-byte checksum, padded up to a quadword multiple (DMA-legal).
+pub fn sealed_len(payload_len: usize) -> usize {
+    align_up(payload_len + 4, QUADWORD)
+}
+
+/// Seal a payload: payload bytes, then `checksum32(payload)` in little
+/// endian at offset `payload.len()`, zero-padded to [`sealed_len`].
+pub fn seal_block(payload: &[u8]) -> Vec<u8> {
+    let mut block = vec![0u8; sealed_len(payload.len())];
+    block[..payload.len()].copy_from_slice(payload);
+    block[payload.len()..payload.len() + 4].copy_from_slice(&checksum32(payload).to_le_bytes());
+    block
+}
+
+/// Open a sealed block: verify the stamped checksum over the payload
+/// prefix and return the payload on success.
+pub fn open_block<'b>(
+    block: &'b [u8],
+    payload_len: usize,
+    what: &'static str,
+) -> CellResult<&'b [u8]> {
+    if block.len() < payload_len + 4 {
+        return Err(CellError::BadData {
+            message: format!(
+                "{what}: sealed block of {} bytes cannot hold a {payload_len}-byte payload",
+                block.len()
+            ),
+        });
+    }
+    let expected = u32::from_le_bytes([
+        block[payload_len],
+        block[payload_len + 1],
+        block[payload_len + 2],
+        block[payload_len + 3],
+    ]);
+    verify_checksum(&block[..payload_len], expected, what)?;
+    Ok(&block[..payload_len])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_roundtrip_verifies() {
+        let v = vec![1.5f32, -2.25, 0.0, 1e-9];
+        let bytes = f32s_to_bytes(&v);
+        let sum = f32s_checksum(&v);
+        assert_eq!(parse_f32s(&bytes, v.len(), sum, "t").unwrap(), v);
+    }
+
+    #[test]
+    fn corrupt_f32_payload_is_rejected() {
+        let v = vec![1.0f32, 2.0];
+        let mut bytes = f32s_to_bytes(&v);
+        let sum = f32s_checksum(&v);
+        bytes[3] ^= 0x40;
+        let err = parse_f32s(&bytes, v.len(), sum, "t").unwrap_err();
+        assert!(matches!(err, CellError::ChecksumMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn short_buffer_is_rejected_not_sliced() {
+        let v = vec![1.0f32, 2.0];
+        let bytes = f32s_to_bytes(&v);
+        assert!(parse_f32s(&bytes[..4], 2, 0, "t").is_err());
+    }
+
+    #[test]
+    fn sealed_block_roundtrip() {
+        let payload: Vec<u8> = (0u8..12).collect();
+        let block = seal_block(&payload);
+        assert_eq!(block.len(), 16, "12-byte payload seals into one quadword");
+        assert_eq!(
+            open_block(&block, payload.len(), "t").unwrap(),
+            &payload[..]
+        );
+    }
+
+    #[test]
+    fn sealed_block_detects_payload_and_checksum_corruption() {
+        let payload: Vec<u8> = (0u8..12).map(|b| b.wrapping_mul(37)).collect();
+        let mut block = seal_block(&payload);
+        block[5] ^= 1;
+        assert!(open_block(&block, 12, "t").is_err());
+        let mut block = seal_block(&payload);
+        block[13] ^= 1; // checksum byte
+        assert!(open_block(&block, 12, "t").is_err());
+    }
+
+    #[test]
+    fn sealed_len_is_quadword_aligned() {
+        for n in [0usize, 1, 11, 12, 13, 27, 60] {
+            assert_eq!(sealed_len(n) % QUADWORD, 0);
+            assert!(sealed_len(n) >= n + 4);
+        }
+    }
+}

@@ -85,7 +85,15 @@ pub fn model_marvel(app: &CellMarvel, image_w: usize, image_h: usize) -> CellRes
         if let Some(op) = ops.detect {
             opcodes.push(("concept_detect".to_string(), op));
         }
-        scripts.push(PortModel::roundtrip_script(kernels.len(), ops.extract));
+        // The engine keeps `window` extractions in flight per lane; model
+        // a two-frame pipelined conversation so the protocol pass sees
+        // the send-ahead shape the pump actually issues.
+        scripts.push(PortModel::engine_script(
+            kernels.len(),
+            ops.extract,
+            2,
+            app.engine_window(),
+        ));
         kernels.push(KernelModel {
             name: kind.name().to_string(),
             spe,
@@ -98,7 +106,12 @@ pub fn model_marvel(app: &CellMarvel, image_w: usize, image_h: usize) -> CellRes
 
     let (cd_spe, cd_opcode) = app.cd_binding();
     let wire = DetectWire::new(feature_dim(KernelKind::Ch))?;
-    scripts.push(PortModel::roundtrip_script(kernels.len(), cd_opcode));
+    scripts.push(PortModel::engine_script(
+        kernels.len(),
+        cd_opcode,
+        2,
+        app.engine_window(),
+    ));
     kernels.push(KernelModel {
         name: KernelKind::Cd.name().to_string(),
         spe: cd_spe,
@@ -156,7 +169,12 @@ pub fn model_resilient(
         opcodes.push(("concept_detect".to_string(), ops.detect));
         // The widest extraction wire bounds the LS cost.
         let wire = ExtractWire::new(feature_dim(KernelKind::Ch))?;
-        scripts.push(PortModel::roundtrip_script(spe, ops.opcode(KernelKind::Ch)));
+        scripts.push(PortModel::engine_script(
+            spe,
+            ops.opcode(KernelKind::Ch),
+            2,
+            app.engine_window(),
+        ));
         kernels.push(KernelModel {
             name: format!("universal@spe{spe}"),
             spe,
@@ -200,7 +218,12 @@ pub fn model_serve(server: &CellServer, image_w: usize, image_h: usize) -> CellR
         let mut plans = extract_plans(&wire, image_w, image_h);
         // The watchdog/respawn probe block: one 16-byte checksummed get.
         plans.push(DmaPlan::Single { bytes: 16 });
-        scripts.push(PortModel::roundtrip_script(spe, ops.opcode(KernelKind::Ch)));
+        scripts.push(PortModel::engine_script(
+            spe,
+            ops.opcode(KernelKind::Ch),
+            2,
+            server.engine_window(),
+        ));
         kernels.push(KernelModel {
             name: format!("serve@spe{spe}"),
             spe,
@@ -284,7 +307,12 @@ pub fn model_stencil(app: &StencilApp, width: usize, height: usize) -> CellResul
         code_bytes: cfg.code_reserved,
         plans,
     };
-    let scripts = vec![PortModel::roundtrip_script(0, app.opcode())];
+    let scripts = vec![PortModel::engine_script(
+        0,
+        app.opcode(),
+        1,
+        app.engine_window(),
+    )];
     Ok(PortModel {
         name: "stencil".to_string(),
         num_spes: cfg.num_spes,
@@ -346,9 +374,10 @@ pub fn model_image_filter() -> CellResult<PortModel> {
             },
         ],
     };
+    // The example drives a single-lane engine: one round trip per filter.
     let scripts = vec![
-        PortModel::roundtrip_script(0, run_opcode(0)),
-        PortModel::roundtrip_script(0, run_opcode(1)),
+        PortModel::engine_script(0, run_opcode(0), 1, 1),
+        PortModel::engine_script(0, run_opcode(1), 1, 1),
     ];
     Ok(PortModel {
         name: "image-filter".to_string(),

@@ -108,6 +108,7 @@ mod tests {
         // Unknown opcode, double send, read with nothing pending, no exit.
         m.scripts = vec![DispatchScript {
             kernel: 0,
+            window: 1,
             ops: vec![
                 ScriptOp::Send { opcode: 999 },
                 ScriptOp::Send { opcode: op },
@@ -121,6 +122,40 @@ mod tests {
         assert!(report.has("mailbox-double-send"));
         assert!(report.has("mailbox-read-no-pending"));
         assert!(report.has("dispatch-missing-exit"));
+    }
+
+    #[test]
+    fn pipelined_engine_script_within_window_is_clean() {
+        let mut m = tiny_model();
+        let op = portkit::opcodes::run_opcode(0);
+        // Window 2, four frames: the pump sends two ahead, then
+        // alternates reply/send, then drains. Legal — no double-send.
+        m.scripts = vec![PortModel::engine_script(0, op, 4, 2)];
+        let report = analyze(&m, &LintConfig::new());
+        assert_eq!(report.error_count(), 0, "{}", report.render());
+        assert!(!report.has("mailbox-double-send"), "{}", report.render());
+        assert!(!report.has("window-exceeds-mailbox"));
+
+        // The same send-ahead conversation declared as window 1 is the
+        // classic double-send hazard.
+        let mut serial = tiny_model();
+        let mut script = PortModel::engine_script(0, op, 4, 2);
+        script.window = 1;
+        serial.scripts = vec![script];
+        let report = analyze(&serial, &LintConfig::new());
+        assert!(report.has("mailbox-double-send"), "{}", report.render());
+    }
+
+    #[test]
+    fn window_past_mailbox_capacity_warns() {
+        let mut m = tiny_model();
+        let op = portkit::opcodes::run_opcode(0);
+        // Three in-flight dispatches need six mailbox words; the inbound
+        // box holds four. The declared window cannot be sustained.
+        m.scripts = vec![PortModel::engine_script(0, op, 6, 3)];
+        let report = analyze(&m, &LintConfig::new());
+        assert!(report.has("window-exceeds-mailbox"), "{}", report.render());
+        assert_eq!(report.error_count(), 0);
     }
 
     #[test]
@@ -142,6 +177,7 @@ mod tests {
         let op = portkit::opcodes::run_opcode(0);
         m.scripts = vec![DispatchScript {
             kernel: 0,
+            window: 1,
             ops: vec![
                 ScriptOp::Send { opcode: op },
                 ScriptOp::WaitReply,
@@ -166,6 +202,7 @@ mod tests {
         // no dispatcher loop left to exit.
         m.scripts = vec![DispatchScript {
             kernel: 0,
+            window: 1,
             ops: vec![ScriptOp::Send { opcode: op }, ScriptOp::Retire],
         }];
         let report = analyze(&m, &LintConfig::new());

@@ -116,6 +116,11 @@ pub enum ScriptOp {
 pub struct DispatchScript {
     /// Index into [`PortModel::kernels`] of the dispatcher addressed.
     pub kernel: usize,
+    /// The declared in-flight window: how many dispatches the driver is
+    /// allowed to have outstanding before it must wait for a reply. The
+    /// classic blocking stubs declare 1; a pipelined engine lane declares
+    /// its configured window.
+    pub window: usize,
     pub ops: Vec<ScriptOp>,
 }
 
@@ -125,11 +130,42 @@ impl PortModel {
     pub fn roundtrip_script(kernel: usize, op: u32) -> DispatchScript {
         DispatchScript {
             kernel,
+            window: 1,
             ops: vec![
                 ScriptOp::Send { opcode: op },
                 ScriptOp::WaitReply,
                 ScriptOp::Close,
             ],
+        }
+    }
+
+    /// The pipelined engine conversation with kernel `k`'s dispatcher:
+    /// `frames` dispatches pushed through a `window`-deep in-flight lane.
+    /// The engine's pump keeps up to `window` requests outstanding —
+    /// sends run ahead of replies until the window fills, then each reply
+    /// frees a slot for the next send, and the tail drains before the
+    /// lane closes. This is the word sequence `cell_engine::Engine`
+    /// issues per SPE.
+    pub fn engine_script(kernel: usize, op: u32, frames: usize, window: usize) -> DispatchScript {
+        let window = window.max(1);
+        let mut ops = Vec::new();
+        let mut sent = 0usize;
+        let mut pending = 0usize;
+        while sent < frames || pending > 0 {
+            if sent < frames && pending < window {
+                ops.push(ScriptOp::Send { opcode: op });
+                sent += 1;
+                pending += 1;
+            } else {
+                ops.push(ScriptOp::WaitReply);
+                pending -= 1;
+            }
+        }
+        ops.push(ScriptOp::Close);
+        DispatchScript {
+            kernel,
+            window,
+            ops,
         }
     }
 
@@ -141,6 +177,7 @@ impl PortModel {
     pub fn respawn_script(kernel: usize, op: u32, probe_op: u32) -> DispatchScript {
         DispatchScript {
             kernel,
+            window: 1,
             ops: vec![
                 ScriptOp::Send { opcode: op },
                 ScriptOp::WaitReply,

@@ -427,6 +427,26 @@ fn protocol_pass(
         .get(script.kernel)
         .map_or(&[], |k| k.opcodes.as_slice());
 
+    // Each dispatch occupies two inbound-mailbox words (opcode + arg),
+    // so the 4-deep inbound box sustains at most two in-flight requests.
+    const INBOUND_MAILBOX_DEPTH: usize = 4;
+    const WORDS_PER_DISPATCH: usize = 2;
+    let window = script.window.max(1);
+    if window * WORDS_PER_DISPATCH > INBOUND_MAILBOX_DEPTH {
+        emit(Finding::new(
+            Severity::Warning,
+            "window-exceeds-mailbox",
+            subject.clone(),
+            format!(
+                "declared in-flight window {window} needs {} mailbox words but the inbound \
+                 mailbox is {INBOUND_MAILBOX_DEPTH}-deep; sends beyond depth {} stall the PPE \
+                 (or fail outright under try-write dispatch)",
+                window * WORDS_PER_DISPATCH,
+                INBOUND_MAILBOX_DEPTH / WORDS_PER_DISPATCH,
+            ),
+        ));
+    }
+
     let mut pending = 0usize;
     let mut closed = false;
     // Retired slots need a code re-upload before they are dispatchable
@@ -468,14 +488,15 @@ fn protocol_pass(
                         ),
                     ));
                 }
-                if pending > 0 {
+                if pending >= window {
                     emit(Finding::new(
                         Severity::Warning,
                         "mailbox-double-send",
                         subject.clone(),
                         format!(
-                            "second dispatch sent with {pending} reply(ies) still pending; \
-                             the 4-deep mailbox can deadlock under depth"
+                            "dispatch sent with {pending} reply(ies) still pending, past the \
+                             declared in-flight window of {window}; the 4-deep mailbox can \
+                             deadlock under depth"
                         ),
                     ));
                 }

@@ -30,6 +30,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use cell_core::{CellError, CellResult, MachineConfig, VirtualDuration};
+use cell_engine::{codec, Engine, EngineObserver, FailoverMode, RecoveryEvent};
 use cell_fault::FaultPlan;
 use cell_sys::machine::{CellMachine, SpeHandle, SpeReport};
 use cell_sys::ppe::Ppe;
@@ -45,7 +46,7 @@ use marvel::kernels::{
 use marvel::resilient::CD_KERNEL;
 use marvel::wire::{upload_image, upload_model};
 use portkit::dispatcher::KernelDispatcher;
-use portkit::interface::{ReplyMode, SpeInterface};
+use portkit::interface::ReplyMode;
 use portkit::opcodes::{SPU_CORRUPT, SPU_OK};
 use portkit::recovery::RetryPolicy;
 use portkit::schedule::{KernelId, Schedule};
@@ -202,14 +203,13 @@ pub struct ServeOutput {
 const PROBE_PAYLOAD: usize = 12;
 const PROBE_BYTES: usize = 16;
 
-/// SPE-side integrity probe: DMA a 16-byte block, verify its stamped
-/// checksum, reply `SPU_OK`. A corrupt transfer surfaces as
+/// SPE-side integrity probe: DMA a 16-byte sealed block, verify its
+/// stamped checksum, reply `SPU_OK`. A corrupt transfer surfaces as
 /// `ChecksumMismatch`, which the dispatcher converts to [`SPU_CORRUPT`].
 fn probe_body(env: &mut SpeEnv, addr: u32) -> CellResult<u32> {
     let la = env.ls.alloc(PROBE_BYTES, 16)?;
     env.dma_get_sync(la, addr as u64, PROBE_BYTES, 0)?;
-    let expected = env.ls.read_u32(la + PROBE_PAYLOAD as u32)?;
-    cell_core::verify_checksum(env.ls.slice(la, PROBE_PAYLOAD)?, expected, "probe block")?;
+    codec::open_block(env.ls.slice(la, PROBE_BYTES)?, PROBE_PAYLOAD, "probe block")?;
     env.ls.reset();
     Ok(SPU_OK)
 }
@@ -223,21 +223,45 @@ pub fn serve_dispatcher(optimized: bool) -> (KernelDispatcher, UniversalOpcodes,
     (d, ops, probe_op)
 }
 
+/// Bridges engine lane outcomes into the server's supervision state:
+/// a completed dispatch feeds the SPE's heartbeat and closes its
+/// breaker, a lane failover feeds the breaker. Breaker trips are
+/// buffered (the tracer is busy inside the engine call) and flushed to
+/// `breaker_open` spans by [`CellServer::supervised`].
+struct Supervision<'a> {
+    heartbeats: &'a mut [u64],
+    breakers: &'a mut [CircuitBreaker],
+    /// `(at, spe, consecutive_failures)` per breaker trip.
+    trips: Vec<(u64, usize, u32)>,
+}
+
+impl EngineObserver for Supervision<'_> {
+    fn on_success(&mut self, spe: usize, _kernel: &'static str, at: u64) {
+        self.heartbeats[spe] = at;
+        self.breakers[spe].record_success();
+    }
+
+    fn on_failure(&mut self, spe: usize, _kernel: &'static str, at: u64) {
+        if self.breakers[spe].record_failure(at) {
+            self.trips
+                .push((at, spe, self.breakers[spe].consecutive_failures()));
+        }
+    }
+}
+
 /// The supervised serving runtime over one simulated Cell machine.
 pub struct CellServer {
     ppe: Ppe,
     machine: CellMachine,
     handles: Vec<Option<SpeHandle>>,
     retired_reports: Vec<SpeReport>,
-    stubs: Vec<SpeInterface>,
+    /// The shared offload executor: lanes, windows, retry/failover and
+    /// schedule replanning all live here; the server keeps only the
+    /// supervision state the engine observes into (breakers, heartbeats).
+    engine: Engine,
     opcodes: UniversalOpcodes,
     probe_op: u32,
     probe_word: u32,
-    policy: RetryPolicy,
-    /// The pristine full-width schedule; respawn restores from this.
-    full_schedule: Schedule,
-    schedule: Schedule,
-    alive: Vec<bool>,
     breakers: Vec<CircuitBreaker>,
     heartbeats: Vec<u64>,
     queue: AdmissionQueue,
@@ -273,30 +297,24 @@ impl CellServer {
             model_eas.push((kind, ea, bytes));
         }
 
-        // The probe block: a seeded 12-byte payload with its checksum
-        // stamped behind it. Every watchdog/respawn probe DMAs this.
+        // The probe block: a seeded 12-byte payload sealed with its
+        // checksum. Every watchdog/respawn probe DMAs this.
         let probe_ea = mem.alloc(PROBE_BYTES, 128)?;
         let payload: Vec<u8> = (0..PROBE_PAYLOAD)
             .map(|i| (cfg.seed >> ((i % 8) * 8)) as u8 ^ i as u8)
             .collect();
-        mem.write(probe_ea, &payload)?;
-        mem.write_u32(
-            probe_ea + PROBE_PAYLOAD as u64,
-            cell_core::checksum32(&payload),
-        )?;
+        mem.write(probe_ea, &codec::seal_block(&payload))?;
         let probe_word = u32::try_from(probe_ea).map_err(|_| CellError::BadData {
             message: "probe block above the mailbox address space".to_string(),
         })?;
 
         let num_spes = machine.config().num_spes;
         let mut handles = Vec::new();
-        let mut stubs = Vec::new();
         let mut opcodes = None;
         let mut probe_op = 0;
         for spe in 0..num_spes {
             let (d, ops, probe) = serve_dispatcher(cfg.optimized);
             handles.push(Some(machine.spawn(spe, Box::new(d))?));
-            stubs.push(SpeInterface::new("serve", spe, ReplyMode::Polling));
             opcodes = Some(ops);
             probe_op = probe;
         }
@@ -305,20 +323,20 @@ impl CellServer {
             available: 0,
         })?;
         let full_schedule = Schedule::grouped(vec![vec![0, 1, 2, 3], vec![CD_KERNEL]], num_spes)?;
+        let engine = Engine::new(num_spes)
+            .with_schedule(full_schedule)
+            .with_mode(FailoverMode::Replan)
+            .with_policy(cfg.policy);
 
         Ok(CellServer {
             ppe,
             machine,
             handles,
             retired_reports: Vec::new(),
-            stubs,
+            engine,
             opcodes,
             probe_op,
             probe_word,
-            policy: cfg.policy,
-            schedule: full_schedule.clone(),
-            full_schedule,
-            alive: vec![true; num_spes],
             breakers: vec![
                 CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown);
                 num_spes
@@ -344,19 +362,30 @@ impl CellServer {
     // ---------------------------------------------------------------
 
     pub fn alive(&self) -> &[bool] {
-        &self.alive
+        self.engine.alive()
     }
 
     pub fn survivors(&self) -> usize {
-        self.alive.iter().filter(|&&a| a).count()
+        self.engine.alive().iter().filter(|&&a| a).count()
     }
 
     pub fn schedule(&self) -> &Schedule {
-        &self.schedule
+        self.engine
+            .schedule()
+            .expect("engine built with a schedule")
     }
 
     pub fn full_schedule(&self) -> &Schedule {
-        &self.full_schedule
+        self.engine
+            .full_schedule()
+            .expect("engine built with a schedule")
+    }
+
+    /// The engine's recovery decision stream (retries and failovers, in
+    /// order). The divergence regression tests compare this against the
+    /// resilient driver's stream for the same seed and fault plan.
+    pub fn recovery_log(&self) -> &[RecoveryEvent] {
+        self.engine.recovery_log()
     }
 
     pub fn breaker(&self, spe: usize) -> &CircuitBreaker {
@@ -382,6 +411,12 @@ impl CellServer {
     /// Opcode of the `integrity_probe` kernel on every serve dispatcher.
     pub fn probe_opcode(&self) -> u32 {
         self.probe_op
+    }
+
+    /// The engine's in-flight window per lane (1: supervised dispatch
+    /// keeps lanes serial so breaker decisions stay attributable).
+    pub fn engine_window(&self) -> usize {
+        self.engine.window()
     }
 
     pub fn elapsed(&self) -> VirtualDuration {
@@ -467,8 +502,8 @@ impl CellServer {
     /// respawn dead ones whose breaker cooled down.
     pub fn supervise(&mut self) -> CellResult<()> {
         let now = self.ppe.clock.now();
-        for spe in 0..self.stubs.len() {
-            if self.alive[spe]
+        for spe in 0..self.engine.num_spes() {
+            if self.engine.alive()[spe]
                 && now.saturating_sub(self.heartbeats[spe]) > self.cfg.heartbeat_timeout
             {
                 if self.probe_spe(spe)? {
@@ -486,8 +521,8 @@ impl CellServer {
                 self.mark_failed(spe)?;
             }
         }
-        for spe in 0..self.stubs.len() {
-            if !self.alive[spe] && self.breakers[spe].ready(self.ppe.clock.now()) {
+        for spe in 0..self.engine.num_spes() {
+            if !self.engine.alive()[spe] && self.breakers[spe].ready(self.ppe.clock.now()) {
                 self.try_respawn(spe)?;
             }
         }
@@ -498,14 +533,15 @@ impl CellServer {
     /// checksum verification, mailbox reply. `Ok(false)` on any failure
     /// that indicts the SPE (closed mailbox, fault, timeout, corruption).
     fn probe_spe(&mut self, spe: usize) -> CellResult<bool> {
-        self.drain_stale(spe)?;
-        match self.stubs[spe].send(&mut self.ppe, self.probe_op, self.probe_word) {
-            Ok(()) => {}
-            Err(CellError::MailboxClosed) => return Ok(false),
-            Err(e) => return Err(e),
-        }
         let policy = RetryPolicy::no_retry(self.cfg.probe_timeout);
-        match self.stubs[spe].wait_for(&mut self.ppe, &policy) {
+        match self.engine.probe(
+            &mut self.ppe,
+            spe,
+            "integrity_probe",
+            self.probe_op,
+            self.probe_word,
+            &policy,
+        ) {
             Ok(status) if status == SPU_OK => {
                 self.heartbeats[spe] = self.ppe.clock.now();
                 self.breakers[spe].record_success();
@@ -519,8 +555,9 @@ impl CellServer {
         }
     }
 
-    /// Record an SPE failure: breaker bookkeeping, mark dead, re-plan
-    /// over the survivors.
+    /// Record an SPE failure detected outside the dispatch path (the
+    /// watchdog): breaker bookkeeping, then hand the engine the failover
+    /// (mark dead, re-plan over the survivors).
     fn mark_failed(&mut self, spe: usize) -> CellResult<()> {
         let now = self.ppe.clock.now();
         if self.breakers[spe].record_failure(now) {
@@ -534,13 +571,8 @@ impl CellServer {
             );
             self.ppe.tracer_mut().count(Counter::BreakerTrips, 1);
         }
-        if self.alive[spe] {
-            self.alive[spe] = false;
-            self.ppe
-                .tracer_mut()
-                .span(EventKind::Recovery, "failover", now, 0, spe as u64, 0);
-            self.ppe.tracer_mut().count(Counter::Failovers, 1);
-            self.schedule = self.schedule.replan(&self.alive)?;
+        if self.engine.alive()[spe] {
+            self.engine.fail_over(&mut self.ppe, spe)?;
         }
         Ok(())
     }
@@ -563,12 +595,11 @@ impl CellServer {
         self.handles[spe] = Some(self.machine.respawn(spe, Box::new(d))?);
         if self.probe_spe(spe)? {
             let now = self.ppe.clock.now();
-            self.alive[spe] = true;
             self.heartbeats[spe] = now;
             // Restore from the original, not the degraded schedule:
             // replan over all-alive is idempotent, so a full recovery is
             // byte-identical to the schedule the server started with.
-            self.schedule = self.full_schedule.replan(&self.alive)?;
+            self.engine.revive(spe)?;
             self.respawns += 1;
             self.ppe
                 .tracer_mut()
@@ -592,8 +623,8 @@ impl CellServer {
     }
 
     // ---------------------------------------------------------------
-    // Resilient kernel round trips (the marvel::resilient machinery,
-    // with breaker accounting and corrupt-reply retransmission)
+    // Kernel round trips through the shared engine (with breaker
+    // accounting and corrupt-reply retransmission layered on top)
     // ---------------------------------------------------------------
 
     fn model_ea(&self, kind: KernelKind) -> (u64, usize) {
@@ -605,89 +636,61 @@ impl CellServer {
         (*ea, *bytes)
     }
 
-    fn drain_stale(&mut self, spe: usize) -> CellResult<()> {
-        loop {
-            match self.ppe.stat_out_mbox(spe) {
-                Ok(0) => return Ok(()),
-                Ok(_) => {
-                    let _ = self.ppe.try_read_out_mbox(spe)?;
-                }
-                Err(CellError::MailboxClosed) => return Ok(()),
-                Err(e) => return Err(e),
-            }
+    /// Run one engine operation under the supervision observer, then
+    /// flush any breaker trips it buffered into `breaker_open` spans.
+    fn supervised<T>(
+        &mut self,
+        f: impl FnOnce(&mut Engine, &mut Ppe, &mut dyn EngineObserver) -> CellResult<T>,
+    ) -> CellResult<T> {
+        let mut obs = Supervision {
+            heartbeats: &mut self.heartbeats,
+            breakers: &mut self.breakers,
+            trips: Vec::new(),
+        };
+        let result = f(&mut self.engine, &mut self.ppe, &mut obs);
+        let trips = obs.trips;
+        for (at, spe, consecutive) in trips {
+            self.ppe.tracer_mut().span(
+                EventKind::Recovery,
+                "breaker_open",
+                at,
+                0,
+                spe as u64,
+                u64::from(consecutive),
+            );
+            self.ppe.tracer_mut().count(Counter::BreakerTrips, 1);
         }
+        result
     }
 
-    fn send_kernel(&mut self, k: KernelId, op: u32, arg: u32) -> CellResult<usize> {
-        loop {
-            let spe = self.schedule.spe_of(k);
-            self.drain_stale(spe)?;
-            match self.stubs[spe].send(&mut self.ppe, op, arg) {
-                Ok(()) => return Ok(spe),
-                Err(CellError::MailboxClosed) => self.mark_failed(spe)?,
-                Err(e) => return Err(e),
-            }
-        }
-    }
-
-    fn call_kernel(&mut self, k: KernelId, op: u32, arg: u32) -> CellResult<u32> {
-        let policy = self.policy;
-        loop {
-            let spe = self.schedule.spe_of(k);
-            match self.stubs[spe].send_and_wait_resilient(&mut self.ppe, &policy, op, arg) {
-                Ok(v) => {
-                    self.heartbeats[spe] = self.ppe.clock.now();
-                    self.breakers[spe].record_success();
-                    return Ok(v);
-                }
-                Err(CellError::SpeFault { .. } | CellError::Timeout { .. }) => {
-                    self.mark_failed(spe)?;
-                }
-                Err(e) => return Err(e),
-            }
-        }
-    }
-
-    fn finish_kernel(
+    fn submit_kernel(
         &mut self,
         k: KernelId,
-        sent_spe: usize,
+        label: &'static str,
+        op: u32,
+        arg: u32,
+    ) -> CellResult<cell_engine::Ticket> {
+        self.supervised(|eng, ppe, obs| eng.submit_with(ppe, k, label, op, arg, obs))
+    }
+
+    fn complete_kernel(&mut self, ticket: cell_engine::Ticket) -> CellResult<u32> {
+        self.supervised(|eng, ppe, obs| eng.complete_with(ppe, ticket, obs))
+    }
+
+    fn call_kernel(
+        &mut self,
+        k: KernelId,
+        label: &'static str,
         op: u32,
         arg: u32,
     ) -> CellResult<u32> {
-        let policy = self.policy;
-        match self.stubs[sent_spe].wait_for(&mut self.ppe, &policy) {
-            Ok(v) => {
-                self.heartbeats[sent_spe] = self.ppe.clock.now();
-                self.breakers[sent_spe].record_success();
-                Ok(v)
-            }
-            Err(CellError::SpeFault { .. }) => {
-                self.mark_failed(sent_spe)?;
-                self.call_kernel(k, op, arg)
-            }
-            Err(CellError::Timeout { .. }) => {
-                let now = self.ppe.clock.now();
-                let backoff = policy.backoff(1);
-                self.ppe.tracer_mut().span(
-                    EventKind::Recovery,
-                    "retry",
-                    now,
-                    backoff,
-                    sent_spe as u64,
-                    1,
-                );
-                self.ppe.tracer_mut().count(Counter::Retries, 1);
-                self.ppe.charge_cycles(backoff);
-                self.call_kernel(k, op, arg)
-            }
-            Err(e) => Err(e),
-        }
+        let ticket = self.submit_kernel(k, label, op, arg)?;
+        self.complete_kernel(ticket)
     }
 
     fn note_retransmit(&mut self, k: KernelId, attempt: u32) {
         let now = self.ppe.clock.now();
-        let backoff = self.policy.backoff(attempt);
+        let backoff = self.engine.policy().backoff(attempt);
         self.ppe.tracer_mut().span(
             EventKind::Recovery,
             "request_retransmit",
@@ -704,15 +707,17 @@ impl CellServer {
     /// Drive `collect` after a kernel round trip, retransmitting the
     /// request while the kernel reports [`SPU_CORRUPT`] or the collected
     /// payload fails its response checksum.
+    #[allow(clippy::too_many_arguments)]
     fn verified<T>(
         &mut self,
         k: KernelId,
+        label: &'static str,
         op: u32,
         arg: u32,
         mut status: u32,
         collect: impl Fn() -> CellResult<T>,
     ) -> CellResult<T> {
-        let budget = self.policy.max_attempts.max(1);
+        let budget = self.engine.policy().max_attempts.max(1);
         let mut attempts = 0u32;
         loop {
             if status == SPU_CORRUPT {
@@ -725,7 +730,7 @@ impl CellServer {
                     });
                 }
                 self.note_retransmit(k, attempts);
-                status = self.call_kernel(k, op, arg)?;
+                status = self.call_kernel(k, label, op, arg)?;
                 continue;
             }
             match collect() {
@@ -740,7 +745,7 @@ impl CellServer {
                         });
                     }
                     self.note_retransmit(k, attempts);
-                    status = self.call_kernel(k, op, arg)?;
+                    status = self.call_kernel(k, label, op, arg)?;
                 }
                 Err(e) => return Err(e),
             }
@@ -776,7 +781,7 @@ impl CellServer {
         let mut features: Vec<(KernelKind, Feature)> = Vec::new();
         let mut scores: Vec<(KernelKind, f32)> = Vec::new();
         let dropped = Self::dropped_kernels(level);
-        let groups = self.schedule.groups().to_vec();
+        let groups = self.schedule().groups().to_vec();
         for group in groups {
             let extract_ids: Vec<KernelId> = group
                 .iter()
@@ -790,16 +795,18 @@ impl CellServer {
                     let (wrapper, wire) =
                         prepare_extract(mem, kind, image_ea, img.width(), img.height())?;
                     let arg = wrapper.addr_word()?;
-                    let sent_spe = self.send_kernel(k, self.opcodes.opcode(kind), arg)?;
-                    pending.push((k, sent_spe, wrapper, wire));
+                    let ticket =
+                        self.submit_kernel(k, kind.name(), self.opcodes.opcode(kind), arg)?;
+                    pending.push((k, ticket, wrapper, wire));
                 }
-                for (k, sent_spe, wrapper, wire) in pending {
+                for (k, ticket, wrapper, wire) in pending {
                     let kind = EXTRACT_KINDS[k];
                     let op = self.opcodes.opcode(kind);
                     let arg = wrapper.addr_word()?;
-                    let status = self.finish_kernel(k, sent_spe, op, arg)?;
-                    let feature =
-                        self.verified(k, op, arg, status, || collect_extract(&wrapper, &wire))?;
+                    let status = self.complete_kernel(ticket)?;
+                    let feature = self.verified(k, kind.name(), op, arg, status, || {
+                        collect_extract(&wrapper, &wire)
+                    })?;
                     features.push((kind, feature));
                     wrapper.free()?;
                 }
@@ -809,11 +816,16 @@ impl CellServer {
                     let (model_ea, model_bytes) = self.model_ea(*kind);
                     let (dw, dwire) = prepare_detect(mem, feature, model_ea, model_bytes)?;
                     let arg = dw.addr_word()?;
-                    let status = self.call_kernel(CD_KERNEL, self.opcodes.detect, arg)?;
-                    let score =
-                        self.verified(CD_KERNEL, self.opcodes.detect, arg, status, || {
-                            collect_detect(&dw, &dwire)
-                        })?;
+                    let status =
+                        self.call_kernel(CD_KERNEL, "ConceptDet", self.opcodes.detect, arg)?;
+                    let score = self.verified(
+                        CD_KERNEL,
+                        "ConceptDet",
+                        self.opcodes.detect,
+                        arg,
+                        status,
+                        || collect_detect(&dw, &dwire),
+                    )?;
                     scores.push((*kind, score));
                     dw.free()?;
                 }
@@ -885,8 +897,8 @@ impl CellServer {
     /// Shut the machine down and assemble the final report, every SPE
     /// report (retired occupants included) and the whole-machine trace.
     pub fn finish(mut self) -> CellResult<ServeOutput> {
-        for stub in &self.stubs {
-            let _ = stub.close(&mut self.ppe);
+        for spe in 0..self.engine.num_spes() {
+            let _ = self.engine.close_spe(&mut self.ppe, spe);
         }
         let elapsed = self.ppe.elapsed();
         let survivors = self.survivors();

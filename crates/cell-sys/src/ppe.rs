@@ -151,6 +151,48 @@ impl Ppe {
         self.mailboxes[spe].inbound.write(value, self.clock.now())
     }
 
+    /// Non-blocking write into an SPE's inbound mailbox:
+    /// [`CellError::MailboxFull`] when all four entries are occupied,
+    /// instead of stalling the PPE. This is the poll path a pipelined
+    /// dispatch engine uses to keep requests queued ahead of the SPE
+    /// without ever blocking the coordinating core.
+    pub fn try_write_in_mbox(&mut self, spe: usize, value: u32) -> CellResult<()> {
+        self.check_spe(spe)?;
+        // Reject before charging, so probing a full mailbox costs nothing
+        // on the virtual timeline. The PPE is the inbound side's only
+        // writer, so a free slot seen here cannot vanish before the write
+        // below — the SPE only drains the queue.
+        if self.mailboxes[spe].inbound.count() >= self.in_mbox_capacity() {
+            return Err(CellError::MailboxFull);
+        }
+        self.clock.advance(Cycles(50));
+        self.profile.mailbox_ops += 1;
+        self.tracer.span(
+            EventKind::MailboxSend,
+            "mbox_send",
+            self.clock.now(),
+            0,
+            value as u64,
+            spe as u64,
+        );
+        self.tracer.count(Counter::MailboxSends, 1);
+        self.mailboxes[spe].inbound.write(value, self.clock.now())
+    }
+
+    /// Words currently queued in the SPE's inbound mailbox (free slots =
+    /// `in_mbox_capacity() - stat_in_mbox()`). The hardware exposes this
+    /// as the channel count of `SPU_WrInMbox`.
+    pub fn stat_in_mbox(&self, spe: usize) -> CellResult<usize> {
+        self.check_spe(spe)?;
+        Ok(self.mailboxes[spe].inbound.count())
+    }
+
+    /// Inbound mailbox depth (4 on real Cell): bounds how many words a
+    /// dispatch engine may queue ahead of a busy SPE.
+    pub fn in_mbox_capacity(&self) -> usize {
+        4
+    }
+
     /// `spe_stat_out_mbox`: words waiting in the SPE's outbound mailbox.
     pub fn stat_out_mbox(&self, spe: usize) -> CellResult<usize> {
         self.check_spe(spe)?;

@@ -200,11 +200,16 @@ pub enum Counter {
     Respawns,
     /// Transfers retransmitted after a payload checksum mismatch.
     ChecksumRetransmits,
+    /// Per-SPE in-flight request window high-water mark (engine dispatch).
+    InFlight,
+    /// Largest batch of kernel requests packed into one dispatch
+    /// round-trip (engine batching).
+    BatchSize,
 }
 
 impl Counter {
     /// Number of counters; sizes [`CounterSet`].
-    pub const COUNT: usize = 29;
+    pub const COUNT: usize = 31;
 
     /// All counters, in index order. Drives reports and merging.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -237,6 +242,8 @@ impl Counter {
         Counter::BreakerTrips,
         Counter::Respawns,
         Counter::ChecksumRetransmits,
+        Counter::InFlight,
+        Counter::BatchSize,
     ];
 
     /// True for counters whose cross-track aggregate is a maximum, not a
@@ -249,6 +256,8 @@ impl Counter {
                 | Counter::LsHighWater
                 | Counter::TotalCycles
                 | Counter::QueueDepth
+                | Counter::InFlight
+                | Counter::BatchSize
         )
     }
 }

@@ -17,10 +17,12 @@
 use std::sync::Arc;
 
 use cell_core::{CellError, CellResult, CostModel, MachineProfile, OpProfile, VirtualDuration};
+use cell_engine::Engine;
 use cell_sys::machine::{CellMachine, SpeHandle, SpeReport};
 use cell_sys::ppe::Ppe;
 use cell_trace::{TraceConfig, TraceReport};
-use portkit::interface::{ReplyMode, SpeInterface};
+use portkit::interface::ReplyMode;
+use portkit::opcodes::SPU_OK;
 use portkit::profile::CoverageProfiler;
 
 use crate::classify::paper_model_size;
@@ -284,14 +286,18 @@ pub enum Scenario {
     ParallelReplicated,
 }
 
-/// The ported application: PPE main loop + five resident SPE kernels.
+/// The ported application: PPE main loop + five resident SPE kernels,
+/// all driven through one [`cell_engine::Engine`].
 pub struct CellMarvel {
     // Field order matters: handles are joined in `finish`, machine last.
     ppe: Ppe,
     machine: CellMachine,
     handles: Vec<SpeHandle>,
-    stubs: Vec<(KernelKind, SpeInterface, ExtractOpcodes)>,
-    cd_stub: SpeInterface,
+    engine: Engine,
+    /// Extraction kernel placement: `(kind, spe, opcodes)` in pipeline
+    /// order; the engine's lane *i* hosts `kinds[i]`.
+    kinds: Vec<(KernelKind, usize, ExtractOpcodes)>,
+    cd_spe: usize,
     cd_opcode: u32,
     models: MarvelModels,
     model_eas: Vec<(KernelKind, u64, usize)>,
@@ -334,26 +340,27 @@ impl CellMarvel {
         // the paper's static one-kernel-per-SPE schedule (§3.3).
         let with_detect = scenario == Scenario::ParallelReplicated;
         let mut handles = Vec::new();
-        let mut stubs = Vec::new();
+        let mut kinds = Vec::new();
         for (spe, kind) in EXTRACT_KINDS.into_iter().enumerate() {
             let (d, ops) = extract_dispatcher(kind, optimized, with_detect, ReplyMode::Polling);
             handles.push(machine.spawn(spe, Box::new(d))?);
-            stubs.push((
-                kind,
-                SpeInterface::new(kind.name(), spe, ReplyMode::Polling),
-                ops,
-            ));
+            kinds.push((kind, spe, ops));
         }
         let (cd, cd_opcode) = detect_dispatcher(ReplyMode::Polling);
         handles.push(machine.spawn(4, Box::new(cd))?);
-        let cd_stub = SpeInterface::new("ConceptDet", 4, ReplyMode::Polling);
+
+        // Window 2: the per-image scenarios never keep more than one
+        // request per lane outstanding (so their timing is untouched),
+        // while the pipelined batch path queues frame N+1 behind frame N.
+        let engine = Engine::new(5).with_window(2);
 
         Ok(CellMarvel {
             ppe,
             machine,
             handles,
-            stubs,
-            cd_stub,
+            engine,
+            kinds,
+            cd_spe: 4,
             cd_opcode,
             models,
             model_eas,
@@ -400,15 +407,18 @@ impl CellMarvel {
     /// `(kind, spe id, opcodes)` per resident dispatcher. Feeds the
     /// `cell-lint` port model.
     pub fn kernel_bindings(&self) -> Vec<(KernelKind, usize, ExtractOpcodes)> {
-        self.stubs
-            .iter()
-            .map(|(kind, stub, ops)| (*kind, stub.spe_id(), *ops))
-            .collect()
+        self.kinds.clone()
     }
 
     /// Concept detection's `(spe id, opcode)` binding.
     pub fn cd_binding(&self) -> (usize, u32) {
-        (self.cd_stub.spe_id(), self.cd_opcode)
+        (self.cd_spe, self.cd_opcode)
+    }
+
+    /// The offload engine's in-flight window (the pipelined depth the
+    /// batch path runs at).
+    pub fn engine_window(&self) -> usize {
+        self.engine.window()
     }
 
     /// Charge the one-time startup overhead (model loading etc.) to the
@@ -485,13 +495,17 @@ impl CellMarvel {
         while let Some((image_ea, w, h)) = staged.take() {
             // Fire all four extractions for the staged image.
             let mut wrappers = Vec::new();
-            for i in 0..self.stubs.len() {
-                let (kind, ops) = (self.stubs[i].0, self.stubs[i].2);
+            for i in 0..self.kinds.len() {
+                let (kind, spe, ops) = self.kinds[i];
                 let (wrapper, wire) = prepare_extract(&mem, kind, image_ea, w, h)?;
-                self.stubs[i]
-                    .1
-                    .send(&mut self.ppe, ops.extract, wrapper.addr_word()?)?;
-                wrappers.push((kind, wrapper, wire));
+                let t = self.engine.submit_to_spe(
+                    &mut self.ppe,
+                    spe,
+                    kind.name(),
+                    ops.extract,
+                    wrapper.addr_word()?,
+                )?;
+                wrappers.push((kind, t, wrapper, wire));
             }
             // Overlap: decode + upload the next image on the PPE.
             if next < inputs.len() {
@@ -500,8 +514,8 @@ impl CellMarvel {
             }
             // Collect this image's features and run its detections.
             let mut features = Vec::new();
-            for (i, (kind, wrapper, wire)) in wrappers.into_iter().enumerate() {
-                self.stubs[i].1.wait(&mut self.ppe)?;
+            for (kind, t, wrapper, wire) in wrappers {
+                self.engine.complete(&mut self.ppe, t)?;
                 features.push((kind, collect_extract(&wrapper, &wire)?));
                 wrapper.free()?;
             }
@@ -511,6 +525,101 @@ impl CellMarvel {
             results.push(ImageAnalysis { features, scores });
         }
         Ok(results)
+    }
+
+    /// Fully engine-pipelined batch processing — the next step past
+    /// [`CellMarvel::analyze_batch_pipelined`]: besides overlapping the
+    /// PPE's decode of image *i+1* with the SPEs' work on image *i*, the
+    /// extraction requests for *i+1* are **submitted** before *i*'s
+    /// replies are redeemed, so they sit in each lane's inbound mailbox
+    /// and the SPE rolls from one image straight into the next without a
+    /// PPE round-trip in between. Detections for an image are packed
+    /// into a single `SPU_BATCH` round-trip on the CD SPE (one reply
+    /// latency instead of four).
+    pub fn analyze_batch_engine(
+        &mut self,
+        inputs: &[Compressed],
+    ) -> CellResult<Vec<ImageAnalysis>> {
+        struct Frame<'m> {
+            image_ea: u64,
+            wrappers: Vec<(
+                KernelKind,
+                cell_engine::Ticket,
+                portkit::wrapper::MsgWrapper<'m>,
+                crate::wire::ExtractWire,
+            )>,
+        }
+        let mem = Arc::clone(self.ppe.mem());
+        let mut results = Vec::new();
+        let mut frames: std::collections::VecDeque<Frame<'_>> = std::collections::VecDeque::new();
+        let depth = self.engine.window();
+        for (n, input) in inputs.iter().enumerate() {
+            let (image_ea, w, h) = self.stage(&mem, input)?;
+            let mut wrappers = Vec::new();
+            for i in 0..self.kinds.len() {
+                let (kind, spe, ops) = self.kinds[i];
+                let (wrapper, wire) = prepare_extract(&mem, kind, image_ea, w, h)?;
+                let t = self.engine.submit_to_spe(
+                    &mut self.ppe,
+                    spe,
+                    kind.name(),
+                    ops.extract,
+                    wrapper.addr_word()?,
+                )?;
+                wrappers.push((kind, t, wrapper, wire));
+            }
+            frames.push_back(Frame { image_ea, wrappers });
+            // Keep at most `window` frames in flight per lane; retire the
+            // oldest once the pipeline is full (or the input is done).
+            while frames.len() > depth || (n + 1 == inputs.len() && !frames.is_empty()) {
+                let frame = frames.pop_front().expect("nonempty");
+                let mut features = Vec::new();
+                for (kind, t, wrapper, wire) in frame.wrappers {
+                    self.engine.complete(&mut self.ppe, t)?;
+                    features.push((kind, collect_extract(&wrapper, &wire)?));
+                    wrapper.free()?;
+                }
+                let scores = self.detect_batched(&mem, &features)?;
+                mem.free(frame.image_ea)?;
+                self.images += 1;
+                results.push(ImageAnalysis { features, scores });
+            }
+        }
+        Ok(results)
+    }
+
+    /// Score all four features in one `SPU_BATCH` round-trip on the CD
+    /// SPE. The scores travel back by DMA into the wrappers as usual;
+    /// the single reply word only acknowledges the batch.
+    fn detect_batched(
+        &mut self,
+        mem: &cell_mem::MainMemory,
+        features: &[(KernelKind, Feature)],
+    ) -> CellResult<Vec<(KernelKind, f32)>> {
+        let mut wrappers = Vec::new();
+        let mut calls = Vec::new();
+        for (kind, feature) in features {
+            let (model_ea, model_bytes) = self.model_ea(*kind);
+            let (dw, dwire) = prepare_detect(mem, feature, model_ea, model_bytes)?;
+            calls.push((self.cd_opcode, dw.addr_word()?));
+            wrappers.push((*kind, dw, dwire));
+        }
+        let t =
+            self.engine
+                .submit_batch_to_spe(&mut self.ppe, self.cd_spe, "ConceptDet", &calls)?;
+        let status = self.engine.complete(&mut self.ppe, t)?;
+        if status != SPU_OK {
+            return Err(CellError::SpeFault {
+                spe: self.cd_spe,
+                message: format!("detect batch members failed (mask {status:#b})"),
+            });
+        }
+        let mut scores = Vec::new();
+        for (kind, dw, dwire) in wrappers {
+            scores.push((kind, collect_detect(&dw, &dwire)?));
+            dw.free()?;
+        }
+        Ok(scores)
     }
 
     /// Decode on the PPE and upload to main memory; returns
@@ -537,11 +646,17 @@ impl CellMarvel {
         img: &ColorImage,
     ) -> CellResult<ImageAnalysis> {
         let mut features = Vec::new();
-        for i in 0..self.stubs.len() {
-            let (kind, ops) = (self.stubs[i].0, self.stubs[i].2);
+        for i in 0..self.kinds.len() {
+            let (kind, spe, ops) = self.kinds[i];
             let (wrapper, wire) = prepare_extract(mem, kind, image_ea, img.width(), img.height())?;
-            let iface = &mut self.stubs[i].1;
-            iface.send_and_wait(&mut self.ppe, ops.extract, wrapper.addr_word()?)?;
+            let t = self.engine.submit_to_spe(
+                &mut self.ppe,
+                spe,
+                kind.name(),
+                ops.extract,
+                wrapper.addr_word()?,
+            )?;
+            self.engine.complete(&mut self.ppe, t)?;
             features.push((kind, collect_extract(&wrapper, &wire)?));
             wrapper.free()?;
         }
@@ -557,17 +672,21 @@ impl CellMarvel {
     ) -> CellResult<ImageAnalysis> {
         // Fire all four extractions before waiting on any (Fig. 4c).
         let mut wrappers = Vec::new();
-        for i in 0..self.stubs.len() {
-            let (kind, ops) = (self.stubs[i].0, self.stubs[i].2);
+        for i in 0..self.kinds.len() {
+            let (kind, spe, ops) = self.kinds[i];
             let (wrapper, wire) = prepare_extract(mem, kind, image_ea, img.width(), img.height())?;
-            self.stubs[i]
-                .1
-                .send(&mut self.ppe, ops.extract, wrapper.addr_word()?)?;
-            wrappers.push((kind, wrapper, wire));
+            let t = self.engine.submit_to_spe(
+                &mut self.ppe,
+                spe,
+                kind.name(),
+                ops.extract,
+                wrapper.addr_word()?,
+            )?;
+            wrappers.push((kind, t, wrapper, wire));
         }
         let mut features = Vec::new();
-        for (i, (kind, wrapper, wire)) in wrappers.into_iter().enumerate() {
-            self.stubs[i].1.wait(&mut self.ppe)?;
+        for (kind, t, wrapper, wire) in wrappers {
+            self.engine.complete(&mut self.ppe, t)?;
             features.push((kind, collect_extract(&wrapper, &wire)?));
             wrapper.free()?;
         }
@@ -584,37 +703,43 @@ impl CellMarvel {
         // Extractions in parallel; as each finishes, its own SPE runs the
         // detection for that feature (detection code is replicated).
         let mut wrappers = Vec::new();
-        for i in 0..self.stubs.len() {
-            let (kind, ops) = (self.stubs[i].0, self.stubs[i].2);
+        for i in 0..self.kinds.len() {
+            let (kind, spe, ops) = self.kinds[i];
             let (wrapper, wire) = prepare_extract(mem, kind, image_ea, img.width(), img.height())?;
-            self.stubs[i]
-                .1
-                .send(&mut self.ppe, ops.extract, wrapper.addr_word()?)?;
-            wrappers.push((kind, wrapper, wire));
+            let t = self.engine.submit_to_spe(
+                &mut self.ppe,
+                spe,
+                kind.name(),
+                ops.extract,
+                wrapper.addr_word()?,
+            )?;
+            wrappers.push((kind, t, wrapper, wire));
         }
         let mut features = Vec::new();
         let mut detect_wrappers = Vec::new();
-        for (i, (kind, wrapper, wire)) in wrappers.into_iter().enumerate() {
-            self.stubs[i].1.wait(&mut self.ppe)?;
+        for (i, (kind, t, wrapper, wire)) in wrappers.into_iter().enumerate() {
+            self.engine.complete(&mut self.ppe, t)?;
             let feature = collect_extract(&wrapper, &wire)?;
             wrapper.free()?;
+            let (spe, ops) = (self.kinds[i].1, self.kinds[i].2);
             let (model_ea, model_bytes) = self.model_ea(kind);
             let (dw, dwire) = prepare_detect(mem, &feature, model_ea, model_bytes)?;
-            let detect_op = self.stubs[i]
-                .2
-                .detect
-                .ok_or_else(|| CellError::BadKernelSpec {
-                    message: "replicated scenario needs detect-capable dispatchers".to_string(),
-                })?;
-            self.stubs[i]
-                .1
-                .send(&mut self.ppe, detect_op, dw.addr_word()?)?;
+            let detect_op = ops.detect.ok_or_else(|| CellError::BadKernelSpec {
+                message: "replicated scenario needs detect-capable dispatchers".to_string(),
+            })?;
+            let dt = self.engine.submit_to_spe(
+                &mut self.ppe,
+                spe,
+                kind.name(),
+                detect_op,
+                dw.addr_word()?,
+            )?;
             features.push((kind, feature));
-            detect_wrappers.push((kind, dw, dwire));
+            detect_wrappers.push((kind, dt, dw, dwire));
         }
         let mut scores = Vec::new();
-        for (i, (kind, dw, dwire)) in detect_wrappers.into_iter().enumerate() {
-            self.stubs[i].1.wait(&mut self.ppe)?;
+        for (kind, dt, dw, dwire) in detect_wrappers {
+            self.engine.complete(&mut self.ppe, dt)?;
             scores.push((kind, collect_detect(&dw, &dwire)?));
             dw.free()?;
         }
@@ -630,8 +755,14 @@ impl CellMarvel {
         for (kind, feature) in features {
             let (model_ea, model_bytes) = self.model_ea(*kind);
             let (dw, dwire) = prepare_detect(mem, feature, model_ea, model_bytes)?;
-            self.cd_stub
-                .send_and_wait(&mut self.ppe, self.cd_opcode, dw.addr_word()?)?;
+            let t = self.engine.submit_to_spe(
+                &mut self.ppe,
+                self.cd_spe,
+                "ConceptDet",
+                self.cd_opcode,
+                dw.addr_word()?,
+            )?;
+            self.engine.complete(&mut self.ppe, t)?;
             scores.push((*kind, collect_detect(&dw, &dwire)?));
             dw.free()?;
         }
@@ -660,10 +791,7 @@ impl CellMarvel {
     /// mailbox/DMA/compute events merged by `into_report`), and the EIB
     /// track. Empty tracks result when tracing was off.
     pub fn finish_traced(mut self) -> CellResult<(VirtualDuration, Vec<SpeReport>, TraceReport)> {
-        for (_, iface, _) in &self.stubs {
-            iface.close(&mut self.ppe)?;
-        }
-        self.cd_stub.close(&mut self.ppe)?;
+        self.engine.close(&mut self.ppe)?;
         let elapsed = self.ppe.elapsed();
         let mut tracks = vec![self.ppe.take_trace()];
         let mut reports = Vec::new();
@@ -860,6 +988,44 @@ mod tests {
         assert!(
             peak_par >= 3,
             "Fig. 4(c): stacked bars, got peak {peak_par}"
+        );
+    }
+
+    #[test]
+    fn engine_pipelined_batch_matches_reference_and_beats_per_image() {
+        let inputs: Vec<Compressed> = (0..3).map(|i| tiny_input(40 + i)).collect();
+        let mut reference = ReferenceMarvel::new(40);
+        let want: Vec<ImageAnalysis> = inputs
+            .iter()
+            .map(|c| reference.analyze(c).unwrap())
+            .collect();
+
+        let mut per_image = CellMarvel::new(Scenario::ParallelExtract, true, 40).unwrap();
+        let t0 = per_image.elapsed();
+        for c in &inputs {
+            per_image.analyze(c).unwrap();
+        }
+        let serial = per_image.elapsed() - t0;
+        per_image.finish().unwrap();
+
+        let mut pipelined = CellMarvel::new(Scenario::ParallelExtract, true, 40).unwrap();
+        assert!(pipelined.engine_window() >= 2);
+        let t0 = pipelined.elapsed();
+        let got = pipelined.analyze_batch_engine(&inputs).unwrap();
+        let dt = pipelined.elapsed() - t0;
+        pipelined.finish().unwrap();
+
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            for kind in EXTRACT_KINDS {
+                assert_eq!(g.feature(kind), w.feature(kind), "{} diverged", kind.name());
+                let (gs, ws) = (g.score(kind), w.score(kind));
+                assert!((gs - ws).abs() < 1e-3 * ws.abs().max(1.0), "{gs} vs {ws}");
+            }
+        }
+        assert!(
+            dt.seconds() < serial.seconds(),
+            "pipelined {dt} should beat per-image {serial}"
         );
     }
 

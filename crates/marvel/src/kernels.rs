@@ -279,7 +279,9 @@ fn write_feature(env: &mut SpeEnv, out_ea: u64, sum_ea: u64, values: &[f32]) -> 
     for (i, &v) in values.iter().enumerate() {
         env.ls.write_f32(la + (i * 4) as u32, v)?;
     }
-    let sum = cell_core::checksum32(env.ls.slice(la, values.len() * 4)?);
+    // The LS bytes just written are exactly the codec's wire form, so the
+    // shared codec computes the same checksum the PPE will verify with.
+    let sum = cell_engine::codec::f32s_checksum(values);
     env.dma_put_sync(la, out_ea, bytes, 1)?;
     let sla = env.ls.alloc(16, 16)?;
     env.ls.write(sla, &[0u8; 16])?;
@@ -703,8 +705,7 @@ pub fn collect_extract(
 ) -> CellResult<Vec<f32>> {
     let bytes = wrapper.get_bytes(wire.out, wire.out_dim * 4)?;
     let expected = wrapper.get_u32s(wire.out_sum, 1)?[0];
-    cell_core::verify_checksum(&bytes, expected, "extract feature")?;
-    wrapper.get_f32s(wire.out, wire.out_dim)
+    cell_engine::codec::parse_f32s(&bytes, wire.out_dim, expected, "extract feature")
 }
 
 /// Build and fill a detection wrapper for a feature + uploaded model.
@@ -732,8 +733,7 @@ pub fn collect_detect(
 ) -> CellResult<f32> {
     let bytes = wrapper.get_bytes(wire.out, 4)?;
     let expected = wrapper.get_u32s(wire.out_sum, 1)?[0];
-    cell_core::verify_checksum(&bytes, expected, "detect score")?;
-    Ok(wrapper.get_f32s(wire.out, 1)?[0])
+    Ok(cell_engine::codec::parse_f32s(&bytes, 1, expected, "detect score")?[0])
 }
 
 #[cfg(test)]

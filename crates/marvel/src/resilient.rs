@@ -23,12 +23,13 @@
 use std::sync::Arc;
 
 use cell_core::{CellError, CellResult, OpProfile, VirtualDuration};
+use cell_engine::{Engine, FailoverMode};
 use cell_fault::FaultPlan;
 use cell_sys::machine::{CellMachine, SpeHandle, SpeReport};
 use cell_sys::ppe::Ppe;
-use cell_trace::{Counter, EventKind, TraceConfig, TraceReport};
+use cell_trace::{TraceConfig, TraceReport};
 use portkit::amdahl::KernelSpec;
-use portkit::interface::{ReplyMode, SpeInterface};
+use portkit::interface::ReplyMode;
 use portkit::recovery::RetryPolicy;
 use portkit::schedule::{KernelId, Schedule};
 
@@ -68,15 +69,11 @@ pub struct ResilientMarvel {
     ppe: Ppe,
     machine: CellMachine,
     handles: Vec<SpeHandle>,
-    stubs: Vec<SpeInterface>,
+    engine: Engine,
     opcodes: UniversalOpcodes,
-    policy: RetryPolicy,
-    schedule: Schedule,
-    alive: Vec<bool>,
     models: MarvelModels,
     model_eas: Vec<(KernelKind, u64, usize)>,
     images: usize,
-    failovers: u64,
 }
 
 impl ResilientMarvel {
@@ -109,12 +106,10 @@ impl ResilientMarvel {
 
         let num_spes = machine.config().num_spes;
         let mut handles = Vec::new();
-        let mut stubs = Vec::new();
         let mut opcodes = None;
         for spe in 0..num_spes {
             let (d, ops) = universal_dispatcher(optimized, ReplyMode::Polling);
             handles.push(machine.spawn(spe, Box::new(d))?);
-            stubs.push(SpeInterface::new("universal", spe, ReplyMode::Polling));
             opcodes = Some(ops);
         }
         let opcodes = opcodes.ok_or(CellError::NoSpeAvailable {
@@ -122,29 +117,36 @@ impl ResilientMarvel {
             available: 0,
         })?;
         // The paper's scenario-2 shape: extractions in parallel, then
-        // detection — re-planned over survivors as SPEs die.
+        // detection — re-planned over survivors as SPEs die. The engine
+        // owns retry/failover: Replan mode, one request per lane.
         let schedule = Schedule::grouped(vec![vec![0, 1, 2, 3], vec![CD_KERNEL]], num_spes)?;
+        let engine = Engine::new(num_spes)
+            .with_schedule(schedule)
+            .with_mode(FailoverMode::Replan);
 
         Ok(ResilientMarvel {
             ppe,
             machine,
             handles,
-            stubs,
+            engine,
             opcodes,
-            policy: RetryPolicy::default(),
-            schedule,
-            alive: vec![true; num_spes],
             models,
             model_eas,
             images: 0,
-            failovers: 0,
         })
     }
 
     /// Replace the retry/timeout policy (e.g. shorter deadlines for hang
     /// detection in tests).
     pub fn set_policy(&mut self, policy: RetryPolicy) {
-        self.policy = policy;
+        self.engine.set_policy(policy);
+    }
+
+    /// The engine's recovery decision stream (retries and failovers in
+    /// the order they were taken) — what the driver-equivalence tests
+    /// compare against cell-serve on the same seed and fault plan.
+    pub fn recovery_log(&self) -> &[cell_engine::RecoveryEvent] {
+        self.engine.recovery_log()
     }
 
     pub fn models(&self) -> &MarvelModels {
@@ -153,23 +155,25 @@ impl ResilientMarvel {
 
     /// Liveness per SPE, as observed so far.
     pub fn alive(&self) -> &[bool] {
-        &self.alive
+        self.engine.alive()
     }
 
     /// SPEs still believed alive.
     pub fn survivors(&self) -> usize {
-        self.alive.iter().filter(|&&a| a).count()
+        self.alive().iter().filter(|&&a| a).count()
     }
 
     /// Failovers performed so far (each one marks an SPE dead and
     /// re-plans the schedule).
     pub fn failovers(&self) -> u64 {
-        self.failovers
+        self.engine.failovers() as u64
     }
 
     /// The current (possibly re-planned) schedule.
     pub fn schedule(&self) -> &Schedule {
-        &self.schedule
+        self.engine
+            .schedule()
+            .expect("engine built with a schedule")
     }
 
     /// The universal opcode table every SPE's dispatcher serves (feeds the
@@ -180,7 +184,13 @@ impl ResilientMarvel {
 
     /// Number of SPEs carrying a universal dispatcher.
     pub fn num_spes(&self) -> usize {
-        self.stubs.len()
+        self.engine.num_spes()
+    }
+
+    /// The engine's in-flight window per lane (1: replanning dispatch
+    /// keeps lanes serial so every timeout is attributable).
+    pub fn engine_window(&self) -> usize {
+        self.engine.window()
     }
 
     /// Images analyzed so far.
@@ -198,7 +208,7 @@ impl ResilientMarvel {
     /// serialized into chunks, exactly as the re-planned schedule runs
     /// them).
     pub fn degraded_estimate(&self) -> CellResult<f64> {
-        self.schedule
+        self.schedule()
             .estimate_degraded(&paper_kernel_specs(), self.survivors())
     }
 
@@ -233,108 +243,6 @@ impl ResilientMarvel {
         result
     }
 
-    /// Mark `dead_spe` dead, trace the failover, and re-plan the schedule
-    /// over the survivors. Errors with `NoSpeAvailable` when nobody is
-    /// left to take over `kernel`.
-    fn fail_over(&mut self, dead_spe: usize, kernel: KernelId) -> CellResult<()> {
-        self.alive[dead_spe] = false;
-        let now = self.ppe.clock.now();
-        self.ppe.tracer_mut().span(
-            EventKind::Recovery,
-            "failover",
-            now,
-            0,
-            dead_spe as u64,
-            kernel as u64,
-        );
-        self.ppe.tracer_mut().count(Counter::Failovers, 1);
-        self.schedule = self.schedule.replan(&self.alive)?;
-        self.failovers += 1;
-        Ok(())
-    }
-
-    /// Toss replies a timed-out earlier attempt may have left queued, so
-    /// the next send/wait pair stays in lock-step.
-    fn drain_stale(&mut self, spe: usize) -> CellResult<()> {
-        while self.ppe.stat_out_mbox(spe)? > 0 {
-            let _ = self.ppe.try_read_out_mbox(spe)?;
-        }
-        Ok(())
-    }
-
-    /// Fire kernel `k` on its currently assigned SPE without waiting;
-    /// returns the SPE the request actually went to. A dead-at-send SPE
-    /// triggers failover and the send moves with the kernel.
-    fn send_kernel(&mut self, k: KernelId, op: u32, arg: u32) -> CellResult<usize> {
-        loop {
-            let spe = self.schedule.spe_of(k);
-            self.drain_stale(spe)?;
-            match self.stubs[spe].send(&mut self.ppe, op, arg) {
-                Ok(()) => return Ok(spe),
-                Err(CellError::MailboxClosed) => self.fail_over(spe, k)?,
-                Err(e) => return Err(e),
-            }
-        }
-    }
-
-    /// Full resilient round trip for kernel `k`: retry in place for lost
-    /// replies, fail over to a survivor when the SPE is dead or hung.
-    fn call_kernel(&mut self, k: KernelId, op: u32, arg: u32) -> CellResult<u32> {
-        let policy = self.policy;
-        loop {
-            let spe = self.schedule.spe_of(k);
-            match self.stubs[spe].send_and_wait_resilient(&mut self.ppe, &policy, op, arg) {
-                Ok(v) => return Ok(v),
-                // A dead SPE (SpeFault) fails over immediately; exhausted
-                // retries (Timeout) mean a hung dispatcher — same remedy.
-                Err(CellError::SpeFault { .. }) | Err(CellError::Timeout { .. }) => {
-                    self.fail_over(spe, k)?;
-                }
-                Err(e) => return Err(e),
-            }
-        }
-    }
-
-    /// Collect the reply of a request previously sent to `sent_spe`. On
-    /// failure the SPE is retired and the kernel re-runs elsewhere via
-    /// [`ResilientMarvel::call_kernel`] (the wrapper is untouched input,
-    /// so the re-dispatch recomputes identical bytes).
-    fn finish_kernel(
-        &mut self,
-        k: KernelId,
-        sent_spe: usize,
-        op: u32,
-        arg: u32,
-    ) -> CellResult<u32> {
-        let policy = self.policy;
-        match self.stubs[sent_spe].wait_for(&mut self.ppe, &policy) {
-            Ok(v) => Ok(v),
-            Err(CellError::SpeFault { .. }) => {
-                self.fail_over(sent_spe, k)?;
-                self.call_kernel(k, op, arg)
-            }
-            Err(CellError::Timeout { .. }) => {
-                // Reply lost (or the SPE hung): count the retry and go
-                // through the full resilient path, which drains any late
-                // reply before re-sending and fails over if need be.
-                let now = self.ppe.clock.now();
-                let backoff = policy.backoff(1);
-                self.ppe.tracer_mut().span(
-                    EventKind::Recovery,
-                    "retry",
-                    now,
-                    backoff,
-                    sent_spe as u64,
-                    1,
-                );
-                self.ppe.tracer_mut().count(Counter::Retries, 1);
-                self.ppe.charge_cycles(backoff);
-                self.call_kernel(k, op, arg)
-            }
-            Err(e) => Err(e),
-        }
-    }
-
     fn run_schedule(
         &mut self,
         mem: &cell_mem::MainMemory,
@@ -343,44 +251,57 @@ impl ResilientMarvel {
     ) -> CellResult<ImageAnalysis> {
         let mut features: Vec<(KernelKind, Feature)> = Vec::new();
         let mut scores: Vec<(KernelKind, f32)> = Vec::new();
-        // Snapshot: a mid-image re-plan changes assignments (handled per
-        // kernel) but this image keeps the snapshot's group shape.
-        let groups = self.schedule.groups().to_vec();
+        // Snapshot: a mid-image re-plan changes assignments (the engine
+        // re-routes per kernel) but this image keeps the snapshot's group
+        // shape.
+        let groups = self.schedule().groups().to_vec();
         for group in groups {
             let extract_ids: Vec<KernelId> =
                 group.iter().copied().filter(|&k| k != CD_KERNEL).collect();
             if !extract_ids.is_empty() {
                 // Fire the group's extractions before waiting on any
-                // (Fig. 4c), each on its currently assigned SPE.
+                // (Fig. 4c); the engine routes each slot to its assigned
+                // SPE, retries lost replies in place, and fails a dead or
+                // hung lane over to a survivor (the wrapper is untouched
+                // input, so a re-dispatch recomputes identical bytes).
                 let mut pending = Vec::new();
                 for &k in &extract_ids {
                     let kind = EXTRACT_KINDS[k];
                     let (wrapper, wire) =
                         prepare_extract(mem, kind, image_ea, img.width(), img.height())?;
                     let arg = wrapper.addr_word()?;
-                    let sent_spe = self.send_kernel(k, self.opcodes.opcode(kind), arg)?;
-                    pending.push((k, sent_spe, wrapper, wire));
+                    let t = self.engine.submit(
+                        &mut self.ppe,
+                        k,
+                        kind.name(),
+                        self.opcodes.opcode(kind),
+                        arg,
+                    )?;
+                    pending.push((k, t, wrapper, wire));
                 }
-                for (k, sent_spe, wrapper, wire) in pending {
+                for (k, t, wrapper, wire) in pending {
                     let kind = EXTRACT_KINDS[k];
-                    let arg = wrapper.addr_word()?;
-                    self.finish_kernel(k, sent_spe, self.opcodes.opcode(kind), arg)?;
+                    self.engine.complete(&mut self.ppe, t)?;
                     features.push((kind, collect_extract(&wrapper, &wire)?));
                     wrapper.free()?;
                 }
             }
             if group.contains(&CD_KERNEL) {
-                // Detection: one resilient round trip per feature on the
+                // Detection: one supervised round trip per feature on the
                 // CD kernel's (possibly re-planned) SPE.
                 for (kind, feature) in &features {
                     let (model_ea, model_bytes) = self.model_ea(*kind);
                     let (dw, dwire) = prepare_detect(mem, feature, model_ea, model_bytes)?;
-                    let score = {
-                        let arg = dw.addr_word()?;
-                        self.call_kernel(CD_KERNEL, self.opcodes.detect, arg)?;
-                        collect_detect(&dw, &dwire)?
-                    };
-                    scores.push((*kind, score));
+                    let arg = dw.addr_word()?;
+                    let t = self.engine.submit(
+                        &mut self.ppe,
+                        CD_KERNEL,
+                        "ConceptDet",
+                        self.opcodes.detect,
+                        arg,
+                    )?;
+                    self.engine.complete(&mut self.ppe, t)?;
+                    scores.push((*kind, collect_detect(&dw, &dwire)?));
                     dw.free()?;
                 }
             }
@@ -399,9 +320,7 @@ impl ResilientMarvel {
     /// [`TraceReport`] (PPE + every SPE + EIB).
     pub fn finish_traced(mut self) -> CellResult<(VirtualDuration, Vec<SpeReport>, TraceReport)> {
         // Politely close the survivors; dead SPEs refuse, which is fine.
-        for stub in &self.stubs {
-            let _ = stub.close(&mut self.ppe);
-        }
+        self.engine.close(&mut self.ppe)?;
         let elapsed = self.ppe.elapsed();
         let mut tracks = vec![self.ppe.take_trace()];
         // Shutdown *before* joining: a hung dispatcher discards SPU_EXIT,
@@ -423,6 +342,7 @@ mod tests {
     use super::*;
     use crate::app::ReferenceMarvel;
     use crate::codec::encode;
+    use cell_trace::Counter;
 
     fn tiny_input(seed: u64) -> Compressed {
         encode(&ColorImage::synthetic(48, 32, seed).unwrap(), 90)

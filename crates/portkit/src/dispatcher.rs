@@ -14,7 +14,7 @@ use cell_sys::spe::{SpeEnv, SpeProgram};
 use cell_trace::{Counter, EventKind};
 
 use crate::interface::ReplyMode;
-use crate::opcodes::{run_opcode, SPU_EXIT};
+use crate::opcodes::{run_opcode, MAX_BATCH, SPU_BATCH, SPU_EXIT, SPU_OK};
 
 /// A kernel function: receives the environment and the 32-bit argument the
 /// stub sent (conventionally a main-memory wrapper address), returns the
@@ -78,22 +78,29 @@ impl KernelDispatcher {
             .collect()
     }
 
-    fn dispatch_once(&mut self, env: &mut SpeEnv) -> CellResult<bool> {
-        let opcode = env.read_in_mbox()?;
-        if opcode == SPU_EXIT {
-            return Ok(false);
+    /// Reject an opcode with no registered function *before* the arg word
+    /// is read, so a bad script faults immediately instead of blocking on
+    /// a mailbox word that will never arrive.
+    fn check_opcode(&self, opcode: u32) -> CellResult<()> {
+        let idx = (opcode.wrapping_sub(run_opcode(0))) as usize;
+        if self.functions.get(idx).is_none() {
+            return Err(CellError::UnknownOpcode { opcode });
         }
+        Ok(())
+    }
+
+    /// Run one registered function and reply-less-ly return its status
+    /// word (the common core of single and batched dispatch). A checksum
+    /// mismatch is a *retryable* data fault, not an SPE fault: the kernel
+    /// saw a corrupted payload, but the SPE itself is healthy — report
+    /// `SPU_CORRUPT` so the stub retransmits instead of tearing down.
+    fn run_function(&mut self, env: &mut SpeEnv, opcode: u32, arg: u32) -> CellResult<u32> {
         let idx = (opcode.wrapping_sub(run_opcode(0))) as usize;
         let Some((fn_name, f)) = self.functions.get_mut(idx) else {
             return Err(CellError::UnknownOpcode { opcode });
         };
         let fn_name = *fn_name;
-        let arg = env.read_in_mbox()?;
         let t0 = env.clock.now();
-        // A checksum mismatch is a *retryable* data fault, not an SPE
-        // fault: the kernel saw a corrupted payload, but the SPE itself
-        // is healthy. Reply SPU_CORRUPT so the stub retransmits instead
-        // of tearing the SPE down.
         let result = match f(env, arg) {
             Ok(r) => r,
             Err(CellError::ChecksumMismatch { .. }) => crate::opcodes::SPU_CORRUPT,
@@ -107,13 +114,55 @@ impl KernelDispatcher {
             .span(EventKind::Kernel, fn_name, t0, dur, idx as u64, 0);
         env.tracer_mut().count(Counter::KernelInvocations, 1);
         self.calls[idx] += 1;
+        // Idle-loop reset: the static scheduling of §3.3 keeps the SPE
+        // resident; each invocation reuses the data region afresh.
+        env.ls.reset();
+        Ok(result)
+    }
+
+    /// `SPU_BATCH`: read a member count, then that many `(opcode, arg)`
+    /// pairs, run them back to back, and fold the member statuses into
+    /// one reply word — `SPU_OK`, or a bitmask of failed member indices.
+    fn dispatch_batch(&mut self, env: &mut SpeEnv) -> CellResult<u32> {
+        let count = env.read_in_mbox()? as usize;
+        if count == 0 || count > MAX_BATCH {
+            return Err(CellError::BadKernelSpec {
+                message: format!("SPU_BATCH count {count} outside 1..={MAX_BATCH}"),
+            });
+        }
+        let mut failed: u32 = 0;
+        for member in 0..count {
+            let opcode = env.read_in_mbox()?;
+            self.check_opcode(opcode)?;
+            let arg = env.read_in_mbox()?;
+            if self.run_function(env, opcode, arg)? != SPU_OK {
+                failed |= 1 << member;
+            }
+        }
+        env.tracer_mut().count_max(Counter::BatchSize, count as u64);
+        Ok(failed)
+    }
+
+    fn dispatch_once(&mut self, env: &mut SpeEnv) -> CellResult<bool> {
+        let opcode = env.read_in_mbox()?;
+        if opcode == SPU_EXIT {
+            return Ok(false);
+        }
+        if opcode == SPU_BATCH {
+            let status = self.dispatch_batch(env)?;
+            match self.reply_mode {
+                ReplyMode::Polling => env.write_out_mbox(status)?,
+                ReplyMode::Interrupt => env.write_out_intr_mbox(status)?,
+            }
+            return Ok(true);
+        }
+        self.check_opcode(opcode)?;
+        let arg = env.read_in_mbox()?;
+        let result = self.run_function(env, opcode, arg)?;
         match self.reply_mode {
             ReplyMode::Polling => env.write_out_mbox(result)?,
             ReplyMode::Interrupt => env.write_out_intr_mbox(result)?,
         }
-        // Idle-loop reset: the static scheduling of §3.3 keeps the SPE
-        // resident; each invocation reuses the data region afresh.
-        env.ls.reset();
         Ok(true)
     }
 }
@@ -204,6 +253,71 @@ mod tests {
         });
         let h = m.spawn(0, Box::new(d)).unwrap();
         ppe.write_in_mbox(0, op).unwrap();
+        ppe.write_in_mbox(0, 0).unwrap();
+        assert!(h.join().is_err());
+    }
+
+    #[test]
+    fn batch_runs_members_and_replies_one_status() {
+        use crate::opcodes::{SPU_BATCH, SPU_OK};
+        let mut m = CellMachine::new(MachineConfig::small()).unwrap();
+        m.set_trace_config(cell_trace::TraceConfig::Full);
+        let mut ppe = m.ppe();
+        let mut d = KernelDispatcher::new("batched", ReplyMode::Polling);
+        let hits = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let hits_in = hits.clone();
+        let op = d.register("bump", move |_, v| {
+            hits_in.fetch_add(v, std::sync::atomic::Ordering::SeqCst);
+            Ok(SPU_OK)
+        });
+        let h = m.spawn(0, Box::new(d)).unwrap();
+        // One round-trip carries three requests: 2 + 2·3 mailbox words in,
+        // one status word back.
+        ppe.write_in_mbox(0, SPU_BATCH).unwrap();
+        ppe.write_in_mbox(0, 3).unwrap();
+        for v in [10, 20, 30] {
+            ppe.write_in_mbox(0, op).unwrap();
+            ppe.write_in_mbox(0, v).unwrap();
+        }
+        assert_eq!(ppe.read_out_mbox(0).unwrap(), SPU_OK);
+        assert_eq!(hits.load(std::sync::atomic::Ordering::SeqCst), 60);
+        ppe.write_in_mbox(0, SPU_EXIT).unwrap();
+        let report = h.join().unwrap();
+        assert_eq!(report.trace.counters.get(Counter::KernelInvocations), 3);
+        assert_eq!(report.trace.counters.get(Counter::BatchSize), 3);
+    }
+
+    #[test]
+    fn batch_reports_failed_members_as_bitmask() {
+        use crate::opcodes::{SPU_BATCH, SPU_OK};
+        let mut m = CellMachine::new(MachineConfig::small()).unwrap();
+        let mut ppe = m.ppe();
+        let mut d = KernelDispatcher::new("batched", ReplyMode::Polling);
+        // Status is the argument: non-zero args simulate per-member
+        // checksum failures.
+        let op = d.register("status", |_, v| Ok(v));
+        let h = m.spawn(0, Box::new(d)).unwrap();
+        ppe.write_in_mbox(0, SPU_BATCH).unwrap();
+        ppe.write_in_mbox(0, 3).unwrap();
+        for status in [SPU_OK, 1, SPU_OK] {
+            ppe.write_in_mbox(0, op).unwrap();
+            ppe.write_in_mbox(0, status).unwrap();
+        }
+        // Member 1 failed → bit 1 set.
+        assert_eq!(ppe.read_out_mbox(0).unwrap(), 0b010);
+        ppe.write_in_mbox(0, SPU_EXIT).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn batch_rejects_zero_and_oversized_counts() {
+        use crate::opcodes::SPU_BATCH;
+        let mut m = CellMachine::new(MachineConfig::small()).unwrap();
+        let mut ppe = m.ppe();
+        let mut d = KernelDispatcher::new("batched", ReplyMode::Polling);
+        d.register("noop", |_, _| Ok(0));
+        let h = m.spawn(0, Box::new(d)).unwrap();
+        ppe.write_in_mbox(0, SPU_BATCH).unwrap();
         ppe.write_in_mbox(0, 0).unwrap();
         assert!(h.join().is_err());
     }

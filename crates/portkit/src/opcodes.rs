@@ -17,6 +17,21 @@ pub const fn run_opcode(n: u32) -> u32 {
     SPU_RUN_BASE + n
 }
 
+/// Batch-control opcode: the dispatcher reads a count word next, then
+/// that many `(opcode, argument)` pairs, runs them back to back, and
+/// replies with a *single* status word — `SPU_OK` if every member
+/// succeeded, otherwise a bitmask of the failed member indices. Packing
+/// several small requests into one round-trip amortizes the mailbox
+/// latency that otherwise separates them ("grouped" execution applied to
+/// messaging, not just scheduling). The value sits far above any
+/// sequential `run_opcode` so the two ranges can never collide.
+pub const SPU_BATCH: u32 = 0xB47C4;
+
+/// Largest member count `SPU_BATCH` accepts: failure indices must fit a
+/// 16-bit reply bitmask, and a bounded batch keeps the inbound mailbox
+/// acting as flow control rather than an unbounded queue.
+pub const MAX_BATCH: usize = 16;
+
 /// Status word a kernel writes back on success when it has no better
 /// result to report.
 pub const SPU_OK: u32 = 0;
@@ -36,5 +51,18 @@ mod tests {
         assert_ne!(run_opcode(0), SPU_EXIT);
         assert_eq!(run_opcode(0), 1);
         assert_eq!(run_opcode(4), 5);
+    }
+
+    #[test]
+    fn batch_opcode_is_outside_the_run_range() {
+        // Dispatchers register at most a few dozen functions; any sane
+        // table stays far below the batch-control word.
+        for n in 0..1_000 {
+            assert_ne!(run_opcode(n), SPU_BATCH);
+        }
+        assert_ne!(SPU_BATCH, SPU_EXIT);
+        assert_ne!(SPU_BATCH, SPU_CORRUPT);
+        // Failure bitmasks (≤ 16 bits) stay distinguishable from SPU_OK.
+        const { assert!(MAX_BATCH <= 16) }
     }
 }

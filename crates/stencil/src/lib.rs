@@ -6,7 +6,7 @@
 //! This crate is the evidence: a Jacobi heat-diffusion solver — an
 //! iterative 5-point stencil, a completely different communication
 //! pattern from MARVEL's streaming filters — ported through exactly the
-//! same machinery: a [`portkit::SpeInterface`] stub, a
+//! same machinery: a single-lane [`cell_engine::Engine`] on the PPE, a
 //! [`portkit::KernelDispatcher`] kernel, wrapper structs, halo-aware DMA
 //! slicing, and SIMD compute.
 //!

@@ -3,18 +3,19 @@
 //! Exactly the paper's §3 recipe, applied to an iterative solver:
 //! a wrapper struct carries the grid geometry, iteration count and the
 //! two ping-pong buffers' effective addresses; the kernel picks its
-//! regime (LS-resident vs banded) from the §3.2 sizing rule; the stub is
-//! a plain [`SpeInterface`].
+//! regime (LS-resident vs banded) from the §3.2 sizing rule; the PPE
+//! side is a single-lane [`cell_engine::Engine`].
 
 use cell_core::{CellError, CellResult, OpProfile, VirtualDuration};
 #[cfg(test)]
 use cell_core::{CostModel, MachineProfile};
+use cell_engine::Engine;
 use cell_mem::StructLayout;
 use cell_sys::machine::{CellMachine, SpeHandle};
 use cell_sys::ppe::Ppe;
 use cell_sys::spe::SpeEnv;
 use portkit::dispatcher::KernelDispatcher;
-use portkit::interface::{ReplyMode, SpeInterface};
+use portkit::interface::ReplyMode;
 use portkit::wrapper::MsgWrapper;
 
 use crate::grid::{jacobi_band_simd, jacobi_step, jacobi_step_counted, Grid};
@@ -148,11 +149,14 @@ fn stencil_body(env: &mut SpeEnv, addr: u32) -> CellResult<u32> {
     })
 }
 
+/// The SPE hosting the stencil dispatcher.
+const STENCIL_SPE: usize = 0;
+
 /// The PPE-side application.
 pub struct StencilApp {
     machine: CellMachine,
     ppe: Ppe,
-    stub: SpeInterface,
+    engine: Engine,
     opcode: u32,
     handle: Option<SpeHandle>,
 }
@@ -163,24 +167,29 @@ impl StencilApp {
         let ppe = machine.ppe();
         let mut d = KernelDispatcher::new("stencil", ReplyMode::Polling);
         let opcode = d.register("jacobi", stencil_body);
-        let handle = machine.spawn(0, Box::new(d))?;
+        let handle = machine.spawn(STENCIL_SPE, Box::new(d))?;
         Ok(StencilApp {
             machine,
             ppe,
-            stub: SpeInterface::new("stencil", 0, ReplyMode::Polling),
+            engine: Engine::new(STENCIL_SPE + 1),
             opcode,
             handle: Some(handle),
         })
     }
 
-    /// The opcode the PPE stub sends to invoke the Jacobi kernel.
+    /// The opcode the PPE sends to invoke the Jacobi kernel.
     pub fn opcode(&self) -> u32 {
         self.opcode
     }
 
     /// The SPE hosting the stencil dispatcher.
     pub fn spe(&self) -> usize {
-        self.stub.spe_id()
+        STENCIL_SPE
+    }
+
+    /// The engine's in-flight window (1: each solve is one round trip).
+    pub fn engine_window(&self) -> usize {
+        self.engine.window()
     }
 
     /// Run `iters` Jacobi sweeps on the SPE; returns the relaxed grid and
@@ -203,9 +212,14 @@ impl StencilApp {
         wrapper.set_u64(fb, ea_b)?;
 
         let t0 = self.ppe.elapsed();
-        let where_result =
-            self.stub
-                .send_and_wait(&mut self.ppe, self.opcode, wrapper.addr_word()?)?;
+        let ticket = self.engine.submit_to_spe(
+            &mut self.ppe,
+            STENCIL_SPE,
+            "jacobi",
+            self.opcode,
+            wrapper.addr_word()?,
+        )?;
+        let where_result = self.engine.complete(&mut self.ppe, ticket)?;
         let elapsed = self.ppe.elapsed() - t0;
 
         let result_ea = if where_result == RESULT_IN_A {
@@ -225,7 +239,7 @@ impl StencilApp {
 
     /// Shut the kernel down and return the machine's reports.
     pub fn finish(mut self) -> CellResult<Vec<cell_sys::machine::SpeReport>> {
-        self.stub.close(&mut self.ppe)?;
+        self.engine.close(&mut self.ppe)?;
         let mut reports = Vec::new();
         if let Some(h) = self.handle.take() {
             reports.push(h.join()?);

@@ -16,13 +16,14 @@
 //! cargo run --release --example image_filter_offload
 //! ```
 
+use cell_engine::Engine;
 use cell_sys::machine::CellMachine;
 use cell_sys::spe::SpeEnv;
 use marvel::image::ColorImage;
 use marvel::kernels::{band_plans, HaloBandReader};
 use marvel::wire::{image_stride, upload_image};
 use portkit::dispatcher::KernelDispatcher;
-use portkit::interface::{ReplyMode, SpeInterface};
+use portkit::interface::ReplyMode;
 
 const W: usize = 1600;
 const H: usize = 1200;
@@ -140,7 +141,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let op_gray = d.register("gray", |env, a| filter_body(env, a, false));
     let op_blur = d.register("blur", |env, a| filter_body(env, a, true));
     let handle = machine.spawn(0, Box::new(d))?;
-    let mut stub = SpeInterface::new("filters", 0, ReplyMode::Polling);
+    let mut engine = Engine::new(1);
 
     let mem = std::sync::Arc::clone(ppe.mem());
     let stride = image_stride(W);
@@ -160,12 +161,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Ok(out)
     };
 
-    for (name, op, reference) in [
-        ("color conversion", op_gray, reference_gray_rgb(&img)),
-        ("3x3 convolution", op_blur, reference_blur(&img)),
+    for (name, label, op, reference) in [
+        (
+            "color conversion",
+            "gray",
+            op_gray,
+            reference_gray_rgb(&img),
+        ),
+        ("3x3 convolution", "blur", op_blur, reference_blur(&img)),
     ] {
         let t0 = ppe.elapsed();
-        stub.send_and_wait(&mut ppe, op, wrapper as u32)?;
+        let ticket = engine.submit_to_spe(&mut ppe, 0, label, op, wrapper as u32)?;
+        engine.complete(&mut ppe, ticket)?;
         let dt = ppe.elapsed() - t0;
         let got = read_result(&mem)?;
         let ok = got == reference;
@@ -185,7 +192,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert!(ok);
     }
 
-    stub.close(&mut ppe)?;
+    engine.close(&mut ppe)?;
     let report = handle.join()?;
     println!(
         "SPE DMA traffic: {:.1} MB in, {:.1} MB out across {} transfers ({} stall cycles)",

@@ -1,18 +1,21 @@
 //! Quickstart: offload one function to an SPE with the porting kit.
 //!
 //! The five-minute version of the paper's strategy — a "kernel" (sum a
-//! block of bytes) moves behind a `SpeInterface` stub, with the mailbox
-//! protocol, the DMA wrapper and the virtual-time accounting all visible.
+//! block of bytes) moves behind the shared [`cell_engine::Engine`], with
+//! the mailbox protocol, the DMA wrapper and the virtual-time accounting
+//! all visible. The engine is the same executor every shipped port runs
+//! on; here it drives a single lane, one request in flight.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
 use cell_core::MachineConfig;
+use cell_engine::Engine;
 use cell_sys::machine::CellMachine;
 use cell_sys::spe::SpeEnv;
 use portkit::dispatcher::KernelDispatcher;
-use portkit::interface::{ReplyMode, SpeInterface};
+use portkit::interface::ReplyMode;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Build a Cell B.E. (1 PPE + 8 SPEs, 256 KB local stores).
@@ -38,14 +41,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Spawn it on SPE 0 — statically scheduled, it stays resident and
     //    idle between calls (paper §3.3).
     let handle = machine.spawn(0, Box::new(dispatcher))?;
-    let mut stub = SpeInterface::new("summer", 0, ReplyMode::Polling);
+    let mut engine = Engine::new(1);
 
-    // 4. The main application: put data in main memory, call through the
-    //    stub exactly like paper Listing 4 calls Kernel1Interface.
+    // 4. The main application: put data in main memory, submit the
+    //    request through the engine and redeem the ticket — the async
+    //    pair behind every shipped driver (a deeper in-flight window
+    //    and SPU_BATCH framing come with `with_window`/`submit_batch`).
     let data_ea = ppe.mem().alloc(4096, 128)?;
     ppe.mem().fill(data_ea, 3, 4096)?;
 
-    let result = stub.send_and_wait(&mut ppe, op_sum, data_ea as u32)?;
+    let ticket = engine.submit_to_spe(&mut ppe, 0, "sum_block", op_sum, data_ea as u32)?;
+    let result = engine.complete(&mut ppe, ticket)?;
     println!(
         "SPE says the block sums to {result} (expected {})",
         3 * 4096
@@ -53,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(result, 3 * 4096);
 
     // 5. Tear down and look at the accounting.
-    stub.close(&mut ppe)?;
+    engine.close(&mut ppe)?;
     let report = handle.join()?;
     println!(
         "SPE report: {} bytes DMAed in, {} virtual cycles, LS high-water {} bytes",

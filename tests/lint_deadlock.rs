@@ -56,6 +56,7 @@ fn deadlocking_model(bad_opcode: u32) -> PortModel {
         kernel_specs: Vec::new(),
         scripts: vec![DispatchScript {
             kernel: 0,
+            window: 1,
             ops: vec![
                 ScriptOp::Send { opcode: bad_opcode },
                 ScriptOp::WaitReply,

@@ -111,3 +111,24 @@ fn pipelined_marvel_trace_is_race_free() {
     let findings = detect_races(&trace);
     assert!(findings.is_empty(), "false positives: {findings:?}");
 }
+
+/// The engine's batch path keeps `window` (= 2) requests in flight per
+/// lane — sends run ahead of replies. The mailbox queues are FIFO, so
+/// every dispatch word still carries a happens-before edge from the
+/// last PPE event to the SPE that consumes it, and the per-kernel
+/// wrapper partitioning means no unordered transfers overlap: a fully
+/// traced pipelined batch run must stay race-free.
+#[test]
+fn engine_pipelined_batch_trace_is_race_free() {
+    use marvel::codec::encode;
+    let mut app =
+        CellMarvel::with_trace(Scenario::ParallelExtract, true, 5, TraceConfig::Full).unwrap();
+    assert!(app.engine_window() >= 2, "batch path must be pipelined");
+    let inputs: Vec<_> = (0..3u64)
+        .map(|seed| encode(&ColorImage::synthetic(64, 48, seed).unwrap(), 90))
+        .collect();
+    app.analyze_batch_engine(&inputs).unwrap();
+    let (_, _, trace) = app.finish_traced().unwrap();
+    let findings = detect_races(&trace);
+    assert!(findings.is_empty(), "false positives: {findings:?}");
+}

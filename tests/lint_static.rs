@@ -79,6 +79,7 @@ fn unregistered_opcode_triggers_dispatch_unknown_opcode() {
     // mailbox forever (the Listing-3 deadlock).
     m.scripts = vec![DispatchScript {
         kernel: 0,
+        window: 1,
         ops: vec![
             ScriptOp::Send { opcode: 0xBEEF },
             ScriptOp::WaitReply,
@@ -130,9 +131,10 @@ fn missing_exit_and_mailbox_misuse_are_flagged() {
     let op = run_opcode(0);
     m.scripts = vec![DispatchScript {
         kernel: 0,
+        window: 1,
         ops: vec![
             ScriptOp::Send { opcode: op },
-            ScriptOp::Send { opcode: op }, // double send before draining
+            ScriptOp::Send { opcode: op }, // double send past the window
             ScriptOp::WaitReply,
             ScriptOp::WaitReply,
             ScriptOp::WaitReply, // one read too many
