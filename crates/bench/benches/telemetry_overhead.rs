@@ -1,0 +1,133 @@
+//! BENCH_06 — the telemetry plane's wall-clock trajectory.
+//!
+//! Three measurements, all on the host clock (simulated cycles are
+//! invariant under tracing, so the interesting cost is real time):
+//!
+//! * **Full-trace overhead** — the same pipelined batch-engine MARVEL
+//!   run under `TraceConfig::Off` vs `TraceConfig::Full` with per-frame
+//!   spans. Asserted under a budget: pre-reserved event storage keeps
+//!   whole-machine tracing affordable enough to leave on.
+//! * **Serve throughput** — wall-clock requests/sec of a fully
+//!   telemetered soak (request spans on the wire, flight recorder
+//!   armed, metrics live).
+//! * **Event pre-reservation** — the tracer-level before/after of this
+//!   PR's `EVENT_PREALLOC` change: the same push loop against a cold
+//!   event vec vs a pre-reserved one.
+//!
+//! Results land in `target/bench/BENCH_06.json` for the CI artifact.
+
+use std::time::Duration;
+
+use cell_bench::harness::Criterion;
+use cell_bench::{
+    criterion_group, criterion_main, measure_event_prealloc, measure_serve_throughput,
+    measure_trace_overhead, small_workload, SEED,
+};
+
+const FRAMES: usize = 8;
+const REQUESTS: usize = 6;
+const PREALLOC_EVENTS: usize = 200_000;
+/// Full tracing may cost at most this multiple of an untraced run.
+/// Generous (the real ratio is near 1) because CI hosts are noisy.
+const FULL_TRACE_BUDGET: f64 = 2.5;
+
+fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_bench_json(
+    off: Duration,
+    full: Duration,
+    served: u64,
+    serve_wall: Duration,
+    cold: Duration,
+    prereserved: Duration,
+) -> std::io::Result<String> {
+    let ratio = secs(full) / secs(off).max(1e-12);
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"BENCH_06\",\"seed\":{seed},\"clock_ghz\":3.2,",
+            "\"full_trace_overhead\":{{\"frames\":{frames},",
+            "\"off_wall_ms\":{ow:.3},\"full_wall_ms\":{fw:.3},",
+            "\"ratio\":{ratio:.4},\"budget\":{budget},",
+            "\"frames_per_sec_off\":{fpo:.1},\"frames_per_sec_full\":{fpf:.1}}},",
+            "\"serve_throughput\":{{\"requests\":{reqs},\"served\":{served},",
+            "\"wall_ms\":{sw:.3},\"requests_per_sec_wall\":{rps:.1}}},",
+            "\"event_prealloc\":{{\"events\":{ev},",
+            "\"cold_ms\":{cm:.3},\"prereserved_ms\":{pm:.3}}}}}"
+        ),
+        seed = SEED,
+        frames = FRAMES,
+        ow = secs(off) * 1e3,
+        fw = secs(full) * 1e3,
+        ratio = ratio,
+        budget = FULL_TRACE_BUDGET,
+        fpo = FRAMES as f64 / secs(off),
+        fpf = FRAMES as f64 / secs(full),
+        reqs = REQUESTS,
+        served = served,
+        sw = secs(serve_wall) * 1e3,
+        rps = served as f64 / secs(serve_wall),
+        ev = PREALLOC_EVENTS,
+        cm = secs(cold) * 1e3,
+        pm = secs(prereserved) * 1e3,
+    );
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/bench");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_06.json");
+    std::fs::write(&path, &json)?;
+    Ok(path.display().to_string())
+}
+
+fn bench_telemetry(c: &mut Criterion) {
+    let inputs = small_workload(FRAMES, 96, 64);
+
+    let (off, full) = measure_trace_overhead(&inputs, 3).unwrap();
+    let ratio = secs(full) / secs(off).max(1e-12);
+    println!("Full-trace overhead ({FRAMES}-frame MARVEL run, fixed seed {SEED}):");
+    println!(
+        "  off {:.3} ms ({:.1} frames/s), full {:.3} ms ({:.1} frames/s) -> {ratio:.2}x",
+        secs(off) * 1e3,
+        FRAMES as f64 / secs(off),
+        secs(full) * 1e3,
+        FRAMES as f64 / secs(full),
+    );
+    assert!(
+        ratio < FULL_TRACE_BUDGET,
+        "Full tracing cost {ratio:.2}x an untraced run, budget is {FULL_TRACE_BUDGET}x"
+    );
+
+    let (served, serve_wall) = measure_serve_throughput(REQUESTS).unwrap();
+    println!("Telemetered serve soak ({REQUESTS} requests):");
+    println!(
+        "  served {served} in {:.3} ms -> {:.1} requests/s wall",
+        secs(serve_wall) * 1e3,
+        served as f64 / secs(serve_wall),
+    );
+    assert!(served > 0, "the fault-free soak must serve requests");
+
+    let (cold, prereserved) = measure_event_prealloc(PREALLOC_EVENTS);
+    println!("Event storage pre-reservation ({PREALLOC_EVENTS} pushes):");
+    println!(
+        "  cold {:.3} ms, pre-reserved {:.3} ms",
+        secs(cold) * 1e3,
+        secs(prereserved) * 1e3,
+    );
+
+    let path = write_bench_json(off, full, served, serve_wall, cold, prereserved).unwrap();
+    println!("report: {path}\n");
+
+    // Host-clock samples of the overhead measurement for criterion's
+    // statistics (the JSON above keeps the single best-of-3 numbers).
+    let mut g = c.benchmark_group("telemetry");
+    g.sample_size(10);
+    let tiny = small_workload(2, 48, 32);
+    g.bench_function("traced_pipeline/2", |b| {
+        b.iter(|| measure_trace_overhead(&tiny, 1).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_telemetry);
+criterion_main!(benches);

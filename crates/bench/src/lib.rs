@@ -396,6 +396,87 @@ pub fn bench_model(dim: usize, n: usize) -> SvmModel {
     SvmModel::synthetic("bench", dim, n, SEED)
 }
 
+// ---------------------------------------------------------------------
+// BENCH_06: telemetry-plane overhead and wall-clock throughput
+// ---------------------------------------------------------------------
+
+/// Host wall-clock of the same pipelined batch-engine MARVEL run under
+/// `TraceConfig::Off` vs `TraceConfig::Full` with per-frame spans — the
+/// telemetry plane's overhead measurement. Takes the best of `reps`
+/// runs per config to damp host noise; the simulated cycle counts are
+/// unaffected by tracing, so only wall time is interesting here.
+/// Returns `(off, full)`.
+pub fn measure_trace_overhead(
+    inputs: &[Compressed],
+    reps: usize,
+) -> CellResult<(std::time::Duration, std::time::Duration)> {
+    use cell_trace::TraceConfig;
+    let run = |trace: TraceConfig| -> CellResult<std::time::Duration> {
+        let mut best: Option<std::time::Duration> = None;
+        for _ in 0..reps.max(1) {
+            let t0 = std::time::Instant::now();
+            let mut app = CellMarvel::with_trace(Scenario::ParallelExtract, true, SEED, trace)?;
+            if trace.events() {
+                app.enable_frame_spans();
+            }
+            app.analyze_batch_engine(inputs)?;
+            let _ = app.finish_traced()?;
+            let dt = t0.elapsed();
+            best = Some(best.map_or(dt, |b| b.min(dt)));
+        }
+        Ok(best.expect("reps clamped to >= 1"))
+    };
+    Ok((run(TraceConfig::Off)?, run(TraceConfig::Full)?))
+}
+
+/// Wall-clock requests/sec of a fully telemetered serve soak: request
+/// spans on the wire, `Counters` tracing (flight recorder armed) and
+/// the metrics registry live. Returns `(served, wall)`.
+pub fn measure_serve_throughput(requests: usize) -> CellResult<(u64, std::time::Duration)> {
+    use cell_fault::FaultPlan;
+    use cell_serve::{generate, CellServer, ServeConfig, WorkloadSpec};
+    let cfg = ServeConfig {
+        seed: SEED,
+        queue_capacity: 1_024,
+        degrade_high: 1_024,
+        degrade_critical: 1_024,
+        trace: cell_trace::TraceConfig::Counters,
+        request_spans: true,
+        ..ServeConfig::default()
+    };
+    let stream = generate(&WorkloadSpec {
+        requests,
+        seed: SEED,
+        width: 48,
+        height: 32,
+        ..WorkloadSpec::default()
+    })?;
+    let t0 = std::time::Instant::now();
+    let mut server = CellServer::new(cfg, FaultPlan::new())?;
+    server.run(stream)?;
+    let output = server.finish()?;
+    Ok((output.report.served, t0.elapsed()))
+}
+
+/// Tracer-level cost of recording `events` span events with and without
+/// pre-reserved event storage (the PR's `EVENT_PREALLOC` optimization).
+/// Returns `(cold, prereserved)` wall times for the same push loop.
+#[must_use]
+pub fn measure_event_prealloc(events: usize) -> (std::time::Duration, std::time::Duration) {
+    use cell_trace::{EventKind, TraceConfig, Tracer, Track};
+    let run = |capacity: usize| {
+        let mut t = Tracer::with_event_capacity(TraceConfig::Full, Track::Ppe, 3.2e9, capacity);
+        let t0 = std::time::Instant::now();
+        for i in 0..events {
+            t.span(EventKind::Kernel, "bench", i as u64, 1, 0, 0);
+        }
+        let dt = t0.elapsed();
+        assert_eq!(t.events().len(), events);
+        dt
+    };
+    (run(0), run(events))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -35,7 +35,7 @@ use cell_core::{CellError, CellResult};
 use cell_sys::ppe::Ppe;
 use cell_trace::{Counter, EventKind};
 use portkit::interface::ReplyMode;
-use portkit::opcodes::{MAX_BATCH, SPU_BATCH, SPU_EXIT};
+use portkit::opcodes::{MAX_BATCH, SPU_BATCH, SPU_EXIT, SPU_SPAN};
 use portkit::schedule::{KernelId, Schedule};
 use portkit::RetryPolicy;
 
@@ -68,6 +68,10 @@ struct Request {
     attempts: u32,
     /// Member count: 1 for singles, n for a batch.
     batch: usize,
+    /// Request span context captured at submit (0 = none). Rides the
+    /// wire as an `SPU_SPAN` prefix and tags the PPE dispatch span, so
+    /// retries and failovers keep one trace id per request.
+    span: u64,
 }
 
 #[derive(Debug, Default)]
@@ -107,6 +111,8 @@ pub struct Engine {
     next_ticket: Ticket,
     recovery: Vec<RecoveryEvent>,
     submissions: u64,
+    /// Ambient span context stamped onto subsequent submissions.
+    current_span: u64,
 }
 
 impl Engine {
@@ -129,6 +135,7 @@ impl Engine {
             next_ticket: 1,
             recovery: Vec::new(),
             submissions: 0,
+            current_span: 0,
         }
     }
 
@@ -221,6 +228,33 @@ impl Engine {
     /// Requests submitted over the engine's lifetime.
     pub fn submissions(&self) -> u64 {
         self.submissions
+    }
+
+    // ---- request span context -------------------------------------------
+
+    /// Set the ambient request span context: every submission until
+    /// [`Engine::clear_span_context`] carries this trace id over the
+    /// wire (an [`SPU_SPAN`] prefix before its mailbox words) and onto
+    /// its PPE dispatch span. Trace ids must fit a mailbox word; ids
+    /// above `u32::MAX` are rejected rather than silently truncated.
+    pub fn set_span_context(&mut self, span: u64) -> CellResult<()> {
+        if span > u64::from(u32::MAX) {
+            return Err(CellError::BadKernelSpec {
+                message: format!("span context {span} does not fit a mailbox word"),
+            });
+        }
+        self.current_span = span;
+        Ok(())
+    }
+
+    /// Drop the ambient span context; later submissions are untagged.
+    pub fn clear_span_context(&mut self) {
+        self.current_span = 0;
+    }
+
+    /// The ambient span context (0 when none is set).
+    pub fn current_span(&self) -> u64 {
+        self.current_span
     }
 
     /// Queued + in-flight requests on one lane.
@@ -379,6 +413,18 @@ impl Engine {
         if !self.alive[spe] && slot.is_none() {
             return Err(dead_spe(spe));
         }
+        let span = self.current_span;
+        let words = if span == 0 {
+            words
+        } else {
+            // Prefix the span context on the wire; the dispatcher strips
+            // it before decoding the real opcode (or batch framing).
+            let mut prefixed = Vec::with_capacity(2 + words.len());
+            prefixed.push(SPU_SPAN);
+            prefixed.push(span as u32);
+            prefixed.extend_from_slice(&words);
+            prefixed
+        };
         let ticket = self.alloc_ticket(spe);
         self.lanes[spe].sendq.push_back(Request {
             ticket,
@@ -389,6 +435,7 @@ impl Engine {
             slot,
             attempts: 0,
             batch,
+            span,
         });
         self.pump_lane(ppe, spe, obs)?;
         Ok(ticket)
@@ -425,9 +472,15 @@ impl Engine {
         while self.lanes[spe].inflight.len() < self.window && !self.lanes[spe].sendq.is_empty() {
             let mut req = self.lanes[spe].sendq.pop_front().expect("checked nonempty");
             req.t0 = Some(ppe.clock.now());
+            // Save/restore the caller's ambient span rather than
+            // clearing: the serving layer keeps its own request span set
+            // across a whole dispatch sequence.
+            let prev = ppe.tracer().current_span();
+            ppe.tracer_mut().set_span_context(req.span);
             for &w in &req.words {
                 ppe.write_in_mbox(spe, w)?;
             }
+            ppe.tracer_mut().set_span_context(prev);
             req.written = req.words.len();
             self.lanes[spe].inflight.push_back(req);
             let depth = self.lanes[spe].inflight.len() as u64;
@@ -465,16 +518,26 @@ impl Engine {
             if req.written == 0 {
                 req.t0 = Some(ppe.clock.now());
             }
+            let prev = ppe.tracer().current_span();
+            ppe.tracer_mut().set_span_context(req.span);
             while req.written < req.words.len() {
                 match ppe.try_write_in_mbox(spe, req.words[req.written]) {
                     Ok(()) => req.written += 1,
-                    Err(CellError::MailboxFull) => return Ok(()),
+                    Err(CellError::MailboxFull) => {
+                        ppe.tracer_mut().set_span_context(prev);
+                        return Ok(());
+                    }
                     Err(CellError::MailboxClosed) => {
+                        ppe.tracer_mut().set_span_context(prev);
                         return self.fail_over_lane(ppe, spe, obs);
                     }
-                    Err(e) => return Err(e),
+                    Err(e) => {
+                        ppe.tracer_mut().set_span_context(prev);
+                        return Err(e);
+                    }
                 }
             }
+            ppe.tracer_mut().set_span_context(prev);
             let req = self.lanes[spe].sendq.pop_front().expect("checked nonempty");
             self.lanes[spe].inflight.push_back(req);
             let depth = self.lanes[spe].inflight.len() as u64;
@@ -540,13 +603,16 @@ impl Engine {
         };
         let now = ppe.clock.now();
         let t0 = req.t0.unwrap_or(now);
-        ppe.tracer_mut().span(
+        // Explicit span: under a pipelined window the completing request
+        // is generally not the one the ambient context (if any) names.
+        ppe.tracer_mut().span_tagged(
             EventKind::Dispatch,
             req.label,
             t0,
             now.saturating_sub(t0),
             spe as u64,
             0,
+            req.span,
         );
         ppe.tracer_mut().count(Counter::Dispatches, 1);
         if req.batch > 1 {
@@ -618,21 +684,22 @@ impl Engine {
     /// SPE under the retry budget, with backoff and trace.
     fn retry_front(&mut self, ppe: &mut Ppe, spe: usize) -> CellResult<()> {
         let now = ppe.clock.now();
-        let (label, attempt) = {
+        let (label, attempt, span) = {
             let front = self.lanes[spe].inflight.front_mut().expect("nonempty");
             front.attempts += 1;
             front.written = 0;
             front.t0 = None;
-            (front.label, front.attempts)
+            (front.label, front.attempts, front.span)
         };
         let backoff = self.policy.backoff(attempt);
-        ppe.tracer_mut().span(
+        ppe.tracer_mut().span_tagged(
             EventKind::Recovery,
             "retry",
             now,
             backoff,
             spe as u64,
             u64::from(attempt),
+            span,
         );
         ppe.tracer_mut().count(Counter::Retries, 1);
         ppe.charge_cycles(backoff);
@@ -647,6 +714,8 @@ impl Engine {
         self.drain_stale(ppe, spe)?;
         let front = self.lanes[spe].inflight.front_mut().expect("nonempty");
         front.t0 = Some(ppe.clock.now());
+        let prev = ppe.tracer().current_span();
+        ppe.tracer_mut().set_span_context(front.span);
         while front.written < front.words.len() {
             match ppe.try_write_in_mbox(spe, front.words[front.written]) {
                 Ok(()) => front.written += 1,
@@ -654,9 +723,13 @@ impl Engine {
                 // sees a partial delivery and fails over.
                 Err(CellError::MailboxFull) => break,
                 Err(CellError::MailboxClosed) => break,
-                Err(e) => return Err(e),
+                Err(e) => {
+                    ppe.tracer_mut().set_span_context(prev);
+                    return Err(e);
+                }
             }
         }
+        ppe.tracer_mut().set_span_context(prev);
         Ok(())
     }
 
@@ -1123,6 +1196,47 @@ mod tests {
             .submit_batch_to_spe(&mut ppe, 0, "x", &[(1, 0), (1, 1)])
             .unwrap_err();
         assert!(matches!(err, CellError::BadKernelSpec { .. }), "{err}");
+    }
+
+    #[test]
+    fn span_context_propagates_to_both_sides_of_the_wire() {
+        let (_m, mut ppe, op, handles) = adder_machine(1, FaultPlan::new());
+        let mut eng = Engine::new(1);
+        eng.set_span_context(11).unwrap();
+        let t1 = eng.submit_to_spe(&mut ppe, 0, "add", op, 1).unwrap();
+        eng.clear_span_context();
+        let t2 = eng.submit_to_spe(&mut ppe, 0, "add", op, 2).unwrap();
+        assert_eq!(eng.complete(&mut ppe, t1).unwrap(), 8);
+        assert_eq!(eng.complete(&mut ppe, t2).unwrap(), 9);
+        eng.close(&mut ppe).unwrap();
+        let mut reports = Vec::new();
+        for h in handles {
+            reports.push(h.join().unwrap());
+        }
+        let trace = ppe.take_trace();
+        let dispatch_spans: Vec<u64> = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Dispatch)
+            .map(|e| e.span)
+            .collect();
+        assert_eq!(dispatch_spans, vec![11, 0]);
+        // The PPE's sends for the tagged request carry the id too.
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| e.kind == EventKind::MailboxSend && e.span == 11));
+        // And the SPE-side kernel invocation inherited it over the wire.
+        let kernel_spans: Vec<u64> = reports[0]
+            .trace
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Kernel)
+            .map(|e| e.span)
+            .collect();
+        assert_eq!(kernel_spans, vec![11, 0]);
+        // Oversized ids are rejected, not truncated.
+        assert!(eng.set_span_context(u64::from(u32::MAX) + 1).is_err());
     }
 
     #[test]

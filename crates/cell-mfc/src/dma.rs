@@ -134,6 +134,13 @@ impl Mfc {
         std::mem::replace(&mut self.tracer, Tracer::off()).finish()
     }
 
+    /// The MFC's tracer, mutably — the SPE environment forwards request
+    /// span context here so DMA events carry the same trace id as the
+    /// kernel that issued them.
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
     pub fn spe_id(&self) -> usize {
         self.spe_id
     }

@@ -28,6 +28,7 @@
 
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Instant;
 
 use cell_core::{CellError, CellResult, MachineConfig, VirtualDuration};
 use cell_engine::{codec, Engine, EngineObserver, FailoverMode, RecoveryEvent};
@@ -35,7 +36,8 @@ use cell_fault::FaultPlan;
 use cell_sys::machine::{CellMachine, SpeHandle, SpeReport};
 use cell_sys::ppe::Ppe;
 use cell_sys::spe::SpeEnv;
-use cell_trace::{Counter, EventKind, LogHistogram, TraceConfig, TraceReport};
+use cell_telemetry::{FlightDump, MetricsRegistry};
+use cell_trace::{Counter, EventKind, LogHistogram, TraceConfig, TraceReport, FLIGHT_CAPACITY};
 use marvel::app::{MarvelModels, EXTRACT_KINDS};
 use marvel::features::{Feature, KernelKind};
 use marvel::image::ColorImage;
@@ -122,6 +124,19 @@ pub struct ServeConfig {
     pub mfc_integrity: bool,
     pub policy: RetryPolicy,
     pub trace: TraceConfig,
+    /// Propagate a per-request trace id through the engine onto the
+    /// mailbox wire (`SPU_SPAN`) and emit request/stage span events.
+    /// Off by default: the prefix costs two mailbox words per dispatch,
+    /// which shifts the virtual-time trajectory relative to an
+    /// untelemetered run (results stay byte-identical; recovery timing
+    /// may differ).
+    pub request_spans: bool,
+    /// PPE flight-recorder window: how many recent events the tracer
+    /// retains for post-mortem dumps even under `TraceConfig::Counters`.
+    pub flight_capacity: usize,
+    /// Cap on automatic [`FlightDump`]s per run (breaker trips, respawns
+    /// and retransmits past the cap still count, but stop dumping).
+    pub max_flight_dumps: usize,
 }
 
 impl Default for ServeConfig {
@@ -139,6 +154,9 @@ impl Default for ServeConfig {
             mfc_integrity: true,
             policy: RetryPolicy::default(),
             trace: TraceConfig::Off,
+            request_spans: false,
+            flight_capacity: FLIGHT_CAPACITY,
+            max_flight_dumps: 4,
         }
     }
 }
@@ -198,6 +216,11 @@ pub struct ServeOutput {
     pub report: ServeReport,
     pub spe_reports: Vec<SpeReport>,
     pub trace: TraceReport,
+    /// SLO metrics accumulated over the run (latency quantiles, shed and
+    /// recovery rates, per-SPE utilization).
+    pub metrics: MetricsRegistry,
+    /// Automatic flight-recorder dumps, in trigger order.
+    pub flight_dumps: Vec<FlightDump>,
 }
 
 const PROBE_PAYLOAD: usize = 12;
@@ -231,6 +254,8 @@ pub fn serve_dispatcher(optimized: bool) -> (KernelDispatcher, UniversalOpcodes,
 struct Supervision<'a> {
     heartbeats: &'a mut [u64],
     breakers: &'a mut [CircuitBreaker],
+    /// Per-SPE completed-dispatch tally (feeds utilization gauges).
+    completions: &'a mut [u64],
     /// `(at, spe, consecutive_failures)` per breaker trip.
     trips: Vec<(u64, usize, u32)>,
 }
@@ -239,6 +264,7 @@ impl EngineObserver for Supervision<'_> {
     fn on_success(&mut self, spe: usize, _kernel: &'static str, at: u64) {
         self.heartbeats[spe] = at;
         self.breakers[spe].record_success();
+        self.completions[spe] += 1;
     }
 
     fn on_failure(&mut self, spe: usize, _kernel: &'static str, at: u64) {
@@ -276,6 +302,12 @@ pub struct CellServer {
     shed_deadline: u64,
     respawns: u64,
     retransmits: u64,
+    metrics: MetricsRegistry,
+    flight_dumps: Vec<FlightDump>,
+    spe_completions: Vec<u64>,
+    /// Host wall clock at construction: the second clock of the
+    /// telemetry plane's dual-clock reporting (virtual cycles + wall µs).
+    wall_start: Instant,
 }
 
 impl CellServer {
@@ -287,7 +319,8 @@ impl CellServer {
         let mut machine = CellMachine::new(machine_cfg)?;
         machine.set_trace_config(cfg.trace);
         machine.set_fault_plan(plan);
-        let ppe = machine.ppe();
+        let mut ppe = machine.ppe();
+        ppe.tracer_mut().set_flight_capacity(cfg.flight_capacity);
         let models = MarvelModels::synthetic(cfg.seed);
 
         let mem = Arc::clone(ppe.mem());
@@ -354,6 +387,10 @@ impl CellServer {
             shed_deadline: 0,
             respawns: 0,
             retransmits: 0,
+            metrics: MetricsRegistry::new(),
+            flight_dumps: Vec::new(),
+            spe_completions: vec![0; num_spes],
+            wall_start: Instant::now(),
         })
     }
 
@@ -394,6 +431,23 @@ impl CellServer {
 
     pub fn respawns(&self) -> u64 {
         self.respawns
+    }
+
+    /// The live SLO metrics registry (finalized copies ship in
+    /// [`ServeOutput::metrics`]).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Flight-recorder dumps captured so far, in trigger order.
+    pub fn flight_dumps(&self) -> &[FlightDump] {
+        &self.flight_dumps
+    }
+
+    /// Host wall-clock µs since the server was built (the second clock
+    /// of dual-clock telemetry; the first is the PPE virtual clock).
+    pub fn wall_elapsed_us(&self) -> u64 {
+        u64::try_from(self.wall_start.elapsed().as_micros()).unwrap_or(u64::MAX)
     }
 
     pub fn queue_depth(&self) -> usize {
@@ -452,11 +506,13 @@ impl CellServer {
     /// [`CellError::Overloaded`] (the backpressure signal a caller feeds
     /// back to its client).
     pub fn try_submit(&mut self, request: Request) -> CellResult<()> {
+        self.metrics.inc("requests_total", 1);
         match self.queue.admit(request) {
             Ok(depth) => {
                 self.ppe
                     .tracer_mut()
                     .count_max(Counter::QueueDepth, depth as u64);
+                self.metrics.set_gauge("queue_depth", depth as f64);
                 Ok(())
             }
             Err((_, err)) => Err(err),
@@ -465,11 +521,13 @@ impl CellServer {
 
     fn admit_or_shed(&mut self, request: Request) {
         let id = request.id;
+        self.metrics.inc("requests_total", 1);
         match self.queue.admit(request) {
             Ok(depth) => {
                 self.ppe
                     .tracer_mut()
                     .count_max(Counter::QueueDepth, depth as u64);
+                self.metrics.set_gauge("queue_depth", depth as f64);
             }
             Err((_, _)) => self.record_shed(id, ShedReason::Overloaded),
         }
@@ -491,7 +549,32 @@ impl CellServer {
             .tracer_mut()
             .span(EventKind::Recovery, label, now, 0, id, arg1);
         self.ppe.tracer_mut().count(Counter::Shed, 1);
+        self.metrics.inc("shed_total", 1);
+        self.metrics.inc(
+            match reason {
+                ShedReason::Overloaded => "shed_overload_total",
+                ShedReason::DeadlineExpired => "shed_deadline_total",
+            },
+            1,
+        );
         self.outcomes.push(Outcome::Shed { id, reason });
+    }
+
+    /// Snapshot the PPE flight recorder plus the metrics registry into a
+    /// [`FlightDump`], up to the configured cap.
+    fn maybe_dump(&mut self, reason: &str) {
+        if self.flight_dumps.len() >= self.cfg.max_flight_dumps {
+            return;
+        }
+        let at_cycles = self.ppe.clock.now();
+        let at_wall_us = self.wall_elapsed_us();
+        self.flight_dumps.push(FlightDump::capture(
+            reason,
+            at_cycles,
+            at_wall_us,
+            self.ppe.tracer().flight_events(),
+            &self.metrics,
+        ));
     }
 
     // ---------------------------------------------------------------
@@ -570,6 +653,8 @@ impl CellServer {
                 u64::from(self.breakers[spe].consecutive_failures()),
             );
             self.ppe.tracer_mut().count(Counter::BreakerTrips, 1);
+            self.metrics.inc("breaker_trips_total", 1);
+            self.maybe_dump("breaker_open");
         }
         if self.engine.alive()[spe] {
             self.engine.fail_over(&mut self.ppe, spe)?;
@@ -605,6 +690,8 @@ impl CellServer {
                 .tracer_mut()
                 .span(EventKind::Recovery, "respawn", now, 0, spe as u64, 0);
             self.ppe.tracer_mut().count(Counter::Respawns, 1);
+            self.metrics.inc("respawns_total", 1);
+            self.maybe_dump("respawn");
         } else {
             let now = self.ppe.clock.now();
             if self.breakers[spe].record_failure(now) {
@@ -617,6 +704,8 @@ impl CellServer {
                     u64::from(self.breakers[spe].consecutive_failures()),
                 );
                 self.ppe.tracer_mut().count(Counter::BreakerTrips, 1);
+                self.metrics.inc("breaker_trips_total", 1);
+                self.maybe_dump("breaker_open");
             }
         }
         Ok(())
@@ -645,6 +734,7 @@ impl CellServer {
         let mut obs = Supervision {
             heartbeats: &mut self.heartbeats,
             breakers: &mut self.breakers,
+            completions: &mut self.spe_completions,
             trips: Vec::new(),
         };
         let result = f(&mut self.engine, &mut self.ppe, &mut obs);
@@ -659,6 +749,8 @@ impl CellServer {
                 u64::from(consecutive),
             );
             self.ppe.tracer_mut().count(Counter::BreakerTrips, 1);
+            self.metrics.inc("breaker_trips_total", 1);
+            self.maybe_dump("breaker_open");
         }
         result
     }
@@ -702,6 +794,8 @@ impl CellServer {
         self.ppe.tracer_mut().count(Counter::ChecksumRetransmits, 1);
         self.ppe.charge_cycles(backoff);
         self.retransmits += 1;
+        self.metrics.inc("request_retransmits_total", 1);
+        self.maybe_dump("checksum_retransmit");
     }
 
     /// Drive `collect` after a kernel round trip, retransmitting the
@@ -734,7 +828,18 @@ impl CellServer {
                 continue;
             }
             match collect() {
-                Ok(v) => return Ok(v),
+                Ok(v) => {
+                    if self.cfg.request_spans {
+                        // Integrity-verify stage marker: instantaneous
+                        // in virtual time (checksum opening is PPE-side
+                        // work), stamped with the current request span.
+                        let now = self.ppe.clock.now();
+                        self.ppe
+                            .tracer_mut()
+                            .span(EventKind::Stage, "verify", now, 0, k as u64, 0);
+                    }
+                    return Ok(v);
+                }
                 Err(CellError::ChecksumMismatch { .. }) => {
                     attempts += 1;
                     if attempts >= budget {
@@ -866,13 +971,65 @@ impl CellServer {
             }
             let Some(request) = next else { continue };
             let level = self.degradation_level();
-            let (features, scores) = self.process(&request, level)?;
+            let started_at = self.ppe.clock.now();
+            let wall_t0 = self.wall_start.elapsed();
+            // Request-scoped span context: trace id = request id + 1
+            // (0 means "unattributed"). The engine resends the id over
+            // the wire (`SPU_SPAN`) on every dispatch — retries and
+            // failovers included — so one trace id survives retransmits.
+            let span = request.id + 1;
+            let queue_wait = started_at.saturating_sub(request.arrival);
+            if self.cfg.request_spans {
+                self.engine.set_span_context(span)?;
+                self.ppe.tracer_mut().set_span_context(span);
+                self.ppe.tracer_mut().span(
+                    EventKind::Stage,
+                    "queue_wait",
+                    request.arrival,
+                    queue_wait,
+                    request.id,
+                    0,
+                );
+            }
+            let result = self.process(&request, level);
+            if self.cfg.request_spans {
+                self.engine.clear_span_context();
+                self.ppe.tracer_mut().clear_span_context();
+            }
+            let (features, scores) = result?;
             let completed_at = self.ppe.clock.now();
-            self.latency
-                .record(completed_at.saturating_sub(request.arrival));
+            let e2e = completed_at.saturating_sub(request.arrival);
+            if self.cfg.request_spans {
+                // The request root spans arrival→completion, so
+                // queue-wait, dispatch, SPE execution and verify all
+                // nest inside it.
+                self.ppe.tracer_mut().span_tagged(
+                    EventKind::Request,
+                    "request",
+                    request.arrival,
+                    e2e,
+                    request.id,
+                    u64::from(level),
+                    span,
+                );
+            }
+            self.latency.record(e2e);
+            self.metrics.observe("e2e_latency_cycles", e2e);
+            self.metrics.observe("queue_wait_cycles", queue_wait);
+            let wall_us = self
+                .wall_start
+                .elapsed()
+                .saturating_sub(wall_t0)
+                .as_micros();
+            self.metrics.observe(
+                "request_wall_us",
+                u64::try_from(wall_us).unwrap_or(u64::MAX),
+            );
+            self.metrics.inc("served_total", 1);
             self.served += 1;
             if level > 0 {
                 self.degraded_served += 1;
+                self.metrics.inc("degraded_served_total", 1);
                 self.ppe.tracer_mut().span(
                     EventKind::Recovery,
                     "degraded_service",
@@ -903,6 +1060,35 @@ impl CellServer {
         let elapsed = self.ppe.elapsed();
         let survivors = self.survivors();
         let breaker_trips: u64 = self.breakers.iter().map(CircuitBreaker::trips).sum();
+
+        // Final SLO gauges: per-SPE utilization (share of completed
+        // dispatches), queue high-water, and the dual clocks.
+        let total_completions: u64 = self.spe_completions.iter().sum();
+        for (spe, &done) in self.spe_completions.iter().enumerate() {
+            self.metrics
+                .set_gauge(&format!("spe{spe}_completions"), done as f64);
+            let share = if total_completions == 0 {
+                0.0
+            } else {
+                done as f64 / total_completions as f64
+            };
+            self.metrics
+                .set_gauge(&format!("spe{spe}_utilization"), share);
+        }
+        self.metrics
+            .set_gauge("queue_depth_max", self.queue.max_depth() as f64);
+        self.metrics.set_gauge("survivors", survivors as f64);
+        self.metrics
+            .set_gauge("elapsed_virtual_ms", elapsed.seconds() * 1e3);
+        let wall_us = self.wall_elapsed_us();
+        self.metrics.set_gauge("elapsed_wall_us", wall_us as f64);
+        if wall_us > 0 {
+            self.metrics.set_gauge(
+                "requests_per_sec_wall",
+                self.served as f64 / (wall_us as f64 / 1e6),
+            );
+        }
+
         let mut tracks = vec![self.ppe.take_trace()];
         // Shutdown before joining: only closing the fabric can wake a
         // hung dispatcher.
@@ -931,6 +1117,8 @@ impl CellServer {
             report,
             spe_reports,
             trace: TraceReport { tracks },
+            metrics: self.metrics,
+            flight_dumps: self.flight_dumps,
         })
     }
 }

@@ -144,6 +144,21 @@ impl SpeEnv {
         &mut self.tracer
     }
 
+    /// Set the ambient request span context on *both* the environment's
+    /// tracer and the MFC's: the dispatcher calls this on an `SPU_SPAN`
+    /// prefix so kernel spans, mailbox events and the DMA traffic they
+    /// trigger all carry the request's trace id.
+    pub fn set_span_context(&mut self, span: u64) {
+        self.tracer.set_span_context(span);
+        self.mfc.tracer_mut().set_span_context(span);
+    }
+
+    /// Clear the ambient request span context on both tracers.
+    pub fn clear_span_context(&mut self) {
+        self.tracer.clear_span_context();
+        self.mfc.tracer_mut().clear_span_context();
+    }
+
     pub fn spe_id(&self) -> usize {
         self.spe_id
     }

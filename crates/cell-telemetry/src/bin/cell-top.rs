@@ -1,0 +1,167 @@
+//! `cell-top` — render a Prometheus-text metrics snapshot as a terminal
+//! report, `top`-style.
+//!
+//! ```sh
+//! cargo run --release --example serve_telemetry      # writes serve_metrics_7.prom
+//! cargo run -p cell-telemetry --bin cell-top -- serve_metrics_7.prom
+//! ```
+//!
+//! Reads the exposition format `MetricsRegistry::to_prometheus_text`
+//! emits (plain `name value` samples, `name{quantile="q"} value`
+//! summaries) and groups it into counters, gauges and latency tables.
+//! No dependencies: the parser is ~40 lines because the format is
+//! line-oriented by design.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+#[derive(Default)]
+struct Snapshot {
+    counters: BTreeMap<String, String>,
+    gauges: BTreeMap<String, String>,
+    /// name -> (quantile label -> value), plus _sum/_count/_max samples.
+    summaries: BTreeMap<String, BTreeMap<String, String>>,
+}
+
+fn parse(text: &str) -> Snapshot {
+    let mut snap = Snapshot::default();
+    let mut kind: BTreeMap<String, String> = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            if let Some((name, ty)) = rest.rsplit_once(' ') {
+                kind.insert(name.to_string(), ty.to_string());
+            }
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((key, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        if let Some((name, labels)) = key.split_once('{') {
+            let quantile = labels
+                .trim_end_matches('}')
+                .trim_start_matches("quantile=")
+                .trim_matches('"');
+            snap.summaries
+                .entry(name.to_string())
+                .or_default()
+                .insert(format!("p{quantile}"), value.to_string());
+            continue;
+        }
+        // _sum/_count/_max samples belong to their summary when one is
+        // declared; everything else files under its TYPE.
+        let base = key
+            .strip_suffix("_sum")
+            .or_else(|| key.strip_suffix("_count"))
+            .or_else(|| key.strip_suffix("_max"));
+        if let Some(base) = base {
+            if kind.get(base).map(String::as_str) == Some("summary") {
+                let field = &key[base.len() + 1..];
+                snap.summaries
+                    .entry(base.to_string())
+                    .or_default()
+                    .insert(field.to_string(), value.to_string());
+                continue;
+            }
+        }
+        match kind.get(key).map(String::as_str) {
+            Some("gauge") => {
+                snap.gauges.insert(key.to_string(), value.to_string());
+            }
+            _ => {
+                snap.counters.insert(key.to_string(), value.to_string());
+            }
+        }
+    }
+    snap
+}
+
+fn render(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snap.summaries.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<34} {:>10} {:>10} {:>10} {:>10} {:>12}",
+            "latency", "p0.5", "p0.95", "p0.99", "max", "count"
+        );
+        for (name, fields) in &snap.summaries {
+            let get = |k: &str| fields.get(k).cloned().unwrap_or_else(|| "-".to_string());
+            let _ = writeln!(
+                out,
+                "{:<34} {:>10} {:>10} {:>10} {:>10} {:>12}",
+                name,
+                get("p0.5"),
+                get("p0.95"),
+                get("p0.99"),
+                get("max"),
+                get("count")
+            );
+        }
+        out.push('\n');
+    }
+    if !snap.gauges.is_empty() {
+        let _ = writeln!(out, "{:<34} {:>10}", "gauge", "value");
+        for (name, value) in &snap.gauges {
+            let _ = writeln!(out, "{name:<34} {value:>10}");
+        }
+        out.push('\n');
+    }
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "{:<34} {:>10}", "counter", "total");
+        for (name, value) in &snap.counters {
+            let _ = writeln!(out, "{name:<34} {value:>10}");
+        }
+    }
+    out
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: cell-top <metrics.prom>");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cell-top: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", render(&parse(&text)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_renders_a_registry_export() {
+        let text = "\
+# TYPE requests_total counter
+requests_total 12
+# TYPE queue_depth gauge
+queue_depth 3
+# TYPE e2e summary
+e2e{quantile=\"0.5\"} 100
+e2e{quantile=\"0.95\"} 900
+e2e{quantile=\"0.99\"} 1000
+e2e_sum 5000
+e2e_count 12
+e2e_max 1024
+";
+        let snap = parse(text);
+        assert_eq!(snap.counters.get("requests_total").unwrap(), "12");
+        assert_eq!(snap.gauges.get("queue_depth").unwrap(), "3");
+        let e2e = snap.summaries.get("e2e").unwrap();
+        assert_eq!(e2e.get("p0.5").unwrap(), "100");
+        assert_eq!(e2e.get("count").unwrap(), "12");
+        let report = render(&snap);
+        assert!(report.contains("requests_total"));
+        assert!(report.contains("e2e"));
+        assert!(report.contains("1024"));
+    }
+}

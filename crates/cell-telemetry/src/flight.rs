@@ -1,0 +1,107 @@
+//! Post-mortem flight-recorder dumps.
+//!
+//! A serving runtime keeps its tracers in [`cell_trace::TraceConfig`]
+//! `Counters` or `Full`; either way the tracer retains the most recent
+//! events ([`cell_trace::Tracer::flight_events`]). When something goes
+//! wrong — breaker trip, SPE respawn, checksum retransmit — the runtime
+//! snapshots that ring plus the metrics registry into a [`FlightDump`],
+//! so every `cell-fault` soak failure ships its own evidence.
+
+use std::fmt::Write as _;
+
+use cell_trace::{escape_json, TraceEvent};
+
+use crate::metrics::MetricsRegistry;
+
+/// One post-mortem artifact: why, when, the recent events, and the
+/// metrics snapshot taken at the same instant.
+#[derive(Debug, Clone)]
+pub struct FlightDump {
+    /// What triggered the dump (`"breaker_open"`, `"respawn"`,
+    /// `"checksum_retransmit"`, `"timeout"`, …).
+    pub reason: String,
+    /// PPE virtual clock at the trigger.
+    pub at_cycles: u64,
+    /// Host wall-clock at the trigger, µs since the run started.
+    pub at_wall_us: u64,
+    /// The recent-event window, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// `MetricsRegistry::to_json()` taken at the trigger.
+    pub metrics_json: String,
+}
+
+impl FlightDump {
+    /// Capture a dump from a tracer's recent-event window and the
+    /// current metrics.
+    pub fn capture(
+        reason: &str,
+        at_cycles: u64,
+        at_wall_us: u64,
+        events: Vec<TraceEvent>,
+        metrics: &MetricsRegistry,
+    ) -> Self {
+        FlightDump {
+            reason: reason.to_string(),
+            at_cycles,
+            at_wall_us,
+            events,
+            metrics_json: metrics.to_json(),
+        }
+    }
+
+    /// Self-contained JSON artifact (uploadable from CI as-is).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.events.len() * 120);
+        out.push_str("{\"reason\":\"");
+        escape_json(&self.reason, &mut out);
+        let _ = write!(
+            out,
+            "\",\"at_cycles\":{},\"at_wall_us\":{},\"metrics\":{},\"events\":[",
+            self.at_cycles, self.at_wall_us, self.metrics_json
+        );
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"ts\":{},\"dur\":{},\"kind\":\"{:?}\",\"label\":\"",
+                e.ts, e.dur, e.kind
+            );
+            escape_json(e.label, &mut out);
+            let _ = write!(
+                out,
+                "\",\"arg0\":{},\"arg1\":{},\"ea\":{},\"span\":{}}}",
+                e.arg0, e.arg1, e.ea, e.span
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cell_trace::{EventKind, TraceConfig, Tracer, Track};
+
+    #[test]
+    fn dump_serializes_ring_and_metrics() {
+        let mut t = Tracer::new(TraceConfig::Counters, Track::Ppe, 3.2e9);
+        t.set_flight_capacity(2);
+        t.span(EventKind::Recovery, "breaker_open", 10, 0, 3, 0);
+        t.span_tagged(EventKind::Request, "request", 20, 5, 1, 0, 9);
+        let mut m = MetricsRegistry::new();
+        m.inc("breaker_trips_total", 1);
+        let dump = FlightDump::capture("breaker_open", 1234, 56, t.flight_events(), &m);
+        assert_eq!(dump.events.len(), 2);
+        let json = dump.to_json();
+        assert!(json.contains("\"reason\":\"breaker_open\""));
+        assert!(json.contains("\"at_cycles\":1234"));
+        assert!(json.contains("\"breaker_trips_total\":1"));
+        assert!(json.contains("\"kind\":\"Request\""));
+        assert!(json.contains("\"span\":9"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -1,0 +1,29 @@
+//! Request-scoped telemetry plane over `cell-trace`.
+//!
+//! `cell-trace` (PR 1) observes the *machine*: per-track virtual-time
+//! events merged at teardown. This crate observes *requests*. Three
+//! facilities, all dependency-free:
+//!
+//! 1. [`span`] — reconstruct one causal span tree per serving-plane
+//!    request from the `span` stamp `cell-engine` propagates over the
+//!    mailbox wire (`SPU_SPAN`), and export the trees as nested Perfetto
+//!    tracks alongside the machine tracks.
+//! 2. [`metrics`] — a [`MetricsRegistry`] of named counters, gauges and
+//!    [`cell_trace::LogHistogram`]s with Prometheus-text and JSON
+//!    snapshot exporters (and the `cell-top` binary that renders the
+//!    Prometheus snapshot as a text report).
+//! 3. [`flight`] — the post-mortem [`FlightDump`] artifact a serving
+//!    runtime emits from the tracer's flight-recorder ring when a
+//!    breaker trips, an SPE respawns, or a checksum retransmit fires.
+//!
+//! The layering is strict: this crate depends only on `cell-trace`.
+//! `cell-serve` and `marvel` thread trace ids through `cell-engine` and
+//! hand their finished [`cell_trace::TraceReport`]s here.
+
+pub mod flight;
+pub mod metrics;
+pub mod span;
+
+pub use flight::FlightDump;
+pub use metrics::MetricsRegistry;
+pub use span::{build_span_forest, SpanForest, SpanNode, SpanTree};

@@ -1,0 +1,250 @@
+//! SLO metrics: a registry of named counters, gauges and histograms
+//! with dependency-free Prometheus-text and JSON snapshot exporters.
+//!
+//! The registry is deliberately dumb — `BTreeMap`s keyed by name, so
+//! exports are stable-ordered and diffable run to run. Latency
+//! distributions reuse [`LogHistogram`]: power-of-two buckets are exact
+//! enough for p50/p95/p99 SLO reporting and cost a fixed 65×8 bytes.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use cell_trace::{escape_json, LogHistogram};
+
+/// The quantiles every histogram exports (Prometheus summary style).
+pub const QUANTILES: [(f64, &str); 3] = [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")];
+
+/// Named counters, gauges and latency histograms for one run.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, LogHistogram>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Add `delta` to a monotonic counter (created at 0 on first use).
+    /// Lookups borrow `name`; only a metric's first use allocates.
+    pub fn inc(&mut self, name: &str, delta: u64) {
+        if let Some(v) = self.counters.get_mut(name) {
+            *v = v.saturating_add(delta);
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Set a gauge to its latest value.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        match self.gauges.get_mut(name) {
+            Some(v) => *v = value,
+            None => {
+                self.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    /// Raise a gauge to at least `value` (high-water semantics).
+    pub fn raise_gauge(&mut self, name: &str, value: f64) {
+        match self.gauges.get_mut(name) {
+            Some(v) => *v = v.max(value),
+            None => {
+                self.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    /// Record one observation into a named histogram.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = LogHistogram::new();
+                h.record(value);
+                self.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Prometheus text exposition format: counters as `counter`, gauges
+    /// as `gauge`, histograms as `summary` with p50/p95/p99 quantile
+    /// lines plus `_sum`/`_count`/`_max`. Names are sanitized to the
+    /// Prometheus charset (`[a-zA-Z0-9_:]`).
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        for (name, value) in &self.counters {
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name} summary");
+            for (q, label) in QUANTILES {
+                let _ = writeln!(out, "{name}{{quantile=\"{label}\"}} {}", h.percentile(q));
+            }
+            let _ = writeln!(out, "{name}_sum {}", h.sum());
+            let _ = writeln!(out, "{name}_count {}", h.count());
+            let _ = writeln!(out, "{name}_max {}", h.max());
+        }
+        out
+    }
+
+    /// JSON snapshot with the same content as the Prometheus export.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"counters\":{");
+        let mut first = true;
+        for (name, value) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('"');
+            escape_json(name, &mut out);
+            let _ = write!(out, "\":{value}");
+        }
+        out.push_str("},\"gauges\":{");
+        let mut first = true;
+        for (name, value) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('"');
+            escape_json(name, &mut out);
+            let _ = write!(out, "\":{value}");
+        }
+        out.push_str("},\"histograms\":{");
+        let mut first = true;
+        for (name, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('"');
+            escape_json(name, &mut out);
+            let _ = write!(
+                out,
+                "\":{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":{:.3},\
+                 \"p50\":{},\"p95\":{},\"p99\":{}}}",
+                h.count(),
+                h.sum(),
+                h.max(),
+                h.mean(),
+                h.percentile(0.5),
+                h.percentile(0.95),
+                h.percentile(0.99),
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Replace everything outside the Prometheus metric-name charset.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_records_and_reads_back() {
+        let mut m = MetricsRegistry::new();
+        assert!(m.is_empty());
+        m.inc("requests_total", 1);
+        m.inc("requests_total", 2);
+        m.set_gauge("queue_depth", 4.0);
+        m.raise_gauge("queue_depth", 2.0);
+        for v in [100u64, 200, 400, 800] {
+            m.observe("e2e_latency_cycles", v);
+        }
+        assert_eq!(m.counter("requests_total"), 3);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.gauge("queue_depth"), Some(4.0));
+        let h = m.histogram("e2e_latency_cycles").unwrap();
+        assert_eq!(h.count(), 4);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn prometheus_text_has_types_and_quantiles() {
+        let mut m = MetricsRegistry::new();
+        m.inc("shed_total", 2);
+        m.set_gauge("spe0_busy", 0.75);
+        m.observe("lat", 1000);
+        let text = m.to_prometheus_text();
+        assert!(text.contains("# TYPE shed_total counter\nshed_total 2\n"));
+        assert!(text.contains("# TYPE spe0_busy gauge\nspe0_busy 0.75\n"));
+        assert!(text.contains("# TYPE lat summary"));
+        assert!(text.contains("lat{quantile=\"0.5\"}"));
+        assert!(text.contains("lat{quantile=\"0.99\"}"));
+        assert!(text.contains("lat_sum 1000"));
+        assert!(text.contains("lat_count 1"));
+    }
+
+    #[test]
+    fn metric_names_are_sanitized_for_prometheus() {
+        let mut m = MetricsRegistry::new();
+        m.inc("spe[3].sheds/sec", 1);
+        let text = m.to_prometheus_text();
+        assert!(text.contains("spe_3__sheds_sec 1"));
+    }
+
+    #[test]
+    fn json_snapshot_is_balanced_and_complete() {
+        let mut m = MetricsRegistry::new();
+        m.inc("a", 1);
+        m.set_gauge("b", 2.5);
+        m.observe("c", 9);
+        let json = m.to_json();
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.contains("\"a\":1"));
+        assert!(json.contains("\"b\":2.5"));
+        assert!(json.contains("\"p95\":"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Empty registry still exports valid skeletons.
+        let empty = MetricsRegistry::new();
+        assert_eq!(
+            empty.to_json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
+        assert!(empty.to_prometheus_text().is_empty());
+    }
+}

@@ -30,7 +30,19 @@
 //! [`cell_core::VirtualClock`]. Tracks carry their own clock frequency
 //! (`hz`) because the EIB counts bus cycles while PPE/SPE tracks count
 //! core cycles; the exporters convert per track.
+//!
+//! Two request-scoped facilities ride on the same buffers:
+//!
+//! * **Span context** — a tracer carries an ambient `current_span` id
+//!   (set by the serving layer per admitted request, propagated over the
+//!   mailbox wire by `cell-engine`) that is stamped into every recorded
+//!   [`TraceEvent`]; `span == 0` means "not attributed to any request".
+//!   `cell-telemetry` reconstructs per-request span trees from the stamp.
+//! * **Flight recorder** — a fixed-size ring of the most recent events
+//!   that stays live even under [`TraceConfig::Counters`], so a fault
+//!   post-mortem is available without paying for the full event stream.
 
+use std::collections::VecDeque;
 use std::fmt::Write as _;
 
 /// How much the tracer records. `Off` is the default and keeps every
@@ -118,6 +130,12 @@ pub enum EventKind {
     /// A recovery action — retry, failover, degraded re-plan; `arg0` is
     /// the SPE id, `arg1` the attempt / replacement SPE.
     Recovery,
+    /// A request's end-to-end lifetime (admit → reply) on the serving
+    /// plane; `arg0` is the request id, `arg1` the degradation level.
+    Request,
+    /// A named stage inside a request (queue-wait, verify, …); payload
+    /// meaning is per label.
+    Stage,
 }
 
 impl EventKind {
@@ -132,6 +150,8 @@ impl EventKind {
             EventKind::Kernel => "kernel",
             EventKind::Fault => "fault",
             EventKind::Recovery => "recovery",
+            EventKind::Request => "request",
+            EventKind::Stage => "stage",
         }
     }
 }
@@ -156,6 +176,11 @@ pub struct TraceEvent {
     /// transferred range (`arg0` carries the byte count), which is what
     /// the happens-before race detector in `cell-lint` consumes.
     pub ea: u64,
+    /// Request span context: the trace id of the serving-plane request
+    /// this event belongs to, or 0 when the event is not attributed to
+    /// any request (machine background work). Stamped from the owning
+    /// tracer's ambient context — see [`Tracer::set_span_context`].
+    pub span: u64,
 }
 
 /// Scalar counters a tracer maintains in `Counters` and `Full` modes.
@@ -344,12 +369,14 @@ impl LogHistogram {
         }
     }
 
-    /// Record one observation.
+    /// Record one observation. The running sum saturates at `u64::MAX`
+    /// instead of overflowing (long soaks can push cycle sums past 2^64;
+    /// the mean degrades gracefully rather than panicking or wrapping).
     #[inline]
     pub fn record(&mut self, value: u64) {
         self.buckets[Self::bucket(value)] += 1;
         self.count += 1;
-        self.sum += value;
+        self.sum = self.sum.saturating_add(value);
         self.max = self.max.max(value);
     }
 
@@ -376,12 +403,18 @@ impl LogHistogram {
 
     /// Upper bound of the bucket containing the `q`-quantile
     /// (`0.0 ..= 1.0`). Conservative: the true quantile is ≤ the
-    /// returned value. Returns 0 for an empty histogram.
+    /// returned value. Returns 0 for an empty histogram. Out-of-range
+    /// `q` clamps to `[0.0, 1.0]`; a NaN `q` is treated as 1.0 (the
+    /// conservative full-distribution bound) rather than silently
+    /// behaving like q ≈ 0, which is what `NaN as u64 == 0` used to do.
     pub fn percentile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let q = if q.is_nan() { 1.0 } else { q.clamp(0.0, 1.0) };
+        let rank = ((q * self.count as f64).ceil() as u64)
+            .max(1)
+            .min(self.count);
         let mut seen = 0;
         for (b, &n) in self.buckets.iter().enumerate() {
             seen += n;
@@ -396,16 +429,28 @@ impl LogHistogram {
         self.max
     }
 
-    /// Merge another histogram into this one.
+    /// Merge another histogram into this one. Equivalent to replaying
+    /// every observation of `other` into `self` (sums saturate the same
+    /// way [`LogHistogram::record`] does).
     pub fn merge(&mut self, other: &LogHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *a += b;
         }
-        self.count += other.count;
-        self.sum += other.sum;
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
     }
 }
+
+/// Default number of recent events the in-tracer flight recorder keeps
+/// when the config is [`TraceConfig::Counters`] (the full event stream
+/// serves as history under `Full`, and `Off` records nothing).
+pub const FLIGHT_CAPACITY: usize = 128;
+
+/// Events pre-reserved per tracer under [`TraceConfig::Full`], so the
+/// simulator hot loop amortizes `Vec` growth up front instead of paying
+/// repeated reallocation + copy mid-run (ROADMAP item 2: cheaper `Full`).
+pub const EVENT_PREALLOC: usize = 4096;
 
 /// Per-track event buffer plus counters. One lives inside each
 /// instrumented component (PPE, each SPE environment and its MFC, the
@@ -420,18 +465,39 @@ pub struct Tracer {
     counters: CounterSet,
     dma_latency: LogHistogram,
     mailbox_stall: LogHistogram,
+    /// Ambient request span context stamped into every recorded event.
+    current_span: u64,
+    /// Flight-recorder ring, live only under `Counters` (see `push`).
+    flight: VecDeque<TraceEvent>,
+    flight_capacity: usize,
 }
 
 impl Tracer {
     pub fn new(config: TraceConfig, track: Track, hz: f64) -> Self {
+        let capacity = if config.events() { EVENT_PREALLOC } else { 0 };
+        Tracer::with_event_capacity(config, track, hz, capacity)
+    }
+
+    /// Like [`Tracer::new`] but with an explicit event-storage
+    /// pre-reservation (0 = grow on demand, the pre-PR-6 behavior; the
+    /// telemetry bench measures both sides of that trade).
+    pub fn with_event_capacity(
+        config: TraceConfig,
+        track: Track,
+        hz: f64,
+        capacity: usize,
+    ) -> Self {
         Tracer {
             config,
             track,
             hz,
-            events: Vec::new(),
+            events: Vec::with_capacity(capacity),
             counters: CounterSet::new(),
             dma_latency: LogHistogram::new(),
             mailbox_stall: LogHistogram::new(),
+            current_span: 0,
+            flight: VecDeque::new(),
+            flight_capacity: FLIGHT_CAPACITY,
         }
     }
 
@@ -446,10 +512,34 @@ impl Tracer {
 
     pub fn set_config(&mut self, config: TraceConfig) {
         self.config = config;
+        if config.events() && self.events.capacity() < EVENT_PREALLOC {
+            self.events.reserve(EVENT_PREALLOC - self.events.len());
+        }
     }
 
     pub fn track(&self) -> Track {
         self.track
+    }
+
+    // ---- request span context ------------------------------------------
+
+    /// Set the ambient request span context: every event recorded until
+    /// [`Tracer::clear_span_context`] carries this trace id. 0 = none.
+    #[inline]
+    pub fn set_span_context(&mut self, span: u64) {
+        self.current_span = span;
+    }
+
+    /// Drop the ambient span context (back to unattributed recording).
+    #[inline]
+    pub fn clear_span_context(&mut self) {
+        self.current_span = 0;
+    }
+
+    /// The ambient request span context (0 when none is set).
+    #[inline]
+    pub fn current_span(&self) -> u64 {
+        self.current_span
     }
 
     /// Bump a counter (no-op unless counters are enabled).
@@ -497,16 +587,57 @@ impl Tracer {
         arg1: u64,
         ea: u64,
     ) {
+        self.push(TraceEvent {
+            ts,
+            dur,
+            kind,
+            label,
+            arg0,
+            arg1,
+            ea,
+            span: self.current_span,
+        });
+    }
+
+    /// Record a span event with an *explicit* request span context,
+    /// bypassing the ambient one. Completion sites use this: under a
+    /// pipelined engine window the request finishing now is generally not
+    /// the request whose words are being written.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn span_tagged(
+        &mut self,
+        kind: EventKind,
+        label: &'static str,
+        ts: u64,
+        dur: u64,
+        arg0: u64,
+        arg1: u64,
+        span: u64,
+    ) {
+        self.push(TraceEvent {
+            ts,
+            dur,
+            kind,
+            label,
+            arg0,
+            arg1,
+            ea: 0,
+            span,
+        });
+    }
+
+    /// Route one event: into the full stream under `Full`, into the
+    /// flight-recorder ring under `Counters`, nowhere under `Off`.
+    #[inline]
+    fn push(&mut self, event: TraceEvent) {
         if self.config.events() {
-            self.events.push(TraceEvent {
-                ts,
-                dur,
-                kind,
-                label,
-                arg0,
-                arg1,
-                ea,
-            });
+            self.events.push(event);
+        } else if self.config.counters() && self.flight_capacity > 0 {
+            if self.flight.len() >= self.flight_capacity {
+                self.flight.pop_front();
+            }
+            self.flight.push_back(event);
         }
     }
 
@@ -529,6 +660,29 @@ impl Tracer {
     /// The events recorded so far.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
+    }
+
+    // ---- flight recorder -----------------------------------------------
+
+    /// Resize the flight-recorder ring (0 disables it). Only meaningful
+    /// under `Counters`; under `Full` the event stream is the history.
+    pub fn set_flight_capacity(&mut self, capacity: usize) {
+        self.flight_capacity = capacity;
+        while self.flight.len() > capacity {
+            self.flight.pop_front();
+        }
+    }
+
+    /// The most recent events, oldest first — the flight-recorder ring
+    /// under `Counters`, the tail of the full stream under `Full`, empty
+    /// under `Off`. This is what a fault post-mortem dumps.
+    pub fn flight_events(&self) -> Vec<TraceEvent> {
+        if self.config.events() {
+            let tail = self.events.len().saturating_sub(self.flight_capacity);
+            self.events[tail..].to_vec()
+        } else {
+            self.flight.iter().copied().collect()
+        }
     }
 
     /// Counter values recorded so far.
@@ -583,8 +737,9 @@ impl TrackData {
 }
 
 /// Minimal JSON string escaping for labels (all labels are `'static`
-/// identifiers today, but stay safe).
-fn escape_json(s: &str, out: &mut String) {
+/// identifiers today, but stay safe). Public so layered exporters
+/// (`cell-telemetry`'s per-request Perfetto tracks) escape identically.
+pub fn escape_json(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -639,12 +794,23 @@ impl TraceReport {
         let mut out = String::with_capacity(256 + self.event_count() * 160);
         out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
         let mut first = true;
+        self.append_chrome_events(&mut out, &mut first);
+        out.push_str("]}");
+        out
+    }
+
+    /// Append this report's machine tracks as Chrome trace-event objects
+    /// (thread-name metadata plus `ph:"X"` spans, comma-separated) to an
+    /// exporter-owned buffer. `first` tracks whether a leading comma is
+    /// still owed, so a layered exporter can interleave its own tracks
+    /// around the machine ones inside a single `traceEvents` array.
+    pub fn append_chrome_events(&self, out: &mut String, first: &mut bool) {
         for track in &self.tracks {
             let tid = track.track.tid();
-            if !first {
+            if !*first {
                 out.push(',');
             }
-            first = false;
+            *first = false;
             let _ = write!(
                 out,
                 "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\
@@ -662,16 +828,14 @@ impl TraceReport {
                      \"dur\":{dur_us:.3},\"cat\":\"{}\",\"name\":\"",
                     e.kind.category()
                 );
-                escape_json(e.label, &mut out);
+                escape_json(e.label, out);
                 let _ = write!(
                     out,
-                    "\",\"args\":{{\"arg0\":{},\"arg1\":{},\"ea\":{}}}}}",
-                    e.arg0, e.arg1, e.ea
+                    "\",\"args\":{{\"arg0\":{},\"arg1\":{},\"ea\":{},\"span\":{}}}}}",
+                    e.arg0, e.arg1, e.ea, e.span
                 );
             }
         }
-        out.push_str("]}");
-        out
     }
 
     /// Aggregate the raw streams into a [`MetricsReport`].
@@ -1185,5 +1349,164 @@ mod tests {
         };
         assert_eq!(r.counter(Counter::DmaBytesIn), 150);
         assert_eq!(r.counter(Counter::TotalCycles), 900);
+    }
+
+    #[test]
+    fn span_context_stamps_events() {
+        let mut t = Tracer::new(TraceConfig::Full, Track::Spe(0), 3.2e9);
+        t.span(EventKind::Kernel, "k0", 0, 10, 0, 0);
+        t.set_span_context(42);
+        t.span(EventKind::Kernel, "k1", 10, 10, 0, 0);
+        t.span_mem(EventKind::DmaPut, "dma_put", 20, 5, 128, 1, 0x1000);
+        t.clear_span_context();
+        t.span(EventKind::Kernel, "k2", 30, 10, 0, 0);
+        let spans: Vec<u64> = t.events().iter().map(|e| e.span).collect();
+        assert_eq!(spans, vec![0, 42, 42, 0]);
+        // Explicit tagging bypasses the ambient context entirely.
+        t.set_span_context(7);
+        t.span_tagged(EventKind::Dispatch, "done", 40, 10, 0, 0, 42);
+        assert_eq!(t.events().last().unwrap().span, 42);
+    }
+
+    #[test]
+    fn span_context_survives_chrome_export() {
+        let mut t = Tracer::new(TraceConfig::Full, Track::Ppe, 3.2e9);
+        t.set_span_context(9001);
+        t.span(EventKind::Dispatch, "d", 0, 100, 0, 0);
+        let json = TraceReport {
+            tracks: vec![t.finish()],
+        }
+        .to_chrome_json();
+        assert!(json.contains("\"span\":9001"));
+    }
+
+    #[test]
+    fn flight_recorder_stays_on_under_counters() {
+        let mut t = Tracer::new(TraceConfig::Counters, Track::Ppe, 3.2e9);
+        t.set_flight_capacity(4);
+        for i in 0..10u64 {
+            t.span(EventKind::Dispatch, "d", i, 1, i, 0);
+        }
+        assert!(t.events().is_empty(), "Counters never fills the stream");
+        let flight = t.flight_events();
+        assert_eq!(flight.len(), 4);
+        let arg0: Vec<u64> = flight.iter().map(|e| e.arg0).collect();
+        assert_eq!(
+            arg0,
+            vec![6, 7, 8, 9],
+            "ring keeps the most recent, in order"
+        );
+    }
+
+    #[test]
+    fn flight_recorder_is_stream_tail_under_full_and_empty_off() {
+        let mut t = Tracer::new(TraceConfig::Full, Track::Ppe, 3.2e9);
+        t.set_flight_capacity(3);
+        for i in 0..5u64 {
+            t.span(EventKind::Dispatch, "d", i, 1, i, 0);
+        }
+        assert_eq!(t.events().len(), 5);
+        let arg0: Vec<u64> = t.flight_events().iter().map(|e| e.arg0).collect();
+        assert_eq!(arg0, vec![2, 3, 4]);
+        let mut off = Tracer::off();
+        off.span(EventKind::Dispatch, "d", 0, 1, 0, 0);
+        assert!(off.flight_events().is_empty());
+    }
+
+    #[test]
+    fn full_mode_prereserves_event_storage() {
+        let t = Tracer::new(TraceConfig::Full, Track::Ppe, 3.2e9);
+        assert!(t.events.capacity() >= EVENT_PREALLOC);
+        // The explicit-capacity constructor reproduces the old behavior.
+        let bare = Tracer::with_event_capacity(TraceConfig::Full, Track::Ppe, 3.2e9, 0);
+        assert_eq!(bare.events.capacity(), 0);
+        // Off stays allocation-free; upgrading the config reserves.
+        let mut lazy = Tracer::new(TraceConfig::Off, Track::Ppe, 3.2e9);
+        assert_eq!(lazy.events.capacity(), 0);
+        lazy.set_config(TraceConfig::Full);
+        assert!(lazy.events.capacity() >= EVENT_PREALLOC);
+    }
+
+    #[test]
+    fn percentile_empty_and_clamping_edges() {
+        let empty = LogHistogram::new();
+        assert_eq!(empty.percentile(0.5), 0);
+        assert_eq!(empty.percentile(f64::NAN), 0);
+
+        let mut h = LogHistogram::new();
+        for v in [1u64, 2, 4, 1000, 65_536] {
+            h.record(v);
+        }
+        // Out-of-range q clamps to the nearest valid quantile.
+        assert_eq!(h.percentile(-3.0), h.percentile(0.0));
+        assert_eq!(h.percentile(17.0), h.percentile(1.0));
+        // q = 0 lands in the minimum's bucket, q = 1 bounds the max.
+        assert_eq!(h.percentile(0.0), 1);
+        assert!(h.percentile(1.0) >= 65_536);
+        // NaN is the conservative full-distribution bound, not q ≈ 0.
+        assert_eq!(h.percentile(f64::NAN), h.percentile(1.0));
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_q() {
+        let mut h = LogHistogram::new();
+        let mut x = 7u64;
+        for _ in 0..500 {
+            // Deterministic pseudo-random spread across many buckets.
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            h.record(x >> (x % 48));
+        }
+        let mut last = 0u64;
+        for i in 0..=20 {
+            let p = h.percentile(i as f64 / 20.0);
+            assert!(p >= last, "percentile must be monotone in q");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn histogram_sum_saturates_instead_of_overflowing() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+        let mut other = LogHistogram::new();
+        other.record(u64::MAX);
+        h.merge(&other);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn merge_of_disjoint_ranges_matches_replaying() {
+        // Property: merge(a, b) is indistinguishable from recording both
+        // observation sets into one histogram, including when the bucket
+        // ranges are fully disjoint.
+        let low = [0u64, 1, 2, 3, 5, 7];
+        let high = [1 << 40, (1 << 40) + 1, 1 << 50, u64::MAX];
+        let mut a = LogHistogram::new();
+        for &v in &low {
+            a.record(v);
+        }
+        let mut b = LogHistogram::new();
+        for &v in &high {
+            b.record(v);
+        }
+        let mut replayed = LogHistogram::new();
+        for &v in low.iter().chain(high.iter()) {
+            replayed.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, replayed);
+        assert_eq!(a.count(), (low.len() + high.len()) as u64);
+        assert_eq!(a.max(), u64::MAX);
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            assert_eq!(a.percentile(q), replayed.percentile(q));
+        }
+        // The low half's quantiles stay low, the top quantile is high.
+        assert!(a.percentile(0.5) <= 7);
+        assert!(a.percentile(1.0) >= 1 << 50);
     }
 }

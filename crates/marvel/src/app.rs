@@ -303,6 +303,10 @@ pub struct CellMarvel {
     model_eas: Vec<(KernelKind, u64, usize)>,
     scenario: Scenario,
     images: usize,
+    /// Stamp one trace id per frame onto the wire in the batch-engine
+    /// path. Opt-in: the `SPU_SPAN` prefix costs two mailbox words per
+    /// dispatch, which shifts the virtual-time trajectory.
+    frame_spans: bool,
 }
 
 impl CellMarvel {
@@ -366,7 +370,17 @@ impl CellMarvel {
             model_eas,
             scenario,
             images: 0,
+            frame_spans: false,
         })
+    }
+
+    /// Thread a per-frame trace id through every batch-engine dispatch
+    /// (`SPU_SPAN` wire prefix + a `Request` root event per frame), so
+    /// `cell_telemetry::build_span_forest` can reconstruct one span tree
+    /// per frame from the finished trace. Costs two mailbox words per
+    /// dispatch, so timing differs from an untelemetered run.
+    pub fn enable_frame_spans(&mut self) {
+        self.frame_spans = true;
     }
 
     /// Start recording PPE-observed dispatch spans; render them with
@@ -542,6 +556,10 @@ impl CellMarvel {
     ) -> CellResult<Vec<ImageAnalysis>> {
         struct Frame<'m> {
             image_ea: u64,
+            /// Per-frame trace id (frame index + 1) and PPE start cycle:
+            /// the span root covers stage→retire for this frame.
+            span: u64,
+            started: u64,
             wrappers: Vec<(
                 KernelKind,
                 cell_engine::Ticket,
@@ -554,6 +572,14 @@ impl CellMarvel {
         let mut frames: std::collections::VecDeque<Frame<'_>> = std::collections::VecDeque::new();
         let depth = self.engine.window();
         for (n, input) in inputs.iter().enumerate() {
+            // One trace id per frame, threaded through every extraction
+            // submit so SPE-side kernel and DMA events attribute back to
+            // the frame that caused them.
+            let span = n as u64 + 1;
+            let started = self.ppe.clock.now();
+            if self.frame_spans {
+                self.engine.set_span_context(span)?;
+            }
             let (image_ea, w, h) = self.stage(&mem, input)?;
             let mut wrappers = Vec::new();
             for i in 0..self.kinds.len() {
@@ -568,11 +594,21 @@ impl CellMarvel {
                 )?;
                 wrappers.push((kind, t, wrapper, wire));
             }
-            frames.push_back(Frame { image_ea, wrappers });
+            frames.push_back(Frame {
+                image_ea,
+                span,
+                started,
+                wrappers,
+            });
             // Keep at most `window` frames in flight per lane; retire the
             // oldest once the pipeline is full (or the input is done).
             while frames.len() > depth || (n + 1 == inputs.len() && !frames.is_empty()) {
                 let frame = frames.pop_front().expect("nonempty");
+                // Retirement work (the batched detect submit) belongs to
+                // the retiring frame's span, not the one just staged.
+                if self.frame_spans {
+                    self.engine.set_span_context(frame.span)?;
+                }
                 let mut features = Vec::new();
                 for (kind, t, wrapper, wire) in frame.wrappers {
                     self.engine.complete(&mut self.ppe, t)?;
@@ -581,10 +617,23 @@ impl CellMarvel {
                 }
                 let scores = self.detect_batched(&mem, &features)?;
                 mem.free(frame.image_ea)?;
+                if self.frame_spans {
+                    let done = self.ppe.clock.now();
+                    self.ppe.tracer_mut().span_tagged(
+                        cell_trace::EventKind::Request,
+                        "frame",
+                        frame.started,
+                        done.saturating_sub(frame.started),
+                        frame.span - 1,
+                        0,
+                        frame.span,
+                    );
+                }
                 self.images += 1;
                 results.push(ImageAnalysis { features, scores });
             }
         }
+        self.engine.clear_span_context();
         Ok(results)
     }
 

@@ -14,7 +14,7 @@ use cell_sys::spe::{SpeEnv, SpeProgram};
 use cell_trace::{Counter, EventKind};
 
 use crate::interface::ReplyMode;
-use crate::opcodes::{run_opcode, MAX_BATCH, SPU_BATCH, SPU_EXIT, SPU_OK};
+use crate::opcodes::{run_opcode, MAX_BATCH, SPU_BATCH, SPU_EXIT, SPU_OK, SPU_SPAN};
 
 /// A kernel function: receives the environment and the 32-bit argument the
 /// stub sent (conventionally a main-memory wrapper address), returns the
@@ -144,7 +144,23 @@ impl KernelDispatcher {
     }
 
     fn dispatch_once(&mut self, env: &mut SpeEnv) -> CellResult<bool> {
-        let opcode = env.read_in_mbox()?;
+        let mut opcode = env.read_in_mbox()?;
+        if opcode == SPU_SPAN {
+            // Request span context: one extra word carries the trace id;
+            // everything until the reply — kernel spans, DMA events —
+            // is attributed to that request. Baseline requests omit the
+            // prefix entirely.
+            let span = env.read_in_mbox()?;
+            env.set_span_context(u64::from(span));
+            opcode = env.read_in_mbox()?;
+        }
+        let continue_ = self.dispatch_opcode(env, opcode);
+        env.clear_span_context();
+        continue_
+    }
+
+    /// Serve one already-read opcode: exit, batch, or a single function.
+    fn dispatch_opcode(&mut self, env: &mut SpeEnv, opcode: u32) -> CellResult<bool> {
         if opcode == SPU_EXIT {
             return Ok(false);
         }
@@ -320,6 +336,74 @@ mod tests {
         ppe.write_in_mbox(0, SPU_BATCH).unwrap();
         ppe.write_in_mbox(0, 0).unwrap();
         assert!(h.join().is_err());
+    }
+
+    #[test]
+    fn span_prefix_tags_the_dispatch_and_clears_after_reply() {
+        use crate::opcodes::SPU_SPAN;
+        use cell_trace::EventKind;
+        let mut m = CellMachine::new(MachineConfig::small()).unwrap();
+        m.set_trace_config(cell_trace::TraceConfig::Full);
+        let mut ppe = m.ppe();
+        let mut d = KernelDispatcher::new("spanned", ReplyMode::Polling);
+        let op = d.register("inc", |_, v| Ok(v + 1));
+        let h = m.spawn(0, Box::new(d)).unwrap();
+        // First dispatch carries a span prefix, second does not.
+        ppe.write_in_mbox(0, SPU_SPAN).unwrap();
+        ppe.write_in_mbox(0, 42).unwrap();
+        ppe.write_in_mbox(0, op).unwrap();
+        ppe.write_in_mbox(0, 5).unwrap();
+        assert_eq!(ppe.read_out_mbox(0).unwrap(), 6);
+        ppe.write_in_mbox(0, op).unwrap();
+        ppe.write_in_mbox(0, 7).unwrap();
+        assert_eq!(ppe.read_out_mbox(0).unwrap(), 8);
+        ppe.write_in_mbox(0, SPU_EXIT).unwrap();
+        let report = h.join().unwrap();
+        let kernels: Vec<u64> = report
+            .trace
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Kernel)
+            .map(|e| e.span)
+            .collect();
+        assert_eq!(kernels, vec![42, 0], "prefix tags one dispatch only");
+        // The reply mailbox send of the tagged dispatch carries the span.
+        assert!(report
+            .trace
+            .events
+            .iter()
+            .any(|e| e.kind == EventKind::MailboxSend && e.span == 42));
+    }
+
+    #[test]
+    fn span_prefix_composes_with_batch_framing() {
+        use crate::opcodes::{SPU_BATCH, SPU_OK, SPU_SPAN};
+        use cell_trace::EventKind;
+        let mut m = CellMachine::new(MachineConfig::small()).unwrap();
+        m.set_trace_config(cell_trace::TraceConfig::Full);
+        let mut ppe = m.ppe();
+        let mut d = KernelDispatcher::new("spanbatch", ReplyMode::Polling);
+        let op = d.register("ok", |_, _| Ok(SPU_OK));
+        let h = m.spawn(0, Box::new(d)).unwrap();
+        ppe.write_in_mbox(0, SPU_SPAN).unwrap();
+        ppe.write_in_mbox(0, 9).unwrap();
+        ppe.write_in_mbox(0, SPU_BATCH).unwrap();
+        ppe.write_in_mbox(0, 2).unwrap();
+        for _ in 0..2 {
+            ppe.write_in_mbox(0, op).unwrap();
+            ppe.write_in_mbox(0, 0).unwrap();
+        }
+        assert_eq!(ppe.read_out_mbox(0).unwrap(), SPU_OK);
+        ppe.write_in_mbox(0, SPU_EXIT).unwrap();
+        let report = h.join().unwrap();
+        let kernels: Vec<u64> = report
+            .trace
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Kernel)
+            .map(|e| e.span)
+            .collect();
+        assert_eq!(kernels, vec![9, 9], "every batch member inherits the span");
     }
 
     #[test]

@@ -32,6 +32,15 @@ pub const SPU_BATCH: u32 = 0xB47C4;
 /// acting as flow control rather than an unbounded queue.
 pub const MAX_BATCH: usize = 16;
 
+/// Span-context prefix opcode: the dispatcher reads one more word — a
+/// request trace id — sets it as the SPE tracer's ambient span context,
+/// and then reads the *real* opcode (which may itself be `SPU_BATCH`).
+/// No reply is produced for the prefix; the context is cleared after the
+/// prefixed dispatch replies. Requests without telemetry simply omit the
+/// prefix, so the baseline wire format is unchanged. Sits far outside
+/// the sequential `run_opcode` range, like `SPU_BATCH`.
+pub const SPU_SPAN: u32 = 0x5BAC0;
+
 /// Status word a kernel writes back on success when it has no better
 /// result to report.
 pub const SPU_OK: u32 = 0;
@@ -64,5 +73,15 @@ mod tests {
         assert_ne!(SPU_BATCH, SPU_CORRUPT);
         // Failure bitmasks (≤ 16 bits) stay distinguishable from SPU_OK.
         const { assert!(MAX_BATCH <= 16) }
+    }
+
+    #[test]
+    fn span_opcode_is_outside_every_other_range() {
+        for n in 0..1_000 {
+            assert_ne!(run_opcode(n), SPU_SPAN);
+        }
+        assert_ne!(SPU_SPAN, SPU_EXIT);
+        assert_ne!(SPU_SPAN, SPU_BATCH);
+        assert_ne!(SPU_SPAN, SPU_CORRUPT);
     }
 }

@@ -313,6 +313,7 @@ mod tests {
                 arg0: 0,
                 arg1: 0,
                 ea: 0,
+                span: 0,
             },
             TraceEvent {
                 ts: 1,
@@ -322,6 +323,7 @@ mod tests {
                 arg0: 1,
                 arg1: 0,
                 ea: 0,
+                span: 0,
             },
             // Non-dispatch events must be ignored.
             TraceEvent {
@@ -332,6 +334,7 @@ mod tests {
                 arg0: 0,
                 arg1: 0,
                 ea: 0,
+                span: 0,
             },
         ];
         let t = Timeline::from_dispatch_events(&events, hz);

@@ -1,0 +1,135 @@
+//! Telemetry quickstart: one chaos serving run with the full
+//! request-scoped telemetry plane armed — causal spans on the mailbox
+//! wire, the SLO metrics registry, the flight recorder, and both
+//! clocks (virtual cycles and host wall time).
+//!
+//! The run crashes an SPE mid-dispatch and corrupts a DMA payload, then
+//! shows what each telemetry facility saw:
+//!
+//! * one **span tree** per served request, reconstructed from the
+//!   `span` stamps `cell-engine` carries across the mailbox as
+//!   `SPU_SPAN` prefixes (admit → queue-wait → dispatch → SPE kernels
+//!   and DMA → reply → verify),
+//! * the **metrics registry** — latency percentiles, shed/breaker/
+//!   respawn/retransmit counters, per-SPE utilization — exported as
+//!   Prometheus text (render it with `cell-top`) and JSON,
+//! * the **flight-recorder dumps** the supervisor captured at the
+//!   breaker trip and the respawn.
+//!
+//! ```sh
+//! cargo run --release --example serve_telemetry            # default seed 2007
+//! cargo run --release --example serve_telemetry -- 41      # or pick one
+//! cargo run --release -p cell-telemetry --bin cell-top -- serve_metrics_2007.prom
+//! # spans: load serve_spans_<seed>.json at https://ui.perfetto.dev —
+//! # pid 1 is the machine, pid 2 the per-request span trees.
+//! ```
+
+use cell_fault::FaultPlan;
+use cell_serve::{generate, Burst, CellServer, ServeConfig, WorkloadSpec};
+use cell_telemetry::build_span_forest;
+use cell_trace::TraceConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(2007);
+
+    let spec = WorkloadSpec {
+        requests: 8,
+        seed,
+        deadline: 100_000_000_000,
+        burst: Some(Burst {
+            start: 2,
+            len: 6,
+            gap: 2_000,
+        }),
+        ..WorkloadSpec::default()
+    };
+
+    // SPE 1 crashes on its 17th mailbox read, SPE 0's first DMA is
+    // corrupted; breaker threshold 1 so the crash trips it and the
+    // flight recorder captures a dump.
+    let plan = FaultPlan::new().crash_spe(1, 17).corrupt_dma(0, 1);
+    let cfg = ServeConfig {
+        seed,
+        queue_capacity: 1_024,
+        degrade_high: 1_024,
+        degrade_critical: 1_024,
+        trace: TraceConfig::Full,
+        request_spans: true,
+        breaker_threshold: 1,
+        ..ServeConfig::default()
+    };
+    let mut server = CellServer::new(cfg, plan)?;
+    server.run(generate(&spec)?)?;
+    let output = server.finish()?;
+
+    // Span trees: one per served request, ending on SPE tracks.
+    let forest = build_span_forest(&output.trace);
+    println!(
+        "served {} of 8 under chaos; {} span tree(s), {} orphaned event(s)",
+        output.report.served,
+        forest.trees.len(),
+        forest.orphans.len()
+    );
+    for tree in &forest.trees {
+        println!(
+            "  request {:>2}: {:>3} spans, root {:?} \"{}\"",
+            tree.span - 1,
+            tree.len(),
+            tree.root.event.kind,
+            tree.root.event.label
+        );
+    }
+
+    // SLO metrics: two exporters off the same registry.
+    let m = &output.metrics;
+    println!(
+        "\ne2e latency p50/p95/p99 (cycles): {} / {} / {}",
+        m.histogram("e2e_latency_cycles")
+            .map_or(0, |h| h.percentile(0.5)),
+        m.histogram("e2e_latency_cycles")
+            .map_or(0, |h| h.percentile(0.95)),
+        m.histogram("e2e_latency_cycles")
+            .map_or(0, |h| h.percentile(0.99)),
+    );
+    println!(
+        "breaker trips {}, respawns {}, retransmits {}, {:.1} requests/s wall",
+        m.counter("breaker_trips_total"),
+        m.counter("respawns_total"),
+        m.counter("request_retransmits_total"),
+        m.gauge("requests_per_sec_wall").unwrap_or(0.0),
+    );
+
+    // Flight recorder: what the supervisor captured at each incident.
+    for dump in &output.flight_dumps {
+        println!(
+            "flight dump \"{}\": {} event(s) at cycle {} ({} us wall)",
+            dump.reason,
+            dump.events.len(),
+            dump.at_cycles,
+            dump.at_wall_us
+        );
+    }
+
+    let prom_path = format!("serve_metrics_{seed}.prom");
+    std::fs::write(&prom_path, m.to_prometheus_text())?;
+    let json_path = format!("serve_metrics_{seed}.json");
+    std::fs::write(&json_path, m.to_json())?;
+    let spans = forest.to_chrome_json(&output.trace);
+    let spans_path = format!("serve_spans_{seed}.json");
+    std::fs::write(&spans_path, &spans)?;
+    let mut written = vec![prom_path, json_path, spans_path];
+    for (n, dump) in output.flight_dumps.iter().enumerate() {
+        let path = format!("serve_flight_{seed}_{n}.json");
+        std::fs::write(&path, dump.to_json())?;
+        written.push(path);
+    }
+    println!(
+        "\nwrote {} — render the .prom with cell-top, load the spans at https://ui.perfetto.dev",
+        written.join(", ")
+    );
+    Ok(())
+}

@@ -132,3 +132,34 @@ fn engine_pipelined_batch_trace_is_race_free() {
     let findings = detect_races(&trace);
     assert!(findings.is_empty(), "false positives: {findings:?}");
 }
+
+/// Telemetry span stamping must be invisible to the race detector: the
+/// `SPU_SPAN` wire prefix is control traffic the dispatcher strips
+/// before the kernel sees its words, and the happens-before graph
+/// ignores the `span` field on events entirely. The same pipelined run
+/// with frame spans enabled must produce span-stamped events and stay
+/// exactly as race-free as the unstamped run.
+#[test]
+fn span_stamped_trace_keeps_the_race_detector_silent() {
+    use marvel::codec::encode;
+    let mut app =
+        CellMarvel::with_trace(Scenario::ParallelExtract, true, 5, TraceConfig::Full).unwrap();
+    app.enable_frame_spans();
+    let inputs: Vec<_> = (0..3u64)
+        .map(|seed| encode(&ColorImage::synthetic(64, 48, seed).unwrap(), 90))
+        .collect();
+    app.analyze_batch_engine(&inputs).unwrap();
+    let (_, _, trace) = app.finish_traced().unwrap();
+    let stamped = trace
+        .tracks
+        .iter()
+        .flat_map(|t| &t.events)
+        .filter(|e| e.span != 0)
+        .count();
+    assert!(stamped > 0, "frame spans must stamp trace events");
+    let findings = detect_races(&trace);
+    assert!(
+        findings.is_empty(),
+        "span stamping changed the detector's verdict: {findings:?}"
+    );
+}

@@ -1,0 +1,270 @@
+//! Span-tree integration tests for the request-scoped telemetry plane:
+//! a traced multi-frame `cell-serve` run under a seeded `cell-fault`
+//! plan must yield one well-formed span tree per served request — no
+//! orphaned events, children nested inside their parents, and
+//! retransmits/failovers reusing the original trace id — and the span
+//! *structure* must repeat exactly for the same seed (cycle counts may
+//! jitter with Replan-mode polling; structure never does).
+
+use cell_fault::FaultPlan;
+use cell_serve::server::{CellServer, Outcome, Request, ServeConfig, ServeOutput};
+use cell_serve::workload::{generate, Burst, WorkloadSpec};
+use cell_telemetry::{build_span_forest, SpanForest};
+use cell_trace::{EventKind, TraceConfig, Track};
+
+fn telemetry_config(seed: u64) -> ServeConfig {
+    ServeConfig {
+        seed,
+        queue_capacity: 1_024,
+        degrade_high: 1_024,
+        degrade_critical: 1_024,
+        trace: TraceConfig::Full,
+        request_spans: true,
+        ..ServeConfig::default()
+    }
+}
+
+fn chaos_workload(seed: u64) -> Vec<Request> {
+    generate(&WorkloadSpec {
+        requests: 8,
+        seed,
+        deadline: 100_000_000_000,
+        burst: Some(Burst {
+            start: 2,
+            len: 6,
+            gap: 2_000,
+        }),
+        ..WorkloadSpec::default()
+    })
+    .unwrap()
+}
+
+fn serve(cfg: ServeConfig, plan: FaultPlan, requests: Vec<Request>) -> ServeOutput {
+    let mut server = CellServer::new(cfg, plan).unwrap();
+    server.run(requests).unwrap();
+    server.finish().unwrap()
+}
+
+fn served_ids(output: &ServeOutput) -> Vec<u64> {
+    output
+        .report
+        .outcomes
+        .iter()
+        .filter_map(|o| match o {
+            Outcome::Served(r) => Some(r.id),
+            Outcome::Shed { .. } => None,
+        })
+        .collect()
+}
+
+/// Well-formedness under faults: an SPE crash (failover + respawn) and
+/// a corrupted DMA, and still exactly one tree per served request, no
+/// orphans, and clean same-track nesting.
+#[test]
+fn chaos_run_yields_one_well_formed_span_tree_per_request() {
+    let requests = chaos_workload(2007);
+    let plan = FaultPlan::new().crash_spe(1, 17).corrupt_dma(0, 1);
+    let output = serve(telemetry_config(2007), plan, requests);
+    assert!(
+        output.report.served > 0,
+        "the chaos run must serve requests"
+    );
+    assert_eq!(output.report.respawns, 1, "the crashed SPE came back");
+
+    let forest = build_span_forest(&output.trace);
+    assert!(
+        forest.orphans.is_empty(),
+        "span-stamped events without a Request root: {:?}",
+        forest.orphans
+    );
+    let ids = served_ids(&output);
+    assert_eq!(forest.trees.len(), ids.len(), "one tree per served request");
+    for id in &ids {
+        // Trace id = request id + 1 (0 means unattributed).
+        let tree = forest
+            .tree(id + 1)
+            .unwrap_or_else(|| panic!("request {id} has no span tree"));
+        assert_eq!(tree.root.event.kind, EventKind::Request);
+        assert_eq!(tree.root.event.arg0, *id);
+        let violations = tree.containment_violations();
+        assert!(violations.is_empty(), "request {id}: {violations:?}");
+        assert!(
+            tree.len() > 1,
+            "request {id}'s tree must contain more than the root"
+        );
+    }
+}
+
+/// The `SPU_SPAN` wire prefix must carry the trace id across the
+/// mailbox: every tree contains SPE-side events (kernel/DMA work
+/// recorded on an SPE's own tracer) under the PPE-rooted request.
+#[test]
+fn span_trees_reach_across_the_wire_onto_spe_tracks() {
+    let output = serve(telemetry_config(11), FaultPlan::new(), chaos_workload(11));
+    let forest = build_span_forest(&output.trace);
+    assert!(!forest.trees.is_empty());
+    for tree in &forest.trees {
+        fn has_spe_node(node: &cell_telemetry::SpanNode) -> bool {
+            matches!(node.track, Track::Spe(_)) || node.children.iter().any(has_spe_node)
+        }
+        assert!(
+            has_spe_node(&tree.root),
+            "request {} has no SPE-side events in its tree",
+            tree.span - 1
+        );
+        // The PPE side must show the serving stages.
+        let signature = tree.structure_signature();
+        assert!(signature.contains("queue_wait"), "{signature}");
+        assert!(signature.contains("verify"), "{signature}");
+    }
+}
+
+/// A PPE-level retransmit (MFC integrity off, so the corrupt payload
+/// reaches the kernel and comes back `SPU_CORRUPT`) must stay inside
+/// the original request's trace id: same tree count, and the
+/// retransmitted request's tree records the recovery, not a new id.
+#[test]
+fn retransmits_keep_one_trace_id_per_request() {
+    let requests = chaos_workload(29);
+    let cfg = ServeConfig {
+        mfc_integrity: false,
+        ..telemetry_config(29)
+    };
+    let output = serve(cfg, FaultPlan::new().corrupt_dma(0, 1), requests);
+    assert!(
+        output.report.retransmits >= 1,
+        "the PPE must retransmit the corrupt request"
+    );
+    let forest = build_span_forest(&output.trace);
+    let ids = served_ids(&output);
+    assert_eq!(forest.trees.len(), ids.len());
+    assert!(forest.orphans.is_empty());
+    let retransmitted: Vec<&str> = forest
+        .trees
+        .iter()
+        .filter(|t| t.structure_signature().contains("request_retransmit"))
+        .map(|t| t.root.event.label)
+        .collect();
+    assert!(
+        !retransmitted.is_empty(),
+        "the retransmit recovery event must land inside a request tree"
+    );
+}
+
+/// Same seed, same fault plan, same span forest *structure* — the
+/// determinism contract of the telemetry plane. Cycle counts jitter
+/// with host thread interleaving (Replan-mode polling), which also
+/// moves where a mailbox word lands relative to an overlapping
+/// reply-poll window, so the contract is the flat signature: the same
+/// requests get the same trees attributing the exact same event
+/// multiset, run after run.
+#[test]
+fn span_structure_is_deterministic_for_the_same_seed() {
+    let run = || -> (SpanForest, ServeOutput) {
+        let requests = chaos_workload(2007);
+        let plan = FaultPlan::new().crash_spe(1, 17).corrupt_dma(0, 1);
+        let output = serve(telemetry_config(2007), plan, requests);
+        (build_span_forest(&output.trace), output)
+    };
+    let (forest_a, output_a) = run();
+    let (forest_b, output_b) = run();
+    assert_eq!(
+        served_ids(&output_a),
+        served_ids(&output_b),
+        "same seed must serve the same requests"
+    );
+    assert_eq!(
+        forest_a.trees.len(),
+        forest_b.trees.len(),
+        "same seed must build the same number of span trees"
+    );
+    assert_eq!(
+        forest_a.flat_signature(),
+        forest_b.flat_signature(),
+        "same seed must attribute the same events to the same requests"
+    );
+}
+
+/// Flight recorder: the first breaker trip of a chaos run must leave an
+/// automatic dump behind — reason, dual clocks, recent events and a
+/// metrics snapshot — and the metrics registry must cover the SLO set.
+#[test]
+fn breaker_trip_auto_dumps_the_flight_recorder_with_metrics() {
+    let requests = chaos_workload(2007);
+    let plan = FaultPlan::new().crash_spe(1, 17).corrupt_dma(0, 1);
+    // Counters (not Full): the flight recorder must work without full
+    // event tracing — that is its reason to exist. Threshold 1 so the
+    // single injected crash trips the breaker deterministically.
+    let cfg = ServeConfig {
+        trace: TraceConfig::Counters,
+        breaker_threshold: 1,
+        ..telemetry_config(2007)
+    };
+    let output = serve(cfg, plan, requests);
+    assert!(output.report.breaker_trips >= 1);
+    assert!(
+        !output.flight_dumps.is_empty(),
+        "a breaker trip must trigger a flight-recorder dump"
+    );
+    let dump = &output.flight_dumps[0];
+    assert_eq!(dump.reason, "breaker_open");
+    assert!(dump.at_cycles > 0);
+    assert!(
+        !dump.events.is_empty(),
+        "the flight ring must retain recent events under Counters"
+    );
+    let json = dump.to_json();
+    assert!(json.contains("\"reason\":\"breaker_open\""));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+    // SLO metrics: latency quantiles present and ordered, counters
+    // matching the report, utilization gauges for every SPE.
+    let m = &output.metrics;
+    assert_eq!(m.counter("served_total"), output.report.served);
+    assert_eq!(
+        m.counter("breaker_trips_total"),
+        output.report.breaker_trips
+    );
+    assert_eq!(m.counter("respawns_total"), output.report.respawns);
+    let h = m.histogram("e2e_latency_cycles").unwrap();
+    assert_eq!(h.count(), output.report.served);
+    assert!(h.percentile(0.5) <= h.percentile(0.95));
+    assert!(h.percentile(0.95) <= h.percentile(0.99));
+    assert!(m.histogram("queue_wait_cycles").is_some());
+    for spe in 0..8 {
+        assert!(
+            m.gauge(&format!("spe{spe}_utilization")).is_some(),
+            "missing utilization gauge for SPE {spe}"
+        );
+    }
+    let prom = m.to_prometheus_text();
+    assert!(prom.contains("e2e_latency_cycles{quantile=\"0.99\"}"));
+    assert!(prom.contains("# TYPE served_total counter"));
+}
+
+/// The marvel batch-engine driver threads frame spans through the same
+/// machinery: one tree per frame, pipelining notwithstanding.
+#[test]
+fn marvel_frame_spans_build_one_tree_per_frame() {
+    use marvel::app::{CellMarvel, Scenario};
+    use marvel::codec;
+    use marvel::image::ColorImage;
+
+    let inputs: Vec<_> = (0..5)
+        .map(|i| codec::encode(&ColorImage::synthetic(48, 32, 77 + i).unwrap(), 90))
+        .collect();
+    let mut app =
+        CellMarvel::with_trace(Scenario::ParallelExtract, true, 77, TraceConfig::Full).unwrap();
+    app.enable_frame_spans();
+    let results = app.analyze_batch_engine(&inputs).unwrap();
+    assert_eq!(results.len(), 5);
+    let (_, _, trace) = app.finish_traced().unwrap();
+    let forest = build_span_forest(&trace);
+    assert!(forest.orphans.is_empty(), "{:?}", forest.orphans);
+    assert_eq!(forest.trees.len(), 5, "one tree per frame");
+    for (n, tree) in forest.trees.iter().enumerate() {
+        assert_eq!(tree.span, n as u64 + 1);
+        assert_eq!(tree.root.event.label, "frame");
+        assert!(tree.containment_violations().is_empty());
+    }
+}
