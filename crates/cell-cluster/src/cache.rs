@@ -1,0 +1,172 @@
+//! Content-addressed feature-vector cache.
+//!
+//! Feature extraction is a pure function of the image bytes and the
+//! (seed-fixed) models, so the router can answer a repeated payload
+//! without touching a blade: responses are keyed by
+//! `(checksum32(payload), payload_len)` — the same content key the ring
+//! shards on — and a hit returns the cached feature vectors and scores
+//! byte-for-byte.
+//!
+//! Two rules keep the cache honest:
+//!
+//! * **bypass on degraded** — a response served at a nonzero
+//!   degradation level ran with kernels shed (TX, maybe EH); caching it
+//!   would poison every later hit with the truncated vector. Degraded
+//!   responses are counted as bypasses and never admitted.
+//! * **length in the key** — `checksum32` is 32 bits; carrying the
+//!   payload length alongside it rules out the cheapest collision class
+//!   (different-size payloads) without hashing twice.
+
+use std::collections::HashMap;
+
+use cell_core::checksum32;
+use cell_serve::Response;
+use marvel::features::{Feature, KernelKind};
+use marvel::image::ColorImage;
+
+/// Content key for one request payload.
+pub type ContentKey = (u32, usize);
+
+/// A cached full-service result: everything needed to synthesize a
+/// byte-identical [`Response`] for a repeated payload.
+#[derive(Debug, Clone)]
+pub struct CachedResult {
+    pub features: Vec<(KernelKind, Feature)>,
+    pub scores: Vec<(KernelKind, f32)>,
+}
+
+/// Router-side feature cache with hit/miss/bypass accounting.
+#[derive(Debug, Default)]
+pub struct FeatureCache {
+    map: HashMap<ContentKey, CachedResult>,
+    hits: u64,
+    misses: u64,
+    bypasses: u64,
+}
+
+impl FeatureCache {
+    pub fn new() -> Self {
+        FeatureCache::default()
+    }
+
+    /// The content key the router shards and caches by.
+    pub fn key_for(image: &ColorImage) -> ContentKey {
+        (checksum32(image.data()), image.data().len())
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Degraded responses refused admission.
+    pub fn bypasses(&self) -> u64 {
+        self.bypasses
+    }
+
+    /// Look `key` up, counting a hit or a miss.
+    pub fn lookup(&mut self, key: ContentKey) -> Option<CachedResult> {
+        match self.map.get(&key) {
+            Some(cached) => {
+                self.hits += 1;
+                Some(cached.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Offer a served response for admission. Full-service responses
+    /// (degradation 0) are cached; degraded ones are counted as
+    /// bypasses and dropped — a shed-TX/EH vector must never answer a
+    /// later full-service request.
+    pub fn admit(&mut self, key: ContentKey, response: &Response) {
+        if response.degradation > 0 {
+            self.bypasses += 1;
+            return;
+        }
+        self.map.entry(key).or_insert_with(|| CachedResult {
+            features: response.features.clone(),
+            scores: response.scores.clone(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn response(id: u64, degradation: u8, score: f32) -> Response {
+        Response {
+            id,
+            degradation,
+            features: Vec::new(),
+            scores: vec![(KernelKind::Ch, score)],
+            arrival: 0,
+            completed_at: 10,
+        }
+    }
+
+    #[test]
+    fn same_payload_same_key_different_payload_different_key() {
+        let a = ColorImage::synthetic(16, 16, 7).unwrap();
+        let a2 = ColorImage::synthetic(16, 16, 7).unwrap();
+        let b = ColorImage::synthetic(16, 16, 8).unwrap();
+        assert_eq!(FeatureCache::key_for(&a), FeatureCache::key_for(&a2));
+        assert_ne!(FeatureCache::key_for(&a), FeatureCache::key_for(&b));
+        // Same leading bytes, different length: the length half of the
+        // key separates them even if the checksums collided.
+        let big = ColorImage::synthetic(16, 32, 7).unwrap();
+        assert_ne!(FeatureCache::key_for(&a).1, FeatureCache::key_for(&big).1);
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut cache = FeatureCache::new();
+        let key = (42, 768);
+        assert!(cache.lookup(key).is_none());
+        cache.admit(key, &response(1, 0, 0.5));
+        let hit = cache.lookup(key).expect("cached");
+        assert_eq!(hit.scores[0].1.to_bits(), 0.5f32.to_bits());
+        assert_eq!((cache.hits(), cache.misses(), cache.bypasses()), (1, 1, 0));
+    }
+
+    #[test]
+    fn degraded_responses_bypass_and_do_not_poison() {
+        let mut cache = FeatureCache::new();
+        let key = (7, 768);
+        cache.admit(key, &response(1, 1, 0.1));
+        assert_eq!(cache.bypasses(), 1);
+        assert!(cache.lookup(key).is_none(), "degraded result not cached");
+        // A later full-service result for the same key is admitted.
+        cache.admit(key, &response(2, 0, 0.9));
+        assert_eq!(cache.lookup(key).unwrap().scores[0].1, 0.9);
+    }
+
+    #[test]
+    fn first_full_service_result_wins() {
+        let mut cache = FeatureCache::new();
+        let key = (9, 768);
+        cache.admit(key, &response(1, 0, 0.25));
+        cache.admit(key, &response(2, 0, 0.75));
+        assert_eq!(
+            cache.lookup(key).unwrap().scores[0].1,
+            0.25,
+            "re-admission must not overwrite (results for one key are identical in practice)"
+        );
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! **cell-cluster** — multi-blade sharded serving over simulated Cell
+//! machines.
+//!
+//! One Cell blade is a single failure domain: when the whole machine
+//! goes — power, fabric, a wedged hypervisor — every request on it is
+//! lost no matter how well the PPE supervised its SPEs. This crate adds
+//! the next level of the story: a cluster of [`cluster::CellCluster`]
+//! blades behind a router that
+//!
+//! * shards by content ([`ring::HashRing`], consistent hashing over the
+//!   `checksum32` of the request payload) with least-loaded fallback,
+//! * supervises *blades* with the same breaker/heartbeat machinery
+//!   `cell-serve` uses for SPEs ([`portkit::supervise`], reused one
+//!   failure domain up),
+//! * survives whole-machine loss by replaying a dead blade's backlog on
+//!   the survivors — byte-identically, because every blade runs the same
+//!   seed-fixed models,
+//! * respawns dead blades from scratch (machine recreation, code and
+//!   model re-upload, end-to-end probe) behind a per-blade circuit
+//!   breaker, and
+//! * answers repeated payloads from a content-addressed
+//!   [`cache::FeatureCache`] that degraded responses can never poison.
+//!
+//! Everything runs on seeded inputs and two deterministic clocks (blade
+//! virtual cycles, router logical ticks), so a chaos run that kills
+//! whole blades mid-stream is exactly reproducible.
+
+pub mod cache;
+pub mod cluster;
+pub mod ring;
+
+pub use cache::{CachedResult, ContentKey, FeatureCache};
+pub use cluster::{BladeState, CellCluster, ClusterConfig, ClusterOutput, ClusterReport};
+pub use ring::HashRing;

@@ -1,0 +1,204 @@
+//! Consistent-hash ring over blades.
+//!
+//! The router shards requests by a content key (the `checksum32` of the
+//! request payload) onto a ring of hash points. Each blade owns `vnodes`
+//! points — derived deterministically from `(blade, vnode)`, never from
+//! the membership — so the placement has the two properties the cluster
+//! leans on:
+//!
+//! * **determinism** — the same key maps to the same blade on every
+//!   construction with the same `(num_blades, vnodes)`; routing is a
+//!   pure function, reproducible across runs and seeds;
+//! * **bounded remapping** — removing a blade moves *only* the keys that
+//!   blade owned (they slide to their next clockwise survivor); keys
+//!   homed on other blades never move. Re-adding the blade restores its
+//!   identical points, so the original mapping returns exactly.
+
+use cell_core::checksum32;
+
+/// A consistent-hash ring: `vnodes` hash points per member blade.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    num_blades: usize,
+    vnodes: usize,
+    /// `(point, blade)` for every *member* blade, sorted by point (ties
+    /// broken by blade index so duplicate points are still ordered
+    /// deterministically).
+    points: Vec<(u32, usize)>,
+    member: Vec<bool>,
+}
+
+/// Hash point for one `(blade, vnode)` pair — a pure function of the
+/// pair, independent of ring membership.
+fn point(blade: usize, vnode: usize) -> u32 {
+    let mut bytes = [0u8; 16];
+    bytes[..8].copy_from_slice(&(blade as u64).to_le_bytes());
+    bytes[8..].copy_from_slice(&(vnode as u64).to_le_bytes());
+    checksum32(&bytes)
+}
+
+impl HashRing {
+    /// A ring with all of `num_blades` blades joined, `vnodes` points
+    /// each.
+    pub fn new(num_blades: usize, vnodes: usize) -> Self {
+        assert!(num_blades > 0, "ring needs at least one blade");
+        let vnodes = vnodes.max(1);
+        let mut ring = HashRing {
+            num_blades,
+            vnodes,
+            points: Vec::with_capacity(num_blades * vnodes),
+            member: vec![false; num_blades],
+        };
+        for blade in 0..num_blades {
+            ring.add(blade);
+        }
+        ring
+    }
+
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// Number of blades currently in the ring.
+    pub fn members(&self) -> usize {
+        self.member.iter().filter(|&&m| m).count()
+    }
+
+    pub fn contains(&self, blade: usize) -> bool {
+        self.member.get(blade).copied().unwrap_or(false)
+    }
+
+    /// Join `blade`: insert its `vnodes` points. Idempotent.
+    pub fn add(&mut self, blade: usize) {
+        assert!(blade < self.num_blades, "blade index out of range");
+        if self.member[blade] {
+            return;
+        }
+        self.member[blade] = true;
+        for v in 0..self.vnodes {
+            self.points.push((point(blade, v), blade));
+        }
+        self.points.sort_unstable();
+    }
+
+    /// Leave `blade`: remove its points. Idempotent.
+    pub fn remove(&mut self, blade: usize) {
+        assert!(blade < self.num_blades, "blade index out of range");
+        if !self.member[blade] {
+            return;
+        }
+        self.member[blade] = false;
+        self.points.retain(|&(_, b)| b != blade);
+    }
+
+    /// Home blade for `key`: the owner of the first hash point at or
+    /// clockwise past `key`, wrapping at the top. `None` on an empty
+    /// ring.
+    pub fn home(&self, key: u32) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let idx = self.points.partition_point(|&(p, _)| p < key);
+        let (_, blade) = self.points[if idx == self.points.len() { 0 } else { idx }];
+        Some(blade)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic key set (SplitMix64-style avalanche of the index)
+    /// — stand-ins for request-payload checksums.
+    fn keys(n: usize) -> Vec<u32> {
+        (0..n as u64)
+            .map(|i| {
+                let mut z = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                (z ^ (z >> 27)) as u32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn placement_is_deterministic_across_constructions() {
+        let a = HashRing::new(4, 16);
+        let b = HashRing::new(4, 16);
+        for k in keys(2000) {
+            assert_eq!(a.home(k), b.home(k));
+        }
+    }
+
+    #[test]
+    fn removal_only_remaps_the_removed_blades_keys() {
+        // The consistent-hashing contract, exactly: dropping blade 2
+        // moves keys homed on blade 2 and *no others*. With K keys over
+        // N blades that is ~K/N remapped — the property test asserts
+        // both the exactness and the ~K/N bound with slack.
+        let n = 4;
+        let ks = keys(4000);
+        let full = HashRing::new(n, 32);
+        let before: Vec<usize> = ks.iter().map(|&k| full.home(k).unwrap()).collect();
+
+        for removed in 0..n {
+            let mut ring = full.clone();
+            ring.remove(removed);
+            let mut moved = 0usize;
+            for (&k, &was) in ks.iter().zip(&before) {
+                let now = ring.home(k).unwrap();
+                if was == removed {
+                    moved += 1;
+                    assert_ne!(now, removed, "keys must leave the removed blade");
+                } else {
+                    assert_eq!(now, was, "surviving blades' keys must not move");
+                }
+            }
+            // Expected share is K/N; allow generous slack for hash
+            // imbalance at 32 vnodes.
+            assert!(
+                moved <= ks.len() * 2 / n,
+                "blade {removed}: {moved} of {} keys moved (> 2K/N)",
+                ks.len()
+            );
+        }
+    }
+
+    #[test]
+    fn readding_a_blade_restores_the_original_mapping() {
+        let ks = keys(1000);
+        let ring = HashRing::new(3, 16);
+        let before: Vec<usize> = ks.iter().map(|&k| ring.home(k).unwrap()).collect();
+        let mut churned = ring.clone();
+        churned.remove(1);
+        churned.add(1);
+        for (&k, &was) in ks.iter().zip(&before) {
+            assert_eq!(churned.home(k).unwrap(), was);
+        }
+    }
+
+    #[test]
+    fn every_member_owns_some_keys() {
+        let ring = HashRing::new(4, 32);
+        let mut owned = [0usize; 4];
+        for k in keys(4000) {
+            owned[ring.home(k).unwrap()] += 1;
+        }
+        for (blade, &count) in owned.iter().enumerate() {
+            assert!(count > 0, "blade {blade} owns no keys");
+        }
+    }
+
+    #[test]
+    fn empty_ring_homes_nothing_and_add_remove_are_idempotent() {
+        let mut ring = HashRing::new(2, 8);
+        ring.remove(0);
+        ring.remove(0);
+        ring.remove(1);
+        assert_eq!(ring.members(), 0);
+        assert_eq!(ring.home(123), None);
+        ring.add(0);
+        ring.add(0);
+        assert_eq!(ring.members(), 1);
+        assert_eq!(ring.home(123), Some(0));
+    }
+}

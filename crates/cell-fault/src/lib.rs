@@ -78,6 +78,18 @@ pub enum FaultKind {
         /// SPU cycles the reply is delayed by.
         cycles: u64,
     },
+    /// The whole blade (one `CellMachine` and everything on it) dies:
+    /// the cluster router tears the machine down, fails its queued and
+    /// in-flight requests over to surviving blades, and only a full
+    /// blade respawn (machine recreation + code re-upload + probe)
+    /// brings it back. Fired from the [`FaultSite::Blade`] line the
+    /// router ticks once per request routed to the blade.
+    BladeCrash,
+    /// The whole blade wedges: it keeps accepting routed requests but
+    /// never completes one, and fails its heartbeat probes. Unlike a
+    /// crash the router only notices via the watchdog, so the backlog
+    /// grows (and overflows onto other blades) until detection.
+    BladeHang,
 }
 
 /// Where in the machine a fault is injected.
@@ -90,6 +102,11 @@ pub enum FaultSite {
     /// `SpeEnv::write_out_mbox` / `write_out_intr_mbox` — the kernel's
     /// reply word.
     MailboxReply,
+    /// The cluster router's per-blade admission path — ticked once per
+    /// request routed to the blade (`spe` doubles as the blade index).
+    /// Carries whole-machine faults: [`FaultKind::BladeCrash`] and
+    /// [`FaultKind::BladeHang`].
+    Blade,
 }
 
 /// One planned fault: at the `at`-th operation (1-based) of `site` on
@@ -214,6 +231,51 @@ impl FaultPlan {
             at,
             kind: FaultKind::ReplyStall { cycles },
         })
+    }
+
+    /// Crash blade `blade` (its whole `CellMachine`) on the `at`-th
+    /// request the cluster router sends it.
+    #[must_use]
+    pub fn crash_blade(self, blade: usize, at: u64) -> Self {
+        self.with(FaultSpec {
+            site: FaultSite::Blade,
+            spe: blade,
+            at,
+            kind: FaultKind::BladeCrash,
+        })
+    }
+
+    /// Hang blade `blade` on the `at`-th routed request: it keeps
+    /// queueing work but stops completing it until the watchdog notices.
+    #[must_use]
+    pub fn hang_blade(self, blade: usize, at: u64) -> Self {
+        self.with(FaultSpec {
+            site: FaultSite::Blade,
+            spe: blade,
+            at,
+            kind: FaultKind::BladeHang,
+        })
+    }
+
+    /// Derive a deterministic blade-scoped chaos plan from `seed`:
+    /// `faults` whole-blade faults (crashes and hangs, roughly 2:1)
+    /// spread over `num_blades` blades within the first `ops_horizon`
+    /// routed requests of each blade. Same seed → same plan.
+    #[must_use]
+    pub fn chaos_blades(seed: u64, num_blades: usize, faults: usize, ops_horizon: u64) -> Self {
+        assert!(num_blades > 0, "blade chaos plan needs at least one blade");
+        assert!(ops_horizon > 0, "blade chaos plan needs a positive horizon");
+        let mut rng = SplitMix64::new(seed ^ 0xB1_ADE5);
+        let mut plan = FaultPlan::new();
+        for _ in 0..faults {
+            let blade = rng.next_below(num_blades as u64) as usize;
+            let at = 1 + rng.next_below(ops_horizon);
+            plan = match rng.next_below(3) {
+                0 => plan.hang_blade(blade, at),
+                _ => plan.crash_blade(blade, at),
+            };
+        }
+        plan
     }
 
     /// Derive a deterministic random-looking plan from `seed`:
@@ -406,6 +468,46 @@ mod tests {
         for s in a.specs() {
             assert!(s.spe < 8);
             assert!((1..=20).contains(&s.at));
+        }
+    }
+
+    #[test]
+    fn blade_faults_live_on_their_own_site() {
+        let plan = FaultPlan::new()
+            .crash_blade(1, 3)
+            .hang_blade(0, 2)
+            .crash_spe(1, 3);
+        // The blade line only sees blade faults; SPE dispatch on the
+        // same index is untouched and vice versa.
+        let mut blade1 = plan.arm(FaultSite::Blade, 1);
+        assert_eq!(blade1.tick(), None);
+        assert_eq!(blade1.tick(), None);
+        assert_eq!(blade1.tick(), Some(FaultKind::BladeCrash));
+        let mut blade0 = plan.arm(FaultSite::Blade, 0);
+        assert_eq!(blade0.tick(), None);
+        assert_eq!(blade0.tick(), Some(FaultKind::BladeHang));
+        assert_eq!(
+            plan.arm(FaultSite::SpeDispatch, 1).specs.len(),
+            1,
+            "SPE faults must not leak onto the blade line"
+        );
+    }
+
+    #[test]
+    fn blade_chaos_plans_are_deterministic_and_blade_scoped() {
+        let a = FaultPlan::chaos_blades(7, 3, 4, 50);
+        let b = FaultPlan::chaos_blades(7, 3, 4, 50);
+        assert_eq!(a, b);
+        assert_eq!(a.specs().len(), 4);
+        assert_ne!(a, FaultPlan::chaos_blades(8, 3, 4, 50));
+        for s in a.specs() {
+            assert_eq!(s.site, FaultSite::Blade);
+            assert!(s.spe < 3);
+            assert!((1..=50).contains(&s.at));
+            assert!(matches!(
+                s.kind,
+                FaultKind::BladeCrash | FaultKind::BladeHang
+            ));
         }
     }
 

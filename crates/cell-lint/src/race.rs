@@ -132,7 +132,9 @@ pub fn detect_races(report: &TraceReport) -> Vec<Finding> {
         let lane = match t.track {
             Track::Ppe => 0,
             Track::Spe(i) => i + 1,
-            Track::Eib => continue,
+            // Bus transfers carry no effective addresses, and the
+            // router's tick-stamped spans live outside machine time.
+            Track::Eib | Track::Router => continue,
         };
         lanes[lane].extend(t.events.iter().map(|e| (t.track, *e)));
     }

@@ -1,167 +1,11 @@
-//! Per-SPE circuit breaker.
+//! Per-SPE circuit breaker — re-exported from [`portkit::supervise`].
 //!
-//! A serving runtime cannot afford to respawn a crash-looping SPE as fast
-//! as it dies: every respawn costs spawn cycles and a probe round trip,
-//! and a blade with a real hardware fault would burn the whole budget.
-//! The breaker spaces recovery attempts out:
-//!
-//! * **Closed** — the SPE is trusted; failures are counted.
-//! * **Open** — `threshold` consecutive failures tripped the breaker; no
-//!   respawn is attempted until `cooldown` virtual cycles have passed.
-//! * **HalfOpen** — the cooldown elapsed and one probe dispatch is in
-//!   flight; success closes the breaker, failure re-opens it (restarting
-//!   the cooldown from the failure time).
-//!
-//! Below the threshold the supervisor may respawn immediately — a single
-//! transient crash recovers at the next supervision tick without paying a
-//! cooldown.
+//! The Closed/Open/HalfOpen breaker originally lived here; when the
+//! cluster layer (`cell-cluster`) needed the identical state machine one
+//! failure domain up — pacing *blade* respawns instead of SPE respawns —
+//! the implementation moved to [`portkit::supervise`] so both levels
+//! share one copy. This module stays as the serving-level name: existing
+//! `cell_serve::{BreakerState, CircuitBreaker}` imports are unchanged,
+//! and the breaker's unit tests moved with the implementation.
 
-/// State of one SPE's breaker.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum BreakerState {
-    Closed,
-    Open,
-    HalfOpen,
-}
-
-/// Consecutive-failure circuit breaker over virtual time.
-#[derive(Debug, Clone)]
-pub struct CircuitBreaker {
-    threshold: u32,
-    cooldown: u64,
-    state: BreakerState,
-    consecutive: u32,
-    opened_at: u64,
-    trips: u64,
-}
-
-impl CircuitBreaker {
-    /// `threshold` consecutive failures trip the breaker open for
-    /// `cooldown` virtual cycles.
-    pub fn new(threshold: u32, cooldown: u64) -> Self {
-        CircuitBreaker {
-            threshold: threshold.max(1),
-            cooldown,
-            state: BreakerState::Closed,
-            consecutive: 0,
-            opened_at: 0,
-            trips: 0,
-        }
-    }
-
-    pub fn state(&self) -> BreakerState {
-        self.state
-    }
-
-    /// Times the breaker has transitioned into `Open`.
-    pub fn trips(&self) -> u64 {
-        self.trips
-    }
-
-    /// Consecutive failures recorded since the last success.
-    pub fn consecutive_failures(&self) -> u32 {
-        self.consecutive
-    }
-
-    /// Record a failure at virtual time `now`; returns `true` when this
-    /// failure tripped the breaker open.
-    pub fn record_failure(&mut self, now: u64) -> bool {
-        self.consecutive += 1;
-        match self.state {
-            BreakerState::Closed if self.consecutive >= self.threshold => {
-                self.state = BreakerState::Open;
-                self.opened_at = now;
-                self.trips += 1;
-                true
-            }
-            // A failed probe re-opens immediately and restarts the clock.
-            BreakerState::HalfOpen => {
-                self.state = BreakerState::Open;
-                self.opened_at = now;
-                self.trips += 1;
-                true
-            }
-            _ => false,
-        }
-    }
-
-    /// Record a success: a closed breaker forgets its failures, a
-    /// half-open one closes.
-    pub fn record_success(&mut self) {
-        self.consecutive = 0;
-        self.state = BreakerState::Closed;
-    }
-
-    /// May a recovery attempt run at `now`? `Closed` and `HalfOpen`
-    /// always may; `Open` only once the cooldown has elapsed.
-    pub fn ready(&self, now: u64) -> bool {
-        match self.state {
-            BreakerState::Closed | BreakerState::HalfOpen => true,
-            BreakerState::Open => now.saturating_sub(self.opened_at) >= self.cooldown,
-        }
-    }
-
-    /// Move an open breaker to `HalfOpen` for a probe dispatch.
-    pub fn begin_probe(&mut self) {
-        if self.state == BreakerState::Open {
-            self.state = BreakerState::HalfOpen;
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn stays_closed_below_threshold() {
-        let mut b = CircuitBreaker::new(3, 1_000);
-        assert!(!b.record_failure(10));
-        assert!(!b.record_failure(20));
-        assert_eq!(b.state(), BreakerState::Closed);
-        assert!(b.ready(20), "below threshold recovery is immediate");
-        b.record_success();
-        assert_eq!(b.consecutive_failures(), 0);
-    }
-
-    #[test]
-    fn full_cycle_closed_open_halfopen_closed() {
-        let mut b = CircuitBreaker::new(2, 1_000);
-        assert!(!b.record_failure(0));
-        assert!(b.record_failure(100), "second failure must trip");
-        assert_eq!(b.state(), BreakerState::Open);
-        assert_eq!(b.trips(), 1);
-        assert!(!b.ready(500), "cooldown not elapsed");
-        assert!(b.ready(1_100), "cooldown elapsed");
-        b.begin_probe();
-        assert_eq!(b.state(), BreakerState::HalfOpen);
-        b.record_success();
-        assert_eq!(b.state(), BreakerState::Closed);
-        assert_eq!(b.consecutive_failures(), 0);
-    }
-
-    #[test]
-    fn failed_probe_reopens_and_restarts_cooldown() {
-        let mut b = CircuitBreaker::new(1, 1_000);
-        assert!(b.record_failure(0));
-        b.begin_probe();
-        assert!(b.record_failure(2_000), "probe failure re-trips");
-        assert_eq!(b.state(), BreakerState::Open);
-        assert_eq!(b.trips(), 2);
-        assert!(!b.ready(2_500), "cooldown restarts at the probe failure");
-        assert!(b.ready(3_000));
-    }
-
-    #[test]
-    fn begin_probe_is_a_noop_when_not_open() {
-        let mut b = CircuitBreaker::new(2, 100);
-        b.begin_probe();
-        assert_eq!(b.state(), BreakerState::Closed);
-    }
-
-    #[test]
-    fn threshold_zero_is_clamped_to_one() {
-        let mut b = CircuitBreaker::new(0, 100);
-        assert!(b.record_failure(0), "first failure trips at threshold 1");
-    }
-}
+pub use portkit::supervise::{BreakerState, CircuitBreaker};

@@ -62,6 +62,13 @@ impl AdmissionQueue {
         Ok(self.queue.len())
     }
 
+    /// Take every queued request, front to back, leaving the queue empty.
+    /// The cluster failover path uses this to replay a dead blade's
+    /// backlog on surviving blades; the high-water mark is kept.
+    pub fn drain_all(&mut self) -> Vec<Request> {
+        self.queue.drain(..).collect()
+    }
+
     /// Pop the next request to serve at virtual time `now`: requests whose
     /// deadline already passed are shed (returned in the first slot), the
     /// first still-serviceable request rides in the second.

@@ -52,6 +52,7 @@ use portkit::interface::ReplyMode;
 use portkit::opcodes::{SPU_CORRUPT, SPU_OK};
 use portkit::recovery::RetryPolicy;
 use portkit::schedule::{KernelId, Schedule};
+use portkit::supervise::Heartbeats;
 
 use crate::breaker::{BreakerState, CircuitBreaker};
 use crate::queue::AdmissionQueue;
@@ -252,7 +253,7 @@ pub fn serve_dispatcher(optimized: bool) -> (KernelDispatcher, UniversalOpcodes,
 /// buffered (the tracer is busy inside the engine call) and flushed to
 /// `breaker_open` spans by [`CellServer::supervised`].
 struct Supervision<'a> {
-    heartbeats: &'a mut [u64],
+    heartbeats: &'a mut Heartbeats,
     breakers: &'a mut [CircuitBreaker],
     /// Per-SPE completed-dispatch tally (feeds utilization gauges).
     completions: &'a mut [u64],
@@ -262,7 +263,7 @@ struct Supervision<'a> {
 
 impl EngineObserver for Supervision<'_> {
     fn on_success(&mut self, spe: usize, _kernel: &'static str, at: u64) {
-        self.heartbeats[spe] = at;
+        self.heartbeats.beat(spe, at);
         self.breakers[spe].record_success();
         self.completions[spe] += 1;
     }
@@ -289,7 +290,7 @@ pub struct CellServer {
     probe_op: u32,
     probe_word: u32,
     breakers: Vec<CircuitBreaker>,
-    heartbeats: Vec<u64>,
+    heartbeats: Heartbeats,
     queue: AdmissionQueue,
     cfg: ServeConfig,
     models: MarvelModels,
@@ -374,7 +375,7 @@ impl CellServer {
                 CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown);
                 num_spes
             ],
-            heartbeats: vec![0; num_spes],
+            heartbeats: Heartbeats::new(num_spes),
             queue: AdmissionQueue::new(cfg.queue_capacity),
             models,
             model_eas,
@@ -587,7 +588,7 @@ impl CellServer {
         let now = self.ppe.clock.now();
         for spe in 0..self.engine.num_spes() {
             if self.engine.alive()[spe]
-                && now.saturating_sub(self.heartbeats[spe]) > self.cfg.heartbeat_timeout
+                && self.heartbeats.silent(spe, now, self.cfg.heartbeat_timeout)
             {
                 if self.probe_spe(spe)? {
                     continue;
@@ -626,7 +627,8 @@ impl CellServer {
             &policy,
         ) {
             Ok(status) if status == SPU_OK => {
-                self.heartbeats[spe] = self.ppe.clock.now();
+                let now = self.ppe.clock.now();
+                self.heartbeats.beat(spe, now);
                 self.breakers[spe].record_success();
                 Ok(true)
             }
@@ -680,7 +682,7 @@ impl CellServer {
         self.handles[spe] = Some(self.machine.respawn(spe, Box::new(d))?);
         if self.probe_spe(spe)? {
             let now = self.ppe.clock.now();
-            self.heartbeats[spe] = now;
+            self.heartbeats.beat(spe, now);
             // Restore from the original, not the degraded schedule:
             // replan over all-alive is idempotent, so a full recovery is
             // byte-identical to the schedule the server started with.
@@ -963,92 +965,162 @@ impl CellServer {
                 self.ppe.clock.advance_to(next_arrival);
                 continue;
             }
-            self.supervise()?;
-            let now = self.ppe.clock.now();
-            let (expired, next) = self.queue.pop_ready(now);
-            for request in expired {
-                self.record_shed(request.id, ShedReason::DeadlineExpired);
-            }
-            let Some(request) = next else { continue };
-            let level = self.degradation_level();
-            let started_at = self.ppe.clock.now();
-            let wall_t0 = self.wall_start.elapsed();
-            // Request-scoped span context: trace id = request id + 1
-            // (0 means "unattributed"). The engine resends the id over
-            // the wire (`SPU_SPAN`) on every dispatch — retries and
-            // failovers included — so one trace id survives retransmits.
-            let span = request.id + 1;
-            let queue_wait = started_at.saturating_sub(request.arrival);
-            if self.cfg.request_spans {
-                self.engine.set_span_context(span)?;
-                self.ppe.tracer_mut().set_span_context(span);
-                self.ppe.tracer_mut().span(
-                    EventKind::Stage,
-                    "queue_wait",
-                    request.arrival,
-                    queue_wait,
-                    request.id,
-                    0,
-                );
-            }
-            let result = self.process(&request, level);
-            if self.cfg.request_spans {
-                self.engine.clear_span_context();
-                self.ppe.tracer_mut().clear_span_context();
-            }
-            let (features, scores) = result?;
-            let completed_at = self.ppe.clock.now();
-            let e2e = completed_at.saturating_sub(request.arrival);
-            if self.cfg.request_spans {
-                // The request root spans arrival→completion, so
-                // queue-wait, dispatch, SPE execution and verify all
-                // nest inside it.
-                self.ppe.tracer_mut().span_tagged(
-                    EventKind::Request,
-                    "request",
-                    request.arrival,
-                    e2e,
-                    request.id,
-                    u64::from(level),
-                    span,
-                );
-            }
-            self.latency.record(e2e);
-            self.metrics.observe("e2e_latency_cycles", e2e);
-            self.metrics.observe("queue_wait_cycles", queue_wait);
-            let wall_us = self
-                .wall_start
-                .elapsed()
-                .saturating_sub(wall_t0)
-                .as_micros();
-            self.metrics.observe(
-                "request_wall_us",
-                u64::try_from(wall_us).unwrap_or(u64::MAX),
-            );
-            self.metrics.inc("served_total", 1);
-            self.served += 1;
-            if level > 0 {
-                self.degraded_served += 1;
-                self.metrics.inc("degraded_served_total", 1);
-                self.ppe.tracer_mut().span(
-                    EventKind::Recovery,
-                    "degraded_service",
-                    completed_at,
-                    0,
-                    request.id,
-                    u64::from(level),
-                );
-            }
-            self.outcomes.push(Outcome::Served(Box::new(Response {
-                id: request.id,
-                degradation: level,
-                features,
-                scores,
-                arrival: request.arrival,
-                completed_at,
-            })));
+            self.step()?;
         }
         Ok(())
+    }
+
+    /// One blade-embeddable serving step: supervise, shed expired
+    /// deadlines, serve the first still-serviceable queued request.
+    /// Returns `false` when the queue was empty (nothing to do). A
+    /// cluster router drives this directly instead of [`run`](Self::run):
+    /// arrivals come from the router via [`try_submit`](Self::try_submit),
+    /// not from an arrival-sorted stream.
+    pub fn step(&mut self) -> CellResult<bool> {
+        if self.queue.is_empty() {
+            return Ok(false);
+        }
+        self.supervise()?;
+        let now = self.ppe.clock.now();
+        let (expired, next) = self.queue.pop_ready(now);
+        for request in expired {
+            self.record_shed(request.id, ShedReason::DeadlineExpired);
+        }
+        let Some(request) = next else {
+            return Ok(true);
+        };
+        self.serve_request(request)?;
+        Ok(true)
+    }
+
+    /// Serve everything currently queued — the blade *drain* hook: the
+    /// caller stops admitting (e.g. removes the blade from the cluster
+    /// ring), then this lets the backlog finish or shed on its deadlines.
+    /// Returns the number of steps taken.
+    pub fn drain(&mut self) -> CellResult<usize> {
+        let mut steps = 0;
+        while self.step()? {
+            steps += 1;
+        }
+        Ok(steps)
+    }
+
+    fn serve_request(&mut self, request: Request) -> CellResult<()> {
+        let level = self.degradation_level();
+        let started_at = self.ppe.clock.now();
+        let wall_t0 = self.wall_start.elapsed();
+        // Request-scoped span context: trace id = request id + 1
+        // (0 means "unattributed"). The engine resends the id over
+        // the wire (`SPU_SPAN`) on every dispatch — retries and
+        // failovers included — so one trace id survives retransmits.
+        let span = request.id + 1;
+        let queue_wait = started_at.saturating_sub(request.arrival);
+        if self.cfg.request_spans {
+            self.engine.set_span_context(span)?;
+            self.ppe.tracer_mut().set_span_context(span);
+            self.ppe.tracer_mut().span(
+                EventKind::Stage,
+                "queue_wait",
+                request.arrival,
+                queue_wait,
+                request.id,
+                0,
+            );
+        }
+        let result = self.process(&request, level);
+        if self.cfg.request_spans {
+            self.engine.clear_span_context();
+            self.ppe.tracer_mut().clear_span_context();
+        }
+        let (features, scores) = result?;
+        let completed_at = self.ppe.clock.now();
+        let e2e = completed_at.saturating_sub(request.arrival);
+        if self.cfg.request_spans {
+            // The request root spans arrival→completion, so
+            // queue-wait, dispatch, SPE execution and verify all
+            // nest inside it.
+            self.ppe.tracer_mut().span_tagged(
+                EventKind::Request,
+                "request",
+                request.arrival,
+                e2e,
+                request.id,
+                u64::from(level),
+                span,
+            );
+        }
+        self.latency.record(e2e);
+        self.metrics.observe("e2e_latency_cycles", e2e);
+        self.metrics.observe("queue_wait_cycles", queue_wait);
+        let wall_us = self
+            .wall_start
+            .elapsed()
+            .saturating_sub(wall_t0)
+            .as_micros();
+        self.metrics.observe(
+            "request_wall_us",
+            u64::try_from(wall_us).unwrap_or(u64::MAX),
+        );
+        self.metrics.inc("served_total", 1);
+        self.served += 1;
+        if level > 0 {
+            self.degraded_served += 1;
+            self.metrics.inc("degraded_served_total", 1);
+            self.ppe.tracer_mut().span(
+                EventKind::Recovery,
+                "degraded_service",
+                completed_at,
+                0,
+                request.id,
+                u64::from(level),
+            );
+        }
+        self.outcomes.push(Outcome::Served(Box::new(Response {
+            id: request.id,
+            degradation: level,
+            features,
+            scores,
+            arrival: request.arrival,
+            completed_at,
+        })));
+        Ok(())
+    }
+
+    /// Take every queued-but-unserved request, leaving the queue empty.
+    /// The cluster failover path extracts a dead blade's backlog this
+    /// way to replay it on survivors.
+    pub fn take_queued(&mut self) -> Vec<Request> {
+        let taken = self.queue.drain_all();
+        self.metrics.set_gauge("queue_depth", 0.0);
+        taken
+    }
+
+    /// Take the terminal outcomes recorded since the last call (served
+    /// responses and sheds, in completion order). A cluster router
+    /// collects outcomes per step; outcomes taken here no longer appear
+    /// in the final [`ServeReport::outcomes`] (the counters still do).
+    pub fn take_outcomes(&mut self) -> Vec<Outcome> {
+        std::mem::take(&mut self.outcomes)
+    }
+
+    /// Advance this machine's PPE clock to at least `at` (monotonic; a
+    /// stale `at` is a no-op). The cluster router aligns a blade's
+    /// virtual clock with a request's global arrival time before serving
+    /// it, so latency and deadline semantics match the single-machine
+    /// serving path.
+    pub fn advance_to(&mut self, at: u64) {
+        self.ppe.clock.advance_to(at);
+    }
+
+    /// One end-to-end blade health probe: an `integrity_probe` dispatch
+    /// (mailbox → DMA → checksum → mailbox reply) through the engine on
+    /// the first alive SPE. `Ok(false)` when no SPE is alive or the
+    /// probe failed — the blade-level watchdog's failure signal.
+    pub fn integrity_probe(&mut self) -> CellResult<bool> {
+        let Some(spe) = self.engine.alive().iter().position(|&a| a) else {
+            return Ok(false);
+        };
+        self.probe_spe(spe)
     }
 
     /// Shut the machine down and assemble the final report, every SPE

@@ -21,6 +21,21 @@ struct Snapshot {
     gauges: BTreeMap<String, String>,
     /// name -> (quantile label -> value), plus _sum/_count/_max samples.
     summaries: BTreeMap<String, BTreeMap<String, String>>,
+    /// blade index -> (field -> value), split off `blade<i>_<field>`
+    /// gauges so cluster exports render as one row per blade.
+    blades: BTreeMap<usize, BTreeMap<String, String>>,
+}
+
+/// Split a `blade<i>_<field>` metric name into its blade index and
+/// field, or `None` for every other name.
+fn blade_field(name: &str) -> Option<(usize, &str)> {
+    let rest = name.strip_prefix("blade")?;
+    let digits = rest.len() - rest.trim_start_matches(|c: char| c.is_ascii_digit()).len();
+    if digits == 0 {
+        return None;
+    }
+    let index: usize = rest[..digits].parse().ok()?;
+    Some((index, rest[digits..].strip_prefix('_')?))
 }
 
 fn parse(text: &str) -> Snapshot {
@@ -67,6 +82,13 @@ fn parse(text: &str) -> Snapshot {
                 continue;
             }
         }
+        if let Some((blade, field)) = blade_field(key) {
+            snap.blades
+                .entry(blade)
+                .or_default()
+                .insert(field.to_string(), value.to_string());
+            continue;
+        }
         match kind.get(key).map(String::as_str) {
             Some("gauge") => {
                 snap.gauges.insert(key.to_string(), value.to_string());
@@ -79,8 +101,40 @@ fn parse(text: &str) -> Snapshot {
     snap
 }
 
+fn breaker_label(value: &str) -> &'static str {
+    match value {
+        "0" => "closed",
+        "1" => "open",
+        "2" => "half-open",
+        _ => "?",
+    }
+}
+
 fn render(snap: &Snapshot) -> String {
     let mut out = String::new();
+    if !snap.blades.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>10} {:>12} {:>12} {:>14} {:>14}",
+            "blade", "breaker", "queue_depth", "served", "requests/sec", "cache_hit_rate"
+        );
+        for (index, fields) in &snap.blades {
+            let get = |k: &str| fields.get(k).cloned().unwrap_or_else(|| "-".to_string());
+            let breaker = fields
+                .get("breaker_state")
+                .map_or("-", |v| breaker_label(v));
+            let _ = writeln!(
+                out,
+                "{index:<8} {:>10} {:>12} {:>12} {:>14} {:>14}",
+                breaker,
+                get("queue_depth"),
+                get("served_total"),
+                get("requests_per_sec"),
+                get("cache_hit_rate")
+            );
+        }
+        out.push('\n');
+    }
     if !snap.summaries.is_empty() {
         let _ = writeln!(
             out,
@@ -163,5 +217,55 @@ e2e_max 1024
         assert!(report.contains("requests_total"));
         assert!(report.contains("e2e"));
         assert!(report.contains("1024"));
+    }
+
+    #[test]
+    fn blade_gauges_render_as_per_blade_rows() {
+        let text = "\
+# TYPE blade0_breaker_state gauge
+blade0_breaker_state 0
+# TYPE blade0_queue_depth gauge
+blade0_queue_depth 2
+# TYPE blade0_served_total gauge
+blade0_served_total 9
+# TYPE blade0_requests_per_sec gauge
+blade0_requests_per_sec 512.5
+# TYPE blade0_cache_hit_rate gauge
+blade0_cache_hit_rate 0.25
+# TYPE blade1_breaker_state gauge
+blade1_breaker_state 1
+# TYPE blade11_breaker_state gauge
+blade11_breaker_state 2
+# TYPE bladeless_gauge gauge
+bladeless_gauge 7
+";
+        let snap = parse(text);
+        assert_eq!(snap.blades.len(), 3);
+        assert_eq!(snap.blades[&0].get("served_total").unwrap(), "9");
+        assert_eq!(snap.blades[&11].get("breaker_state").unwrap(), "2");
+        assert!(
+            snap.gauges.contains_key("bladeless_gauge"),
+            "a blade-prefixed name without digits stays a plain gauge"
+        );
+        assert!(!snap.gauges.contains_key("blade0_queue_depth"));
+        let report = render(&snap);
+        assert!(report.contains("blade"));
+        assert!(report.contains("closed"));
+        assert!(report.contains("open"));
+        assert!(report.contains("half-open"));
+        assert!(report.contains("512.5"));
+    }
+
+    #[test]
+    fn blade_field_parses_only_indexed_names() {
+        assert_eq!(blade_field("blade3_queue_depth"), Some((3, "queue_depth")));
+        assert_eq!(
+            blade_field("blade12_cache_hit_rate"),
+            Some((12, "cache_hit_rate"))
+        );
+        assert_eq!(blade_field("blade_depth"), None);
+        assert_eq!(blade_field("blades_total"), None);
+        assert_eq!(blade_field("queue_depth"), None);
+        assert_eq!(blade_field("blade7"), None);
     }
 }

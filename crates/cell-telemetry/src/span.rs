@@ -239,6 +239,7 @@ fn row(track: Track) -> u64 {
     match track {
         Track::Ppe => 0,
         Track::Spe(i) => i as u64 + 1,
+        Track::Router => 98,
         Track::Eib => 99,
     }
 }

@@ -82,15 +82,20 @@ pub enum Track {
     Spe(usize),
     /// The element interconnect bus (stamps in *bus* cycles).
     Eib,
+    /// The cluster router in front of the blades (stamps in router
+    /// ticks — one tick per routed request, not machine cycles).
+    Router,
 }
 
 impl Track {
     /// Stable thread id for the Chrome export: PPE = 0, SPE *i* = *i* + 1,
-    /// EIB = 99 (kept visually apart from the cores).
+    /// Router = 98, EIB = 99 (infrastructure rows kept visually apart
+    /// from the cores).
     fn tid(self) -> u64 {
         match self {
             Track::Ppe => 0,
             Track::Spe(i) => i as u64 + 1,
+            Track::Router => 98,
             Track::Eib => 99,
         }
     }
@@ -99,6 +104,7 @@ impl Track {
         match self {
             Track::Ppe => "PPE".to_string(),
             Track::Spe(i) => format!("SPE{i}"),
+            Track::Router => "Router".to_string(),
             Track::Eib => "EIB".to_string(),
         }
     }

@@ -60,6 +60,7 @@ pub mod profile;
 pub mod recovery;
 pub mod report;
 pub mod schedule;
+pub mod supervise;
 pub mod trace;
 pub mod wrapper;
 
@@ -75,5 +76,6 @@ pub use profile::CoverageProfiler;
 pub use recovery::RetryPolicy;
 pub use report::{PlanBuilder, PortingPlan};
 pub use schedule::Schedule;
+pub use supervise::{BreakerState, CircuitBreaker, Heartbeats};
 pub use trace::Timeline;
 pub use wrapper::MsgWrapper;

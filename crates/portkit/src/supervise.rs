@@ -1,0 +1,219 @@
+//! Shared supervision primitives: circuit breakers and heartbeat books.
+//!
+//! The serving stack supervises failure domains at two levels — single
+//! SPEs inside one machine (`cell-serve`) and whole blades inside a
+//! cluster (`cell-cluster`). Both levels run the same state machine:
+//! consecutive failures trip a Closed/Open/HalfOpen breaker that paces
+//! recovery attempts, and a heartbeat ledger decides when a silent unit
+//! earns an end-to-end probe. This module is that one implementation,
+//! hoisted out of `cell-serve` so the two levels can never drift.
+//!
+//! Time is an opaque `u64` supplied by the caller: SPE breakers run on
+//! the PPE's virtual clock, blade breakers on the cluster router's
+//! logical clock. The state machine only ever compares and subtracts.
+//!
+//! * **Closed** — the unit is trusted; failures are counted.
+//! * **Open** — `threshold` consecutive failures tripped the breaker; no
+//!   recovery attempt until `cooldown` ticks have passed.
+//! * **HalfOpen** — the cooldown elapsed and one probe is in flight;
+//!   success closes the breaker, failure re-opens it (restarting the
+//!   cooldown from the failure time).
+//!
+//! Below the threshold the supervisor may recover immediately — a single
+//! transient failure heals at the next supervision tick without paying a
+//! cooldown.
+
+/// State of one supervised unit's breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+/// Consecutive-failure circuit breaker over caller-supplied time.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: u64,
+    state: BreakerState,
+    consecutive: u32,
+    opened_at: u64,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// `threshold` consecutive failures trip the breaker open for
+    /// `cooldown` ticks of the caller's clock.
+    pub fn new(threshold: u32, cooldown: u64) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            state: BreakerState::Closed,
+            consecutive: 0,
+            opened_at: 0,
+            trips: 0,
+        }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker has transitioned into `Open`.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Consecutive failures recorded since the last success.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive
+    }
+
+    /// Record a failure at time `now`; returns `true` when this failure
+    /// tripped the breaker open.
+    pub fn record_failure(&mut self, now: u64) -> bool {
+        self.consecutive += 1;
+        match self.state {
+            BreakerState::Closed if self.consecutive >= self.threshold => {
+                self.state = BreakerState::Open;
+                self.opened_at = now;
+                self.trips += 1;
+                true
+            }
+            // A failed probe re-opens immediately and restarts the clock.
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open;
+                self.opened_at = now;
+                self.trips += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Record a success: a closed breaker forgets its failures, a
+    /// half-open one closes.
+    pub fn record_success(&mut self) {
+        self.consecutive = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    /// May a recovery attempt run at `now`? `Closed` and `HalfOpen`
+    /// always may; `Open` only once the cooldown has elapsed.
+    pub fn ready(&self, now: u64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => now.saturating_sub(self.opened_at) >= self.cooldown,
+        }
+    }
+
+    /// Move an open breaker to `HalfOpen` for a probe dispatch.
+    pub fn begin_probe(&mut self) {
+        if self.state == BreakerState::Open {
+            self.state = BreakerState::HalfOpen;
+        }
+    }
+}
+
+/// Last-seen ledger for a set of supervised units.
+///
+/// A unit "beats" whenever it completes useful work or answers a probe;
+/// the watchdog asks which units have been silent longer than a timeout
+/// and probes exactly those. Same clock-agnosticism as the breaker.
+#[derive(Debug, Clone)]
+pub struct Heartbeats {
+    last: Vec<u64>,
+}
+
+impl Heartbeats {
+    /// `units` ledger entries, all starting at time 0.
+    pub fn new(units: usize) -> Self {
+        Heartbeats {
+            last: vec![0; units],
+        }
+    }
+
+    /// Record a sign of life from `unit` at time `at`.
+    pub fn beat(&mut self, unit: usize, at: u64) {
+        self.last[unit] = at;
+    }
+
+    /// Time of `unit`'s last recorded beat.
+    pub fn last_beat(&self, unit: usize) -> u64 {
+        self.last[unit]
+    }
+
+    /// Has `unit` been silent for longer than `timeout` at time `now`?
+    pub fn silent(&self, unit: usize, now: u64, timeout: u64) -> bool {
+        now.saturating_sub(self.last[unit]) > timeout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_closed_below_threshold() {
+        let mut b = CircuitBreaker::new(3, 1_000);
+        assert!(!b.record_failure(10));
+        assert!(!b.record_failure(20));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.ready(20), "below threshold recovery is immediate");
+        b.record_success();
+        assert_eq!(b.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn full_cycle_closed_open_halfopen_closed() {
+        let mut b = CircuitBreaker::new(2, 1_000);
+        assert!(!b.record_failure(0));
+        assert!(b.record_failure(100), "second failure must trip");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        assert!(!b.ready(500), "cooldown not elapsed");
+        assert!(b.ready(1_100), "cooldown elapsed");
+        b.begin_probe();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn failed_probe_reopens_and_restarts_cooldown() {
+        let mut b = CircuitBreaker::new(1, 1_000);
+        assert!(b.record_failure(0));
+        b.begin_probe();
+        assert!(b.record_failure(2_000), "probe failure re-trips");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        assert!(!b.ready(2_500), "cooldown restarts at the probe failure");
+        assert!(b.ready(3_000));
+    }
+
+    #[test]
+    fn begin_probe_is_a_noop_when_not_open() {
+        let mut b = CircuitBreaker::new(2, 100);
+        b.begin_probe();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn threshold_zero_is_clamped_to_one() {
+        let mut b = CircuitBreaker::new(0, 100);
+        assert!(b.record_failure(0), "first failure trips at threshold 1");
+    }
+
+    #[test]
+    fn heartbeats_track_silence_per_unit() {
+        let mut h = Heartbeats::new(3);
+        h.beat(0, 100);
+        h.beat(1, 50);
+        assert!(!h.silent(0, 150, 100));
+        assert!(h.silent(1, 200, 100));
+        assert!(h.silent(2, 1, 0), "never-beaten unit is silent past 0");
+        assert_eq!(h.last_beat(0), 100);
+    }
+}
