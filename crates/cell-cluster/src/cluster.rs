@@ -122,8 +122,20 @@ struct Blade {
     cache_hits: u64,
     crashes: u64,
     respawns: u64,
+    /// Server incarnations created for this blade so far (the initial
+    /// build counts; failed respawn attempts count too — each produced a
+    /// machine whose trace events need their own epoch domain).
+    generation: u64,
     /// Outputs of every torn-down server generation, in order.
     retired: Vec<ServeOutput>,
+}
+
+/// The trace-epoch memory domain of blade `b`'s `generation`-th server
+/// incarnation. Distinct across every machine a cluster run ever builds
+/// (generations stay far below 2^8 in practice), and blade 0's first
+/// incarnation keeps domain 0, matching a standalone server.
+fn blade_domain(blade: usize, generation: u64) -> u64 {
+    ((blade as u64) << 8) | generation
 }
 
 /// Cluster-level aggregate counters for one run.
@@ -235,8 +247,10 @@ impl CellCluster {
         assert!(cfg.blades > 0, "cluster needs at least one blade");
         let mut blades = Vec::with_capacity(cfg.blades);
         for b in 0..cfg.blades {
+            let mut serve = cfg.serve.clone();
+            serve.epoch_domain = blade_domain(b, 0);
             blades.push(Blade {
-                server: Some(CellServer::new(cfg.serve.clone(), FaultPlan::new())?),
+                server: Some(CellServer::new(serve, FaultPlan::new())?),
                 state: BladeState::Joined,
                 line: plan.arm(FaultSite::Blade, b),
                 breaker: CircuitBreaker::new(
@@ -248,6 +262,7 @@ impl CellCluster {
                 cache_hits: 0,
                 crashes: 0,
                 respawns: 0,
+                generation: 0,
                 retired: Vec::new(),
             });
         }
@@ -295,6 +310,17 @@ impl CellCluster {
 
     pub fn ring(&self) -> &HashRing {
         &self.ring
+    }
+
+    /// The cluster configuration (lint model builders read the breaker
+    /// and heartbeat knobs from here).
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Blade `b`'s live server, if it currently has one.
+    pub fn server(&self, b: usize) -> Option<&CellServer> {
+        self.blades.get(b).and_then(|blade| blade.server.as_ref())
     }
 
     /// `(hits, misses, bypasses)` of the router cache so far.
@@ -698,7 +724,10 @@ impl CellCluster {
         if self.blades[b].breaker.state() == BreakerState::Open {
             self.blades[b].breaker.begin_probe();
         }
-        let server = CellServer::new(self.cfg.serve.clone(), FaultPlan::new())?;
+        self.blades[b].generation += 1;
+        let mut serve = self.cfg.serve.clone();
+        serve.epoch_domain = blade_domain(b, self.blades[b].generation);
+        let server = CellServer::new(serve, FaultPlan::new())?;
         self.blades[b].server = Some(server);
         if self.probe_blade(b)? {
             self.blades[b].state = BladeState::Joined;

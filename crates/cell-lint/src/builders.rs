@@ -7,8 +7,10 @@
 //! verdict with it. DMA plans mirror the arithmetic the kernels use to
 //! pick their regimes (e.g. the stencil's resident-vs-banded rule).
 
+use cell_cluster::CellCluster;
 use cell_core::config::{MachineConfig, DMA_MAX_TRANSFER};
-use cell_core::{align_up, CellResult, QUADWORD};
+use cell_core::{align_up, CellError, CellResult, QUADWORD};
+use cell_engine::Engine;
 use cell_mem::StructLayout;
 use cell_serve::CellServer;
 use cell_stencil::grid::Grid;
@@ -21,7 +23,9 @@ use marvel::wire::{image_stride, DetectWire, ExtractWire};
 use portkit::opcodes::run_opcode;
 use portkit::schedule::Schedule;
 
-use crate::model::{DmaPlan, KernelModel, PortModel, WrapperModel};
+use crate::model::{
+    DispatchScript, DmaPlan, KernelModel, PortModel, ScriptOp, SupervisionModel, WrapperModel,
+};
 
 /// Wrapper bases come from `MsgWrapper::alloc`, which aligns to at least
 /// a cache line.
@@ -147,6 +151,9 @@ pub fn model_marvel(app: &CellMarvel, image_w: usize, image_h: usize) -> CellRes
         schedule: Some(schedule),
         kernel_specs: paper_kernel_specs(),
         scripts,
+        // The pipelined driver fails hard on any SPE loss (Fail mode):
+        // no recovery machinery to compose with.
+        supervision: None,
     })
 }
 
@@ -192,6 +199,9 @@ pub fn model_resilient(
         schedule: Some(app.schedule().clone()),
         kernel_specs: paper_kernel_specs(),
         scripts,
+        // Retry/timeout/replan failover, but no respawn: a dead SPE is
+        // abandoned and its kernels replan onto the survivors.
+        supervision: Some(SupervisionModel::failover_only()),
     })
 }
 
@@ -248,6 +258,10 @@ pub fn model_serve(server: &CellServer, image_w: usize, image_h: usize) -> CellR
         schedule: Some(server.full_schedule().clone()),
         kernel_specs: paper_kernel_specs(),
         scripts,
+        supervision: Some(SupervisionModel::serving(
+            server.config().breaker_threshold,
+            server.config().breaker_cooldown,
+        )),
     })
 }
 
@@ -321,6 +335,7 @@ pub fn model_stencil(app: &StencilApp, width: usize, height: usize) -> CellResul
         schedule: None,
         kernel_specs: Vec::new(),
         scripts,
+        supervision: None,
     })
 }
 
@@ -387,5 +402,70 @@ pub fn model_image_filter() -> CellResult<PortModel> {
         schedule: None,
         kernel_specs: Vec::new(),
         scripts,
+        supervision: None,
     })
+}
+
+/// Model the shared pipelined offload executor itself (`cell-engine`,
+/// the PR-5 unification): the image-filter dispatcher driven two ways —
+/// a windowed in-flight lane at the engine's configured width, and an
+/// `SPU_BATCH` conversation packing members into single frames. The
+/// window comes from the live [`Engine`], so widening the bench's
+/// pipeline widens the checked model with it.
+pub fn model_engine_pipelined(engine: &Engine) -> CellResult<PortModel> {
+    let mut model = model_image_filter()?;
+    model.name = "engine-pipelined".to_string();
+    model.scripts = vec![
+        PortModel::engine_script(0, run_opcode(0), 4, engine.window()),
+        PortModel::batch_script(0, run_opcode(1), 2, 8),
+    ];
+    Ok(model)
+}
+
+/// Model the multi-blade cluster port. Every blade runs the serve
+/// layout (same seed, same models — the precondition for byte-identical
+/// failover replay), so the per-SPE protocol model comes from blade 0's
+/// live server. On top of it:
+///
+/// * **blade supervision** — the router's heartbeat watchdog and
+///   breaker-paced whole-machine respawns, declared one level up with
+///   the cluster's blade knobs;
+/// * **failover replay** — a home lane dies mid-conversation and the
+///   orphaned dispatch replays on a survivor lane before the home is
+///   rebuilt (retire → re-upload → probe) and rejoins the ring;
+/// * **cache admission** — a router cache hit answers a request with no
+///   mailbox traffic at all; the degenerate close-only conversation
+///   must be protocol-clean too.
+pub fn model_cluster(
+    cluster: &CellCluster,
+    image_w: usize,
+    image_h: usize,
+) -> CellResult<PortModel> {
+    let server = cluster.server(0).ok_or(CellError::BadConfig {
+        message: "cluster has no live blade to model".to_string(),
+    })?;
+    let mut model = model_serve(server, image_w, image_h)?;
+    model.name = "cell-cluster".to_string();
+    let ccfg = cluster.config();
+    model.supervision = Some(SupervisionModel::serving(
+        ccfg.blade_breaker_threshold,
+        ccfg.blade_breaker_cooldown,
+    ));
+    let ops = server.opcodes();
+    let ch_op = ops.opcode(KernelKind::Ch);
+    // Failover replay on a survivor lane, then the dead home blade's
+    // rebuild: the same retire → upload → probe shape as an SPE respawn,
+    // one failure domain up.
+    if model.kernels.len() > 1 {
+        model
+            .scripts
+            .push(PortModel::respawn_script(1, ch_op, server.probe_opcode()));
+    }
+    // Cache-hit admission: served entirely at the router.
+    model.scripts.push(DispatchScript {
+        kernel: 0,
+        window: 1,
+        ops: vec![ScriptOp::Close],
+    });
+    Ok(model)
 }

@@ -16,17 +16,31 @@
 //! * [`race::detect_races`] — a sanitizer-style happens-before detector
 //!   over `cell-trace` streams: vector clocks built from mailbox edges
 //!   flag overlapping main-memory DMA ranges no message chain orders.
+//!   Epoch-aware: respawns and blade failovers reset channel edges per
+//!   mailbox generation instead of poisoning the whole trace;
+//! * [`mc::check_port`] — an explicit-state model checker over the
+//!   product of the dispatch scripts, the 4-deep mailbox, the Listing 3
+//!   dispatcher loop and the supervision state machines under a
+//!   crash/hang/drop fault oracle, proving deadlock-freedom per port or
+//!   producing a counterexample path.
 //!
 //! The `cell-lint` binary runs all of it over every shipped example and
 //! exits nonzero on any Error-severity finding; CI gates on that.
 
 pub mod builders;
+pub mod mc;
 pub mod model;
 pub mod race;
 pub mod rules;
 
-pub use builders::{model_image_filter, model_marvel, model_resilient, model_serve, model_stencil};
-pub use model::{DispatchScript, DmaPlan, KernelModel, PortModel, ScriptOp, WrapperModel};
+pub use builders::{
+    model_cluster, model_engine_pipelined, model_image_filter, model_marvel, model_resilient,
+    model_serve, model_stencil,
+};
+pub use mc::{check_port, McConfig, McReport, McStats};
+pub use model::{
+    DispatchScript, DmaPlan, KernelModel, PortModel, ScriptOp, SupervisionModel, WrapperModel,
+};
 pub use race::detect_races;
 pub use rules::{analyze, Finding, LintConfig, LintReport};
 
@@ -58,6 +72,7 @@ mod tests {
                 0,
                 portkit::opcodes::run_opcode(0),
             )],
+            supervision: None,
         }
     }
 

@@ -27,6 +27,64 @@ pub struct PortModel {
     pub kernel_specs: Vec<KernelSpec>,
     /// PPE-side dispatch scripts, one per conversation with a dispatcher.
     pub scripts: Vec<DispatchScript>,
+    /// The port's declared fault-tolerance machinery, when it has any.
+    /// `None` means the port never claimed to survive faults: the model
+    /// checker then proves its scripts live in a fault-free world only.
+    pub supervision: Option<SupervisionModel>,
+}
+
+/// The supervision state machines a port composes with its dispatch
+/// protocol — what `portkit::supervise` and the serving layers wire up.
+/// The model checker explores crash/hang/drop faults against exactly the
+/// recovery moves declared here; declaring machinery the scripts cannot
+/// exercise is itself reported (`mc-unreachable-recovery`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisionModel {
+    /// Consecutive failures before a slot's circuit breaker trips open.
+    pub breaker_threshold: u32,
+    /// Cooldown (virtual cycles) before an open breaker half-opens for a
+    /// probe. `None` models a breaker that never cools — open forever.
+    pub breaker_cooldown: Option<u64>,
+    /// A heartbeat watchdog probes slots that go silent, so a *hung*
+    /// (not crashed) SPE is eventually detected.
+    pub watchdog: bool,
+    /// The supervisor can retire → re-upload → probe a dead slot back
+    /// into service (`CellMachine::respawn` one level up).
+    pub respawn: bool,
+    /// Waits carry deadlines: a lost reply resolves as a timeout error
+    /// instead of blocking forever.
+    pub timeout: bool,
+    /// Failed dispatches replay on another lane (engine replan / cluster
+    /// failover) rather than failing the request.
+    pub failover: bool,
+}
+
+impl SupervisionModel {
+    /// The full `cell-serve` stack: breaker-gated respawns, heartbeat
+    /// watchdog, deadline waits and replan failover.
+    pub fn serving(threshold: u32, cooldown: u64) -> Self {
+        SupervisionModel {
+            breaker_threshold: threshold,
+            breaker_cooldown: Some(cooldown),
+            watchdog: true,
+            respawn: true,
+            timeout: true,
+            failover: true,
+        }
+    }
+
+    /// Retry/timeout/failover without respawn — `ResilientMarvel`'s
+    /// shape: a dead SPE is abandoned and its work replans elsewhere.
+    pub fn failover_only() -> Self {
+        SupervisionModel {
+            breaker_threshold: u32::MAX,
+            breaker_cooldown: None,
+            watchdog: false,
+            respawn: false,
+            timeout: true,
+            failover: true,
+        }
+    }
 }
 
 /// One SPE-resident kernel (a dispatcher plus what it moves).
@@ -99,6 +157,10 @@ pub enum ScriptOp {
     /// Write the opcode word (and the wrapper-address word) to the SPE's
     /// inbound mailbox.
     Send { opcode: u32 },
+    /// Write an `SPU_BATCH` frame: the batch header and count, then
+    /// `count` packed `(opcode, arg)` member pairs — `2 + 2·count` words
+    /// down the inbound mailbox, answered by a single summary reply.
+    SendBatch { opcode: u32, count: u8 },
     /// Block on the SPE's outbound mailbox for the reply word.
     WaitReply,
     /// Tear the SPE context down: mailboxes close and any queued words
@@ -165,6 +227,23 @@ impl PortModel {
         DispatchScript {
             kernel,
             window,
+            ops,
+        }
+    }
+
+    /// The batching engine conversation: `batches` `SPU_BATCH` frames of
+    /// `count` members each, every frame answered by one summary reply
+    /// before the next is sent — `cell_engine`'s batch mode per SPE.
+    pub fn batch_script(kernel: usize, op: u32, batches: usize, count: u8) -> DispatchScript {
+        let mut ops = Vec::new();
+        for _ in 0..batches {
+            ops.push(ScriptOp::SendBatch { opcode: op, count });
+            ops.push(ScriptOp::WaitReply);
+        }
+        ops.push(ScriptOp::Close);
+        DispatchScript {
+            kernel,
+            window: 1,
             ops,
         }
     }

@@ -24,8 +24,35 @@
 //! started" on simulated clocks proves nothing about the real machine.
 //! Only message edges count, which is what makes this a happens-before
 //! detector rather than a lucky-schedule observer.
+//!
+//! # Epochs: respawns and blade failover
+//!
+//! A mailbox FIFO is not one channel for the life of a trace: a crash
+//! closes it and a respawn reopens it, discarding queued words — the
+//! *k*-th send of the new occupant's conversation must never be matched
+//! against the *k*-th receive of the old one's. Every trace event
+//! carries an **epoch** word for exactly this: the low
+//! [`cell_trace::EPOCH_GENERATION_BITS`] bits are the mailbox FIFO
+//! generation (bumped per reopen), the high bits the **memory domain**
+//! (which machine incarnation recorded it — a cluster gives each blade
+//! generation its own domain). The detector keys channels by
+//! `(direction, spe, epoch)`, so channel edges reset cleanly at every
+//! respawn, and it skips access pairs from different domains outright —
+//! two blades' main memories are different physical arrays, overlapping
+//! effective addresses notwithstanding.
+//!
+//! Merging many incarnations into the fixed PPE/SPE lanes is sound
+//! because lanes sort domain-major (then by epoch on SPE lanes, where
+//! the machine enforces join-before-respawn): program-order edges never
+//! point from a later domain back into an earlier one, and channel
+//! edges stay within one epoch, so every happens-before path between
+//! two same-domain accesses passes through that domain's real events
+//! only. Cross-domain paths can exist, but cross-domain pairs are never
+//! compared.
 
-use cell_trace::{EventKind, TraceEvent, TraceReport, Track};
+use std::collections::HashMap;
+
+use cell_trace::{epoch_domain, EventKind, TraceEvent, TraceReport, Track};
 use portkit::advisor::Severity;
 
 use crate::rules::Finding;
@@ -64,12 +91,15 @@ struct Access {
     lo: u64,
     hi: u64, // exclusive
     label: &'static str,
+    /// Memory domain (machine incarnation) the access ran in. Accesses
+    /// in different domains touch different physical memories.
+    domain: u64,
     clock: VectorClock,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Role {
-    /// Mailbox send on channel (key is `(direction, spe)`).
+    /// Mailbox send on channel (key is `(direction, spe, epoch)`).
     Send { inbound: bool, spe: usize },
     /// Mailbox receive on the same channel keying.
     Recv { inbound: bool, spe: usize },
@@ -104,6 +134,17 @@ fn classify(track: Track, e: &TraceEvent) -> Role {
     }
 }
 
+/// FIFO channel state for one `(direction, spe, epoch)` conversation.
+#[derive(Debug, Default)]
+struct Channel {
+    /// Clocks of processed sends, in send order.
+    sent: Vec<VectorClock>,
+    /// Count of matched receives.
+    received: usize,
+}
+
+type ChannelKey = (bool, usize, u64);
+
 /// Upper bound on reported races; a broken port floods otherwise.
 const MAX_FINDINGS: usize = 64;
 
@@ -124,9 +165,17 @@ pub fn detect_races(report: &TraceReport) -> Vec<Finding> {
         .unwrap_or(0);
     let n = num_spes + 1;
 
-    // Per-track event lists in program order. Stable sort: equal stamps
+    // Per-track event lists in program order. Stable sort: equal keys
     // keep recording order, which within a merged SPE track preserves
     // the environment-before-MFC interleaving.
+    //
+    // The PPE lane sorts domain-major then by timestamp: one machine's
+    // PPE interleaves slot generations freely (its clock spans them),
+    // but different machines' PPE tracks (cluster blade generations)
+    // must not interleave — their clocks are unrelated. SPE lanes sort
+    // by full epoch then timestamp: a slot's incarnations ran strictly
+    // in sequence (the supervisor joins the old thread before
+    // respawning), while each incarnation's clock restarts.
     let mut lanes: Vec<Vec<(Track, TraceEvent)>> = vec![Vec::new(); n];
     for t in &report.tracks {
         let lane = match t.track {
@@ -138,15 +187,19 @@ pub fn detect_races(report: &TraceReport) -> Vec<Finding> {
         };
         lanes[lane].extend(t.events.iter().map(|e| (t.track, *e)));
     }
-    for lane in &mut lanes {
-        lane.sort_by_key(|(_, e)| e.ts);
+    for (lane, events) in lanes.iter_mut().enumerate() {
+        if lane == 0 {
+            events.sort_by_key(|(_, e)| (epoch_domain(e.epoch), e.ts));
+        } else {
+            events.sort_by_key(|(_, e)| (e.epoch, e.ts));
+        }
     }
 
-    // FIFO channel state: clocks of processed sends, count of matched
-    // receives. Channels keyed by (inbound, spe).
-    let channel = |inbound: bool, spe: usize| usize::from(inbound) * n + spe;
-    let mut sent: Vec<Vec<VectorClock>> = vec![Vec::new(); 2 * n];
-    let mut received: Vec<usize> = vec![0; 2 * n];
+    // FIFO channel state, keyed by (inbound, spe, epoch): edges reset at
+    // every respawn because the reopened FIFO's words carry a new
+    // generation, and cluster blades never share channels because their
+    // epochs live in different domains.
+    let mut channels: HashMap<ChannelKey, Channel> = HashMap::new();
 
     let mut cursors = vec![0usize; n];
     let mut clocks: Vec<VectorClock> = (0..n).map(|_| VectorClock::zero(n)).collect();
@@ -155,8 +208,9 @@ pub fn detect_races(report: &TraceReport) -> Vec<Finding> {
     // Worklist replay: advance any track whose next event is ready. A
     // receive is ready once its matching send was processed. When no
     // track can advance (a receive with no recorded send — e.g. a
-    // half-captured trace), force the lowest-timestamp blocked receive
-    // through without a join rather than dropping the rest of the lane.
+    // half-captured trace, or a word orphaned by a crash), force the
+    // lowest-timestamp blocked receive through without a join rather
+    // than dropping the rest of the lane.
     loop {
         let mut advanced = false;
         for lane in 0..n {
@@ -173,23 +227,14 @@ pub fn detect_races(report: &TraceReport) -> Vec<Finding> {
                         // as local below via the forced path.
                         break;
                     }
-                    let ch = channel(inbound, spe);
-                    if received[ch] >= sent[ch].len() {
+                    let ready = channels
+                        .get(&(inbound, spe, e.epoch))
+                        .is_some_and(|ch| ch.received < ch.sent.len());
+                    if !ready {
                         break; // matching send not processed yet
                     }
                 }
-                process(
-                    lane,
-                    track,
-                    &e,
-                    role,
-                    n,
-                    &channel,
-                    &mut sent,
-                    &mut received,
-                    &mut clocks,
-                    &mut accesses,
-                );
+                process(lane, &e, role, n, &mut channels, &mut clocks, &mut accesses);
                 cursors[lane] += 1;
                 advanced = true;
             }
@@ -204,16 +249,13 @@ pub fn detect_races(report: &TraceReport) -> Vec<Finding> {
                 .filter(|&l| cursors[l] < lanes[l].len())
                 .min_by_key(|&l| lanes[l][cursors[l]].1.ts)
                 .expect("some lane must be unfinished");
-            let (track, e) = lanes[lane][cursors[lane]];
+            let (_, e) = lanes[lane][cursors[lane]];
             process(
                 lane,
-                track,
                 &e,
                 Role::Local,
                 n,
-                &channel,
-                &mut sent,
-                &mut received,
+                &mut channels,
                 &mut clocks,
                 &mut accesses,
             );
@@ -224,16 +266,12 @@ pub fn detect_races(report: &TraceReport) -> Vec<Finding> {
     report_races(&accesses)
 }
 
-#[allow(clippy::too_many_arguments)]
 fn process(
     lane: usize,
-    _track: Track,
     e: &TraceEvent,
     role: Role,
     n: usize,
-    channel: &impl Fn(bool, usize) -> usize,
-    sent: &mut [Vec<VectorClock>],
-    received: &mut [usize],
+    channels: &mut HashMap<ChannelKey, Channel>,
     clocks: &mut [VectorClock],
     accesses: &mut Vec<Access>,
 ) {
@@ -242,17 +280,21 @@ fn process(
         Role::Send { inbound, spe } => {
             let spe = if inbound { spe } else { lane - 1 };
             if spe + 1 < n {
-                sent[channel(inbound, spe)].push(clocks[lane].clone());
+                channels
+                    .entry((inbound, spe, e.epoch))
+                    .or_default()
+                    .sent
+                    .push(clocks[lane].clone());
             }
         }
         Role::Recv { inbound, spe } => {
             let spe = if inbound { lane - 1 } else { spe };
-            let ch = channel(inbound, spe);
-            let k = received[ch];
-            if k < sent[ch].len() {
-                let sender = sent[ch][k].clone();
-                clocks[lane].join(&sender);
-                received[ch] = k + 1;
+            if let Some(ch) = channels.get_mut(&(inbound, spe, e.epoch)) {
+                if ch.received < ch.sent.len() {
+                    let sender = ch.sent[ch.received].clone();
+                    clocks[lane].join(&sender);
+                    ch.received += 1;
+                }
             }
         }
         Role::Memory => {
@@ -263,6 +305,7 @@ fn process(
                 lo: e.ea,
                 hi: e.ea + e.arg0,
                 label: e.label,
+                domain: epoch_domain(e.epoch),
                 clock: clocks[lane].clone(),
             });
         }
@@ -285,6 +328,9 @@ fn report_races(accesses: &[Access]) -> Vec<Finding> {
             }
             if a.track == b.track || (!a.is_write && !b.is_write) {
                 continue;
+            }
+            if a.domain != b.domain {
+                continue; // different machines, different physical memory
             }
             if a.clock.le(&b.clock) || b.clock.le(&a.clock) {
                 continue; // ordered by a message chain
@@ -330,7 +376,7 @@ fn report_races(accesses: &[Access]) -> Vec<Finding> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cell_trace::{TraceConfig, Tracer};
+    use cell_trace::{domain_base, TraceConfig, Tracer};
 
     fn spe_tracer(i: usize) -> Tracer {
         Tracer::new(TraceConfig::Full, Track::Spe(i), 3.2e9)
@@ -424,5 +470,56 @@ mod tests {
             tracks: vec![a.finish(), b.finish()],
         };
         assert_eq!(detect_races(&report).len(), 1);
+    }
+
+    /// Channel edges reset per epoch: the old occupant of a slot sent a
+    /// reply the PPE never read, then crashed. The PPE's receive is
+    /// stamped with the new generation, so it must join with the *new*
+    /// occupant's send — positional matching against the orphaned
+    /// epoch-0 send would order the PPE (and everything after it)
+    /// behind the wrong incarnation. The put the PPE then triggers on
+    /// SPE1 is ordered after the epoch-1 put via the reply chain, but
+    /// would appear concurrent with it if the receive had been consumed
+    /// by the stale channel.
+    #[test]
+    fn channel_edges_reset_per_epoch() {
+        let mut ppe = Tracer::new(TraceConfig::Full, Track::Ppe, 3.2e9);
+        ppe.span_epoch(EventKind::MailboxRecv, "mbox_recv", 900, 0, 1, 0, 1);
+        ppe.span(EventKind::MailboxSend, "mbox_send", 910, 0, 7, 1); // dispatch to SPE1
+        let mut a = spe_tracer(0);
+        // Epoch 0 incarnation: reply nobody read, then crash.
+        a.span(EventKind::MailboxSend, "mbox_send", 120, 0, 1, 0);
+        let mut a2 = spe_tracer(0);
+        // Epoch 1 incarnation of the same slot: put, then the reply the
+        // PPE actually reads.
+        a2.set_epoch(1);
+        a2.span_mem(EventKind::DmaPut, "dma_put", 50, 10, 4096, 1, 0x1_0000);
+        a2.span(EventKind::MailboxSend, "mbox_send", 60, 0, 1, 0);
+        let mut b = spe_tracer(1);
+        b.span(EventKind::MailboxRecv, "mbox_recv", 950, 0, 7, 0);
+        b.span_mem(EventKind::DmaPut, "dma_put", 960, 10, 4096, 1, 0x1_0000);
+        let report = TraceReport {
+            tracks: vec![ppe.finish(), a.finish(), a2.finish(), b.finish()],
+        };
+        assert!(
+            detect_races(&report).is_empty(),
+            "the epoch-1 reply chain orders SPE0's put before SPE1's"
+        );
+    }
+
+    /// Accesses in different memory domains (different machines) never
+    /// race, even at identical effective addresses with no edges.
+    #[test]
+    fn cross_domain_accesses_do_not_race() {
+        let mut a = spe_tracer(0);
+        a.set_epoch(domain_base(0));
+        a.span_mem(EventKind::DmaPut, "dma_put", 100, 10, 4096, 1, 0x1_0000);
+        let mut b = spe_tracer(1);
+        b.set_epoch(domain_base(1));
+        b.span_mem(EventKind::DmaPut, "dma_put", 100, 10, 4096, 1, 0x1_0000);
+        let report = TraceReport {
+            tracks: vec![a.finish(), b.finish()],
+        };
+        assert!(detect_races(&report).is_empty());
     }
 }

@@ -27,9 +27,13 @@
 //! | `dispatch-unknown-opcode`, `dispatch-missing-exit` | Error | protocol |
 //! | `mailbox-read-no-pending` | Error | protocol |
 //! | `respawn-missing-upload` | Error | protocol |
+//! | `batch-count-invalid` | Error | protocol |
 //! | `mailbox-double-send`, `mailbox-close-pending` | Warning | protocol |
 //! | `schedule-imbalance`, `kernel-slower-than-host` | Warning | schedule |
 //! | `dma-race` | Error | dynamic ([`crate::race`]) |
+//! | `mc-deadlock`, `mc-lost-wakeup` | Error | model checker ([`crate::mc`]) |
+//! | `mc-livelock-no-exit`, `mc-breaker-stuck` | Error | model checker ([`crate::mc`]) |
+//! | `mc-unreachable-recovery`, `mc-state-cap` | Warning | model checker ([`crate::mc`]) |
 
 use std::fmt::Write as _;
 
@@ -500,6 +504,61 @@ fn protocol_pass(
                         ),
                     ));
                 }
+                pending += 1;
+            }
+            ScriptOp::SendBatch { opcode, count } => {
+                if retired {
+                    emit(Finding::new(
+                        Severity::Error,
+                        "respawn-missing-upload",
+                        subject.clone(),
+                        format!(
+                            "SPU_BATCH frame (opcode {opcode}) dispatched to a retired SPE slot \
+                             whose dispatcher code was never re-uploaded"
+                        ),
+                    ));
+                }
+                if count == 0 || count as usize > portkit::opcodes::MAX_BATCH {
+                    emit(Finding::new(
+                        Severity::Error,
+                        "batch-count-invalid",
+                        subject.clone(),
+                        format!(
+                            "SPU_BATCH frame declares {count} members; the dispatcher accepts \
+                             1..={} per frame",
+                            portkit::opcodes::MAX_BATCH
+                        ),
+                    ));
+                }
+                if !table.iter().any(|(_, o)| *o == opcode) {
+                    let known: Vec<String> =
+                        table.iter().map(|(n, o)| format!("{n}={o}")).collect();
+                    emit(Finding::new(
+                        Severity::Error,
+                        "dispatch-unknown-opcode",
+                        subject.clone(),
+                        format!(
+                            "batch member opcode {opcode} is not registered on the dispatcher \
+                             (table: {}); the batch loop replies SPU_CORRUPT or never at all",
+                            known.join(", ")
+                        ),
+                    ));
+                }
+                if pending >= window {
+                    emit(Finding::new(
+                        Severity::Warning,
+                        "mailbox-double-send",
+                        subject.clone(),
+                        format!(
+                            "SPU_BATCH frame sent with {pending} reply(ies) still pending, past \
+                             the declared in-flight window of {window}; batch frames stream \
+                             {} words through the 4-deep mailbox and rely on the dispatcher \
+                             draining as they arrive",
+                            2 + 2 * count as usize
+                        ),
+                    ));
+                }
+                // One summary reply per frame, however many members.
                 pending += 1;
             }
             ScriptOp::WaitReply => {

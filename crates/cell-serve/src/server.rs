@@ -138,6 +138,10 @@ pub struct ServeConfig {
     /// Cap on automatic [`FlightDump`]s per run (breaker trips, respawns
     /// and retransmits past the cap still count, but stop dumping).
     pub max_flight_dumps: usize,
+    /// Memory domain for trace-epoch stamping: 0 for a standalone server;
+    /// a cluster assigns each blade incarnation a distinct domain so
+    /// merged cross-blade traces keep their machines' events apart.
+    pub epoch_domain: u64,
 }
 
 impl Default for ServeConfig {
@@ -158,6 +162,7 @@ impl Default for ServeConfig {
             request_spans: false,
             flight_capacity: FLIGHT_CAPACITY,
             max_flight_dumps: 4,
+            epoch_domain: 0,
         }
     }
 }
@@ -319,6 +324,7 @@ impl CellServer {
         machine_cfg.dma.integrity = cfg.mfc_integrity;
         let mut machine = CellMachine::new(machine_cfg)?;
         machine.set_trace_config(cfg.trace);
+        machine.set_epoch_domain(cfg.epoch_domain);
         machine.set_fault_plan(plan);
         let mut ppe = machine.ppe();
         ppe.tracer_mut().set_flight_capacity(cfg.flight_capacity);
@@ -461,6 +467,12 @@ impl CellServer {
 
     pub fn opcodes(&self) -> UniversalOpcodes {
         self.opcodes
+    }
+
+    /// The serving configuration this server was built with (lint model
+    /// builders read the supervision knobs from here).
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
     }
 
     /// Opcode of the `integrity_probe` kernel on every serve dispatcher.

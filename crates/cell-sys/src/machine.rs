@@ -98,6 +98,11 @@ pub struct CellMachine {
     eib: Arc<Eib>,
     slots: Vec<SpeSlot>,
     trace_config: TraceConfig,
+    /// Memory domain for epoch stamping: which machine incarnation this
+    /// is within a larger topology (cluster blade × blade generation).
+    /// 0 for a standalone machine. Stored in the high bits of every
+    /// trace-event epoch word (see [`cell_trace::epoch_domain`]).
+    epoch_domain: u64,
     /// Seeded fault-injection plan; empty by default. Copied into each SPE
     /// environment at spawn, like the trace configuration.
     fault_plan: FaultPlan,
@@ -126,6 +131,7 @@ impl CellMachine {
             eib,
             slots,
             trace_config: TraceConfig::Off,
+            epoch_domain: 0,
             fault_plan: FaultPlan::new(),
             shut_down: AtomicBool::new(false),
         })
@@ -141,6 +147,26 @@ impl CellMachine {
 
     pub fn trace_config(&self) -> TraceConfig {
         self.trace_config
+    }
+
+    /// Assign this machine a memory domain for epoch stamping. Rebases
+    /// every slot's inbound FIFO generation to the domain's base, so all
+    /// subsequent trace events — and the bumps from later respawns —
+    /// carry globally distinct epoch words. Must be called before
+    /// [`CellMachine::ppe`] and [`CellMachine::spawn`], like
+    /// [`CellMachine::set_trace_config`]. Domain 0 (the default) is the
+    /// standalone-machine identity: generations stay 0, 1, 2, …
+    pub fn set_epoch_domain(&mut self, domain: u64) {
+        self.epoch_domain = domain;
+        for slot in &self.slots {
+            slot.mailboxes
+                .inbound
+                .set_generation(cell_trace::domain_base(domain));
+        }
+    }
+
+    pub fn epoch_domain(&self) -> u64 {
+        self.epoch_domain
     }
 
     /// Install a deterministic fault-injection plan (chaos testing). Must
@@ -179,14 +205,20 @@ impl CellMachine {
 
     /// The PPE handle (create once; it owns the PPE virtual clock).
     pub fn ppe(&self) -> Ppe {
-        Ppe::new(
+        let mut ppe = Ppe::new(
             Arc::clone(&self.mem),
             VirtualClock::new(self.config.core_frequency),
             self.slots.iter().map(|s| s.mailboxes.clone()).collect(),
             self.slots.iter().map(|s| Arc::clone(&s.signal1)).collect(),
             self.slots.iter().map(|s| Arc::clone(&s.signal2)).collect(),
             self.trace_config,
-        )
+        );
+        // The PPE outlives every SPE incarnation; its ambient epoch is the
+        // machine's domain base, and its mailbox sites stamp the live
+        // per-slot generation themselves.
+        ppe.tracer_mut()
+            .set_epoch(cell_trace::domain_base(self.epoch_domain));
+        ppe
     }
 
     /// Spawn `program` on SPE `spe_id`. The program runs on a host thread
@@ -236,6 +268,10 @@ impl CellMachine {
             peer_signals,
             self.trace_config,
         );
+        // Stamp the incarnation's epoch into the SPE tracers: the slot's
+        // inbound FIFO generation already encodes domain base + respawn
+        // count (reopen_all bumped it during a respawn).
+        env.set_epoch(slot.mailboxes.inbound.generation());
         if !self.fault_plan.is_empty() {
             env.set_fault_lines(
                 self.fault_plan.arm(FaultSite::SpeDispatch, spe_id),

@@ -33,6 +33,11 @@ struct Inner {
     queue: VecDeque<Stamped>,
     capacity: usize,
     closed: bool,
+    /// FIFO generation: bumped on every [`Mailbox::reopen`]. Trace
+    /// consumers (the race detector) key channel edges on this so a
+    /// respawned occupant's conversation is never matched against the
+    /// previous incarnation's words.
+    generation: u64,
 }
 
 /// One direction of mailbox traffic with a fixed capacity.
@@ -51,6 +56,7 @@ impl Mailbox {
                 queue: VecDeque::with_capacity(capacity),
                 capacity,
                 closed: false,
+                generation: 0,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -148,8 +154,23 @@ impl Mailbox {
         let mut g = self.inner.lock().unwrap();
         g.closed = false;
         g.queue.clear();
+        g.generation += 1;
         drop(g);
         self.not_full.notify_all();
+    }
+
+    /// The current FIFO generation (0 for a never-reopened mailbox, +1
+    /// per [`Mailbox::reopen`]). Because reopen discards queued words,
+    /// every word successfully read was also *sent* in this generation.
+    pub fn generation(&self) -> u64 {
+        self.inner.lock().unwrap().generation
+    }
+
+    /// Rebase the generation counter. Machines embedded in a larger
+    /// topology (cluster blades) use this to give each incarnation a
+    /// globally distinct epoch word before any traffic flows.
+    pub fn set_generation(&self, generation: u64) {
+        self.inner.lock().unwrap().generation = generation;
     }
 }
 
@@ -440,5 +461,27 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = Mailbox::new(0);
+    }
+
+    #[test]
+    fn reopen_bumps_generation_and_discards_stale_words() {
+        let mb = Mailbox::new(4);
+        assert_eq!(mb.generation(), 0);
+        mb.write(1, 0).unwrap();
+        mb.close();
+        mb.reopen();
+        assert_eq!(mb.generation(), 1);
+        assert_eq!(
+            mb.try_read().unwrap_err(),
+            CellError::MailboxEmpty,
+            "stale words from the previous generation must be gone"
+        );
+        mb.set_generation(7 << 20);
+        mb.reopen();
+        assert_eq!(
+            mb.generation(),
+            (7 << 20) + 1,
+            "reopen bumps from the rebased value"
+        );
     }
 }

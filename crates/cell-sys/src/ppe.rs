@@ -76,11 +76,12 @@ impl Ppe {
     pub fn take_trace(&mut self) -> TrackData {
         self.tracer
             .count_max(Counter::TotalCycles, self.clock.now());
-        let fresh = Tracer::new(
+        let mut fresh = Tracer::new(
             self.tracer.config(),
             Track::Ppe,
             self.clock.frequency().hertz(),
         );
+        fresh.set_epoch(self.tracer.epoch());
         std::mem::replace(&mut self.tracer, fresh).finish()
     }
 
@@ -139,13 +140,14 @@ impl Ppe {
         self.check_spe(spe)?;
         self.clock.advance(Cycles(50));
         self.profile.mailbox_ops += 1;
-        self.tracer.span(
+        self.tracer.span_epoch(
             EventKind::MailboxSend,
             "mbox_send",
             self.clock.now(),
             0,
             value as u64,
             spe as u64,
+            self.mailboxes[spe].inbound.generation(),
         );
         self.tracer.count(Counter::MailboxSends, 1);
         self.mailboxes[spe].inbound.write(value, self.clock.now())
@@ -167,13 +169,14 @@ impl Ppe {
         }
         self.clock.advance(Cycles(50));
         self.profile.mailbox_ops += 1;
-        self.tracer.span(
+        self.tracer.span_epoch(
             EventKind::MailboxSend,
             "mbox_send",
             self.clock.now(),
             0,
             value as u64,
             spe as u64,
+            self.mailboxes[spe].inbound.generation(),
         );
         self.tracer.count(Counter::MailboxSends, 1);
         self.mailboxes[spe].inbound.write(value, self.clock.now())
@@ -220,13 +223,14 @@ impl Ppe {
         let blocked = self.clock.now() - t0;
         self.clock.advance(Cycles(50));
         self.profile.mailbox_ops += 1;
-        self.tracer.span(
+        self.tracer.span_epoch(
             EventKind::MailboxRecv,
             "mbox_recv",
             t0,
             blocked,
             s.value as u64,
             spe as u64,
+            self.mailboxes[spe].inbound.generation(),
         );
         self.tracer.count(Counter::MailboxRecvs, 1);
         self.tracer.count(Counter::MailboxStallCycles, blocked);
@@ -243,13 +247,14 @@ impl Ppe {
         let blocked = self.clock.now() - t0;
         self.clock.advance(Cycles(50));
         self.profile.mailbox_ops += 1;
-        self.tracer.span(
+        self.tracer.span_epoch(
             EventKind::MailboxRecv,
             "mbox_recv",
             t0,
             blocked,
             s.value as u64,
             spe as u64,
+            self.mailboxes[spe].inbound.generation(),
         );
         self.tracer.count(Counter::MailboxRecvs, 1);
         self.tracer.count(Counter::MailboxStallCycles, blocked);
@@ -268,13 +273,14 @@ impl Ppe {
         let blocked = self.clock.now() - t0;
         self.clock.advance(Cycles(600)); // interrupt entry/exit
         self.profile.mailbox_ops += 1;
-        self.tracer.span(
+        self.tracer.span_epoch(
             EventKind::MailboxRecv,
             "mbox_recv",
             t0,
             blocked,
             s.value as u64,
             spe as u64,
+            self.mailboxes[spe].inbound.generation(),
         );
         self.tracer.count(Counter::MailboxRecvs, 1);
         self.tracer.count(Counter::MailboxStallCycles, blocked);

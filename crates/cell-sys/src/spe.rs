@@ -159,6 +159,16 @@ impl SpeEnv {
         self.mfc.tracer_mut().clear_span_context();
     }
 
+    /// Stamp this incarnation's epoch (FIFO generation + memory domain)
+    /// into both tracers. The machine calls this at spawn with the slot's
+    /// inbound mailbox generation, so every event an SPE program records
+    /// — mailbox traffic, DMA, compute slices — names the incarnation
+    /// that produced it.
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.tracer.set_epoch(epoch);
+        self.mfc.tracer_mut().set_epoch(epoch);
+    }
+
     pub fn spe_id(&self) -> usize {
         self.spe_id
     }

@@ -41,9 +41,40 @@
 //! * **Flight recorder** — a fixed-size ring of the most recent events
 //!   that stays live even under [`TraceConfig::Counters`], so a fault
 //!   post-mortem is available without paying for the full event stream.
+//!
+//! Every event additionally carries an **epoch** word — the mailbox FIFO
+//! generation of the channel (or component) the event belongs to, see
+//! [`TraceEvent::epoch`]. An SPE retire/respawn bumps the slot's
+//! generation, so a trace spanning a recovery carries an observable
+//! boundary; `cell-lint`'s race detector resets its FIFO channel
+//! matching at each boundary instead of mispairing words across a
+//! discarded queue. The high bits of the word name the *memory domain*
+//! (machine incarnation) — distinct per blade generation in a cluster —
+//! see [`epoch_domain`].
 
 use std::collections::VecDeque;
 use std::fmt::Write as _;
+
+/// Bits of the epoch word reserved for per-machine mailbox-FIFO
+/// generations; everything above them names the memory domain (one
+/// machine incarnation — e.g. one blade generation in a cluster). A
+/// single machine bumps the low bits once per SPE respawn, so 2^20
+/// respawns of headroom per incarnation is far beyond any soak.
+pub const EPOCH_GENERATION_BITS: u32 = 20;
+
+/// The memory domain an epoch belongs to. Accesses in different domains
+/// touch *different* main memories (separate machine incarnations) and
+/// can never race; FIFO generations within one domain share a memory.
+#[inline]
+pub fn epoch_domain(epoch: u64) -> u64 {
+    epoch >> EPOCH_GENERATION_BITS
+}
+
+/// The first epoch of memory domain `domain` (generation 0).
+#[inline]
+pub fn domain_base(domain: u64) -> u64 {
+    domain << EPOCH_GENERATION_BITS
+}
 
 /// How much the tracer records. `Off` is the default and keeps every
 /// recording helper to a single branch.
@@ -187,6 +218,13 @@ pub struct TraceEvent {
     /// any request (machine background work). Stamped from the owning
     /// tracer's ambient context — see [`Tracer::set_span_context`].
     pub span: u64,
+    /// Mailbox FIFO generation (low [`EPOCH_GENERATION_BITS`] bits)
+    /// plus memory domain (high bits) the event belongs to. PPE mailbox
+    /// sites stamp the addressed slot's live generation; SPE-side
+    /// tracers carry their occupant's generation ambiently (set at
+    /// spawn); everything else inherits the owning tracer's ambient
+    /// epoch — see [`Tracer::set_epoch`].
+    pub epoch: u64,
 }
 
 /// Scalar counters a tracer maintains in `Counters` and `Full` modes.
@@ -473,6 +511,9 @@ pub struct Tracer {
     mailbox_stall: LogHistogram,
     /// Ambient request span context stamped into every recorded event.
     current_span: u64,
+    /// Ambient epoch (FIFO generation + memory domain) stamped into
+    /// every recorded event that does not override it explicitly.
+    current_epoch: u64,
     /// Flight-recorder ring, live only under `Counters` (see `push`).
     flight: VecDeque<TraceEvent>,
     flight_capacity: usize,
@@ -502,6 +543,7 @@ impl Tracer {
             dma_latency: LogHistogram::new(),
             mailbox_stall: LogHistogram::new(),
             current_span: 0,
+            current_epoch: 0,
             flight: VecDeque::new(),
             flight_capacity: FLIGHT_CAPACITY,
         }
@@ -546,6 +588,23 @@ impl Tracer {
     #[inline]
     pub fn current_span(&self) -> u64 {
         self.current_span
+    }
+
+    // ---- epoch context -------------------------------------------------
+
+    /// Set the ambient epoch: every event recorded from here on carries
+    /// this FIFO-generation/memory-domain word unless a record site
+    /// overrides it via [`Tracer::span_epoch`]. Machines set this at
+    /// spawn/respawn; it starts at 0 (first generation, domain 0).
+    #[inline]
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.current_epoch = epoch;
+    }
+
+    /// The ambient epoch word.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.current_epoch
     }
 
     /// Bump a counter (no-op unless counters are enabled).
@@ -602,6 +661,37 @@ impl Tracer {
             arg1,
             ea,
             span: self.current_span,
+            epoch: self.current_epoch,
+        });
+    }
+
+    /// Record a span event with an *explicit* epoch word, bypassing the
+    /// ambient one. PPE mailbox sites use this: the PPE outlives every
+    /// SPE incarnation, so its sends and receives must be stamped with
+    /// the live generation of the mailbox pair they touch, not the
+    /// tracer-wide ambient epoch.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn span_epoch(
+        &mut self,
+        kind: EventKind,
+        label: &'static str,
+        ts: u64,
+        dur: u64,
+        arg0: u64,
+        arg1: u64,
+        epoch: u64,
+    ) {
+        self.push(TraceEvent {
+            ts,
+            dur,
+            kind,
+            label,
+            arg0,
+            arg1,
+            ea: 0,
+            span: self.current_span,
+            epoch,
         });
     }
 
@@ -630,6 +720,7 @@ impl Tracer {
             arg1,
             ea: 0,
             span,
+            epoch: self.current_epoch,
         });
     }
 
@@ -837,8 +928,8 @@ impl TraceReport {
                 escape_json(e.label, out);
                 let _ = write!(
                     out,
-                    "\",\"args\":{{\"arg0\":{},\"arg1\":{},\"ea\":{},\"span\":{}}}}}",
-                    e.arg0, e.arg1, e.ea, e.span
+                    "\",\"args\":{{\"arg0\":{},\"arg1\":{},\"ea\":{},\"span\":{},\"epoch\":{}}}}}",
+                    e.arg0, e.arg1, e.ea, e.span, e.epoch
                 );
             }
         }

@@ -314,6 +314,7 @@ mod tests {
                 arg1: 0,
                 ea: 0,
                 span: 0,
+                epoch: 0,
             },
             TraceEvent {
                 ts: 1,
@@ -324,6 +325,7 @@ mod tests {
                 arg1: 0,
                 ea: 0,
                 span: 0,
+                epoch: 0,
             },
             // Non-dispatch events must be ignored.
             TraceEvent {
@@ -335,6 +337,7 @@ mod tests {
                 arg1: 0,
                 ea: 0,
                 span: 0,
+                epoch: 0,
             },
         ];
         let t = Timeline::from_dispatch_events(&events, hz);

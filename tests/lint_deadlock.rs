@@ -63,6 +63,7 @@ fn deadlocking_model(bad_opcode: u32) -> PortModel {
                 ScriptOp::Close,
             ],
         }],
+        supervision: None,
     }
 }
 

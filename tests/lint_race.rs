@@ -133,6 +133,115 @@ fn engine_pipelined_batch_trace_is_race_free() {
     assert!(findings.is_empty(), "false positives: {findings:?}");
 }
 
+/// A crash + respawn mid-run reopens the dead slot's mailbox FIFO,
+/// bumping its epoch generation. The detector keys its channel edges by
+/// `(channel, spe, epoch)`, so the new occupant's first dispatch must
+/// not be ordered against the dead occupant's leftovers — and, crucially,
+/// nothing in the respawned traffic may be reported as racing: the lane
+/// merge (the supervisor joins the old thread before respawning) orders
+/// the two incarnations of the slot.
+#[test]
+fn crash_respawn_serve_trace_has_no_false_positives() {
+    use cell_fault::FaultPlan;
+    use cell_serve::{generate, CellServer, ServeConfig, WorkloadSpec};
+
+    let mut server = CellServer::new(
+        ServeConfig {
+            seed: 11,
+            queue_capacity: 1_024,
+            degrade_high: 1_024,
+            degrade_critical: 1_024,
+            trace: TraceConfig::Full,
+            ..ServeConfig::default()
+        },
+        FaultPlan::new().crash_spe(1, 9),
+    )
+    .unwrap();
+    let requests = generate(&WorkloadSpec {
+        requests: 6,
+        seed: 11,
+        ..WorkloadSpec::default()
+    })
+    .unwrap();
+    server.run(requests).unwrap();
+    assert!(
+        server.respawns() >= 1,
+        "fixture must actually cross a respawn epoch boundary"
+    );
+    let output = server.finish().unwrap();
+    let findings = detect_races(&output.trace);
+    assert!(
+        findings.is_empty(),
+        "respawn epoch produced false positives: {findings:?}"
+    );
+}
+
+/// Epoch boundaries absorb the respawn's mailbox reset — they must NOT
+/// absolve genuine races that span them. Generation 0 of SPE 0 puts to a
+/// region and its reply is never read (the PPE only polls the outbox
+/// *status*, which consumes nothing and creates no happens-before edge);
+/// the slot is then retired and respawned, and SPE 1 puts to an
+/// overlapping range in the new epoch. The two transfers have
+/// incomparable clocks in the same memory domain: a real cross-epoch
+/// race the detector must still flag.
+#[test]
+fn cross_epoch_overlapping_puts_are_flagged() {
+    let mut m = CellMachine::new(MachineConfig::small()).unwrap();
+    m.set_trace_config(TraceConfig::Full);
+    let mut ppe = m.ppe();
+    let h0 = m.spawn(0, Box::new(put_kernel)).unwrap();
+    let h1 = m.spawn(1, Box::new(put_kernel)).unwrap();
+
+    let base = ppe.mem().alloc(2 * CHUNK, 128).unwrap();
+
+    // Generation 0: SPE0 puts at `base`. Wait for the reply word to
+    // appear in the outbox without reading it — the put has retired on
+    // the SPE side but no message edge reaches the PPE.
+    ppe.write_in_mbox(0, 1).unwrap();
+    ppe.write_in_mbox(0, base as u32).unwrap();
+    while ppe.stat_out_mbox(0).unwrap() == 0 {
+        std::thread::yield_now();
+    }
+
+    // The supervisor path: retire the slot (closing its boxes unblocks
+    // the occupant), harvest the gen-0 trace, respawn a fresh occupant.
+    m.retire(0).unwrap();
+    let r0_gen0 = h0.join_report().unwrap();
+    let h0b = m.respawn(0, Box::new(put_kernel)).unwrap();
+
+    // New epoch: SPE1 puts at base + 2 KB, overlapping gen 0's
+    // unacknowledged put in [base + 2 KB, base + 4 KB).
+    ppe.write_in_mbox(1, 1).unwrap();
+    ppe.write_in_mbox(1, (base + CHUNK as u64 / 2) as u32)
+        .unwrap();
+    ppe.read_out_mbox(1).unwrap();
+
+    // Drive one clean dispatch through the respawned occupant at a
+    // disjoint address so the new generation carries real traffic; the
+    // reply chain from SPE1 orders it, so it must not be flagged.
+    ppe.write_in_mbox(0, 1).unwrap();
+    ppe.write_in_mbox(0, (base + CHUNK as u64) as u32).unwrap();
+    ppe.read_out_mbox(0).unwrap();
+
+    ppe.write_in_mbox(0, OP_EXIT).unwrap();
+    ppe.write_in_mbox(1, OP_EXIT).unwrap();
+    let r0_gen1 = h0b.join().unwrap();
+    let r1 = h1.join().unwrap();
+    let tracks = vec![
+        ppe.take_trace(),
+        r0_gen0.trace,
+        r0_gen1.trace,
+        r1.trace,
+        m.take_eib_trace(),
+    ];
+    m.shutdown();
+    let findings = detect_races(&TraceReport { tracks });
+    assert!(
+        findings.iter().any(|f| f.rule == "dma-race"),
+        "cross-epoch race was absolved by the epoch machinery: {findings:?}"
+    );
+}
+
 /// Telemetry span stamping must be invisible to the race detector: the
 /// `SPU_SPAN` wire prefix is control traffic the dispatcher strips
 /// before the kernel sees its words, and the happens-before graph

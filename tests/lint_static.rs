@@ -30,6 +30,7 @@ fn base_model() -> PortModel {
         schedule: None,
         kernel_specs: Vec::new(),
         scripts: vec![PortModel::roundtrip_script(0, run_opcode(0))],
+        supervision: None,
     }
 }
 
