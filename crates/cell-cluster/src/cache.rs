@@ -103,6 +103,24 @@ impl FeatureCache {
             scores: response.scores.clone(),
         });
     }
+
+    /// Re-insert an entry recovered from the durable checkpoint or a
+    /// committed `CacheInsert` journal record. Restored results were
+    /// admitted at degradation 0 before the crash, so there is no
+    /// degradation check; hit/miss counters are untouched (a restore is
+    /// neither).
+    pub fn restore(&mut self, key: ContentKey, result: CachedResult) {
+        self.map.entry(key).or_insert(result);
+    }
+
+    /// Every cached entry, sorted by key — the deterministic snapshot a
+    /// durable checkpoint serializes.
+    pub fn entries(&self) -> Vec<(ContentKey, CachedResult)> {
+        let mut all: Vec<(ContentKey, CachedResult)> =
+            self.map.iter().map(|(k, v)| (*k, v.clone())).collect();
+        all.sort_by_key(|(k, _)| *k);
+        all
+    }
 }
 
 #[cfg(test)]

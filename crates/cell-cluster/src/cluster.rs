@@ -77,6 +77,11 @@ pub struct ClusterConfig {
     pub serve: ServeConfig,
     /// Router-track trace config (the blades trace per `serve.trace`).
     pub trace: TraceConfig,
+    /// Starting server generation per blade (missing entries default to
+    /// 0). A durable recovery re-bases each blade past the generations
+    /// its pre-crash incarnation checkpointed, so trace-epoch domains
+    /// stay distinct across process incarnations.
+    pub base_generations: Vec<u64>,
 }
 
 impl Default for ClusterConfig {
@@ -91,6 +96,7 @@ impl Default for ClusterConfig {
             blade_heartbeat_ticks: 3,
             serve: ServeConfig::default(),
             trace: TraceConfig::Off,
+            base_generations: Vec::new(),
         }
     }
 }
@@ -247,8 +253,9 @@ impl CellCluster {
         assert!(cfg.blades > 0, "cluster needs at least one blade");
         let mut blades = Vec::with_capacity(cfg.blades);
         for b in 0..cfg.blades {
+            let generation = cfg.base_generations.get(b).copied().unwrap_or(0);
             let mut serve = cfg.serve.clone();
-            serve.epoch_domain = blade_domain(b, 0);
+            serve.epoch_domain = blade_domain(b, generation);
             blades.push(Blade {
                 server: Some(CellServer::new(serve, FaultPlan::new())?),
                 state: BladeState::Joined,
@@ -262,7 +269,7 @@ impl CellCluster {
                 cache_hits: 0,
                 crashes: 0,
                 respawns: 0,
-                generation: 0,
+                generation,
                 retired: Vec::new(),
             });
         }
@@ -370,11 +377,83 @@ impl CellCluster {
     pub fn run(&mut self, mut requests: Vec<Request>) -> CellResult<()> {
         requests.sort_by_key(|r| (r.arrival, r.id));
         for request in requests {
-            self.tick += 1;
-            self.supervise()?;
-            self.route(request)?;
+            self.submit(request)?;
         }
-        self.settle()
+        self.quiesce()
+    }
+
+    /// Route one request (one logical tick + one supervision pass) —
+    /// the per-request half of [`run`](Self::run). A durable front end
+    /// drives this directly so it can journal an `Admit` before the
+    /// router ever sees the request.
+    pub fn submit(&mut self, request: Request) -> CellResult<()> {
+        self.tick += 1;
+        self.supervise()?;
+        self.route(request)
+    }
+
+    /// Take the terminal outcomes recorded since the last call (cache
+    /// hits, blade responses and sheds, in completion order). Outcomes
+    /// taken here no longer appear in [`ClusterOutput::outcomes`]; the
+    /// counters still count them.
+    pub fn take_outcomes(&mut self) -> Vec<Outcome> {
+        std::mem::take(&mut self.outcomes)
+    }
+
+    /// Resolve every hung blade and serve every backlog down to empty,
+    /// without tearing anything down — the end-of-stream barrier a
+    /// durable front end needs before its final commit flush. Idempotent;
+    /// [`finish`](Self::finish) calls it too.
+    pub fn quiesce(&mut self) -> CellResult<()> {
+        self.settle()?;
+        for b in 0..self.blades.len() {
+            if let Some(server) = self.blades[b].server.as_mut() {
+                server.drain()?;
+                let outcomes = server.take_outcomes();
+                self.absorb_outcomes(b, outcomes);
+            }
+        }
+        Ok(())
+    }
+
+    /// Tear every blade's machine down *without* draining queues or
+    /// collecting outputs — simulated whole-process loss. Everything in
+    /// volatile memory (queues, cache, traces) is discarded; only what a
+    /// durable front end journaled to stable storage survives.
+    pub fn abandon(mut self) -> CellResult<()> {
+        for blade in &mut self.blades {
+            if let Some(server) = blade.server.take() {
+                let _ = server.finish()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Current server generation per blade (checkpointed by the durable
+    /// plane; recovery re-bases fresh blades past these via
+    /// [`ClusterConfig::base_generations`]).
+    pub fn generations(&self) -> Vec<u64> {
+        self.blades.iter().map(|b| b.generation).collect()
+    }
+
+    /// Deterministic snapshot of the router cache (sorted by key) for
+    /// durable checkpoints.
+    pub fn cache_snapshot(&self) -> Vec<(ContentKey, crate::cache::CachedResult)> {
+        self.cache.entries()
+    }
+
+    /// Re-insert a cache entry recovered from the journal or a
+    /// checkpoint (recovery rebuilds the cache only from committed
+    /// inserts; existing entries win).
+    pub fn restore_cache(&mut self, key: ContentKey, result: crate::cache::CachedResult) {
+        self.cache.restore(key, result);
+    }
+
+    /// Record a durable-recovery span on the router track (the durable
+    /// plane emits one per journal replay).
+    pub fn record_recovery(&mut self, label: &'static str, arg0: u64, arg1: u64) {
+        self.tracer
+            .span(EventKind::Recovery, label, self.tick, 0, arg0, arg1);
     }
 
     /// One watchdog + respawn pass on the router clock: probe silent

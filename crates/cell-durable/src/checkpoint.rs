@@ -1,0 +1,286 @@
+//! Checkpoints: periodic snapshots that bound tail replay.
+//!
+//! A checkpoint captures everything recovery would otherwise reconstruct
+//! by replaying the whole journal: the set of admitted-but-uncommitted
+//! requests (full payloads), the router cache contents, the per-blade
+//! ring generations, and the journal **watermark** — the byte offset
+//! where tail replay starts. Recovery is then *checkpoint-load + bounded
+//! tail scan* instead of full-history replay.
+//!
+//! Checkpoints live on their own [`StableStorage`] device, appended as
+//! the same `[len][crc][body]` frames the journal uses and flushed
+//! immediately (a checkpoint that isn't durable is not a checkpoint).
+//! [`CheckpointStore::latest`] walks the device front to back and keeps
+//! the *last* frame that decodes cleanly — a torn or rotten newest
+//! checkpoint silently falls back to its predecessor, and a device with
+//! no valid frame falls back to full-journal replay. Losing a checkpoint
+//! can therefore never lose data; it only widens the replay window.
+
+use cell_cluster::{CachedResult, ContentKey};
+use cell_core::{checksum32, CellError, CellResult};
+use cell_fault::FaultPlan;
+use cell_serve::Request;
+
+use crate::journal::{decode_frame_at, encode_frame, Record};
+use crate::storage::StableStorage;
+
+/// One checkpoint: the recovery starting state.
+#[derive(Debug, Clone, Default)]
+pub struct Checkpoint {
+    /// Monotonic checkpoint sequence number.
+    pub seq: u64,
+    /// Process incarnation that wrote it.
+    pub epoch: u32,
+    /// Journal byte offset where tail replay starts: every record
+    /// before this is reflected in the snapshot below.
+    pub watermark: u64,
+    /// Blade server generations at snapshot time (empty for a
+    /// single-server checkpoint).
+    pub generations: Vec<u64>,
+    /// Admitted requests without a commit yet, full payloads included.
+    pub pending: Vec<Request>,
+    /// Router cache contents (committed inserts only, sorted by key).
+    pub cache: Vec<(ContentKey, CachedResult)>,
+}
+
+impl Checkpoint {
+    fn encode_body(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(64);
+        b.extend_from_slice(&self.seq.to_le_bytes());
+        b.extend_from_slice(&self.epoch.to_le_bytes());
+        b.extend_from_slice(&self.watermark.to_le_bytes());
+        b.extend_from_slice(&(self.generations.len() as u32).to_le_bytes());
+        for g in &self.generations {
+            b.extend_from_slice(&g.to_le_bytes());
+        }
+        // Pending requests and cache entries ride as nested journal
+        // frames (`Admit` / `CacheInsert`), so one codec serves both
+        // the journal and the checkpoint.
+        b.extend_from_slice(&(self.pending.len() as u32).to_le_bytes());
+        for r in &self.pending {
+            b.extend_from_slice(&encode_frame(&Record::admit(r), self.epoch));
+        }
+        b.extend_from_slice(&(self.cache.len() as u32).to_le_bytes());
+        for ((sum, len), cached) in &self.cache {
+            let record = Record::CacheInsert {
+                key_sum: *sum,
+                key_len: *len as u64,
+                features: cached.features.clone(),
+                scores: cached.scores.clone(),
+            };
+            b.extend_from_slice(&encode_frame(&record, self.epoch));
+        }
+        b
+    }
+
+    fn decode_body(body: &[u8]) -> CellResult<Checkpoint> {
+        fn take<'a>(body: &'a [u8], at: &mut usize, n: usize) -> CellResult<&'a [u8]> {
+            if *at + n > body.len() {
+                return Err(CellError::BadData {
+                    message: "checkpoint body truncated".to_string(),
+                });
+            }
+            let s = &body[*at..*at + n];
+            *at += n;
+            Ok(s)
+        }
+        let mut at = 0usize;
+        let seq = u64::from_le_bytes(take(body, &mut at, 8)?.try_into().unwrap());
+        let epoch = u32::from_le_bytes(take(body, &mut at, 4)?.try_into().unwrap());
+        let watermark = u64::from_le_bytes(take(body, &mut at, 8)?.try_into().unwrap());
+        let ngens = u32::from_le_bytes(take(body, &mut at, 4)?.try_into().unwrap()) as usize;
+        let mut generations = Vec::with_capacity(ngens.min(1024));
+        for _ in 0..ngens {
+            generations.push(u64::from_le_bytes(
+                take(body, &mut at, 8)?.try_into().unwrap(),
+            ));
+        }
+        let npending = u32::from_le_bytes(take(body, &mut at, 4)?.try_into().unwrap()) as usize;
+        let mut pending = Vec::with_capacity(npending.min(1024));
+        for _ in 0..npending {
+            let (_, record, next) = decode_frame_at(body, at)?;
+            at = next;
+            pending.push(record.to_request()?);
+        }
+        let ncache = u32::from_le_bytes(take(body, &mut at, 4)?.try_into().unwrap()) as usize;
+        let mut cache = Vec::with_capacity(ncache.min(1024));
+        for _ in 0..ncache {
+            let (_, record, next) = decode_frame_at(body, at)?;
+            at = next;
+            let Record::CacheInsert {
+                key_sum,
+                key_len,
+                features,
+                scores,
+            } = record
+            else {
+                return Err(CellError::BadData {
+                    message: "non-CacheInsert frame in checkpoint cache section".to_string(),
+                });
+            };
+            cache.push((
+                (key_sum, key_len as usize),
+                CachedResult { features, scores },
+            ));
+        }
+        if at != body.len() {
+            return Err(CellError::BadData {
+                message: "trailing garbage in checkpoint body".to_string(),
+            });
+        }
+        Ok(Checkpoint {
+            seq,
+            epoch,
+            watermark,
+            generations,
+            pending,
+            cache,
+        })
+    }
+}
+
+/// The checkpoint device: append-only frames, last valid wins.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    storage: StableStorage,
+}
+
+impl CheckpointStore {
+    pub fn new(plan: &FaultPlan) -> Self {
+        CheckpointStore {
+            storage: StableStorage::new(plan),
+        }
+    }
+
+    /// Adopt the bytes that survived a crash.
+    pub fn adopt(surviving: Vec<u8>, plan: &FaultPlan) -> Self {
+        CheckpointStore {
+            storage: StableStorage::adopt(surviving, plan),
+        }
+    }
+
+    /// Append and immediately flush one checkpoint. (The write and the
+    /// flush still tick the device's fault lines — a checkpoint can be
+    /// torn or its flush lost like any other write.)
+    pub fn write(&mut self, checkpoint: &Checkpoint) {
+        let body = checkpoint.encode_body();
+        let mut frame = Vec::with_capacity(8 + body.len());
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&checksum32(&body).to_le_bytes());
+        frame.extend_from_slice(&body);
+        self.storage.append(&frame);
+        self.storage.flush();
+    }
+
+    /// The newest checkpoint that decodes cleanly, if any. Walks the
+    /// device front to back; a corrupt suffix (torn newest frame, bit
+    /// rot) falls back to the last good predecessor.
+    pub fn latest(&self) -> Option<Checkpoint> {
+        let bytes = self.storage.contents();
+        let mut best: Option<Checkpoint> = None;
+        let mut at = 0usize;
+        while at < bytes.len() {
+            if bytes.len() - at < 8 {
+                break;
+            }
+            let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+            if bytes.len() - at < 8 + len {
+                break;
+            }
+            let body = &bytes[at + 8..at + 8 + len];
+            if checksum32(body) == crc {
+                if let Ok(ckpt) = Checkpoint::decode_body(body) {
+                    best = Some(ckpt);
+                }
+            } else {
+                break;
+            }
+            at += 8 + len;
+        }
+        best
+    }
+
+    /// Bytes a crash right now would keep.
+    pub fn crash(&self) -> Vec<u8> {
+        self.storage.crash()
+    }
+
+    pub fn storage(&self) -> &StableStorage {
+        &self.storage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marvel::features::KernelKind;
+    use marvel::image::ColorImage;
+
+    fn sample(seq: u64) -> Checkpoint {
+        let image = ColorImage::synthetic(8, 8, 5).unwrap();
+        Checkpoint {
+            seq,
+            epoch: 1,
+            watermark: 1234,
+            generations: vec![2, 0, 1],
+            pending: vec![Request {
+                id: 9,
+                arrival: 50,
+                deadline: 5_000,
+                image,
+            }],
+            cache: vec![(
+                (77, 192),
+                CachedResult {
+                    features: vec![(KernelKind::Cc, vec![0.5, 1.5])],
+                    scores: vec![(KernelKind::Cc, 0.25)],
+                },
+            )],
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_latest_wins() {
+        let mut store = CheckpointStore::new(&FaultPlan::new());
+        store.write(&sample(1));
+        store.write(&sample(2));
+        let got = store.latest().expect("two checkpoints written");
+        assert_eq!(got.seq, 2);
+        assert_eq!(got.watermark, 1234);
+        assert_eq!(got.generations, vec![2, 0, 1]);
+        assert_eq!(got.pending.len(), 1);
+        assert_eq!(got.pending[0].id, 9);
+        assert_eq!(
+            got.pending[0].image.data(),
+            ColorImage::synthetic(8, 8, 5).unwrap().data()
+        );
+        assert_eq!(got.cache.len(), 1);
+        assert_eq!(got.cache[0].0, (77, 192));
+        assert_eq!(got.cache[0].1.features[0].1, vec![0.5, 1.5]);
+    }
+
+    #[test]
+    fn torn_newest_checkpoint_falls_back_to_predecessor() {
+        // The second checkpoint write is torn at byte 6 (mid-header) and
+        // its flush is lost, so a crash keeps a garbage suffix that
+        // latest() must skip. (With an honest flush the tear would be
+        // sealed — the record was rewritten — and seq 2 would win.)
+        let plan = FaultPlan::new().torn_write(2, 6).lose_flush(2);
+        let mut store = CheckpointStore::new(&plan);
+        store.write(&sample(1));
+        store.write(&sample(2));
+        let survived = store.crash();
+        let recovered = CheckpointStore::adopt(survived, &FaultPlan::new());
+        let got = recovered.latest().expect("first checkpoint survives");
+        assert_eq!(got.seq, 1, "torn newest falls back to seq 1");
+    }
+
+    #[test]
+    fn empty_or_garbage_store_yields_none() {
+        let store = CheckpointStore::new(&FaultPlan::new());
+        assert!(store.latest().is_none());
+        let garbage = CheckpointStore::adopt(vec![0xFF; 37], &FaultPlan::new());
+        assert!(garbage.latest().is_none());
+    }
+}

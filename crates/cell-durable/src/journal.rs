@@ -1,0 +1,529 @@
+//! The write-ahead journal: checksummed, length-framed, epoch-stamped
+//! records and the scan that recovers them.
+//!
+//! # Frame format
+//!
+//! ```text
+//! [len: u32 LE]  body length in bytes
+//! [crc: u32 LE]  checksum32(body)
+//! body := [epoch: u32 LE][kind: u8][payload]
+//! ```
+//!
+//! `epoch` is the process incarnation that appended the record (0 at
+//! first boot, bumped on every recovery), so a journal that spans
+//! crashes carries its own history. The scan ([`scan`]) walks frames
+//! from the front and stops at the first incomplete or checksum-failing
+//! frame: a torn or rotten suffix is *discarded, never trusted* —
+//! the tail after a bad frame could itself be mid-write garbage.
+//!
+//! # Record kinds
+//!
+//! * [`Record::Admit`] — a request entered the durable world: id plus
+//!   the full payload (image bytes, arrival, deadline), enough to
+//!   re-serve it from nothing.
+//! * [`Record::Commit`] — the request reached its terminal outcome:
+//!   content digest ([`cell_serve::Response::digest`]) and degradation
+//!   level. Degradation 255 marks a terminal shed (no response body).
+//! * [`Record::CacheInsert`] — the router cache admitted a full-service
+//!   result; carries the whole feature/score payload so recovery can
+//!   rebuild the cache without recomputing.
+//! * [`Record::Checkpoint`] — a checkpoint with sequence `seq` was
+//!   hardened whose tail-replay window starts at byte `watermark`.
+
+use cell_core::{checksum32, CellError, CellResult};
+use cell_serve::{Request, Response};
+use marvel::features::{Feature, KernelKind};
+use marvel::image::ColorImage;
+
+/// Degradation marker for a terminally shed request in a `Commit`.
+pub const SHED_DEGRADATION: u8 = u8::MAX;
+
+const KIND_ADMIT: u8 = 1;
+const KIND_COMMIT: u8 = 2;
+const KIND_CACHE_INSERT: u8 = 3;
+const KIND_CHECKPOINT: u8 = 4;
+
+/// One journal record, epoch attached by the frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    Admit {
+        req_id: u64,
+        arrival: u64,
+        deadline: u64,
+        width: u32,
+        height: u32,
+        payload: Vec<u8>,
+    },
+    Commit {
+        req_id: u64,
+        response_digest: u32,
+        degradation: u8,
+    },
+    CacheInsert {
+        key_sum: u32,
+        key_len: u64,
+        features: Vec<(KernelKind, Feature)>,
+        scores: Vec<(KernelKind, f32)>,
+    },
+    Checkpoint {
+        seq: u64,
+        watermark: u64,
+    },
+}
+
+impl Record {
+    /// The admit record for a request (full payload — recovery can
+    /// re-serve from this alone).
+    pub fn admit(request: &Request) -> Record {
+        Record::Admit {
+            req_id: request.id,
+            arrival: request.arrival,
+            deadline: request.deadline,
+            width: request.image.width() as u32,
+            height: request.image.height() as u32,
+            payload: request.image.data().to_vec(),
+        }
+    }
+
+    /// The commit record for a served response.
+    pub fn commit(response: &Response) -> Record {
+        Record::Commit {
+            req_id: response.id,
+            response_digest: response.digest(),
+            degradation: response.degradation,
+        }
+    }
+
+    /// The commit record for a terminal shed (nothing to deliver, but
+    /// the decision is final and must not be re-made after recovery).
+    pub fn shed(req_id: u64) -> Record {
+        Record::Commit {
+            req_id,
+            response_digest: 0,
+            degradation: SHED_DEGRADATION,
+        }
+    }
+
+    /// Rebuild the [`Request`] an `Admit` record serialized.
+    pub fn to_request(&self) -> CellResult<Request> {
+        let Record::Admit {
+            req_id,
+            arrival,
+            deadline,
+            width,
+            height,
+            payload,
+        } = self
+        else {
+            return Err(CellError::BadData {
+                message: "to_request on a non-Admit record".to_string(),
+            });
+        };
+        Ok(Request {
+            id: *req_id,
+            arrival: *arrival,
+            deadline: *deadline,
+            image: ColorImage::from_data(*width as usize, *height as usize, payload.clone())?,
+        })
+    }
+}
+
+fn kind_byte(kind: KernelKind) -> u8 {
+    match kind {
+        KernelKind::Ch => 0,
+        KernelKind::Cc => 1,
+        KernelKind::Tx => 2,
+        KernelKind::Eh => 3,
+        KernelKind::Cd => 4,
+    }
+}
+
+fn byte_kind(b: u8) -> CellResult<KernelKind> {
+    Ok(match b {
+        0 => KernelKind::Ch,
+        1 => KernelKind::Cc,
+        2 => KernelKind::Tx,
+        3 => KernelKind::Eh,
+        4 => KernelKind::Cd,
+        other => {
+            return Err(CellError::BadData {
+                message: format!("unknown kernel kind byte {other} in journal record"),
+            })
+        }
+    })
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> CellResult<&'a [u8]> {
+        if self.at + n > self.bytes.len() {
+            return Err(CellError::BadData {
+                message: "journal record body truncated".to_string(),
+            });
+        }
+        let s = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> CellResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> CellResult<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> CellResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> CellResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Serialize `record` into the body of a frame (everything after the
+/// `[len][crc]` header), `epoch` first.
+fn encode_body(record: &Record, epoch: u32) -> Vec<u8> {
+    let mut b = Vec::with_capacity(32);
+    b.extend_from_slice(&epoch.to_le_bytes());
+    match record {
+        Record::Admit {
+            req_id,
+            arrival,
+            deadline,
+            width,
+            height,
+            payload,
+        } => {
+            b.push(KIND_ADMIT);
+            b.extend_from_slice(&req_id.to_le_bytes());
+            b.extend_from_slice(&arrival.to_le_bytes());
+            b.extend_from_slice(&deadline.to_le_bytes());
+            b.extend_from_slice(&width.to_le_bytes());
+            b.extend_from_slice(&height.to_le_bytes());
+            b.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            b.extend_from_slice(payload);
+        }
+        Record::Commit {
+            req_id,
+            response_digest,
+            degradation,
+        } => {
+            b.push(KIND_COMMIT);
+            b.extend_from_slice(&req_id.to_le_bytes());
+            b.extend_from_slice(&response_digest.to_le_bytes());
+            b.push(*degradation);
+        }
+        Record::CacheInsert {
+            key_sum,
+            key_len,
+            features,
+            scores,
+        } => {
+            b.push(KIND_CACHE_INSERT);
+            b.extend_from_slice(&key_sum.to_le_bytes());
+            b.extend_from_slice(&key_len.to_le_bytes());
+            b.extend_from_slice(&(features.len() as u16).to_le_bytes());
+            for (kind, feature) in features {
+                b.push(kind_byte(*kind));
+                b.extend_from_slice(&(feature.len() as u32).to_le_bytes());
+                for v in feature {
+                    b.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+            }
+            b.extend_from_slice(&(scores.len() as u16).to_le_bytes());
+            for (kind, score) in scores {
+                b.push(kind_byte(*kind));
+                b.extend_from_slice(&score.to_bits().to_le_bytes());
+            }
+        }
+        Record::Checkpoint { seq, watermark } => {
+            b.push(KIND_CHECKPOINT);
+            b.extend_from_slice(&seq.to_le_bytes());
+            b.extend_from_slice(&watermark.to_le_bytes());
+        }
+    }
+    b
+}
+
+fn decode_body(body: &[u8]) -> CellResult<(u32, Record)> {
+    let mut c = Cursor { bytes: body, at: 0 };
+    let epoch = c.u32()?;
+    let record = match c.u8()? {
+        KIND_ADMIT => {
+            let req_id = c.u64()?;
+            let arrival = c.u64()?;
+            let deadline = c.u64()?;
+            let width = c.u32()?;
+            let height = c.u32()?;
+            let len = c.u32()? as usize;
+            Record::Admit {
+                req_id,
+                arrival,
+                deadline,
+                width,
+                height,
+                payload: c.take(len)?.to_vec(),
+            }
+        }
+        KIND_COMMIT => Record::Commit {
+            req_id: c.u64()?,
+            response_digest: c.u32()?,
+            degradation: c.u8()?,
+        },
+        KIND_CACHE_INSERT => {
+            let key_sum = c.u32()?;
+            let key_len = c.u64()?;
+            let nf = c.u16()? as usize;
+            let mut features = Vec::with_capacity(nf);
+            for _ in 0..nf {
+                let kind = byte_kind(c.u8()?)?;
+                let n = c.u32()? as usize;
+                let mut f = Vec::with_capacity(n);
+                for _ in 0..n {
+                    f.push(f32::from_bits(c.u32()?));
+                }
+                features.push((kind, f));
+            }
+            let ns = c.u16()? as usize;
+            let mut scores = Vec::with_capacity(ns);
+            for _ in 0..ns {
+                let kind = byte_kind(c.u8()?)?;
+                scores.push((kind, f32::from_bits(c.u32()?)));
+            }
+            Record::CacheInsert {
+                key_sum,
+                key_len,
+                features,
+                scores,
+            }
+        }
+        KIND_CHECKPOINT => Record::Checkpoint {
+            seq: c.u64()?,
+            watermark: c.u64()?,
+        },
+        other => {
+            return Err(CellError::BadData {
+                message: format!("unknown journal record kind {other}"),
+            })
+        }
+    };
+    if c.at != body.len() {
+        return Err(CellError::BadData {
+            message: "trailing garbage in journal record body".to_string(),
+        });
+    }
+    Ok((epoch, record))
+}
+
+/// Frame `record` for appending: `[len][crc][body]`.
+pub fn encode_frame(record: &Record, epoch: u32) -> Vec<u8> {
+    let body = encode_body(record, epoch);
+    let mut frame = Vec::with_capacity(8 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&checksum32(&body).to_le_bytes());
+    frame.extend_from_slice(&body);
+    frame
+}
+
+/// One recovered record with its provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScannedRecord {
+    pub epoch: u32,
+    pub record: Record,
+    /// Byte offset of this record's frame in the journal.
+    pub offset: u64,
+}
+
+/// Result of scanning a journal image.
+#[derive(Debug, Clone, Default)]
+pub struct ScanResult {
+    /// Every record up to the first bad frame, in append order.
+    pub records: Vec<ScannedRecord>,
+    /// Bytes of valid frames (where the next append would go after a
+    /// recovery that truncates the bad suffix).
+    pub valid_len: u64,
+    /// Bytes discarded after the first incomplete/corrupt frame.
+    pub discarded_bytes: u64,
+    /// `true` when the suffix was cut by a checksum or structure
+    /// failure (bit rot, a torn record) rather than a clean end.
+    pub corrupt_suffix: bool,
+}
+
+/// Decode one frame starting at byte `at`: `(epoch, record, next
+/// offset)`. Errors on any malformed shape — short header, short body,
+/// checksum mismatch, invalid structure — without panicking.
+pub fn decode_frame_at(bytes: &[u8], at: usize) -> CellResult<(u32, Record, usize)> {
+    let truncated = |what: &str| CellError::BadData {
+        message: format!("journal frame {what}"),
+    };
+    let rest = bytes
+        .get(at..)
+        .ok_or_else(|| truncated("offset past end"))?;
+    if rest.len() < 8 {
+        return Err(truncated("header truncated"));
+    }
+    let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+    if rest.len() < 8 + len {
+        return Err(truncated("body truncated"));
+    }
+    let body = &rest[8..8 + len];
+    if checksum32(body) != crc {
+        return Err(truncated("checksum mismatch"));
+    }
+    let (epoch, record) = decode_body(body)?;
+    Ok((epoch, record, at + 8 + len))
+}
+
+/// Walk `bytes` frame by frame from `start`, stopping at the first
+/// incomplete or corrupt frame. Never panics on any input: every
+/// malformed shape — short header, short body, bad checksum, bad
+/// structure — just ends the scan there.
+pub fn scan_from(bytes: &[u8], start: u64) -> ScanResult {
+    let mut out = ScanResult {
+        valid_len: start.min(bytes.len() as u64),
+        ..ScanResult::default()
+    };
+    let mut at = out.valid_len as usize;
+    loop {
+        if at == bytes.len() {
+            return out; // clean end
+        }
+        let Ok((epoch, record, next)) = decode_frame_at(bytes, at) else {
+            break;
+        };
+        out.records.push(ScannedRecord {
+            epoch,
+            record,
+            offset: at as u64,
+        });
+        at = next;
+        out.valid_len = at as u64;
+    }
+    out.corrupt_suffix = true;
+    out.discarded_bytes = (bytes.len() - out.valid_len as usize) as u64;
+    out
+}
+
+/// Scan a whole journal image from byte 0.
+pub fn scan(bytes: &[u8]) -> ScanResult {
+    scan_from(bytes, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<Record> {
+        let image = ColorImage::synthetic(8, 8, 3).unwrap();
+        let request = Request {
+            id: 11,
+            arrival: 100,
+            deadline: 1_000_000,
+            image,
+        };
+        vec![
+            Record::admit(&request),
+            Record::Commit {
+                req_id: 11,
+                response_digest: 0xDEAD_BEEF,
+                degradation: 0,
+            },
+            Record::CacheInsert {
+                key_sum: 42,
+                key_len: 192,
+                features: vec![(KernelKind::Ch, vec![1.5, -2.25]), (KernelKind::Tx, vec![])],
+                scores: vec![(KernelKind::Ch, 0.75)],
+            },
+            Record::Checkpoint {
+                seq: 2,
+                watermark: 96,
+            },
+            Record::shed(12),
+        ]
+    }
+
+    #[test]
+    fn records_round_trip_through_frames() {
+        let records = sample_records();
+        let mut journal = Vec::new();
+        for (i, r) in records.iter().enumerate() {
+            journal.extend_from_slice(&encode_frame(r, i as u32));
+        }
+        let scanned = scan(&journal);
+        assert!(!scanned.corrupt_suffix);
+        assert_eq!(scanned.valid_len, journal.len() as u64);
+        assert_eq!(scanned.records.len(), records.len());
+        for (i, (got, want)) in scanned.records.iter().zip(&records).enumerate() {
+            assert_eq!(got.epoch, i as u32);
+            assert_eq!(&got.record, want);
+        }
+        // The admit record reconstructs its request exactly.
+        let req = scanned.records[0].record.to_request().unwrap();
+        assert_eq!(req.id, 11);
+        assert_eq!(req.arrival, 100);
+        assert_eq!(
+            req.image.data(),
+            ColorImage::synthetic(8, 8, 3).unwrap().data()
+        );
+    }
+
+    #[test]
+    fn scan_stops_at_a_flipped_bit_and_discards_the_suffix() {
+        let records = sample_records();
+        let mut journal = Vec::new();
+        let mut offsets = Vec::new();
+        for (i, r) in records.iter().enumerate() {
+            offsets.push(journal.len());
+            journal.extend_from_slice(&encode_frame(r, i as u32));
+        }
+        // Flip one bit inside the second record's body.
+        journal[offsets[1] + 10] ^= 0x04;
+        let scanned = scan(&journal);
+        assert!(scanned.corrupt_suffix);
+        assert_eq!(scanned.records.len(), 1, "only the intact prefix");
+        assert_eq!(scanned.valid_len, offsets[1] as u64);
+        assert_eq!(scanned.discarded_bytes, (journal.len() - offsets[1]) as u64);
+    }
+
+    #[test]
+    fn scan_from_skips_the_checkpointed_prefix() {
+        let records = sample_records();
+        let mut journal = Vec::new();
+        let mut offsets = Vec::new();
+        for (i, r) in records.iter().enumerate() {
+            offsets.push(journal.len());
+            journal.extend_from_slice(&encode_frame(r, i as u32));
+        }
+        let tail = scan_from(&journal, offsets[3] as u64);
+        assert_eq!(tail.records.len(), 2);
+        assert_eq!(tail.records[0].offset, offsets[3] as u64);
+        assert!(matches!(tail.records[0].record, Record::Checkpoint { .. }));
+    }
+
+    #[test]
+    fn scan_never_panics_on_arbitrary_truncation() {
+        let records = sample_records();
+        let mut journal = Vec::new();
+        for (i, r) in records.iter().enumerate() {
+            journal.extend_from_slice(&encode_frame(r, i as u32));
+        }
+        for cut in 0..=journal.len() {
+            let scanned = scan(&journal[..cut]);
+            // The scanned prefix is always a prefix of the full record
+            // stream — truncation can only shorten it, never change it.
+            assert!(scanned.records.len() <= records.len());
+            for (got, want) in scanned.records.iter().zip(&records) {
+                assert_eq!(&got.record, want);
+            }
+            assert!(scanned.valid_len <= cut as u64);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! **cell-durable** — the crash-consistent durability plane under
+//! `cell-serve` and `cell-cluster`.
+//!
+//! Everything above this crate survives *component* failure: SPEs are
+//! respawned, blades fail over, caches stay honest. None of it survives
+//! *process* failure — kill the host and every queue, cache and trace
+//! is gone. This crate closes that gap with the classic recipe, built
+//! on the same determinism discipline as the rest of the simulator:
+//!
+//! * [`StableStorage`] — a deterministic in-memory block device with an
+//!   explicit flush barrier and seeded, injectable disk faults
+//!   (torn writes, lying flushes, bit rot);
+//! * a **write-ahead journal** ([`journal`]) of checksummed,
+//!   length-framed, epoch-stamped records — `Admit`, `Commit`,
+//!   `CacheInsert`, `Checkpoint` — with configurable group commit;
+//! * **checkpoints** ([`checkpoint`]) that snapshot the pending set,
+//!   the router cache and the ring generations, so recovery is
+//!   checkpoint-load + bounded tail replay instead of full-history
+//!   replay;
+//! * **recovery** ([`DurableServer::recover`],
+//!   [`DurableCluster::recover`]) that discards the torn/corrupt
+//!   journal suffix, re-admits every `Admit` without a matching
+//!   `Commit` exactly once, and resumes the stream **byte-identically**
+//!   — the recovered outcome for a request has the same feature bits,
+//!   scores and degradation as a crash-free run of the same seed.
+//!
+//! # The exactly-once argument (short form)
+//!
+//! Delivery happens *before* the `Commit` append, and the process crash
+//! line fires at append boundaries. Hence a durable `Commit` implies
+//! the response was delivered; a delivered response whose commit was
+//! lost (crash, torn write, lying flush) is re-served after recovery as
+//! a byte-identical duplicate, deduped by `req_id` at the client
+//! boundary. The *durable commit log* contains each `req_id` exactly
+//! once — crash-free commits at their original epoch, replayed commits
+//! at the recovery epoch. `BitRot` inside the scanned window truncates
+//! the readable journal at the corrupt frame; recovery then degrades to
+//! at-least-once for the truncated suffix and says so
+//! ([`RecoveryReport::corrupt_suffix`]). See `DESIGN.md` §14 for the
+//! full state machine.
+
+pub mod checkpoint;
+pub mod cluster;
+pub mod journal;
+pub mod server;
+pub mod storage;
+
+pub use checkpoint::{Checkpoint, CheckpointStore};
+pub use cluster::{DurableCluster, DurableClusterConfig, DurableClusterOutput};
+pub use journal::{scan, scan_from, Record, ScanResult, ScannedRecord, SHED_DEGRADATION};
+pub use server::{
+    durable_commit_log, DurableConfig, DurableDisks, DurableOutput, DurableReport, DurableServer,
+    RecoveryReport, RunStatus,
+};
+pub use storage::StableStorage;

@@ -1,0 +1,279 @@
+//! Deterministic stable-storage model: an in-memory append-only device
+//! with an explicit flush barrier and seeded, injectable disk faults.
+//!
+//! The device mirrors how the rest of the simulator treats hardware:
+//! behavior is a pure function of the operation sequence and the armed
+//! [`cell_fault::FaultPlan`], so every disk pathology is replayable.
+//! Three faults cover the crash-consistency failure classes the
+//! durability literature actually distinguishes:
+//!
+//! * [`FaultKind::TornWrite`] — the Nth appended record only partially
+//!   reaches the platter: a crash keeps its first `keep` bytes and drops
+//!   everything after it (a sector-straddling write cut by power loss);
+//! * [`FaultKind::LostFlush`] — the Nth flush *lies*: it returns success
+//!   without advancing the durable frontier, so a later crash drops
+//!   writes the caller believed were hardened (a volatile disk cache);
+//! * [`FaultKind::BitRot`] — one stored bit of the Nth record flips at
+//!   rest; the journal's frame checksum catches it on the next scan.
+//!
+//! The semantics of [`crash`](StableStorage::crash) are the contract the
+//! recovery state machine is verified against: the surviving prefix is
+//! `log[..flushed_len]`, extended through any *complete* records that
+//! precede a torn record past the barrier, then cut at the torn
+//! record's surviving frontier.
+
+use cell_fault::{FaultKind, FaultLine, FaultPlan, FaultSite};
+
+/// An in-memory block device with an explicit durability barrier.
+///
+/// All writes are appends (the journal never overwrites); `flush`
+/// hardens everything appended so far. What a crash keeps is determined
+/// entirely by the barrier position and any armed storage faults.
+#[derive(Debug)]
+pub struct StableStorage {
+    log: Vec<u8>,
+    /// Bytes guaranteed to survive a crash (advanced by honest flushes).
+    flushed_len: usize,
+    /// Byte offsets where appended records start, in order — the crash
+    /// semantics and the torn-write frontier are defined record-wise.
+    record_starts: Vec<usize>,
+    /// `(record_start, surviving_frontier)` of torn records not yet
+    /// sealed by an honest flush.
+    torn: Vec<(usize, usize)>,
+    write_line: FaultLine,
+    flush_line: FaultLine,
+    appends: u64,
+    flushes: u64,
+    lost_flushes: u64,
+    torn_writes: u64,
+    rotted_bits: u64,
+}
+
+impl StableStorage {
+    /// A fresh, empty device with `plan`'s [`FaultSite::StorageWrite`]
+    /// and [`FaultSite::StorageFlush`] lines armed (line index 0).
+    pub fn new(plan: &FaultPlan) -> Self {
+        StableStorage {
+            log: Vec::new(),
+            flushed_len: 0,
+            record_starts: Vec::new(),
+            torn: Vec::new(),
+            write_line: plan.arm(FaultSite::StorageWrite, 0),
+            flush_line: plan.arm(FaultSite::StorageFlush, 0),
+            appends: 0,
+            flushes: 0,
+            lost_flushes: 0,
+            torn_writes: 0,
+            rotted_bits: 0,
+        }
+    }
+
+    /// Adopt bytes that survived a crash (the recovery constructor).
+    /// The adopted prefix is durable by definition; `plan` arms the new
+    /// incarnation's storage fault lines.
+    pub fn adopt(surviving: Vec<u8>, plan: &FaultPlan) -> Self {
+        let len = surviving.len();
+        StableStorage {
+            log: surviving,
+            flushed_len: len,
+            record_starts: Vec::new(),
+            torn: Vec::new(),
+            write_line: plan.arm(FaultSite::StorageWrite, 0),
+            flush_line: plan.arm(FaultSite::StorageFlush, 0),
+            appends: 0,
+            flushes: 0,
+            lost_flushes: 0,
+            torn_writes: 0,
+            rotted_bits: 0,
+        }
+    }
+
+    /// Append one record. The write itself always "succeeds" — torn
+    /// writes and bit rot only change what a *crash* keeps or what a
+    /// later scan reads, exactly like real disks that fail silently.
+    pub fn append(&mut self, record: &[u8]) {
+        self.appends += 1;
+        let start = self.log.len();
+        self.record_starts.push(start);
+        self.log.extend_from_slice(record);
+        match self.write_line.tick() {
+            Some(FaultKind::TornWrite { keep }) => {
+                self.torn_writes += 1;
+                let frontier = start + (keep as usize).min(record.len());
+                self.torn.push((start, frontier));
+            }
+            Some(FaultKind::BitRot { bit }) => {
+                self.rotted_bits += 1;
+                if !record.is_empty() {
+                    let bit = bit as usize % (record.len() * 8);
+                    self.log[start + bit / 8] ^= 1 << (bit % 8);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Durability barrier: harden everything appended so far. An armed
+    /// [`FaultKind::LostFlush`] makes this flush *lie* — it reports
+    /// success without moving the barrier. An honest flush also seals
+    /// torn records: the full record body made it out on the rewrite.
+    pub fn flush(&mut self) {
+        self.flushes += 1;
+        if self.flush_line.tick() == Some(FaultKind::LostFlush) {
+            self.lost_flushes += 1;
+            return;
+        }
+        self.flushed_len = self.log.len();
+        self.torn.clear();
+    }
+
+    /// Simulate whole-process loss: return the bytes the platter keeps.
+    ///
+    /// Baseline: everything up to the durability barrier. Un-barriered
+    /// complete records *may* survive on real disks; this model keeps
+    /// them up to the first torn record (whose surviving frontier cuts
+    /// the log) so torn-write recovery is actually exercised — the
+    /// pessimistic all-dropped case is what [`FaultKind::LostFlush`]
+    /// plus an immediate crash produces.
+    pub fn crash(&self) -> Vec<u8> {
+        let cut = self
+            .torn
+            .iter()
+            .filter(|&&(start, _)| start >= self.flushed_len)
+            .map(|&(_, frontier)| frontier)
+            .min();
+        match cut {
+            Some(frontier) => self.log[..frontier].to_vec(),
+            None => self.log.clone(),
+        }
+    }
+
+    /// Everything written so far, faults applied (what a scan during
+    /// normal operation reads).
+    pub fn contents(&self) -> &[u8] {
+        &self.log
+    }
+
+    /// Total bytes appended (pre-crash logical length).
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// Bytes guaranteed to survive a crash right now.
+    pub fn durable_len(&self) -> usize {
+        self.flushed_len
+    }
+
+    /// Records appended since the last honest flush — the journal-lag
+    /// gauge.
+    pub fn unflushed_records(&self) -> usize {
+        self.record_starts
+            .iter()
+            .rev()
+            .take_while(|&&s| s >= self.flushed_len)
+            .count()
+    }
+
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    pub fn lost_flushes(&self) -> u64 {
+        self.lost_flushes
+    }
+
+    pub fn torn_writes(&self) -> u64 {
+        self.torn_writes
+    }
+
+    pub fn rotted_bits(&self) -> u64 {
+        self.rotted_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flush_barrier_bounds_crash_survival() {
+        let mut s = StableStorage::new(&FaultPlan::new());
+        s.append(b"aaaa");
+        s.append(b"bbbb");
+        s.flush();
+        s.append(b"cccc");
+        // No torn marks: un-barriered complete records survive.
+        assert_eq!(s.durable_len(), 8);
+        assert_eq!(s.crash(), b"aaaabbbbcccc".to_vec());
+        assert_eq!(s.unflushed_records(), 1);
+        s.flush();
+        assert_eq!(s.durable_len(), 12);
+        assert_eq!(s.unflushed_records(), 0);
+    }
+
+    #[test]
+    fn torn_write_cuts_the_crash_image_at_its_frontier() {
+        let plan = FaultPlan::new().torn_write(2, 2);
+        let mut s = StableStorage::new(&plan);
+        s.append(b"aaaa");
+        s.flush();
+        s.append(b"bbbb"); // torn: keeps "bb"
+        s.append(b"cccc"); // after the tear: dropped
+        assert_eq!(s.torn_writes(), 1);
+        assert_eq!(s.crash(), b"aaaabb".to_vec());
+        // An honest flush seals the tear (the record was rewritten).
+        s.flush();
+        assert_eq!(s.crash(), b"aaaabbbbcccc".to_vec());
+    }
+
+    #[test]
+    fn lost_flush_lies_and_drops_on_crash() {
+        let plan = FaultPlan::new().lose_flush(1).torn_write(2, 1);
+        let mut s = StableStorage::new(&plan);
+        s.append(b"aaaa");
+        s.flush(); // lies: reports success, barrier stays at 0
+        assert_eq!(s.lost_flushes(), 1);
+        assert_eq!(s.durable_len(), 0);
+        // The complete record still survives (no tear)...
+        assert_eq!(s.crash(), b"aaaa".to_vec());
+        // ...but a tear behind the lying barrier cuts everything after
+        // its frontier, including record "aaaa"-following bytes.
+        s.append(b"bbbb"); // torn at byte 1
+        s.append(b"cccc");
+        assert_eq!(s.crash(), b"aaaab".to_vec());
+        // The second flush is honest and hardens everything.
+        s.flush();
+        assert_eq!(s.durable_len(), 12);
+        assert_eq!(s.crash().len(), 12);
+    }
+
+    #[test]
+    fn bit_rot_flips_one_stored_bit() {
+        let plan = FaultPlan::new().bit_rot(1, 9);
+        let mut s = StableStorage::new(&plan);
+        s.append(&[0u8, 0, 0, 0]);
+        assert_eq!(s.rotted_bits(), 1);
+        assert_eq!(s.contents(), &[0u8, 2, 0, 0], "bit 9 = byte 1, bit 1");
+        // Bit index wraps modulo the record length.
+        let plan = FaultPlan::new().bit_rot(1, 33);
+        let mut s = StableStorage::new(&plan);
+        s.append(&[0u8, 0, 0, 0]);
+        assert_eq!(s.contents(), &[2u8, 0, 0, 0]);
+    }
+
+    #[test]
+    fn adopt_starts_durable() {
+        let s = StableStorage::adopt(b"abcd".to_vec(), &FaultPlan::new());
+        assert_eq!(s.durable_len(), 4);
+        assert_eq!(s.crash(), b"abcd".to_vec());
+        assert_eq!(s.appends(), 0);
+    }
+}

@@ -90,6 +90,35 @@ pub enum FaultKind {
     /// crash the router only notices via the watchdog, so the backlog
     /// grows (and overflows onto other blades) until detection.
     BladeHang,
+    /// The whole process dies — machine, queues, caches, everything in
+    /// volatile memory. Only stable storage survives; recovery must
+    /// rebuild the world from the journal and the latest checkpoint.
+    /// Fired from the [`FaultSite::Process`] line, ticked once per
+    /// journal append (durable server) or routed request (durable
+    /// cluster).
+    ProcessCrash,
+    /// The Nth journal append is torn: only the first `keep` bytes of
+    /// the record reach the platter; the rest — and everything appended
+    /// after it — is lost if the process crashes before the record is
+    /// rewritten. Models a sector-straddling write interrupted by power
+    /// loss.
+    TornWrite {
+        /// Bytes of the record that survive a crash (may exceed the
+        /// record length, in which case the whole record survives).
+        keep: u32,
+    },
+    /// The Nth flush barrier silently fails: it reports success but
+    /// does not advance the durable frontier, so writes it claimed to
+    /// harden are dropped on crash. Models a lying disk cache.
+    LostFlush,
+    /// One stored byte of the Nth appended record has a bit flipped at
+    /// rest. The frame checksum catches it on the next journal scan;
+    /// recovery must truncate, not trust, the rotten suffix.
+    BitRot {
+        /// Bit index into the record; taken modulo the record length in
+        /// bits, so any value is safe.
+        bit: u32,
+    },
 }
 
 /// Where in the machine a fault is injected.
@@ -107,6 +136,17 @@ pub enum FaultSite {
     /// Carries whole-machine faults: [`FaultKind::BladeCrash`] and
     /// [`FaultKind::BladeHang`].
     Blade,
+    /// The durable runtime's crash line — ticked once per journal
+    /// append (server) or routed request (cluster), with `spe` = 0.
+    /// Carries [`FaultKind::ProcessCrash`].
+    Process,
+    /// The stable-storage append path — ticked once per appended
+    /// record. Carries [`FaultKind::TornWrite`] and
+    /// [`FaultKind::BitRot`].
+    StorageWrite,
+    /// The stable-storage flush barrier — ticked once per flush.
+    /// Carries [`FaultKind::LostFlush`].
+    StorageFlush,
 }
 
 /// One planned fault: at the `at`-th operation (1-based) of `site` on
@@ -255,6 +295,79 @@ impl FaultPlan {
             at,
             kind: FaultKind::BladeHang,
         })
+    }
+
+    /// Kill the whole process on the `at`-th operation of the durable
+    /// runtime's crash line (journal append for a server, routed
+    /// request for a cluster).
+    #[must_use]
+    pub fn crash_process(self, at: u64) -> Self {
+        self.with(FaultSpec {
+            site: FaultSite::Process,
+            spe: 0,
+            at,
+            kind: FaultKind::ProcessCrash,
+        })
+    }
+
+    /// Tear the `at`-th record appended to stable storage: only its
+    /// first `keep` bytes survive a crash.
+    #[must_use]
+    pub fn torn_write(self, at: u64, keep: u32) -> Self {
+        self.with(FaultSpec {
+            site: FaultSite::StorageWrite,
+            spe: 0,
+            at,
+            kind: FaultKind::TornWrite { keep },
+        })
+    }
+
+    /// Make the `at`-th flush barrier lie: it reports success without
+    /// hardening anything.
+    #[must_use]
+    pub fn lose_flush(self, at: u64) -> Self {
+        self.with(FaultSpec {
+            site: FaultSite::StorageFlush,
+            spe: 0,
+            at,
+            kind: FaultKind::LostFlush,
+        })
+    }
+
+    /// Flip bit `bit` (modulo record length in bits) of the `at`-th
+    /// record appended to stable storage.
+    #[must_use]
+    pub fn bit_rot(self, at: u64, bit: u32) -> Self {
+        self.with(FaultSpec {
+            site: FaultSite::StorageWrite,
+            spe: 0,
+            at,
+            kind: FaultKind::BitRot { bit },
+        })
+    }
+
+    /// Derive a deterministic durability chaos plan from `seed`: one
+    /// process crash within the first `ops_horizon` appends, plus
+    /// `storage_faults` storage faults (torn writes, lost flushes and
+    /// bit rot, roughly 2:1:1) in the same window. Same seed → same
+    /// plan.
+    #[must_use]
+    pub fn chaos_durable(seed: u64, storage_faults: usize, ops_horizon: u64) -> Self {
+        assert!(
+            ops_horizon > 0,
+            "durable chaos plan needs a positive horizon"
+        );
+        let mut rng = SplitMix64::new(seed ^ 0xD0_4AB1E);
+        let mut plan = FaultPlan::new().crash_process(1 + rng.next_below(ops_horizon));
+        for _ in 0..storage_faults {
+            let at = 1 + rng.next_below(ops_horizon);
+            plan = match rng.next_below(4) {
+                0 => plan.lose_flush(at),
+                1 => plan.bit_rot(at, rng.next_below(4096) as u32),
+                _ => plan.torn_write(at, rng.next_below(64) as u32),
+            };
+        }
+        plan
     }
 
     /// Derive a deterministic blade-scoped chaos plan from `seed`:
@@ -508,6 +621,58 @@ mod tests {
                 s.kind,
                 FaultKind::BladeCrash | FaultKind::BladeHang
             ));
+        }
+    }
+
+    #[test]
+    fn durability_faults_live_on_their_own_sites() {
+        let plan = FaultPlan::new()
+            .crash_process(5)
+            .torn_write(2, 11)
+            .bit_rot(3, 40)
+            .lose_flush(1)
+            .crash_spe(0, 5);
+        let mut process = plan.arm(FaultSite::Process, 0);
+        for _ in 0..4 {
+            assert_eq!(process.tick(), None);
+        }
+        assert_eq!(process.tick(), Some(FaultKind::ProcessCrash));
+        let mut write = plan.arm(FaultSite::StorageWrite, 0);
+        assert_eq!(write.tick(), None);
+        assert_eq!(write.tick(), Some(FaultKind::TornWrite { keep: 11 }));
+        assert_eq!(write.tick(), Some(FaultKind::BitRot { bit: 40 }));
+        let mut flush = plan.arm(FaultSite::StorageFlush, 0);
+        assert_eq!(flush.tick(), Some(FaultKind::LostFlush));
+        assert_eq!(
+            plan.arm(FaultSite::SpeDispatch, 0).specs.len(),
+            1,
+            "SPE faults must not leak onto the durability lines"
+        );
+    }
+
+    #[test]
+    fn durable_chaos_plans_are_deterministic_and_storage_scoped() {
+        let a = FaultPlan::chaos_durable(7, 3, 40);
+        let b = FaultPlan::chaos_durable(7, 3, 40);
+        assert_eq!(a, b);
+        assert_eq!(a.specs().len(), 4, "one crash plus the storage faults");
+        assert_ne!(a, FaultPlan::chaos_durable(8, 3, 40));
+        let crashes = a
+            .specs()
+            .iter()
+            .filter(|s| s.kind == FaultKind::ProcessCrash)
+            .count();
+        assert_eq!(crashes, 1);
+        for s in a.specs() {
+            assert!((1..=40).contains(&s.at));
+            match s.kind {
+                FaultKind::ProcessCrash => assert_eq!(s.site, FaultSite::Process),
+                FaultKind::LostFlush => assert_eq!(s.site, FaultSite::StorageFlush),
+                FaultKind::TornWrite { .. } | FaultKind::BitRot { .. } => {
+                    assert_eq!(s.site, FaultSite::StorageWrite);
+                }
+                other => panic!("unexpected kind in durable chaos plan: {other:?}"),
+            }
         }
     }
 

@@ -93,6 +93,36 @@ impl Response {
     pub fn latency(&self) -> u64 {
         self.completed_at.saturating_sub(self.arrival)
     }
+
+    /// Stable 32-bit digest of the served *content*: degradation level,
+    /// then features and scores in kernel order, bit-exact over the f32
+    /// payloads. Timing fields are excluded on purpose — a replayed
+    /// request recomputed after recovery lands at different cycles but
+    /// must produce the same digest, which is what the durable commit
+    /// record stores and the exactly-once argument compares.
+    pub fn digest(&self) -> u32 {
+        let mut bytes = Vec::with_capacity(
+            16 + self
+                .features
+                .iter()
+                .map(|(_, f)| 8 + f.len() * 4)
+                .sum::<usize>()
+                + self.scores.len() * 8,
+        );
+        bytes.push(self.degradation);
+        for (kind, feature) in &self.features {
+            bytes.extend_from_slice(kind.name().as_bytes());
+            bytes.extend_from_slice(&(feature.len() as u32).to_le_bytes());
+            for v in feature {
+                bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        for (kind, score) in &self.scores {
+            bytes.extend_from_slice(kind.name().as_bytes());
+            bytes.extend_from_slice(&score.to_bits().to_le_bytes());
+        }
+        cell_core::checksum32(&bytes)
+    }
 }
 
 /// Terminal state of one request.
@@ -588,6 +618,23 @@ impl CellServer {
             self.ppe.tracer().flight_events(),
             &self.metrics,
         ));
+    }
+
+    /// Emit a recovery span on the PPE track. The durable runtime stamps
+    /// every journal replay through this, so a recovered run's trace
+    /// carries its provenance (`arg0` = request id, `arg1` = epoch).
+    pub fn record_recovery(&mut self, label: &'static str, arg0: u64, arg1: u64) {
+        let now = self.ppe.clock.now();
+        self.ppe
+            .tracer_mut()
+            .span(EventKind::Recovery, label, now, 0, arg0, arg1);
+    }
+
+    /// Snapshot the flight recorder under an external trigger. The
+    /// durable runtime arms a dump on every recovery replay; the same
+    /// `max_flight_dumps` cap as the internal triggers applies.
+    pub fn capture_flight_dump(&mut self, reason: &str) {
+        self.maybe_dump(reason);
     }
 
     // ---------------------------------------------------------------

@@ -24,6 +24,10 @@ struct Snapshot {
     /// blade index -> (field -> value), split off `blade<i>_<field>`
     /// gauges so cluster exports render as one row per blade.
     blades: BTreeMap<usize, BTreeMap<String, String>>,
+    /// field -> value, split off `durable_<field>` gauges so durable
+    /// exports render as one durability row (journal lag, checkpoint
+    /// age, replay count, epoch).
+    durable: BTreeMap<String, String>,
 }
 
 /// Split a `blade<i>_<field>` metric name into its blade index and
@@ -89,6 +93,10 @@ fn parse(text: &str) -> Snapshot {
                 .insert(field.to_string(), value.to_string());
             continue;
         }
+        if let Some(field) = key.strip_prefix("durable_") {
+            snap.durable.insert(field.to_string(), value.to_string());
+            continue;
+        }
         match kind.get(key).map(String::as_str) {
             Some("gauge") => {
                 snap.gauges.insert(key.to_string(), value.to_string());
@@ -133,6 +141,29 @@ fn render(snap: &Snapshot) -> String {
                 get("cache_hit_rate")
             );
         }
+        out.push('\n');
+    }
+    if !snap.durable.is_empty() {
+        let get = |k: &str| {
+            snap.durable
+                .get(k)
+                .cloned()
+                .unwrap_or_else(|| "-".to_string())
+        };
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>14} {:>16} {:>10}",
+            "durability", "epoch", "journal_lag", "checkpoint_age", "replays"
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>14} {:>16} {:>10}",
+            "",
+            get("epoch"),
+            get("journal_lag"),
+            get("checkpoint_age"),
+            get("replays")
+        );
         out.push('\n');
     }
     if !snap.summaries.is_empty() {
@@ -254,6 +285,31 @@ bladeless_gauge 7
         assert!(report.contains("open"));
         assert!(report.contains("half-open"));
         assert!(report.contains("512.5"));
+    }
+
+    #[test]
+    fn durable_gauges_render_as_a_durability_row() {
+        let text = "\
+# TYPE durable_epoch gauge
+durable_epoch 2
+# TYPE durable_journal_lag gauge
+durable_journal_lag 3
+# TYPE durable_checkpoint_age gauge
+durable_checkpoint_age 1
+# TYPE durable_replays gauge
+durable_replays 4
+# TYPE journal_appends_total counter
+journal_appends_total 27
+";
+        let snap = parse(text);
+        assert_eq!(snap.durable.get("epoch").unwrap(), "2");
+        assert_eq!(snap.durable.get("journal_lag").unwrap(), "3");
+        assert!(!snap.gauges.contains_key("durable_epoch"));
+        assert_eq!(snap.counters.get("journal_appends_total").unwrap(), "27");
+        let report = render(&snap);
+        assert!(report.contains("durability"));
+        assert!(report.contains("checkpoint_age"));
+        assert!(report.contains("journal_appends_total"));
     }
 
     #[test]

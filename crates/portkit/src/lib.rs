@@ -73,7 +73,7 @@ pub use amdahl::{
 pub use dispatcher::KernelDispatcher;
 pub use interface::{ReplyMode, SpeInterface};
 pub use profile::CoverageProfiler;
-pub use recovery::RetryPolicy;
+pub use recovery::{CommitLedger, RetryPolicy};
 pub use report::{PlanBuilder, PortingPlan};
 pub use schedule::Schedule;
 pub use supervise::{BreakerState, CircuitBreaker, Heartbeats};

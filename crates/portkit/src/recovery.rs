@@ -191,9 +191,79 @@ impl SpeInterface {
     }
 }
 
+/// Exactly-once commit ledger: which request ids have a durable commit,
+/// and with what content digest.
+///
+/// Retries, failovers and crash-restart replays all re-execute work; the
+/// ledger is the dedup point that keeps re-execution from becoming
+/// re-*delivery*. `cell-durable` records every parsed `Commit` journal
+/// record here during recovery and consults it before re-admitting a
+/// pending request: a request that committed must not be recomputed, one
+/// that didn't must not be lost.
+#[derive(Debug, Clone, Default)]
+pub struct CommitLedger {
+    commits: std::collections::BTreeMap<u64, u32>,
+}
+
+impl CommitLedger {
+    pub fn new() -> Self {
+        CommitLedger::default()
+    }
+
+    /// Record a durable commit of `id` with content `digest`. Returns
+    /// `true` if the id was new; `false` (and leaves the first digest in
+    /// place) on a duplicate — the caller decides whether a duplicate is
+    /// a protocol bug or an expected at-least-once artifact.
+    pub fn record(&mut self, id: u64, digest: u32) -> bool {
+        match self.commits.entry(id) {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(digest);
+                true
+            }
+            std::collections::btree_map::Entry::Occupied(_) => false,
+        }
+    }
+
+    /// Has `id` committed?
+    pub fn is_committed(&self, id: u64) -> bool {
+        self.commits.contains_key(&id)
+    }
+
+    /// The digest `id` committed with, if it committed.
+    pub fn digest(&self, id: u64) -> Option<u32> {
+        self.commits.get(&id).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.commits.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.commits.is_empty()
+    }
+
+    /// Committed ids in ascending order.
+    pub fn ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.commits.keys().copied()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn commit_ledger_dedups_by_id_and_keeps_first_digest() {
+        let mut ledger = CommitLedger::new();
+        assert!(ledger.record(7, 0xAB));
+        assert!(ledger.record(3, 0xCD));
+        assert!(!ledger.record(7, 0xEE), "second commit of id 7 is a dup");
+        assert_eq!(ledger.digest(7), Some(0xAB), "first digest wins");
+        assert!(ledger.is_committed(3));
+        assert!(!ledger.is_committed(4));
+        assert_eq!(ledger.ids().collect::<Vec<_>>(), vec![3, 7]);
+        assert_eq!(ledger.len(), 2);
+    }
     use crate::dispatcher::KernelDispatcher;
     use crate::interface::ReplyMode;
     use cell_core::MachineConfig;
