@@ -1,0 +1,97 @@
+//! [`IsaProgram`] — run an assembled SPU image as a whole
+//! [`SpeProgram`], mailbox loop included.
+//!
+//! Where the portkit dispatcher embeds interpreted kernels *inside* a
+//! native dispatch loop, `IsaProgram` is the fully-interpreted path:
+//! the image itself implements the paper's Listing-1/Listing-3 shape
+//! (read a word from the inbound mailbox, act, reply on the outbound
+//! mailbox, repeat until the exit opcode). [`echo_image`] builds the
+//! canonical example used by tests and the lint fixtures.
+
+use std::sync::{Arc, Mutex};
+
+use cell_core::CellResult;
+use cell_sys::spe::spe_fault;
+use cell_sys::{SpeEnv, SpeProgram};
+
+use crate::asm::{Assembler, IsaImage};
+use crate::interp::{channel, ExecTrace, Interpreter};
+
+/// A sink the program deposits its [`ExecTrace`] into at exit (the
+/// program itself is consumed by `CellMachine::spawn`).
+pub type TraceSink = Arc<Mutex<Option<ExecTrace>>>;
+
+/// An [`SpeProgram`] that uploads an assembled image into the local
+/// store's code region and interprets it to completion.
+pub struct IsaProgram {
+    image: IsaImage,
+    arg: u32,
+    max_steps: u64,
+    trace_sink: Option<TraceSink>,
+}
+
+impl IsaProgram {
+    pub fn new(image: IsaImage) -> IsaProgram {
+        IsaProgram {
+            image,
+            arg: 0,
+            max_steps: crate::interp::MAX_STEPS,
+            trace_sink: None,
+        }
+    }
+
+    /// Lower the runaway guard for this program.
+    pub fn with_max_steps(mut self, steps: u64) -> IsaProgram {
+        self.max_steps = steps;
+        self
+    }
+
+    /// Value placed in r3's preferred slot at entry.
+    pub fn with_arg(mut self, arg: u32) -> IsaProgram {
+        self.arg = arg;
+        self
+    }
+
+    /// Deposit the execution trace here when the program ends (on
+    /// success *and* on fault — lint wants failed traces too).
+    pub fn with_trace_sink(mut self, sink: TraceSink) -> IsaProgram {
+        self.trace_sink = Some(sink);
+        self
+    }
+}
+
+impl SpeProgram for IsaProgram {
+    fn run(&mut self, env: &mut SpeEnv) -> CellResult<()> {
+        if self.image.bytes.len() > env.ls.code_reserved() {
+            return Err(spe_fault(
+                env.spe_id(),
+                format!(
+                    "isa: image of {} bytes exceeds the {} byte code region",
+                    self.image.bytes.len(),
+                    env.ls.code_reserved()
+                ),
+            ));
+        }
+        env.ls.write(0, &self.image.bytes)?;
+        let mut interp = Interpreter::new().with_max_steps(self.max_steps);
+        let result = interp.run(env, self.image.entry, self.arg);
+        if let Some(sink) = &self.trace_sink {
+            *sink.lock().unwrap() = Some(interp.into_trace());
+        }
+        result.map(|_| ())
+    }
+}
+
+/// Assemble the Listing-1 echo loop: read a word from the inbound
+/// mailbox, exit on zero, otherwise echo it to the outbound mailbox.
+pub fn echo_image() -> CellResult<IsaImage> {
+    let mut a = Assembler::new();
+    a.label("loop");
+    a.rdch(4, channel::SPU_RD_IN_MBOX);
+    a.brz(4, "exit");
+    a.wrch(channel::SPU_WR_OUT_MBOX, 4);
+    a.br("loop");
+    a.label("exit");
+    a.stop(0);
+    a.assemble()
+}

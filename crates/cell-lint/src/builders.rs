@@ -12,12 +12,12 @@ use cell_core::config::{MachineConfig, DMA_MAX_TRANSFER};
 use cell_core::{align_up, CellError, CellResult, QUADWORD};
 use cell_engine::Engine;
 use cell_mem::StructLayout;
-use cell_serve::CellServer;
+use cell_serve::{CellServer, PROBE_FN};
 use cell_stencil::grid::Grid;
-use cell_stencil::offload::{stencil_wrapper_layout, StencilApp};
+use cell_stencil::offload::{stencil_wrapper_layout, StencilApp, JACOBI_FN};
 use marvel::app::{CellMarvel, EXTRACT_KINDS};
 use marvel::features::KernelKind;
-use marvel::kernels::feature_dim;
+use marvel::kernels::{feature_dim, kernel_fn_name};
 use marvel::resilient::{paper_kernel_specs, ResilientMarvel};
 use marvel::wire::{image_stride, DetectWire, ExtractWire};
 use portkit::opcodes::run_opcode;
@@ -30,17 +30,6 @@ use crate::model::{
 /// Wrapper bases come from `MsgWrapper::alloc`, which aligns to at least
 /// a cache line.
 const WRAPPER_BASE_ALIGN: usize = 128;
-
-/// The registered function name for each extraction opcode.
-fn extract_fn_name(kind: KernelKind) -> &'static str {
-    match kind {
-        KernelKind::Ch => "ch_extract",
-        KernelKind::Cc => "cc_extract",
-        KernelKind::Tx => "tx_extract",
-        KernelKind::Eh => "eh_extract",
-        KernelKind::Cd => "concept_detect",
-    }
-}
 
 /// An extraction kernel's wrapper as both ABI sides construct it — the
 /// PPE stub and the SPE body call the same `ExtractWire::new`, which is
@@ -85,9 +74,9 @@ pub fn model_marvel(app: &CellMarvel, image_w: usize, image_h: usize) -> CellRes
 
     for (kind, spe, ops) in app.kernel_bindings() {
         let wire = ExtractWire::new(feature_dim(kind))?;
-        let mut opcodes = vec![(extract_fn_name(kind).to_string(), ops.extract)];
+        let mut opcodes = vec![(kernel_fn_name(kind).to_string(), ops.extract)];
         if let Some(op) = ops.detect {
-            opcodes.push(("concept_detect".to_string(), op));
+            opcodes.push((kernel_fn_name(KernelKind::Cd).to_string(), op));
         }
         // The engine keeps `window` extractions in flight per lane; model
         // a two-frame pipelined conversation so the protocol pass sees
@@ -119,7 +108,7 @@ pub fn model_marvel(app: &CellMarvel, image_w: usize, image_h: usize) -> CellRes
     kernels.push(KernelModel {
         name: KernelKind::Cd.name().to_string(),
         spe: cd_spe,
-        opcodes: vec![("concept_detect".to_string(), cd_opcode)],
+        opcodes: vec![(kernel_fn_name(KernelKind::Cd).to_string(), cd_opcode)],
         wrapper: Some(WrapperModel {
             ppe_layout: DetectWire::new(wire.feature_dim)?.layout,
             spe_layout: Some(DetectWire::new(wire.feature_dim)?.layout),
@@ -171,9 +160,9 @@ pub fn model_resilient(
     for spe in 0..app.num_spes() {
         let mut opcodes: Vec<(String, u32)> = EXTRACT_KINDS
             .iter()
-            .map(|&k| (extract_fn_name(k).to_string(), ops.opcode(k)))
+            .map(|&k| (kernel_fn_name(k).to_string(), ops.opcode(k)))
             .collect();
-        opcodes.push(("concept_detect".to_string(), ops.detect));
+        opcodes.push((kernel_fn_name(KernelKind::Cd).to_string(), ops.detect));
         // The widest extraction wire bounds the LS cost.
         let wire = ExtractWire::new(feature_dim(KernelKind::Ch))?;
         scripts.push(PortModel::engine_script(
@@ -220,10 +209,10 @@ pub fn model_serve(server: &CellServer, image_w: usize, image_h: usize) -> CellR
     for spe in 0..num_spes {
         let mut opcodes: Vec<(String, u32)> = EXTRACT_KINDS
             .iter()
-            .map(|&k| (extract_fn_name(k).to_string(), ops.opcode(k)))
+            .map(|&k| (kernel_fn_name(k).to_string(), ops.opcode(k)))
             .collect();
-        opcodes.push(("concept_detect".to_string(), ops.detect));
-        opcodes.push(("integrity_probe".to_string(), probe_op));
+        opcodes.push((kernel_fn_name(KernelKind::Cd).to_string(), ops.detect));
+        opcodes.push((PROBE_FN.to_string(), probe_op));
         let wire = ExtractWire::new(feature_dim(KernelKind::Ch))?;
         let mut plans = extract_plans(&wire, image_w, image_h);
         // The watchdog/respawn probe block: one 16-byte checksummed get.
@@ -310,9 +299,9 @@ pub fn model_stencil(app: &StencilApp, width: usize, height: usize) -> CellResul
     }
 
     let kernel = KernelModel {
-        name: "jacobi".to_string(),
+        name: JACOBI_FN.to_string(),
         spe: app.spe(),
-        opcodes: vec![("jacobi".to_string(), app.opcode())],
+        opcodes: vec![(JACOBI_FN.to_string(), app.opcode())],
         wrapper: Some(WrapperModel {
             ppe_layout: stencil_wrapper_layout()?,
             spe_layout: Some(stencil_wrapper_layout()?),

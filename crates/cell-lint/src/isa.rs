@@ -1,0 +1,297 @@
+//! Executed-behavior lint: rules over an interpreted SPU execution.
+//!
+//! The static passes in [`crate::rules`] check what a port *declares*
+//! (its [`crate::model::PortModel`]); this pass checks what a kernel
+//! actually *did*. [`cell_isa::Interpreter`] records every local-store
+//! touch, channel operation, and MFC command into an
+//! [`cell_isa::ExecTrace`]; [`analyze_trace`] replays that record
+//! against the same LS-budget, DMA-legality, and Listing-3
+//! mailbox-protocol rules the static passes apply to the model — so a
+//! kernel whose declared plan is clean but whose instruction stream
+//! misbehaves still fails lint.
+//!
+//! Rule catalog (extends the table in [`crate::rules`]):
+//!
+//! | id | severity | meaning |
+//! |----|----------|---------|
+//! | `isa-unknown-op` | Error | the stream hit undecodable instruction words |
+//! | `isa-ls-oob` | Error | a load/store addressed beyond the local store |
+//! | `isa-dma-size` | Error | an issued MFC command had an illegal size |
+//! | `isa-dma-misaligned` | Error | an issued MFC command had unaligned LSA/EA |
+//! | `isa-dma-unfenced` | Warning | MFC commands issued after the last tag-status read |
+//! | `ls-tight` | Warning | executed LS high water leaves < 1/10 headroom |
+//! | `mailbox-double-send` | Warning | > 1 reply written per inbound mailbox read |
+
+use cell_core::config::DMA_MAX_TRANSFER;
+use cell_isa::interp::channel;
+use cell_isa::ExecTrace;
+use portkit::advisor::Severity;
+
+use crate::rules::{Finding, LintConfig, LintReport};
+
+/// Lint one interpreted execution trace against `ls_capacity` bytes of
+/// local store. `subject` labels the findings (conventionally the
+/// kernel or program name).
+#[must_use]
+pub fn analyze_trace(
+    trace: &ExecTrace,
+    ls_capacity: usize,
+    subject: &str,
+    config: &LintConfig,
+) -> LintReport {
+    let mut findings = Vec::new();
+    let mut emit = |f: Finding| {
+        if let Some(f) = config.apply(f) {
+            findings.push(f);
+        }
+    };
+
+    unknown_op_pass(trace, subject, &mut emit);
+    ls_pass(trace, ls_capacity, subject, &mut emit);
+    dma_pass(trace, subject, &mut emit);
+    mailbox_pass(trace, subject, &mut emit);
+
+    LintReport {
+        port: subject.to_string(),
+        findings,
+    }
+}
+
+/// Undecodable instruction words: the interpreter faults on them after
+/// recording the word, and they mean the image is corrupt, the entry
+/// point is wrong, or execution ran into a data quadword.
+fn unknown_op_pass(trace: &ExecTrace, subject: &str, emit: &mut impl FnMut(Finding)) {
+    if trace.unknown_ops.is_empty() {
+        return;
+    }
+    emit(Finding::new(
+        Severity::Error,
+        "isa-unknown-op",
+        subject.to_string(),
+        format!(
+            "{} undecodable instruction word(s) executed, first {:#010x} — corrupt image, bad entry point, or control flow into data",
+            trace.unknown_ops.len(),
+            trace.unknown_ops[0],
+        ),
+    ));
+}
+
+/// Local-store footprint: raw out-of-bounds addresses are an error (the
+/// interpreter wraps them, real hardware would too — silently reading
+/// the wrong quadword); a high water mark near capacity is the
+/// executed-behavior version of the advisor's `ls-tight`.
+fn ls_pass(trace: &ExecTrace, ls_capacity: usize, subject: &str, emit: &mut impl FnMut(Finding)) {
+    if !trace.ls_oob.is_empty() {
+        emit(Finding::new(
+            Severity::Error,
+            "isa-ls-oob",
+            subject.to_string(),
+            format!(
+                "{} load/store(s) addressed beyond the {ls_capacity} B local store, first at {:#010x} — the LS wraps silently, so these touch the wrong quadword",
+                trace.ls_oob.len(),
+                trace.ls_oob[0],
+            ),
+        ));
+    }
+    let high = trace.ls_high_water as usize;
+    if high > ls_capacity * 9 / 10 {
+        emit(Finding::new(
+            Severity::Warning,
+            "ls-tight",
+            subject.to_string(),
+            format!(
+                "executed LS high water is {high} of {ls_capacity} B; no headroom for deeper buffering"
+            ),
+        ));
+    }
+}
+
+/// Re-check every *issued* MFC command against the DMA legality rules
+/// the static transfer pass applies to declared plans. A command that
+/// faulted at issue still appears here, which is exactly the point:
+/// lint explains the fault.
+fn dma_pass(trace: &ExecTrace, subject: &str, emit: &mut impl FnMut(Finding)) {
+    for (i, op) in trace.dma_ops.iter().enumerate() {
+        let dir = if op.get { "GET" } else { "PUT" };
+        let size = op.size as usize;
+        let legal_small = matches!(size, 1 | 2 | 4 | 8);
+        if size == 0 || size > DMA_MAX_TRANSFER || (!legal_small && !size.is_multiple_of(16)) {
+            emit(Finding::new(
+                Severity::Error,
+                "isa-dma-size",
+                subject.to_string(),
+                format!(
+                    "MFC {dir} #{i} moves {size} B; legal sizes are 1/2/4/8 or multiples of 16 up to {DMA_MAX_TRANSFER}"
+                ),
+            ));
+        }
+        if !legal_small && (!op.lsa.is_multiple_of(16) || !op.ea.is_multiple_of(16)) {
+            emit(Finding::new(
+                Severity::Error,
+                "isa-dma-misaligned",
+                subject.to_string(),
+                format!(
+                    "MFC {dir} #{i} has LSA {:#x} / EA {:#x}; quadword transfers need 16-byte alignment on both sides",
+                    op.lsa, op.ea,
+                ),
+            ));
+        }
+    }
+
+    // Listing-3 fencing: every batch of MFC commands must be drained by
+    // a tag-status read before the program stops, or a PUT may still be
+    // in flight when the PPE reads the result.
+    let last_cmd = trace
+        .channel_ops
+        .iter()
+        .rposition(|c| c.write && c.channel == channel::MFC_CMD);
+    let last_stat = trace
+        .channel_ops
+        .iter()
+        .rposition(|c| !c.write && c.channel == channel::MFC_RD_TAG_STAT);
+    if let Some(cmd) = last_cmd {
+        if last_stat.is_none_or(|stat| stat < cmd) {
+            emit(Finding::new(
+                Severity::Warning,
+                "isa-dma-unfenced",
+                subject.to_string(),
+                "MFC command(s) issued after the last tag-status read; the transfer may still be in flight at stop (Listing 3 drains tags before replying)"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Listing-3 reply discipline: between consecutive inbound-mailbox
+/// reads a kernel writes at most one reply (out or interrupting mailbox).
+/// Two replies per request desynchronizes the PPE conversation.
+fn mailbox_pass(trace: &ExecTrace, subject: &str, emit: &mut impl FnMut(Finding)) {
+    let mut replies_since_read = 0u32;
+    for op in &trace.channel_ops {
+        if !op.write && op.channel == channel::SPU_RD_IN_MBOX {
+            replies_since_read = 0;
+        } else if op.write
+            && (op.channel == channel::SPU_WR_OUT_MBOX
+                || op.channel == channel::SPU_WR_OUT_INTR_MBOX)
+        {
+            replies_since_read += 1;
+            if replies_since_read == 2 {
+                emit(Finding::new(
+                    Severity::Warning,
+                    "mailbox-double-send",
+                    subject.to_string(),
+                    "more than one outbound mailbox write per inbound read; the PPE-side conversation desynchronizes (Listing 3 pairs each request with one reply)"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cell_isa::interp::{ChannelOp, DmaOp};
+
+    fn clean_trace() -> ExecTrace {
+        ExecTrace {
+            instructions: 100,
+            ls_high_water: 0x8000,
+            ..ExecTrace::default()
+        }
+    }
+
+    #[test]
+    fn clean_trace_produces_no_findings() {
+        let report = analyze_trace(&clean_trace(), 256 * 1024, "k", &LintConfig::new());
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn unknown_ops_and_oob_are_errors() {
+        let mut t = clean_trace();
+        t.unknown_ops.push(0x0040_0000);
+        t.ls_oob.push(0x4_0000);
+        let report = analyze_trace(&t, 256 * 1024, "k", &LintConfig::new());
+        assert!(report.has("isa-unknown-op"));
+        assert!(report.has("isa-ls-oob"));
+        assert_eq!(report.error_count(), 2);
+    }
+
+    #[test]
+    fn illegal_dma_sizes_and_alignment_are_flagged() {
+        let mut t = clean_trace();
+        t.dma_ops.push(DmaOp {
+            get: true,
+            lsa: 0x100,
+            ea: 0x1000,
+            size: 24, // not 1/2/4/8, not a multiple of 16
+            tag: 0,
+        });
+        t.dma_ops.push(DmaOp {
+            get: false,
+            lsa: 0x104, // unaligned
+            ea: 0x1000,
+            size: 32,
+            tag: 0,
+        });
+        let report = analyze_trace(&t, 256 * 1024, "k", &LintConfig::new());
+        assert!(report.has("isa-dma-size"));
+        assert!(report.has("isa-dma-misaligned"));
+    }
+
+    #[test]
+    fn unfenced_mfc_command_is_a_warning() {
+        let mut t = clean_trace();
+        t.channel_ops.push(ChannelOp {
+            channel: channel::MFC_CMD,
+            write: true,
+            value: 0x20,
+        });
+        let report = analyze_trace(&t, 256 * 1024, "k", &LintConfig::new());
+        assert!(report.has("isa-dma-unfenced"));
+        // A tag-status read after the command clears the finding.
+        t.channel_ops.push(ChannelOp {
+            channel: channel::MFC_RD_TAG_STAT,
+            write: false,
+            value: 1,
+        });
+        let report = analyze_trace(&t, 256 * 1024, "k", &LintConfig::new());
+        assert!(!report.has("isa-dma-unfenced"));
+    }
+
+    #[test]
+    fn double_reply_between_reads_is_flagged_once() {
+        let mut t = clean_trace();
+        let read = ChannelOp {
+            channel: channel::SPU_RD_IN_MBOX,
+            write: false,
+            value: 1,
+        };
+        let reply = ChannelOp {
+            channel: channel::SPU_WR_OUT_MBOX,
+            write: true,
+            value: 0,
+        };
+        t.channel_ops.extend([read, reply, reply, reply]);
+        let report = analyze_trace(&t, 256 * 1024, "k", &LintConfig::new());
+        assert_eq!(
+            report
+                .findings
+                .iter()
+                .filter(|f| f.rule == "mailbox-double-send")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn config_allow_and_deny_apply() {
+        let mut t = clean_trace();
+        t.ls_high_water = 250 * 1024;
+        let allowed = analyze_trace(&t, 256 * 1024, "k", &LintConfig::new().allow("ls-tight"));
+        assert!(allowed.findings.is_empty());
+        let denied = analyze_trace(&t, 256 * 1024, "k", &LintConfig::new().deny("ls-tight"));
+        assert_eq!(denied.error_count(), 1);
+    }
+}

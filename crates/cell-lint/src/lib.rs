@@ -28,6 +28,7 @@
 //! exits nonzero on any Error-severity finding; CI gates on that.
 
 pub mod builders;
+pub mod isa;
 pub mod mc;
 pub mod model;
 pub mod race;
@@ -37,6 +38,7 @@ pub use builders::{
     model_cluster, model_engine_pipelined, model_image_filter, model_marvel, model_resilient,
     model_serve, model_stencil,
 };
+pub use isa::analyze_trace;
 pub use mc::{check_port, McConfig, McReport, McStats};
 pub use model::{
     DispatchScript, DmaPlan, KernelModel, PortModel, ScriptOp, SupervisionModel, WrapperModel,

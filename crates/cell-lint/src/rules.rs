@@ -129,7 +129,7 @@ impl LintConfig {
         self
     }
 
-    fn apply(&self, mut f: Finding) -> Option<Finding> {
+    pub(crate) fn apply(&self, mut f: Finding) -> Option<Finding> {
         if self.allowed.iter().any(|r| r == f.rule) {
             return None;
         }

@@ -33,6 +33,6 @@ pub use breaker::{BreakerState, CircuitBreaker};
 pub use queue::AdmissionQueue;
 pub use server::{
     serve_dispatcher, CellServer, Outcome, Request, Response, ServeConfig, ServeOutput,
-    ServeReport, ShedReason,
+    ServeReport, ShedReason, PROBE_FN,
 };
 pub use workload::{generate, Burst, WorkloadSpec};

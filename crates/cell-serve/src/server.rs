@@ -273,12 +273,18 @@ fn probe_body(env: &mut SpeEnv, addr: u32) -> CellResult<u32> {
     Ok(SPU_OK)
 }
 
+/// Canonical dispatcher function name of the integrity probe — the one
+/// spelling shared by registration, the supervisor's probe script, and
+/// the lint models.
+pub const PROBE_FN: &str = "integrity_probe";
+
 /// The serving dispatcher: every MARVEL kernel plus the integrity probe,
 /// in a fixed registration order on every SPE (the respawn/failover
 /// precondition).
 pub fn serve_dispatcher(optimized: bool) -> (KernelDispatcher, UniversalOpcodes, u32) {
     let (mut d, ops) = universal_dispatcher(optimized, ReplyMode::Polling);
-    let probe_op = d.register("integrity_probe", probe_body);
+    d.register(PROBE_FN, probe_body);
+    let probe_op = d.opcode_table().require(PROBE_FN);
     (d, ops, probe_op)
 }
 
@@ -680,7 +686,7 @@ impl CellServer {
         match self.engine.probe(
             &mut self.ppe,
             spe,
-            "integrity_probe",
+            PROBE_FN,
             self.probe_op,
             self.probe_word,
             &policy,

@@ -28,12 +28,28 @@ struct Snapshot {
     /// exports render as one durability row (journal lag, checkpoint
     /// age, replay count, epoch).
     durable: BTreeMap<String, String>,
+    /// SPE index -> (field -> value), split off `isa_spe<i>_<field>`
+    /// gauges so kernel-backend exports render as one row per SPE
+    /// (backend, kernels served, interpreted instructions/cycles).
+    isa_spes: BTreeMap<usize, BTreeMap<String, String>>,
 }
 
 /// Split a `blade<i>_<field>` metric name into its blade index and
 /// field, or `None` for every other name.
 fn blade_field(name: &str) -> Option<(usize, &str)> {
     let rest = name.strip_prefix("blade")?;
+    let digits = rest.len() - rest.trim_start_matches(|c: char| c.is_ascii_digit()).len();
+    if digits == 0 {
+        return None;
+    }
+    let index: usize = rest[..digits].parse().ok()?;
+    Some((index, rest[digits..].strip_prefix('_')?))
+}
+
+/// Split an `isa_spe<i>_<field>` metric name into its SPE index and
+/// field, or `None` for every other name.
+fn isa_spe_field(name: &str) -> Option<(usize, &str)> {
+    let rest = name.strip_prefix("isa_spe")?;
     let digits = rest.len() - rest.trim_start_matches(|c: char| c.is_ascii_digit()).len();
     if digits == 0 {
         return None;
@@ -93,6 +109,13 @@ fn parse(text: &str) -> Snapshot {
                 .insert(field.to_string(), value.to_string());
             continue;
         }
+        if let Some((spe, field)) = isa_spe_field(key) {
+            snap.isa_spes
+                .entry(spe)
+                .or_default()
+                .insert(field.to_string(), value.to_string());
+            continue;
+        }
         if let Some(field) = key.strip_prefix("durable_") {
             snap.durable.insert(field.to_string(), value.to_string());
             continue;
@@ -118,6 +141,14 @@ fn breaker_label(value: &str) -> &'static str {
     }
 }
 
+fn backend_label(value: &str) -> &'static str {
+    match value {
+        "0" => "native",
+        "1" => "isa",
+        _ => "?",
+    }
+}
+
 fn render(snap: &Snapshot) -> String {
     let mut out = String::new();
     if !snap.blades.is_empty() {
@@ -139,6 +170,27 @@ fn render(snap: &Snapshot) -> String {
                 get("served_total"),
                 get("requests_per_sec"),
                 get("cache_hit_rate")
+            );
+        }
+        out.push('\n');
+    }
+    if !snap.isa_spes.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>8} {:>8} {:>14} {:>12} {:>12}",
+            "spe", "backend", "kernels", "instructions", "cycles", "dual-issue"
+        );
+        for (index, fields) in &snap.isa_spes {
+            let get = |k: &str| fields.get(k).cloned().unwrap_or_else(|| "-".to_string());
+            let backend = fields.get("backend").map_or("-", |v| backend_label(v));
+            let _ = writeln!(
+                out,
+                "{index:<8} {:>8} {:>8} {:>14} {:>12} {:>12}",
+                backend,
+                get("kernels"),
+                get("instructions"),
+                get("cycles"),
+                get("dual_issue_rate")
             );
         }
         out.push('\n');
@@ -310,6 +362,58 @@ journal_appends_total 27
         assert!(report.contains("durability"));
         assert!(report.contains("checkpoint_age"));
         assert!(report.contains("journal_appends_total"));
+    }
+
+    #[test]
+    fn isa_spe_gauges_render_as_a_backend_table() {
+        let text = "\
+# TYPE isa_spe0_backend gauge
+isa_spe0_backend 0
+# TYPE isa_spe0_kernels gauge
+isa_spe0_kernels 3
+# TYPE isa_spe1_backend gauge
+isa_spe1_backend 1
+# TYPE isa_spe1_kernels gauge
+isa_spe1_kernels 3
+# TYPE isa_spe1_instructions gauge
+isa_spe1_instructions 4397
+# TYPE isa_spe1_cycles gauge
+isa_spe1_cycles 4135
+# TYPE isa_spe1_dual_issue_rate gauge
+isa_spe1_dual_issue_rate 0.118
+# TYPE isa_images_uploaded gauge
+isa_images_uploaded 1
+";
+        let snap = parse(text);
+        assert_eq!(snap.isa_spes.len(), 2);
+        assert_eq!(snap.isa_spes[&0].get("backend").unwrap(), "0");
+        assert_eq!(snap.isa_spes[&1].get("instructions").unwrap(), "4397");
+        assert!(
+            snap.gauges.contains_key("isa_images_uploaded"),
+            "an isa-prefixed name without an SPE index stays a plain gauge"
+        );
+        assert!(!snap.gauges.contains_key("isa_spe1_cycles"));
+        let report = render(&snap);
+        assert!(report.contains("backend"));
+        assert!(report.contains("native"));
+        assert!(report.contains("isa"));
+        assert!(report.contains("4397"));
+        // The native row shows `-` in the interpreter-only columns.
+        let native_row = report.lines().find(|l| l.contains("native")).unwrap();
+        assert!(native_row.contains('-'));
+    }
+
+    #[test]
+    fn isa_spe_field_parses_only_indexed_names() {
+        assert_eq!(isa_spe_field("isa_spe0_backend"), Some((0, "backend")));
+        assert_eq!(
+            isa_spe_field("isa_spe12_instructions"),
+            Some((12, "instructions"))
+        );
+        assert_eq!(isa_spe_field("isa_spe_backend"), None);
+        assert_eq!(isa_spe_field("isa_spe7"), None);
+        assert_eq!(isa_spe_field("isa_instructions"), None);
+        assert_eq!(isa_spe_field("blade0_queue_depth"), None);
     }
 
     #[test]

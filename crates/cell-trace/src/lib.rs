@@ -274,11 +274,13 @@ pub enum Counter {
     /// Largest batch of kernel requests packed into one dispatch
     /// round-trip (engine batching).
     BatchSize,
+    /// SPU instructions retired by the ISA interpreter backend.
+    IsaInstructions,
 }
 
 impl Counter {
     /// Number of counters; sizes [`CounterSet`].
-    pub const COUNT: usize = 31;
+    pub const COUNT: usize = 32;
 
     /// All counters, in index order. Drives reports and merging.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -313,6 +315,7 @@ impl Counter {
         Counter::ChecksumRetransmits,
         Counter::InFlight,
         Counter::BatchSize,
+        Counter::IsaInstructions,
     ];
 
     /// True for counters whose cross-track aggregate is a maximum, not a

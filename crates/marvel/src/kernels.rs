@@ -19,7 +19,7 @@ use cell_spu::{Spu, V128};
 use cell_sys::spe::SpeEnv;
 use portkit::dispatcher::KernelDispatcher;
 use portkit::interface::ReplyMode;
-use portkit::opcodes::SPU_OK;
+use portkit::opcodes::{OpcodeTable, SPU_OK};
 
 use crate::classify::svm::{score_record_simd, SvmKernel, SvmModel};
 use crate::features::correlogram::{self, CorrelogramAcc, RADIUS};
@@ -599,6 +599,23 @@ fn to_fault(env: &SpeEnv) -> impl Fn(CellError) -> CellError + '_ {
 // Dispatcher construction
 // =========================================================================
 
+/// The canonical dispatcher function name for each kernel.
+///
+/// Every registration, wire codec, and static model spells a kernel's
+/// dispatch-slot name through this one function — the string literals
+/// live nowhere else, so the PPE scripts, the SPE dispatchers, and the
+/// lint models cannot drift apart.
+#[must_use]
+pub fn kernel_fn_name(kind: KernelKind) -> &'static str {
+    match kind {
+        KernelKind::Ch => "ch_extract",
+        KernelKind::Cc => "cc_extract",
+        KernelKind::Tx => "tx_extract",
+        KernelKind::Eh => "eh_extract",
+        KernelKind::Cd => "concept_detect",
+    }
+}
+
 /// Opcodes of the functions registered on an extraction SPE.
 #[derive(Debug, Clone, Copy)]
 pub struct ExtractOpcodes {
@@ -606,6 +623,19 @@ pub struct ExtractOpcodes {
     /// Present when the dispatcher also carries a replicated detection
     /// function (paper §5.5 scenario 3).
     pub detect: Option<u32>,
+}
+
+impl ExtractOpcodes {
+    /// Derive the codec from a dispatcher's [`OpcodeTable`] — looked up
+    /// by [`kernel_fn_name`], never hand-copied from registration
+    /// returns.
+    #[must_use]
+    pub fn from_table(table: &OpcodeTable, kind: KernelKind) -> Self {
+        ExtractOpcodes {
+            extract: table.require(kernel_fn_name(kind)),
+            detect: table.opcode(kernel_fn_name(KernelKind::Cd)),
+        }
+    }
 }
 
 /// Build the dispatcher for one extraction kernel.
@@ -616,21 +646,26 @@ pub fn extract_dispatcher(
     reply_mode: ReplyMode,
 ) -> (KernelDispatcher, ExtractOpcodes) {
     let mut d = KernelDispatcher::new(kind.name(), reply_mode);
-    let extract = match kind {
-        KernelKind::Ch => d.register("ch_extract", move |env, a| ch_body(env, a, optimized)),
-        KernelKind::Cc => d.register("cc_extract", move |env, a| cc_body(env, a, optimized)),
-        KernelKind::Tx => d.register("tx_extract", move |env, a| tx_body(env, a, optimized)),
-        KernelKind::Eh => d.register("eh_extract", move |env, a| eh_body(env, a, optimized)),
+    let name = kernel_fn_name(kind);
+    match kind {
+        KernelKind::Ch => d.register(name, move |env, a| ch_body(env, a, optimized)),
+        KernelKind::Cc => d.register(name, move |env, a| cc_body(env, a, optimized)),
+        KernelKind::Tx => d.register(name, move |env, a| tx_body(env, a, optimized)),
+        KernelKind::Eh => d.register(name, move |env, a| eh_body(env, a, optimized)),
         KernelKind::Cd => panic!("use detect_dispatcher for ConceptDet"),
     };
-    let detect = with_detect.then(|| d.register("concept_detect", cd_body));
-    (d, ExtractOpcodes { extract, detect })
+    if with_detect {
+        d.register(kernel_fn_name(KernelKind::Cd), cd_body);
+    }
+    let ops = ExtractOpcodes::from_table(&d.opcode_table(), kind);
+    (d, ops)
 }
 
 /// Build the concept-detection dispatcher.
 pub fn detect_dispatcher(reply_mode: ReplyMode) -> (KernelDispatcher, u32) {
     let mut d = KernelDispatcher::new("ConceptDet", reply_mode);
-    let op = d.register("concept_detect", cd_body);
+    d.register(kernel_fn_name(KernelKind::Cd), cd_body);
+    let op = d.opcode_table().require(kernel_fn_name(KernelKind::Cd));
     (d, op)
 }
 
@@ -656,6 +691,22 @@ impl UniversalOpcodes {
             KernelKind::Cd => self.detect,
         }
     }
+
+    /// Derive the codec from a dispatcher's [`OpcodeTable`] — looked up
+    /// by [`kernel_fn_name`], never hand-copied from registration
+    /// returns.
+    #[must_use]
+    pub fn from_table(table: &OpcodeTable) -> Self {
+        UniversalOpcodes {
+            extract: [
+                table.require(kernel_fn_name(KernelKind::Ch)),
+                table.require(kernel_fn_name(KernelKind::Cc)),
+                table.require(kernel_fn_name(KernelKind::Tx)),
+                table.require(kernel_fn_name(KernelKind::Eh)),
+            ],
+            detect: table.require(kernel_fn_name(KernelKind::Cd)),
+        }
+    }
 }
 
 /// Build a dispatcher that serves *every* MARVEL kernel: the four
@@ -665,14 +716,21 @@ pub fn universal_dispatcher(
     reply_mode: ReplyMode,
 ) -> (KernelDispatcher, UniversalOpcodes) {
     let mut d = KernelDispatcher::new("universal", reply_mode);
-    let extract = [
-        d.register("ch_extract", move |env, a| ch_body(env, a, optimized)),
-        d.register("cc_extract", move |env, a| cc_body(env, a, optimized)),
-        d.register("tx_extract", move |env, a| tx_body(env, a, optimized)),
-        d.register("eh_extract", move |env, a| eh_body(env, a, optimized)),
-    ];
-    let detect = d.register("concept_detect", cd_body);
-    (d, UniversalOpcodes { extract, detect })
+    d.register(kernel_fn_name(KernelKind::Ch), move |env, a| {
+        ch_body(env, a, optimized)
+    });
+    d.register(kernel_fn_name(KernelKind::Cc), move |env, a| {
+        cc_body(env, a, optimized)
+    });
+    d.register(kernel_fn_name(KernelKind::Tx), move |env, a| {
+        tx_body(env, a, optimized)
+    });
+    d.register(kernel_fn_name(KernelKind::Eh), move |env, a| {
+        eh_body(env, a, optimized)
+    });
+    d.register(kernel_fn_name(KernelKind::Cd), cd_body);
+    let ops = UniversalOpcodes::from_table(&d.opcode_table());
+    (d, ops)
 }
 
 // =========================================================================

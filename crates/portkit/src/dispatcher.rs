@@ -8,26 +8,83 @@
 //! result through the outbound mailbox (polling mode) or the interrupting
 //! mailbox (interrupt mode), exactly like the `POLLING`/`INTERRUPT` arms
 //! of the listing.
+//!
+//! # The kernel-backend seam
+//!
+//! Each dispatch slot names either a **native** Rust kernel
+//! ([`KernelDispatcher::register`]) or an **uploaded SPU program
+//! image** ([`KernelDispatcher::register_image`]) interpreted by
+//! [`cell_isa`]. Both share one opcode space, one wire contract, and
+//! one reply path, so PPE-side dispatch scripts — and everything built
+//! on them (cell-engine, the marvel/stencil drivers) — are oblivious
+//! to which backend serves an opcode. Images are laid out in the local
+//! store's code region (base 0, 16-byte aligned) and uploaded once, on
+//! the first dispatch; every interpreted invocation runs on a fresh
+//! interpreter and feeds its [`ExecTrace`] into the optional trace
+//! sink for executed-behavior linting.
+
+use std::sync::{Arc, Mutex};
 
 use cell_core::{CellError, CellResult};
+use cell_isa::{ExecTrace, Interpreter, IsaImage};
 use cell_sys::spe::{SpeEnv, SpeProgram};
 use cell_trace::{Counter, EventKind};
 
 use crate::interface::ReplyMode;
-use crate::opcodes::{run_opcode, MAX_BATCH, SPU_BATCH, SPU_EXIT, SPU_OK, SPU_SPAN};
+use crate::opcodes::{run_opcode, OpcodeTable, MAX_BATCH, SPU_BATCH, SPU_EXIT, SPU_OK, SPU_SPAN};
 
 /// A kernel function: receives the environment and the 32-bit argument the
 /// stub sent (conventionally a main-memory wrapper address), returns the
 /// 32-bit result word for the reply mailbox.
 pub type KernelFn = Box<dyn FnMut(&mut SpeEnv, u32) -> CellResult<u32> + Send + 'static>;
 
+/// Which execution backend serves a dispatch slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelBackend {
+    /// A native Rust kernel charged by the analytic cost model.
+    Native,
+    /// An uploaded SPU program image run by the `cell_isa` interpreter.
+    Isa,
+}
+
+impl KernelBackend {
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelBackend::Native => "native",
+            KernelBackend::Isa => "isa",
+        }
+    }
+}
+
+/// One dispatch slot: a native function or an interpreted image.
+enum KernelEntry {
+    Native(KernelFn),
+    Isa(IsaKernel),
+}
+
+struct IsaKernel {
+    image: IsaImage,
+    /// LS byte address the image is uploaded to (16-aligned, inside
+    /// the code region).
+    code_base: u32,
+}
+
+/// Sink the dispatcher merges every interpreted invocation's
+/// [`ExecTrace`] into, for executed-behavior linting.
+pub type IsaTraceSink = Arc<Mutex<ExecTrace>>;
+
 /// The SPE main loop of paper Listing 1.
 pub struct KernelDispatcher {
     name: &'static str,
-    functions: Vec<(&'static str, KernelFn)>,
+    functions: Vec<(&'static str, KernelEntry)>,
     reply_mode: ReplyMode,
     /// Invocations served, per function (diagnostics).
     calls: Vec<u64>,
+    /// Next free offset in the LS code region for uploaded images.
+    next_code_base: u32,
+    /// Images are uploaded to the local store once, at first dispatch.
+    images_uploaded: bool,
+    isa_trace_sink: Option<IsaTraceSink>,
 }
 
 impl KernelDispatcher {
@@ -37,6 +94,9 @@ impl KernelDispatcher {
             functions: Vec::new(),
             reply_mode,
             calls: Vec::new(),
+            next_code_base: 0,
+            images_uploaded: false,
+            isa_trace_sink: None,
         }
     }
 
@@ -47,9 +107,68 @@ impl KernelDispatcher {
         fn_name: &'static str,
         f: impl FnMut(&mut SpeEnv, u32) -> CellResult<u32> + Send + 'static,
     ) -> u32 {
-        self.functions.push((fn_name, Box::new(f)));
+        self.functions
+            .push((fn_name, KernelEntry::Native(Box::new(f))));
         self.calls.push(0);
         run_opcode(self.functions.len() as u32 - 1)
+    }
+
+    /// Register an assembled SPU program image in the next dispatch
+    /// slot; returns its opcode. The image is assigned a 16-aligned
+    /// base in the LS code region and uploaded on first dispatch; the
+    /// dispatch argument arrives in the program's r3 preferred slot and
+    /// its `stop`-time r3 becomes the reply word.
+    pub fn register_image(&mut self, fn_name: &'static str, image: IsaImage) -> u32 {
+        let code_base = self.next_code_base;
+        self.next_code_base += ((image.bytes.len() as u32) + 15) & !15;
+        self.functions
+            .push((fn_name, KernelEntry::Isa(IsaKernel { image, code_base })));
+        self.calls.push(0);
+        run_opcode(self.functions.len() as u32 - 1)
+    }
+
+    /// Accumulate every interpreted invocation's execution trace here.
+    pub fn set_isa_trace_sink(&mut self, sink: IsaTraceSink) {
+        self.isa_trace_sink = Some(sink);
+    }
+
+    /// The backend serving each slot, in registration order.
+    #[must_use]
+    pub fn backends(&self) -> Vec<(&'static str, KernelBackend)> {
+        self.functions
+            .iter()
+            .map(|(name, entry)| {
+                let backend = match entry {
+                    KernelEntry::Native(_) => KernelBackend::Native,
+                    KernelEntry::Isa(_) => KernelBackend::Isa,
+                };
+                (*name, backend)
+            })
+            .collect()
+    }
+
+    /// Upload every registered image into the LS code region (idempotent).
+    fn ensure_images_uploaded(&mut self, env: &mut SpeEnv) -> CellResult<()> {
+        if self.images_uploaded {
+            return Ok(());
+        }
+        let reserved = env.ls.code_reserved() as u32;
+        for (fn_name, entry) in &self.functions {
+            if let KernelEntry::Isa(kernel) = entry {
+                let end = kernel.code_base + kernel.image.bytes.len() as u32;
+                if end > reserved {
+                    return Err(CellError::BadKernelSpec {
+                        message: format!(
+                            "image `{fn_name}` ends at {end} bytes, beyond the \
+                             {reserved} byte LS code region"
+                        ),
+                    });
+                }
+                env.ls.write(kernel.code_base, &kernel.image.bytes)?;
+            }
+        }
+        self.images_uploaded = true;
+        Ok(())
     }
 
     /// Number of registered functions.
@@ -66,16 +185,14 @@ impl KernelDispatcher {
         &self.calls
     }
 
-    /// The opcode table: `(function name, opcode)` in registration order.
-    /// Static analyzers use this to cross-check PPE-side dispatch scripts
-    /// against what the SPE dispatcher actually serves.
+    /// The dispatcher's wire codec: every registered function name and
+    /// its opcode, in registration order. PPE-side codecs and static
+    /// analyzers derive opcodes from this table by name — the single
+    /// source that keeps dispatch scripts honest about what the SPE
+    /// dispatcher actually serves.
     #[must_use]
-    pub fn registered(&self) -> Vec<(&'static str, u32)> {
-        self.functions
-            .iter()
-            .enumerate()
-            .map(|(i, (name, _))| (*name, run_opcode(i as u32)))
-            .collect()
+    pub fn opcode_table(&self) -> OpcodeTable {
+        OpcodeTable::from_names(self.functions.iter().map(|(name, _)| *name))
     }
 
     /// Reject an opcode with no registered function *before* the arg word
@@ -95,13 +212,31 @@ impl KernelDispatcher {
     /// saw a corrupted payload, but the SPE itself is healthy — report
     /// `SPU_CORRUPT` so the stub retransmits instead of tearing down.
     fn run_function(&mut self, env: &mut SpeEnv, opcode: u32, arg: u32) -> CellResult<u32> {
+        self.ensure_images_uploaded(env)?;
         let idx = (opcode.wrapping_sub(run_opcode(0))) as usize;
-        let Some((fn_name, f)) = self.functions.get_mut(idx) else {
+        let Some((fn_name, entry)) = self.functions.get_mut(idx) else {
             return Err(CellError::UnknownOpcode { opcode });
         };
         let fn_name = *fn_name;
         let t0 = env.clock.now();
-        let result = match f(env, arg) {
+        let invoke = match entry {
+            KernelEntry::Native(f) => f(env, arg),
+            KernelEntry::Isa(kernel) => {
+                // A fresh interpreter per invocation: registers carry no
+                // state between dispatches, exactly like the LS reset on
+                // the data side.
+                let mut interp = Interpreter::new();
+                let result = interp.run(env, kernel.code_base + kernel.image.entry, arg);
+                let trace = interp.into_trace();
+                env.tracer_mut()
+                    .count(Counter::IsaInstructions, trace.instructions);
+                if let Some(sink) = &self.isa_trace_sink {
+                    sink.lock().unwrap().merge(&trace);
+                }
+                result
+            }
+        };
+        let result = match invoke {
             Ok(r) => r,
             Err(CellError::ChecksumMismatch { .. }) => crate::opcodes::SPU_CORRUPT,
             Err(e) => return Err(e),
@@ -209,6 +344,11 @@ mod tests {
         assert_eq!(op1, 1);
         assert_eq!(op2, 2);
         assert_eq!(d.len(), 2);
+        // The table agrees with the registration returns — codecs can
+        // derive either way, but the table is the canonical source.
+        let table = d.opcode_table();
+        assert_eq!(table.require("one"), op1);
+        assert_eq!(table.require("two"), op2);
     }
 
     #[test]
@@ -425,5 +565,84 @@ mod tests {
         }
         ppe.write_in_mbox(0, SPU_EXIT).unwrap();
         h.join().unwrap();
+    }
+
+    #[test]
+    fn isa_and_native_kernels_share_one_dispatch_seam() {
+        use cell_isa::{build_gray_kernel, native_gray, write_header, KernelHeader};
+
+        let mut m = CellMachine::new(MachineConfig::small()).unwrap();
+        m.set_trace_config(cell_trace::TraceConfig::Full);
+        let mem = std::sync::Arc::clone(m.mem());
+        let mut ppe = m.ppe();
+        let mut d = KernelDispatcher::new("seam", ReplyMode::Polling);
+        let op_native = d.register("gray_native", native_gray);
+        let op_isa = d.register_image("gray_isa", build_gray_kernel().unwrap());
+        let sink: IsaTraceSink = std::sync::Arc::default();
+        d.set_isa_trace_sink(std::sync::Arc::clone(&sink));
+        assert_eq!(
+            d.backends(),
+            vec![
+                ("gray_native", KernelBackend::Native),
+                ("gray_isa", KernelBackend::Isa)
+            ]
+        );
+
+        let count = 16u32;
+        let input: Vec<u8> = (0..count * 4).map(|i| (i * 7) as u8).collect();
+        let in_ea = mem.alloc(input.len(), 16).unwrap();
+        mem.write(in_ea, &input).unwrap();
+        let out_ea = mem.alloc(count as usize * 4, 16).unwrap();
+        let hdr_ea = mem.alloc(16, 16).unwrap();
+        let header = KernelHeader {
+            in_ea: in_ea as u32,
+            out_ea: out_ea as u32,
+            count,
+            param: 0,
+        };
+        write_header(&mem, hdr_ea, header).unwrap();
+
+        let h = m.spawn(0, Box::new(d)).unwrap();
+        ppe.write_in_mbox(0, op_native).unwrap();
+        ppe.write_in_mbox(0, hdr_ea as u32).unwrap();
+        assert_eq!(ppe.read_out_mbox(0).unwrap(), count);
+        let mut native_out = vec![0u8; count as usize * 4];
+        mem.read(out_ea, &mut native_out).unwrap();
+
+        mem.fill(out_ea, 0, count as usize * 4).unwrap();
+        ppe.write_in_mbox(0, op_isa).unwrap();
+        ppe.write_in_mbox(0, hdr_ea as u32).unwrap();
+        assert_eq!(ppe.read_out_mbox(0).unwrap(), count);
+        let mut isa_out = vec![0u8; count as usize * 4];
+        mem.read(out_ea, &mut isa_out).unwrap();
+
+        ppe.write_in_mbox(0, SPU_EXIT).unwrap();
+        let report = h.join().unwrap();
+        assert_eq!(isa_out, native_out, "backends diverge through the seam");
+        let trace = sink.lock().unwrap();
+        assert!(trace.instructions > 0, "trace sink never fed");
+        assert_eq!(
+            report.trace.counters.get(Counter::IsaInstructions),
+            trace.instructions,
+            "report counter must match the sink's instruction count"
+        );
+    }
+
+    #[test]
+    fn oversized_image_is_rejected_at_first_dispatch() {
+        let mut a = cell_isa::Assembler::new();
+        // 3000 words ≈ 12 KB of nops: larger than small()'s 8 KB code region.
+        for _ in 0..3000 {
+            a.nop();
+        }
+        a.stop(0);
+        let mut m = CellMachine::new(MachineConfig::small()).unwrap();
+        let mut ppe = m.ppe();
+        let mut d = KernelDispatcher::new("fat", ReplyMode::Polling);
+        let op = d.register_image("fat", a.assemble().unwrap());
+        let h = m.spawn(0, Box::new(d)).unwrap();
+        ppe.write_in_mbox(0, op).unwrap();
+        ppe.write_in_mbox(0, 0).unwrap();
+        assert!(h.join().is_err());
     }
 }

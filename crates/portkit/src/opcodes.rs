@@ -51,6 +51,73 @@ pub const SPU_OK: u32 = 0;
 /// the request under its retry policy.
 pub const SPU_CORRUPT: u32 = 0xBADC5;
 
+/// The wire codec of one dispatcher: `(function name, opcode)` pairs in
+/// registration order.
+///
+/// [`crate::dispatcher::KernelDispatcher::opcode_table`] produces it;
+/// PPE-side codecs, dispatch scripts, and static analyzers look opcodes
+/// up **by function name** here instead of hand-copying registration
+/// return values into per-app structs. One source, two wire sides —
+/// a renamed or reordered registration changes every consumer with it
+/// instead of drifting silently.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpcodeTable {
+    entries: Vec<(&'static str, u32)>,
+}
+
+impl OpcodeTable {
+    /// Build a table from function names in registration order, assigning
+    /// each the sequential [`run_opcode`] the dispatcher would.
+    #[must_use]
+    pub fn from_names(names: impl IntoIterator<Item = &'static str>) -> Self {
+        let entries = names
+            .into_iter()
+            .enumerate()
+            .map(|(i, name)| (name, run_opcode(i as u32)))
+            .collect();
+        OpcodeTable { entries }
+    }
+
+    /// The opcode serving `fn_name`, if such a function is registered.
+    #[must_use]
+    pub fn opcode(&self, fn_name: &str) -> Option<u32> {
+        self.entries
+            .iter()
+            .find(|(name, _)| *name == fn_name)
+            .map(|&(_, op)| op)
+    }
+
+    /// The opcode serving `fn_name`.
+    ///
+    /// # Panics
+    ///
+    /// When no such function is registered: a codec asking its own
+    /// dispatcher for a function it never registered is a construction
+    /// bug, not a runtime condition.
+    #[must_use]
+    pub fn require(&self, fn_name: &str) -> u32 {
+        self.opcode(fn_name)
+            .unwrap_or_else(|| panic!("no function `{fn_name}` in the opcode table"))
+    }
+
+    /// `(function name, opcode)` pairs in registration order.
+    #[must_use]
+    pub fn entries(&self) -> &[(&'static str, u32)] {
+        &self.entries
+    }
+
+    /// Number of registered functions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,5 +150,22 @@ mod tests {
         assert_ne!(SPU_SPAN, SPU_EXIT);
         assert_ne!(SPU_SPAN, SPU_BATCH);
         assert_ne!(SPU_SPAN, SPU_CORRUPT);
+    }
+
+    #[test]
+    fn table_assigns_sequential_opcodes_by_name() {
+        let t = OpcodeTable::from_names(["alpha", "beta"]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.opcode("alpha"), Some(run_opcode(0)));
+        assert_eq!(t.opcode("beta"), Some(run_opcode(1)));
+        assert_eq!(t.opcode("gamma"), None);
+        assert_eq!(t.entries(), &[("alpha", 1), ("beta", 2)]);
+        assert!(OpcodeTable::default().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no function `gamma`")]
+    fn require_panics_on_unregistered_names() {
+        let _ = OpcodeTable::from_names(["alpha"]).require("gamma");
     }
 }

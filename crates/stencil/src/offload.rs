@@ -152,6 +152,11 @@ fn stencil_body(env: &mut SpeEnv, addr: u32) -> CellResult<u32> {
 /// The SPE hosting the stencil dispatcher.
 const STENCIL_SPE: usize = 0;
 
+/// Canonical dispatcher function name of the Jacobi kernel — the one
+/// spelling shared by registration, the PPE dispatch script, and the
+/// lint models.
+pub const JACOBI_FN: &str = "jacobi";
+
 /// The PPE-side application.
 pub struct StencilApp {
     machine: CellMachine,
@@ -166,7 +171,8 @@ impl StencilApp {
         let mut machine = CellMachine::cell_be();
         let ppe = machine.ppe();
         let mut d = KernelDispatcher::new("stencil", ReplyMode::Polling);
-        let opcode = d.register("jacobi", stencil_body);
+        d.register(JACOBI_FN, stencil_body);
+        let opcode = d.opcode_table().require(JACOBI_FN);
         let handle = machine.spawn(STENCIL_SPE, Box::new(d))?;
         Ok(StencilApp {
             machine,
@@ -215,7 +221,7 @@ impl StencilApp {
         let ticket = self.engine.submit_to_spe(
             &mut self.ppe,
             STENCIL_SPE,
-            "jacobi",
+            JACOBI_FN,
             self.opcode,
             wrapper.addr_word()?,
         )?;

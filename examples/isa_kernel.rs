@@ -1,0 +1,166 @@
+//! ISA-backend quickstart: one kernel, both sides of the seam.
+//!
+//! SPE 0 serves the MARVEL gray kernel as **native Rust** (charged by
+//! the analytic cost model); SPE 1 serves the **same kernel as a
+//! hand-assembled SPU program image**, uploaded into the LS code
+//! region and run by the `cell-isa` interpreter. The PPE-side dispatch
+//! script is identical for both — the point of the seam — and the two
+//! output buffers must match byte for byte.
+//!
+//! Along the way the interpreted trace is
+//!
+//! * **linted** with `cell_lint::analyze_trace` (executed-behavior
+//!   rules: LS bounds, DMA legality, Listing-3 mailbox discipline),
+//! * **calibrated** against the analytic `MachineProfile` cycle
+//!   prediction for the same instruction mix, and
+//! * exported as `isa_spe<i>_<field>` gauges in `isa_metrics.prom`,
+//!   which `cell-top` renders as a per-SPE backend table.
+//!
+//! ```sh
+//! cargo run --release --example isa_kernel
+//! cargo run --release -p cell-telemetry --bin cell-top -- isa_metrics.prom
+//! ```
+
+use std::sync::{Arc, Mutex};
+
+use cell_core::{MachineConfig, MachineProfile, SplitMix64};
+use cell_isa::{build_gray_kernel, native_gray, write_header, ExecTrace, KernelHeader};
+use cell_lint::{analyze_trace, LintConfig};
+use cell_sys::CellMachine;
+use cell_telemetry::MetricsRegistry;
+use cell_trace::Counter;
+use portkit::dispatcher::{IsaTraceSink, KernelBackend, KernelDispatcher};
+use portkit::interface::ReplyMode;
+use portkit::opcodes::SPU_EXIT;
+
+const GRAY_FN: &str = "gray";
+const SEED: u64 = 0x15A_2026;
+const PIXELS: u32 = 1024;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = MachineConfig::small();
+    let ls_capacity = config.local_store_size;
+    let mut m = CellMachine::new(config)?;
+    m.set_trace_config(cell_trace::TraceConfig::Full);
+    let mem = Arc::clone(m.mem());
+    let mut ppe = m.ppe();
+
+    // Seeded RGBA input, one output region per SPE, one shared header
+    // layout (distinct out_ea per backend).
+    let mut rng = SplitMix64::new(SEED);
+    let input: Vec<u8> = (0..PIXELS * 4).map(|_| rng.next_u64() as u8).collect();
+    let in_ea = mem.alloc(input.len(), 16)?;
+    mem.write(in_ea, &input)?;
+    let mut headers = Vec::new();
+    for _ in 0..2 {
+        let out_ea = mem.alloc(PIXELS as usize * 4, 16)?;
+        let hdr_ea = mem.alloc(16, 16)?;
+        write_header(
+            &mem,
+            hdr_ea,
+            KernelHeader {
+                in_ea: in_ea as u32,
+                out_ea: out_ea as u32,
+                count: PIXELS,
+                param: 0,
+            },
+        )?;
+        headers.push((hdr_ea, out_ea));
+    }
+
+    // SPE 0: native backend. SPE 1: the uploaded SPU image, with a
+    // trace sink so the executed behavior can be linted afterwards.
+    let mut native_d = KernelDispatcher::new("gray[native]", ReplyMode::Polling);
+    let op_native = native_d.register(GRAY_FN, native_gray);
+    let mut isa_d = KernelDispatcher::new("gray[isa]", ReplyMode::Polling);
+    let op_isa = isa_d.register_image(GRAY_FN, build_gray_kernel()?);
+    let sink: IsaTraceSink = Arc::new(Mutex::new(ExecTrace::default()));
+    isa_d.set_isa_trace_sink(Arc::clone(&sink));
+    let backends = [
+        (0usize, native_d.backends()[0].1),
+        (1usize, isa_d.backends()[0].1),
+    ];
+
+    let h0 = m.spawn(0, Box::new(native_d))?;
+    let h1 = m.spawn(1, Box::new(isa_d))?;
+
+    // The same dispatch script against both SPEs: opcode, header EA,
+    // reply is the pixel count.
+    for (spe, op) in [(0usize, op_native), (1usize, op_isa)] {
+        ppe.write_in_mbox(spe, op)?;
+        ppe.write_in_mbox(spe, headers[spe].0 as u32)?;
+        let reply = ppe.read_out_mbox(spe)?;
+        assert_eq!(reply, PIXELS, "SPE {spe} reply");
+        ppe.write_in_mbox(spe, SPU_EXIT)?;
+    }
+    let reports = [h0.join()?, h1.join()?];
+
+    let mut outs = Vec::new();
+    for (_, out_ea) in &headers {
+        let mut out = vec![0u8; PIXELS as usize * 4];
+        mem.read(*out_ea, &mut out)?;
+        outs.push(out);
+    }
+    assert_eq!(outs[0], outs[1], "backends diverge");
+    println!("gray({PIXELS} px): native and interpreted outputs are byte-identical");
+
+    // Executed-behavior lint over the interpreted instruction stream.
+    let trace = sink.lock().unwrap().clone();
+    let lint = analyze_trace(&trace, ls_capacity, "gray[isa]", &LintConfig::new());
+    if lint.findings.is_empty() {
+        println!(
+            "lint: interpreted trace is clean ({} instructions)",
+            trace.instructions
+        );
+    } else {
+        print!("{}", lint.render());
+        if lint.error_count() > 0 {
+            std::process::exit(1);
+        }
+    }
+
+    // Cycle calibration: the interpreter's pipeline model vs the
+    // analytic cost tables on the same instruction mix.
+    let analytic = MachineProfile::spe_optimized()
+        .compute_cycles(&trace.to_profile())
+        .0;
+    let ratio = trace.cycles as f64 / analytic.max(1) as f64;
+    println!(
+        "calibration: interpreted {} cyc vs analytic {analytic} cyc (ratio {ratio:.3}, dual-issue {:.1}%)",
+        trace.cycles,
+        trace.dual_issues as f64 / trace.instructions.max(1) as f64 * 100.0,
+    );
+
+    // Per-SPE backend gauges: cell-top renders `isa_spe<i>_<field>` as
+    // one row per SPE, native rows showing `-` in the interpreter-only
+    // columns.
+    let mut metrics = MetricsRegistry::new();
+    for (spe, backend) in backends {
+        let prefix = format!("isa_spe{spe}");
+        metrics.set_gauge(
+            &format!("{prefix}_backend"),
+            match backend {
+                KernelBackend::Native => 0.0,
+                KernelBackend::Isa => 1.0,
+            },
+        );
+        metrics.set_gauge(
+            &format!("{prefix}_kernels"),
+            reports[spe].trace.counters.get(Counter::KernelInvocations) as f64,
+        );
+        let isa_insts = reports[spe].trace.counters.get(Counter::IsaInstructions);
+        if backend == KernelBackend::Isa {
+            metrics.set_gauge(&format!("{prefix}_instructions"), isa_insts as f64);
+            metrics.set_gauge(&format!("{prefix}_cycles"), trace.cycles as f64);
+            let rate = trace.dual_issues as f64 / trace.instructions.max(1) as f64;
+            metrics.set_gauge(
+                &format!("{prefix}_dual_issue_rate"),
+                (rate * 1000.0).round() / 1000.0,
+            );
+        }
+    }
+    let prom_path = "isa_metrics.prom";
+    std::fs::write(prom_path, metrics.to_prometheus_text())?;
+    println!("wrote {prom_path} — render it with cell-top");
+    Ok(())
+}

@@ -10,12 +10,14 @@
 //! * [`cell_mfc`] — DMA engine: commands, tags, lists, multibuffering.
 //! * [`cell_spu`] — 128-bit SIMD emulation with pipeline accounting.
 //! * [`cell_sys`] — the machine: PPE, SPE threads, mailboxes, signals.
+//! * [`cell_isa`] — SPU instruction-set backend: decoder, assembler, interpreter.
 //! * [`cell_trace`] — event bus, counters, Chrome-trace + metrics export.
 //! * [`portkit`] — the ICPP'07 porting strategy (the paper's contribution).
 //! * [`marvel`] — the MARVEL-like multimedia analysis case study.
 
 pub use cell_core;
 pub use cell_eib;
+pub use cell_isa;
 pub use cell_mem;
 pub use cell_mfc;
 pub use cell_spu;

@@ -180,3 +180,104 @@ fn shipped_stencil_models_have_no_errors() {
     }
     app.finish().unwrap();
 }
+
+// =========================================================================
+// Executed-behavior fixtures: `cell_lint::analyze_trace` over real
+// interpreted runs, not declared models.
+// =========================================================================
+
+mod isa_traces {
+    use std::sync::{Arc, Mutex};
+
+    use cell_core::MachineConfig;
+    use cell_isa::{Assembler, ExecTrace, IsaProgram, TraceSink};
+    use cell_lint::{analyze_trace, LintConfig};
+    use cell_sys::CellMachine;
+
+    /// Assemble and run an image on a small machine, returning its
+    /// execution trace and whether the SPE finished cleanly. The trace
+    /// survives faults — that is the point of linting it.
+    fn run_for_trace(a: Assembler) -> (ExecTrace, bool) {
+        let image = a.assemble().unwrap();
+        let mut m = CellMachine::new(MachineConfig::small()).unwrap();
+        let sink: TraceSink = Arc::new(Mutex::new(None));
+        let h = m
+            .spawn(
+                0,
+                Box::new(IsaProgram::new(image).with_trace_sink(Arc::clone(&sink))),
+            )
+            .unwrap();
+        let ok = h.join().is_ok();
+        let trace = sink.lock().unwrap().take().unwrap();
+        (trace, ok)
+    }
+
+    #[test]
+    fn garbage_word_triggers_isa_unknown_op() {
+        let mut a = Assembler::new();
+        // 0x0040_0000 sits in no instruction form: executing it faults
+        // the SPE and records the word.
+        a.quad([0x00, 0x40, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let (trace, ok) = run_for_trace(a);
+        assert!(!ok, "undecodable word must fault the SPE");
+        let report = analyze_trace(&trace, 64 * 1024, "garbage", &LintConfig::new());
+        assert!(report.has("isa-unknown-op"), "{}", report.render());
+        assert!(report.error_count() > 0);
+    }
+
+    #[test]
+    fn wild_load_triggers_isa_ls_oob() {
+        let mut a = Assembler::new();
+        // 0x3FFF0 is far beyond the 64 KB small-machine local store; the
+        // interpreter wraps the access but records the raw address.
+        a.ila(4, 0x3FFF0);
+        a.lqd(5, 4, 0);
+        a.stop(0);
+        let (trace, ok) = run_for_trace(a);
+        assert!(ok, "wrapped access completes");
+        let report = analyze_trace(&trace, 64 * 1024, "wild-load", &LintConfig::new());
+        assert!(report.has("isa-ls-oob"), "{}", report.render());
+    }
+
+    #[test]
+    fn shipped_kernel_traces_are_lint_clean() {
+        // The gray color-convert kernel end to end: header in main
+        // memory, DMA in, compute, DMA out — its executed behavior must
+        // pass the same rules the fixtures above fail.
+        let image = cell_isa::build_gray_kernel().unwrap();
+        let mut m = CellMachine::new(MachineConfig::small()).unwrap();
+        let mem = Arc::clone(m.mem());
+        let count = 64u32;
+        let input: Vec<u8> = (0..count * 4).map(|i| (i * 13) as u8).collect();
+        let in_ea = mem.alloc(input.len(), 16).unwrap();
+        mem.write(in_ea, &input).unwrap();
+        let out_ea = mem.alloc(count as usize * 4, 16).unwrap();
+        let hdr_ea = mem.alloc(16, 16).unwrap();
+        cell_isa::write_header(
+            &mem,
+            hdr_ea,
+            cell_isa::KernelHeader {
+                in_ea: in_ea as u32,
+                out_ea: out_ea as u32,
+                count,
+                param: 0,
+            },
+        )
+        .unwrap();
+        let sink: TraceSink = Arc::new(Mutex::new(None));
+        let h = m
+            .spawn(
+                0,
+                Box::new(
+                    IsaProgram::new(image)
+                        .with_arg(hdr_ea as u32)
+                        .with_trace_sink(Arc::clone(&sink)),
+                ),
+            )
+            .unwrap();
+        h.join().unwrap();
+        let trace = sink.lock().unwrap().take().unwrap();
+        let report = analyze_trace(&trace, 64 * 1024, "gray", &LintConfig::new());
+        assert!(report.findings.is_empty(), "{}", report.render());
+    }
+}
